@@ -1,0 +1,115 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out. Not a
+// paper figure — these quantify *why* the design decisions of sections
+// 4.1.1, 4.1.7 and 5.2.6 matter, on both device models:
+//
+//   A1  bitmap selections vs eager oid materialization (4.1.1): the bitmap
+//       representation is what makes Ocelot's selection selectivity-
+//       invariant and faster than MP in Fig. 5a/5b.
+//   A2  accumulator spreading in grouped aggregation (4.1.7): one
+//       accumulator per group concentrates atomic traffic; the inversely-
+//       proportional spread buys back the contention.
+//   A3  the memory manager's hash-table cache (5.2.6): probing a cached
+//       table vs rebuilding it per join.
+
+#include "bench/micro_common.h"
+#include "ocelot/hash_table.h"
+
+namespace {
+
+using bench::Label;
+using cstore::Bound;
+
+const std::vector<mal::Pipeline> kOcelotConfigs = {mal::Pipeline::kOcelotCpu,
+                                                   mal::Pipeline::kOcelotGpu};
+
+// A1: selection result representation.
+void RegisterBitmapAblation() {
+  for (mal::Pipeline pipeline : kOcelotConfigs) {
+    for (bool materialize : {false, true}) {
+      std::string name = std::string("Ablation_SelectRepr/") + Label(pipeline) + "/" +
+                         (materialize ? "oid_list" : "bitmap");
+      bench::RegisterPoint(
+          name, pipeline, [materialize](mal::Session* s, benchmark::State& st) {
+            cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(256), 1000);
+            bench::MicroLoop(s, st, [&] {
+              auto res = s->engine()->SelectRange(col, nullptr, Bound::Incl(0),
+                                                  Bound::Incl(499));
+              if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+              if (materialize) {
+                auto mat = s->ocelot()->MaterializeCand(*res);
+                if (!mat.ok()) return !bench::IsMemoryLimit(mat);
+              }
+              bench::Settle(s);
+              return true;
+            });
+          });
+    }
+  }
+}
+
+// A2: grouped-aggregation accumulator spreading. The spread is keyed off the
+// group count; contrasting few groups (heavy contention, wide spread) with
+// many groups (no contention, spread collapses to 1) exposes the mechanism.
+void RegisterAccumulatorAblation() {
+  for (mal::Pipeline pipeline : kOcelotConfigs) {
+    for (int groups : {4, 64, 1024}) {
+      std::string name = std::string("Ablation_GroupedAggContention/") +
+                         Label(pipeline) + "/" + std::to_string(groups) + "groups";
+      bench::RegisterPoint(
+          name, pipeline, [groups](mal::Session* s, benchmark::State& st) {
+            std::size_t n = bench::RowsForMb(256);
+            cstore::BatPtr gids = bench::UniformInts(n, groups);
+            // Reinterpret the int column as group ids (dense 0..groups-1).
+            cstore::BatPtr g = cstore::Bat::MakeOid(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              g->oids()[i] = static_cast<cstore::oid_t>(gids->ints()[i]);
+            }
+            cstore::BatPtr vals = cstore::Bat::MakeFloat(n);
+            for (auto& v : vals->floats()) v = 1.0f;
+            bench::MicroLoop(s, st, [&] {
+              auto res = s->engine()->SubSum(vals, g, static_cast<std::size_t>(groups));
+              if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+              bench::Settle(s);
+              return true;
+            });
+          });
+    }
+  }
+}
+
+// A3: hash-table cache hit vs cold rebuild per probe.
+void RegisterHashCacheAblation() {
+  for (mal::Pipeline pipeline : kOcelotConfigs) {
+    for (bool cached : {true, false}) {
+      std::string name = std::string("Ablation_HashTableCache/") + Label(pipeline) +
+                         "/" + (cached ? "cached" : "rebuild");
+      bench::RegisterPoint(
+          name, pipeline, [cached](mal::Session* s, benchmark::State& st) {
+            cstore::BatPtr probe = bench::UniformInts(bench::RowsForMb(64), 100'000);
+            cstore::BatPtr build = cstore::Bat::MakeInt(100'000);
+            for (int i = 0; i < 100'000; ++i) {
+              build->ints()[static_cast<std::size_t>(i)] = i;
+            }
+            build->set_key(true);
+            bench::MicroLoop(s, st, [&] {
+              if (!cached) s->ocelot()->memory()->DropCachedHashTable(build->id());
+              auto res = s->engine()->HashJoin(probe, build);
+              if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+              bench::Settle(s);
+              return true;
+            });
+          });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterBitmapAblation();
+  RegisterAccumulatorAblation();
+  RegisterHashCacheAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

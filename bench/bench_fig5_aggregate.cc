@@ -1,0 +1,36 @@
+// Figure 5(d): (minimum) aggregation scaled by input size.
+//
+// Expected shape (paper 5.2.3): linear everywhere; MP ~30% faster than
+// Ocelot/CPU (the Intel OpenCL SDK's code-generation gap, modeled by the
+// CPU device's group_time_scale); Ocelot/GPU fastest.
+
+#include "bench/micro_common.h"
+
+namespace {
+
+void Register() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int mb : bench::MbAxis()) {
+      std::string name = "Fig5d_MinAggregation/" + std::string(bench::Label(pipeline)) +
+                         "/" + std::to_string(mb) + "MB";
+      bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
+        cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 1 << 30);
+        bench::MicroLoop(s, st, [&] {
+          auto res = s->engine()->Min(col);
+          if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+          benchmark::DoNotOptimize(*res);
+          return true;
+        });
+      });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5(c): left fetch join (positional projection of one column through
+// the row identifiers of its relation) scaled by input size.
+//
+// Expected shape (paper 5.2.2): linear in the input for all configurations;
+// Ocelot/CPU on par with MP, Ocelot/GPU clearly fastest.
+
+#include "bench/micro_common.h"
+
+namespace {
+
+void Register() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int mb : bench::MbAxis()) {
+      std::string name = "Fig5c_LeftFetchJoin/" + std::string(bench::Label(pipeline)) +
+                         "/" + std::to_string(mb) + "MB";
+      bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
+        std::size_t n = bench::RowsForMb(mb);
+        cstore::BatPtr col = bench::UniformInts(n, 1'000'000);
+        cstore::BatPtr oids = cstore::Bat::DenseOids(n);
+        bench::MicroLoop(s, st, [&] {
+          auto res = s->engine()->Project(oids, col);
+          if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+          bench::Settle(s);
+          benchmark::DoNotOptimize(*res);
+          return true;
+        });
+      });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

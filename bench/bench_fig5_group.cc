@@ -1,0 +1,62 @@
+// Figure 5(g): group-by on a column with 100 distinct values, scaled by
+// input size.
+// Figure 5(h): group-by on a 400 MB column, scaled by the group count.
+//
+// Expected shape (paper 5.2.5): linear scaling everywhere; Ocelot/CPU is the
+// slowest configuration (the grouping operator leans on the parallel
+// hashing machinery), and even Ocelot/GPU only draws level with MP.
+
+#include "bench/micro_common.h"
+
+namespace {
+
+void RunGroup(mal::Session* s, benchmark::State& st, cstore::BatPtr col) {
+  bench::MicroLoop(s, st, [&] {
+    if (s->ocelot() != nullptr) {
+      s->ocelot()->memory()->DropCachedHashTable(col->id());
+    }
+    auto res = s->engine()->GroupBy(col, nullptr);
+    if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+    bench::Settle(s);
+    benchmark::DoNotOptimize(res->ngroups);
+    return true;
+  });
+}
+
+void RegisterBySize() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int mb : bench::MbAxis()) {
+      std::string name = "Fig5g_GroupBySize/" + std::string(bench::Label(pipeline)) +
+                         "/" + std::to_string(mb) + "MB";
+      bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
+        cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 100);
+        RunGroup(s, st, col);
+      });
+    }
+  }
+}
+
+void RegisterByGroups() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int groups : {10, 100, 1000, 10000}) {
+      std::string name = "Fig5h_GroupByDistinct/" +
+                         std::string(bench::Label(pipeline)) + "/" +
+                         std::to_string(groups);
+      bench::RegisterPoint(
+          name, pipeline, [groups](mal::Session* s, benchmark::State& st) {
+            cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(400), groups);
+            RunGroup(s, st, col);
+          });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterBySize();
+  RegisterByGroups();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

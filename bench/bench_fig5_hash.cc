@@ -1,0 +1,74 @@
+// Figure 5(e): hash-table build on a column with 100 distinct values,
+// scaled by input size.
+// Figure 5(f): hash-table build on a 400 MB column, scaled by the number of
+// distinct values.
+//
+// Expected shape (paper 5.2.4): hashing is Ocelot's weak spot on the CPU —
+// atomic contention makes it clearly slower than MonetDB's sequential hash
+// build; with *more* distinct values Ocelot/CPU gets FASTER (less
+// contention), opposite to the baselines; the GPU does not show the
+// contention pattern. The baselines build hashes single-threaded (MonetDB
+// does not parallelize hash construction), so MS == MP here.
+
+#include "bench/micro_common.h"
+#include "monet/hashmap.h"
+#include "ocelot/hash_table.h"
+
+namespace {
+
+void RunHashBuild(mal::Session* s, benchmark::State& st, cstore::BatPtr col) {
+  bench::MicroLoop(s, st, [&] {
+    if (s->ocelot() != nullptr) {
+      // Cold build each run: drop the memory manager's cached table first.
+      s->ocelot()->memory()->DropCachedHashTable(col->id());
+      auto ht = ocelot::BuildHashTable(s->ocelot()->memory(), col,
+                                       /*distinct_only=*/true);
+      if (!ht.ok()) return !bench::IsMemoryLimit(ht.status());
+      bench::Settle(s);
+      benchmark::DoNotOptimize(ht->get());
+      return true;
+    }
+    monet::ChainedHash ht(col->ints());
+    benchmark::DoNotOptimize(ht.First(0));
+    return true;
+  });
+}
+
+void RegisterBySize() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int mb : bench::MbAxis()) {
+      std::string name = "Fig5e_HashBuildBySize/" +
+                         std::string(bench::Label(pipeline)) + "/" +
+                         std::to_string(mb) + "MB";
+      bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
+        cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 100);
+        RunHashBuild(s, st, col);
+      });
+    }
+  }
+}
+
+void RegisterByDistinct() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int distinct : {10, 100, 1000, 10000}) {
+      std::string name = "Fig5f_HashBuildByDistinct/" +
+                         std::string(bench::Label(pipeline)) + "/" +
+                         std::to_string(distinct);
+      bench::RegisterPoint(
+          name, pipeline, [distinct](mal::Session* s, benchmark::State& st) {
+            cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(400), distinct);
+            RunHashBuild(s, st, col);
+          });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterBySize();
+  RegisterByDistinct();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 5(a): range selection scaled by input size (selectivity 0.05).
+// Figure 5(b): range selection on a 400 MB column scaled by selectivity.
+//
+// Expected shape (paper 5.2.1): all configurations scale linearly; Ocelot
+// beats parallel MonetDB on the CPU because it emits bitmaps while MonetDB
+// materializes oid lists; Ocelot's runtime is selectivity-invariant while
+// MonetDB's grows with the result size.
+
+#include "bench/micro_common.h"
+
+namespace {
+
+using bench::Label;
+using cstore::Bound;
+
+void RegisterBySize() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int mb : bench::MbAxis()) {
+      std::string name =
+          "Fig5a_SelectBySize/" + std::string(Label(pipeline)) + "/" +
+          std::to_string(mb) + "MB";
+      bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
+        cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 1000);
+        bench::MicroLoop(s, st, [&] {
+          auto res =
+              s->engine()->SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(49));
+          if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+          bench::Settle(s);
+          benchmark::DoNotOptimize(*res);
+          return true;
+        });
+      });
+    }
+  }
+}
+
+void RegisterBySelectivity() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int sel : {5, 15, 30, 45, 60, 75}) {
+      std::string name =
+          "Fig5b_SelectBySelectivity/" + std::string(Label(pipeline)) + "/" +
+          std::to_string(sel) + "pct";
+      bench::RegisterPoint(name, pipeline, [sel](mal::Session* s,
+                                                 benchmark::State& st) {
+        cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(400), 1000);
+        double hi = sel * 10 - 1;
+        bench::MicroLoop(s, st, [&] {
+          auto res =
+              s->engine()->SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(hi));
+          if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+          bench::Settle(s);
+          benchmark::DoNotOptimize(*res);
+          return true;
+        });
+      });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterBySize();
+  RegisterBySelectivity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 6: sort performance scaled by input size. Ocelot runs the binary
+// radix sort (radix 8 on the CPU device, 4 on the GPU — a device preference,
+// paper 4.1.3/5.2.7); MonetDB sorts with quick/merge sort (MS) and a
+// parallel merge sort (MP).
+//
+// Expected shape: linear for the radix sort; Ocelot beats the comparison
+// sorts on both devices.
+
+#include "bench/micro_common.h"
+
+namespace {
+
+void Register() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (int mb : bench::MbAxis()) {
+      std::string name = "Fig6_Sort/" + std::string(bench::Label(pipeline)) + "/" +
+                         std::to_string(mb) + "MB";
+      bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
+        cstore::BatPtr col =
+            bench::UniformInts(bench::RowsForMb(mb), 2'000'000'000);
+        bench::MicroLoop(s, st, [&] {
+          auto res = s->engine()->Sort(col);
+          if (!res.ok()) return !bench::IsMemoryLimit(res.status());
+          bench::Settle(s);
+          benchmark::DoNotOptimize(res->order);
+          return true;
+        });
+      });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

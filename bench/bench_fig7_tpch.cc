@@ -1,0 +1,92 @@
+// Figure 7: the TPC-H-derived workload (paper Appendix A).
+//   7(a) all queries at SF 1   — GPU wins, Ocelot/CPU hurt by driver overhead.
+//   7(b) all queries at SF 8   — balanced; the GPU's lead shrinks because the
+//        working set no longer fits device memory (eviction/offload churn).
+//   7(c) all queries at SF 50  — CPU configurations only (as in the paper);
+//        Ocelot/CPU on par with MP.
+//   7(d) Q1 runtime vs scale factor — linear everywhere, with the CPU
+//        driver's fixed per-query overhead as intercept and the GPU's memory
+//        knee at the largest device-resident scale.
+//
+// "SF" follows the paper's axis; rows scale by OCELOT_SF_UNIT (default
+// 0.02). Timing is hot-cache virtual time, result transfers included
+// (queries end in ocelot.sync), mirroring section 5.3's methodology.
+
+#include "bench/harness.h"
+
+namespace {
+
+using bench::Label;
+
+void RegisterWorkload(const char* figure, double sf, bool with_gpu) {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    if (!with_gpu && pipeline == mal::Pipeline::kOcelotGpu) continue;
+    for (int query : tpch::PaperWorkload()) {
+      std::string name = std::string(figure) + "/Q" + std::to_string(query) + "/" +
+                         Label(pipeline);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [pipeline, query, sf](benchmark::State& state) {
+            const tpch::TpchDb& db = bench::Db(sf);
+            ocl::DeviceModel gpu = bench::TpchGpuModel();
+            ocl::DeviceModel cpu = bench::TpchCpuModel();
+            auto session = mal::Session::Create(pipeline, &gpu, &cpu);
+            if (!bench::RunQuery(query, db, session.get())) {  // hot-cache warm-up
+              state.SkipWithError("exceeds device memory");
+              return;
+            }
+            for (auto _ : state) {
+              double ms = bench::MeasureVirtualMs(session.get(), [&] {
+                bench::RunQuery(query, db, session.get());
+              });
+              state.SetIterationTime(ms / 1000.0);
+            }
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+void RegisterQ1Scaling() {
+  for (mal::Pipeline pipeline : bench::Configurations()) {
+    for (double sf : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
+      std::string name = "Fig7d_Q1Scaling/SF" + std::to_string(static_cast<int>(sf)) +
+                         "/" + Label(pipeline);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [pipeline, sf](benchmark::State& state) {
+            const tpch::TpchDb& db = bench::Db(sf);
+            ocl::DeviceModel gpu = bench::TpchGpuModel();
+            ocl::DeviceModel cpu = bench::TpchCpuModel();
+            auto session = mal::Session::Create(pipeline, &gpu, &cpu);
+            if (!bench::RunQuery(1, db, session.get())) {
+              state.SkipWithError("exceeds device memory");
+              return;
+            }
+            for (auto _ : state) {
+              double ms = bench::MeasureVirtualMs(session.get(), [&] {
+                bench::RunQuery(1, db, session.get());
+              });
+              state.SetIterationTime(ms / 1000.0);
+            }
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterWorkload("Fig7a_TPCH_SF1", 1.0, /*with_gpu=*/true);
+  RegisterWorkload("Fig7b_TPCH_SF8", 8.0, /*with_gpu=*/true);
+  RegisterWorkload("Fig7c_TPCH_SF50", 50.0, /*with_gpu=*/false);
+  RegisterQ1Scaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace bench {
+
+const char* Label(mal::Pipeline p) {
+  switch (p) {
+    case mal::Pipeline::kSequential:
+      return "MS";
+    case mal::Pipeline::kMitosis:
+      return "MP";
+    case mal::Pipeline::kOcelotCpu:
+      return "CPU";
+    case mal::Pipeline::kOcelotGpu:
+      return "GPU";
+  }
+  return "?";
+}
+
+namespace {
+
+double MbScale() {
+  if (const char* env = std::getenv("OCELOT_MB_SCALE")) {
+    double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.125;
+}
+
+}  // namespace
+
+std::size_t RowsForMb(int mb) {
+  double bytes = static_cast<double>(mb) * 1024 * 1024 * MbScale();
+  return static_cast<std::size_t>(bytes / 4);
+}
+
+cstore::BatPtr UniformInts(std::size_t n, std::int32_t limit, std::uint64_t seed) {
+  common::Rng rng(seed);
+  cstore::BatPtr b = cstore::Bat::MakeInt(n);
+  auto s = b->ints();
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<std::int32_t>(rng.Uniform(0, limit - 1));
+  }
+  b->set_nonil(true);
+  return b;
+}
+
+namespace {
+
+/// Scales a device's fixed driver costs with the shrunken data axis so the
+/// fixed-vs-linear cost ratio of the paper's plots is preserved.
+void ScaleDriverCosts(ocl::DeviceModel* m, double scale) {
+  m->kernel_launch_overhead =
+      static_cast<common::Nanos>(static_cast<double>(m->kernel_launch_overhead) * scale);
+  m->kernel_compile_cost =
+      static_cast<common::Nanos>(static_cast<double>(m->kernel_compile_cost) * scale);
+}
+
+}  // namespace
+
+ocl::DeviceModel MicroGpuModel() {
+  ocl::DeviceModel gpu = ocl::Gtx460Model();
+  gpu.global_mem_bytes =
+      static_cast<std::size_t>(static_cast<double>(gpu.global_mem_bytes) * MbScale());
+  ScaleDriverCosts(&gpu, MbScale());
+  return gpu;
+}
+
+ocl::DeviceModel MicroCpuModel() {
+  ocl::DeviceModel cpu = ocl::XeonE5620Model();
+  ScaleDriverCosts(&cpu, MbScale());
+  return cpu;
+}
+
+ocl::DeviceModel TpchGpuModel() {
+  ocl::DeviceModel gpu = ocl::Gtx460Model();
+  double unit = tpch::ScaleForPaperSf(1.0);
+  gpu.global_mem_bytes =
+      static_cast<std::size_t>(static_cast<double>(gpu.global_mem_bytes) * unit);
+  ScaleDriverCosts(&gpu, unit);
+  return gpu;
+}
+
+ocl::DeviceModel TpchCpuModel() {
+  ocl::DeviceModel cpu = ocl::XeonE5620Model();
+  ScaleDriverCosts(&cpu, tpch::ScaleForPaperSf(1.0));
+  return cpu;
+}
+
+double MeasureVirtualMs(mal::Session* session, const std::function<void()>& op) {
+  common::Nanos v0 = session->clock()->Now();
+  op();
+  return static_cast<double>(session->clock()->Now() - v0) / 1e6;
+}
+
+void RegisterPoint(const std::string& name, mal::Pipeline pipeline,
+                   std::function<void(mal::Session*, benchmark::State&)> body) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [pipeline, body](benchmark::State& state) {
+        ocl::DeviceModel gpu = MicroGpuModel();
+        ocl::DeviceModel cpu = MicroCpuModel();
+        auto session = mal::Session::Create(pipeline, &gpu, &cpu);
+        body(session.get(), state);
+      })
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(3);
+}
+
+const tpch::TpchDb& Db(double paper_sf) {
+  static std::map<double, tpch::TpchDb>* cache = new std::map<double, tpch::TpchDb>();
+  auto it = cache->find(paper_sf);
+  if (it == cache->end()) {
+    it = cache->emplace(paper_sf, tpch::Generate(tpch::ScaleForPaperSf(paper_sf)))
+             .first;
+  }
+  return it->second;
+}
+
+bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session) {
+  auto plan = tpch::BuildQuery(q, db);
+  OCELOT_CHECK(plan.ok()) << plan.status().ToString();
+  mal::Program prog = *plan;
+  if (session->ocelot() != nullptr) prog = mal::RewriteForOcelot(prog);
+  auto res = mal::Run(prog, db.catalog, session);
+  if (!res.ok()) {
+    // mal::Run wraps engine errors as Internal; memory exhaustion is a
+    // legitimate skip, anything else is a bug.
+    if (res.status().ToString().find("ResourceExhausted") != std::string::npos) {
+      return false;
+    }
+    OCELOT_CHECK(false) << "Q" << q << " on "
+                        << mal::PipelineName(session->pipeline()) << ": "
+                        << res.status().ToString();
+  }
+  benchmark::DoNotOptimize(res->returns.data());
+  return true;
+}
+
+}  // namespace bench

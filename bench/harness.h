@@ -1,0 +1,72 @@
+#ifndef OCELOT_BENCH_HARNESS_H_
+#define OCELOT_BENCH_HARNESS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+/// Shared machinery of the figure-reproduction benchmarks. Every benchmark
+/// reports *virtual* milliseconds through google-benchmark's manual-time
+/// mode: real host time for the sequential baseline, modeled parallel time
+/// for MP and the Ocelot devices (DESIGN.md section 2).
+namespace bench {
+
+/// The four configurations of the paper's evaluation, in figure order.
+inline const std::vector<mal::Pipeline>& Configurations() {
+  static const std::vector<mal::Pipeline> kAll = {
+      mal::Pipeline::kSequential, mal::Pipeline::kMitosis,
+      mal::Pipeline::kOcelotCpu, mal::Pipeline::kOcelotGpu};
+  return kAll;
+}
+
+/// Short labels used in the paper's plots.
+const char* Label(mal::Pipeline p);
+
+/// Paper "input size in MB" axis -> row count, scaled by OCELOT_MB_SCALE
+/// (default 1/8 so the sweeps finish on one core).
+std::size_t RowsForMb(int mb);
+
+/// The paper-axis sizes of Figures 5/6.
+inline std::vector<int> MbAxis() { return {64, 128, 256, 512, 1024}; }
+
+/// Uniform int column in [0, limit).
+cstore::BatPtr UniformInts(std::size_t n, std::int32_t limit, std::uint64_t seed = 7);
+
+/// GTX460 with device memory scaled by the same unit as the data, so the
+/// memory cliffs of the paper appear at the same *relative* sizes:
+/// microbenchmarks scale their "MB" axis by OCELOT_MB_SCALE, the TPC-H runs
+/// scale row counts by OCELOT_SF_UNIT.
+ocl::DeviceModel MicroGpuModel();
+ocl::DeviceModel MicroCpuModel();
+ocl::DeviceModel TpchGpuModel();
+ocl::DeviceModel TpchCpuModel();
+
+/// One measured run of `op` under `session`: returns virtual milliseconds.
+double MeasureVirtualMs(mal::Session* session, const std::function<void()>& op);
+
+/// Registers one microbenchmark series point: name like "Fig5a/select/MS/64MB".
+/// `make_op` is invoked once per measurement with the session; a warm-up run
+/// precedes timing (hot caches, compiled kernels — paper 5.2/5.3).
+void RegisterPoint(const std::string& name, mal::Pipeline pipeline,
+                   std::function<void(mal::Session*, benchmark::State&)> body);
+
+/// TPC-H database cache shared by the Fig. 7 benchmarks (generated once per
+/// paper scale factor).
+const tpch::TpchDb& Db(double paper_sf);
+
+/// Runs query `q` under `session`. Returns false when the configuration
+/// legitimately cannot run the point (device memory exhausted — the paper's
+/// "line ends"/"could not use the graphics card" cases); aborts on any
+/// other error (benchmarks must not silently measure failures).
+bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session);
+
+}  // namespace bench
+
+#endif  // OCELOT_BENCH_HARNESS_H_

@@ -1,0 +1,40 @@
+#ifndef OCELOT_BENCH_MICRO_COMMON_H_
+#define OCELOT_BENCH_MICRO_COMMON_H_
+
+#include "bench/harness.h"
+
+namespace bench {
+
+/// Shared skeleton of the Figure 5/6 microbenchmarks: one warm-up run (hot
+/// caches + compiled kernels, as in the paper's methodology), then manual
+/// virtual-time iterations. `op` returns false when the point exceeds the
+/// device's memory (the "line ends midway" cases of Fig. 5).
+inline void MicroLoop(mal::Session* session, benchmark::State& state,
+                      const std::function<bool()>& op) {
+  if (!op()) {
+    state.SkipWithError("exceeds device memory");
+    return;
+  }
+  for (auto _ : state) {
+    double ms = MeasureVirtualMs(session, [&] {
+      if (!op()) state.SkipWithError("exceeds device memory");
+    });
+    state.SetIterationTime(ms / 1000.0);
+  }
+}
+
+/// Settles the virtual clock after enqueue-only Ocelot operators: waits for
+/// all scheduled kernels but does not transfer results back (the paper's
+/// microbenchmarks exclude device<->host transfers).
+inline void Settle(mal::Session* session) {
+  if (session->ocl_context() != nullptr) session->ocl_context()->queue()->Finish();
+}
+
+/// True when the status is the device-memory signal (skip the point).
+inline bool IsMemoryLimit(const common::Status& s) {
+  return s.code() == common::StatusCode::kResourceExhausted;
+}
+
+}  // namespace bench
+
+#endif  // OCELOT_BENCH_MICRO_COMMON_H_

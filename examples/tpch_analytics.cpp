@@ -1,0 +1,59 @@
+// End-to-end analytics: generate a TPC-H database, show a query plan before
+// and after the Ocelot rewriter, and run the paper's workload on all four
+// configurations, printing a Fig. 7-style runtime table.
+//
+//   $ ./tpch_analytics [paper_scale_factor]   (default 1)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 1.0;
+  std::printf("generating TPC-H (paper SF %.1f, unit %.3f)...\n", sf,
+              tpch::ScaleForPaperSf(1.0));
+  tpch::TpchDb db = tpch::Generate(tpch::ScaleForPaperSf(sf));
+  std::printf("database: %.1f MB across %zu tables\n\n",
+              static_cast<double>(db.catalog.TotalBytes()) / 1e6,
+              db.catalog.TableNames().size());
+
+  // Show the rewriter at work on Q6.
+  auto q6 = tpch::BuildQuery(6, db);
+  OCELOT_CHECK_OK(q6.status());
+  std::printf("---- Q6 plan (MonetDB operators) ----\n%s\n", q6->Explain().c_str());
+  std::printf("---- Q6 plan (after the Ocelot rewriter) ----\n%s\n",
+              mal::RewriteForOcelot(*q6).Explain().c_str());
+
+  // Run the paper workload on the four configurations.
+  std::printf("%-5s %12s %12s %12s %12s   (virtual ms, hot cache)\n", "query", "MS",
+              "MP", "Ocelot/CPU", "Ocelot/GPU");
+  for (int query : tpch::PaperWorkload()) {
+    std::printf("Q%-4d", query);
+    for (mal::Pipeline p :
+         {mal::Pipeline::kSequential, mal::Pipeline::kMitosis,
+          mal::Pipeline::kOcelotCpu, mal::Pipeline::kOcelotGpu}) {
+      auto session = mal::Session::Create(p);
+      auto plan = tpch::BuildQuery(query, db);
+      OCELOT_CHECK_OK(plan.status());
+      mal::Program prog = *plan;
+      if (session->ocelot() != nullptr) prog = mal::RewriteForOcelot(prog);
+
+      auto warm = mal::Run(prog, db.catalog, session.get());  // hot cache
+      if (!warm.ok()) {
+        std::printf(" %12s", "-");
+        continue;
+      }
+      common::Nanos start = session->clock()->Now();
+      auto res = mal::Run(prog, db.catalog, session.get());
+      OCELOT_CHECK_OK(res.status());
+      double ms = static_cast<double>(session->clock()->Now() - start) / 1e6;
+      std::printf(" %12.2f", ms);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "common/aligned.h"
+
+#include "common/logging.h"
+
+namespace common {
+
+void* AlignedAlloc(std::size_t bytes) {
+  if (bytes == 0) bytes = kHeapAlignment;
+  // Round the size up: C11 aligned_alloc requires size % alignment == 0.
+  std::size_t rounded = (bytes + kHeapAlignment - 1) & ~(kHeapAlignment - 1);
+  void* ptr = std::aligned_alloc(kHeapAlignment, rounded);
+  OCELOT_CHECK(ptr != nullptr) << "aligned_alloc(" << rounded << ") failed";
+  return ptr;
+}
+
+void AlignedFree(void* ptr) { std::free(ptr); }
+
+}  // namespace common

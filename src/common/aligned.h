@@ -1,0 +1,49 @@
+#ifndef OCELOT_COMMON_ALIGNED_H_
+#define OCELOT_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace common {
+
+/// Alignment contract for all column heaps and device buffers.
+///
+/// The paper (section 4.3) modified MonetDB's allocator to return 128-byte
+/// aligned chunks because the Intel OpenCL SDK vectorizes against aligned
+/// memory. We keep the same contract: every heap the kernels touch is
+/// 128-byte aligned.
+inline constexpr std::size_t kHeapAlignment = 128;
+
+/// Allocates `bytes` of 128-byte-aligned storage; never returns nullptr
+/// (aborts on OOM like MonetDB's GDKmalloc does for internal allocations).
+void* AlignedAlloc(std::size_t bytes);
+
+/// Releases storage obtained from AlignedAlloc.
+void AlignedFree(void* ptr);
+
+/// std::allocator-compatible adaptor so std::vector can host column heaps
+/// with the kernel-visible alignment contract.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT: implicit
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(AlignedAlloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) { AlignedFree(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_ALIGNED_H_

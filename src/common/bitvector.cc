@@ -1,0 +1,57 @@
+#include "common/bitvector.h"
+
+namespace common {
+
+void BitVector::ClearSlack() {
+  if (words_.empty()) return;
+  std::size_t used = size_ % kBitsPerWord;
+  if (used != 0) {
+    words_.back() &= (Word{1} << used) - 1;
+  }
+}
+
+std::size_t BitVector::CountOnes() const {
+  std::size_t n = 0;
+  if (words_.empty()) return 0;
+  for (std::size_t i = 0; i + 1 < words_.size(); ++i) {
+    n += std::popcount(words_[i]);
+  }
+  Word last = words_.back();
+  std::size_t used = size_ % kBitsPerWord;
+  if (used != 0) last &= (Word{1} << used) - 1;
+  n += std::popcount(last);
+  return n;
+}
+
+void BitVector::And(const BitVector& other) {
+  OCELOT_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  OCELOT_CHECK_EQ(size_, other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::Not() {
+  for (Word& w : words_) w = ~w;
+  ClearSlack();
+}
+
+void BitVector::AppendSetPositions(std::vector<std::uint32_t>* out,
+                                   std::uint32_t base) const {
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    Word w = words_[wi];
+    if (wi + 1 == words_.size()) {
+      std::size_t used = size_ % kBitsPerWord;
+      if (used != 0) w &= (Word{1} << used) - 1;
+    }
+    while (w != 0) {
+      int bit = std::countr_zero(w);
+      out->push_back(base + static_cast<std::uint32_t>(wi * kBitsPerWord + bit));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace common

@@ -1,0 +1,81 @@
+#ifndef OCELOT_COMMON_BITVECTOR_H_
+#define OCELOT_COMMON_BITVECTOR_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/logging.h"
+
+namespace common {
+
+/// Packed bitmap used as the intermediate representation of selection
+/// results (paper section 4.1.1).
+///
+/// Bits are stored LSB-first inside 64-bit words; the layout matches what
+/// the selection kernels produce one byte at a time (8 four-byte values per
+/// work-item yield one result byte). Word-level accessors allow AND/OR/NOT
+/// combination of predicates without re-materializing oid lists.
+class BitVector {
+ public:
+  using Word = std::uint64_t;
+  static constexpr std::size_t kBitsPerWord = 64;
+
+  BitVector() = default;
+  /// Creates a bitmap for `n` rows, all bits cleared.
+  explicit BitVector(std::size_t n) : size_(n), words_(WordCount(n), 0) {}
+
+  std::size_t size() const { return size_; }
+  std::size_t word_count() const { return words_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  Word* words() { return words_.data(); }
+  const Word* words() const { return words_.data(); }
+
+  /// Raw byte view; the selection kernels write result bytes directly.
+  std::uint8_t* bytes() { return reinterpret_cast<std::uint8_t*>(words_.data()); }
+  const std::uint8_t* bytes() const {
+    return reinterpret_cast<const std::uint8_t*>(words_.data());
+  }
+  std::size_t byte_count() const { return words_.size() * sizeof(Word); }
+
+  bool Get(std::size_t i) const {
+    return (words_[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u;
+  }
+  void Set(std::size_t i) { words_[i / kBitsPerWord] |= Word{1} << (i % kBitsPerWord); }
+  void Clear(std::size_t i) { words_[i / kBitsPerWord] &= ~(Word{1} << (i % kBitsPerWord)); }
+
+  /// Number of set bits; clears any tail slack first so callers may have
+  /// written whole trailing bytes.
+  std::size_t CountOnes() const;
+
+  /// this &= other. Sizes must match.
+  void And(const BitVector& other);
+  /// this |= other. Sizes must match.
+  void Or(const BitVector& other);
+  /// this = ~this (tail slack kept clear).
+  void Not();
+
+  /// Zeroes the bits beyond size() in the last word. Kernels that write the
+  /// bitmap byte-wise may dirty the slack; call this before counting.
+  void ClearSlack();
+
+  /// Appends the positions of all set bits to `out` (positions offset by
+  /// `base`). This is the sequential reference for the parallel
+  /// materialization kernel.
+  void AppendSetPositions(std::vector<std::uint32_t>* out, std::uint32_t base = 0) const;
+
+  static std::size_t WordCount(std::size_t bits) {
+    return (bits + kBitsPerWord - 1) / kBitsPerWord;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<Word, AlignedAllocator<Word>> words_;
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_BITVECTOR_H_

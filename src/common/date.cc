@@ -1,0 +1,79 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace common {
+namespace date {
+namespace {
+
+// Howard Hinnant's civil-days algorithm (public domain), the standard
+// branch-free Gregorian <-> day-count conversion.
+std::int32_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;                    // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int>(doe) - 719468;
+}
+
+void CivilFromDays(std::int32_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);         // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int yr = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                              // [0, 11]
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  *y = yr + (*m <= 2);
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+std::int32_t FromYmd(int year, int month, int day) {
+  OCELOT_CHECK(year >= 1 && year <= 9999) << "year " << year;
+  OCELOT_CHECK(month >= 1 && month <= 12) << "month " << month;
+  OCELOT_CHECK(day >= 1 && day <= DaysInMonth(year, month)) << "day " << day;
+  return DaysFromCivil(year, month, day);
+}
+
+void ToYmd(std::int32_t days, int* year, int* month, int* day) {
+  CivilFromDays(days, year, month, day);
+}
+
+std::string ToString(std::int32_t days) {
+  int y, m, d;
+  ToYmd(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::int32_t AddMonths(std::int32_t days, int months) {
+  int y, m, d;
+  ToYmd(days, &y, &m, &d);
+  int total = (y * 12 + (m - 1)) + months;
+  int ny = total / 12;
+  int nm = total % 12 + 1;
+  int nd = d;
+  int dim = DaysInMonth(ny, nm);
+  if (nd > dim) nd = dim;
+  return FromYmd(ny, nm, nd);
+}
+
+}  // namespace date
+}  // namespace common

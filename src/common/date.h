@@ -1,0 +1,37 @@
+#ifndef OCELOT_COMMON_DATE_H_
+#define OCELOT_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace common {
+
+/// Calendar dates as int32 day counts (days since 1970-01-01), mirroring
+/// MonetDB's 4-byte `date` type. TPC-H date columns and date predicates all
+/// operate on this representation, which keeps every column 4 bytes wide —
+/// the data-type scope the paper restricts itself to.
+namespace date {
+
+/// Converts a proleptic-Gregorian calendar date to a day number.
+/// Valid for years 1..9999; aborts on out-of-range months/days.
+std::int32_t FromYmd(int year, int month, int day);
+
+/// Inverse of FromYmd.
+void ToYmd(std::int32_t days, int* year, int* month, int* day);
+
+/// Renders as "YYYY-MM-DD" (used by EXPLAIN output and examples).
+std::string ToString(std::int32_t days);
+
+/// Adds whole months, clamping the day-of-month (SQL interval semantics used
+/// by TPC-H predicates like `date '1995-01-01' + interval '3' month`).
+std::int32_t AddMonths(std::int32_t days, int months);
+
+/// Adds whole years (TPC-H `interval '1' year`).
+inline std::int32_t AddYears(std::int32_t days, int years) {
+  return AddMonths(days, years * 12);
+}
+
+}  // namespace date
+}  // namespace common
+
+#endif  // OCELOT_COMMON_DATE_H_

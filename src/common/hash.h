@@ -1,0 +1,57 @@
+#ifndef OCELOT_COMMON_HASH_H_
+#define OCELOT_COMMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+
+namespace common {
+
+/// Murmur3-style 32-bit finalizer: cheap, well-mixed, and expressible inside
+/// a kernel (shifts/multiplies only).
+inline std::uint32_t Mix32(std::uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+/// 64-bit splitmix finalizer (used to derive per-table salt streams).
+inline std::uint64_t Mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Family of strong hash functions used by the pessimistic hashing round
+/// (paper section 4.1.4: "re-hashes with six strong hash functions before
+/// reverting to linear probing"). Each member is a salted multiply-mix.
+class HashFamily {
+ public:
+  static constexpr int kFunctions = 6;
+
+  /// Deterministic family; `seed` de-correlates rebuilt (grown) tables.
+  explicit HashFamily(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t state = seed;
+    for (auto& salt : salts_) {
+      state = Mix64(state + 0x9e3779b97f4a7c15ULL);
+      salt = static_cast<std::uint32_t>(state >> 32) | 1u;  // odd multiplier
+    }
+  }
+
+  /// i-th hash of `key`, in [0, 2^32).
+  std::uint32_t Hash(int i, std::uint32_t key) const {
+    return Mix32(key * salts_[static_cast<std::size_t>(i)]);
+  }
+
+ private:
+  std::array<std::uint32_t, kFunctions> salts_;
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_HASH_H_

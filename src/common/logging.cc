@@ -1,0 +1,11 @@
+#include "common/logging.h"
+
+namespace common {
+
+void FatalError(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[FATAL] %s:%d %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace common

@@ -1,0 +1,50 @@
+#ifndef OCELOT_COMMON_LOGGING_H_
+#define OCELOT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace common {
+
+/// Aborts the process with a formatted message. Used by the CHECK macros for
+/// internal invariant violations (programming errors, never data errors).
+[[noreturn]] void FatalError(const char* file, int line, const std::string& msg);
+
+namespace internal {
+
+/// Stream collector so CHECK macros accept `<<` payloads.
+class LogMessageFatal {
+ public:
+  LogMessageFatal(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~LogMessageFatal() { FatalError(file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace common
+
+/// Internal invariant check; aborts on violation. Enabled in all build modes
+/// (database engines must fail loudly rather than corrupt data).
+#define OCELOT_CHECK(cond)                                          \
+  if (!(cond))                                                      \
+  ::common::internal::LogMessageFatal(__FILE__, __LINE__).stream()  \
+      << "Check failed: " #cond " "
+
+#define OCELOT_CHECK_OK(expr)                                       \
+  do {                                                              \
+    ::common::Status _st = (expr);                                  \
+    OCELOT_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#define OCELOT_CHECK_EQ(a, b) OCELOT_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OCELOT_CHECK_LE(a, b) OCELOT_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define OCELOT_CHECK_LT(a, b) OCELOT_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // OCELOT_COMMON_LOGGING_H_

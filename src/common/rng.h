@@ -1,0 +1,53 @@
+#ifndef OCELOT_COMMON_RNG_H_
+#define OCELOT_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace common {
+
+/// Deterministic xorshift128+ generator.
+///
+/// Used by the TPC-H generator and the microbenchmark workload generators;
+/// every experiment in EXPERIMENTS.md is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) {
+    s0_ = Mix64(seed + 1);
+    s1_ = Mix64(seed + 0x9e3779b97f4a7c15ULL);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t Next64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  std::uint32_t Next32() { return static_cast<std::uint32_t>(Next64() >> 32); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi) {
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(Next64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_RNG_H_

@@ -1,0 +1,111 @@
+#ifndef OCELOT_COMMON_STATUS_H_
+#define OCELOT_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace common {
+
+/// Error categories used across the engine. Modeled after the RocksDB /
+/// Arrow convention of status-based error handling: no exceptions are thrown
+/// on operator hot paths.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kUnsupported,
+  kInternal,
+};
+
+/// A success-or-error result without a payload.
+///
+/// Cheap to copy in the OK case (no allocation); error states carry a
+/// message. All engine entry points that can fail return `Status` or
+/// `Result<T>`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad selectivity".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. `value()` must only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}            // NOLINT: implicit
+  Result(Status status) : status_(std::move(status)) {}    // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace common
+
+/// Propagates an error Status from an expression, RocksDB-style.
+#define RETURN_IF_ERROR(expr)                     \
+  do {                                            \
+    ::common::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define OCELOT_CONCAT_INNER(a, b) a##b
+#define OCELOT_CONCAT(a, b) OCELOT_CONCAT_INNER(a, b)
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto OCELOT_CONCAT(_res_, __LINE__) = (expr);                  \
+  if (!OCELOT_CONCAT(_res_, __LINE__).ok())                      \
+    return OCELOT_CONCAT(_res_, __LINE__).status();              \
+  lhs = std::move(OCELOT_CONCAT(_res_, __LINE__)).value()
+
+#endif  // OCELOT_COMMON_STATUS_H_

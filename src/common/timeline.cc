@@ -1,0 +1,49 @@
+#include "common/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace common {
+
+Timeline::Timeline(int lanes) {
+  OCELOT_CHECK(lanes > 0) << "timeline needs at least one lane";
+  lane_free_.assign(static_cast<std::size_t>(lanes), 0);
+}
+
+Interval Timeline::Schedule(Nanos ready, Nanos duration) {
+  OCELOT_CHECK(duration >= 0);
+  auto it = std::min_element(lane_free_.begin(), lane_free_.end());
+  Nanos start = std::max(ready, *it);
+  *it = start + duration;
+  return {start, *it};
+}
+
+Interval Timeline::ScheduleBatch(Nanos ready, std::span<const Nanos> durations) {
+  if (durations.empty()) return {ready, ready};
+  Interval batch{ready, ready};
+  bool first = true;
+  for (Nanos d : durations) {
+    Interval iv = Schedule(ready, d);
+    if (first) {
+      batch.start = iv.start;
+      first = false;
+    } else {
+      batch.start = std::min(batch.start, iv.start);
+    }
+    batch.end = std::max(batch.end, iv.end);
+  }
+  return batch;
+}
+
+Nanos Timeline::AllIdleTime() const {
+  return *std::max_element(lane_free_.begin(), lane_free_.end());
+}
+
+Nanos Timeline::NextFreeTime() const {
+  return *std::min_element(lane_free_.begin(), lane_free_.end());
+}
+
+void Timeline::Reset(Nanos t) { lane_free_.assign(lane_free_.size(), t); }
+
+}  // namespace common

@@ -1,0 +1,61 @@
+#ifndef OCELOT_COMMON_TIMELINE_H_
+#define OCELOT_COMMON_TIMELINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace common {
+
+/// Virtual nanoseconds. All modeled device time in the engine is expressed
+/// in this unit (see DESIGN.md section 2: the hardware substitution).
+using Nanos = std::int64_t;
+
+/// Half-open interval of virtual time occupied by one scheduled operation.
+struct Interval {
+  Nanos start = 0;
+  Nanos end = 0;
+  Nanos duration() const { return end - start; }
+};
+
+/// A discrete-event resource timeline with `lanes` identical execution lanes
+/// (virtual CPU cores, GPU multiprocessors, or a DMA engine with one lane).
+///
+/// `Schedule` places a task that becomes ready at `ready` and runs for
+/// `duration` onto the earliest-available lane; `ScheduleBatch` places a set
+/// of independent tasks (e.g. the work-groups of one kernel launch) and
+/// returns the interval from the earliest start to the latest completion —
+/// the makespan of greedy list scheduling, which is how both the OpenCLite
+/// devices and the MonetDB mitosis baseline turn measured per-chunk work
+/// into modeled parallel runtime.
+class Timeline {
+ public:
+  explicit Timeline(int lanes);
+
+  int lanes() const { return static_cast<int>(lane_free_.size()); }
+
+  /// Schedules one task; returns its interval.
+  Interval Schedule(Nanos ready, Nanos duration);
+
+  /// Schedules independent tasks in order; returns the enclosing interval.
+  /// An empty batch yields {ready, ready}.
+  Interval ScheduleBatch(Nanos ready, std::span<const Nanos> durations);
+
+  /// Virtual time at which all lanes are idle.
+  Nanos AllIdleTime() const;
+
+  /// Virtual time at which the next task could start (earliest free lane).
+  Nanos NextFreeTime() const;
+
+  /// Forgets all scheduled work; lanes become free at `t`.
+  void Reset(Nanos t = 0);
+
+ private:
+  // Lane availability times; kept as a vector (lane counts are tiny: 4 cores,
+  // 7 multiprocessors) so a heap would be overkill.
+  std::vector<Nanos> lane_free_;
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_TIMELINE_H_

@@ -1,0 +1,11 @@
+#include "common/vclock.h"
+
+namespace common {
+
+Nanos RealNow() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace common

@@ -1,0 +1,61 @@
+#ifndef OCELOT_COMMON_VCLOCK_H_
+#define OCELOT_COMMON_VCLOCK_H_
+
+#include <chrono>
+
+#include "common/timeline.h"
+
+namespace common {
+
+/// Wall-clock nanoseconds from a monotonic source.
+Nanos RealNow();
+
+/// A virtual clock that tracks real host time except where the simulation
+/// substitutes modeled device time.
+///
+/// Usage contract (see DESIGN.md section 2):
+///  * Host-side work (plan interpretation, MonetDB baseline operators)
+///    advances the clock implicitly — `Now()` follows the real clock.
+///  * The simulated runtimes execute kernels for *correctness* on the host;
+///    that real execution time must not be billed, so they wrap execution in
+///    `Deduct(real_ns)` and instead bill the modeled interval by calling
+///    `AdvanceTo(modeled_end)`.
+///
+/// The clock is monotone: AdvanceTo never moves it backwards.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Current virtual time.
+  Nanos Now() const { return RealNow() + offset_; }
+
+  /// Moves virtual time forward to `t` if `t` is in the future.
+  void AdvanceTo(Nanos t) {
+    Nanos now = Now();
+    if (t > now) offset_ += t - now;
+  }
+
+  /// Removes `real_ns` of already-elapsed real time from the virtual clock
+  /// (the caller spent that time executing simulated work).
+  void Deduct(Nanos real_ns) { offset_ -= real_ns; }
+
+ private:
+  Nanos offset_ = 0;
+};
+
+/// Measures real elapsed time; used both for benchmarking the sequential
+/// baseline and for timing kernel work-groups inside the simulator.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(RealNow()) {}
+  void Restart() { start_ = RealNow(); }
+  Nanos ElapsedNanos() const { return RealNow() - start_; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+
+ private:
+  Nanos start_;
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_VCLOCK_H_

@@ -1,0 +1,60 @@
+#include "cstore/bat.h"
+
+#include <atomic>
+#include <utility>
+
+namespace cstore {
+namespace {
+
+std::atomic<std::uint64_t> g_next_bat_id{1};
+std::atomic<std::uint64_t> g_next_listener_token{1};
+
+struct Listener {
+  std::uint64_t token;
+  std::function<void(std::uint64_t)> fn;
+};
+
+// The engine is single-threaded per session (MonetDB's operator-at-a-time
+// execution); a plain vector suffices.
+std::vector<Listener>& Listeners() {
+  static std::vector<Listener>* listeners = new std::vector<Listener>();
+  return *listeners;
+}
+
+}  // namespace
+
+Bat::Bat(ValType type, std::size_t n, oid_t hseqbase)
+    : id_(g_next_bat_id.fetch_add(1)),
+      type_(type),
+      count_(n),
+      hseqbase_(hseqbase),
+      heap_(n * ValTypeSize(type)) {}
+
+BatPtr Bat::Make(ValType type, std::size_t n, oid_t hseqbase) {
+  return BatPtr(new Bat(type, n, hseqbase));
+}
+
+BatPtr Bat::DenseOids(std::size_t n, oid_t base) {
+  BatPtr b = Make(ValType::kOid, n);
+  auto out = b->oids();
+  for (std::size_t i = 0; i < n; ++i) out[i] = base + static_cast<oid_t>(i);
+  b->SetDense(base);
+  return b;
+}
+
+Bat::~Bat() {
+  for (const Listener& l : Listeners()) l.fn(id_);
+}
+
+std::uint64_t Bat::AddDeleteListener(std::function<void(std::uint64_t)> fn) {
+  std::uint64_t token = g_next_listener_token.fetch_add(1);
+  Listeners().push_back({token, std::move(fn)});
+  return token;
+}
+
+void Bat::RemoveDeleteListener(std::uint64_t token) {
+  auto& listeners = Listeners();
+  std::erase_if(listeners, [token](const Listener& l) { return l.token == token; });
+}
+
+}  // namespace cstore

@@ -1,0 +1,149 @@
+#ifndef OCELOT_CSTORE_BAT_H_
+#define OCELOT_CSTORE_BAT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/logging.h"
+#include "cstore/types.h"
+
+namespace cstore {
+
+class Bat;
+using BatPtr = std::shared_ptr<Bat>;
+
+/// A Binary Association Table: MonetDB's storage unit (dense oid head +
+/// typed tail heap), the object every operator in this engine consumes and
+/// produces.
+///
+/// The tail heap is 128-byte aligned (paper 4.3). Property bits mirror
+/// MonetDB's: `sorted`/`revsorted` (tail ordering), `key` (tail values
+/// unique), `dense` (tail is the oid sequence tseqbase, tseqbase+1, ...) and
+/// `nonil`. Operators maintain them best-effort; consumers may only rely on
+/// a set bit, never on a cleared one.
+///
+/// Two integration hooks from the paper's MonetDB modifications (4.3) are
+/// present: the `ocelot_owned` flag on the descriptor (results of Ocelot
+/// operators are device-resident until an explicit sync hands them back) and
+/// the delete-listener callbacks that let Ocelot's memory manager drop
+/// cached device buffers when a BAT is destroyed.
+class Bat {
+ public:
+  /// Creates a BAT with `n` uninitialized tail values of type `type` and a
+  /// dense head starting at `hseqbase`.
+  static BatPtr Make(ValType type, std::size_t n, oid_t hseqbase = 0);
+  static BatPtr MakeInt(std::size_t n) { return Make(ValType::kInt, n); }
+  static BatPtr MakeFloat(std::size_t n) { return Make(ValType::kFloat, n); }
+  static BatPtr MakeOid(std::size_t n) { return Make(ValType::kOid, n); }
+
+  /// Creates a *view* materializing the dense oid sequence [base, base+n):
+  /// the identity candidate list of a table.
+  static BatPtr DenseOids(std::size_t n, oid_t base = 0);
+
+  ~Bat();
+
+  Bat(const Bat&) = delete;
+  Bat& operator=(const Bat&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  ValType type() const { return type_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  oid_t hseqbase() const { return hseqbase_; }
+  std::size_t tail_bytes() const { return count_ * ValTypeSize(type_); }
+
+  void* data() { return heap_.data(); }
+  const void* data() const { return heap_.data(); }
+
+  /// Re-sizes the tail heap. Used when a deferred result (e.g. an Ocelot
+  /// bitmap-backed candidate list) learns its true cardinality at
+  /// materialization time. Existing contents up to min(old, new) survive;
+  /// all outstanding spans/pointers are invalidated.
+  void ResizeTail(std::size_t n) {
+    count_ = n;
+    heap_.resize(n * ValTypeSize(type_));
+  }
+
+  std::span<std::int32_t> ints() {
+    OCELOT_CHECK(type_ == ValType::kInt);
+    return {reinterpret_cast<std::int32_t*>(heap_.data()), count_};
+  }
+  std::span<const std::int32_t> ints() const {
+    OCELOT_CHECK(type_ == ValType::kInt);
+    return {reinterpret_cast<const std::int32_t*>(heap_.data()), count_};
+  }
+  std::span<float> floats() {
+    OCELOT_CHECK(type_ == ValType::kFloat);
+    return {reinterpret_cast<float*>(heap_.data()), count_};
+  }
+  std::span<const float> floats() const {
+    OCELOT_CHECK(type_ == ValType::kFloat);
+    return {reinterpret_cast<const float*>(heap_.data()), count_};
+  }
+  std::span<oid_t> oids() {
+    OCELOT_CHECK(type_ == ValType::kOid);
+    return {reinterpret_cast<oid_t*>(heap_.data()), count_};
+  }
+  std::span<const oid_t> oids() const {
+    OCELOT_CHECK(type_ == ValType::kOid);
+    return {reinterpret_cast<const oid_t*>(heap_.data()), count_};
+  }
+
+  // -- Properties -----------------------------------------------------------
+
+  bool sorted() const { return sorted_; }
+  bool key() const { return key_; }
+  bool nonil() const { return nonil_; }
+  /// Tail is the dense sequence tseqbase(), tseqbase()+1, ...
+  bool dense() const { return dense_; }
+  oid_t tseqbase() const { return tseqbase_; }
+
+  void set_sorted(bool v) { sorted_ = v; }
+  void set_key(bool v) { key_ = v; }
+  void set_nonil(bool v) { nonil_ = v; }
+  void SetDense(oid_t tseqbase) {
+    dense_ = true;
+    tseqbase_ = tseqbase;
+    sorted_ = true;
+    key_ = true;
+    nonil_ = true;
+  }
+
+  // -- Ocelot integration (paper 4.3) ---------------------------------------
+
+  /// True while the BAT's authoritative contents live on an Ocelot device;
+  /// MonetDB-side operators must not touch it until ocelot.sync runs.
+  bool ocelot_owned() const { return ocelot_owned_; }
+  void set_ocelot_owned(bool v) { ocelot_owned_ = v; }
+
+  /// Registers a process-wide callback fired with the BAT id on destruction
+  /// (MonetDB's resource-management callbacks into the memory manager).
+  /// Returns a registration token for RemoveDeleteListener.
+  static std::uint64_t AddDeleteListener(std::function<void(std::uint64_t)> fn);
+  static void RemoveDeleteListener(std::uint64_t token);
+
+ private:
+  Bat(ValType type, std::size_t n, oid_t hseqbase);
+
+  std::uint64_t id_;
+  ValType type_;
+  std::size_t count_;
+  oid_t hseqbase_;
+  std::vector<std::byte, common::AlignedAllocator<std::byte>> heap_;
+
+  bool sorted_ = false;
+  bool key_ = false;
+  bool nonil_ = false;
+  bool dense_ = false;
+  oid_t tseqbase_ = 0;
+  bool ocelot_owned_ = false;
+};
+
+}  // namespace cstore
+
+#endif  // OCELOT_CSTORE_BAT_H_

@@ -1,0 +1,68 @@
+#include "cstore/catalog.h"
+
+namespace cstore {
+
+common::Status Table::AddColumn(const std::string& column, BatPtr bat) {
+  if (!columns_.empty() && bat->size() != rows()) {
+    return common::Status::InvalidArgument(
+        "column " + column + " has " + std::to_string(bat->size()) +
+        " rows; table " + name_ + " has " + std::to_string(rows()));
+  }
+  for (const NamedColumn& c : columns_) {
+    if (c.name == column) {
+      return common::Status::AlreadyExists(name_ + "." + column);
+    }
+  }
+  columns_.push_back({column, std::move(bat)});
+  return common::Status::Ok();
+}
+
+common::Result<BatPtr> Table::Column(const std::string& column) const {
+  for (const NamedColumn& c : columns_) {
+    if (c.name == column) return c.bat;
+  }
+  return common::Status::NotFound(name_ + "." + column);
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const NamedColumn& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+common::Status Catalog::AddTable(Table table) {
+  auto [it, inserted] = tables_.emplace(table.name(), std::move(table));
+  if (!inserted) return common::Status::AlreadyExists(it->first);
+  return common::Status::Ok();
+}
+
+common::Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return common::Status::NotFound("table " + name);
+  return &it->second;
+}
+
+common::Result<BatPtr> Catalog::GetColumn(const std::string& table,
+                                          const std::string& column) const {
+  ASSIGN_OR_RETURN(const Table* t, GetTable(table));
+  return t->Column(column);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+std::size_t Catalog::TotalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, table] : tables_) {
+    for (const std::string& col : table.ColumnNames()) {
+      total += (*table.Column(col))->tail_bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace cstore

@@ -1,0 +1,60 @@
+#ifndef OCELOT_CSTORE_CATALOG_H_
+#define OCELOT_CSTORE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cstore/bat.h"
+
+namespace cstore {
+
+/// A named table: an ordered set of equally-sized columns, each stored as
+/// one BAT (MonetDB's vertical decomposition).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t rows() const { return columns_.empty() ? 0 : columns_[0].bat->size(); }
+  std::size_t column_count() const { return columns_.size(); }
+
+  /// Adds a column; all columns of a table must have equal cardinality.
+  common::Status AddColumn(const std::string& column, BatPtr bat);
+
+  /// Looks up a column BAT by name.
+  common::Result<BatPtr> Column(const std::string& column) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  struct NamedColumn {
+    std::string name;
+    BatPtr bat;
+  };
+  std::string name_;
+  std::vector<NamedColumn> columns_;
+};
+
+/// The schema catalog: name -> table. The TPC-H generator fills one of
+/// these; plans resolve `table.column` references against it.
+class Catalog {
+ public:
+  common::Status AddTable(Table table);
+  common::Result<const Table*> GetTable(const std::string& name) const;
+  common::Result<BatPtr> GetColumn(const std::string& table,
+                                   const std::string& column) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Total tail bytes across all columns (the "database size" the TPC-H
+  /// scale experiments report).
+  std::size_t TotalBytes() const;
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace cstore
+
+#endif  // OCELOT_CSTORE_CATALOG_H_

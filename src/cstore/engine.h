@@ -1,0 +1,158 @@
+#ifndef OCELOT_CSTORE_ENGINE_H_
+#define OCELOT_CSTORE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "cstore/bat.h"
+
+namespace cstore {
+
+/// One side of a range predicate. `unbounded` ignores the side entirely;
+/// otherwise `value` compares against int or float tails (int32 is exactly
+/// representable in double, so a single numeric carrier is lossless).
+struct Bound {
+  double value = 0;
+  bool inclusive = true;
+  bool unbounded = false;
+
+  static Bound Incl(double v) { return {v, true, false}; }
+  static Bound Excl(double v) { return {v, false, false}; }
+  static Bound None() { return {0, true, true}; }
+};
+
+enum class CalcOp { kAdd, kSub, kMul, kDiv };
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A join result: aligned oid lists into the left and right inputs.
+struct JoinResult {
+  BatPtr left;
+  BatPtr right;
+};
+
+/// A grouping result (MonetDB's group.group/subgroup triple): `groups`
+/// assigns a dense group id to every input row, `extents` holds the oid of
+/// each group's representative row, `ngroups` the number of groups.
+struct GroupResult {
+  BatPtr groups;
+  BatPtr extents;
+  std::size_t ngroups = 0;
+};
+
+/// A sort result: the reordered values plus the order (oids of the input in
+/// sorted sequence), MonetDB's algebra.sort pair.
+struct SortResult {
+  BatPtr values;
+  BatPtr order;
+};
+
+/// The operator contract every execution engine implements. There are three
+/// implementations, matching the paper's four configurations:
+///
+///  * monet::SequentialEngine  — hand-written single-core operators (MS);
+///  * monet::MitosisEngine     — hand-parallelized operators (MP), slicing
+///                               BATs across virtual cores like MonetDB's
+///                               Mitosis/Dataflow optimizers;
+///  * ocelot::OcelotEngine     — the paper's hardware-oblivious operators,
+///                               one implementation mapped to either device.
+///
+/// Conventions: candidate/selection results are sorted oid BATs (Ocelot may
+/// back them with device-side bitmaps, but never exposes those — paper
+/// 4.1.1); `cand == nullptr` means "all rows"; results of engines that own
+/// device memory carry `ocelot_owned()` until `Sync` hands them back.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  // -- Selection ------------------------------------------------------------
+
+  /// Rows of `col` (within `cand`) whose value lies in [lo, hi]; nil values
+  /// never match. Returns a sorted oid candidate list.
+  virtual common::Result<BatPtr> SelectRange(const BatPtr& col, const BatPtr& cand,
+                                             Bound lo, Bound hi) = 0;
+
+  /// Union of two sorted candidate lists (disjunctive predicates).
+  virtual common::Result<BatPtr> CandUnion(const BatPtr& a, const BatPtr& b) = 0;
+
+  // -- Projection / joins -----------------------------------------------------
+
+  /// Positional fetch: result[i] = col[oids[i]] (the left fetch join of
+  /// Fig. 5c; works for int/float/oid tails).
+  virtual common::Result<BatPtr> Project(const BatPtr& oids, const BatPtr& col) = 0;
+
+  /// Equi-join of two int32 value BATs; builds on the right side.
+  virtual common::Result<JoinResult> HashJoin(const BatPtr& left,
+                                              const BatPtr& right) = 0;
+
+  /// Nested-loop theta join: pairs (i, j) with left[i] <op> right[j].
+  virtual common::Result<JoinResult> ThetaJoin(const BatPtr& left,
+                                               const BatPtr& right, CmpOp op) = 0;
+
+  /// Oids of left rows with (no) match in right (EXISTS / NOT EXISTS).
+  virtual common::Result<BatPtr> SemiJoin(const BatPtr& left, const BatPtr& right) = 0;
+  virtual common::Result<BatPtr> AntiJoin(const BatPtr& left, const BatPtr& right) = 0;
+
+  // -- Sort / group / aggregate ----------------------------------------------
+
+  /// Stable ascending sort (single column; the paper's workload drops
+  /// multi-column sorts, section A).
+  virtual common::Result<SortResult> Sort(const BatPtr& col) = 0;
+
+  /// Dense group ids for `col`; `prev` refines an existing grouping
+  /// (multi-column group-by, paper 4.1.6).
+  virtual common::Result<GroupResult> GroupBy(const BatPtr& col,
+                                              const GroupResult* prev) = 0;
+
+  virtual common::Result<BatPtr> SubSum(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) = 0;
+  virtual common::Result<BatPtr> SubCount(const BatPtr& groups, std::size_t ngroups) = 0;
+  virtual common::Result<BatPtr> SubMin(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) = 0;
+  virtual common::Result<BatPtr> SubMax(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) = 0;
+  virtual common::Result<BatPtr> SubAvg(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) = 0;
+
+  virtual common::Result<double> Sum(const BatPtr& col) = 0;
+  virtual common::Result<double> Min(const BatPtr& col) = 0;
+  virtual common::Result<double> Max(const BatPtr& col) = 0;
+  virtual common::Result<std::int64_t> Count(const BatPtr& col) = 0;
+
+  // -- Column arithmetic (batcalc) -------------------------------------------
+
+  /// Element-wise arithmetic on two equally-sized numeric BATs.
+  virtual common::Result<BatPtr> Calc(CalcOp op, const BatPtr& a, const BatPtr& b) = 0;
+  /// Arithmetic against a scalar; `scalar_left` computes s <op> a[i].
+  virtual common::Result<BatPtr> CalcScalar(CalcOp op, const BatPtr& a, double s,
+                                            bool scalar_left) = 0;
+  /// Element-wise comparison producing an int32 0/1 BAT.
+  virtual common::Result<BatPtr> Cmp(CmpOp op, const BatPtr& a, const BatPtr& b) = 0;
+  virtual common::Result<BatPtr> CmpScalar(CmpOp op, const BatPtr& a, double s) = 0;
+  /// Logical combination of int32 0/1 BATs.
+  virtual common::Result<BatPtr> BoolOr(const BatPtr& a, const BatPtr& b) = 0;
+  virtual common::Result<BatPtr> BoolAnd(const BatPtr& a, const BatPtr& b) = 0;
+  /// result[i] = cond[i] ? then_vals[i] : else_val  (SQL CASE).
+  virtual common::Result<BatPtr> IfThenElseConst(const BatPtr& cond,
+                                                 const BatPtr& then_vals,
+                                                 double else_val) = 0;
+  /// Calendar year of an int32 day-count column (TPC-H extract(year ...)).
+  virtual common::Result<BatPtr> Year(const BatPtr& col) = 0;
+  virtual common::Result<BatPtr> CastToFloat(const BatPtr& col) = 0;
+
+  // -- Ownership --------------------------------------------------------------
+
+  /// Hands a result back to the host side (paper 3.4): waits for producing
+  /// device operations and materializes the contents into the BAT's host
+  /// heap. No-op for host-resident engines.
+  virtual common::Status Sync(const BatPtr& bat) {
+    (void)bat;
+    return common::Status::Ok();
+  }
+};
+
+}  // namespace cstore
+
+#endif  // OCELOT_CSTORE_ENGINE_H_

@@ -1,0 +1,45 @@
+#ifndef OCELOT_CSTORE_TYPES_H_
+#define OCELOT_CSTORE_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace cstore {
+
+/// Object id: the position of a tuple inside its table. MonetDB BATs are
+/// (head, tail) pairs; with dense heads the head is just an oid sequence, so
+/// an oid column *is* a materialized candidate/selection/join-index list.
+using oid_t = std::uint32_t;
+
+inline constexpr oid_t kOidNil = std::numeric_limits<oid_t>::max();
+
+/// Nil sentinels, following MonetDB's convention (int_nil = INT_MIN,
+/// flt_nil = NaN). The paper's scope is 4-byte ints and floats; dates and
+/// dictionary-encoded strings are stored as int32.
+inline constexpr std::int32_t kIntNil = std::numeric_limits<std::int32_t>::min();
+
+inline float FloatNil() { return std::numeric_limits<float>::quiet_NaN(); }
+inline bool IsFloatNil(float v) { return std::isnan(v); }
+
+/// Tail types supported by the engine (paper section 3.1: four-byte integer
+/// and floating point data). kOid tails hold selection results/join indexes.
+enum class ValType : std::uint8_t { kInt = 0, kFloat = 1, kOid = 2 };
+
+inline const char* ValTypeName(ValType t) {
+  switch (t) {
+    case ValType::kInt:
+      return "int";
+    case ValType::kFloat:
+      return "flt";
+    case ValType::kOid:
+      return "oid";
+  }
+  return "?";
+}
+
+inline std::size_t ValTypeSize(ValType) { return 4; }  // everything is 4 bytes
+
+}  // namespace cstore
+
+#endif  // OCELOT_CSTORE_TYPES_H_

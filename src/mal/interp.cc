@@ -1,0 +1,391 @@
+#include "mal/interp.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "monet/par_engine.h"
+#include "monet/seq_engine.h"
+
+namespace mal {
+
+using common::Result;
+using common::Status;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::CalcOp;
+using cstore::CmpOp;
+using cstore::GroupResult;
+
+const char* PipelineName(Pipeline p) {
+  switch (p) {
+    case Pipeline::kSequential:
+      return "MS";
+    case Pipeline::kMitosis:
+      return "MP";
+    case Pipeline::kOcelotCpu:
+      return "Ocelot/CPU";
+    case Pipeline::kOcelotGpu:
+      return "Ocelot/GPU";
+  }
+  return "?";
+}
+
+std::unique_ptr<Session> Session::Create(Pipeline pipeline,
+                                         const ocl::DeviceModel* gpu_model,
+                                         const ocl::DeviceModel* cpu_model) {
+  auto session = std::unique_ptr<Session>(new Session());
+  session->pipeline_ = pipeline;
+  switch (pipeline) {
+    case Pipeline::kSequential:
+      session->engine_ = std::make_unique<monet::SequentialEngine>();
+      break;
+    case Pipeline::kMitosis:
+      session->engine_ = std::make_unique<monet::MitosisEngine>(&session->clock_);
+      break;
+    case Pipeline::kOcelotCpu: {
+      session->ocl_ctx_ = ocl::Context::Create(cpu_model != nullptr
+                                                   ? *cpu_model
+                                                   : ocl::XeonE5620Model());
+      auto engine = std::make_unique<ocelot::OcelotEngine>(session->ocl_ctx_.get());
+      session->ocelot_ = engine.get();
+      session->engine_ = std::move(engine);
+      break;
+    }
+    case Pipeline::kOcelotGpu: {
+      session->ocl_ctx_ = ocl::Context::Create(gpu_model != nullptr ? *gpu_model
+                                                                    : ocl::Gtx460Model());
+      auto engine = std::make_unique<ocelot::OcelotEngine>(session->ocl_ctx_.get());
+      session->ocelot_ = engine.get();
+      session->engine_ = std::move(engine);
+      break;
+    }
+  }
+  return session;
+}
+
+namespace {
+
+struct EvalCtx {
+  const cstore::Catalog* catalog;
+  cstore::QueryEngine* engine;
+  std::vector<Value>* vars;
+
+  Result<BatPtr> Bat(int var) const {
+    const Value& v = (*vars)[static_cast<std::size_t>(var)];
+    if (!std::holds_alternative<BatPtr>(v)) {
+      return Status::InvalidArgument("X_" + std::to_string(var) + " is not a BAT");
+    }
+    return std::get<BatPtr>(v);
+  }
+  Result<BatPtr> BatOrNull(int var) const {
+    const Value& v = (*vars)[static_cast<std::size_t>(var)];
+    if (IsNil(v)) return BatPtr(nullptr);
+    return Bat(var);
+  }
+  Result<double> Num(int var) const {
+    const Value& v = (*vars)[static_cast<std::size_t>(var)];
+    if (std::holds_alternative<double>(v)) return std::get<double>(v);
+    if (std::holds_alternative<std::int64_t>(v)) {
+      return static_cast<double>(std::get<std::int64_t>(v));
+    }
+    return Status::InvalidArgument("X_" + std::to_string(var) + " is not numeric");
+  }
+  Result<std::int64_t> Int(int var) const {
+    const Value& v = (*vars)[static_cast<std::size_t>(var)];
+    if (std::holds_alternative<std::int64_t>(v)) return std::get<std::int64_t>(v);
+    return Status::InvalidArgument("X_" + std::to_string(var) + " is not an int");
+  }
+  Result<std::string> Str(int var) const {
+    const Value& v = (*vars)[static_cast<std::size_t>(var)];
+    if (std::holds_alternative<std::string>(v)) return std::get<std::string>(v);
+    return Status::InvalidArgument("X_" + std::to_string(var) + " is not a string");
+  }
+  bool IsBat(int var) const {
+    return std::holds_alternative<BatPtr>((*vars)[static_cast<std::size_t>(var)]);
+  }
+  void Set(int var, Value v) { (*vars)[static_cast<std::size_t>(var)] = std::move(v); }
+};
+
+Status ArgCount(const Instr& ins, std::size_t want) {
+  if (ins.args.size() != want) {
+    return Status::InvalidArgument(ins.module + "." + ins.op + ": expected " +
+                                   std::to_string(want) + " args, got " +
+                                   std::to_string(ins.args.size()));
+  }
+  return Status::Ok();
+}
+
+Bound BoundFrom(double v, std::int64_t inclusive) {
+  if (std::isinf(v)) return Bound::None();
+  return inclusive != 0 ? Bound::Incl(v) : Bound::Excl(v);
+}
+
+Status ExecInstr(EvalCtx& ctx, const Instr& ins) {
+  const std::string& op = ins.op;
+
+  if (op == "bind") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(std::string table, ctx.Str(ins.args[0]));
+    ASSIGN_OR_RETURN(std::string column, ctx.Str(ins.args[1]));
+    ASSIGN_OR_RETURN(BatPtr bat, ctx.catalog->GetColumn(table, column));
+    ctx.Set(ins.rets[0], bat);
+    return Status::Ok();
+  }
+  if (op == "setkey") {
+    // Metadata-only: plan generators assert key-ness of projected key
+    // subsets (MonetDB tracks this property through its optimizer).
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr bat, ctx.Bat(ins.args[0]));
+    bat->set_key(true);
+    ctx.Set(ins.rets[0], bat);
+    return Status::Ok();
+  }
+  if (op == "mirror") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ctx.Set(ins.rets[0], cstore::Bat::DenseOids(col->size()));
+    return Status::Ok();
+  }
+  if (op == "select") {
+    RETURN_IF_ERROR(ArgCount(ins, 6));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr cand, ctx.BatOrNull(ins.args[1]));
+    ASSIGN_OR_RETURN(double lo, ctx.Num(ins.args[2]));
+    ASSIGN_OR_RETURN(double hi, ctx.Num(ins.args[3]));
+    ASSIGN_OR_RETURN(std::int64_t li, ctx.Int(ins.args[4]));
+    ASSIGN_OR_RETURN(std::int64_t hi_incl, ctx.Int(ins.args[5]));
+    ASSIGN_OR_RETURN(BatPtr res, ctx.engine->SelectRange(col, cand, BoundFrom(lo, li),
+                                                         BoundFrom(hi, hi_incl)));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "projection") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(BatPtr oids, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(BatPtr res, ctx.engine->Project(oids, col));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "join") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(BatPtr l, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr r, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(cstore::JoinResult res, ctx.engine->HashJoin(l, r));
+    ctx.Set(ins.rets[0], res.left);
+    ctx.Set(ins.rets[1], res.right);
+    return Status::Ok();
+  }
+  if (op == "thetajoin") {
+    RETURN_IF_ERROR(ArgCount(ins, 3));
+    ASSIGN_OR_RETURN(BatPtr l, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr r, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(std::int64_t cmp, ctx.Int(ins.args[2]));
+    ASSIGN_OR_RETURN(cstore::JoinResult res,
+                     ctx.engine->ThetaJoin(l, r, static_cast<CmpOp>(cmp)));
+    ctx.Set(ins.rets[0], res.left);
+    ctx.Set(ins.rets[1], res.right);
+    return Status::Ok();
+  }
+  if (op == "semijoin" || op == "antijoin") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(BatPtr l, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr r, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(BatPtr res, op == "semijoin" ? ctx.engine->SemiJoin(l, r)
+                                                  : ctx.engine->AntiJoin(l, r));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "candunion") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(BatPtr a, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr b, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(BatPtr res, ctx.engine->CandUnion(a, b));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "sort") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(cstore::SortResult res, ctx.engine->Sort(col));
+    ctx.Set(ins.rets[0], res.values);
+    ctx.Set(ins.rets[1], res.order);
+    return Status::Ok();
+  }
+  if (op == "group") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(GroupResult res, ctx.engine->GroupBy(col, nullptr));
+    ctx.Set(ins.rets[0], res.groups);
+    ctx.Set(ins.rets[1], res.extents);
+    ctx.Set(ins.rets[2], static_cast<std::int64_t>(res.ngroups));
+    return Status::Ok();
+  }
+  if (op == "subgroup") {
+    RETURN_IF_ERROR(ArgCount(ins, 3));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    GroupResult prev;
+    ASSIGN_OR_RETURN(prev.groups, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(std::int64_t ng, ctx.Int(ins.args[2]));
+    prev.ngroups = static_cast<std::size_t>(ng);
+    ASSIGN_OR_RETURN(GroupResult res, ctx.engine->GroupBy(col, &prev));
+    ctx.Set(ins.rets[0], res.groups);
+    ctx.Set(ins.rets[1], res.extents);
+    ctx.Set(ins.rets[2], static_cast<std::int64_t>(res.ngroups));
+    return Status::Ok();
+  }
+  if (op == "subsum" || op == "submin" || op == "submax" || op == "subavg") {
+    RETURN_IF_ERROR(ArgCount(ins, 3));
+    ASSIGN_OR_RETURN(BatPtr vals, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr groups, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(std::int64_t ng, ctx.Int(ins.args[2]));
+    auto sz = static_cast<std::size_t>(ng);
+    Result<BatPtr> res =
+        op == "subsum"   ? ctx.engine->SubSum(vals, groups, sz)
+        : op == "submin" ? ctx.engine->SubMin(vals, groups, sz)
+        : op == "submax" ? ctx.engine->SubMax(vals, groups, sz)
+                         : ctx.engine->SubAvg(vals, groups, sz);
+    RETURN_IF_ERROR(res.status());
+    ctx.Set(ins.rets[0], *res);
+    return Status::Ok();
+  }
+  if (op == "subcount") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(BatPtr groups, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(std::int64_t ng, ctx.Int(ins.args[1]));
+    ASSIGN_OR_RETURN(BatPtr res,
+                     ctx.engine->SubCount(groups, static_cast<std::size_t>(ng)));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "sum" || op == "min" || op == "max") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    Result<double> res = op == "sum"   ? ctx.engine->Sum(col)
+                         : op == "min" ? ctx.engine->Min(col)
+                                       : ctx.engine->Max(col);
+    RETURN_IF_ERROR(res.status());
+    ctx.Set(ins.rets[0], *res);
+    return Status::Ok();
+  }
+  if (op == "count") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(std::int64_t res, ctx.engine->Count(col));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "add" || op == "sub" || op == "mul" || op == "div") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    CalcOp calc = op == "add"   ? CalcOp::kAdd
+                  : op == "sub" ? CalcOp::kSub
+                  : op == "mul" ? CalcOp::kMul
+                                : CalcOp::kDiv;
+    bool a_bat = ctx.IsBat(ins.args[0]);
+    bool b_bat = ctx.IsBat(ins.args[1]);
+    Result<BatPtr> res = Status::InvalidArgument("calc needs at least one BAT");
+    if (a_bat && b_bat) {
+      ASSIGN_OR_RETURN(BatPtr a, ctx.Bat(ins.args[0]));
+      ASSIGN_OR_RETURN(BatPtr b, ctx.Bat(ins.args[1]));
+      res = ctx.engine->Calc(calc, a, b);
+    } else if (a_bat) {
+      ASSIGN_OR_RETURN(BatPtr a, ctx.Bat(ins.args[0]));
+      ASSIGN_OR_RETURN(double s, ctx.Num(ins.args[1]));
+      res = ctx.engine->CalcScalar(calc, a, s, /*scalar_left=*/false);
+    } else if (b_bat) {
+      ASSIGN_OR_RETURN(BatPtr b, ctx.Bat(ins.args[1]));
+      ASSIGN_OR_RETURN(double s, ctx.Num(ins.args[0]));
+      res = ctx.engine->CalcScalar(calc, b, s, /*scalar_left=*/true);
+    }
+    RETURN_IF_ERROR(res.status());
+    ctx.Set(ins.rets[0], *res);
+    return Status::Ok();
+  }
+  if (op == "eq" || op == "ne" || op == "lt" || op == "le" || op == "gt" ||
+      op == "ge") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    CmpOp cmp = op == "eq"   ? CmpOp::kEq
+                : op == "ne" ? CmpOp::kNe
+                : op == "lt" ? CmpOp::kLt
+                : op == "le" ? CmpOp::kLe
+                : op == "gt" ? CmpOp::kGt
+                             : CmpOp::kGe;
+    ASSIGN_OR_RETURN(BatPtr a, ctx.Bat(ins.args[0]));
+    Result<BatPtr> res = Status::InvalidArgument("");
+    if (ctx.IsBat(ins.args[1])) {
+      ASSIGN_OR_RETURN(BatPtr b, ctx.Bat(ins.args[1]));
+      res = ctx.engine->Cmp(cmp, a, b);
+    } else {
+      ASSIGN_OR_RETURN(double s, ctx.Num(ins.args[1]));
+      res = ctx.engine->CmpScalar(cmp, a, s);
+    }
+    RETURN_IF_ERROR(res.status());
+    ctx.Set(ins.rets[0], *res);
+    return Status::Ok();
+  }
+  if (op == "or" || op == "and") {
+    RETURN_IF_ERROR(ArgCount(ins, 2));
+    ASSIGN_OR_RETURN(BatPtr a, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr b, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(BatPtr res, op == "or" ? ctx.engine->BoolOr(a, b)
+                                            : ctx.engine->BoolAnd(a, b));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "ifthenelse") {
+    RETURN_IF_ERROR(ArgCount(ins, 3));
+    ASSIGN_OR_RETURN(BatPtr cond, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr then_vals, ctx.Bat(ins.args[1]));
+    ASSIGN_OR_RETURN(double else_val, ctx.Num(ins.args[2]));
+    ASSIGN_OR_RETURN(BatPtr res, ctx.engine->IfThenElseConst(cond, then_vals, else_val));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "year") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr res, ctx.engine->Year(col));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "flt") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    ASSIGN_OR_RETURN(BatPtr col, ctx.Bat(ins.args[0]));
+    ASSIGN_OR_RETURN(BatPtr res, ctx.engine->CastToFloat(col));
+    ctx.Set(ins.rets[0], res);
+    return Status::Ok();
+  }
+  if (op == "sync") {
+    RETURN_IF_ERROR(ArgCount(ins, 1));
+    if (!ctx.IsBat(ins.args[0])) return Status::Ok();  // scalars need no handover
+    ASSIGN_OR_RETURN(BatPtr bat, ctx.Bat(ins.args[0]));
+    return ctx.engine->Sync(bat);
+  }
+  return Status::Unsupported(ins.module + "." + ins.op);
+}
+
+}  // namespace
+
+Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
+                       Session* session) {
+  std::vector<Value> vars = program.init;
+  vars.resize(static_cast<std::size_t>(program.nvars));
+  EvalCtx ctx{&catalog, session->engine(), &vars};
+  for (const Instr& ins : program.instrs) {
+    Status st = ExecInstr(ctx, ins);
+    if (!st.ok()) {
+      if (st.code() == common::StatusCode::kUnsupported) return st;
+      return Status::Internal(ins.module + "." + ins.op + ": " + st.ToString());
+    }
+  }
+  ExecResult result;
+  result.returns.reserve(program.returns.size());
+  for (int var : program.returns) {
+    result.returns.push_back(vars[static_cast<std::size_t>(var)]);
+  }
+  return result;
+}
+
+}  // namespace mal

@@ -1,0 +1,65 @@
+#ifndef OCELOT_MAL_INTERP_H_
+#define OCELOT_MAL_INTERP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/vclock.h"
+#include "cstore/catalog.h"
+#include "cstore/engine.h"
+#include "mal/program.h"
+#include "ocelot/engine.h"
+#include "ocl/context.h"
+
+namespace mal {
+
+/// The four execution configurations of the paper's evaluation (5.1).
+enum class Pipeline { kSequential, kMitosis, kOcelotCpu, kOcelotGpu };
+
+const char* PipelineName(Pipeline p);
+
+/// One execution configuration: an engine plus (for Ocelot) its OpenCLite
+/// context, sharing one virtual clock with the measurement harness.
+class Session {
+ public:
+  /// `gpu_model`/`cpu_model` override the GTX460/Xeon presets (benchmarks
+  /// scale device memory and driver constants with their data axes).
+  static std::unique_ptr<Session> Create(Pipeline pipeline,
+                                         const ocl::DeviceModel* gpu_model = nullptr,
+                                         const ocl::DeviceModel* cpu_model = nullptr);
+
+  Pipeline pipeline() const { return pipeline_; }
+  cstore::QueryEngine* engine() { return engine_.get(); }
+  ocelot::OcelotEngine* ocelot() { return ocelot_; }  // null for baselines
+  /// The clock all measurements read: Ocelot pipelines share the OpenCLite
+  /// context clock (which splices in modeled device time), baselines use
+  /// the session's own (MP bills parallel makespans against it).
+  common::VirtualClock* clock() {
+    return ocl_ctx_ != nullptr ? ocl_ctx_->clock() : &clock_;
+  }
+  ocl::Context* ocl_context() { return ocl_ctx_.get(); }
+
+ private:
+  Session() = default;
+  Pipeline pipeline_ = Pipeline::kSequential;
+  common::VirtualClock clock_;
+  std::unique_ptr<ocl::Context> ocl_ctx_;
+  std::unique_ptr<cstore::QueryEngine> engine_;
+  ocelot::OcelotEngine* ocelot_ = nullptr;
+};
+
+/// Execution result: the values of the program's return variables.
+struct ExecResult {
+  std::vector<Value> returns;
+};
+
+/// The operator-at-a-time MAL interpreter (MonetDB's execution layer in
+/// miniature): materializes every instruction's result before the next
+/// starts. Column bindings resolve against the catalog; operator calls
+/// dispatch to the session's engine.
+common::Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
+                               Session* session);
+
+}  // namespace mal
+
+#endif  // OCELOT_MAL_INTERP_H_

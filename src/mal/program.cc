@@ -1,0 +1,68 @@
+#include "mal/program.h"
+
+#include <sstream>
+
+namespace mal {
+
+int ProgramBuilder::NewVar() {
+  program_.init.emplace_back();
+  return program_.nvars++;
+}
+
+int ProgramBuilder::Const(Value v) {
+  int var = NewVar();
+  program_.init[static_cast<std::size_t>(var)] = std::move(v);
+  return var;
+}
+
+int ProgramBuilder::Emit(const std::string& module, const std::string& op,
+                         std::vector<int> args) {
+  int ret = NewVar();
+  program_.instrs.push_back({module, op, {ret}, std::move(args)});
+  return ret;
+}
+
+std::vector<int> ProgramBuilder::EmitMulti(const std::string& module,
+                                           const std::string& op,
+                                           std::vector<int> args, int nrets) {
+  std::vector<int> rets;
+  rets.reserve(static_cast<std::size_t>(nrets));
+  for (int i = 0; i < nrets; ++i) rets.push_back(NewVar());
+  program_.instrs.push_back({module, op, rets, std::move(args)});
+  return rets;
+}
+
+void ProgramBuilder::EmitVoid(const std::string& module, const std::string& op,
+                              std::vector<int> args) {
+  program_.instrs.push_back({module, op, {}, std::move(args)});
+}
+
+void ProgramBuilder::Return(int var) { program_.returns.push_back(var); }
+
+std::string Program::Explain() const {
+  std::ostringstream out;
+  out << "function user.query();\n";
+  for (const Instr& ins : instrs) {
+    out << "    ";
+    if (!ins.rets.empty()) {
+      out << "(";
+      for (std::size_t i = 0; i < ins.rets.size(); ++i) {
+        out << (i ? "," : "") << "X_" << ins.rets[i];
+      }
+      out << ") := ";
+    }
+    out << ins.module << "." << ins.op << "(";
+    for (std::size_t i = 0; i < ins.args.size(); ++i) {
+      out << (i ? "," : "") << "X_" << ins.args[i];
+    }
+    out << ");\n";
+  }
+  out << "    return";
+  for (std::size_t i = 0; i < returns.size(); ++i) {
+    out << (i ? "," : " ") << "X_" << returns[i];
+  }
+  out << ";\nend user.query;\n";
+  return out.str();
+}
+
+}  // namespace mal

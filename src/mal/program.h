@@ -1,0 +1,74 @@
+#ifndef OCELOT_MAL_PROGRAM_H_
+#define OCELOT_MAL_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "cstore/bat.h"
+
+namespace mal {
+
+/// A MAL variable/constant value: BATs, 64-bit ints (counts, flags, group
+/// cardinalities), doubles (bounds, scalar aggregates) and strings (binding
+/// names). Mirrors the value kinds flowing through MonetDB Assembly
+/// Language programs in this engine's scope.
+using Value =
+    std::variant<std::monostate, std::int64_t, double, cstore::BatPtr, std::string>;
+
+inline bool IsNil(const Value& v) { return std::holds_alternative<std::monostate>(v); }
+
+/// One MAL instruction: rets := module.op(args). Args and rets are variable
+/// ids; constants are materialized into dedicated variables by the builder.
+struct Instr {
+  std::string module;
+  std::string op;
+  std::vector<int> rets;
+  std::vector<int> args;
+};
+
+/// A MAL program: the operator-at-a-time plan the interpreter executes and
+/// the Ocelot query rewriter transforms (paper Fig. 2).
+struct Program {
+  std::vector<Instr> instrs;
+  /// Initial variable bindings (constants baked in by the builder).
+  std::vector<Value> init;
+  int nvars = 0;
+  /// Variables whose values form the result set.
+  std::vector<int> returns;
+
+  /// MonetDB EXPLAIN-style rendering.
+  std::string Explain() const;
+};
+
+/// Convenience builder used by the TPC-H plan generators and the tests.
+class ProgramBuilder {
+ public:
+  /// Introduces a constant variable.
+  int Const(Value v);
+
+  /// Appends `module.op(args)` with one result; returns its variable id.
+  int Emit(const std::string& module, const std::string& op, std::vector<int> args);
+
+  /// Appends an instruction with `nrets` results.
+  std::vector<int> EmitMulti(const std::string& module, const std::string& op,
+                             std::vector<int> args, int nrets);
+
+  /// Appends an instruction with no results (e.g. ocelot.sync).
+  void EmitVoid(const std::string& module, const std::string& op,
+                std::vector<int> args);
+
+  /// Marks a variable as part of the result set.
+  void Return(int var);
+
+  Program Build() { return std::move(program_); }
+
+ private:
+  int NewVar();
+  Program program_;
+};
+
+}  // namespace mal
+
+#endif  // OCELOT_MAL_PROGRAM_H_

@@ -1,0 +1,26 @@
+#include "mal/rewriter.h"
+
+namespace mal {
+
+Program RewriteForOcelot(const Program& program) {
+  Program out = program;
+  for (Instr& ins : out.instrs) {
+    // bat.bind stays with the storage layer; everything else has an Ocelot
+    // drop-in replacement in this engine's scope.
+    if (ins.module != "bat") ins.module = "ocelot";
+  }
+  for (int var : out.returns) {
+    out.instrs.push_back({"ocelot", "sync", {}, {var}});
+  }
+  return out;
+}
+
+int CountSyncs(const Program& program) {
+  int n = 0;
+  for (const Instr& ins : program.instrs) {
+    if (ins.op == "sync") ++n;
+  }
+  return n;
+}
+
+}  // namespace mal

@@ -1,0 +1,21 @@
+#ifndef OCELOT_MAL_REWRITER_H_
+#define OCELOT_MAL_REWRITER_H_
+
+#include "mal/program.h"
+
+namespace mal {
+
+/// The Ocelot query rewriter (paper sections 3.1/3.4): takes a plan built
+/// for MonetDB's operators and reroutes every supported operator call to the
+/// corresponding Ocelot implementation (module rename, visible in EXPLAIN),
+/// then appends an explicit `ocelot.sync` for every returned variable so
+/// ownership of device-resident results is handed back to MonetDB before the
+/// result set is consumed.
+Program RewriteForOcelot(const Program& program);
+
+/// Number of sync instructions in a program (for tests/inspection).
+int CountSyncs(const Program& program);
+
+}  // namespace mal
+
+#endif  // OCELOT_MAL_REWRITER_H_

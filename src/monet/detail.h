@@ -1,0 +1,134 @@
+#ifndef OCELOT_MONET_DETAIL_H_
+#define OCELOT_MONET_DETAIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "cstore/bat.h"
+#include "cstore/engine.h"
+
+/// Shared inner-loop helpers of the MonetDB baseline engines (sequential and
+/// Mitosis). Internal header — not part of the public API.
+namespace monet::detail {
+
+inline common::Status CheckNumeric(const cstore::BatPtr& b, const char* what) {
+  if (b == nullptr) return common::Status::InvalidArgument(std::string(what) + " is null");
+  if (b->type() == cstore::ValType::kOid) {
+    return common::Status::InvalidArgument(std::string(what) + " must be int or float");
+  }
+  return common::Status::Ok();
+}
+
+inline common::Status CheckOids(const cstore::BatPtr& b, const char* what) {
+  if (b == nullptr) return common::Status::InvalidArgument(std::string(what) + " is null");
+  if (b->type() != cstore::ValType::kOid) {
+    return common::Status::InvalidArgument(std::string(what) + " must be an oid BAT");
+  }
+  return common::Status::Ok();
+}
+
+inline common::Status CheckInts(const cstore::BatPtr& b, const char* what) {
+  if (b == nullptr) return common::Status::InvalidArgument(std::string(what) + " is null");
+  if (b->type() != cstore::ValType::kInt) {
+    return common::Status::InvalidArgument(std::string(what) + " must be an int BAT");
+  }
+  return common::Status::Ok();
+}
+
+inline common::Status CheckSameSize(const cstore::BatPtr& a, const cstore::BatPtr& b) {
+  if (a->size() != b->size()) {
+    return common::Status::InvalidArgument(
+        "size mismatch: " + std::to_string(a->size()) + " vs " +
+        std::to_string(b->size()));
+  }
+  return common::Status::Ok();
+}
+
+/// Compiled form of a Bound pair for branch-light inner loops.
+struct RangePred {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  RangePred(cstore::Bound lo_b, cstore::Bound hi_b) {
+    // Half-open adjustment happens in double space; exact for int32 payloads
+    // and adequate for float (nextafter on the bound).
+    if (!lo_b.unbounded) {
+      lo = lo_b.inclusive ? lo_b.value
+                          : std::nextafter(lo_b.value,
+                                           std::numeric_limits<double>::infinity());
+    }
+    if (!hi_b.unbounded) {
+      hi = hi_b.inclusive ? hi_b.value
+                          : std::nextafter(hi_b.value,
+                                           -std::numeric_limits<double>::infinity());
+    }
+  }
+
+  bool Match(std::int32_t v) const {
+    if (v == cstore::kIntNil) return false;
+    double d = v;
+    return d >= lo && d <= hi;
+  }
+  bool Match(float v) const {
+    return v >= lo && v <= hi;  // NaN (nil) fails both compares
+  }
+};
+
+inline double ApplyCalc(cstore::CalcOp op, double a, double b) {
+  switch (op) {
+    case cstore::CalcOp::kAdd:
+      return a + b;
+    case cstore::CalcOp::kSub:
+      return a - b;
+    case cstore::CalcOp::kMul:
+      return a * b;
+    case cstore::CalcOp::kDiv:
+      return a / b;
+  }
+  return 0;
+}
+
+inline bool ApplyCmp(cstore::CmpOp op, double a, double b) {
+  switch (op) {
+    case cstore::CmpOp::kEq:
+      return a == b;
+    case cstore::CmpOp::kNe:
+      return a != b;
+    case cstore::CmpOp::kLt:
+      return a < b;
+    case cstore::CmpOp::kLe:
+      return a <= b;
+    case cstore::CmpOp::kGt:
+      return a > b;
+    case cstore::CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+inline double ValueAt(const cstore::BatPtr& b, std::size_t i) {
+  return b->type() == cstore::ValType::kInt ? static_cast<double>(b->ints()[i])
+                                            : static_cast<double>(b->floats()[i]);
+}
+
+inline bool IsNilAt(const cstore::BatPtr& b, std::size_t i) {
+  if (b->type() == cstore::ValType::kInt) return b->ints()[i] == cstore::kIntNil;
+  return std::isnan(b->floats()[i]);
+}
+
+inline cstore::BatPtr OidsFromVector(const std::vector<cstore::oid_t>& oids) {
+  cstore::BatPtr out = cstore::Bat::MakeOid(oids.size());
+  std::copy(oids.begin(), oids.end(), out->oids().begin());
+  out->set_sorted(true);
+  out->set_key(true);
+  out->set_nonil(true);
+  return out;
+}
+
+}  // namespace monet::detail
+
+#endif  // OCELOT_MONET_DETAIL_H_

@@ -1,0 +1,120 @@
+#ifndef OCELOT_MONET_HASHMAP_H_
+#define OCELOT_MONET_HASHMAP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace monet {
+
+/// MonetDB-style chained hash index over an int32 column: a bucket array
+/// (`head`) plus a per-row collision chain (`next`). Supports duplicate
+/// keys; used by the sequential hash join, semi/anti joins and grouping.
+class ChainedHash {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  explicit ChainedHash(std::span<const std::int32_t> keys) : keys_(keys) {
+    std::size_t buckets = 16;
+    while (buckets < keys.size() * 2) buckets <<= 1;
+    mask_ = static_cast<std::uint32_t>(buckets - 1);
+    head_.assign(buckets, kNone);
+    next_.assign(keys.size(), kNone);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      std::uint32_t b = Bucket(keys[i]);
+      next_[i] = head_[b];
+      head_[b] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  /// First candidate position for `key` (callers re-check equality), or kNone.
+  std::uint32_t First(std::int32_t key) const { return head_[Bucket(key)]; }
+  /// Next position on the same chain.
+  std::uint32_t Next(std::uint32_t pos) const { return next_[pos]; }
+
+  /// First position whose key equals `key`, or kNone.
+  std::uint32_t FindFirst(std::int32_t key) const {
+    for (std::uint32_t p = First(key); p != kNone; p = Next(p)) {
+      if (keys_[p] == key) return p;
+    }
+    return kNone;
+  }
+
+  bool Contains(std::int32_t key) const { return FindFirst(key) != kNone; }
+
+ private:
+  std::uint32_t Bucket(std::int32_t key) const {
+    return common::Mix32(static_cast<std::uint32_t>(key)) & mask_;
+  }
+
+  std::span<const std::int32_t> keys_;
+  std::uint32_t mask_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> next_;
+};
+
+/// Open-addressing map from 64-bit keys to dense 32-bit ids, used by the
+/// sequential group-by ((previous group id, value) -> new group id).
+class DenseIdMap {
+ public:
+  static constexpr std::uint32_t kEmptyId = 0xffffffffu;
+
+  explicit DenseIdMap(std::size_t expected) {
+    std::size_t buckets = 16;
+    while (buckets < expected * 2) buckets <<= 1;
+    mask_ = buckets - 1;
+    keys_.assign(buckets, kEmptyKey);
+    ids_.assign(buckets, kEmptyId);
+  }
+
+  /// Returns the id of `key`, assigning `next_id` (and incrementing it) on
+  /// first sight. Grows when past 2/3 load.
+  std::uint32_t GetOrAssign(std::uint64_t key, std::uint32_t* next_id) {
+    if (occupied_ * 3 > keys_.size() * 2) Grow();
+    std::size_t b = Probe(key);
+    if (ids_[b] == kEmptyId) {
+      keys_[b] = key;
+      ids_[b] = (*next_id)++;
+      ++occupied_;
+    }
+    return ids_[b];
+  }
+
+ private:
+  // Keys are (group id << 32 | value bits); all-ones never occurs because
+  // group ids stay far below 2^32 - 1.
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  std::size_t Probe(std::uint64_t key) const {
+    std::size_t b = common::Mix64(key) & mask_;
+    while (ids_[b] != kEmptyId && keys_[b] != key) b = (b + 1) & mask_;
+    return b;
+  }
+
+  void Grow() {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_ids = std::move(ids_);
+    std::size_t buckets = (mask_ + 1) * 2;
+    mask_ = buckets - 1;
+    keys_.assign(buckets, kEmptyKey);
+    ids_.assign(buckets, kEmptyId);
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_ids[i] == kEmptyId) continue;
+      std::size_t b = Probe(old_keys[i]);
+      keys_[b] = old_keys[i];
+      ids_[b] = old_ids[i];
+    }
+  }
+
+  std::size_t mask_;
+  std::size_t occupied_ = 0;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> ids_;
+};
+
+}  // namespace monet
+
+#endif  // OCELOT_MONET_HASHMAP_H_

@@ -1,0 +1,40 @@
+#include "monet/mitosis.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timeline.h"
+
+namespace monet {
+
+Slice SliceOf(std::size_t n, int i, int slices) {
+  OCELOT_CHECK(i >= 0 && i < slices);
+  std::size_t per = (n + static_cast<std::size_t>(slices) - 1) /
+                    static_cast<std::size_t>(slices);
+  std::size_t begin = static_cast<std::size_t>(i) * per;
+  std::size_t end = begin + per;
+  if (begin > n) begin = n;
+  if (end > n) end = n;
+  return {begin, end};
+}
+
+common::Nanos ParallelFor(common::VirtualClock* clock, int lanes, int tasks,
+                          const std::function<void(int)>& task) {
+  std::vector<common::Nanos> durations(static_cast<std::size_t>(tasks));
+  common::Stopwatch total;
+  for (int i = 0; i < tasks; ++i) {
+    common::Stopwatch sw;
+    task(i);
+    durations[static_cast<std::size_t>(i)] = sw.ElapsedNanos();
+  }
+  common::Nanos real = total.ElapsedNanos();
+
+  common::Timeline timeline(lanes);
+  common::Interval iv = timeline.ScheduleBatch(0, durations);
+
+  clock->Deduct(real);
+  clock->AdvanceTo(clock->Now() + iv.duration());
+  return iv.duration();
+}
+
+}  // namespace monet

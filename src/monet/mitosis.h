@@ -1,0 +1,35 @@
+#ifndef OCELOT_MONET_MITOSIS_H_
+#define OCELOT_MONET_MITOSIS_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/timeline.h"
+#include "common/vclock.h"
+
+namespace monet {
+
+/// A contiguous slice of rows processed by one virtual core.
+struct Slice {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Slice `i` of `n` rows split over `slices` equal parts (MonetDB Mitosis
+/// partitioning).
+Slice SliceOf(std::size_t n, int i, int slices);
+
+/// Executes `tasks` independent closures, measuring each on the host, then
+/// bills the makespan of list-scheduling them onto `lanes` virtual cores to
+/// the clock (real execution time is deducted; DESIGN.md section 2).
+/// Returns the modeled makespan.
+///
+/// This is MonetDB's Mitosis/Dataflow pair in miniature: Mitosis decides the
+/// slicing, Dataflow runs the per-slice operator instances on a core pool.
+common::Nanos ParallelFor(common::VirtualClock* clock, int lanes, int tasks,
+                          const std::function<void(int)>& task);
+
+}  // namespace monet
+
+#endif  // OCELOT_MONET_MITOSIS_H_

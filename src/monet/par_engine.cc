@@ -1,0 +1,583 @@
+#include "monet/par_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "monet/detail.h"
+#include "monet/hashmap.h"
+#include "monet/mitosis.h"
+
+namespace monet {
+
+using common::Result;
+using common::Status;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::CalcOp;
+using cstore::GroupResult;
+using cstore::JoinResult;
+using cstore::kIntNil;
+using cstore::oid_t;
+using cstore::SortResult;
+using cstore::ValType;
+
+using detail::ApplyCalc;
+using detail::CheckInts;
+using detail::CheckNumeric;
+using detail::CheckOids;
+using detail::CheckSameSize;
+using detail::IsNilAt;
+using detail::OidsFromVector;
+using detail::RangePred;
+using detail::ValueAt;
+
+namespace {
+
+/// Concatenates per-slice oid vectors into one sorted candidate BAT
+/// (MonetDB's mat.pack after a sliced operator).
+BatPtr PackOids(const std::vector<std::vector<oid_t>>& parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  BatPtr out = Bat::MakeOid(total);
+  auto dst = out->oids();
+  std::size_t at = 0;
+  for (const auto& p : parts) {
+    std::copy(p.begin(), p.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
+    at += p.size();
+  }
+  out->set_sorted(true);
+  out->set_key(true);
+  out->set_nonil(true);
+  return out;
+}
+
+/// Sort key carrier: doubles order int32/oid exactly; float nil (NaN) maps
+/// to -inf so it sorts first like the sequential engine.
+double SortKeyAt(const BatPtr& col, std::size_t i) {
+  switch (col->type()) {
+    case ValType::kInt:
+      return col->ints()[i];
+    case ValType::kOid:
+      return col->oids()[i];
+    case ValType::kFloat: {
+      float v = col->floats()[i];
+      return std::isnan(v) ? -std::numeric_limits<double>::infinity() : v;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<BatPtr> MitosisEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
+                                          Bound lo, Bound hi) {
+  RETURN_IF_ERROR(CheckNumeric(col, "select input"));
+  if (cand != nullptr) RETURN_IF_ERROR(CheckOids(cand, "candidates"));
+  RangePred pred(lo, hi);
+  std::size_t domain = cand != nullptr ? cand->size() : col->size();
+  std::vector<std::vector<oid_t>> parts(static_cast<std::size_t>(slices_));
+
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(domain, s, slices_);
+    auto& hits = parts[static_cast<std::size_t>(s)];
+    if (col->type() == ValType::kInt) {
+      auto vals = col->ints();
+      for (std::size_t i = sl.begin; i < sl.end; ++i) {
+        oid_t o = cand != nullptr ? cand->oids()[i] : static_cast<oid_t>(i);
+        if (pred.Match(vals[o])) hits.push_back(o);
+      }
+    } else {
+      auto vals = col->floats();
+      for (std::size_t i = sl.begin; i < sl.end; ++i) {
+        oid_t o = cand != nullptr ? cand->oids()[i] : static_cast<oid_t>(i);
+        if (pred.Match(vals[o])) hits.push_back(o);
+      }
+    }
+  });
+  return PackOids(parts);
+}
+
+Result<BatPtr> MitosisEngine::Project(const BatPtr& oids, const BatPtr& col) {
+  RETURN_IF_ERROR(CheckOids(oids, "projection head"));
+  if (col == nullptr) return Status::InvalidArgument("projection tail is null");
+  std::size_t n = oids->size();
+  BatPtr out = Bat::Make(col->type(), n);
+  auto idx = oids->oids();
+
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    switch (col->type()) {
+      case ValType::kInt: {
+        auto src = col->ints();
+        auto dst = out->ints();
+        for (std::size_t i = sl.begin; i < sl.end; ++i) {
+          dst[i] = idx[i] == cstore::kOidNil ? kIntNil : src[idx[i]];
+        }
+        break;
+      }
+      case ValType::kFloat: {
+        auto src = col->floats();
+        auto dst = out->floats();
+        for (std::size_t i = sl.begin; i < sl.end; ++i) {
+          dst[i] = idx[i] == cstore::kOidNil ? cstore::FloatNil() : src[idx[i]];
+        }
+        break;
+      }
+      case ValType::kOid: {
+        auto src = col->oids();
+        auto dst = out->oids();
+        for (std::size_t i = sl.begin; i < sl.end; ++i) {
+          dst[i] = idx[i] == cstore::kOidNil ? cstore::kOidNil : src[idx[i]];
+        }
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+Result<JoinResult> MitosisEngine::HashJoin(const BatPtr& left, const BatPtr& right) {
+  RETURN_IF_ERROR(CheckInts(left, "join left"));
+  RETURN_IF_ERROR(CheckInts(right, "join right"));
+  auto lv = left->ints();
+  auto rv = right->ints();
+
+  // Build is sequential (as in MonetDB: the probe side is sliced, the build
+  // side hash is shared); probe is sliced across cores.
+  std::unique_ptr<ChainedHash> ht;
+  if (!right->dense()) ht = std::make_unique<ChainedHash>(rv);
+
+  std::vector<std::vector<oid_t>> lparts(static_cast<std::size_t>(slices_));
+  std::vector<std::vector<oid_t>> rparts(static_cast<std::size_t>(slices_));
+
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(lv.size(), s, slices_);
+    auto& lo = lparts[static_cast<std::size_t>(s)];
+    auto& ro = rparts[static_cast<std::size_t>(s)];
+    if (right->dense()) {
+      std::int64_t base = right->tseqbase();
+      std::int64_t limit = base + static_cast<std::int64_t>(rv.size());
+      for (std::size_t i = sl.begin; i < sl.end; ++i) {
+        std::int64_t v = lv[i];
+        if (v >= base && v < limit) {
+          lo.push_back(static_cast<oid_t>(i));
+          ro.push_back(static_cast<oid_t>(v - base));
+        }
+      }
+    } else {
+      for (std::size_t i = sl.begin; i < sl.end; ++i) {
+        if (lv[i] == kIntNil) continue;
+        for (std::uint32_t p = ht->First(lv[i]); p != ChainedHash::kNone;
+             p = ht->Next(p)) {
+          if (rv[p] == lv[i]) {
+            lo.push_back(static_cast<oid_t>(i));
+            ro.push_back(static_cast<oid_t>(p));
+          }
+        }
+      }
+    }
+  });
+
+  JoinResult res;
+  res.left = PackOids(lparts);
+  std::size_t total = res.left->size();
+  res.right = Bat::MakeOid(total);
+  auto dst = res.right->oids();
+  std::size_t at = 0;
+  for (const auto& p : rparts) {
+    std::copy(p.begin(), p.end(), dst.begin() + static_cast<std::ptrdiff_t>(at));
+    at += p.size();
+  }
+  return res;
+}
+
+Result<BatPtr> MitosisEngine::SemiJoin(const BatPtr& left, const BatPtr& right) {
+  RETURN_IF_ERROR(CheckInts(left, "semijoin left"));
+  RETURN_IF_ERROR(CheckInts(right, "semijoin right"));
+  ChainedHash ht(right->ints());
+  auto lv = left->ints();
+  std::vector<std::vector<oid_t>> parts(static_cast<std::size_t>(slices_));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(lv.size(), s, slices_);
+    auto& hits = parts[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (lv[i] != kIntNil && ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
+    }
+  });
+  return PackOids(parts);
+}
+
+Result<BatPtr> MitosisEngine::AntiJoin(const BatPtr& left, const BatPtr& right) {
+  RETURN_IF_ERROR(CheckInts(left, "antijoin left"));
+  RETURN_IF_ERROR(CheckInts(right, "antijoin right"));
+  ChainedHash ht(right->ints());
+  auto lv = left->ints();
+  std::vector<std::vector<oid_t>> parts(static_cast<std::size_t>(slices_));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(lv.size(), s, slices_);
+    auto& hits = parts[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (lv[i] == kIntNil || !ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
+    }
+  });
+  return PackOids(parts);
+}
+
+Result<SortResult> MitosisEngine::Sort(const BatPtr& col) {
+  if (col == nullptr) return Status::InvalidArgument("sort input is null");
+  std::size_t n = col->size();
+
+  // Parallel merge sort: slice-local stable sorts, then log2 rounds of
+  // pairwise merges, each round sliced over the cores.
+  using Pair = std::pair<double, oid_t>;
+  std::vector<Pair> work(n);
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      work[i] = {SortKeyAt(col, i), static_cast<oid_t>(i)};
+    }
+    std::stable_sort(work.begin() + static_cast<std::ptrdiff_t>(sl.begin),
+                     work.begin() + static_cast<std::ptrdiff_t>(sl.end),
+                     [](const Pair& a, const Pair& b) { return a.first < b.first; });
+  });
+
+  // Run boundaries after the slice sorts; each merge round fuses adjacent
+  // pairs of runs until one sorted run remains.
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (int s = 0; s < slices_; ++s) bounds.push_back(SliceOf(n, s, slices_).end);
+
+  std::vector<Pair> scratch(n);
+  std::vector<Pair>* src = &work;
+  std::vector<Pair>* dst = &scratch;
+  while (bounds.size() > 2) {
+    int pairs = static_cast<int>((bounds.size() - 1 + 1) / 2);
+    std::vector<std::size_t> next_bounds;
+    next_bounds.push_back(0);
+    ParallelFor(clock_, cores_, pairs, [&](int p) {
+      std::size_t lo = bounds[static_cast<std::size_t>(2 * p)];
+      std::size_t mid = bounds[static_cast<std::size_t>(2 * p + 1)];
+      std::size_t hi = (static_cast<std::size_t>(2 * p + 2) < bounds.size())
+                           ? bounds[static_cast<std::size_t>(2 * p + 2)]
+                           : mid;
+      std::merge(src->begin() + static_cast<std::ptrdiff_t>(lo),
+                 src->begin() + static_cast<std::ptrdiff_t>(mid),
+                 src->begin() + static_cast<std::ptrdiff_t>(mid),
+                 src->begin() + static_cast<std::ptrdiff_t>(hi),
+                 dst->begin() + static_cast<std::ptrdiff_t>(lo),
+                 [](const Pair& x, const Pair& y) { return x.first < y.first; });
+    });
+    for (int p = 0; p < pairs; ++p) {
+      std::size_t hi = (static_cast<std::size_t>(2 * p + 2) < bounds.size())
+                           ? bounds[static_cast<std::size_t>(2 * p + 2)]
+                           : bounds[static_cast<std::size_t>(2 * p + 1)];
+      next_bounds.push_back(hi);
+    }
+    std::swap(src, dst);
+    bounds = std::move(next_bounds);
+  }
+
+  SortResult res;
+  res.order = Bat::MakeOid(n);
+  auto order = res.order->oids();
+  for (std::size_t i = 0; i < n; ++i) order[i] = (*src)[i].second;
+  ASSIGN_OR_RETURN(res.values, Project(res.order, col));
+  res.values->set_sorted(true);
+  return res;
+}
+
+Result<GroupResult> MitosisEngine::GroupBy(const BatPtr& col, const GroupResult* prev) {
+  RETURN_IF_ERROR(CheckNumeric(col, "group input"));
+  if (prev != nullptr) RETURN_IF_ERROR(CheckSameSize(col, prev->groups));
+  std::size_t n = col->size();
+
+  GroupResult res;
+  res.groups = Bat::MakeOid(n);
+  auto gids = res.groups->oids();
+  auto prev_gids = prev != nullptr ? prev->groups->oids() : std::span<const oid_t>();
+
+  auto key_at = [&](std::size_t i) -> std::uint64_t {
+    std::uint32_t bits = col->type() == ValType::kInt
+                             ? static_cast<std::uint32_t>(col->ints()[i])
+                             : std::bit_cast<std::uint32_t>(col->floats()[i]);
+    return prev != nullptr ? (static_cast<std::uint64_t>(prev_gids[i]) << 32) | bits
+                           : bits;
+  };
+
+  // Phase 1 (parallel): per-slice local grouping; rows get local ids, each
+  // slice records its distinct keys and their first-occurrence oids.
+  struct SliceGroups {
+    std::vector<std::uint64_t> keys;   // by local id
+    std::vector<oid_t> extents;        // by local id
+  };
+  std::vector<SliceGroups> local(static_cast<std::size_t>(slices_));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    DenseIdMap map(256);
+    std::uint32_t next_id = 0;
+    auto& sg = local[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      std::uint64_t key = key_at(i);
+      std::uint32_t before = next_id;
+      std::uint32_t lid = map.GetOrAssign(key, &next_id);
+      if (next_id != before) {
+        sg.keys.push_back(key);
+        sg.extents.push_back(static_cast<oid_t>(i));
+      }
+      gids[i] = lid;  // temporary local id, translated in phase 3
+    }
+  });
+
+  // Phase 2 (sequential): merge slice dictionaries into global ids. Slice 0
+  // first, so ids coincide with the sequential engine's first-occurrence
+  // order for its rows.
+  DenseIdMap global(1024);
+  std::uint32_t next_gid = 0;
+  std::vector<std::vector<oid_t>> translate(static_cast<std::size_t>(slices_));
+  std::vector<oid_t> extents;
+  for (int s = 0; s < slices_; ++s) {
+    auto& sg = local[static_cast<std::size_t>(s)];
+    auto& tr = translate[static_cast<std::size_t>(s)];
+    tr.resize(sg.keys.size());
+    for (std::size_t k = 0; k < sg.keys.size(); ++k) {
+      std::uint32_t before = next_gid;
+      std::uint32_t gid = global.GetOrAssign(sg.keys[k], &next_gid);
+      if (next_gid != before) {
+        extents.push_back(sg.extents[k]);
+      } else {
+        extents[gid] = std::min(extents[gid], sg.extents[k]);
+      }
+      tr[k] = gid;
+    }
+  }
+
+  // Phase 3 (parallel): translate local ids to global ids.
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    const auto& tr = translate[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) gids[i] = tr[gids[i]];
+  });
+
+  res.ngroups = next_gid;
+  res.extents = Bat::MakeOid(extents.size());
+  std::copy(extents.begin(), extents.end(), res.extents->oids().begin());
+  return res;
+}
+
+Result<BatPtr> MitosisEngine::SubSum(const BatPtr& vals, const BatPtr& groups,
+                                     std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckNumeric(vals, "subsum input"));
+  RETURN_IF_ERROR(CheckOids(groups, "group ids"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  std::size_t n = vals->size();
+  auto g = groups->oids();
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(slices_), std::vector<double>(ngroups, 0.0));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    auto& acc = partials[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (!IsNilAt(vals, i)) acc[g[i]] += ValueAt(vals, i);
+    }
+  });
+  std::vector<double> total(ngroups, 0.0);
+  for (const auto& acc : partials) {
+    for (std::size_t k = 0; k < ngroups; ++k) total[k] += acc[k];
+  }
+  if (vals->type() == ValType::kFloat) {
+    BatPtr out = Bat::MakeFloat(ngroups);
+    for (std::size_t k = 0; k < ngroups; ++k) {
+      out->floats()[k] = static_cast<float>(total[k]);
+    }
+    return out;
+  }
+  BatPtr out = Bat::MakeInt(ngroups);
+  for (std::size_t k = 0; k < ngroups; ++k) {
+    out->ints()[k] = static_cast<std::int32_t>(total[k]);
+  }
+  return out;
+}
+
+Result<BatPtr> MitosisEngine::SubCount(const BatPtr& groups, std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckOids(groups, "group ids"));
+  std::size_t n = groups->size();
+  auto g = groups->oids();
+  std::vector<std::vector<std::int32_t>> partials(
+      static_cast<std::size_t>(slices_), std::vector<std::int32_t>(ngroups, 0));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    auto& acc = partials[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) acc[g[i]] += 1;
+  });
+  BatPtr out = Bat::MakeInt(ngroups);
+  auto o = out->ints();
+  std::fill(o.begin(), o.end(), 0);
+  for (const auto& acc : partials) {
+    for (std::size_t k = 0; k < ngroups; ++k) o[k] += acc[k];
+  }
+  return out;
+}
+
+Result<BatPtr> MitosisEngine::SubMin(const BatPtr& vals, const BatPtr& groups,
+                                     std::size_t ngroups) {
+  // Min/max merge cheaply; run the slice loops through the sequential code
+  // on each slice's partial output.
+  RETURN_IF_ERROR(CheckNumeric(vals, "submin input"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  std::size_t n = vals->size();
+  auto g = groups->oids();
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(slices_),
+      std::vector<double>(ngroups, std::numeric_limits<double>::infinity()));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    auto& acc = partials[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (!IsNilAt(vals, i)) acc[g[i]] = std::min(acc[g[i]], ValueAt(vals, i));
+    }
+  });
+  std::vector<double> best(ngroups, std::numeric_limits<double>::infinity());
+  for (const auto& acc : partials) {
+    for (std::size_t k = 0; k < ngroups; ++k) best[k] = std::min(best[k], acc[k]);
+  }
+  BatPtr out = Bat::Make(vals->type(), ngroups);
+  for (std::size_t k = 0; k < ngroups; ++k) {
+    bool empty = std::isinf(best[k]);
+    if (vals->type() == ValType::kFloat) {
+      out->floats()[k] = empty ? cstore::FloatNil() : static_cast<float>(best[k]);
+    } else {
+      out->ints()[k] = empty ? kIntNil : static_cast<std::int32_t>(best[k]);
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> MitosisEngine::SubMax(const BatPtr& vals, const BatPtr& groups,
+                                     std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckNumeric(vals, "submax input"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  std::size_t n = vals->size();
+  auto g = groups->oids();
+  std::vector<std::vector<double>> partials(
+      static_cast<std::size_t>(slices_),
+      std::vector<double>(ngroups, -std::numeric_limits<double>::infinity()));
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    auto& acc = partials[static_cast<std::size_t>(s)];
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (!IsNilAt(vals, i)) acc[g[i]] = std::max(acc[g[i]], ValueAt(vals, i));
+    }
+  });
+  std::vector<double> best(ngroups, -std::numeric_limits<double>::infinity());
+  for (const auto& acc : partials) {
+    for (std::size_t k = 0; k < ngroups; ++k) best[k] = std::max(best[k], acc[k]);
+  }
+  BatPtr out = Bat::Make(vals->type(), ngroups);
+  for (std::size_t k = 0; k < ngroups; ++k) {
+    bool empty = std::isinf(best[k]);
+    if (vals->type() == ValType::kFloat) {
+      out->floats()[k] = empty ? cstore::FloatNil() : static_cast<float>(best[k]);
+    } else {
+      out->ints()[k] = empty ? kIntNil : static_cast<std::int32_t>(best[k]);
+    }
+  }
+  return out;
+}
+
+Result<double> MitosisEngine::Sum(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "sum input"));
+  std::size_t n = col->size();
+  std::vector<double> partials(static_cast<std::size_t>(slices_), 0.0);
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    double acc = 0;
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (!IsNilAt(col, i)) acc += ValueAt(col, i);
+    }
+    partials[static_cast<std::size_t>(s)] = acc;
+  });
+  double total = 0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+Result<double> MitosisEngine::Min(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "min input"));
+  std::size_t n = col->size();
+  std::vector<double> partials(static_cast<std::size_t>(slices_),
+                               std::numeric_limits<double>::infinity());
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (!IsNilAt(col, i)) best = std::min(best, ValueAt(col, i));
+    }
+    partials[static_cast<std::size_t>(s)] = best;
+  });
+  return *std::min_element(partials.begin(), partials.end());
+}
+
+Result<double> MitosisEngine::Max(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "max input"));
+  std::size_t n = col->size();
+  std::vector<double> partials(static_cast<std::size_t>(slices_),
+                               -std::numeric_limits<double>::infinity());
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (!IsNilAt(col, i)) best = std::max(best, ValueAt(col, i));
+    }
+    partials[static_cast<std::size_t>(s)] = best;
+  });
+  return *std::max_element(partials.begin(), partials.end());
+}
+
+Result<BatPtr> MitosisEngine::Calc(CalcOp op, const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckNumeric(a, "calc lhs"));
+  RETURN_IF_ERROR(CheckNumeric(b, "calc rhs"));
+  RETURN_IF_ERROR(CheckSameSize(a, b));
+  std::size_t n = a->size();
+  bool int_result = a->type() == ValType::kInt && b->type() == ValType::kInt &&
+                    op != CalcOp::kDiv;
+  BatPtr out = Bat::Make(int_result ? ValType::kInt : ValType::kFloat, n);
+  ParallelFor(clock_, cores_, slices_, [&](int s) {
+    Slice sl = SliceOf(n, s, slices_);
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      bool nil = IsNilAt(a, i) || IsNilAt(b, i);
+      double r = nil ? 0 : ApplyCalc(op, ValueAt(a, i), ValueAt(b, i));
+      if (int_result) {
+        out->ints()[i] = nil ? kIntNil : static_cast<std::int32_t>(r);
+      } else {
+        out->floats()[i] = nil ? cstore::FloatNil() : static_cast<float>(r);
+      }
+    }
+  });
+  return out;
+}
+
+Result<BatPtr> MitosisEngine::CalcScalar(CalcOp op, const BatPtr& a, double s,
+                                         bool scalar_left) {
+  RETURN_IF_ERROR(CheckNumeric(a, "calc input"));
+  std::size_t n = a->size();
+  BatPtr out = Bat::MakeFloat(n);
+  auto o = out->floats();
+  ParallelFor(clock_, cores_, slices_, [&](int sl_idx) {
+    Slice sl = SliceOf(n, sl_idx, slices_);
+    for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (IsNilAt(a, i)) {
+        o[i] = cstore::FloatNil();
+        continue;
+      }
+      double v = ValueAt(a, i);
+      o[i] = static_cast<float>(scalar_left ? ApplyCalc(op, s, v)
+                                            : ApplyCalc(op, v, s));
+    }
+  });
+  return out;
+}
+
+}  // namespace monet

@@ -1,0 +1,70 @@
+#ifndef OCELOT_MONET_PAR_ENGINE_H_
+#define OCELOT_MONET_PAR_ENGINE_H_
+
+#include "common/vclock.h"
+#include "monet/seq_engine.h"
+
+namespace monet {
+
+/// The parallel MonetDB baseline ("MP"): the hand-tuned multi-core
+/// configuration the paper compares against. Heavy operators slice their
+/// inputs Mitosis-style across `cores` virtual CPU cores; per-slice work is
+/// executed (and measured) for real and billed as parallel makespan on the
+/// shared virtual clock. Cheap/odd operators inherit the sequential
+/// implementation — exactly MonetDB's behavior, where only data-parallel
+/// kernels run under the Dataflow scheduler.
+class MitosisEngine : public SequentialEngine {
+ public:
+  /// `cores` defaults to the paper's Xeon E5620 (4 cores); `slices_per_core`
+  /// is Mitosis' over-decomposition factor smoothing load imbalance.
+  explicit MitosisEngine(common::VirtualClock* clock, int cores = 4,
+                         int slices_per_core = 4)
+      : clock_(clock), cores_(cores), slices_(cores * slices_per_core) {}
+
+  std::string name() const override { return "MonetDB (parallel)"; }
+
+  common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
+                                             const cstore::BatPtr& cand,
+                                             cstore::Bound lo,
+                                             cstore::Bound hi) override;
+  common::Result<cstore::BatPtr> Project(const cstore::BatPtr& oids,
+                                         const cstore::BatPtr& col) override;
+  common::Result<cstore::JoinResult> HashJoin(const cstore::BatPtr& left,
+                                              const cstore::BatPtr& right) override;
+  common::Result<cstore::BatPtr> SemiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::BatPtr> AntiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::SortResult> Sort(const cstore::BatPtr& col) override;
+  common::Result<cstore::GroupResult> GroupBy(const cstore::BatPtr& col,
+                                              const cstore::GroupResult* prev) override;
+  common::Result<cstore::BatPtr> SubSum(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubCount(const cstore::BatPtr& groups,
+                                          std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMin(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMax(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<double> Sum(const cstore::BatPtr& col) override;
+  common::Result<double> Min(const cstore::BatPtr& col) override;
+  common::Result<double> Max(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> Calc(cstore::CalcOp op, const cstore::BatPtr& a,
+                                      const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CalcScalar(cstore::CalcOp op, const cstore::BatPtr& a,
+                                            double s, bool scalar_left) override;
+
+  int cores() const { return cores_; }
+
+ private:
+  common::VirtualClock* clock_;
+  int cores_;
+  int slices_;
+};
+
+}  // namespace monet
+
+#endif  // OCELOT_MONET_PAR_ENGINE_H_

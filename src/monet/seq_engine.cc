@@ -1,0 +1,562 @@
+#include "monet/seq_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/date.h"
+#include "monet/detail.h"
+#include "monet/hashmap.h"
+
+namespace monet {
+
+using common::Result;
+using common::Status;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::CalcOp;
+using cstore::CmpOp;
+using cstore::GroupResult;
+using cstore::JoinResult;
+using cstore::kIntNil;
+using cstore::kOidNil;
+using cstore::oid_t;
+using cstore::SortResult;
+using cstore::ValType;
+
+using detail::ApplyCalc;
+using detail::ApplyCmp;
+using detail::CheckInts;
+using detail::CheckNumeric;
+using detail::CheckOids;
+using detail::CheckSameSize;
+using detail::IsNilAt;
+using detail::OidsFromVector;
+using detail::RangePred;
+using detail::ValueAt;
+
+namespace {
+
+/// Invokes fn(oid) for every candidate row (all rows when cand is null).
+template <typename Fn>
+void ForEachCand(std::size_t n, const BatPtr& cand, Fn&& fn) {
+  if (cand == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(static_cast<oid_t>(i));
+  } else {
+    for (oid_t o : cand->oids()) fn(o);
+  }
+}
+
+}  // namespace
+
+Result<BatPtr> SequentialEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
+                                             Bound lo, Bound hi) {
+  RETURN_IF_ERROR(CheckNumeric(col, "select input"));
+  if (cand != nullptr) RETURN_IF_ERROR(CheckOids(cand, "candidates"));
+  RangePred pred(lo, hi);
+  std::vector<oid_t> hits;
+  if (col->type() == ValType::kInt) {
+    auto vals = col->ints();
+    ForEachCand(col->size(), cand, [&](oid_t o) {
+      if (pred.Match(vals[o])) hits.push_back(o);
+    });
+  } else {
+    auto vals = col->floats();
+    ForEachCand(col->size(), cand, [&](oid_t o) {
+      if (pred.Match(vals[o])) hits.push_back(o);
+    });
+  }
+  return OidsFromVector(hits);
+}
+
+Result<BatPtr> SequentialEngine::CandUnion(const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckOids(a, "union lhs"));
+  RETURN_IF_ERROR(CheckOids(b, "union rhs"));
+  auto av = a->oids();
+  auto bv = b->oids();
+  std::vector<oid_t> merged;
+  merged.reserve(av.size() + bv.size());
+  std::set_union(av.begin(), av.end(), bv.begin(), bv.end(),
+                 std::back_inserter(merged));
+  return OidsFromVector(merged);
+}
+
+Result<BatPtr> SequentialEngine::Project(const BatPtr& oids, const BatPtr& col) {
+  RETURN_IF_ERROR(CheckOids(oids, "projection head"));
+  if (col == nullptr) return Status::InvalidArgument("projection tail is null");
+  std::size_t n = oids->size();
+  BatPtr out = Bat::Make(col->type(), n);
+  auto idx = oids->oids();
+  switch (col->type()) {
+    case ValType::kInt: {
+      auto src = col->ints();
+      auto dst = out->ints();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = idx[i] == kOidNil ? kIntNil : src[idx[i]];
+      }
+      break;
+    }
+    case ValType::kFloat: {
+      auto src = col->floats();
+      auto dst = out->floats();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = idx[i] == kOidNil ? cstore::FloatNil() : src[idx[i]];
+      }
+      break;
+    }
+    case ValType::kOid: {
+      auto src = col->oids();
+      auto dst = out->oids();
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = idx[i] == kOidNil ? kOidNil : src[idx[i]];
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Result<JoinResult> SequentialEngine::HashJoin(const BatPtr& left, const BatPtr& right) {
+  RETURN_IF_ERROR(CheckInts(left, "join left"));
+  RETURN_IF_ERROR(CheckInts(right, "join right"));
+  auto lv = left->ints();
+  auto rv = right->ints();
+  std::vector<oid_t> lo, ro;
+
+  if (right->dense()) {
+    // PK-FK fast path (paper 4.1.5 footnote 6): the right side is the dense
+    // key sequence, so the join is pure arithmetic.
+    std::int64_t base = right->tseqbase();
+    std::int64_t limit = base + static_cast<std::int64_t>(rv.size());
+    for (std::size_t i = 0; i < lv.size(); ++i) {
+      std::int64_t v = lv[i];
+      if (v >= base && v < limit) {
+        lo.push_back(static_cast<oid_t>(i));
+        ro.push_back(static_cast<oid_t>(v - base));
+      }
+    }
+  } else {
+    ChainedHash ht(rv);
+    for (std::size_t i = 0; i < lv.size(); ++i) {
+      if (lv[i] == kIntNil) continue;
+      for (std::uint32_t p = ht.First(lv[i]); p != ChainedHash::kNone; p = ht.Next(p)) {
+        if (rv[p] == lv[i]) {
+          lo.push_back(static_cast<oid_t>(i));
+          ro.push_back(static_cast<oid_t>(p));
+        }
+      }
+    }
+  }
+  return JoinResult{OidsFromVector(lo), [&] {
+                      BatPtr r = Bat::MakeOid(ro.size());
+                      std::copy(ro.begin(), ro.end(), r->oids().begin());
+                      return r;
+                    }()};
+}
+
+Result<JoinResult> SequentialEngine::ThetaJoin(const BatPtr& left, const BatPtr& right,
+                                               CmpOp op) {
+  RETURN_IF_ERROR(CheckNumeric(left, "join left"));
+  RETURN_IF_ERROR(CheckNumeric(right, "join right"));
+  std::vector<oid_t> lo, ro;
+  for (std::size_t i = 0; i < left->size(); ++i) {
+    if (IsNilAt(left, i)) continue;
+    double a = ValueAt(left, i);
+    for (std::size_t j = 0; j < right->size(); ++j) {
+      if (IsNilAt(right, j)) continue;
+      if (ApplyCmp(op, a, ValueAt(right, j))) {
+        lo.push_back(static_cast<oid_t>(i));
+        ro.push_back(static_cast<oid_t>(j));
+      }
+    }
+  }
+  JoinResult res;
+  res.left = OidsFromVector(lo);
+  res.right = Bat::MakeOid(ro.size());
+  std::copy(ro.begin(), ro.end(), res.right->oids().begin());
+  return res;
+}
+
+Result<BatPtr> SequentialEngine::SemiJoin(const BatPtr& left, const BatPtr& right) {
+  RETURN_IF_ERROR(CheckInts(left, "semijoin left"));
+  RETURN_IF_ERROR(CheckInts(right, "semijoin right"));
+  ChainedHash ht(right->ints());
+  auto lv = left->ints();
+  std::vector<oid_t> hits;
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    if (lv[i] != kIntNil && ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
+  }
+  return OidsFromVector(hits);
+}
+
+Result<BatPtr> SequentialEngine::AntiJoin(const BatPtr& left, const BatPtr& right) {
+  RETURN_IF_ERROR(CheckInts(left, "antijoin left"));
+  RETURN_IF_ERROR(CheckInts(right, "antijoin right"));
+  ChainedHash ht(right->ints());
+  auto lv = left->ints();
+  std::vector<oid_t> hits;
+  for (std::size_t i = 0; i < lv.size(); ++i) {
+    if (lv[i] == kIntNil || !ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
+  }
+  return OidsFromVector(hits);
+}
+
+Result<SortResult> SequentialEngine::Sort(const BatPtr& col) {
+  if (col == nullptr) return Status::InvalidArgument("sort input is null");
+  std::size_t n = col->size();
+  std::vector<oid_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+
+  // MonetDB orders with quicksort (std::stable_sort here keeps ties in
+  // appearance order, matching algebra.sort's stability).
+  switch (col->type()) {
+    case ValType::kInt: {
+      auto v = col->ints();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](oid_t a, oid_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case ValType::kOid: {
+      auto v = col->oids();
+      std::stable_sort(order.begin(), order.end(),
+                       [&](oid_t a, oid_t b) { return v[a] < v[b]; });
+      break;
+    }
+    case ValType::kFloat: {
+      auto v = col->floats();
+      std::stable_sort(order.begin(), order.end(), [&](oid_t a, oid_t b) {
+        bool na = std::isnan(v[a]), nb = std::isnan(v[b]);
+        if (na || nb) return na && !nb;  // nil sorts first
+        return v[a] < v[b];
+      });
+      break;
+    }
+  }
+
+  SortResult res;
+  res.order = Bat::MakeOid(n);
+  std::copy(order.begin(), order.end(), res.order->oids().begin());
+  ASSIGN_OR_RETURN(res.values, Project(res.order, col));
+  res.values->set_sorted(true);
+  return res;
+}
+
+Result<GroupResult> SequentialEngine::GroupBy(const BatPtr& col,
+                                              const GroupResult* prev) {
+  RETURN_IF_ERROR(CheckNumeric(col, "group input"));
+  if (prev != nullptr) {
+    RETURN_IF_ERROR(CheckSameSize(col, prev->groups));
+  }
+  std::size_t n = col->size();
+  GroupResult res;
+  res.groups = Bat::MakeOid(n);
+  auto gids = res.groups->oids();
+  std::vector<oid_t> extents;
+
+  DenseIdMap map(1024);
+  std::uint32_t next_id = 0;
+  auto prev_gids = prev != nullptr ? prev->groups->oids() : std::span<const oid_t>();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t bits = col->type() == ValType::kInt
+                             ? static_cast<std::uint32_t>(col->ints()[i])
+                             : std::bit_cast<std::uint32_t>(col->floats()[i]);
+    std::uint64_t key = prev != nullptr
+                            ? (static_cast<std::uint64_t>(prev_gids[i]) << 32) | bits
+                            : bits;
+    std::uint32_t before = next_id;
+    std::uint32_t gid = map.GetOrAssign(key, &next_id);
+    if (next_id != before) extents.push_back(static_cast<oid_t>(i));
+    gids[i] = gid;
+  }
+
+  res.ngroups = next_id;
+  res.extents = Bat::MakeOid(extents.size());
+  std::copy(extents.begin(), extents.end(), res.extents->oids().begin());
+  return res;
+}
+
+Result<BatPtr> SequentialEngine::SubSum(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckNumeric(vals, "subsum input"));
+  RETURN_IF_ERROR(CheckOids(groups, "group ids"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  auto g = groups->oids();
+  if (vals->type() == ValType::kFloat) {
+    std::vector<double> acc(ngroups, 0.0);
+    auto v = vals->floats();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (!std::isnan(v[i])) acc[g[i]] += v[i];
+    }
+    BatPtr out = Bat::MakeFloat(ngroups);
+    auto o = out->floats();
+    for (std::size_t k = 0; k < ngroups; ++k) o[k] = static_cast<float>(acc[k]);
+    return out;
+  }
+  std::vector<std::int64_t> acc(ngroups, 0);
+  auto v = vals->ints();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != kIntNil) acc[g[i]] += v[i];
+  }
+  BatPtr out = Bat::MakeInt(ngroups);
+  auto o = out->ints();
+  for (std::size_t k = 0; k < ngroups; ++k) o[k] = static_cast<std::int32_t>(acc[k]);
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::SubCount(const BatPtr& groups, std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckOids(groups, "group ids"));
+  BatPtr out = Bat::MakeInt(ngroups);
+  auto o = out->ints();
+  std::fill(o.begin(), o.end(), 0);
+  for (oid_t gid : groups->oids()) o[gid] += 1;
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::SubMin(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckNumeric(vals, "submin input"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  auto g = groups->oids();
+  BatPtr out = Bat::Make(vals->type(), ngroups);
+  if (vals->type() == ValType::kFloat) {
+    auto o = out->floats();
+    std::fill(o.begin(), o.end(), cstore::FloatNil());
+    auto v = vals->floats();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (std::isnan(v[i])) continue;
+      if (std::isnan(o[g[i]]) || v[i] < o[g[i]]) o[g[i]] = v[i];
+    }
+  } else {
+    auto o = out->ints();
+    std::fill(o.begin(), o.end(), kIntNil);
+    auto v = vals->ints();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == kIntNil) continue;
+      if (o[g[i]] == kIntNil || v[i] < o[g[i]]) o[g[i]] = v[i];
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::SubMax(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckNumeric(vals, "submax input"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  auto g = groups->oids();
+  BatPtr out = Bat::Make(vals->type(), ngroups);
+  if (vals->type() == ValType::kFloat) {
+    auto o = out->floats();
+    std::fill(o.begin(), o.end(), cstore::FloatNil());
+    auto v = vals->floats();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (std::isnan(v[i])) continue;
+      if (std::isnan(o[g[i]]) || v[i] > o[g[i]]) o[g[i]] = v[i];
+    }
+  } else {
+    auto o = out->ints();
+    std::fill(o.begin(), o.end(), kIntNil);
+    auto v = vals->ints();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == kIntNil) continue;
+      if (o[g[i]] == kIntNil || v[i] > o[g[i]]) o[g[i]] = v[i];
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::SubAvg(const BatPtr& vals, const BatPtr& groups,
+                                        std::size_t ngroups) {
+  RETURN_IF_ERROR(CheckNumeric(vals, "subavg input"));
+  RETURN_IF_ERROR(CheckSameSize(vals, groups));
+  std::vector<double> sum(ngroups, 0.0);
+  std::vector<std::int64_t> cnt(ngroups, 0);
+  auto g = groups->oids();
+  for (std::size_t i = 0; i < vals->size(); ++i) {
+    if (IsNilAt(vals, i)) continue;
+    sum[g[i]] += ValueAt(vals, i);
+    cnt[g[i]] += 1;
+  }
+  BatPtr out = Bat::MakeFloat(ngroups);
+  auto o = out->floats();
+  for (std::size_t k = 0; k < ngroups; ++k) {
+    o[k] = cnt[k] == 0 ? cstore::FloatNil()
+                       : static_cast<float>(sum[k] / static_cast<double>(cnt[k]));
+  }
+  return out;
+}
+
+Result<double> SequentialEngine::Sum(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "sum input"));
+  double acc = 0;
+  for (std::size_t i = 0; i < col->size(); ++i) {
+    if (!IsNilAt(col, i)) acc += ValueAt(col, i);
+  }
+  return acc;
+}
+
+Result<double> SequentialEngine::Min(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "min input"));
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < col->size(); ++i) {
+    if (!IsNilAt(col, i)) best = std::min(best, ValueAt(col, i));
+  }
+  return best;
+}
+
+Result<double> SequentialEngine::Max(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "max input"));
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < col->size(); ++i) {
+    if (!IsNilAt(col, i)) best = std::max(best, ValueAt(col, i));
+  }
+  return best;
+}
+
+Result<std::int64_t> SequentialEngine::Count(const BatPtr& col) {
+  if (col == nullptr) return Status::InvalidArgument("count input is null");
+  return static_cast<std::int64_t>(col->size());
+}
+
+Result<BatPtr> SequentialEngine::Calc(CalcOp op, const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckNumeric(a, "calc lhs"));
+  RETURN_IF_ERROR(CheckNumeric(b, "calc rhs"));
+  RETURN_IF_ERROR(CheckSameSize(a, b));
+  std::size_t n = a->size();
+  bool int_result = a->type() == ValType::kInt && b->type() == ValType::kInt &&
+                    op != CalcOp::kDiv;
+  BatPtr out = Bat::Make(int_result ? ValType::kInt : ValType::kFloat, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool nil = IsNilAt(a, i) || IsNilAt(b, i);
+    double r = nil ? 0 : ApplyCalc(op, ValueAt(a, i), ValueAt(b, i));
+    if (int_result) {
+      out->ints()[i] = nil ? kIntNil : static_cast<std::int32_t>(r);
+    } else {
+      out->floats()[i] = nil ? cstore::FloatNil() : static_cast<float>(r);
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::CalcScalar(CalcOp op, const BatPtr& a, double s,
+                                            bool scalar_left) {
+  RETURN_IF_ERROR(CheckNumeric(a, "calc input"));
+  std::size_t n = a->size();
+  BatPtr out = Bat::MakeFloat(n);
+  auto o = out->floats();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (IsNilAt(a, i)) {
+      o[i] = cstore::FloatNil();
+      continue;
+    }
+    double v = ValueAt(a, i);
+    o[i] = static_cast<float>(scalar_left ? ApplyCalc(op, s, v) : ApplyCalc(op, v, s));
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::Cmp(CmpOp op, const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckNumeric(a, "cmp lhs"));
+  RETURN_IF_ERROR(CheckNumeric(b, "cmp rhs"));
+  RETURN_IF_ERROR(CheckSameSize(a, b));
+  BatPtr out = Bat::MakeInt(a->size());
+  auto o = out->ints();
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    bool nil = IsNilAt(a, i) || IsNilAt(b, i);
+    o[i] = (!nil && ApplyCmp(op, ValueAt(a, i), ValueAt(b, i))) ? 1 : 0;
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::CmpScalar(CmpOp op, const BatPtr& a, double s) {
+  RETURN_IF_ERROR(CheckNumeric(a, "cmp input"));
+  BatPtr out = Bat::MakeInt(a->size());
+  auto o = out->ints();
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    o[i] = (!IsNilAt(a, i) && ApplyCmp(op, ValueAt(a, i), s)) ? 1 : 0;
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::BoolOr(const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckInts(a, "or lhs"));
+  RETURN_IF_ERROR(CheckInts(b, "or rhs"));
+  RETURN_IF_ERROR(CheckSameSize(a, b));
+  BatPtr out = Bat::MakeInt(a->size());
+  auto av = a->ints(), bv = b->ints();
+  auto o = out->ints();
+  for (std::size_t i = 0; i < a->size(); ++i) o[i] = (av[i] != 0 || bv[i] != 0) ? 1 : 0;
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::BoolAnd(const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckInts(a, "and lhs"));
+  RETURN_IF_ERROR(CheckInts(b, "and rhs"));
+  RETURN_IF_ERROR(CheckSameSize(a, b));
+  BatPtr out = Bat::MakeInt(a->size());
+  auto av = a->ints(), bv = b->ints();
+  auto o = out->ints();
+  for (std::size_t i = 0; i < a->size(); ++i) o[i] = (av[i] != 0 && bv[i] != 0) ? 1 : 0;
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::IfThenElseConst(const BatPtr& cond,
+                                                 const BatPtr& then_vals,
+                                                 double else_val) {
+  RETURN_IF_ERROR(CheckInts(cond, "condition"));
+  RETURN_IF_ERROR(CheckNumeric(then_vals, "then branch"));
+  RETURN_IF_ERROR(CheckSameSize(cond, then_vals));
+  std::size_t n = cond->size();
+  auto c = cond->ints();
+  BatPtr out = Bat::Make(then_vals->type(), n);
+  if (then_vals->type() == ValType::kFloat) {
+    auto t = then_vals->floats();
+    auto o = out->floats();
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i] = c[i] != 0 ? t[i] : static_cast<float>(else_val);
+    }
+  } else {
+    auto t = then_vals->ints();
+    auto o = out->ints();
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i] = c[i] != 0 ? t[i] : static_cast<std::int32_t>(else_val);
+    }
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::Year(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckInts(col, "year input"));
+  BatPtr out = Bat::MakeInt(col->size());
+  auto v = col->ints();
+  auto o = out->ints();
+  for (std::size_t i = 0; i < col->size(); ++i) {
+    if (v[i] == kIntNil) {
+      o[i] = kIntNil;
+      continue;
+    }
+    int y, m, d;
+    common::date::ToYmd(v[i], &y, &m, &d);
+    o[i] = y;
+  }
+  return out;
+}
+
+Result<BatPtr> SequentialEngine::CastToFloat(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "cast input"));
+  if (col->type() == ValType::kFloat) {
+    BatPtr out = Bat::MakeFloat(col->size());
+    std::copy(col->floats().begin(), col->floats().end(), out->floats().begin());
+    return out;
+  }
+  BatPtr out = Bat::MakeFloat(col->size());
+  auto v = col->ints();
+  auto o = out->floats();
+  for (std::size_t i = 0; i < col->size(); ++i) {
+    o[i] = v[i] == kIntNil ? cstore::FloatNil() : static_cast<float>(v[i]);
+  }
+  return out;
+}
+
+}  // namespace monet

@@ -1,0 +1,75 @@
+#ifndef OCELOT_MONET_SEQ_ENGINE_H_
+#define OCELOT_MONET_SEQ_ENGINE_H_
+
+#include "cstore/engine.h"
+
+namespace monet {
+
+/// The sequential MonetDB baseline ("MS" in the paper's figures):
+/// hand-written single-core operators in the style of MonetDB's GDK kernels
+/// (tight loops over tail heaps, chained hash joins, quicksort ordering).
+/// Runs in real time on the host — no virtual-clock interaction.
+class SequentialEngine : public cstore::QueryEngine {
+ public:
+  std::string name() const override { return "MonetDB (sequential)"; }
+
+  common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
+                                             const cstore::BatPtr& cand,
+                                             cstore::Bound lo,
+                                             cstore::Bound hi) override;
+  common::Result<cstore::BatPtr> CandUnion(const cstore::BatPtr& a,
+                                           const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> Project(const cstore::BatPtr& oids,
+                                         const cstore::BatPtr& col) override;
+  common::Result<cstore::JoinResult> HashJoin(const cstore::BatPtr& left,
+                                              const cstore::BatPtr& right) override;
+  common::Result<cstore::JoinResult> ThetaJoin(const cstore::BatPtr& left,
+                                               const cstore::BatPtr& right,
+                                               cstore::CmpOp op) override;
+  common::Result<cstore::BatPtr> SemiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::BatPtr> AntiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::SortResult> Sort(const cstore::BatPtr& col) override;
+  common::Result<cstore::GroupResult> GroupBy(const cstore::BatPtr& col,
+                                              const cstore::GroupResult* prev) override;
+  common::Result<cstore::BatPtr> SubSum(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubCount(const cstore::BatPtr& groups,
+                                          std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMin(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMax(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubAvg(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<double> Sum(const cstore::BatPtr& col) override;
+  common::Result<double> Min(const cstore::BatPtr& col) override;
+  common::Result<double> Max(const cstore::BatPtr& col) override;
+  common::Result<std::int64_t> Count(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> Calc(cstore::CalcOp op, const cstore::BatPtr& a,
+                                      const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CalcScalar(cstore::CalcOp op, const cstore::BatPtr& a,
+                                            double s, bool scalar_left) override;
+  common::Result<cstore::BatPtr> Cmp(cstore::CmpOp op, const cstore::BatPtr& a,
+                                     const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CmpScalar(cstore::CmpOp op, const cstore::BatPtr& a,
+                                           double s) override;
+  common::Result<cstore::BatPtr> BoolOr(const cstore::BatPtr& a,
+                                        const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> BoolAnd(const cstore::BatPtr& a,
+                                         const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> IfThenElseConst(const cstore::BatPtr& cond,
+                                                 const cstore::BatPtr& then_vals,
+                                                 double else_val) override;
+  common::Result<cstore::BatPtr> Year(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> CastToFloat(const cstore::BatPtr& col) override;
+};
+
+}  // namespace monet
+
+#endif  // OCELOT_MONET_SEQ_ENGINE_H_

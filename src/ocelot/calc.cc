@@ -1,0 +1,500 @@
+// OcelotEngine: element-wise column arithmetic (batcalc) and ungrouped
+// aggregation via parallel binary reduction (paper 4.1.7).
+
+#include <cmath>
+
+#include "common/date.h"
+#include "ocelot/engine.h"
+#include "ocelot/internal.h"
+#include "ocelot/scan.h"
+
+namespace ocelot {
+
+using common::Result;
+using common::Status;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::CalcOp;
+using cstore::CmpOp;
+using cstore::kIntNil;
+using cstore::ValType;
+
+namespace {
+
+Status CheckNumeric(const BatPtr& b, const char* what) {
+  if (b == nullptr) return Status::InvalidArgument(std::string(what) + " is null");
+  if (b->type() == ValType::kOid) {
+    return Status::InvalidArgument(std::string(what) + " must be int or float");
+  }
+  return Status::Ok();
+}
+
+double ApplyCalc(CalcOp op, double a, double b) {
+  switch (op) {
+    case CalcOp::kAdd:
+      return a + b;
+    case CalcOp::kSub:
+      return a - b;
+    case CalcOp::kMul:
+      return a * b;
+    case CalcOp::kDiv:
+      return a / b;
+  }
+  return 0;
+}
+
+bool ApplyCmp(CmpOp op, double a, double b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Type-erased per-element view of a numeric device buffer, resolved once
+/// per kernel invocation (outside the hot loop).
+struct NumSpans {
+  std::span<const std::int32_t> iv;
+  std::span<const float> fv;
+  bool is_int;
+
+  static NumSpans Of(const ocl::BufferPtr& buf, ValType type) {
+    NumSpans s;
+    s.is_int = type == ValType::kInt;
+    if (s.is_int) {
+      s.iv = buf->Span<const std::int32_t>();
+    } else {
+      s.fv = buf->Span<const float>();
+    }
+    return s;
+  }
+  double At(std::size_t i) const {
+    return is_int ? static_cast<double>(iv[i]) : static_cast<double>(fv[i]);
+  }
+  bool Nil(std::size_t i) const {
+    return is_int ? iv[i] == kIntNil : std::isnan(fv[i]);
+  }
+};
+
+}  // namespace
+
+// --- batcalc map kernels ---------------------------------------------------------
+
+Result<BatPtr> OcelotEngine::Calc(CalcOp op, const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckNumeric(a, "calc lhs"));
+  RETURN_IF_ERROR(CheckNumeric(b, "calc rhs"));
+  if (a->size() != b->size()) return Status::InvalidArgument("calc size mismatch");
+  std::size_t n = a->size();
+  bool int_result =
+      a->type() == ValType::kInt && b->type() == ValType::kInt && op != CalcOp::kDiv;
+
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm_.AcquireRead(&scope, a, &waits));
+  ASSIGN_OR_RETURN(ocl::BufferPtr b_buf, mm_.AcquireRead(&scope, b, &waits));
+  BatPtr out = Bat::Make(int_result ? ValType::kInt : ValType::kFloat, n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  ValType at = a->type(), bt = b->type();
+  ocl::KernelLaunch k;
+  k.name = "batcalc_binop";
+  k.body = [a_buf, b_buf, o_buf, n, op, at, bt, int_result](ocl::WorkGroup& wg) {
+    NumSpans av = NumSpans::Of(a_buf, at);
+    NumSpans bv = NumSpans::Of(b_buf, bt);
+    auto oi = int_result ? o_buf->Span<std::int32_t>() : std::span<std::int32_t>();
+    auto of = !int_result ? o_buf->Span<float>() : std::span<float>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        bool nil = av.Nil(i) || bv.Nil(i);
+        double r = nil ? 0 : ApplyCalc(op, av.At(i), bv.At(i));
+        if (int_result) {
+          oi[i] = nil ? kIntNil : static_cast<std::int32_t>(r);
+        } else {
+          of[i] = nil ? cstore::FloatNil() : static_cast<float>(r);
+        }
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(a, ev);
+  mm_.AddConsumer(b, ev);
+  return out;
+}
+
+Result<BatPtr> OcelotEngine::CalcScalar(CalcOp op, const BatPtr& a, double s,
+                                        bool scalar_left) {
+  RETURN_IF_ERROR(CheckNumeric(a, "calc input"));
+  std::size_t n = a->size();
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm_.AcquireRead(&scope, a, &waits));
+  BatPtr out = Bat::MakeFloat(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  ValType at = a->type();
+  ocl::KernelLaunch k;
+  k.name = "batcalc_scalar";
+  k.body = [a_buf, o_buf, n, op, s, scalar_left, at](ocl::WorkGroup& wg) {
+    NumSpans av = NumSpans::Of(a_buf, at);
+    auto of = o_buf->Span<float>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        if (av.Nil(i)) {
+          of[i] = cstore::FloatNil();
+          continue;
+        }
+        double v = av.At(i);
+        of[i] = static_cast<float>(scalar_left ? ApplyCalc(op, s, v)
+                                               : ApplyCalc(op, v, s));
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(a, ev);
+  return out;
+}
+
+Result<BatPtr> OcelotEngine::Cmp(CmpOp op, const BatPtr& a, const BatPtr& b) {
+  RETURN_IF_ERROR(CheckNumeric(a, "cmp lhs"));
+  RETURN_IF_ERROR(CheckNumeric(b, "cmp rhs"));
+  if (a->size() != b->size()) return Status::InvalidArgument("cmp size mismatch");
+  std::size_t n = a->size();
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm_.AcquireRead(&scope, a, &waits));
+  ASSIGN_OR_RETURN(ocl::BufferPtr b_buf, mm_.AcquireRead(&scope, b, &waits));
+  BatPtr out = Bat::MakeInt(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  ValType at = a->type(), bt = b->type();
+  ocl::KernelLaunch k;
+  k.name = "batcalc_cmp";
+  k.body = [a_buf, b_buf, o_buf, n, op, at, bt](ocl::WorkGroup& wg) {
+    NumSpans av = NumSpans::Of(a_buf, at);
+    NumSpans bv = NumSpans::Of(b_buf, bt);
+    auto oi = o_buf->Span<std::int32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        bool nil = av.Nil(i) || bv.Nil(i);
+        oi[i] = (!nil && ApplyCmp(op, av.At(i), bv.At(i))) ? 1 : 0;
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(a, ev);
+  mm_.AddConsumer(b, ev);
+  return out;
+}
+
+Result<BatPtr> OcelotEngine::CmpScalar(CmpOp op, const BatPtr& a, double s) {
+  RETURN_IF_ERROR(CheckNumeric(a, "cmp input"));
+  std::size_t n = a->size();
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm_.AcquireRead(&scope, a, &waits));
+  BatPtr out = Bat::MakeInt(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  ValType at = a->type();
+  ocl::KernelLaunch k;
+  k.name = "batcalc_cmp_scalar";
+  k.body = [a_buf, o_buf, n, op, s, at](ocl::WorkGroup& wg) {
+    NumSpans av = NumSpans::Of(a_buf, at);
+    auto oi = o_buf->Span<std::int32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        oi[i] = (!av.Nil(i) && ApplyCmp(op, av.At(i), s)) ? 1 : 0;
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(a, ev);
+  return out;
+}
+
+namespace {
+
+/// Shared implementation of the int32 0/1 logical kernels.
+Result<BatPtr> BoolBinary(OcelotEngine* eng, MemoryManager* mm, ocl::Context* ctx,
+                          const BatPtr& a, const BatPtr& b, bool is_or) {
+  (void)eng;
+  if (a == nullptr || b == nullptr) return Status::InvalidArgument("bool op: null input");
+  if (a->type() != ValType::kInt || b->type() != ValType::kInt) {
+    return Status::InvalidArgument("bool op requires int 0/1 BATs");
+  }
+  if (a->size() != b->size()) return Status::InvalidArgument("bool op size mismatch");
+  std::size_t n = a->size();
+  MemoryManager::OpScope scope(mm);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm->AcquireRead(&scope, a, &waits));
+  ASSIGN_OR_RETURN(ocl::BufferPtr b_buf, mm->AcquireRead(&scope, b, &waits));
+  BatPtr out = Bat::MakeInt(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm->AcquireWrite(&scope, out));
+
+  ocl::KernelLaunch k;
+  k.name = is_or ? "batcalc_or" : "batcalc_and";
+  k.body = [a_buf, b_buf, o_buf, n, is_or](ocl::WorkGroup& wg) {
+    auto av = a_buf->Span<const std::int32_t>();
+    auto bv = b_buf->Span<const std::int32_t>();
+    auto ov = o_buf->Span<std::int32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        ov[i] = (is_or ? (av[i] != 0 || bv[i] != 0) : (av[i] != 0 && bv[i] != 0)) ? 1 : 0;
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx->queue()->EnqueueKernel(std::move(k), waits);
+  mm->SetProducer(out, ev);
+  mm->AddConsumer(a, ev);
+  mm->AddConsumer(b, ev);
+  return out;
+}
+
+}  // namespace
+
+Result<BatPtr> OcelotEngine::BoolOr(const BatPtr& a, const BatPtr& b) {
+  return BoolBinary(this, &mm_, ctx_, a, b, /*is_or=*/true);
+}
+
+Result<BatPtr> OcelotEngine::BoolAnd(const BatPtr& a, const BatPtr& b) {
+  return BoolBinary(this, &mm_, ctx_, a, b, /*is_or=*/false);
+}
+
+Result<BatPtr> OcelotEngine::IfThenElseConst(const BatPtr& cond, const BatPtr& then_vals,
+                                             double else_val) {
+  if (cond == nullptr || then_vals == nullptr) {
+    return Status::InvalidArgument("ifthenelse: null input");
+  }
+  if (cond->type() != ValType::kInt) {
+    return Status::InvalidArgument("ifthenelse condition must be int 0/1");
+  }
+  RETURN_IF_ERROR(CheckNumeric(then_vals, "then branch"));
+  if (cond->size() != then_vals->size()) {
+    return Status::InvalidArgument("ifthenelse size mismatch");
+  }
+  std::size_t n = cond->size();
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr c_buf, mm_.AcquireRead(&scope, cond, &waits));
+  ASSIGN_OR_RETURN(ocl::BufferPtr t_buf, mm_.AcquireRead(&scope, then_vals, &waits));
+  BatPtr out = Bat::Make(then_vals->type(), n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  bool flt = then_vals->type() == ValType::kFloat;
+  ocl::KernelLaunch k;
+  k.name = "batcalc_ifthenelse";
+  k.body = [c_buf, t_buf, o_buf, n, flt, else_val](ocl::WorkGroup& wg) {
+    auto cv = c_buf->Span<const std::int32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      if (flt) {
+        auto tv = t_buf->Span<const float>();
+        auto ov = o_buf->Span<float>();
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          ov[i] = cv[i] != 0 ? tv[i] : static_cast<float>(else_val);
+        }
+      } else {
+        auto tv = t_buf->Span<const std::int32_t>();
+        auto ov = o_buf->Span<std::int32_t>();
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          ov[i] = cv[i] != 0 ? tv[i] : static_cast<std::int32_t>(else_val);
+        }
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(cond, ev);
+  mm_.AddConsumer(then_vals, ev);
+  return out;
+}
+
+Result<BatPtr> OcelotEngine::Year(const BatPtr& col) {
+  if (col == nullptr || col->type() != ValType::kInt) {
+    return Status::InvalidArgument("year input must be an int date BAT");
+  }
+  std::size_t n = col->size();
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm_.AcquireRead(&scope, col, &waits));
+  BatPtr out = Bat::MakeInt(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  ocl::KernelLaunch k;
+  k.name = "batcalc_year";
+  k.body = [a_buf, o_buf, n](ocl::WorkGroup& wg) {
+    auto av = a_buf->Span<const std::int32_t>();
+    auto ov = o_buf->Span<std::int32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        if (av[i] == kIntNil) {
+          ov[i] = kIntNil;
+          continue;
+        }
+        int y, m, d;
+        common::date::ToYmd(av[i], &y, &m, &d);
+        ov[i] = y;
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(col, ev);
+  return out;
+}
+
+Result<BatPtr> OcelotEngine::CastToFloat(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckNumeric(col, "cast input"));
+  std::size_t n = col->size();
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm_.AcquireRead(&scope, col, &waits));
+  BatPtr out = Bat::MakeFloat(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr o_buf, mm_.AcquireWrite(&scope, out));
+
+  bool is_int = col->type() == ValType::kInt;
+  ocl::KernelLaunch k;
+  k.name = "batcalc_cast_flt";
+  k.body = [a_buf, o_buf, n, is_int](ocl::WorkGroup& wg) {
+    auto ov = o_buf->Span<float>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      if (is_int) {
+        auto av = a_buf->Span<const std::int32_t>();
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          ov[i] = av[i] == kIntNil ? cstore::FloatNil() : static_cast<float>(av[i]);
+        }
+      } else {
+        auto av = a_buf->Span<const float>();
+        for (std::uint64_t i : wg.UnitsFor(item, n)) ov[i] = av[i];
+      }
+    }
+  };
+  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+  mm_.SetProducer(out, ev);
+  mm_.AddConsumer(col, ev);
+  return out;
+}
+
+// --- Ungrouped aggregation: parallel binary reduction (paper 4.1.7) ----------------
+
+namespace {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+Result<double> Reduce(MemoryManager* mm, ocl::Context* ctx, const BatPtr& col,
+                      ReduceOp op) {
+  RETURN_IF_ERROR(CheckNumeric(col, "reduce input"));
+  std::size_t n = col->size();
+  int groups = ctx->device()->model().default_groups();
+
+  MemoryManager::OpScope scope(mm);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr a_buf, mm->AcquireRead(&scope, col, &waits));
+  ASSIGN_OR_RETURN(ocl::BufferPtr partials,
+                   mm->AllocScratch(static_cast<std::size_t>(groups) * 8));
+
+  double init = op == ReduceOp::kSum ? 0.0
+                : op == ReduceOp::kMin ? std::numeric_limits<double>::infinity()
+                                       : -std::numeric_limits<double>::infinity();
+  ValType at = col->type();
+
+  // Stage 1: each work-group reduces its partition into one partial value;
+  // work-items accumulate privately, the group folds sequentially (the
+  // in-group barrier tree of the OpenCL original collapses to this under
+  // the one-thread-per-group execution of section 4.2).
+  ocl::KernelLaunch k1;
+  k1.name = "reduce_partial";
+  k1.body = [a_buf, partials, n, op, init, at](ocl::WorkGroup& wg) {
+    NumSpans av = NumSpans::Of(a_buf, at);
+    double acc = init;
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        if (av.Nil(i)) continue;
+        double v = av.At(i);
+        switch (op) {
+          case ReduceOp::kSum:
+            acc += v;
+            break;
+          case ReduceOp::kMin:
+            acc = std::min(acc, v);
+            break;
+          case ReduceOp::kMax:
+            acc = std::max(acc, v);
+            break;
+        }
+      }
+    }
+    partials->Span<double>()[static_cast<std::size_t>(wg.group_id())] = acc;
+  };
+  ocl::EventPtr e1 = ctx->queue()->EnqueueKernel(std::move(k1), waits);
+
+  // Stage 2: a single work-group folds the partials.
+  ocl::KernelLaunch k2;
+  k2.name = "reduce_final";
+  k2.groups = 1;
+  k2.local_size = 1;
+  k2.body = [partials, groups, op](ocl::WorkGroup&) {
+    auto p = partials->Span<double>();
+    double acc = p[0];
+    for (int g = 1; g < groups; ++g) {
+      switch (op) {
+        case ReduceOp::kSum:
+          acc += p[static_cast<std::size_t>(g)];
+          break;
+        case ReduceOp::kMin:
+          acc = std::min(acc, p[static_cast<std::size_t>(g)]);
+          break;
+        case ReduceOp::kMax:
+          acc = std::max(acc, p[static_cast<std::size_t>(g)]);
+          break;
+      }
+    }
+    p[0] = acc;
+  };
+  ocl::EventPtr e2 = ctx->queue()->EnqueueKernel(std::move(k2), {e1});
+  mm->AddConsumer(col, e2);
+
+  // 8-byte result read-back.
+  double result = 0;
+  ocl::EventPtr read = ctx->queue()->EnqueueRead(&result, partials, 8, {e2});
+  ctx->queue()->Wait(read);
+  result = partials->Span<double>()[0];
+  return result;
+}
+
+}  // namespace
+
+Result<double> OcelotEngine::Sum(const BatPtr& col) {
+  return Reduce(&mm_, ctx_, col, ReduceOp::kSum);
+}
+
+Result<double> OcelotEngine::Min(const BatPtr& col) {
+  return Reduce(&mm_, ctx_, col, ReduceOp::kMin);
+}
+
+Result<double> OcelotEngine::Max(const BatPtr& col) {
+  return Reduce(&mm_, ctx_, col, ReduceOp::kMax);
+}
+
+Result<std::int64_t> OcelotEngine::Count(const BatPtr& col) {
+  if (col == nullptr) return Status::InvalidArgument("count input is null");
+  // Counting a bitmap-backed candidate list is a device popcount; plain
+  // BATs know their cardinality.
+  if (mm_.FindBitmap(col) != nullptr) return CandCount(col);
+  return static_cast<std::int64_t>(col->size());
+}
+
+}  // namespace ocelot

@@ -1,0 +1,115 @@
+#ifndef OCELOT_OCELOT_ENGINE_H_
+#define OCELOT_OCELOT_ENGINE_H_
+
+#include <memory>
+
+#include "cstore/engine.h"
+#include "ocelot/memory_manager.h"
+
+namespace ocelot {
+
+/// The hardware-oblivious operator set — the paper's contribution. One
+/// implementation of every relational operator, written against the kernel
+/// programming model (OpenCLite) and mapped at runtime to whichever device
+/// the context wraps (the Xeon CPU model or the GTX460 GPU model).
+///
+/// Operator host-code is device-independent: all device-specific decisions
+/// (work-group geometry, access patterns, radix widths, memory placement)
+/// are taken by the runtime, the memory manager, or the device model — see
+/// paper sections 3.2 and 4.2.
+///
+/// Selection results are device-side bitmaps behind placeholder oid BATs
+/// (paper 4.1.1); they are combined with bit operations and only
+/// materialized into oid lists when an operator needs explicit positions or
+/// when `Sync` hands the BAT back to the host.
+class OcelotEngine : public cstore::QueryEngine {
+ public:
+  explicit OcelotEngine(ocl::Context* ctx) : ctx_(ctx), mm_(ctx) {}
+
+  std::string name() const override {
+    return std::string("Ocelot on ") + ctx_->device()->name();
+  }
+
+  ocl::Context* context() { return ctx_; }
+  MemoryManager* memory() { return &mm_; }
+
+  common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
+                                             const cstore::BatPtr& cand,
+                                             cstore::Bound lo,
+                                             cstore::Bound hi) override;
+  common::Result<cstore::BatPtr> CandUnion(const cstore::BatPtr& a,
+                                           const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> Project(const cstore::BatPtr& oids,
+                                         const cstore::BatPtr& col) override;
+  common::Result<cstore::JoinResult> HashJoin(const cstore::BatPtr& left,
+                                              const cstore::BatPtr& right) override;
+  common::Result<cstore::JoinResult> ThetaJoin(const cstore::BatPtr& left,
+                                               const cstore::BatPtr& right,
+                                               cstore::CmpOp op) override;
+  common::Result<cstore::BatPtr> SemiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::BatPtr> AntiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::SortResult> Sort(const cstore::BatPtr& col) override;
+  common::Result<cstore::GroupResult> GroupBy(const cstore::BatPtr& col,
+                                              const cstore::GroupResult* prev) override;
+  common::Result<cstore::BatPtr> SubSum(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubCount(const cstore::BatPtr& groups,
+                                          std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMin(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMax(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubAvg(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<double> Sum(const cstore::BatPtr& col) override;
+  common::Result<double> Min(const cstore::BatPtr& col) override;
+  common::Result<double> Max(const cstore::BatPtr& col) override;
+  common::Result<std::int64_t> Count(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> Calc(cstore::CalcOp op, const cstore::BatPtr& a,
+                                      const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CalcScalar(cstore::CalcOp op, const cstore::BatPtr& a,
+                                            double s, bool scalar_left) override;
+  common::Result<cstore::BatPtr> Cmp(cstore::CmpOp op, const cstore::BatPtr& a,
+                                     const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CmpScalar(cstore::CmpOp op, const cstore::BatPtr& a,
+                                           double s) override;
+  common::Result<cstore::BatPtr> BoolOr(const cstore::BatPtr& a,
+                                        const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> BoolAnd(const cstore::BatPtr& a,
+                                         const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> IfThenElseConst(const cstore::BatPtr& cond,
+                                                 const cstore::BatPtr& then_vals,
+                                                 double else_val) override;
+  common::Result<cstore::BatPtr> Year(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> CastToFloat(const cstore::BatPtr& col) override;
+
+  /// The explicit ownership-handover operator (paper 3.4): waits on the
+  /// producer events, materializes bitmap-backed candidates, and transfers
+  /// device-resident results into the BAT's host heap.
+  common::Status Sync(const cstore::BatPtr& bat) override;
+
+  /// Cardinality of a candidate list without materializing it: bitmap
+  /// popcount on the device (used by selectivity accounting and benches).
+  common::Result<std::int64_t> CandCount(const cstore::BatPtr& cand);
+
+  /// Ensures `cand` is a materialized oid BAT (paper 4.1.2: bitmap ->
+  /// prefix sum -> position scatter). Idempotent for real oid BATs.
+  common::Status MaterializeCand(const cstore::BatPtr& cand);
+
+ private:
+  // Implementation helpers shared by the operator translation units.
+  friend struct EngineOps;
+
+  ocl::Context* ctx_;
+  MemoryManager mm_;
+};
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_ENGINE_H_

@@ -1,0 +1,491 @@
+// OcelotEngine: grouping (paper 4.1.6) and grouped aggregation (4.1.7).
+//
+// Grouping has two code paths: sorted inputs detect group boundaries by
+// neighbor comparison plus a prefix sum; unsorted inputs build the distinct
+// hash table and derive dense ids from the occupied-slot prefix sum.
+// Multi-column grouping recurses on combined ids. Grouped aggregation uses
+// the hierarchical scheme: per-work-group tables with multiple accumulators
+// per group (inversely proportional to the group count) to spread atomic
+// contention, then a final per-group fold.
+
+#include <algorithm>
+#include <bit>
+
+#include "ocelot/engine.h"
+#include "ocelot/hash_table.h"
+#include "ocelot/internal.h"
+#include "ocelot/scan.h"
+
+namespace ocelot {
+
+using common::Result;
+using common::Status;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::GroupResult;
+using cstore::kIntNil;
+using cstore::oid_t;
+using cstore::ValType;
+
+namespace {
+
+Status CheckNumeric(const BatPtr& b, const char* what) {
+  if (b == nullptr) return Status::InvalidArgument(std::string(what) + " is null");
+  if (b->type() == ValType::kOid) {
+    return Status::InvalidArgument(std::string(what) + " must be int or float");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<GroupResult> OcelotEngine::GroupBy(const BatPtr& col, const GroupResult* prev) {
+  RETURN_IF_ERROR(CheckNumeric(col, "group input"));
+  std::size_t n = col->size();
+
+  // Multi-column refinement: combine the previous group ids with this
+  // column's own grouping, then group the combined ids (paper 4.1.6).
+  if (prev != nullptr) {
+    if (prev->groups == nullptr || prev->groups->size() != n) {
+      return Status::InvalidArgument("refining grouping of mismatched size");
+    }
+    ASSIGN_OR_RETURN(GroupResult sub, GroupBy(col, nullptr));
+    if (prev->ngroups != 0 && sub.ngroups != 0 &&
+        static_cast<std::uint64_t>(prev->ngroups) * sub.ngroups >
+            static_cast<std::uint64_t>(std::numeric_limits<std::int32_t>::max())) {
+      return Status::ResourceExhausted("combined group id space exceeds int32");
+    }
+    BatPtr combined = Bat::MakeInt(n);
+    MemoryManager::OpScope scope(&mm_);
+    ocl::EventList waits;
+    ASSIGN_OR_RETURN(ocl::BufferPtr p_buf, mm_.AcquireRead(&scope, prev->groups, &waits));
+    ASSIGN_OR_RETURN(ocl::BufferPtr s_buf, mm_.AcquireRead(&scope, sub.groups, &waits));
+    ASSIGN_OR_RETURN(ocl::BufferPtr c_buf, mm_.AcquireWrite(&scope, combined));
+    std::int32_t stride = static_cast<std::int32_t>(sub.ngroups);
+    ocl::KernelLaunch k;
+    k.name = "group_combine_ids";
+    k.body = [p_buf, s_buf, c_buf, n, stride](ocl::WorkGroup& wg) {
+      auto pv = p_buf->Span<const oid_t>();
+      auto sv = s_buf->Span<const oid_t>();
+      auto cv = c_buf->Span<std::int32_t>();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          cv[i] = static_cast<std::int32_t>(pv[i]) * stride +
+                  static_cast<std::int32_t>(sv[i]);
+        }
+      }
+    };
+    ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+    mm_.SetProducer(combined, ev);
+    mm_.AddConsumer(prev->groups, ev);
+    mm_.AddConsumer(sub.groups, ev);
+    return GroupBy(combined, nullptr);
+  }
+
+  MemoryManager::OpScope scope(&mm_);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr col_buf, mm_.AcquireRead(&scope, col, &waits));
+
+  GroupResult res;
+  res.groups = Bat::MakeOid(n);
+  ASSIGN_OR_RETURN(ocl::BufferPtr gid_buf, mm_.AcquireWrite(&scope, res.groups));
+
+  if (col->sorted()) {
+    // Sorted path: boundary flags -> prefix sum -> dense ids (paper 4.1.6).
+    ASSIGN_OR_RETURN(ocl::BufferPtr flags, mm_.AllocScratch(std::max<std::size_t>(n, 1) * 4));
+    ASSIGN_OR_RETURN(ocl::BufferPtr scans, mm_.AllocScratch((n + 1) * 4));
+    bool is_int = col->type() == ValType::kInt;
+    ocl::KernelLaunch kf;
+    kf.name = "group_boundaries";
+    kf.body = [col_buf, flags, n, is_int](ocl::WorkGroup& wg) {
+      auto f = flags->Span<std::uint32_t>();
+      auto iv = is_int ? col_buf->Span<const std::int32_t>()
+                       : std::span<const std::int32_t>();
+      auto fv = !is_int ? col_buf->Span<const float>() : std::span<const float>();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          bool boundary =
+              i == 0 || (is_int ? iv[i] != iv[i - 1]
+                                : std::bit_cast<std::uint32_t>(fv[i]) !=
+                                      std::bit_cast<std::uint32_t>(fv[i - 1]));
+          f[i] = boundary ? 1u : 0u;
+        }
+      }
+    };
+    ocl::EventPtr ef = ctx_->queue()->EnqueueKernel(std::move(kf), waits);
+    ASSIGN_OR_RETURN(ocl::EventPtr es, EnqueueExclusiveScan(&mm_, flags, scans, n, {ef}));
+    ASSIGN_OR_RETURN(std::uint32_t ngroups, ReadScalarU32(ctx_, scans, n, {es}));
+
+    res.ngroups = ngroups;
+    res.extents = Bat::MakeOid(ngroups);
+    ASSIGN_OR_RETURN(ocl::BufferPtr ext_buf, mm_.AcquireWrite(&scope, res.extents));
+    ocl::KernelLaunch kg;
+    kg.name = "group_sorted_ids";
+    kg.body = [flags, scans, gid_buf, ext_buf, n](ocl::WorkGroup& wg) {
+      auto f = flags->Span<const std::uint32_t>();
+      auto s = scans->Span<const std::uint32_t>();
+      auto g = gid_buf->Span<oid_t>();
+      auto e = ext_buf->Span<oid_t>();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          oid_t gid = static_cast<oid_t>(s[i] + f[i] - 1);
+          g[i] = gid;
+          if (f[i] != 0) e[gid] = static_cast<oid_t>(i);
+        }
+      }
+    };
+    ocl::EventPtr eg = ctx_->queue()->EnqueueKernel(std::move(kg), {es});
+    mm_.SetProducer(res.groups, eg);
+    mm_.SetProducer(res.extents, eg);
+    mm_.AddConsumer(col, eg);
+    return res;
+  }
+
+  // Hash path: distinct table, occupied-slot scan for dense ids, then a
+  // lookup per row to build the assignment table.
+  BatPtr key_col = col;
+  if (col->type() == ValType::kFloat) {
+    // Group float columns by bit pattern through the int hash machinery.
+    auto to_bits = [&]() -> Result<BatPtr> {
+      BatPtr bits = Bat::MakeInt(n);
+      MemoryManager::OpScope s2(&mm_);
+      ocl::EventList w2;
+      ASSIGN_OR_RETURN(ocl::BufferPtr src, mm_.AcquireRead(&s2, col, &w2));
+      ASSIGN_OR_RETURN(ocl::BufferPtr dst, mm_.AcquireWrite(&s2, bits));
+      ocl::KernelLaunch k;
+      k.name = "group_float_bits";
+      k.body = [src, dst, n](ocl::WorkGroup& wg) {
+        auto sv = src->Span<const std::uint32_t>();
+        auto dv = dst->Span<std::uint32_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t i : wg.UnitsFor(item, n)) dv[i] = sv[i];
+        }
+      };
+      ocl::EventPtr e = ctx_->queue()->EnqueueKernel(std::move(k), w2);
+      mm_.SetProducer(bits, e);
+      mm_.AddConsumer(col, e);
+      return bits;
+    };
+    ASSIGN_OR_RETURN(key_col, to_bits());
+  }
+
+  ASSIGN_OR_RETURN(std::shared_ptr<DeviceHashTable> ht,
+                   BuildHashTable(&mm_, key_col, /*distinct_only=*/true));
+  if (ht->ready != nullptr && !ht->ready->complete()) waits.push_back(ht->ready);
+
+  std::size_t slots = ht->slots;
+  ASSIGN_OR_RETURN(ocl::BufferPtr occ, mm_.AllocScratch(slots * 4));
+  ASSIGN_OR_RETURN(ocl::BufferPtr slot_gid, mm_.AllocScratch((slots + 1) * 4));
+
+  ocl::KernelLaunch ko;
+  ko.name = "group_occupancy";
+  ko.body = [ht, occ, slots](ocl::WorkGroup& wg) {
+    auto v = ht->vals->Span<const std::uint32_t>();
+    auto o = occ->Span<std::uint32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t u : wg.UnitsFor(item, slots)) o[u] = v[u] != 0 ? 1u : 0u;
+    }
+  };
+  ocl::EventPtr eo = ctx_->queue()->EnqueueKernel(std::move(ko), waits);
+  ASSIGN_OR_RETURN(ocl::EventPtr es, EnqueueExclusiveScan(&mm_, occ, slot_gid, slots, {eo}));
+  ASSIGN_OR_RETURN(std::uint32_t ngroups, ReadScalarU32(ctx_, slot_gid, slots, {es}));
+
+  res.ngroups = ngroups;
+  res.extents = Bat::MakeOid(ngroups);
+  ASSIGN_OR_RETURN(ocl::BufferPtr ext_buf, mm_.AcquireWrite(&scope, res.extents));
+
+  ocl::KernelLaunch ke;
+  ke.name = "group_extents";
+  ke.body = [ht, slot_gid, ext_buf, slots](ocl::WorkGroup& wg) {
+    auto v = ht->vals->Span<const std::uint32_t>();
+    auto sg = slot_gid->Span<const std::uint32_t>();
+    auto e = ext_buf->Span<oid_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t u : wg.UnitsFor(item, slots)) {
+        if (v[u] != 0) e[sg[u]] = static_cast<oid_t>(v[u] - 1);
+      }
+    }
+  };
+  ocl::EventPtr ee = ctx_->queue()->EnqueueKernel(std::move(ke), {es});
+  mm_.SetProducer(res.extents, ee);
+
+  ocl::EventList gwaits{es};
+  ocl::BufferPtr key_buf;
+  ASSIGN_OR_RETURN(key_buf, mm_.AcquireRead(&scope, key_col, &gwaits));
+  ocl::KernelLaunch kg;
+  kg.name = "group_assign_ids";
+  kg.body = [key_buf, ht, slot_gid, gid_buf, n](ocl::WorkGroup& wg) {
+    auto keys = key_buf->Span<const std::int32_t>();
+    auto tk = ht->keys->Span<const std::int32_t>();
+    auto tv = ht->vals->Span<const std::uint32_t>();
+    auto sg = slot_gid->Span<const std::uint32_t>();
+    auto g = gid_buf->Span<oid_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        std::size_t slot = HtLookup(tk, tv, ht->mask, ht->family, keys[i]);
+        g[i] = slot == SIZE_MAX ? cstore::kOidNil : static_cast<oid_t>(sg[slot]);
+      }
+    }
+  };
+  ocl::EventPtr eg = ctx_->queue()->EnqueueKernel(std::move(kg), gwaits);
+  mm_.SetProducer(res.groups, eg);
+  mm_.AddConsumer(col, eg);
+  return res;
+}
+
+// --- Grouped aggregation (paper 4.1.7) ----------------------------------------
+
+namespace {
+
+enum class GroupAgg { kSum, kMin, kMax, kCount, kAvg };
+
+/// Accumulators per group: inversely proportional to the group count so the
+/// atomic traffic per address stays bounded (the paper's contention fix).
+std::size_t AccumulatorsPerGroup(std::size_t ngroups) {
+  if (ngroups == 0) return 1;
+  return std::clamp<std::size_t>(256 / ngroups, 1, 32);
+}
+
+struct GroupAggArgs {
+  OcelotEngine* eng;
+  MemoryManager* mm;
+  ocl::Context* ctx;
+  const BatPtr& vals;  // null for kCount
+  const BatPtr& groups;
+  std::size_t ngroups;
+  GroupAgg op;
+};
+
+Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
+  if (args.groups == nullptr || args.groups->type() != ValType::kOid) {
+    return Status::InvalidArgument("group ids must be an oid BAT");
+  }
+  bool counting = args.op == GroupAgg::kCount;
+  if (!counting) {
+    RETURN_IF_ERROR(CheckNumeric(args.vals, "aggregation input"));
+    if (args.vals->size() != args.groups->size()) {
+      return Status::InvalidArgument("aggregation size mismatch");
+    }
+  }
+  std::size_t n = args.groups->size();
+  std::size_t ngroups = args.ngroups;
+  const ocl::DeviceModel& model = args.ctx->device()->model();
+  std::size_t groups_launched = static_cast<std::size_t>(model.default_groups());
+  std::size_t accums = AccumulatorsPerGroup(ngroups);
+  bool with_count = args.op == GroupAgg::kAvg;
+
+  MemoryManager::OpScope scope(args.mm);
+  ocl::EventList waits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr gid_buf, args.mm->AcquireRead(&scope, args.groups, &waits));
+  ocl::BufferPtr val_buf;
+  bool is_int = false;
+  if (!counting) {
+    ASSIGN_OR_RETURN(val_buf, args.mm->AcquireRead(&scope, args.vals, &waits));
+    is_int = args.vals->type() == ValType::kInt;
+  }
+
+  std::size_t table = std::max<std::size_t>(ngroups, 1);
+  ASSIGN_OR_RETURN(ocl::BufferPtr partials,
+                   args.mm->AllocScratch(groups_launched * table * 8));
+  ocl::BufferPtr counts;
+  if (with_count) {
+    ASSIGN_OR_RETURN(counts, args.mm->AllocScratch(groups_launched * table * 8));
+  }
+
+  GroupAgg op = args.op;
+  double init = op == GroupAgg::kMin ? std::numeric_limits<double>::infinity()
+                : op == GroupAgg::kMax ? -std::numeric_limits<double>::infinity()
+                                       : 0.0;
+  std::size_t local_doubles = table * accums * (with_count ? 2 : 1);
+  bool use_local = local_doubles * 8 <= model.local_mem_bytes;
+
+  ocl::KernelLaunch kp;
+  kp.name = use_local ? "group_agg_partial_local" : "group_agg_partial_global";
+  kp.body = [gid_buf, val_buf, partials, counts, n, table, accums, op, init, is_int,
+             counting, with_count, use_local, groups_launched](ocl::WorkGroup& wg) {
+    auto gids = gid_buf->Span<const oid_t>();
+    auto iv = (!counting && is_int) ? val_buf->Span<const std::int32_t>()
+                                    : std::span<const std::int32_t>();
+    auto fv = (!counting && !is_int) ? val_buf->Span<const float>()
+                                     : std::span<const float>();
+    auto part = partials->Span<double>();
+    auto cnt = with_count ? counts->Span<double>() : std::span<double>();
+    std::size_t g = static_cast<std::size_t>(wg.group_id());
+
+    // The accumulation table: in local memory when it fits, otherwise the
+    // global-memory fallback of the paper.
+    std::span<double> acc, acount;
+    if (use_local) {
+      acc = wg.local().Alloc<double>(table * accums);
+      if (with_count) acount = wg.local().Alloc<double>(table * accums);
+    } else {
+      acc = part.subspan(g * table, table);
+      if (with_count) acount = cnt.subspan(g * table, table);
+    }
+    std::size_t spread = use_local ? accums : 1;
+    for (double& a : acc) a = init;
+    for (double& a : acount) a = 0;
+
+    std::uint64_t ops = 0;
+    for (int item = 0; item < wg.local_size(); ++item) {
+      std::size_t a_slot = static_cast<std::size_t>(item) % spread;
+      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        oid_t grp = gids[i];
+        double v = 1.0;
+        if (!counting) {
+          if (is_int) {
+            if (iv[i] == kIntNil) continue;
+            v = iv[i];
+          } else {
+            if (std::isnan(fv[i])) continue;
+            v = fv[i];
+          }
+        }
+        std::size_t at = use_local ? grp * spread + a_slot : grp;
+        switch (op) {
+          case GroupAgg::kSum:
+          case GroupAgg::kAvg:
+            acc[at] += v;
+            break;
+          case GroupAgg::kMin:
+            acc[at] = std::min(acc[at], v);
+            break;
+          case GroupAgg::kMax:
+            acc[at] = std::max(acc[at], v);
+            break;
+          case GroupAgg::kCount:
+            acc[at] += 1.0;
+            break;
+        }
+        if (with_count && !counting) acount[at] += 1.0;
+        ops += 1;
+      }
+    }
+    // Float atomics are emulated via compare-and-swap on ints (footnote 7);
+    // each accumulation is one atomic.
+    if (use_local) {
+      wg.CountLocalAtomics(ops, table * spread);
+    } else {
+      wg.CountAtomics(ops, table);
+    }
+
+    if (use_local) {
+      // Fold the spread accumulators and publish this group's partial table.
+      for (std::size_t grp = 0; grp < table; ++grp) {
+        double folded = init;
+        double folded_cnt = 0;
+        for (std::size_t a = 0; a < spread; ++a) {
+          double v = acc[grp * spread + a];
+          switch (op) {
+            case GroupAgg::kSum:
+            case GroupAgg::kAvg:
+            case GroupAgg::kCount:
+              folded += v;
+              break;
+            case GroupAgg::kMin:
+              folded = std::min(folded, v);
+              break;
+            case GroupAgg::kMax:
+              folded = std::max(folded, v);
+              break;
+          }
+          if (with_count && !counting) folded_cnt += acount[grp * spread + a];
+        }
+        part[g * table + grp] = folded;
+        if (with_count && !counting) cnt[g * table + grp] = folded_cnt;
+      }
+    }
+    (void)groups_launched;
+  };
+  ocl::EventPtr ep = args.ctx->queue()->EnqueueKernel(std::move(kp), waits);
+
+  // Final stage: one thread per group folds the per-work-group partials.
+  ValType out_type = counting ? ValType::kInt
+                     : args.op == GroupAgg::kAvg
+                         ? ValType::kFloat
+                         : args.vals->type();
+  BatPtr out = Bat::Make(out_type, ngroups);
+  ASSIGN_OR_RETURN(ocl::BufferPtr out_buf, args.mm->AcquireWrite(&scope, out));
+
+  ocl::KernelLaunch kf;
+  kf.name = "group_agg_final";
+  kf.body = [partials, counts, out_buf, table, ngroups, groups_launched, op, init,
+             out_type, with_count, counting](ocl::WorkGroup& wg) {
+    auto part = partials->Span<const double>();
+    auto cnt = with_count && !counting ? counts->Span<const double>()
+                                       : std::span<const double>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t grp : wg.UnitsFor(item, ngroups)) {
+        double folded = init;
+        double folded_cnt = 0;
+        for (std::size_t g = 0; g < groups_launched; ++g) {
+          double v = part[g * table + grp];
+          switch (op) {
+            case GroupAgg::kSum:
+            case GroupAgg::kAvg:
+            case GroupAgg::kCount:
+              folded += v;
+              break;
+            case GroupAgg::kMin:
+              folded = std::min(folded, v);
+              break;
+            case GroupAgg::kMax:
+              folded = std::max(folded, v);
+              break;
+          }
+          if (with_count && !counting) folded_cnt += cnt[g * table + grp];
+        }
+        if (op == GroupAgg::kAvg) {
+          folded = folded_cnt == 0 ? std::numeric_limits<double>::quiet_NaN()
+                                   : folded / folded_cnt;
+        }
+        bool empty = std::isinf(folded);
+        switch (out_type) {
+          case ValType::kInt:
+            out_buf->Span<std::int32_t>()[grp] =
+                empty ? kIntNil : static_cast<std::int32_t>(folded);
+            break;
+          case ValType::kFloat:
+            out_buf->Span<float>()[grp] =
+                empty ? cstore::FloatNil() : static_cast<float>(folded);
+            break;
+          case ValType::kOid:
+            break;  // unreachable: out_type is int or float
+        }
+      }
+    }
+  };
+  ocl::EventPtr ef = args.ctx->queue()->EnqueueKernel(std::move(kf), {ep});
+  args.mm->SetProducer(out, ef);
+  args.mm->AddConsumer(args.groups, ef);
+  if (!counting) args.mm->AddConsumer(args.vals, ef);
+  return out;
+}
+
+}  // namespace
+
+Result<BatPtr> OcelotEngine::SubSum(const BatPtr& vals, const BatPtr& groups,
+                                    std::size_t ngroups) {
+  return GroupedAggregate({this, &mm_, ctx_, vals, groups, ngroups, GroupAgg::kSum});
+}
+
+Result<BatPtr> OcelotEngine::SubCount(const BatPtr& groups, std::size_t ngroups) {
+  return GroupedAggregate({this, &mm_, ctx_, nullptr, groups, ngroups, GroupAgg::kCount});
+}
+
+Result<BatPtr> OcelotEngine::SubMin(const BatPtr& vals, const BatPtr& groups,
+                                    std::size_t ngroups) {
+  return GroupedAggregate({this, &mm_, ctx_, vals, groups, ngroups, GroupAgg::kMin});
+}
+
+Result<BatPtr> OcelotEngine::SubMax(const BatPtr& vals, const BatPtr& groups,
+                                    std::size_t ngroups) {
+  return GroupedAggregate({this, &mm_, ctx_, vals, groups, ngroups, GroupAgg::kMax});
+}
+
+Result<BatPtr> OcelotEngine::SubAvg(const BatPtr& vals, const BatPtr& groups,
+                                    std::size_t ngroups) {
+  return GroupedAggregate({this, &mm_, ctx_, vals, groups, ngroups, GroupAgg::kAvg});
+}
+
+}  // namespace ocelot

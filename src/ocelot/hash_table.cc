@@ -1,0 +1,211 @@
+#include "ocelot/hash_table.h"
+
+#include <bit>
+
+#include "ocelot/scan.h"
+
+namespace ocelot {
+
+using common::Result;
+using common::Status;
+using cstore::BatPtr;
+using cstore::kIntNil;
+
+namespace {
+
+std::size_t TableSlots(std::size_t n, int attempt) {
+  // Over-allocate by 1.4x (paper: observed ~75% fill), round to a power of
+  // two for mask probing, double per restart.
+  std::size_t want = static_cast<std::size_t>(static_cast<double>(n) * 1.4) + 16;
+  std::size_t slots = std::bit_ceil(want);
+  return slots << attempt;
+}
+
+/// Cardinality estimate for distinct-insert tables: sample the host heap
+/// (the "adequate initial table size" the paper picks, 4.1.4). Device-owned
+/// inputs cannot be sampled cheaply; fall back to the row count. Gross
+/// underestimates are repaired by the grow-and-restart loop.
+std::size_t EstimateDistinct(const BatPtr& col) {
+  if (col->ocelot_owned()) return col->size();
+  constexpr std::size_t kSamples = 4096;
+  std::size_t n = col->size();
+  if (n == 0) return 1;
+  std::size_t step = std::max<std::size_t>(1, n / kSamples);
+  auto vals = col->ints();
+  // Small open table over the samples.
+  std::vector<std::int32_t> seen;
+  seen.reserve(kSamples);
+  for (std::size_t i = 0; i < n; i += step) {
+    if (std::find(seen.begin(), seen.end(), vals[i]) == seen.end()) {
+      seen.push_back(vals[i]);
+      if (seen.size() >= kSamples / 4) return n;  // high cardinality: give up
+    }
+  }
+  std::size_t sampled = (n + step - 1) / step;
+  // Saw `seen` distinct among `sampled`: if close to saturation assume high
+  // cardinality; otherwise the sample covers the domain.
+  if (seen.size() * 2 >= sampled) return n;
+  return seen.size() * 2 + 16;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<DeviceHashTable>> BuildHashTable(MemoryManager* mm,
+                                                        const BatPtr& build,
+                                                        bool distinct_only) {
+  if (build == nullptr || build->type() != cstore::ValType::kInt) {
+    return Status::InvalidArgument("hash build input must be an int BAT");
+  }
+  if (auto cached = mm->FindHashTable(build->id())) {
+    return std::static_pointer_cast<DeviceHashTable>(cached);
+  }
+
+  ocl::Context* ctx = mm->context();
+  std::size_t n = build->size();
+  // Unique-key builds size by the input; distinct-insert builds (grouping,
+  // semijoins) size by an estimated cardinality.
+  std::size_t expected = distinct_only ? std::min(EstimateDistinct(build), n) : n;
+
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    auto ht = std::make_shared<DeviceHashTable>();
+    ht->slots = TableSlots(expected, attempt);
+    ht->mask = static_cast<std::uint32_t>(ht->slots - 1);
+    ht->family = common::HashFamily(0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(attempt));
+    ht->rebuilds = attempt;
+    ht->bytes = ht->slots * 8 + 16;
+
+    MemoryManager::OpScope scope(mm);
+    ocl::EventList waits;
+    ASSIGN_OR_RETURN(ocl::BufferPtr keys_bat, mm->AcquireRead(&scope, build, &waits));
+    ASSIGN_OR_RETURN(ht->keys, mm->AllocScratch(ht->slots * 4));
+    ASSIGN_OR_RETURN(ht->vals, mm->AllocScratch(ht->slots * 4));
+    // flags[0] = verification failure count, flags[1] = grow request.
+    ASSIGN_OR_RETURN(ocl::BufferPtr flags, mm->AllocScratch(8));
+
+    std::size_t slots = ht->slots;
+    std::uint32_t mask = ht->mask;
+    common::HashFamily family = ht->family;
+    ocl::BufferPtr tkeys = ht->keys, tvals = ht->vals;
+
+    ocl::KernelLaunch init;
+    init.name = "ht_init";
+    init.body = [tvals, flags, slots](ocl::WorkGroup& wg) {
+      auto v = tvals->Span<std::uint32_t>();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t u : wg.UnitsFor(item, slots)) v[u] = 0;
+      }
+      if (wg.group_id() == 0) {
+        flags->Span<std::uint32_t>()[0] = 0;
+        flags->Span<std::uint32_t>()[1] = 0;
+      }
+    };
+    ocl::EventPtr e_init = ctx->queue()->EnqueueKernel(std::move(init), waits);
+
+    // Optimistic round: plain unsynchronized writes; colliding keys
+    // overwrite each other and are repaired later.
+    ocl::KernelLaunch opt;
+    opt.name = "ht_optimistic";
+    opt.body = [keys_bat, tkeys, tvals, mask, family, n](ocl::WorkGroup& wg) {
+      auto src = keys_bat->Span<const std::int32_t>();
+      auto k = tkeys->Span<std::int32_t>();
+      auto v = tvals->Span<std::uint32_t>();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          std::int32_t key = src[i];
+          if (key == kIntNil) continue;
+          std::size_t slot = family.Hash(0, static_cast<std::uint32_t>(key)) & mask;
+          k[slot] = key;
+          v[slot] = static_cast<std::uint32_t>(i) + 1;
+        }
+      }
+    };
+    ocl::EventPtr e_opt = ctx->queue()->EnqueueKernel(std::move(opt), {e_init});
+
+    // Verification round: every thread checks its keys survived.
+    ocl::KernelLaunch verify;
+    verify.name = "ht_verify";
+    verify.body = [keys_bat, tkeys, tvals, flags, mask, family, n](ocl::WorkGroup& wg) {
+      auto src = keys_bat->Span<const std::int32_t>();
+      auto k = tkeys->Span<const std::int32_t>();
+      auto v = tvals->Span<const std::uint32_t>();
+      auto f = flags->Span<std::uint32_t>();
+      std::uint32_t failed = 0;
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          std::int32_t key = src[i];
+          if (key == kIntNil) continue;
+          std::size_t slot = family.Hash(0, static_cast<std::uint32_t>(key)) & mask;
+          if (k[slot] != key || v[slot] == 0) failed += 1;
+        }
+      }
+      if (failed != 0) {
+        f[0] += failed;  // atomic add on the shared failure counter
+        wg.CountAtomics(1, 1);
+      }
+    };
+    ocl::EventPtr e_ver = ctx->queue()->EnqueueKernel(std::move(verify), {e_opt});
+    ASSIGN_OR_RETURN(std::uint32_t failures, ReadScalarU32(ctx, flags, 0, {e_ver}));
+    ht->optimistic_failures = failures;
+
+    ocl::EventPtr e_done = e_ver;
+    if (failures != 0) {
+      // Pessimistic round: re-insert lost keys with the strong hash family,
+      // claiming empty slots via compare-and-swap.
+      ocl::KernelLaunch pess;
+      pess.name = "ht_pessimistic";
+      pess.body = [keys_bat, tkeys, tvals, flags, mask, family, n,
+                   distinct_only](ocl::WorkGroup& wg) {
+        auto src = keys_bat->Span<const std::int32_t>();
+        auto k = tkeys->Span<std::int32_t>();
+        auto v = tvals->Span<std::uint32_t>();
+        auto f = flags->Span<std::uint32_t>();
+        std::uint64_t cas_ops = 0;
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t i : wg.UnitsFor(item, n)) {
+            std::int32_t key = src[i];
+            if (key == kIntNil) continue;
+            if (HtLookup(k, v, mask, family, key) != SIZE_MAX) continue;  // survived
+            bool placed = false;
+            std::size_t slot = 0;
+            for (int h = 1; h < common::HashFamily::kFunctions && !placed; ++h) {
+              slot = family.Hash(h, static_cast<std::uint32_t>(key)) & mask;
+              cas_ops += 1;
+              if (v[slot] == 0) {  // CAS claim (sequential execution)
+                k[slot] = key;
+                v[slot] = static_cast<std::uint32_t>(i) + 1;
+                placed = true;
+              } else if (k[slot] == key && distinct_only) {
+                placed = true;
+              }
+            }
+            std::size_t probes = 0;
+            while (!placed && probes <= mask) {
+              slot = (slot + 1) & mask;
+              cas_ops += 1;
+              if (v[slot] == 0) {
+                k[slot] = key;
+                v[slot] = static_cast<std::uint32_t>(i) + 1;
+                placed = true;
+              } else if (k[slot] == key && distinct_only) {
+                placed = true;
+              }
+              probes += 1;
+            }
+            if (!placed) f[1] = 1;  // table full: request grow-and-restart
+          }
+        }
+        wg.CountAtomics(cas_ops, mask + 1);
+      };
+      e_done = ctx->queue()->EnqueueKernel(std::move(pess), {e_ver});
+      ASSIGN_OR_RETURN(std::uint32_t grow, ReadScalarU32(ctx, flags, 1, {e_done}));
+      if (grow != 0) continue;  // restart with a doubled table
+    }
+
+    ht->ready = e_done;
+    mm->CacheHashTable(build->id(), ht, ht->bytes);
+    return ht;
+  }
+  return Status::Internal("hash table build failed to converge");
+}
+
+}  // namespace ocelot

@@ -1,0 +1,65 @@
+#ifndef OCELOT_OCELOT_HASH_TABLE_H_
+#define OCELOT_OCELOT_HASH_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "common/hash.h"
+#include "cstore/bat.h"
+#include "ocelot/memory_manager.h"
+
+namespace ocelot {
+
+/// Device-resident open-addressing hash table over int32 keys, built with
+/// the paper's scheme (4.1.4): an optimistic synchronization-free round, a
+/// verification round, and a pessimistic round that re-hashes with six
+/// strong hash functions before reverting to linear probing. The table is
+/// over-allocated by 1.4x; if the pessimistic round still fails, the build
+/// restarts with a doubled table.
+///
+/// Slots: `keys[slot]` holds the key, `vals[slot]` holds position+1
+/// (0 = empty). Used by hash joins, semi/anti joins and hash grouping.
+struct DeviceHashTable {
+  ocl::BufferPtr keys;
+  ocl::BufferPtr vals;
+  std::size_t slots = 0;
+  std::uint32_t mask = 0;
+  common::HashFamily family;
+  ocl::EventPtr ready;         ///< producer event of the build
+  std::size_t bytes = 0;       ///< device footprint (for the MM cache)
+  std::uint64_t optimistic_failures = 0;  ///< keys needing the pessimistic round
+  int rebuilds = 0;            ///< grow-and-restart count
+};
+
+/// Probe sequence shared by build and lookup: h0..h5, then linear from the
+/// last hash. Returns the slot holding `key`, or SIZE_MAX when absent.
+/// The "empty slot => absent" cut is sound because slots never empty during
+/// a build and the optimistic round writes every key's h0 slot.
+inline std::size_t HtLookup(std::span<const std::int32_t> keys,
+                            std::span<const std::uint32_t> vals, std::uint32_t mask,
+                            const common::HashFamily& family, std::int32_t key) {
+  std::size_t slot = 0;
+  for (int h = 0; h < common::HashFamily::kFunctions; ++h) {
+    slot = family.Hash(h, static_cast<std::uint32_t>(key)) & mask;
+    if (vals[slot] == 0) return SIZE_MAX;
+    if (keys[slot] == key) return slot;
+  }
+  for (std::size_t probes = 0; probes <= mask; ++probes) {
+    slot = (slot + 1) & mask;
+    if (vals[slot] == 0) return SIZE_MAX;
+    if (keys[slot] == key) return slot;
+  }
+  return SIZE_MAX;
+}
+
+/// Builds a hash table for `build` on the device. With `distinct_only`,
+/// duplicate keys collapse onto one slot (grouping/semijoin use); otherwise
+/// the input must be duplicate-free (a key column), which is verified.
+/// Consults/fills the memory manager's hash-table cache (paper 5.2.6).
+common::Result<std::shared_ptr<DeviceHashTable>> BuildHashTable(
+    MemoryManager* mm, const cstore::BatPtr& build, bool distinct_only);
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_HASH_TABLE_H_

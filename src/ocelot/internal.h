@@ -1,0 +1,68 @@
+#ifndef OCELOT_OCELOT_INTERNAL_H_
+#define OCELOT_OCELOT_INTERNAL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "cstore/bat.h"
+#include "cstore/engine.h"
+#include "ocelot/memory_manager.h"
+
+/// Internal helpers shared by the Ocelot operator translation units.
+namespace ocelot::internal {
+
+/// Branch-light compiled range predicate (same contract as the baseline
+/// engines: nil never matches).
+struct CompiledRange {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  CompiledRange(cstore::Bound lo_b, cstore::Bound hi_b) {
+    if (!lo_b.unbounded) {
+      lo = lo_b.inclusive ? lo_b.value
+                          : std::nextafter(lo_b.value,
+                                           std::numeric_limits<double>::infinity());
+    }
+    if (!hi_b.unbounded) {
+      hi = hi_b.inclusive ? hi_b.value
+                          : std::nextafter(hi_b.value,
+                                           -std::numeric_limits<double>::infinity());
+    }
+  }
+
+  bool Match(std::int32_t v) const {
+    if (v == cstore::kIntNil) return false;
+    double d = v;
+    return d >= lo && d <= hi;
+  }
+  bool Match(float v) const { return v >= lo && v <= hi; }
+};
+
+/// Bitmap storage size for `domain` rows: byte-granular, padded to 4 bytes
+/// so word kernels can run over uint32 lanes.
+inline std::size_t BitmapBytes(std::size_t domain) {
+  return ((domain + 7) / 8 + 3) & ~std::size_t{3};
+}
+
+/// Mask selecting the valid bits of the final bitmap byte.
+inline std::uint8_t LastByteMask(std::size_t domain, std::size_t byte_index) {
+  std::size_t full = domain / 8;
+  if (byte_index < full) return 0xff;
+  unsigned rem = static_cast<unsigned>(domain % 8);
+  return static_cast<std::uint8_t>((1u << rem) - 1);
+}
+
+inline double NumAt(std::span<const std::int32_t> iv, std::span<const float> fv,
+                    bool is_int, std::size_t i) {
+  return is_int ? static_cast<double>(iv[i]) : static_cast<double>(fv[i]);
+}
+
+inline bool NumNil(std::span<const std::int32_t> iv, std::span<const float> fv,
+                   bool is_int, std::size_t i) {
+  return is_int ? iv[i] == cstore::kIntNil : std::isnan(fv[i]);
+}
+
+}  // namespace ocelot::internal
+
+#endif  // OCELOT_OCELOT_INTERNAL_H_

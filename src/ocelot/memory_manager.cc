@@ -1,0 +1,284 @@
+#include "ocelot/memory_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ocelot {
+
+using common::Result;
+using common::Status;
+using cstore::BatPtr;
+
+MemoryManager::MemoryManager(ocl::Context* ctx) : ctx_(ctx) {
+  listener_token_ = cstore::Bat::AddDeleteListener(
+      [this](std::uint64_t id) { OnBatDeleted(id); });
+}
+
+MemoryManager::~MemoryManager() {
+  cstore::Bat::RemoveDeleteListener(listener_token_);
+}
+
+MemoryManager::OpScope::~OpScope() {
+  for (std::uint64_t id : held_) {
+    auto it = mm_->entries_.find(id);
+    if (it != mm_->entries_.end() && it->second.scope_refs > 0) {
+      it->second.scope_refs -= 1;
+    }
+  }
+}
+
+void MemoryManager::Hold(OpScope* scope, std::uint64_t id, Entry* entry) {
+  if (scope == nullptr) return;
+  entry->scope_refs += 1;
+  scope->held_.push_back(id);
+}
+
+Result<ocl::BufferPtr> MemoryManager::AcquireRead(OpScope* scope, const BatPtr& bat,
+                                                  ocl::EventList* waits) {
+  if (bat == nullptr) return Status::InvalidArgument("AcquireRead: null BAT");
+  Entry& entry = entries_[bat->id()];
+  entry.bat = bat;
+  entry.last_use = ++tick_;
+  entry.bytes = bat->tail_bytes();
+
+  if (entry.buffer == nullptr) {
+    if (ctx_->device()->model().unified_memory) {
+      ASSIGN_OR_RETURN(entry.buffer,
+                       ctx_->device()->WrapHost(bat->data(), bat->tail_bytes()));
+    } else {
+      if (entry.device_authoritative) {
+        // An offloaded result is being pulled back (footnote 4): reload the
+        // host copy we parked in the BAT heap.
+        reloads_ += 1;
+      }
+      ASSIGN_OR_RETURN(entry.buffer, AllocateWithEviction(bat->tail_bytes()));
+      entry.producer =
+          ctx_->queue()->EnqueueWrite(entry.buffer, bat->data(), bat->tail_bytes());
+    }
+  }
+  if (entry.producer != nullptr && !entry.producer->complete() && waits != nullptr) {
+    waits->push_back(entry.producer);
+  }
+  Hold(scope, bat->id(), &entry);
+  return entry.buffer;
+}
+
+Result<ocl::BufferPtr> MemoryManager::AcquireWrite(OpScope* scope, const BatPtr& bat) {
+  if (bat == nullptr) return Status::InvalidArgument("AcquireWrite: null BAT");
+  Entry& entry = entries_[bat->id()];
+  entry.bat = bat;
+  entry.last_use = ++tick_;
+  entry.bytes = bat->tail_bytes();
+
+  if (entry.buffer == nullptr) {
+    if (ctx_->device()->model().unified_memory) {
+      ASSIGN_OR_RETURN(entry.buffer,
+                       ctx_->device()->WrapHost(bat->data(), bat->tail_bytes()));
+    } else {
+      ASSIGN_OR_RETURN(entry.buffer, AllocateWithEviction(bat->tail_bytes()));
+    }
+  }
+  entry.device_authoritative = !ctx_->device()->model().unified_memory;
+  bat->set_ocelot_owned(true);
+  Hold(scope, bat->id(), &entry);
+  return entry.buffer;
+}
+
+Result<ocl::BufferPtr> MemoryManager::AllocScratch(std::size_t bytes) {
+  return AllocateWithEviction(bytes);
+}
+
+Result<ocl::BufferPtr> MemoryManager::AllocateWithEviction(std::size_t bytes) {
+  for (;;) {
+    auto buf = ctx_->device()->Allocate(bytes);
+    if (buf.ok()) return buf;
+    if (buf.status().code() != common::StatusCode::kResourceExhausted) return buf;
+    if (!EvictOne()) {
+      return Status::ResourceExhausted(
+          "device memory exhausted and nothing evictable (need " +
+          std::to_string(bytes) + "B on " + ctx_->device()->name() + ")");
+    }
+  }
+}
+
+void MemoryManager::WaitForQuiescence(Entry* entry) {
+  if (entry->producer != nullptr && !entry->producer->complete()) {
+    ctx_->queue()->Wait(entry->producer);
+  }
+  for (const ocl::EventPtr& e : entry->consumers) {
+    if (!e->complete()) ctx_->queue()->Wait(e);
+  }
+  entry->consumers.clear();
+}
+
+bool MemoryManager::EvictOne() {
+  // Tier 1 (paper 3.3): evict cached copies of host-resident BATs, LRU.
+  Entry* victim = nullptr;
+  std::uint64_t victim_id = 0;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (auto& [id, entry] : entries_) {
+    if (entry.buffer == nullptr || entry.pinned || entry.scope_refs > 0) continue;
+    if (entry.device_authoritative) continue;  // tier 3
+    if (entry.last_use < best) {
+      best = entry.last_use;
+      victim = &entry;
+      victim_id = id;
+    }
+  }
+  if (victim != nullptr) {
+    WaitForQuiescence(victim);
+    victim->buffer.reset();
+    victim->producer.reset();
+    entries_.erase(victim_id);
+    evictions_ += 1;
+    return true;
+  }
+
+  // Tier 2: drop auxiliary structures (cached hash tables) before touching
+  // result buffers.
+  if (!hash_tables_.empty()) {
+    auto lru = hash_tables_.begin();
+    for (auto it = hash_tables_.begin(); it != hash_tables_.end(); ++it) {
+      if (it->second.last_use < lru->second.last_use) lru = it;
+    }
+    ctx_->queue()->Flush();  // any probe using it has been scheduled already
+    hash_tables_.erase(lru);
+    evictions_ += 1;
+    return true;
+  }
+
+  // Tier 3: offload a computed result to the host (it cannot be dropped —
+  // footnote 4); the BAT heap serves as the parking space. Results whose
+  // BAT has been destroyed are unreachable garbage: drop them outright.
+  best = std::numeric_limits<std::uint64_t>::max();
+  victim = nullptr;
+  for (auto& [id, entry] : entries_) {
+    if (entry.buffer == nullptr || entry.pinned || entry.scope_refs > 0) continue;
+    if (!entry.device_authoritative) continue;
+    if (entry.bat.expired()) {
+      WaitForQuiescence(&entry);
+      entry.buffer.reset();
+      entry.producer.reset();
+      entries_.erase(id);
+      evictions_ += 1;
+      return true;
+    }
+    if (entry.last_use < best) {
+      best = entry.last_use;
+      victim = &entry;
+      victim_id = id;
+    }
+  }
+  if (victim == nullptr) return false;
+
+  BatPtr bat = victim->bat.lock();
+  OCELOT_CHECK(bat != nullptr);
+  ocl::EventList waits;
+  if (victim->producer != nullptr && !victim->producer->complete()) {
+    waits.push_back(victim->producer);
+  }
+  ocl::EventPtr read = ctx_->queue()->EnqueueRead(bat->data(), victim->buffer,
+                                                  bat->tail_bytes(), waits);
+  ctx_->queue()->Wait(read);
+  WaitForQuiescence(victim);
+  victim->buffer.reset();   // freed once pending closures drop their refs
+  victim->producer.reset();
+  offloads_ += 1;
+  return true;
+}
+
+void MemoryManager::SetProducer(const BatPtr& bat, ocl::EventPtr event) {
+  Entry& entry = entries_[bat->id()];
+  entry.bat = bat;
+  entry.producer = std::move(event);
+  entry.last_use = ++tick_;
+}
+
+void MemoryManager::AddConsumer(const BatPtr& bat, ocl::EventPtr event) {
+  auto it = entries_.find(bat->id());
+  if (it == entries_.end()) return;
+  // Consumer events decide when a buffer may be discarded (footnote 5);
+  // prune completed ones to bound the list.
+  std::erase_if(it->second.consumers,
+                [](const ocl::EventPtr& e) { return e->complete(); });
+  it->second.consumers.push_back(std::move(event));
+}
+
+ocl::EventPtr MemoryManager::Producer(const BatPtr& bat) const {
+  auto it = entries_.find(bat->id());
+  if (it == entries_.end()) return nullptr;
+  return it->second.producer;
+}
+
+void MemoryManager::RegisterBitmap(const BatPtr& handle, BitmapInfo info) {
+  bitmaps_[handle->id()] = std::move(info);
+  handle->set_ocelot_owned(true);
+}
+
+MemoryManager::BitmapInfo* MemoryManager::FindBitmap(const BatPtr& bat) {
+  auto it = bitmaps_.find(bat->id());
+  return it == bitmaps_.end() ? nullptr : &it->second;
+}
+
+void MemoryManager::DropBitmap(const BatPtr& bat) { bitmaps_.erase(bat->id()); }
+
+void MemoryManager::CacheHashTable(std::uint64_t bat_id, std::shared_ptr<void> table,
+                                   std::size_t bytes) {
+  hash_tables_[bat_id] = {std::move(table), bytes, ++tick_};
+}
+
+std::shared_ptr<void> MemoryManager::FindHashTable(std::uint64_t bat_id) {
+  auto it = hash_tables_.find(bat_id);
+  if (it == hash_tables_.end()) return nullptr;
+  it->second.last_use = ++tick_;
+  return it->second.table;
+}
+
+Status MemoryManager::SyncToHost(const BatPtr& bat) {
+  auto it = entries_.find(bat->id());
+  if (it == entries_.end()) {
+    bat->set_ocelot_owned(false);
+    return Status::Ok();
+  }
+  Entry& entry = it->second;
+  if (entry.producer != nullptr && !entry.producer->complete()) {
+    ctx_->queue()->Wait(entry.producer);
+  }
+  if (!ctx_->device()->model().unified_memory && entry.device_authoritative &&
+      entry.buffer != nullptr) {
+    ocl::EventPtr read =
+        ctx_->queue()->EnqueueRead(bat->data(), entry.buffer, bat->tail_bytes());
+    ctx_->queue()->Wait(read);
+  }
+  entry.device_authoritative = false;
+  bat->set_ocelot_owned(false);
+  return Status::Ok();
+}
+
+Status MemoryManager::Pin(OpScope* scope, const BatPtr& bat) {
+  ocl::EventList waits;
+  RETURN_IF_ERROR(AcquireRead(scope, bat, &waits).status());
+  entries_[bat->id()].pinned = true;
+  return Status::Ok();
+}
+
+void MemoryManager::Unpin(const BatPtr& bat) {
+  auto it = entries_.find(bat->id());
+  if (it != entries_.end()) it->second.pinned = false;
+}
+
+void MemoryManager::OnBatDeleted(std::uint64_t bat_id) {
+  // MonetDB told us the BAT is gone (paper 4.3): its cache entry, bitmap and
+  // hash table are garbage now. Pending events must drain first.
+  auto it = entries_.find(bat_id);
+  if (it != entries_.end()) {
+    WaitForQuiescence(&it->second);
+    entries_.erase(it);
+  }
+  bitmaps_.erase(bat_id);
+  hash_tables_.erase(bat_id);
+}
+
+}  // namespace ocelot

@@ -1,0 +1,161 @@
+#ifndef OCELOT_OCELOT_MEMORY_MANAGER_H_
+#define OCELOT_OCELOT_MEMORY_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cstore/bat.h"
+#include "ocl/context.h"
+
+namespace ocelot {
+
+/// The storage interface between Ocelot and the column store (paper 3.3).
+///
+/// Responsibilities, mirroring the paper:
+///  * BAT -> device buffer registry. On unified-memory devices the mapping
+///    is zero-copy; discrete devices get a transfer and the copy is kept as
+///    a *device cache* for as long as possible.
+///  * LRU eviction of clean cached base BATs under memory pressure, then
+///    dropping of auxiliary structures (cached hash tables), then
+///    *offloading* of computed result buffers back to the host — those
+///    cannot be dropped, only moved (footnote 4) — with transparent reload.
+///  * Reference counting (OpScope) so buffers used by the operator being
+///    scheduled are never victims; explicit pinning for hot BATs.
+///  * Producer/consumer event registries per buffer: the scheduling
+///    information Ocelot hands to the OpenCL runtime (paper 3.4).
+///  * Delete/recycle callbacks from the BAT layer (paper 4.3) that drop
+///    cache entries of destroyed BATs.
+///  * The hash-table cache for base-table joins (paper 5.2.6).
+///  * Bitmap registry: selection results live as device bitmaps and are
+///    only materialized into oid lists on demand (paper 4.1.1).
+class MemoryManager {
+ public:
+  explicit MemoryManager(ocl::Context* ctx);
+  ~MemoryManager();
+
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+
+  /// RAII guard holding entries of one operator invocation; buffers held by
+  /// an open scope are exempt from eviction.
+  class OpScope {
+   public:
+    explicit OpScope(MemoryManager* mm) : mm_(mm) {}
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    friend class MemoryManager;
+    MemoryManager* mm_;
+    std::vector<std::uint64_t> held_;
+  };
+
+  /// Device buffer with valid contents of `bat`. Appends the buffer's
+  /// producer event (if pending) to `waits`.
+  common::Result<ocl::BufferPtr> AcquireRead(OpScope* scope, const cstore::BatPtr& bat,
+                                             ocl::EventList* waits);
+
+  /// Device buffer backing the (new) result `bat`; contents undefined.
+  /// Marks the BAT ocelot-owned.
+  common::Result<ocl::BufferPtr> AcquireWrite(OpScope* scope, const cstore::BatPtr& bat);
+
+  /// Anonymous device scratch (histograms, ping-pong buffers, partials).
+  common::Result<ocl::BufferPtr> AllocScratch(std::size_t bytes);
+
+  // -- Event registries (lazy evaluation, paper 3.4) -------------------------
+
+  void SetProducer(const cstore::BatPtr& bat, ocl::EventPtr event);
+  void AddConsumer(const cstore::BatPtr& bat, ocl::EventPtr event);
+  ocl::EventPtr Producer(const cstore::BatPtr& bat) const;
+
+  // -- Bitmaps ----------------------------------------------------------------
+
+  struct BitmapInfo {
+    ocl::BufferPtr bits;       ///< packed, byte-granular, 4-byte padded
+    std::size_t domain = 0;    ///< number of rows covered
+    ocl::EventPtr producer;
+    std::int64_t count = -1;   ///< cached popcount (-1 unknown)
+  };
+
+  /// Registers `handle` (a placeholder oid BAT) as a bitmap-backed
+  /// candidate list.
+  void RegisterBitmap(const cstore::BatPtr& handle, BitmapInfo info);
+  /// nullptr when `bat` is not bitmap-backed.
+  BitmapInfo* FindBitmap(const cstore::BatPtr& bat);
+  /// Called after materialization turned the handle into a real oid BAT.
+  void DropBitmap(const cstore::BatPtr& bat);
+
+  // -- Hash table cache (paper 5.2.6) ------------------------------------------
+
+  void CacheHashTable(std::uint64_t bat_id, std::shared_ptr<void> table,
+                      std::size_t bytes);
+  std::shared_ptr<void> FindHashTable(std::uint64_t bat_id);
+  /// Forgets a cached hash table (benchmarks measuring cold builds).
+  void DropCachedHashTable(std::uint64_t bat_id) { hash_tables_.erase(bat_id); }
+
+  // -- Ownership / sync ---------------------------------------------------------
+
+  /// Waits for the producer and makes the BAT's host heap authoritative
+  /// (device->host read on discrete devices); clears ocelot ownership.
+  common::Status SyncToHost(const cstore::BatPtr& bat);
+
+  /// Pins a BAT's device buffer (never evicted) — the manual refcount bump
+  /// of paper 3.3.
+  common::Status Pin(OpScope* scope, const cstore::BatPtr& bat);
+  void Unpin(const cstore::BatPtr& bat);
+
+  // -- Introspection -------------------------------------------------------------
+
+  std::size_t device_bytes() const { return ctx_->device()->allocated_bytes(); }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t offloads() const { return offloads_; }
+  std::uint64_t reloads() const { return reloads_; }
+  std::size_t cached_entries() const { return entries_.size(); }
+
+  ocl::Context* context() { return ctx_; }
+
+ private:
+  struct Entry {
+    std::weak_ptr<cstore::Bat> bat;
+    ocl::BufferPtr buffer;          // null while offloaded/evicted
+    ocl::EventPtr producer;
+    ocl::EventList consumers;
+    bool device_authoritative = false;  // result lives on device only
+    bool pinned = false;
+    int scope_refs = 0;
+    std::uint64_t last_use = 0;
+    std::size_t bytes = 0;
+  };
+
+  struct CachedTable {
+    std::shared_ptr<void> table;
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+
+  common::Result<ocl::BufferPtr> AllocateWithEviction(std::size_t bytes);
+  /// Frees some device memory; returns false when nothing can be evicted.
+  bool EvictOne();
+  /// True when the entry's events are all complete (safe to move/drop).
+  void WaitForQuiescence(Entry* entry);
+  void OnBatDeleted(std::uint64_t bat_id);
+  void Hold(OpScope* scope, std::uint64_t id, Entry* entry);
+
+  ocl::Context* ctx_;
+  std::map<std::uint64_t, Entry> entries_;
+  std::map<std::uint64_t, BitmapInfo> bitmaps_;
+  std::map<std::uint64_t, CachedTable> hash_tables_;
+  std::uint64_t listener_token_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t offloads_ = 0;
+  std::uint64_t reloads_ = 0;
+};
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_MEMORY_MANAGER_H_

@@ -1,0 +1,78 @@
+#include "ocelot/scan.h"
+
+namespace ocelot {
+
+using common::Result;
+
+Result<ocl::EventPtr> EnqueueExclusiveScan(MemoryManager* mm, ocl::BufferPtr in,
+                                           ocl::BufferPtr out, std::size_t n,
+                                           ocl::EventList waits) {
+  ocl::Context* ctx = mm->context();
+  int groups = ctx->device()->model().default_groups();
+  ASSIGN_OR_RETURN(ocl::BufferPtr partials,
+                   mm->AllocScratch(static_cast<std::size_t>(groups) * 4));
+
+  ocl::KernelLaunch k1;
+  k1.name = "scan_partials";
+  k1.body = [in, partials, n](ocl::WorkGroup& wg) {
+    auto src = in->Span<std::uint32_t>();
+    auto part = partials->Span<std::uint32_t>();
+    std::uint32_t sum = 0;
+    for (std::uint64_t i : wg.GroupUnits(n)) sum += src[i];
+    part[static_cast<std::size_t>(wg.group_id())] = sum;
+  };
+  ocl::EventPtr e1 = ctx->queue()->EnqueueKernel(std::move(k1), std::move(waits));
+
+  ocl::KernelLaunch k2;
+  k2.name = "scan_spine";
+  k2.groups = 1;
+  k2.local_size = 1;
+  k2.body = [partials, groups](ocl::WorkGroup& wg) {
+    if (wg.group_id() != 0) return;
+    auto part = partials->Span<std::uint32_t>();
+    std::uint32_t running = 0;
+    for (int g = 0; g < groups; ++g) {
+      std::uint32_t v = part[static_cast<std::size_t>(g)];
+      part[static_cast<std::size_t>(g)] = running;
+      running += v;
+    }
+  };
+  ocl::EventPtr e2 = ctx->queue()->EnqueueKernel(std::move(k2), {e1});
+
+  ocl::KernelLaunch k3;
+  k3.name = "scan_apply";
+  k3.body = [in, out, partials, n](ocl::WorkGroup& wg) {
+    auto src = in->Span<std::uint32_t>();
+    auto dst = out->Span<std::uint32_t>();
+    auto part = partials->Span<std::uint32_t>();
+    std::uint32_t running = part[static_cast<std::size_t>(wg.group_id())];
+    ocl::UnitRange r = wg.GroupUnits(n);
+    for (std::uint64_t i : r) {
+      dst[i] = running;
+      running += src[i];
+    }
+    // The last group also publishes the grand total into out[n].
+    if (r.limit == n) dst[n] = running;
+  };
+  return ctx->queue()->EnqueueKernel(std::move(k3), {e2});
+}
+
+Result<std::uint32_t> ReadScalarU32(ocl::Context* ctx, ocl::BufferPtr buffer,
+                                    std::size_t index, ocl::EventList waits) {
+  std::uint32_t value = 0;
+  // A 4-byte read; on discrete devices this is a (latency-bound) transfer,
+  // exactly the small sync points a real OpenCL host program pays when it
+  // needs a result cardinality to size the next allocation.
+  auto src = buffer->Span<std::uint32_t>();
+  if (index >= src.size()) {
+    return common::Status::InvalidArgument("scalar read out of bounds");
+  }
+  ocl::EventPtr read = ctx->queue()->EnqueueRead(
+      &value, buffer, 4, std::move(waits));
+  // EnqueueRead copies from the buffer start; re-read the right slot below.
+  ctx->queue()->Wait(read);
+  value = src[index];
+  return value;
+}
+
+}  // namespace ocelot

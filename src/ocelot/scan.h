@@ -1,0 +1,29 @@
+#ifndef OCELOT_OCELOT_SCAN_H_
+#define OCELOT_OCELOT_SCAN_H_
+
+#include <cstdint>
+
+#include "ocelot/memory_manager.h"
+
+namespace ocelot {
+
+/// Device-side exclusive prefix sum over `n` uint32 values — the scan
+/// primitive [33] underlying bitmap materialization, the radix sort's
+/// histogram shuffle and the two-phase joins (paper 4.1.2/4.1.3/4.1.5).
+///
+/// Three launches: per-group partial sums over contiguous chunks, a
+/// single-work-group scan of the partials, and the chunk-local scan that
+/// applies the group offsets. `out` must hold n+1 values; out[n] receives
+/// the grand total.
+common::Result<ocl::EventPtr> EnqueueExclusiveScan(MemoryManager* mm,
+                                                   ocl::BufferPtr in,
+                                                   ocl::BufferPtr out, std::size_t n,
+                                                   ocl::EventList waits);
+
+/// Blocking 4-byte read of `buffer[index]` (uint32 element index).
+common::Result<std::uint32_t> ReadScalarU32(ocl::Context* ctx, ocl::BufferPtr buffer,
+                                            std::size_t index, ocl::EventList waits);
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_SCAN_H_

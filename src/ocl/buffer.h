@@ -1,0 +1,59 @@
+#ifndef OCELOT_OCL_BUFFER_H_
+#define OCELOT_OCL_BUFFER_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "common/logging.h"
+
+namespace ocl {
+
+class Device;
+
+/// Device-resident memory, the cl_mem analogue.
+///
+/// On unified-memory devices a Buffer may wrap a host heap zero-copy (the
+/// paper's "on the CPU this is a zero-copy operation", section 3.3); on
+/// discrete devices it owns a separate allocation charged against the
+/// device's modeled capacity, and data moves via CommandQueue transfers.
+class Buffer {
+ public:
+  ~Buffer();
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::size_t bytes() const { return bytes_; }
+  bool owns_storage() const { return owned_; }
+  Device* device() const { return device_; }
+
+  void* data() { return data_; }
+  const void* data() const { return data_; }
+
+  /// Typed view over the device storage; kernels read/write through this.
+  template <typename T>
+  std::span<T> Span() {
+    return {static_cast<T*>(data_), bytes_ / sizeof(T)};
+  }
+  template <typename T>
+  std::span<const T> Span() const {
+    return {static_cast<const T*>(data_), bytes_ / sizeof(T)};
+  }
+
+ private:
+  friend class Device;
+  Buffer(Device* device, void* data, std::size_t bytes, bool owned)
+      : device_(device), data_(data), bytes_(bytes), owned_(owned) {}
+
+  Device* device_;
+  void* data_;
+  std::size_t bytes_;
+  bool owned_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_BUFFER_H_

@@ -1,0 +1,9 @@
+#include "ocl/context.h"
+
+namespace ocl {
+
+std::vector<DeviceModel> AvailableDevices() {
+  return {XeonE5620Model(), Gtx460Model()};
+}
+
+}  // namespace ocl

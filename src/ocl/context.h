@@ -1,0 +1,43 @@
+#ifndef OCELOT_OCL_CONTEXT_H_
+#define OCELOT_OCL_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/vclock.h"
+#include "ocl/device.h"
+#include "ocl/queue.h"
+
+namespace ocl {
+
+/// An OpenCLite context: one device, its command queue, and the virtual
+/// clock that splices modeled device time into the engine's measurements.
+/// Mirrors the (context, device, queue) triple every OpenCL host program
+/// sets up; Ocelot's "OpenCL Context Management" component (paper Fig. 2)
+/// wraps exactly this.
+class Context {
+ public:
+  static std::unique_ptr<Context> Create(DeviceModel model) {
+    return std::unique_ptr<Context>(new Context(std::move(model)));
+  }
+
+  Device* device() { return &device_; }
+  CommandQueue* queue() { return &queue_; }
+  common::VirtualClock* clock() { return &clock_; }
+
+ private:
+  explicit Context(DeviceModel model)
+      : device_(std::move(model)), queue_(&device_, &clock_) {}
+
+  common::VirtualClock clock_;
+  Device device_;
+  CommandQueue queue_;
+};
+
+/// Device discovery, mirroring clGetPlatformIDs/clGetDeviceIDs: the models
+/// available on this "machine" (the paper's testbed).
+std::vector<DeviceModel> AvailableDevices();
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_CONTEXT_H_

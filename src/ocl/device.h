@@ -1,0 +1,148 @@
+#ifndef OCELOT_OCL_DEVICE_H_
+#define OCELOT_OCL_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timeline.h"
+
+namespace ocl {
+
+using common::Nanos;
+
+/// Kind of compute device, mirroring CL_DEVICE_TYPE_{CPU,GPU}.
+enum class DeviceType { kCpu, kGpu };
+
+/// Preferred global-memory access pattern of a device (paper section 4.2):
+/// CPUs want each thread to walk a contiguous block (prefetch-friendly),
+/// GPUs want neighboring threads to touch neighboring addresses (coalesced).
+/// OpenCLite injects this as a build constant into every kernel, exactly as
+/// Ocelot injects a pre-processor constant at kernel build time.
+enum class AccessPattern { kSequentialPerThread, kCoalesced };
+
+/// Calibrated performance model of one device.
+///
+/// OpenCLite executes kernels on the host for result correctness and uses
+/// this model to compute *virtual* runtimes (DESIGN.md section 2). The two
+/// presets below mirror the paper's testbed: a 4-core Intel Xeon E5620
+/// driven by the (beta) Intel OpenCL SDK, and an NVIDIA GTX460 (GF104,
+/// 7 multiprocessors x 48 lanes, 2 GB GDDR on PCIe 2.0 x16).
+struct DeviceModel {
+  std::string name;
+  DeviceType type = DeviceType::kCpu;
+
+  /// nc: independent schedulable cores (CPU cores / GPU multiprocessors).
+  int compute_cores = 1;
+  /// na: compute units per core; the default work-group size is 4*na.
+  int units_per_core = 1;
+
+  /// Multiplier turning measured single-host-core work-group time into this
+  /// device's per-core virtual time. >1 models framework inefficiency (the
+  /// beta Intel SDK), <1 models a wider/faster core (a GPU multiprocessor).
+  double group_time_scale = 1.0;
+
+  /// Fixed virtual cost charged per kernel launch (driver dispatch).
+  Nanos kernel_launch_overhead = 0;
+  /// One-time virtual cost per distinct kernel per device (JIT compilation).
+  Nanos kernel_compile_cost = 0;
+
+  /// Modeled extra cost of one global atomic operation...
+  double atomic_op_ns = 0.0;
+  /// ...plus this much when it conflicts; the conflict probability is
+  /// min(1, lanes / (distinct_addresses / slots_per_cacheline)) — few hot
+  /// addresses under many hardware lanes ping-pong cache lines.
+  double atomic_contention_ns = 0.0;
+  /// Atomics on work-group local memory (the grouped aggregation tables of
+  /// paper 4.1.7): far cheaper, but still contended when few accumulators
+  /// serve many lanes — which is exactly why Ocelot spreads each group over
+  /// multiple accumulators.
+  double local_atomic_ns = 0.0;
+  double local_atomic_contention_ns = 0.0;
+
+  /// True when the device operates directly on host memory (zero-copy BATs).
+  bool unified_memory = true;
+  std::size_t global_mem_bytes = 0;  ///< device cache capacity for buffers
+  std::size_t local_mem_bytes = 48 * 1024;
+
+  double transfer_gbps = 0.0;     ///< host<->device copy bandwidth
+  Nanos transfer_latency = 0;     ///< per-transfer fixed cost (DMA setup)
+
+  /// Preferred radix width for the radix sort (paper 4.1.3: 8 on CPU, 4 on GPU).
+  int radix_bits = 8;
+  AccessPattern access = AccessPattern::kSequentialPerThread;
+
+  int total_lanes() const { return compute_cores * units_per_core; }
+  /// Default work-group geometry of the paper's scheduling strategy (4.2):
+  /// one work-group per core, each of size 4*na.
+  int default_groups() const { return compute_cores; }
+  int default_local_size() const { return 4 * units_per_core; }
+};
+
+/// The paper's CPU: Intel Xeon E5620, 4 cores (8 HW threads), 12 MB cache,
+/// driven by Intel's OpenCL SDK 2013 XE Beta (whose fixed per-launch overhead
+/// the paper measures as a ~1 s per-query intercept in Fig. 7d).
+DeviceModel XeonE5620Model();
+
+/// The paper's GPU: NVIDIA GTX460 (GF104): 7 multiprocessors with 48 lanes,
+/// 2 GB device memory behind PCIe 2.0 x16.
+DeviceModel Gtx460Model();
+
+class Buffer;
+
+/// A compute device: owns the virtual compute/transfer timelines and the
+/// device-memory capacity accounting that the Ocelot memory manager relies
+/// on for its cache/eviction decisions.
+class Device {
+ public:
+  explicit Device(DeviceModel model);
+
+  const DeviceModel& model() const { return model_; }
+  const std::string& name() const { return model_.name; }
+
+  /// Allocates device memory (128-byte aligned host storage standing in for
+  /// the device heap). Fails with ResourceExhausted when the modeled device
+  /// capacity would be exceeded — the signal the memory manager's eviction
+  /// policy reacts to.
+  common::Result<std::shared_ptr<Buffer>> Allocate(std::size_t bytes);
+
+  /// Wraps host memory zero-copy; only valid on unified-memory devices.
+  common::Result<std::shared_ptr<Buffer>> WrapHost(void* data, std::size_t bytes);
+
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+  std::size_t capacity_bytes() const { return model_.global_mem_bytes; }
+
+  common::Timeline& compute_timeline() { return compute_; }
+  common::Timeline& transfer_timeline() { return transfer_; }
+  /// Serializes per-launch driver costs (dispatch + JIT); the paper's Fig 7d
+  /// CPU intercept is ~300 launches/query through this single lane.
+  common::Timeline& driver_timeline() { return driver_; }
+
+  /// Virtual duration of moving `bytes` across the host<->device link.
+  Nanos TransferDuration(std::size_t bytes) const;
+
+  /// Modeled penalty for `atomic_ops` global atomics spread over
+  /// approximately `distinct_addresses` addresses (see DeviceModel).
+  Nanos AtomicPenalty(std::uint64_t atomic_ops, std::uint64_t distinct_addresses) const;
+
+  /// Same contention model with the (cheaper) local-memory atomic costs.
+  Nanos LocalAtomicPenalty(std::uint64_t atomic_ops,
+                           std::uint64_t distinct_addresses) const;
+
+ private:
+  friend class Buffer;
+  void Release(std::size_t bytes);
+
+  DeviceModel model_;
+  std::size_t allocated_bytes_ = 0;
+  common::Timeline compute_;
+  common::Timeline transfer_;
+  common::Timeline driver_;
+};
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_DEVICE_H_

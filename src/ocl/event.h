@@ -1,0 +1,55 @@
+#ifndef OCELOT_OCL_EVENT_H_
+#define OCELOT_OCL_EVENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timeline.h"
+
+namespace ocl {
+
+/// Completion handle of one enqueued device operation (kernel or transfer),
+/// mirroring cl_event. Ocelot's lazy evaluation model (paper section 3.4)
+/// is built on these: operators only schedule work and thread events through
+/// the memory manager's producer/consumer registries; nobody blocks until a
+/// sync point.
+class Event {
+ public:
+  enum class State { kQueued, kComplete };
+
+  explicit Event(std::string label) : label_(std::move(label)) {}
+
+  const std::string& label() const { return label_; }
+  State state() const { return state_; }
+  bool complete() const { return state_ == State::kComplete; }
+
+  /// Virtual-time profiling info, valid once complete (cf. OpenCL's
+  /// CL_PROFILING_COMMAND_{QUEUED,START,END}).
+  common::Nanos queued_time() const { return queued_; }
+  common::Nanos start_time() const { return start_; }
+  common::Nanos end_time() const { return end_; }
+  common::Nanos duration() const { return end_ - start_; }
+
+ private:
+  friend class CommandQueue;
+  void MarkQueued(common::Nanos t) { queued_ = t; }
+  void MarkComplete(common::Nanos start, common::Nanos end) {
+    start_ = start;
+    end_ = end;
+    state_ = State::kComplete;
+  }
+
+  std::string label_;
+  State state_ = State::kQueued;
+  common::Nanos queued_ = 0;
+  common::Nanos start_ = 0;
+  common::Nanos end_ = 0;
+};
+
+using EventPtr = std::shared_ptr<Event>;
+using EventList = std::vector<EventPtr>;
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_EVENT_H_

@@ -1,0 +1,201 @@
+#ifndef OCELOT_OCL_KERNEL_H_
+#define OCELOT_OCL_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/logging.h"
+#include "ocl/device.h"
+
+namespace ocl {
+
+/// Counters a kernel reports per work-group; they feed the device timing
+/// model (atomics are the only operation whose cost differs qualitatively
+/// between our devices — see DeviceModel::atomic_*).
+struct KernelStats {
+  std::uint64_t atomic_ops = 0;
+  /// Approximate number of distinct addresses the atomics touch (e.g. the
+  /// hash-table size or the group count); used for the contention model.
+  std::uint64_t atomic_addresses = 0;
+  /// Work-group-local-memory atomics (cheaper; see DeviceModel).
+  std::uint64_t local_atomic_ops = 0;
+  std::uint64_t local_atomic_addresses = 0;
+};
+
+/// Bump allocator over a work-group's local memory. Mirrors OpenCL
+/// __local declarations; allocation beyond the device's local memory size
+/// is a programming error (kernels must check capacity and fall back to
+/// global memory, as the grouped aggregation of section 4.1.7 does).
+class LocalArena {
+ public:
+  explicit LocalArena(std::size_t capacity)
+      : storage_(capacity), capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  void Reset() { used_ = 0; }
+
+  /// Allocates `n` T's of zero-initialized local memory.
+  template <typename T>
+  std::span<T> Alloc(std::size_t n) {
+    std::size_t aligned = (used_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    std::size_t bytes = n * sizeof(T);
+    OCELOT_CHECK_LE(aligned + bytes, capacity_)
+        << "local memory overflow: kernel must fall back to global memory";
+    T* ptr = reinterpret_cast<T*>(storage_.data() + aligned);
+    used_ = aligned + bytes;
+    std::fill(ptr, ptr + n, T{});
+    return {ptr, n};
+  }
+
+ private:
+  std::vector<std::byte, common::AlignedAllocator<std::byte>> storage_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+};
+
+/// The half-open, strided set of data units assigned to one work-item.
+/// Under kSequentialPerThread this is a contiguous block (step 1); under
+/// kCoalesced the item starts at its global thread id and strides by the
+/// total thread count, so neighboring items touch neighboring addresses.
+struct UnitRange {
+  std::uint64_t first = 0;
+  std::uint64_t limit = 0;
+  std::uint64_t step = 1;
+
+  class Iterator {
+   public:
+    Iterator(std::uint64_t v, std::uint64_t step) : v_(v), step_(step) {}
+    std::uint64_t operator*() const { return v_; }
+    Iterator& operator++() {
+      v_ += step_;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return v_ < o.v_; }
+
+   private:
+    std::uint64_t v_;
+    std::uint64_t step_;
+  };
+
+  Iterator begin() const { return {first, step}; }
+  Iterator end() const { return {limit, step}; }
+  bool empty() const { return first >= limit; }
+  std::uint64_t size() const {
+    if (first >= limit) return 0;
+    return (limit - first + step - 1) / step;
+  }
+};
+
+/// Execution context of one work-group, the unit OpenCLite schedules onto a
+/// virtual core (paper section 4.2: one work-group per core, 4*na items).
+///
+/// Work-items inside a group execute sequentially between barriers, so
+/// kernels are written as explicit phases: each `for (int it : ...)` loop
+/// over the local items corresponds to the code between two barriers of the
+/// equivalent OpenCL kernel.
+class WorkGroup {
+ public:
+  WorkGroup(int group_id, int group_count, int local_size, AccessPattern access,
+            LocalArena* local)
+      : group_id_(group_id),
+        group_count_(group_count),
+        local_size_(local_size),
+        access_(access),
+        local_(local) {}
+
+  int group_id() const { return group_id_; }
+  int group_count() const { return group_count_; }
+  int local_size() const { return local_size_; }
+  int global_threads() const { return group_count_ * local_size_; }
+  /// Global thread id of a local item, cf. get_global_id(0).
+  int global_id(int item) const { return group_id_ * local_size_ + item; }
+
+  AccessPattern access() const { return access_; }
+
+  /// Data units assigned to `item` out of `total` units, under the device's
+  /// preferred access pattern. This is the hardware-oblivious loop header of
+  /// every kernel in the engine.
+  UnitRange UnitsFor(int item, std::uint64_t total) const {
+    std::uint64_t threads = static_cast<std::uint64_t>(global_threads());
+    std::uint64_t tid = static_cast<std::uint64_t>(global_id(item));
+    if (access_ == AccessPattern::kCoalesced) {
+      return {tid, total, threads};
+    }
+    std::uint64_t per = (total + threads - 1) / threads;
+    std::uint64_t first = tid * per;
+    std::uint64_t limit = std::min<std::uint64_t>(total, first + per);
+    if (first > limit) first = limit;
+    return {first, limit, 1};
+  }
+
+  /// Contiguous per-thread chunk regardless of the device's preferred
+  /// pattern. Order-sensitive kernels (bitmap materialization, radix-sort
+  /// scatter) need each thread to own an ascending range so that per-thread
+  /// outputs concatenate into a globally ordered result (paper 4.1.2/4.1.3).
+  UnitRange ContiguousUnitsFor(int item, std::uint64_t total) const {
+    std::uint64_t threads = static_cast<std::uint64_t>(global_threads());
+    std::uint64_t tid = static_cast<std::uint64_t>(global_id(item));
+    std::uint64_t per = (total + threads - 1) / threads;
+    std::uint64_t first = tid * per;
+    std::uint64_t limit = std::min<std::uint64_t>(total, first + per);
+    if (first > limit) first = limit;
+    return {first, limit, 1};
+  }
+
+  /// Units assigned to the whole group (contiguous per-group split). Kernels
+  /// that cooperate through local memory use this and divide internally.
+  UnitRange GroupUnits(std::uint64_t total) const {
+    std::uint64_t per = (total + static_cast<std::uint64_t>(group_count_) - 1) /
+                        static_cast<std::uint64_t>(group_count_);
+    std::uint64_t first = static_cast<std::uint64_t>(group_id_) * per;
+    std::uint64_t limit = std::min<std::uint64_t>(total, first + per);
+    if (first > limit) first = limit;
+    return {first, limit, 1};
+  }
+
+  LocalArena& local() { return *local_; }
+  KernelStats& stats() { return stats_; }
+  const KernelStats& stats() const { return stats_; }
+
+  /// Records `n` global atomic operations hitting ~`addresses` distinct
+  /// addresses; the timing model converts these into contention penalties.
+  void CountAtomics(std::uint64_t n, std::uint64_t addresses) {
+    stats_.atomic_ops += n;
+    stats_.atomic_addresses = std::max(stats_.atomic_addresses, addresses);
+  }
+
+  /// Records `n` local-memory atomics over ~`addresses` local slots.
+  void CountLocalAtomics(std::uint64_t n, std::uint64_t addresses) {
+    stats_.local_atomic_ops += n;
+    stats_.local_atomic_addresses = std::max(stats_.local_atomic_addresses, addresses);
+  }
+
+ private:
+  int group_id_;
+  int group_count_;
+  int local_size_;
+  AccessPattern access_;
+  LocalArena* local_;
+  KernelStats stats_;
+};
+
+/// A kernel launch: the name keys the per-device compile cache and the
+/// profiler; `body` is the hardware-oblivious kernel itself, invoked once
+/// per work-group.
+struct KernelLaunch {
+  std::string name;
+  /// Work-group geometry; 0 selects the device default (nc groups of 4*na).
+  int groups = 0;
+  int local_size = 0;
+  std::function<void(WorkGroup&)> body;
+};
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_KERNEL_H_

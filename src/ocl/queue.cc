@@ -1,0 +1,158 @@
+#include "ocl/queue.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ocl {
+
+CommandQueue::CommandQueue(Device* device, common::VirtualClock* clock)
+    : device_(device),
+      clock_(clock),
+      local_arena_(device->model().local_mem_bytes) {}
+
+EventPtr CommandQueue::EnqueueKernel(KernelLaunch launch, EventList waits) {
+  OCELOT_CHECK(launch.body != nullptr) << "kernel " << launch.name << " has no body";
+  if (launch.groups <= 0) launch.groups = device_->model().default_groups();
+  if (launch.local_size <= 0) launch.local_size = device_->model().default_local_size();
+  PendingOp op;
+  op.kind = PendingOp::Kind::kKernel;
+  op.launch = std::move(launch);
+  op.waits = std::move(waits);
+  op.event = std::make_shared<Event>(op.launch.name);
+  op.event->MarkQueued(clock_->Now());
+  pending_.push_back(std::move(op));
+  return pending_.back().event;
+}
+
+EventPtr CommandQueue::EnqueueWrite(BufferPtr dst, const void* src, std::size_t bytes,
+                                    EventList waits) {
+  OCELOT_CHECK_LE(bytes, dst->bytes());
+  PendingOp op;
+  op.kind = PendingOp::Kind::kWrite;
+  op.buffer = std::move(dst);
+  op.host_src = src;
+  op.bytes = bytes;
+  op.waits = std::move(waits);
+  op.event = std::make_shared<Event>("write");
+  op.event->MarkQueued(clock_->Now());
+  pending_.push_back(std::move(op));
+  return pending_.back().event;
+}
+
+EventPtr CommandQueue::EnqueueRead(void* dst, BufferPtr src, std::size_t bytes,
+                                   EventList waits) {
+  OCELOT_CHECK_LE(bytes, src->bytes());
+  PendingOp op;
+  op.kind = PendingOp::Kind::kRead;
+  op.buffer = std::move(src);
+  op.host_dst = dst;
+  op.bytes = bytes;
+  op.waits = std::move(waits);
+  op.event = std::make_shared<Event>("read");
+  op.event->MarkQueued(clock_->Now());
+  pending_.push_back(std::move(op));
+  return pending_.back().event;
+}
+
+common::Nanos CommandQueue::ReadyTime(const PendingOp& op) const {
+  common::Nanos ready = op.event->queued_time();
+  for (const EventPtr& w : op.waits) {
+    OCELOT_CHECK(w->complete()) << "wait-list event '" << w->label()
+                                << "' not complete at flush";
+    ready = std::max(ready, w->end_time());
+  }
+  return ready;
+}
+
+void CommandQueue::ExecuteKernel(PendingOp* op) {
+  const DeviceModel& model = device_->model();
+  const KernelLaunch& launch = op->launch;
+
+  common::Nanos ready = ReadyTime(*op);
+
+  // Driver-side serial costs: one-time JIT compile, then per-launch dispatch.
+  common::Nanos driver_cost = model.kernel_launch_overhead;
+  bool& compiled = compiled_[launch.name];
+  if (!compiled) {
+    compiled = true;
+    driver_cost += model.kernel_compile_cost;
+  }
+  common::Interval dispatch = device_->driver_timeline().Schedule(ready, driver_cost);
+
+  // Execute each work-group on the host, measuring real time and collecting
+  // the kernel's atomic counters; convert to modeled per-group durations.
+  std::vector<common::Nanos> durations;
+  durations.reserve(static_cast<std::size_t>(launch.groups));
+  KernelProfile& prof = profiles_[launch.name];
+  common::Stopwatch total_real;
+  for (int g = 0; g < launch.groups; ++g) {
+    local_arena_.Reset();
+    WorkGroup wg(g, launch.groups, launch.local_size, model.access, &local_arena_);
+    common::Stopwatch group_real;
+    launch.body(wg);
+    common::Nanos real_ns = group_real.ElapsedNanos();
+    common::Nanos modeled =
+        static_cast<common::Nanos>(static_cast<double>(real_ns) * model.group_time_scale) +
+        device_->AtomicPenalty(wg.stats().atomic_ops, wg.stats().atomic_addresses) +
+        device_->LocalAtomicPenalty(wg.stats().local_atomic_ops,
+                                    wg.stats().local_atomic_addresses);
+    durations.push_back(modeled);
+    prof.atomic_ops += wg.stats().atomic_ops + wg.stats().local_atomic_ops;
+  }
+
+  common::Interval iv =
+      device_->compute_timeline().ScheduleBatch(dispatch.end, durations);
+  op->event->MarkComplete(iv.start, iv.end);
+
+  prof.launches += 1;
+  prof.work_groups += static_cast<std::uint64_t>(launch.groups);
+  prof.modeled_ns += iv.end - dispatch.start;
+  prof.measured_ns += total_real.ElapsedNanos();
+}
+
+void CommandQueue::ExecuteTransfer(PendingOp* op) {
+  common::Nanos ready = ReadyTime(*op);
+  if (op->kind == PendingOp::Kind::kWrite) {
+    std::memcpy(op->buffer->data(), op->host_src, op->bytes);
+  } else {
+    std::memcpy(op->host_dst, op->buffer->data(), op->bytes);
+  }
+  common::Nanos duration = device_->TransferDuration(op->bytes);
+  common::Interval iv = device_->transfer_timeline().Schedule(ready, duration);
+  op->event->MarkComplete(iv.start, iv.end);
+}
+
+void CommandQueue::Flush() {
+  if (pending_.empty()) return;
+  common::Stopwatch real;
+  while (!pending_.empty()) {
+    PendingOp op = std::move(pending_.front());
+    pending_.pop_front();
+    if (op.kind == PendingOp::Kind::kKernel) {
+      ExecuteKernel(&op);
+    } else {
+      ExecuteTransfer(&op);
+    }
+  }
+  // The host only *scheduled* this work; execution time belongs to the
+  // simulated device, which has already been billed on its timelines.
+  clock_->Deduct(real.ElapsedNanos());
+}
+
+void CommandQueue::Wait(const EventPtr& event) {
+  if (!event->complete()) Flush();
+  OCELOT_CHECK(event->complete());
+  clock_->AdvanceTo(event->end_time());
+}
+
+void CommandQueue::Finish() {
+  Flush();
+  clock_->AdvanceTo(std::max({device_->compute_timeline().AllIdleTime(),
+                              device_->transfer_timeline().AllIdleTime(),
+                              device_->driver_timeline().AllIdleTime()}));
+}
+
+}  // namespace ocl

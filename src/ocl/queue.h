@@ -1,0 +1,103 @@
+#ifndef OCELOT_OCL_QUEUE_H_
+#define OCELOT_OCL_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/vclock.h"
+#include "ocl/buffer.h"
+#include "ocl/device.h"
+#include "ocl/event.h"
+#include "ocl/kernel.h"
+
+namespace ocl {
+
+/// Per-kernel aggregate statistics collected during flushes; the ablation
+/// benchmarks and EXPERIMENTS.md use these to attribute query time.
+struct KernelProfile {
+  std::uint64_t launches = 0;
+  std::uint64_t work_groups = 0;
+  common::Nanos modeled_ns = 0;   ///< virtual device time billed
+  common::Nanos measured_ns = 0;  ///< real host time spent executing
+  std::uint64_t atomic_ops = 0;
+};
+
+/// The command queue of one device: Ocelot's lazy evaluation model.
+///
+/// Enqueue calls never execute anything — they record the operation, its
+/// event and its wait-list, exactly like clEnqueue* calls on an out-of-order
+/// queue (paper section 3.4). `Flush()` drains the queue: operations are
+/// *executed* on the host for correctness and *billed* onto the device's
+/// virtual timelines (compute lanes / transfer lane / serial driver lane),
+/// which reproduces the transfer/compute overlap and kernel interleaving of
+/// the paper's Figure 3. Real host time spent inside Flush is deducted from
+/// the virtual clock so only modeled device time remains visible.
+class CommandQueue {
+ public:
+  CommandQueue(Device* device, common::VirtualClock* clock);
+
+  Device* device() { return device_; }
+
+  /// Schedules a kernel; returns its event. The kernel body runs once per
+  /// work-group at flush time. Buffers referenced by the body must be kept
+  /// alive by the closure (capture BufferPtr by value).
+  EventPtr EnqueueKernel(KernelLaunch launch, EventList waits = {});
+
+  /// Schedules a host->device transfer of `bytes` from `src` into `dst`.
+  EventPtr EnqueueWrite(BufferPtr dst, const void* src, std::size_t bytes,
+                        EventList waits = {});
+
+  /// Schedules a device->host transfer of `bytes` from `src` into `dst`.
+  EventPtr EnqueueRead(void* dst, BufferPtr src, std::size_t bytes,
+                       EventList waits = {});
+
+  /// Executes every pending operation (in dependency order; all wait-lists
+  /// reference earlier enqueues, as with a single in-order application
+  /// thread feeding an out-of-order device queue).
+  void Flush();
+
+  /// Flush + advance the virtual clock to the event's completion; the
+  /// blocking analogue of clWaitForEvents.
+  void Wait(const EventPtr& event);
+
+  /// Flush + advance the virtual clock until the whole device is idle
+  /// (clFinish).
+  void Finish();
+
+  std::size_t pending() const { return pending_.size(); }
+
+  const std::map<std::string, KernelProfile>& profiles() const { return profiles_; }
+  void ResetProfiles() { profiles_.clear(); }
+
+ private:
+  struct PendingOp {
+    enum class Kind { kKernel, kWrite, kRead };
+    Kind kind;
+    KernelLaunch launch;       // kKernel
+    BufferPtr buffer;          // kWrite dst / kRead src
+    const void* host_src = nullptr;
+    void* host_dst = nullptr;
+    std::size_t bytes = 0;
+    EventList waits;
+    EventPtr event;
+  };
+
+  common::Nanos ReadyTime(const PendingOp& op) const;
+  void ExecuteKernel(PendingOp* op);
+  void ExecuteTransfer(PendingOp* op);
+
+  Device* device_;
+  common::VirtualClock* clock_;
+  std::deque<PendingOp> pending_;
+  LocalArena local_arena_;
+  std::map<std::string, KernelProfile> profiles_;
+  std::map<std::string, bool> compiled_;  // kernel name -> JIT done
+};
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_QUEUE_H_

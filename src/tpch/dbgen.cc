@@ -1,0 +1,360 @@
+#include "tpch/dbgen.h"
+
+#include <cstdlib>
+
+#include "common/date.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tpch {
+
+using common::Rng;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Table;
+
+namespace {
+
+// Spec-derived literal pools (subset sufficient for the paper's workload).
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// Region of each nation, per the spec's nation.tbl.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED",
+                             "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kContainerSizes[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainerTypes[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN",
+                                 "DRUM"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                           "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+
+struct ColumnBuf {
+  std::vector<std::int32_t> ints;
+  std::vector<float> floats;
+};
+
+BatPtr IntCol(const std::vector<std::int32_t>& v, bool sorted = false,
+              bool key = false) {
+  BatPtr b = Bat::MakeInt(v.size());
+  std::copy(v.begin(), v.end(), b->ints().begin());
+  b->set_sorted(sorted);
+  b->set_key(key);
+  b->set_nonil(true);
+  return b;
+}
+
+BatPtr FloatCol(const std::vector<float>& v) {
+  BatPtr b = Bat::MakeFloat(v.size());
+  std::copy(v.begin(), v.end(), b->floats().begin());
+  b->set_nonil(true);
+  return b;
+}
+
+/// Dense 1-based key column (partkey, suppkey, custkey, nationkey...).
+BatPtr DenseKeyCol(std::size_t n, std::int32_t base = 1) {
+  BatPtr b = Bat::MakeInt(n);
+  auto s = b->ints();
+  for (std::size_t i = 0; i < n; ++i) s[i] = base + static_cast<std::int32_t>(i);
+  b->SetDense(static_cast<cstore::oid_t>(base));
+  return b;
+}
+
+std::vector<std::string> StringPool(const char* const* vals, std::size_t n) {
+  return std::vector<std::string>(vals, vals + n);
+}
+
+}  // namespace
+
+std::int32_t TpchDb::Code(const std::string& column, const std::string& value) const {
+  auto it = dicts.find(column);
+  OCELOT_CHECK(it != dicts.end()) << "no dictionary for " << column;
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second[i] == value) return static_cast<std::int32_t>(i);
+  }
+  OCELOT_CHECK(false) << "no code for '" << value << "' in " << column;
+  return -1;
+}
+
+double ScaleForPaperSf(double paper_sf) {
+  double unit = 0.02;
+  if (const char* env = std::getenv("OCELOT_SF_UNIT")) {
+    unit = std::atof(env);
+    if (unit <= 0) unit = 0.02;
+  }
+  return paper_sf * unit;
+}
+
+TpchDb Generate(double scale, std::uint64_t seed) {
+  OCELOT_CHECK(scale > 0) << "scale must be positive";
+  TpchDb db;
+  db.scale = scale;
+  Rng rng(seed);
+
+  auto rows = [scale](double base) {
+    auto n = static_cast<std::size_t>(base * scale);
+    return n < 1 ? std::size_t{1} : n;
+  };
+  std::size_t n_supplier = rows(10'000);
+  std::size_t n_part = rows(200'000);
+  std::size_t n_customer = rows(150'000);
+  std::size_t n_orders = rows(1'500'000);
+  std::size_t n_nation = 25;
+  std::size_t n_region = 5;
+
+  const std::int32_t start_date = common::date::FromYmd(1992, 1, 1);
+  const std::int32_t end_date = common::date::FromYmd(1998, 8, 2);
+
+  // ---- region / nation ------------------------------------------------------
+  {
+    Table region("region");
+    OCELOT_CHECK_OK(region.AddColumn("r_regionkey", DenseKeyCol(n_region, 0)));
+    std::vector<std::int32_t> names(n_region);
+    for (std::size_t i = 0; i < n_region; ++i) names[i] = static_cast<std::int32_t>(i);
+    OCELOT_CHECK_OK(region.AddColumn("r_name", IntCol(names, true, true)));
+    db.dicts["r_name"] = StringPool(kRegions, n_region);
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(region)));
+  }
+  {
+    Table nation("nation");
+    OCELOT_CHECK_OK(nation.AddColumn("n_nationkey", DenseKeyCol(n_nation, 0)));
+    std::vector<std::int32_t> names(n_nation), regions(n_nation);
+    for (std::size_t i = 0; i < n_nation; ++i) {
+      names[i] = static_cast<std::int32_t>(i);
+      regions[i] = kNationRegion[i];
+    }
+    OCELOT_CHECK_OK(nation.AddColumn("n_name", IntCol(names, true, true)));
+    OCELOT_CHECK_OK(nation.AddColumn("n_regionkey", IntCol(regions)));
+    db.dicts["n_name"] = StringPool(kNations, n_nation);
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(nation)));
+  }
+
+  // ---- supplier --------------------------------------------------------------
+  {
+    Table supplier("supplier");
+    OCELOT_CHECK_OK(supplier.AddColumn("s_suppkey", DenseKeyCol(n_supplier)));
+    std::vector<std::int32_t> nk(n_supplier);
+    std::vector<float> bal(n_supplier);
+    for (std::size_t i = 0; i < n_supplier; ++i) {
+      nk[i] = static_cast<std::int32_t>(rng.Uniform(0, 24));
+      bal[i] = static_cast<float>(rng.Uniform(-99999, 999999)) / 100.f;
+    }
+    OCELOT_CHECK_OK(supplier.AddColumn("s_nationkey", IntCol(nk)));
+    OCELOT_CHECK_OK(supplier.AddColumn("s_acctbal", FloatCol(bal)));
+    // s_name is "Supplier#<key>": a per-row-unique dictionary would defeat
+    // encoding; queries only group/join on it, so the key itself serves.
+    OCELOT_CHECK_OK(supplier.AddColumn("s_name", DenseKeyCol(n_supplier)));
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(supplier)));
+  }
+
+  // ---- part -------------------------------------------------------------------
+  {
+    Table part("part");
+    OCELOT_CHECK_OK(part.AddColumn("p_partkey", DenseKeyCol(n_part)));
+    std::vector<std::string> brands;
+    for (int m = 1; m <= 5; ++m) {
+      for (int n2 = 1; n2 <= 5; ++n2) {
+        brands.push_back("Brand#" + std::to_string(m) + std::to_string(n2));
+      }
+    }
+    std::vector<std::string> containers;
+    for (const char* s : kContainerSizes) {
+      for (const char* t : kContainerTypes) {
+        containers.push_back(std::string(s) + " " + t);
+      }
+    }
+    std::vector<std::string> types;
+    for (const char* a : kTypeSyl1) {
+      for (const char* b : kTypeSyl2) {
+        for (const char* c : kTypeSyl3) {
+          types.push_back(std::string(a) + " " + b + " " + c);
+        }
+      }
+    }
+    std::vector<std::int32_t> brand(n_part), container(n_part), type(n_part),
+        size(n_part);
+    std::vector<float> retail(n_part);
+    for (std::size_t i = 0; i < n_part; ++i) {
+      brand[i] = static_cast<std::int32_t>(rng.Uniform(0, 24));
+      container[i] =
+          static_cast<std::int32_t>(rng.Uniform(0, static_cast<std::int64_t>(containers.size()) - 1));
+      type[i] =
+          static_cast<std::int32_t>(rng.Uniform(0, static_cast<std::int64_t>(types.size()) - 1));
+      size[i] = static_cast<std::int32_t>(rng.Uniform(1, 50));
+      retail[i] =
+          (90000.f + static_cast<float>((i % 200'000) / 10) + 100.f * (i % 1000)) / 100.f;
+    }
+    OCELOT_CHECK_OK(part.AddColumn("p_brand", IntCol(brand)));
+    OCELOT_CHECK_OK(part.AddColumn("p_container", IntCol(container)));
+    OCELOT_CHECK_OK(part.AddColumn("p_type", IntCol(type)));
+    OCELOT_CHECK_OK(part.AddColumn("p_size", IntCol(size)));
+    OCELOT_CHECK_OK(part.AddColumn("p_retailprice", FloatCol(retail)));
+    db.dicts["p_brand"] = brands;
+    db.dicts["p_container"] = containers;
+    db.dicts["p_type"] = types;
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(part)));
+  }
+
+  // ---- partsupp ----------------------------------------------------------------
+  {
+    std::size_t n_ps = n_part * 4;
+    Table partsupp("partsupp");
+    std::vector<std::int32_t> pk(n_ps), sk(n_ps), avail(n_ps);
+    std::vector<float> cost(n_ps);
+    for (std::size_t i = 0; i < n_ps; ++i) {
+      pk[i] = static_cast<std::int32_t>(i / 4) + 1;
+      // The spec's supplier spread: 4 distinct suppliers per part.
+      sk[i] = static_cast<std::int32_t>(
+          (i / 4 + (i % 4) * (n_supplier / 4 + 1)) % n_supplier + 1);
+      avail[i] = static_cast<std::int32_t>(rng.Uniform(1, 9999));
+      cost[i] = static_cast<float>(rng.Uniform(100, 100000)) / 100.f;
+    }
+    OCELOT_CHECK_OK(partsupp.AddColumn("ps_partkey", IntCol(pk, true)));
+    OCELOT_CHECK_OK(partsupp.AddColumn("ps_suppkey", IntCol(sk)));
+    OCELOT_CHECK_OK(partsupp.AddColumn("ps_availqty", IntCol(avail)));
+    OCELOT_CHECK_OK(partsupp.AddColumn("ps_supplycost", FloatCol(cost)));
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(partsupp)));
+  }
+
+  // ---- customer ----------------------------------------------------------------
+  {
+    Table customer("customer");
+    OCELOT_CHECK_OK(customer.AddColumn("c_custkey", DenseKeyCol(n_customer)));
+    std::vector<std::int32_t> nk(n_customer), seg(n_customer);
+    std::vector<float> bal(n_customer);
+    for (std::size_t i = 0; i < n_customer; ++i) {
+      nk[i] = static_cast<std::int32_t>(rng.Uniform(0, 24));
+      seg[i] = static_cast<std::int32_t>(rng.Uniform(0, 4));
+      bal[i] = static_cast<float>(rng.Uniform(-99999, 999999)) / 100.f;
+    }
+    OCELOT_CHECK_OK(customer.AddColumn("c_nationkey", IntCol(nk)));
+    OCELOT_CHECK_OK(customer.AddColumn("c_mktsegment", IntCol(seg)));
+    OCELOT_CHECK_OK(customer.AddColumn("c_acctbal", FloatCol(bal)));
+    db.dicts["c_mktsegment"] = StringPool(kSegments, 5);
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(customer)));
+  }
+
+  // ---- orders + lineitem ----------------------------------------------------------
+  {
+    const std::int32_t cutoff = common::date::FromYmd(1995, 6, 17);
+    std::vector<std::int32_t> o_key(n_orders), o_cust(n_orders), o_date(n_orders),
+        o_prio(n_orders), o_status(n_orders), o_ship(n_orders);
+    std::vector<float> o_total(n_orders);
+
+    std::vector<std::int32_t> l_ok, l_pk, l_sk, l_line, l_rf, l_ls, l_sd, l_cd, l_rd,
+        l_sm, l_si;
+    std::vector<float> l_qty, l_ext, l_disc, l_tax;
+    std::size_t est = n_orders * 4;
+    for (auto* v : {&l_ok, &l_pk, &l_sk, &l_line, &l_rf, &l_ls, &l_sd, &l_cd, &l_rd,
+                    &l_sm, &l_si}) {
+      v->reserve(est);
+    }
+    for (auto* v : {&l_qty, &l_ext, &l_disc, &l_tax}) v->reserve(est);
+
+    const auto* part_table = *db.catalog.GetTable("part");
+    auto retail = (*part_table->Column("p_retailprice"))->floats();
+
+    for (std::size_t i = 0; i < n_orders; ++i) {
+      // Sparse order keys, as in the spec (8 consecutive per 32-key block).
+      o_key[i] = static_cast<std::int32_t>((i / 8) * 32 + (i % 8) + 1);
+      o_cust[i] = static_cast<std::int32_t>(
+          rng.Uniform(1, static_cast<std::int64_t>(n_customer)));
+      o_date[i] = static_cast<std::int32_t>(
+          rng.Uniform(start_date, end_date - 151));
+      o_prio[i] = static_cast<std::int32_t>(rng.Uniform(0, 4));
+      o_ship[i] = 0;
+
+      int lines = static_cast<int>(rng.Uniform(1, 7));
+      double total = 0;
+      bool any_open = false;
+      for (int l = 0; l < lines; ++l) {
+        std::int32_t pk = static_cast<std::int32_t>(
+            rng.Uniform(1, static_cast<std::int64_t>(n_part)));
+        std::int32_t sk = static_cast<std::int32_t>(
+            rng.Uniform(1, static_cast<std::int64_t>(n_supplier)));
+        float qty = static_cast<float>(rng.Uniform(1, 50));
+        float price = qty * retail[static_cast<std::size_t>(pk - 1)] / 10.f;
+        float disc = static_cast<float>(rng.Uniform(0, 10)) / 100.f;
+        float tax = static_cast<float>(rng.Uniform(0, 8)) / 100.f;
+        std::int32_t ship = o_date[i] + static_cast<std::int32_t>(rng.Uniform(1, 121));
+        std::int32_t commit = o_date[i] + static_cast<std::int32_t>(rng.Uniform(30, 90));
+        std::int32_t receipt = ship + static_cast<std::int32_t>(rng.Uniform(1, 30));
+
+        l_ok.push_back(o_key[i]);
+        l_pk.push_back(pk);
+        l_sk.push_back(sk);
+        l_line.push_back(l + 1);
+        l_qty.push_back(qty);
+        l_ext.push_back(price);
+        l_disc.push_back(disc);
+        l_tax.push_back(tax);
+        // Return flags / line status per the spec's date rules.
+        bool returnable = receipt <= cutoff;
+        l_rf.push_back(returnable ? (rng.Uniform(0, 1) != 0 ? 0 : 1) : 2);  // R/A/N
+        bool open = ship > cutoff;
+        any_open |= open;
+        l_ls.push_back(open ? 1 : 0);  // O/F
+        l_sd.push_back(ship);
+        l_cd.push_back(commit);
+        l_rd.push_back(receipt);
+        l_sm.push_back(static_cast<std::int32_t>(rng.Uniform(0, 6)));
+        l_si.push_back(static_cast<std::int32_t>(rng.Uniform(0, 3)));
+        total += static_cast<double>(price) * (1 + tax) * (1 - disc);
+      }
+      o_total[i] = static_cast<float>(total);
+      o_status[i] = any_open ? 1 : 0;  // O / F (P collapsed into O)
+    }
+
+    Table orders("orders");
+    {
+      BatPtr ok = IntCol(o_key, /*sorted=*/true, /*key=*/true);
+      OCELOT_CHECK_OK(orders.AddColumn("o_orderkey", ok));
+    }
+    OCELOT_CHECK_OK(orders.AddColumn("o_custkey", IntCol(o_cust)));
+    OCELOT_CHECK_OK(orders.AddColumn("o_orderdate", IntCol(o_date)));
+    OCELOT_CHECK_OK(orders.AddColumn("o_orderpriority", IntCol(o_prio)));
+    OCELOT_CHECK_OK(orders.AddColumn("o_orderstatus", IntCol(o_status)));
+    OCELOT_CHECK_OK(orders.AddColumn("o_shippriority", IntCol(o_ship)));
+    OCELOT_CHECK_OK(orders.AddColumn("o_totalprice", FloatCol(o_total)));
+    db.dicts["o_orderpriority"] = StringPool(kPriorities, 5);
+    db.dicts["o_orderstatus"] = {"F", "O"};
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(orders)));
+
+    Table lineitem("lineitem");
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_orderkey", IntCol(l_ok, /*sorted=*/true)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_partkey", IntCol(l_pk)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_suppkey", IntCol(l_sk)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_linenumber", IntCol(l_line)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_quantity", FloatCol(l_qty)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_extendedprice", FloatCol(l_ext)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_discount", FloatCol(l_disc)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_tax", FloatCol(l_tax)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_returnflag", IntCol(l_rf)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_linestatus", IntCol(l_ls)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_shipdate", IntCol(l_sd)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_commitdate", IntCol(l_cd)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_receiptdate", IntCol(l_rd)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_shipmode", IntCol(l_sm)));
+    OCELOT_CHECK_OK(lineitem.AddColumn("l_shipinstruct", IntCol(l_si)));
+    db.dicts["l_returnflag"] = {"R", "A", "N"};
+    db.dicts["l_linestatus"] = {"F", "O"};
+    db.dicts["l_shipmode"] = StringPool(kShipModes, 7);
+    db.dicts["l_shipinstruct"] = StringPool(kInstructs, 4);
+    OCELOT_CHECK_OK(db.catalog.AddTable(std::move(lineitem)));
+  }
+
+  return db;
+}
+
+}  // namespace tpch

@@ -1,0 +1,41 @@
+#ifndef OCELOT_TPCH_DBGEN_H_
+#define OCELOT_TPCH_DBGEN_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cstore/catalog.h"
+
+namespace tpch {
+
+/// A generated TPC-H database with the paper's schema modifications
+/// (Appendix A): DECIMAL -> REAL (float), dates as int32 day counts, and
+/// every string column dictionary-encoded to int32 (the engine supports
+/// string equality only, which dictionary codes implement exactly).
+struct TpchDb {
+  cstore::Catalog catalog;
+  /// Per-column dictionaries, e.g. dicts["n_name"][code] == "GERMANY".
+  std::map<std::string, std::vector<std::string>> dicts;
+  double scale = 0;
+
+  /// Dictionary code of `value` in `column`; aborts when absent (queries
+  /// reference only spec-defined literals).
+  std::int32_t Code(const std::string& column, const std::string& value) const;
+};
+
+/// Generates a deterministic scaled database. `scale` is the TPC-H scale
+/// factor times the reproduction's row-count unit (DESIGN.md section 2):
+/// lineitem gets ~6,000,000 * scale rows. All foreign keys are referentially
+/// intact; o_orderkey is sparse (non-dense) as in the spec, all other keys
+/// are dense 1-based sequences.
+TpchDb Generate(double scale, std::uint64_t seed = 19920401);
+
+/// Row-count unit: paper scale factor -> generator scale. Controlled by the
+/// OCELOT_SF_UNIT environment variable (default 0.02, i.e. "SF 1" generates
+/// 120k lineitem rows).
+double ScaleForPaperSf(double paper_sf);
+
+}  // namespace tpch
+
+#endif  // OCELOT_TPCH_DBGEN_H_

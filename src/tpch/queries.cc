@@ -1,0 +1,748 @@
+// BAT-algebra plans for the paper's modified TPC-H workload. Each query is
+// built the way MonetDB's SQL front-end would emit it: operator-at-a-time
+// over candidate lists, fetch joins for projections, PK-side hash joins,
+// group/subgroup for multi-attribute grouping. Sorting is single-column
+// (Appendix A) and ascending (the engines sort ascending; a descending
+// presentation pass would not change any measured operator).
+
+#include "tpch/queries.h"
+
+#include <limits>
+
+#include "common/date.h"
+
+namespace tpch {
+
+using common::Status;
+using mal::Program;
+using mal::ProgramBuilder;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::int32_t Date(int y, int m, int d) { return common::date::FromYmd(y, m, d); }
+
+/// Thin plan-construction helper over ProgramBuilder: every method emits one
+/// MAL instruction and returns the result variable id.
+class Q {
+ public:
+  explicit Q(const TpchDb& db) : db_(db) {}
+
+  int D(double v) { return b_.Const(v); }
+  int I(std::int64_t v) { return b_.Const(v); }
+  int Nil() { return b_.Const(mal::Value{}); }
+
+  /// bat.bind("table", "column")
+  int Bind(const std::string& table, const std::string& column) {
+    return b_.Emit("bat", "bind",
+                   {b_.Const(std::string(table)), b_.Const(std::string(column))});
+  }
+  int SetKey(int bat) { return b_.Emit("bat", "setkey", {bat}); }
+
+  /// Range select: bounds are variable ids (usually D(...) constants, but
+  /// Q11/Q15 pass computed scalars). +-inf means unbounded.
+  int Select(int col, int cand, int lo, int hi, bool li = true, bool hi_incl = true) {
+    return b_.Emit("algebra", "select", {col, cand, lo, hi, I(li), I(hi_incl)});
+  }
+  int SelectEq(int col, int cand, double v) {
+    return Select(col, cand, D(v), D(v));
+  }
+  /// Select rows where an int 0/1 condition column is true.
+  int SelectTrue(int cond, int cand) { return Select(cond, cand, D(1), D(1)); }
+
+  int Proj(int oids, int col) { return b_.Emit("algebra", "projection", {oids, col}); }
+  std::pair<int, int> Join(int l, int r) {
+    auto rets = b_.EmitMulti("algebra", "join", {l, r}, 2);
+    return {rets[0], rets[1]};
+  }
+  int Semi(int l, int r) { return b_.Emit("algebra", "semijoin", {l, r}); }
+  int Anti(int l, int r) { return b_.Emit("algebra", "antijoin", {l, r}); }
+  int Union(int a, int c) { return b_.Emit("algebra", "candunion", {a, c}); }
+  std::pair<int, int> SortBy(int col) {
+    auto rets = b_.EmitMulti("algebra", "sort", {col}, 2);
+    return {rets[0], rets[1]};
+  }
+
+  struct Grouping {
+    int groups;
+    int extents;
+    int ngroups;
+  };
+  Grouping Group(int col) {
+    auto rets = b_.EmitMulti("group", "group", {col}, 3);
+    return {rets[0], rets[1], rets[2]};
+  }
+  Grouping SubGroup(int col, const Grouping& prev) {
+    auto rets = b_.EmitMulti("group", "subgroup", {col, prev.groups, prev.ngroups}, 3);
+    return {rets[0], rets[1], rets[2]};
+  }
+
+  int SubSum(int vals, const Grouping& g) {
+    return b_.Emit("aggr", "subsum", {vals, g.groups, g.ngroups});
+  }
+  int SubCount(const Grouping& g) {
+    return b_.Emit("aggr", "subcount", {g.groups, g.ngroups});
+  }
+  int SubMin(int vals, const Grouping& g) {
+    return b_.Emit("aggr", "submin", {vals, g.groups, g.ngroups});
+  }
+  int SubMax(int vals, const Grouping& g) {
+    return b_.Emit("aggr", "submax", {vals, g.groups, g.ngroups});
+  }
+  int SubAvg(int vals, const Grouping& g) {
+    return b_.Emit("aggr", "subavg", {vals, g.groups, g.ngroups});
+  }
+  int Sum(int col) { return b_.Emit("aggr", "sum", {col}); }
+  int Max(int col) { return b_.Emit("aggr", "max", {col}); }
+  int Count(int col) { return b_.Emit("aggr", "count", {col}); }
+
+  int Add(int a, int c) { return b_.Emit("batcalc", "add", {a, c}); }
+  int Sub(int a, int c) { return b_.Emit("batcalc", "sub", {a, c}); }
+  int Mul(int a, int c) { return b_.Emit("batcalc", "mul", {a, c}); }
+  int Div(int a, int c) { return b_.Emit("batcalc", "div", {a, c}); }
+  int Eq(int a, int c) { return b_.Emit("batcalc", "eq", {a, c}); }
+  int Lt(int a, int c) { return b_.Emit("batcalc", "lt", {a, c}); }
+  int Or(int a, int c) { return b_.Emit("batcalc", "or", {a, c}); }
+  int And(int a, int c) { return b_.Emit("batcalc", "and", {a, c}); }
+  int IfThenElse(int cond, int then_bat, int else_const) {
+    return b_.Emit("batcalc", "ifthenelse", {cond, then_bat, else_const});
+  }
+  int Year(int col) { return b_.Emit("mtime", "year", {col}); }
+  int Flt(int col) { return b_.Emit("batcalc", "flt", {col}); }
+
+  /// 1 - col and 1 + col, the price expressions of the workload.
+  int OneMinus(int col) { return Sub(D(1.0), col); }
+  int OnePlus(int col) { return Add(D(1.0), col); }
+
+  std::int32_t Code(const std::string& col, const std::string& val) {
+    return db_.Code(col, val);
+  }
+
+  void Ret(int var) { b_.Return(var); }
+  Program Build() { return b_.Build(); }
+
+ private:
+  const TpchDb& db_;
+  ProgramBuilder b_;
+};
+
+// ---------------------------------------------------------------------------
+// Q1: pricing summary report.
+Program BuildQ1(const TpchDb& db) {
+  Q q(db);
+  int shipdate = q.Bind("lineitem", "l_shipdate");
+  int cand = q.Select(shipdate, q.Nil(), q.D(-kInf), q.D(Date(1998, 9, 2)));
+
+  int rf = q.Proj(cand, q.Bind("lineitem", "l_returnflag"));
+  int ls = q.Proj(cand, q.Bind("lineitem", "l_linestatus"));
+  int qty = q.Proj(cand, q.Bind("lineitem", "l_quantity"));
+  int ext = q.Proj(cand, q.Bind("lineitem", "l_extendedprice"));
+  int disc = q.Proj(cand, q.Bind("lineitem", "l_discount"));
+  int tax = q.Proj(cand, q.Bind("lineitem", "l_tax"));
+
+  auto g1 = q.Group(rf);
+  auto g2 = q.SubGroup(ls, g1);
+
+  int disc_price = q.Mul(ext, q.OneMinus(disc));
+  int charge = q.Mul(disc_price, q.OnePlus(tax));
+
+  int sum_qty = q.SubSum(qty, g2);
+  int sum_base = q.SubSum(ext, g2);
+  int sum_disc = q.SubSum(disc_price, g2);
+  int sum_charge = q.SubSum(charge, g2);
+  int avg_qty = q.SubAvg(qty, g2);
+  int avg_price = q.SubAvg(ext, g2);
+  int avg_disc = q.SubAvg(disc, g2);
+  int counts = q.SubCount(g2);
+
+  // Order by l_returnflag (the l_linestatus sort clause is removed, App. A).
+  int rf_g = q.Proj(g2.extents, rf);
+  int ls_g = q.Proj(g2.extents, ls);
+  auto [rf_sorted, order] = q.SortBy(rf_g);
+  q.Ret(rf_sorted);
+  q.Ret(q.Proj(order, ls_g));
+  for (int agg : {sum_qty, sum_base, sum_disc, sum_charge, avg_qty, avg_price,
+                  avg_disc, counts}) {
+    q.Ret(q.Proj(order, agg));
+  }
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q3: shipping priority.
+Program BuildQ3(const TpchDb& db) {
+  Q q(db);
+  int seg = q.Bind("customer", "c_mktsegment");
+  int ccand = q.SelectEq(seg, q.Nil(), q.Code("c_mktsegment", "BUILDING"));
+  int ckeys = q.SetKey(q.Proj(ccand, q.Bind("customer", "c_custkey")));
+
+  int odate = q.Bind("orders", "o_orderdate");
+  int ocand = q.Select(odate, q.Nil(), q.D(-kInf), q.D(Date(1995, 3, 15)), true, false);
+  int ocust = q.Proj(ocand, q.Bind("orders", "o_custkey"));
+  auto [ol, _or] = q.Join(ocust, ckeys);
+  (void)_or;
+  int orows = q.Proj(ol, ocand);
+  int okeys = q.SetKey(q.Proj(orows, q.Bind("orders", "o_orderkey")));
+  int odate_j = q.Proj(orows, odate);
+  int oship_j = q.Proj(orows, q.Bind("orders", "o_shippriority"));
+
+  int sdate = q.Bind("lineitem", "l_shipdate");
+  int lcand = q.Select(sdate, q.Nil(), q.D(Date(1995, 3, 15)), q.D(kInf), false, true);
+  int lok = q.Proj(lcand, q.Bind("lineitem", "l_orderkey"));
+  auto [ll, lr] = q.Join(lok, okeys);
+
+  int ext = q.Proj(q.Proj(ll, lcand), q.Bind("lineitem", "l_extendedprice"));
+  int disc = q.Proj(q.Proj(ll, lcand), q.Bind("lineitem", "l_discount"));
+  int rev = q.Mul(ext, q.OneMinus(disc));
+  int okey_row = q.Proj(lr, okeys);
+
+  auto g = q.Group(okey_row);
+  int revenue = q.SubSum(rev, g);
+  // Order by revenue (o_orderdate clause and LIMIT removed, App. A).
+  auto [rev_sorted, order] = q.SortBy(revenue);
+  q.Ret(q.Proj(order, q.Proj(g.extents, okey_row)));
+  q.Ret(rev_sorted);
+  q.Ret(q.Proj(order, q.Proj(g.extents, q.Proj(lr, odate_j))));
+  q.Ret(q.Proj(order, q.Proj(g.extents, q.Proj(lr, oship_j))));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q4: order priority checking (EXISTS via semijoin).
+Program BuildQ4(const TpchDb& db) {
+  Q q(db);
+  int odate = q.Bind("orders", "o_orderdate");
+  int ocand = q.Select(odate, q.Nil(), q.D(Date(1993, 7, 1)), q.D(Date(1993, 10, 1)),
+                       true, false);
+  int commit = q.Bind("lineitem", "l_commitdate");
+  int receipt = q.Bind("lineitem", "l_receiptdate");
+  int late = q.Lt(commit, receipt);
+  int lcand = q.SelectTrue(late, q.Nil());
+  int lok = q.Proj(lcand, q.Bind("lineitem", "l_orderkey"));
+
+  int o_ok = q.Proj(ocand, q.Bind("orders", "o_orderkey"));
+  int sj = q.Semi(o_ok, lok);
+  int prio = q.Proj(sj, q.Proj(ocand, q.Bind("orders", "o_orderpriority")));
+
+  auto g = q.Group(prio);
+  int counts = q.SubCount(g);
+  auto [prio_sorted, order] = q.SortBy(q.Proj(g.extents, prio));
+  q.Ret(prio_sorted);
+  q.Ret(q.Proj(order, counts));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q5: local supplier volume.
+Program BuildQ5(const TpchDb& db) {
+  Q q(db);
+  int rname = q.Bind("region", "r_name");
+  int rcand = q.SelectEq(rname, q.Nil(), q.Code("r_name", "ASIA"));
+  int rkeys = q.SetKey(q.Proj(rcand, q.Bind("region", "r_regionkey")));
+  auto [nl, nr] = q.Join(q.Bind("nation", "n_regionkey"), rkeys);
+  (void)nr;
+  int nkeys = q.SetKey(q.Proj(nl, q.Bind("nation", "n_nationkey")));
+
+  auto [cl, cr] = q.Join(q.Bind("customer", "c_nationkey"), nkeys);
+  int ckeys = q.SetKey(q.Proj(cl, q.Bind("customer", "c_custkey")));
+  int cnat = q.Proj(cr, nkeys);
+
+  int odate = q.Bind("orders", "o_orderdate");
+  int ocand = q.Select(odate, q.Nil(), q.D(Date(1994, 1, 1)), q.D(Date(1995, 1, 1)),
+                       true, false);
+  int ocust = q.Proj(ocand, q.Bind("orders", "o_custkey"));
+  auto [ol, ocr] = q.Join(ocust, ckeys);
+  int okeys = q.SetKey(q.Proj(q.Proj(ol, ocand), q.Bind("orders", "o_orderkey")));
+  int cnat_o = q.Proj(ocr, cnat);
+
+  auto [ll, lr] = q.Join(q.Bind("lineitem", "l_orderkey"), okeys);
+  int lsupp = q.Proj(ll, q.Bind("lineitem", "l_suppkey"));
+  auto [sl, sr] = q.Join(lsupp, q.Bind("supplier", "s_suppkey"));
+  int snat = q.Proj(sr, q.Bind("supplier", "s_nationkey"));
+  int cnat_l = q.Proj(sl, q.Proj(lr, cnat_o));
+
+  int same = q.Eq(snat, cnat_l);
+  int rows = q.SelectTrue(same, q.Nil());
+
+  int ext_row = q.Proj(sl, q.Proj(ll, q.Bind("lineitem", "l_extendedprice")));
+  int disc_row = q.Proj(sl, q.Proj(ll, q.Bind("lineitem", "l_discount")));
+  int rev = q.Proj(rows, q.Mul(ext_row, q.OneMinus(disc_row)));
+  int nat_rows = q.Proj(rows, snat);
+
+  auto g = q.Group(nat_rows);
+  int revenue = q.SubSum(rev, g);
+  int rep_nat = q.Proj(g.extents, nat_rows);
+  auto [xl, xr] = q.Join(rep_nat, q.Bind("nation", "n_nationkey"));
+  (void)xl;
+  int names = q.Proj(xr, q.Bind("nation", "n_name"));
+  auto [rev_sorted, order] = q.SortBy(revenue);
+  q.Ret(q.Proj(order, names));
+  q.Ret(rev_sorted);
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q6: forecasting revenue change.
+Program BuildQ6(const TpchDb& db) {
+  Q q(db);
+  int shipdate = q.Bind("lineitem", "l_shipdate");
+  int c1 = q.Select(shipdate, q.Nil(), q.D(Date(1994, 1, 1)), q.D(Date(1995, 1, 1)),
+                    true, false);
+  int disc = q.Bind("lineitem", "l_discount");
+  int c2 = q.Select(disc, c1, q.D(0.05), q.D(0.07));
+  int qty = q.Bind("lineitem", "l_quantity");
+  int c3 = q.Select(qty, c2, q.D(-kInf), q.D(24.0), true, false);
+  int rev = q.Mul(q.Proj(c3, q.Bind("lineitem", "l_extendedprice")), q.Proj(c3, disc));
+  q.Ret(q.Sum(rev));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q7: volume shipping between FRANCE and GERMANY.
+Program BuildQ7(const TpchDb& db) {
+  Q q(db);
+  double fr = db.Code("n_name", "FRANCE");
+  double de = db.Code("n_name", "GERMANY");
+  // Nation keys equal the n_name codes' row positions (dense key 0-based),
+  // but resolve them through the nation table as the SQL plan would.
+  int nname = q.Bind("nation", "n_name");
+  int nkey = q.Bind("nation", "n_nationkey");
+  int both = q.Union(q.SelectEq(nname, q.Nil(), fr), q.SelectEq(nname, q.Nil(), de));
+  int nkeys2 = q.SetKey(q.Proj(both, nkey));
+
+  // Suppliers in either nation.
+  auto [s_in, s_nat_idx] = q.Join(q.Bind("supplier", "s_nationkey"), nkeys2);
+  int skeys = q.SetKey(q.Proj(s_in, q.Bind("supplier", "s_suppkey")));
+  int snat = q.Proj(s_nat_idx, nkeys2);
+
+  int sdate = q.Bind("lineitem", "l_shipdate");
+  int lcand = q.Select(sdate, q.Nil(), q.D(Date(1995, 1, 1)), q.D(Date(1996, 12, 31)));
+  int lsupp = q.Proj(lcand, q.Bind("lineitem", "l_suppkey"));
+  auto [jl, jr] = q.Join(lsupp, skeys);
+  int snat_row = q.Proj(jr, snat);
+
+  int lok = q.Proj(jl, q.Proj(lcand, q.Bind("lineitem", "l_orderkey")));
+  auto [j2l, j2r] = q.Join(lok, q.Bind("orders", "o_orderkey"));
+  int ocust = q.Proj(j2r, q.Bind("orders", "o_custkey"));
+  auto [j3l, j3r] = q.Join(ocust, q.Bind("customer", "c_custkey"));
+  int cnat = q.Proj(j3r, q.Bind("customer", "c_nationkey"));
+
+  // Row-align everything with the customer join chain.
+  int snat3 = q.Proj(j3l, q.Proj(j2l, snat_row));
+  int ship3 = q.Proj(j3l, q.Proj(j2l, q.Proj(jl, q.Proj(lcand, sdate))));
+  int ext3 = q.Proj(
+      j3l, q.Proj(j2l, q.Proj(jl, q.Proj(lcand, q.Bind("lineitem", "l_extendedprice")))));
+  int disc3 = q.Proj(
+      j3l, q.Proj(j2l, q.Proj(jl, q.Proj(lcand, q.Bind("lineitem", "l_discount")))));
+
+  int cond = q.Or(q.And(q.Eq(snat3, q.D(fr)), q.Eq(cnat, q.D(de))),
+                  q.And(q.Eq(snat3, q.D(de)), q.Eq(cnat, q.D(fr))));
+  int rows = q.SelectTrue(cond, q.Nil());
+
+  int supp_nation = q.Proj(rows, snat3);
+  int cust_nation = q.Proj(rows, cnat);
+  int l_year = q.Year(q.Proj(rows, ship3));
+  int volume = q.Proj(rows, q.Mul(ext3, q.OneMinus(disc3)));
+
+  auto g1 = q.Group(supp_nation);
+  auto g2 = q.SubGroup(cust_nation, g1);
+  auto g3 = q.SubGroup(l_year, g2);
+  int rev = q.SubSum(volume, g3);
+  // Sorting clauses for supp_nation/l_year removed (App. A); order by the
+  // remaining cust_nation key.
+  auto [cn_sorted, order] = q.SortBy(q.Proj(g3.extents, cust_nation));
+  q.Ret(q.Proj(order, q.Proj(g3.extents, supp_nation)));
+  q.Ret(cn_sorted);
+  q.Ret(q.Proj(order, q.Proj(g3.extents, l_year)));
+  q.Ret(q.Proj(order, rev));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q8: national market share.
+Program BuildQ8(const TpchDb& db) {
+  Q q(db);
+  int pcand = q.SelectEq(q.Bind("part", "p_type"), q.Nil(),
+                         db.Code("p_type", "ECONOMY ANODIZED STEEL"));
+  int pkeys = q.SetKey(q.Proj(pcand, q.Bind("part", "p_partkey")));
+
+  auto [jl, jr] = q.Join(q.Bind("lineitem", "l_partkey"), pkeys);
+  (void)jr;
+  int lok = q.Proj(jl, q.Bind("lineitem", "l_orderkey"));
+  auto [j2l, j2r] = q.Join(lok, q.Bind("orders", "o_orderkey"));
+  int odate = q.Proj(j2r, q.Bind("orders", "o_orderdate"));
+
+  // Customers in region AMERICA.
+  int rcand = q.SelectEq(q.Bind("region", "r_name"), q.Nil(), q.Code("r_name", "AMERICA"));
+  int rkeys = q.SetKey(q.Proj(rcand, q.Bind("region", "r_regionkey")));
+  auto [nl, nr] = q.Join(q.Bind("nation", "n_regionkey"), rkeys);
+  (void)nr;
+  int nkeys = q.Proj(nl, q.Bind("nation", "n_nationkey"));
+
+  int ocust = q.Proj(j2r, q.Bind("orders", "o_custkey"));
+  auto [j3l, j3r] = q.Join(ocust, q.Bind("customer", "c_custkey"));
+  (void)j3l;  // FK join: all rows match, alignment preserved
+  int cnat = q.Proj(j3r, q.Bind("customer", "c_nationkey"));
+
+  int in_america = q.Semi(cnat, nkeys);
+  int rows = q.Select(odate, in_america, q.D(Date(1995, 1, 1)),
+                      q.D(Date(1996, 12, 31)));
+
+  int lsupp_row = q.Proj(j2l, q.Proj(jl, q.Bind("lineitem", "l_suppkey")));
+  auto [j4l, j4r] = q.Join(lsupp_row, q.Bind("supplier", "s_suppkey"));
+  (void)j4l;  // FK join, aligned
+  int snat = q.Proj(j4r, q.Bind("supplier", "s_nationkey"));
+
+  int ext = q.Proj(j2l, q.Proj(jl, q.Bind("lineitem", "l_extendedprice")));
+  int disc = q.Proj(j2l, q.Proj(jl, q.Bind("lineitem", "l_discount")));
+  int volume = q.Proj(rows, q.Mul(ext, q.OneMinus(disc)));
+  int o_year = q.Year(q.Proj(rows, odate));
+  int is_brazil = q.Eq(q.Proj(rows, snat), q.D(db.Code("n_name", "BRAZIL")));
+  int brazil_vol = q.IfThenElse(is_brazil, volume, q.D(0.0));
+
+  auto g = q.Group(o_year);
+  int share = q.Div(q.SubSum(brazil_vol, g), q.SubSum(volume, g));
+  auto [year_sorted, order] = q.SortBy(q.Proj(g.extents, o_year));
+  q.Ret(year_sorted);
+  q.Ret(q.Proj(order, share));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q10: returned item reporting.
+Program BuildQ10(const TpchDb& db) {
+  Q q(db);
+  int ocand = q.Select(q.Bind("orders", "o_orderdate"), q.Nil(),
+                       q.D(Date(1993, 10, 1)), q.D(Date(1994, 1, 1)), true, false);
+  int okeys = q.SetKey(q.Proj(ocand, q.Bind("orders", "o_orderkey")));
+  int lcand = q.SelectEq(q.Bind("lineitem", "l_returnflag"), q.Nil(),
+                         q.Code("l_returnflag", "R"));
+  int lok = q.Proj(lcand, q.Bind("lineitem", "l_orderkey"));
+  auto [jl, jr] = q.Join(lok, okeys);
+
+  int ext = q.Proj(jl, q.Proj(lcand, q.Bind("lineitem", "l_extendedprice")));
+  int disc = q.Proj(jl, q.Proj(lcand, q.Bind("lineitem", "l_discount")));
+  int rev = q.Mul(ext, q.OneMinus(disc));
+  int cust = q.Proj(jr, q.Proj(ocand, q.Bind("orders", "o_custkey")));
+
+  auto g = q.Group(cust);
+  int revenue = q.SubSum(rev, g);
+  int rep_cust = q.Proj(g.extents, cust);
+  auto [al, ar] = q.Join(rep_cust, q.Bind("customer", "c_custkey"));
+  (void)al;
+  int acct = q.Proj(ar, q.Bind("customer", "c_acctbal"));
+  auto [bl, br] = q.Join(q.Proj(ar, q.Bind("customer", "c_nationkey")),
+                         q.Bind("nation", "n_nationkey"));
+  (void)bl;
+  int nname = q.Proj(br, q.Bind("nation", "n_name"));
+
+  // Order by revenue (LIMIT removed, App. A).
+  auto [rev_sorted, order] = q.SortBy(revenue);
+  q.Ret(q.Proj(order, rep_cust));
+  q.Ret(rev_sorted);
+  q.Ret(q.Proj(order, acct));
+  q.Ret(q.Proj(order, nname));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q11: important stock identification.
+Program BuildQ11(const TpchDb& db) {
+  Q q(db);
+  int scand = q.SelectEq(q.Bind("supplier", "s_nationkey"), q.Nil(),
+                         q.Code("n_name", "GERMANY"));
+  int skeys = q.SetKey(q.Proj(scand, q.Bind("supplier", "s_suppkey")));
+  auto [jl, jr] = q.Join(q.Bind("partsupp", "ps_suppkey"), skeys);
+  (void)jr;
+  int value = q.Mul(q.Proj(jl, q.Bind("partsupp", "ps_supplycost")),
+                    q.Flt(q.Proj(jl, q.Bind("partsupp", "ps_availqty"))));
+  // HAVING threshold: sum(value) * 0.0001 == sum(value * 0.0001).
+  int threshold = q.Sum(q.Mul(value, q.D(0.0001)));
+
+  int pk = q.Proj(jl, q.Bind("partsupp", "ps_partkey"));
+  auto g = q.Group(pk);
+  int sums = q.SubSum(value, g);
+  int sel = q.Select(sums, q.Nil(), threshold, q.D(kInf), false, true);
+  int out_part = q.Proj(sel, q.Proj(g.extents, pk));
+  int out_value = q.Proj(sel, sums);
+  auto [val_sorted, order] = q.SortBy(out_value);
+  q.Ret(q.Proj(order, out_part));
+  q.Ret(val_sorted);
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q12: shipping modes and order priority.
+Program BuildQ12(const TpchDb& db) {
+  Q q(db);
+  int mode = q.Bind("lineitem", "l_shipmode");
+  int c_mail = q.SelectEq(mode, q.Nil(), q.Code("l_shipmode", "MAIL"));
+  int c_ship = q.SelectEq(mode, q.Nil(), q.Code("l_shipmode", "SHIP"));
+  int cm = q.Union(c_mail, c_ship);
+  int cr = q.Select(q.Bind("lineitem", "l_receiptdate"), cm, q.D(Date(1994, 1, 1)),
+                    q.D(Date(1995, 1, 1)), true, false);
+  int commit_lt_receipt =
+      q.Lt(q.Bind("lineitem", "l_commitdate"), q.Bind("lineitem", "l_receiptdate"));
+  int c2 = q.SelectTrue(commit_lt_receipt, cr);
+  int ship_lt_commit =
+      q.Lt(q.Bind("lineitem", "l_shipdate"), q.Bind("lineitem", "l_commitdate"));
+  int rows = q.SelectTrue(ship_lt_commit, c2);
+
+  int lok = q.Proj(rows, q.Bind("lineitem", "l_orderkey"));
+  auto [jl, jr] = q.Join(lok, q.Bind("orders", "o_orderkey"));
+  (void)jl;  // FK join, aligned with `rows`
+  int prio = q.Proj(jr, q.Bind("orders", "o_orderpriority"));
+  int high = q.Or(q.Eq(prio, q.D(q.Code("o_orderpriority", "1-URGENT"))),
+                  q.Eq(prio, q.D(q.Code("o_orderpriority", "2-HIGH"))));
+  int low = q.Sub(q.D(1.0), high);
+
+  auto g = q.Group(q.Proj(rows, mode));
+  int high_count = q.SubSum(q.Flt(high), g);
+  int low_count = q.SubSum(low, g);
+  auto [mode_sorted, order] = q.SortBy(q.Proj(g.extents, q.Proj(rows, mode)));
+  q.Ret(mode_sorted);
+  q.Ret(q.Proj(order, high_count));
+  q.Ret(q.Proj(order, low_count));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q15: top supplier (view inlined; max instead of LIMIT).
+Program BuildQ15(const TpchDb& db) {
+  Q q(db);
+  int lcand = q.Select(q.Bind("lineitem", "l_shipdate"), q.Nil(),
+                       q.D(Date(1996, 1, 1)), q.D(Date(1996, 4, 1)), true, false);
+  int sk = q.Proj(lcand, q.Bind("lineitem", "l_suppkey"));
+  int rev = q.Mul(q.Proj(lcand, q.Bind("lineitem", "l_extendedprice")),
+                  q.OneMinus(q.Proj(lcand, q.Bind("lineitem", "l_discount"))));
+  auto g = q.Group(sk);
+  int total = q.SubSum(rev, g);
+  int mx = q.Max(total);
+  int sel = q.Select(total, q.Nil(), mx, mx);
+  int supp = q.Proj(sel, q.Proj(g.extents, sk));
+  int top_rev = q.Proj(sel, total);
+  auto [supp_sorted, order] = q.SortBy(supp);
+  q.Ret(supp_sorted);
+  q.Ret(q.Proj(order, top_rev));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q17: small-quantity-order revenue.
+Program BuildQ17(const TpchDb& db) {
+  Q q(db);
+  int pc1 = q.SelectEq(q.Bind("part", "p_brand"), q.Nil(), q.Code("p_brand", "Brand#23"));
+  int pc2 = q.SelectEq(q.Bind("part", "p_container"), pc1,
+                       q.Code("p_container", "MED BOX"));
+  int pkeys = q.SetKey(q.Proj(pc2, q.Bind("part", "p_partkey")));
+
+  // Per-part average quantity over ALL lineitems (the correlated subquery).
+  int lpk = q.Bind("lineitem", "l_partkey");
+  auto ag = q.Group(lpk);
+  int avg_qty = q.SubAvg(q.Bind("lineitem", "l_quantity"), ag);
+  int rep_pk = q.SetKey(q.Proj(ag.extents, lpk));
+
+  auto [jl, jr] = q.Join(lpk, pkeys);
+  (void)jr;
+  int qty = q.Proj(jl, q.Bind("lineitem", "l_quantity"));
+  int pk_rows = q.Proj(jl, lpk);
+  auto [j2l, j2r] = q.Join(pk_rows, rep_pk);
+  int qty2 = q.Proj(j2l, qty);
+  int limit = q.Mul(q.D(0.2), q.Proj(j2r, avg_qty));
+  int cond = q.Lt(qty2, limit);
+  int rows = q.SelectTrue(cond, q.Nil());
+  int price = q.Proj(rows, q.Proj(j2l, q.Proj(jl, q.Bind("lineitem", "l_extendedprice"))));
+  // avg_yearly = sum(price) / 7; fold the constant into the sum's input.
+  q.Ret(q.Sum(q.Mul(price, q.D(1.0 / 7.0))));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q18: large volume customer (not in the paper's Fig. 7 runs; see queries.h).
+Program BuildQ18(const TpchDb& db) {
+  Q q(db);
+  int lok = q.Bind("lineitem", "l_orderkey");
+  auto g = q.Group(lok);
+  int qsum = q.SubSum(q.Bind("lineitem", "l_quantity"), g);
+  int sel = q.Select(qsum, q.Nil(), q.D(300.0), q.D(kInf), false, true);
+  int bigkeys = q.SetKey(q.Proj(sel, q.Proj(g.extents, lok)));
+
+  auto [jl, jr] = q.Join(q.Bind("orders", "o_orderkey"), bigkeys);
+  int okey = q.Proj(jl, q.Bind("orders", "o_orderkey"));
+  int cust = q.Proj(jl, q.Bind("orders", "o_custkey"));
+  int total = q.Proj(jl, q.Bind("orders", "o_totalprice"));
+  int odate = q.Proj(jl, q.Bind("orders", "o_orderdate"));
+  int oqty = q.Proj(jr, q.Proj(sel, qsum));
+
+  // Order by o_totalprice (o_orderdate clause and LIMIT removed, App. A).
+  auto [tp_sorted, order] = q.SortBy(total);
+  q.Ret(q.Proj(order, cust));
+  q.Ret(q.Proj(order, okey));
+  q.Ret(tp_sorted);
+  q.Ret(q.Proj(order, odate));
+  q.Ret(q.Proj(order, oqty));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q19: discounted revenue (three disjunctive branches, bitmap OR).
+Program BuildQ19(const TpchDb& db) {
+  Q q(db);
+  struct Branch {
+    const char* brand;
+    const char* sizes;  // container size prefix
+    double qmin;
+    int psize_max;
+  };
+  const Branch branches[] = {{"Brand#12", "SM", 1, 5},
+                             {"Brand#23", "MED", 10, 10},
+                             {"Brand#34", "LG", 20, 15}};
+  const char* kContainerTypes[] = {"CASE", "BOX", "PACK", "PKG"};
+
+  int lqty = q.Bind("lineitem", "l_quantity");
+  int lmode = q.Bind("lineitem", "l_shipmode");
+  int linstr = q.Bind("lineitem", "l_shipinstruct");
+  int lpk = q.Bind("lineitem", "l_partkey");
+
+  int rows = -1;
+  for (const Branch& br : branches) {
+    int pc = q.SelectEq(q.Bind("part", "p_brand"), q.Nil(),
+                        q.Code("p_brand", br.brand));
+    int containers = -1;
+    for (const char* ct : kContainerTypes) {
+      int c = q.SelectEq(q.Bind("part", "p_container"), pc,
+                         q.Code("p_container", std::string(br.sizes) + " " + ct));
+      containers = containers < 0 ? c : q.Union(containers, c);
+    }
+    int psz = q.Select(q.Bind("part", "p_size"), containers, q.D(1.0),
+                       q.D(br.psize_max));
+    int pkeys = q.Proj(psz, q.Bind("part", "p_partkey"));
+
+    int s1 = q.Semi(lpk, pkeys);
+    int s2 = q.Select(lqty, s1, q.D(br.qmin), q.D(br.qmin + 10));
+    int s3 = q.SelectEq(linstr, s2, q.Code("l_shipinstruct", "DELIVER IN PERSON"));
+    int s4a = q.SelectEq(lmode, s3, q.Code("l_shipmode", "AIR"));
+    int s4b = q.SelectEq(lmode, s3, q.Code("l_shipmode", "REG AIR"));
+    int sb = q.Union(s4a, s4b);
+    rows = rows < 0 ? sb : q.Union(rows, sb);
+  }
+
+  int rev = q.Mul(q.Proj(rows, q.Bind("lineitem", "l_extendedprice")),
+                  q.OneMinus(q.Proj(rows, q.Bind("lineitem", "l_discount"))));
+  q.Ret(q.Sum(rev));
+  return q.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Q21: suppliers who kept orders waiting (EXISTS/NOT EXISTS via per-orderkey
+// distinct-supplier counting).
+Program BuildQ21(const TpchDb& db) {
+  Q q(db);
+  int lok = q.Bind("lineitem", "l_orderkey");
+  int lsk = q.Bind("lineitem", "l_suppkey");
+
+  // EXISTS l2: orderkeys shipped by more than one supplier.
+  auto g1 = q.Group(lok);
+  auto g2 = q.SubGroup(lsk, g1);
+  int pair_ok = q.Proj(g2.extents, lok);
+  auto pg = q.Group(pair_ok);
+  int supp_per_ok = q.SubCount(pg);
+  int multi = q.Select(supp_per_ok, q.Nil(), q.D(2.0), q.D(kInf));
+  int ok_multi = q.Proj(multi, q.Proj(pg.extents, pair_ok));
+
+  // NOT EXISTS l3: among *late* lineitems, orderkeys with exactly one supplier.
+  int late = q.Lt(q.Bind("lineitem", "l_commitdate"), q.Bind("lineitem", "l_receiptdate"));
+  int lcand = q.SelectTrue(late, q.Nil());
+  int dok = q.Proj(lcand, lok);
+  int dsk = q.Proj(lcand, lsk);
+  auto h1 = q.Group(dok);
+  auto h2 = q.SubGroup(dsk, h1);
+  int pair_ok2 = q.Proj(h2.extents, dok);
+  auto pg2 = q.Group(pair_ok2);
+  int late_supp_per_ok = q.SubCount(pg2);
+  int single = q.SelectEq(late_supp_per_ok, q.Nil(), 1.0);
+  int ok_single = q.Proj(single, q.Proj(pg2.extents, pair_ok2));
+
+  // l1: late lineitems of SAUDI ARABIA suppliers on F-status orders.
+  int scand = q.SelectEq(q.Bind("supplier", "s_nationkey"), q.Nil(),
+                         q.Code("n_name", "SAUDI ARABIA"));
+  int skeys = q.SetKey(q.Proj(scand, q.Bind("supplier", "s_suppkey")));
+  int sj = q.Semi(dsk, skeys);  // positions into lcand rows
+
+  int fcand = q.SelectEq(q.Bind("orders", "o_orderstatus"), q.Nil(),
+                         q.Code("o_orderstatus", "F"));
+  int fkeys = q.Proj(fcand, q.Bind("orders", "o_orderkey"));
+
+  int ok_rows = q.Proj(sj, dok);            // orderkeys of candidate l1 rows
+  int sk_rows = q.Proj(sj, dsk);            // suppkeys of candidate l1 rows
+  int in_f = q.Semi(ok_rows, fkeys);
+  int ok2 = q.Proj(in_f, ok_rows);
+  int sk2 = q.Proj(in_f, sk_rows);
+  int in_multi = q.Semi(ok2, ok_multi);
+  int ok3 = q.Proj(in_multi, ok2);
+  int sk3 = q.Proj(in_multi, sk2);
+  int in_single = q.Semi(ok3, ok_single);
+  int sk4 = q.Proj(in_single, sk3);
+
+  auto g = q.Group(sk4);
+  int numwait = q.SubCount(g);
+  // Order by numwait (the s_name clause is removed, App. A).
+  auto [wait_sorted, order] = q.SortBy(q.Flt(numwait));
+  int rep_supp = q.Proj(g.extents, sk4);
+  auto [xl, xr] = q.Join(rep_supp, q.Bind("supplier", "s_suppkey"));
+  (void)xl;
+  q.Ret(q.Proj(order, q.Proj(xr, q.Bind("supplier", "s_name"))));
+  q.Ret(wait_sorted);
+  return q.Build();
+}
+
+}  // namespace
+
+std::vector<int> PaperWorkload() {
+  return {1, 3, 4, 5, 6, 7, 8, 10, 11, 12, 15, 17, 19, 21};
+}
+
+std::vector<int> AllQueries() {
+  return {1, 3, 4, 5, 6, 7, 8, 10, 11, 12, 15, 17, 18, 19, 21};
+}
+
+common::Result<Program> BuildQuery(int query, const TpchDb& db) {
+  switch (query) {
+    case 1:
+      return BuildQ1(db);
+    case 3:
+      return BuildQ3(db);
+    case 4:
+      return BuildQ4(db);
+    case 5:
+      return BuildQ5(db);
+    case 6:
+      return BuildQ6(db);
+    case 7:
+      return BuildQ7(db);
+    case 8:
+      return BuildQ8(db);
+    case 10:
+      return BuildQ10(db);
+    case 11:
+      return BuildQ11(db);
+    case 12:
+      return BuildQ12(db);
+    case 15:
+      return BuildQ15(db);
+    case 17:
+      return BuildQ17(db);
+    case 18:
+      return BuildQ18(db);
+    case 19:
+      return BuildQ19(db);
+    case 21:
+      return BuildQ21(db);
+    default:
+      return Status::InvalidArgument("query " + std::to_string(query) +
+                                     " is not part of the workload (App. A)");
+  }
+}
+
+}  // namespace tpch

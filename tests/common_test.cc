@@ -1,0 +1,219 @@
+// Unit tests for the shared infrastructure: Status/Result, aligned
+// allocation, bit vectors, hashing, RNG and date arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/bitvector.h"
+#include "common/date.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace {
+
+using common::BitVector;
+using common::HashFamily;
+using common::Result;
+using common::Rng;
+using common::Status;
+using common::StatusCode;
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad selectivity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad selectivity");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("no BAT"); };
+  auto outer = [&]() -> Status {
+    RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  auto maybe = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("nope");
+    return 41;
+  };
+  auto use = [&](bool fail) -> Result<int> {
+    ASSIGN_OR_RETURN(int v, maybe(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*use(false), 42);
+  EXPECT_FALSE(use(true).ok());
+}
+
+TEST(AlignedTest, HeapAlignmentContract) {
+  for (std::size_t bytes : {1u, 17u, 128u, 1000u, 65536u}) {
+    void* p = common::AlignedAlloc(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % common::kHeapAlignment, 0u);
+    common::AlignedFree(p);
+  }
+}
+
+TEST(AlignedTest, VectorUsesAlignedStorage) {
+  std::vector<int, common::AlignedAllocator<int>> v(1000, 3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % common::kHeapAlignment, 0u);
+  EXPECT_EQ(v[999], 3);
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+  bv.Clear(64);
+  EXPECT_EQ(bv.CountOnes(), 2u);
+}
+
+TEST(BitVectorTest, CountIgnoresSlackBytes) {
+  BitVector bv(9);  // one word, 55 slack bits
+  // Simulate a kernel writing a full byte pattern past the logical end.
+  bv.bytes()[0] = 0xFF;
+  bv.bytes()[1] = 0xFF;
+  EXPECT_EQ(bv.CountOnes(), 9u);
+}
+
+TEST(BitVectorTest, LogicalOps) {
+  BitVector a(100), b(100);
+  for (std::size_t i = 0; i < 100; i += 2) a.Set(i);  // evens
+  for (std::size_t i = 0; i < 100; i += 3) b.Set(i);  // multiples of 3
+  BitVector a_and = a;
+  a_and.And(b);
+  EXPECT_EQ(a_and.CountOnes(), 17u);  // multiples of 6 in [0,100): 0,6,...,96
+  BitVector a_or = a;
+  a_or.Or(b);
+  EXPECT_EQ(a_or.CountOnes(), 50u + 34u - 17u);
+  BitVector neg = a;
+  neg.Not();
+  EXPECT_EQ(neg.CountOnes(), 50u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_NE(a.Get(i), neg.Get(i));
+}
+
+TEST(BitVectorTest, AppendSetPositions) {
+  BitVector bv(200);
+  bv.Set(3);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(199);
+  std::vector<std::uint32_t> pos;
+  bv.AppendSetPositions(&pos, /*base=*/1000);
+  EXPECT_EQ(pos, (std::vector<std::uint32_t>{1003, 1063, 1064, 1199}));
+}
+
+TEST(HashTest, FamilyMembersDisagree) {
+  HashFamily family;
+  // The six functions of the pessimistic round must be distinct: a key that
+  // collides under one member should usually escape under another.
+  std::set<std::uint32_t> slots;
+  for (int f = 0; f < HashFamily::kFunctions; ++f) {
+    slots.insert(family.Hash(f, 12345) % 1024);
+  }
+  EXPECT_GT(slots.size(), 3u);
+}
+
+TEST(HashTest, DeterministicAcrossInstances) {
+  HashFamily a, b;
+  for (int f = 0; f < HashFamily::kFunctions; ++f) {
+    EXPECT_EQ(a.Hash(f, 99), b.Hash(f, 99));
+  }
+}
+
+TEST(HashTest, Mix32SpreadsLowBits) {
+  // Sequential keys must not map to sequential buckets.
+  std::set<std::uint32_t> buckets;
+  for (std::uint32_t k = 0; k < 1000; ++k) buckets.insert(common::Mix32(k) % 64);
+  EXPECT_EQ(buckets.size(), 64u);
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next64(), b.Next64());
+  EXPECT_NE(a.Next64(), c.Next64());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    std::int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(2);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(DateTest, KnownEpochValues) {
+  EXPECT_EQ(common::date::FromYmd(1970, 1, 1), 0);
+  EXPECT_EQ(common::date::FromYmd(1970, 1, 2), 1);
+  EXPECT_EQ(common::date::FromYmd(1969, 12, 31), -1);
+  EXPECT_EQ(common::date::FromYmd(2000, 3, 1), 11017);
+}
+
+TEST(DateTest, RoundTripAcrossTpchRange) {
+  // TPC-H dates span 1992..1998; check every ~7th day round-trips.
+  for (std::int32_t d = common::date::FromYmd(1992, 1, 1);
+       d <= common::date::FromYmd(1998, 12, 31); d += 7) {
+    int y, m, day;
+    common::date::ToYmd(d, &y, &m, &day);
+    EXPECT_EQ(common::date::FromYmd(y, m, day), d);
+  }
+}
+
+TEST(DateTest, ToStringFormat) {
+  EXPECT_EQ(common::date::ToString(common::date::FromYmd(1995, 3, 15)), "1995-03-15");
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  std::int32_t jan31 = common::date::FromYmd(1995, 1, 31);
+  EXPECT_EQ(common::date::ToString(common::date::AddMonths(jan31, 1)), "1995-02-28");
+  std::int32_t oct = common::date::FromYmd(1993, 10, 1);
+  EXPECT_EQ(common::date::ToString(common::date::AddMonths(oct, 3)), "1994-01-01");
+}
+
+TEST(DateTest, AddYears) {
+  std::int32_t d = common::date::FromYmd(1994, 1, 1);
+  EXPECT_EQ(common::date::ToString(common::date::AddYears(d, 1)), "1995-01-01");
+  std::int32_t leap = common::date::FromYmd(1996, 2, 29);
+  EXPECT_EQ(common::date::ToString(common::date::AddYears(leap, 1)), "1997-02-28");
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the MAL plan layer: builder, EXPLAIN, interpreter dispatch,
+// pipelines and the Ocelot query rewriter.
+
+#include <gtest/gtest.h>
+
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+
+namespace {
+
+using mal::Pipeline;
+using mal::Program;
+using mal::ProgramBuilder;
+
+cstore::Catalog TinyCatalog() {
+  cstore::Catalog catalog;
+  cstore::Table t("t");
+  auto vals = cstore::Bat::MakeInt(6);
+  std::int32_t data[] = {5, 1, 9, 3, 7, 2};
+  std::copy(std::begin(data), std::end(data), vals->ints().begin());
+  OCELOT_CHECK_OK(t.AddColumn("v", vals));
+  auto keys = cstore::Bat::MakeInt(6);
+  for (int i = 0; i < 6; ++i) keys->ints()[static_cast<std::size_t>(i)] = i + 1;
+  keys->SetDense(1);
+  OCELOT_CHECK_OK(t.AddColumn("k", keys));
+  OCELOT_CHECK_OK(catalog.AddTable(std::move(t)));
+  return catalog;
+}
+
+Program SelectSumPlan() {
+  ProgramBuilder b;
+  int col = b.Emit("bat", "bind", {b.Const(std::string("t")), b.Const(std::string("v"))});
+  int cand = b.Emit("algebra", "select",
+                    {col, b.Const(mal::Value{}), b.Const(3.0), b.Const(9.0),
+                     b.Const(std::int64_t{1}), b.Const(std::int64_t{1})});
+  int vals = b.Emit("algebra", "projection", {cand, col});
+  int sum = b.Emit("aggr", "sum", {vals});
+  b.Return(sum);
+  return b.Build();
+}
+
+TEST(MalProgramTest, ExplainRendersInstructions) {
+  Program p = SelectSumPlan();
+  std::string text = p.Explain();
+  EXPECT_NE(text.find("algebra.select"), std::string::npos);
+  EXPECT_NE(text.find("aggr.sum"), std::string::npos);
+  EXPECT_NE(text.find("return"), std::string::npos);
+}
+
+TEST(MalRewriterTest, ReroutesModulesAndInsertsSync) {
+  Program p = SelectSumPlan();
+  Program rewritten = mal::RewriteForOcelot(p);
+  EXPECT_EQ(mal::CountSyncs(p), 0);
+  EXPECT_EQ(mal::CountSyncs(rewritten), 1);  // one per returned variable
+  bool any_ocelot = false;
+  for (const auto& ins : rewritten.instrs) {
+    if (ins.module == "ocelot") any_ocelot = true;
+    EXPECT_TRUE(ins.module == "ocelot" || ins.module == "bat") << ins.module;
+  }
+  EXPECT_TRUE(any_ocelot);
+  EXPECT_NE(rewritten.Explain().find("ocelot.select"), std::string::npos);
+}
+
+class MalPipelineTest : public ::testing::TestWithParam<Pipeline> {};
+
+TEST_P(MalPipelineTest, SelectSumRunsEverywhere) {
+  cstore::Catalog catalog = TinyCatalog();
+  auto session = mal::Session::Create(GetParam());
+  Program p = SelectSumPlan();
+  if (session->ocelot() != nullptr) p = mal::RewriteForOcelot(p);
+  auto res = mal::Run(p, catalog, session.get());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->returns.size(), 1u);
+  EXPECT_DOUBLE_EQ(std::get<double>(res->returns[0]), 5 + 9 + 3 + 7);
+}
+
+TEST_P(MalPipelineTest, JoinGroupPlanRunsEverywhere) {
+  cstore::Catalog catalog = TinyCatalog();
+  auto session = mal::Session::Create(GetParam());
+  ProgramBuilder b;
+  int v = b.Emit("bat", "bind", {b.Const(std::string("t")), b.Const(std::string("v"))});
+  int k = b.Emit("bat", "bind", {b.Const(std::string("t")), b.Const(std::string("k"))});
+  auto jr = b.EmitMulti("algebra", "join", {v, k}, 2);  // v values as FKs into k
+  int matched = b.Emit("algebra", "projection", {jr[0], v});
+  auto g = b.EmitMulti("group", "group", {matched}, 3);
+  int cnt = b.Emit("aggr", "subcount", {g[0], g[2]});
+  b.Return(cnt);
+  Program p = b.Build();
+  if (session->ocelot() != nullptr) p = mal::RewriteForOcelot(p);
+  auto res = mal::Run(p, catalog, session.get());
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  auto bat = std::get<cstore::BatPtr>(res->returns[0]);
+  // v values 1..6-range: {5,1,3,2} are within k=1..6, 9 and 7 are not; all
+  // distinct -> 4 groups of one row each.
+  EXPECT_EQ(bat->size(), 4u);
+  for (std::int32_t c : bat->ints()) EXPECT_EQ(c, 1);
+}
+
+TEST_P(MalPipelineTest, UnknownOpReportsUnsupported) {
+  cstore::Catalog catalog = TinyCatalog();
+  auto session = mal::Session::Create(GetParam());
+  ProgramBuilder b;
+  b.Emit("voodoo", "levitate", {});
+  auto res = mal::Run(b.Build(), catalog, session.get());
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), common::StatusCode::kUnsupported);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPipelines, MalPipelineTest,
+                         ::testing::Values(Pipeline::kSequential, Pipeline::kMitosis,
+                                           Pipeline::kOcelotCpu, Pipeline::kOcelotGpu),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Pipeline::kSequential:
+                               return "MS";
+                             case Pipeline::kMitosis:
+                               return "MP";
+                             case Pipeline::kOcelotCpu:
+                               return "OcelotCpu";
+                             case Pipeline::kOcelotGpu:
+                               return "OcelotGpu";
+                           }
+                           return "?";
+                         });
+
+}  // namespace

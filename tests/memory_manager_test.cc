@@ -1,0 +1,174 @@
+// Tests for Ocelot's memory manager (paper 3.3): device caching, zero-copy
+// on unified memory, LRU eviction of clean cache entries, hash-table-first
+// aux eviction, host offloading of results with transparent reload, pinning
+// and the BAT delete callbacks (4.3).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "ocelot/engine.h"
+#include "ocelot/hash_table.h"
+
+namespace {
+
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using ocelot::MemoryManager;
+using ocelot::OcelotEngine;
+
+BatPtr Column(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  BatPtr b = Bat::MakeInt(n);
+  for (auto& v : b->ints()) v = static_cast<std::int32_t>(rng.Uniform(0, 999));
+  return b;
+}
+
+std::unique_ptr<ocl::Context> TinyGpu(std::size_t mem_bytes) {
+  ocl::DeviceModel gpu = ocl::Gtx460Model();
+  gpu.global_mem_bytes = mem_bytes;
+  gpu.kernel_compile_cost = 0;
+  return ocl::Context::Create(gpu);
+}
+
+TEST(MemoryManagerTest, UnifiedMemoryIsZeroCopy) {
+  auto ctx = ocl::Context::Create(ocl::XeonE5620Model());
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(1000, 1);
+  MemoryManager::OpScope scope(engine.memory());
+  ocl::EventList waits;
+  auto buf = engine.memory()->AcquireRead(&scope, col, &waits);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ((*buf)->data(), col->data());  // wraps the BAT heap directly
+  EXPECT_EQ(ctx->device()->allocated_bytes(), 0u);
+}
+
+TEST(MemoryManagerTest, DiscreteDeviceCachesAcrossOperators) {
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(100'000, 2);
+  ASSERT_TRUE(engine.Sum(col).ok());
+  std::size_t after_first = engine.memory()->device_bytes();
+  EXPECT_GT(after_first, 0u);
+  // Second operator on the same BAT: no new base-data allocation.
+  ASSERT_TRUE(engine.Min(col).ok());
+  EXPECT_EQ(engine.memory()->evictions(), 0u);
+}
+
+TEST(MemoryManagerTest, LruEvictionOfCleanCacheEntries) {
+  // 3 columns of 4 MB in 9 MB of device memory: scanning the third must
+  // evict the least recently used cached copy.
+  auto ctx = TinyGpu(9 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr a = Column(1'000'000, 1), b = Column(1'000'000, 2), c = Column(1'000'000, 3);
+  ASSERT_TRUE(engine.Sum(a).ok());
+  ASSERT_TRUE(engine.Sum(b).ok());
+  EXPECT_EQ(engine.memory()->evictions(), 0u);
+  ASSERT_TRUE(engine.Sum(c).ok());
+  EXPECT_GE(engine.memory()->evictions(), 1u);
+  // Everything still works afterwards (A transfers again).
+  ASSERT_TRUE(engine.Sum(a).ok());
+}
+
+TEST(MemoryManagerTest, ResultsAreOffloadedNotDropped) {
+  auto ctx = TinyGpu(9 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr a = Column(1'000'000, 1);
+  auto doubled = engine.CalcScalar(cstore::CalcOp::kMul, a, 2.0, false);
+  ASSERT_TRUE(doubled.ok());
+
+  // Crowd the device with a column too large to fit next to the result even
+  // after every clean cache entry is gone: the result must be offloaded.
+  BatPtr b = Column(1'500'000, 2);  // 6 MB vs 9 MB device with a 4 MB result
+  ASSERT_TRUE(engine.Sum(b).ok());
+  EXPECT_GE(engine.memory()->offloads(), 1u);
+
+  // Using the result again reloads it; contents are intact.
+  auto total = engine.Sum(*doubled);
+  ASSERT_TRUE(total.ok());
+  double expect = 0;
+  for (auto v : a->ints()) expect += 2.0 * v;
+  EXPECT_NEAR(*total, expect, std::abs(expect) * 1e-6);
+  EXPECT_GE(engine.memory()->reloads(), 1u);
+}
+
+TEST(MemoryManagerTest, HashTablesEvictBeforeResults) {
+  auto ctx = TinyGpu(10 << 20);
+  OcelotEngine engine(ctx.get());
+  // A result buffer plus a cached hash table; pressure should drop the
+  // table (aux structure) and keep the result resident.
+  BatPtr a = Column(400'000, 1);
+  auto result = engine.CalcScalar(cstore::CalcOp::kMul, a, 2.0, false);
+  ASSERT_TRUE(result.ok());
+  BatPtr keys = Bat::MakeInt(400'000);
+  std::iota(keys->ints().begin(), keys->ints().end(), 0);
+  keys->set_key(true);
+  ASSERT_TRUE(ocelot::BuildHashTable(engine.memory(), keys, false).ok());
+
+  std::uint64_t offloads_before = engine.memory()->offloads();
+  BatPtr big = Column(1'200'000, 2);
+  ASSERT_TRUE(engine.Sum(big).ok());
+  EXPECT_GE(engine.memory()->evictions(), 1u);
+  EXPECT_EQ(engine.memory()->offloads(), offloads_before);  // result untouched
+}
+
+TEST(MemoryManagerTest, PinnedBatSurvivesPressure) {
+  auto ctx = TinyGpu(9 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr hot = Column(500'000, 1);
+  MemoryManager::OpScope scope(engine.memory());
+  ASSERT_TRUE(engine.memory()->Pin(&scope, hot).ok());
+  std::size_t bytes_with_hot = engine.memory()->device_bytes();
+
+  BatPtr b = Column(1'000'000, 2), c = Column(1'000'000, 3);
+  ASSERT_TRUE(engine.Sum(b).ok());
+  ASSERT_TRUE(engine.Sum(c).ok());
+  // The pinned column is still resident.
+  EXPECT_GE(engine.memory()->device_bytes(), bytes_with_hot);
+  ocl::EventList waits;
+  MemoryManager::OpScope scope2(engine.memory());
+  auto buf = engine.memory()->AcquireRead(&scope2, hot, &waits);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_TRUE(waits.empty());  // no new transfer was needed
+  engine.memory()->Unpin(hot);
+}
+
+TEST(MemoryManagerTest, BatDeletionDropsCacheEntries) {
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  {
+    BatPtr temp = Column(100'000, 4);
+    ASSERT_TRUE(engine.Sum(temp).ok());
+    EXPECT_GT(engine.memory()->cached_entries(), 0u);
+  }
+  // The delete listener (paper 4.3) must have removed the entry.
+  EXPECT_EQ(engine.memory()->cached_entries(), 0u);
+  EXPECT_EQ(ctx->device()->allocated_bytes(), 0u);
+}
+
+TEST(MemoryManagerTest, ExhaustionWithNothingEvictableFails) {
+  auto ctx = TinyGpu(1 << 20);  // 1 MB
+  OcelotEngine engine(ctx.get());
+  BatPtr big = Column(1'000'000, 5);  // 4 MB > device
+  auto res = engine.Sum(big);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), common::StatusCode::kResourceExhausted);
+}
+
+TEST(MemoryManagerTest, SyncHandsOwnershipBack) {
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(10'000, 6);
+  auto sel = engine.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(499));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE((*sel)->ocelot_owned());
+  ASSERT_TRUE(engine.Sync(*sel).ok());
+  EXPECT_FALSE((*sel)->ocelot_owned());
+  // Host heap is authoritative now: values are sorted oids.
+  auto oids = (*sel)->oids();
+  EXPECT_TRUE(std::is_sorted(oids.begin(), oids.end()));
+}
+
+}  // namespace

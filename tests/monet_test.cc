@@ -1,0 +1,507 @@
+// Tests for the MonetDB baseline engines. Most suites are parameterized over
+// {sequential, mitosis}: the hand-parallelized engine must produce exactly
+// the results of the sequential one (and, where feasible, the same group
+// ids), while billing parallel virtual time.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "monet/mitosis.h"
+#include "monet/par_engine.h"
+#include "monet/seq_engine.h"
+
+namespace {
+
+using common::Rng;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::CalcOp;
+using cstore::CmpOp;
+using cstore::GroupResult;
+using cstore::JoinResult;
+using cstore::kIntNil;
+using cstore::oid_t;
+using cstore::QueryEngine;
+using cstore::ValType;
+
+BatPtr IntBat(const std::vector<std::int32_t>& v) {
+  BatPtr b = Bat::MakeInt(v.size());
+  std::copy(v.begin(), v.end(), b->ints().begin());
+  return b;
+}
+
+BatPtr FloatBat(const std::vector<float>& v) {
+  BatPtr b = Bat::MakeFloat(v.size());
+  std::copy(v.begin(), v.end(), b->floats().begin());
+  return b;
+}
+
+BatPtr OidBat(const std::vector<oid_t>& v) {
+  BatPtr b = Bat::MakeOid(v.size());
+  std::copy(v.begin(), v.end(), b->oids().begin());
+  return b;
+}
+
+std::vector<oid_t> ToVec(const BatPtr& b) {
+  auto s = b->oids();
+  return {s.begin(), s.end()};
+}
+
+struct EngineFactory {
+  const char* label;
+  std::function<std::unique_ptr<QueryEngine>(common::VirtualClock*)> make;
+};
+
+class EngineTest : public ::testing::TestWithParam<EngineFactory> {
+ protected:
+  EngineTest() : engine_(GetParam().make(&clock_)) {}
+  common::VirtualClock clock_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Baselines, EngineTest,
+    ::testing::Values(
+        EngineFactory{"sequential",
+                      [](common::VirtualClock*) {
+                        return std::make_unique<monet::SequentialEngine>();
+                      }},
+        EngineFactory{"mitosis",
+                      [](common::VirtualClock* clock) {
+                        return std::make_unique<monet::MitosisEngine>(clock);
+                      }}),
+    [](const auto& info) { return info.param.label; });
+
+// --- Selection ---------------------------------------------------------------
+
+TEST_P(EngineTest, SelectRangeInclusive) {
+  BatPtr col = IntBat({5, 1, 9, 3, 7, 3, 2});
+  auto res = engine_->SelectRange(col, nullptr, Bound::Incl(3), Bound::Incl(7));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{0, 3, 4, 5}));
+  EXPECT_TRUE((*res)->sorted());
+}
+
+TEST_P(EngineTest, SelectRangeExclusiveBounds) {
+  BatPtr col = IntBat({1, 2, 3, 4, 5});
+  auto res = engine_->SelectRange(col, nullptr, Bound::Excl(1), Bound::Excl(4));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{1, 2}));
+}
+
+TEST_P(EngineTest, SelectRangeUnbounded) {
+  BatPtr col = IntBat({10, -5, 20});
+  auto res = engine_->SelectRange(col, nullptr, Bound::None(), Bound::Excl(20));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{0, 1}));
+}
+
+TEST_P(EngineTest, SelectSkipsIntNil) {
+  BatPtr col = IntBat({1, kIntNil, 3});
+  auto res = engine_->SelectRange(col, nullptr, Bound::None(), Bound::None());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{0, 2}));
+}
+
+TEST_P(EngineTest, SelectSkipsFloatNil) {
+  BatPtr col = FloatBat({1.0f, cstore::FloatNil(), 3.0f});
+  auto res = engine_->SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(10));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{0, 2}));
+}
+
+TEST_P(EngineTest, SelectWithCandidates) {
+  BatPtr col = IntBat({5, 5, 5, 5, 5});
+  BatPtr cand = OidBat({1, 3});
+  auto res = engine_->SelectRange(col, cand, Bound::Incl(5), Bound::Incl(5));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{1, 3}));
+}
+
+TEST_P(EngineTest, SelectFloatRange) {
+  BatPtr col = FloatBat({0.04f, 0.05f, 0.06f, 0.07f, 0.08f});
+  auto res = engine_->SelectRange(col, nullptr, Bound::Incl(0.05), Bound::Incl(0.07));
+  ASSERT_TRUE(res.ok());
+  // 0.05f/0.07f as doubles differ slightly from 0.05/0.07; use the convention
+  // the TPC-H plans use: widened bounds.
+  auto res2 =
+      engine_->SelectRange(col, nullptr, Bound::Incl(0.0499), Bound::Incl(0.0701));
+  ASSERT_TRUE(res2.ok());
+  EXPECT_EQ(ToVec(*res2), (std::vector<oid_t>{1, 2, 3}));
+}
+
+TEST_P(EngineTest, SelectRejectsOidInput) {
+  BatPtr col = Bat::DenseOids(4);
+  auto res = engine_->SelectRange(col, nullptr, Bound::None(), Bound::None());
+  EXPECT_FALSE(res.ok());
+}
+
+TEST_P(EngineTest, CandUnionMergesSorted) {
+  auto res = engine_->CandUnion(OidBat({1, 3, 5}), OidBat({2, 3, 6}));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(*res), (std::vector<oid_t>{1, 2, 3, 5, 6}));
+}
+
+// --- Projection ----------------------------------------------------------------
+
+TEST_P(EngineTest, ProjectFetchesValues) {
+  BatPtr col = IntBat({10, 20, 30, 40});
+  auto res = engine_->Project(OidBat({3, 0, 2}), col);
+  ASSERT_TRUE(res.ok());
+  auto v = (*res)->ints();
+  EXPECT_EQ(std::vector<std::int32_t>(v.begin(), v.end()),
+            (std::vector<std::int32_t>{40, 10, 30}));
+}
+
+TEST_P(EngineTest, ProjectFloatAndOidTails) {
+  BatPtr fcol = FloatBat({1.5f, 2.5f});
+  auto f = engine_->Project(OidBat({1, 1, 0}), fcol);
+  ASSERT_TRUE(f.ok());
+  EXPECT_FLOAT_EQ((*f)->floats()[0], 2.5f);
+  EXPECT_FLOAT_EQ((*f)->floats()[2], 1.5f);
+
+  BatPtr ocol = OidBat({7, 8, 9});
+  auto o = engine_->Project(OidBat({2, 0}), ocol);
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(ToVec(*o), (std::vector<oid_t>{9, 7}));
+}
+
+TEST_P(EngineTest, ProjectNilOidYieldsNil) {
+  BatPtr col = IntBat({10, 20});
+  auto res = engine_->Project(OidBat({1, cstore::kOidNil}), col);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ((*res)->ints()[1], kIntNil);
+}
+
+// --- Joins ---------------------------------------------------------------------
+
+TEST_P(EngineTest, HashJoinBasic) {
+  BatPtr left = IntBat({3, 1, 4, 1, 5});
+  BatPtr right = IntBat({1, 5, 9});
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(res->left), (std::vector<oid_t>{1, 3, 4}));
+  EXPECT_EQ(ToVec(res->right), (std::vector<oid_t>{0, 0, 1}));
+}
+
+TEST_P(EngineTest, HashJoinDuplicatesOnBuildSide) {
+  BatPtr left = IntBat({7});
+  BatPtr right = IntBat({7, 8, 7});
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->left->size(), 2u);
+  std::vector<oid_t> r = ToVec(res->right);
+  std::sort(r.begin(), r.end());
+  EXPECT_EQ(r, (std::vector<oid_t>{0, 2}));
+}
+
+TEST_P(EngineTest, HashJoinDenseFastPath) {
+  BatPtr right = Bat::MakeInt(4);
+  std::iota(right->ints().begin(), right->ints().end(), 10);
+  right->SetDense(10);
+  BatPtr left = IntBat({12, 9, 10, 14, 13});
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(res->left), (std::vector<oid_t>{0, 2, 4}));
+  EXPECT_EQ(ToVec(res->right), (std::vector<oid_t>{2, 0, 3}));
+}
+
+TEST_P(EngineTest, HashJoinSkipsNilKeys) {
+  BatPtr left = IntBat({kIntNil, 5});
+  BatPtr right = IntBat({5, kIntNil});
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(ToVec(res->left), (std::vector<oid_t>{1}));
+  EXPECT_EQ(ToVec(res->right), (std::vector<oid_t>{0}));
+}
+
+TEST_P(EngineTest, SemiJoinAndAntiJoinPartitionLeft) {
+  BatPtr left = IntBat({1, 2, 3, 4, 2});
+  BatPtr right = IntBat({2, 4});
+  auto semi = engine_->SemiJoin(left, right);
+  auto anti = engine_->AntiJoin(left, right);
+  ASSERT_TRUE(semi.ok());
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(ToVec(*semi), (std::vector<oid_t>{1, 3, 4}));
+  EXPECT_EQ(ToVec(*anti), (std::vector<oid_t>{0, 2}));
+  EXPECT_EQ((*semi)->size() + (*anti)->size(), left->size());
+}
+
+TEST_P(EngineTest, ThetaJoinLessThan) {
+  BatPtr left = IntBat({1, 5});
+  BatPtr right = IntBat({2, 4});
+  auto res = engine_->ThetaJoin(left, right, CmpOp::kLt);
+  ASSERT_TRUE(res.ok());
+  // 1<2, 1<4 — 5 matches nothing.
+  EXPECT_EQ(ToVec(res->left), (std::vector<oid_t>{0, 0}));
+  EXPECT_EQ(ToVec(res->right), (std::vector<oid_t>{0, 1}));
+}
+
+// --- Sort ------------------------------------------------------------------------
+
+TEST_P(EngineTest, SortIntWithOrder) {
+  BatPtr col = IntBat({5, -3, 9, 0, -3});
+  auto res = engine_->Sort(col);
+  ASSERT_TRUE(res.ok());
+  auto v = res->values->ints();
+  EXPECT_EQ(std::vector<std::int32_t>(v.begin(), v.end()),
+            (std::vector<std::int32_t>{-3, -3, 0, 5, 9}));
+  // Stability: the two -3s keep appearance order 1 then 4.
+  EXPECT_EQ(ToVec(res->order), (std::vector<oid_t>{1, 4, 3, 0, 2}));
+}
+
+TEST_P(EngineTest, SortFloat) {
+  BatPtr col = FloatBat({2.5f, -1.0f, 0.25f});
+  auto res = engine_->Sort(col);
+  ASSERT_TRUE(res.ok());
+  auto v = res->values->floats();
+  EXPECT_FLOAT_EQ(v[0], -1.0f);
+  EXPECT_FLOAT_EQ(v[1], 0.25f);
+  EXPECT_FLOAT_EQ(v[2], 2.5f);
+}
+
+TEST_P(EngineTest, SortLargeRandomIsSorted) {
+  Rng rng(3);
+  std::vector<std::int32_t> data(20'000);
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.Uniform(-1'000'000, 1'000'000));
+  auto res = engine_->Sort(IntBat(data));
+  ASSERT_TRUE(res.ok());
+  auto v = res->values->ints();
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  // Order must be a permutation applying to the values.
+  auto ord = res->order->oids();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(v[i], data[ord[i]]);
+  }
+}
+
+// --- Group by / aggregation -------------------------------------------------------
+
+TEST_P(EngineTest, GroupByAssignsDenseIdsInFirstOccurrenceOrder) {
+  BatPtr col = IntBat({7, 3, 7, 9, 3, 7});
+  auto res = engine_->GroupBy(col, nullptr);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->ngroups, 3u);
+  EXPECT_EQ(ToVec(res->groups), (std::vector<oid_t>{0, 1, 0, 2, 1, 0}));
+  EXPECT_EQ(ToVec(res->extents), (std::vector<oid_t>{0, 1, 3}));
+}
+
+TEST_P(EngineTest, MultiColumnGroupByRefines) {
+  BatPtr a = IntBat({1, 1, 2, 2, 1});
+  BatPtr b = IntBat({1, 2, 1, 1, 1});
+  auto ga = engine_->GroupBy(a, nullptr);
+  ASSERT_TRUE(ga.ok());
+  auto gb = engine_->GroupBy(b, &*ga);
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(gb->ngroups, 3u);  // (1,1), (1,2), (2,1)
+  auto gids = ToVec(gb->groups);
+  EXPECT_EQ(gids[0], gids[4]);
+  EXPECT_NE(gids[0], gids[1]);
+  EXPECT_EQ(gids[2], gids[3]);
+}
+
+TEST_P(EngineTest, SubAggregatesPerGroup) {
+  BatPtr vals = FloatBat({1.0f, 2.0f, 3.0f, 4.0f});
+  BatPtr groups = OidBat({0, 1, 0, 1});
+  auto sum = engine_->SubSum(vals, groups, 2);
+  auto cnt = engine_->SubCount(groups, 2);
+  auto mn = engine_->SubMin(vals, groups, 2);
+  auto mx = engine_->SubMax(vals, groups, 2);
+  auto avg = engine_->SubAvg(vals, groups, 2);
+  ASSERT_TRUE(sum.ok() && cnt.ok() && mn.ok() && mx.ok() && avg.ok());
+  EXPECT_FLOAT_EQ((*sum)->floats()[0], 4.0f);
+  EXPECT_FLOAT_EQ((*sum)->floats()[1], 6.0f);
+  EXPECT_EQ((*cnt)->ints()[0], 2);
+  EXPECT_FLOAT_EQ((*mn)->floats()[0], 1.0f);
+  EXPECT_FLOAT_EQ((*mx)->floats()[1], 4.0f);
+  EXPECT_FLOAT_EQ((*avg)->floats()[0], 2.0f);
+  EXPECT_FLOAT_EQ((*avg)->floats()[1], 3.0f);
+}
+
+TEST_P(EngineTest, SubSumIntAndNilSkipping) {
+  BatPtr vals = IntBat({5, kIntNil, 7});
+  BatPtr groups = OidBat({0, 0, 0});
+  auto sum = engine_->SubSum(vals, groups, 1);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->ints()[0], 12);
+}
+
+TEST_P(EngineTest, ScalarAggregates) {
+  BatPtr col = FloatBat({2.0f, -1.0f, 4.5f});
+  EXPECT_DOUBLE_EQ(*engine_->Sum(col), 5.5);
+  EXPECT_DOUBLE_EQ(*engine_->Min(col), -1.0);
+  EXPECT_DOUBLE_EQ(*engine_->Max(col), 4.5);
+  EXPECT_EQ(*engine_->Count(col), 3);
+}
+
+TEST_P(EngineTest, AggregatesOnLargeUniform) {
+  Rng rng(11);
+  std::vector<std::int32_t> data(50'000);
+  std::int64_t expect = 0;
+  for (auto& v : data) {
+    v = static_cast<std::int32_t>(rng.Uniform(0, 100));
+    expect += v;
+  }
+  BatPtr col = IntBat(data);
+  EXPECT_DOUBLE_EQ(*engine_->Sum(col), static_cast<double>(expect));
+}
+
+// --- batcalc ------------------------------------------------------------------------
+
+TEST_P(EngineTest, CalcMulFloat) {
+  auto res = engine_->Calc(CalcOp::kMul, FloatBat({2.0f, 3.0f}), FloatBat({4.0f, 5.0f}));
+  ASSERT_TRUE(res.ok());
+  EXPECT_FLOAT_EQ((*res)->floats()[0], 8.0f);
+  EXPECT_FLOAT_EQ((*res)->floats()[1], 15.0f);
+}
+
+TEST_P(EngineTest, CalcIntStaysInt) {
+  auto res = engine_->Calc(CalcOp::kAdd, IntBat({1, 2}), IntBat({10, 20}));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ((*res)->type(), ValType::kInt);
+  EXPECT_EQ((*res)->ints()[1], 22);
+}
+
+TEST_P(EngineTest, CalcScalarBothSides) {
+  BatPtr col = FloatBat({0.1f, 0.2f});
+  auto r1 = engine_->CalcScalar(CalcOp::kSub, col, 1.0, /*scalar_left=*/true);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_NEAR((*r1)->floats()[0], 0.9f, 1e-6);  // 1 - 0.1
+  auto r2 = engine_->CalcScalar(CalcOp::kSub, col, 1.0, /*scalar_left=*/false);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NEAR((*r2)->floats()[0], -0.9f, 1e-6);  // 0.1 - 1
+}
+
+TEST_P(EngineTest, CmpAndBoolOps) {
+  BatPtr a = IntBat({1, 5, 3});
+  auto lt = engine_->CmpScalar(CmpOp::kLt, a, 4);
+  ASSERT_TRUE(lt.ok());
+  EXPECT_EQ((*lt)->ints()[0], 1);
+  EXPECT_EQ((*lt)->ints()[1], 0);
+  auto eq = engine_->Cmp(CmpOp::kEq, a, IntBat({1, 1, 3}));
+  ASSERT_TRUE(eq.ok());
+  auto both = engine_->BoolAnd(*lt, *eq);
+  auto either = engine_->BoolOr(*lt, *eq);
+  ASSERT_TRUE(both.ok() && either.ok());
+  EXPECT_EQ((*both)->ints()[0], 1);
+  EXPECT_EQ((*both)->ints()[1], 0);
+  EXPECT_EQ((*either)->ints()[2], 1);
+}
+
+TEST_P(EngineTest, IfThenElseConstCase) {
+  BatPtr cond = IntBat({1, 0, 1});
+  BatPtr then_vals = FloatBat({10.f, 20.f, 30.f});
+  auto res = engine_->IfThenElseConst(cond, then_vals, 0.0);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FLOAT_EQ((*res)->floats()[0], 10.f);
+  EXPECT_FLOAT_EQ((*res)->floats()[1], 0.f);
+  EXPECT_FLOAT_EQ((*res)->floats()[2], 30.f);
+}
+
+TEST_P(EngineTest, YearExtraction) {
+  BatPtr dates = IntBat({common::date::FromYmd(1994, 3, 15),
+                         common::date::FromYmd(1998, 12, 1)});
+  auto res = engine_->Year(dates);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ((*res)->ints()[0], 1994);
+  EXPECT_EQ((*res)->ints()[1], 1998);
+}
+
+TEST_P(EngineTest, CastToFloat) {
+  auto res = engine_->CastToFloat(IntBat({3, kIntNil}));
+  ASSERT_TRUE(res.ok());
+  EXPECT_FLOAT_EQ((*res)->floats()[0], 3.0f);
+  EXPECT_TRUE(std::isnan((*res)->floats()[1]));
+}
+
+// --- Cross-engine equivalence on random workloads ----------------------------------
+
+// Property: the mitosis engine is an exact drop-in for the sequential one.
+TEST(MitosisEquivalenceTest, RandomPipelineMatchesSequential) {
+  common::VirtualClock clock;
+  monet::SequentialEngine seq;
+  monet::MitosisEngine par(&clock);
+
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    std::size_t n = 1000 + static_cast<std::size_t>(rng.Uniform(0, 5000));
+    std::vector<std::int32_t> keys(n);
+    std::vector<float> vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<std::int32_t>(rng.Uniform(0, 50));
+      vals[i] = rng.NextFloat() * 100.f;
+    }
+    BatPtr kcol = IntBat(keys);
+    BatPtr vcol = FloatBat(vals);
+
+    auto s_sel = *seq.SelectRange(kcol, nullptr, Bound::Incl(10), Bound::Incl(30));
+    auto p_sel = *par.SelectRange(kcol, nullptr, Bound::Incl(10), Bound::Incl(30));
+    ASSERT_EQ(ToVec(s_sel), ToVec(p_sel)) << "seed " << seed;
+
+    auto s_proj = *seq.Project(s_sel, vcol);
+    auto p_proj = *par.Project(p_sel, vcol);
+    for (std::size_t i = 0; i < s_proj->size(); ++i) {
+      ASSERT_FLOAT_EQ(s_proj->floats()[i], p_proj->floats()[i]);
+    }
+
+    auto s_grp = *seq.GroupBy(kcol, nullptr);
+    auto p_grp = *par.GroupBy(kcol, nullptr);
+    ASSERT_EQ(s_grp.ngroups, p_grp.ngroups);
+    ASSERT_EQ(ToVec(s_grp.groups), ToVec(p_grp.groups));
+    ASSERT_EQ(ToVec(s_grp.extents), ToVec(p_grp.extents));
+
+    auto s_sum = *seq.SubSum(vcol, s_grp.groups, s_grp.ngroups);
+    auto p_sum = *par.SubSum(vcol, p_grp.groups, p_grp.ngroups);
+    for (std::size_t g = 0; g < s_grp.ngroups; ++g) {
+      ASSERT_NEAR(s_sum->floats()[g], p_sum->floats()[g],
+                  std::abs(s_sum->floats()[g]) * 1e-5 + 1e-3);
+    }
+
+    auto s_sort = *seq.Sort(kcol);
+    auto p_sort = *par.Sort(kcol);
+    ASSERT_EQ(ToVec(s_sort.order), ToVec(p_sort.order)) << "seed " << seed;
+  }
+}
+
+// MP must bill *less* virtual time than real elapsed time on heavy ops
+// (that's what "hand-tuned parallel baseline" means under the simulation).
+TEST(MitosisTimingTest, ParallelSpeedupIsBilled) {
+  common::VirtualClock clock;
+  monet::MitosisEngine par(&clock, /*cores=*/4);
+  Rng rng(5);
+  std::vector<std::int32_t> data(2'000'000);
+  for (auto& v : data) v = static_cast<std::int32_t>(rng.Uniform(0, 1'000'000));
+  BatPtr col = IntBat(data);
+
+  common::Stopwatch real;
+  common::Nanos v0 = clock.Now();
+  auto res = par.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(500'000));
+  ASSERT_TRUE(res.ok());
+  common::Nanos virtual_ns = clock.Now() - v0;
+  common::Nanos real_ns = real.ElapsedNanos();
+  EXPECT_LT(virtual_ns, real_ns);  // parallel speedup visible
+  EXPECT_GT(virtual_ns, real_ns / 64);  // but not absurdly fast
+}
+
+TEST(MitosisTest, SliceOfCoversRange) {
+  for (std::size_t n : {0u, 1u, 7u, 100u, 1001u}) {
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (int i = 0; i < 16; ++i) {
+      monet::Slice s = monet::SliceOf(n, i, 16);
+      EXPECT_EQ(s.begin, std::min(prev_end, n));
+      covered += s.size();
+      prev_end = s.end;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+}  // namespace

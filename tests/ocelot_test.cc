@@ -1,0 +1,495 @@
+// Tests for the Ocelot hardware-oblivious operators. Every operator suite
+// is parameterized over BOTH device models (CPU and GPU) — demonstrating the
+// paper's central claim that a single operator implementation runs on
+// dissimilar devices — and checked against the sequential MonetDB baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "monet/seq_engine.h"
+#include "ocelot/engine.h"
+#include "ocelot/hash_table.h"
+
+namespace {
+
+using common::Rng;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::CalcOp;
+using cstore::CmpOp;
+using cstore::kIntNil;
+using cstore::oid_t;
+using cstore::ValType;
+using ocelot::OcelotEngine;
+
+BatPtr IntBat(const std::vector<std::int32_t>& v) {
+  BatPtr b = Bat::MakeInt(v.size());
+  std::copy(v.begin(), v.end(), b->ints().begin());
+  return b;
+}
+
+BatPtr FloatBat(const std::vector<float>& v) {
+  BatPtr b = Bat::MakeFloat(v.size());
+  std::copy(v.begin(), v.end(), b->floats().begin());
+  return b;
+}
+
+BatPtr OidBat(const std::vector<oid_t>& v) {
+  BatPtr b = Bat::MakeOid(v.size());
+  std::copy(v.begin(), v.end(), b->oids().begin());
+  b->set_sorted(std::is_sorted(v.begin(), v.end()));
+  return b;
+}
+
+class OcelotTest : public ::testing::TestWithParam<ocl::DeviceType> {
+ protected:
+  OcelotTest() {
+    ocl::DeviceModel model = GetParam() == ocl::DeviceType::kCpu
+                                 ? ocl::XeonE5620Model()
+                                 : ocl::Gtx460Model();
+    // Keep virtual-time costs out of unit tests' way.
+    model.kernel_compile_cost = 0;
+    ctx_ = ocl::Context::Create(model);
+    engine_ = std::make_unique<OcelotEngine>(ctx_.get());
+  }
+
+  /// Syncs a result BAT back to the host and returns its oids.
+  std::vector<oid_t> Oids(const BatPtr& b) {
+    OCELOT_CHECK_OK(engine_->Sync(b));
+    auto s = b->oids();
+    return {s.begin(), s.end()};
+  }
+  std::vector<std::int32_t> Ints(const BatPtr& b) {
+    OCELOT_CHECK_OK(engine_->Sync(b));
+    auto s = b->ints();
+    return {s.begin(), s.end()};
+  }
+  std::vector<float> Floats(const BatPtr& b) {
+    OCELOT_CHECK_OK(engine_->Sync(b));
+    auto s = b->floats();
+    return {s.begin(), s.end()};
+  }
+
+  std::unique_ptr<ocl::Context> ctx_;
+  std::unique_ptr<OcelotEngine> engine_;
+};
+
+INSTANTIATE_TEST_SUITE_P(BothDevices, OcelotTest,
+                         ::testing::Values(ocl::DeviceType::kCpu,
+                                           ocl::DeviceType::kGpu),
+                         [](const auto& info) {
+                           return info.param == ocl::DeviceType::kCpu ? "Cpu" : "Gpu";
+                         });
+
+// --- Selection & bitmaps ------------------------------------------------------
+
+TEST_P(OcelotTest, SelectReturnsBitmapHandleUntilSynced) {
+  BatPtr col = IntBat({5, 1, 9, 3, 7, 3, 2});
+  auto res = engine_->SelectRange(col, nullptr, Bound::Incl(3), Bound::Incl(7));
+  ASSERT_TRUE(res.ok());
+  // Before sync: a device-owned placeholder (bitmaps never exposed, 4.1.1).
+  EXPECT_TRUE((*res)->ocelot_owned());
+  EXPECT_NE(engine_->memory()->FindBitmap(*res), nullptr);
+  // Count without materialization.
+  auto count = engine_->CandCount(*res);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 4);
+  // After sync: a plain sorted oid list.
+  EXPECT_EQ(Oids(*res), (std::vector<oid_t>{0, 3, 4, 5}));
+  EXPECT_FALSE((*res)->ocelot_owned());
+}
+
+TEST_P(OcelotTest, SelectMatchesBaselineOnRandomData) {
+  monet::SequentialEngine seq;
+  Rng rng(17);
+  for (std::size_t n : {1u, 7u, 63u, 64u, 65u, 1000u, 12345u}) {
+    std::vector<std::int32_t> data(n);
+    for (auto& v : data) v = static_cast<std::int32_t>(rng.Uniform(-100, 100));
+    BatPtr col = IntBat(data);
+    auto ours = engine_->SelectRange(col, nullptr, Bound::Incl(-30), Bound::Excl(40));
+    auto want = seq.SelectRange(col, nullptr, Bound::Incl(-30), Bound::Excl(40));
+    ASSERT_TRUE(ours.ok() && want.ok());
+    auto got = Oids(*ours);
+    auto exp = (*want)->oids();
+    ASSERT_EQ(got, std::vector<oid_t>(exp.begin(), exp.end())) << "n=" << n;
+  }
+}
+
+TEST_P(OcelotTest, ConjunctiveSelectsStayInBitmapSpace) {
+  Rng rng(3);
+  std::vector<std::int32_t> a(5000), b(5000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int32_t>(rng.Uniform(0, 99));
+    b[i] = static_cast<std::int32_t>(rng.Uniform(0, 99));
+  }
+  BatPtr ca = IntBat(a), cb = IntBat(b);
+  auto s1 = engine_->SelectRange(ca, nullptr, Bound::Incl(20), Bound::Incl(80));
+  ASSERT_TRUE(s1.ok());
+  auto s2 = engine_->SelectRange(cb, *s1, Bound::Incl(0), Bound::Incl(50));
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(engine_->memory()->FindBitmap(*s2), nullptr);  // still a bitmap
+
+  monet::SequentialEngine seq;
+  auto w1 = *seq.SelectRange(ca, nullptr, Bound::Incl(20), Bound::Incl(80));
+  auto w2 = *seq.SelectRange(cb, w1, Bound::Incl(0), Bound::Incl(50));
+  auto exp = w2->oids();
+  EXPECT_EQ(Oids(*s2), std::vector<oid_t>(exp.begin(), exp.end()));
+}
+
+TEST_P(OcelotTest, SelectWithMaterializedOidCandidates) {
+  BatPtr col = IntBat({1, 2, 3, 4, 5, 6});
+  BatPtr cand = OidBat({0, 2, 4});
+  auto res = engine_->SelectRange(col, cand, Bound::Incl(3), Bound::None());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Oids(*res), (std::vector<oid_t>{2, 4}));
+}
+
+TEST_P(OcelotTest, CandUnionOfBitmaps) {
+  BatPtr col = IntBat({1, 5, 2, 5, 3, 5});
+  auto s1 = engine_->SelectRange(col, nullptr, Bound::Incl(1), Bound::Incl(1));
+  auto s2 = engine_->SelectRange(col, nullptr, Bound::Incl(5), Bound::Incl(5));
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  auto u = engine_->CandUnion(*s1, *s2);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(Oids(*u), (std::vector<oid_t>{0, 1, 3, 5}));
+}
+
+TEST_P(OcelotTest, SelectSkipsNils) {
+  BatPtr col = IntBat({1, kIntNil, 3});
+  auto res = engine_->SelectRange(col, nullptr, Bound::None(), Bound::None());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Oids(*res), (std::vector<oid_t>{0, 2}));
+
+  BatPtr fcol = FloatBat({1.f, cstore::FloatNil(), 3.f});
+  auto fres = engine_->SelectRange(fcol, nullptr, Bound::None(), Bound::None());
+  ASSERT_TRUE(fres.ok());
+  EXPECT_EQ(Oids(*fres), (std::vector<oid_t>{0, 2}));
+}
+
+// --- Projection -----------------------------------------------------------------
+
+TEST_P(OcelotTest, ProjectGathersAllTypes) {
+  BatPtr icol = IntBat({10, 20, 30, 40});
+  auto r1 = engine_->Project(OidBat({3, 0, 2}), icol);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(Ints(*r1), (std::vector<std::int32_t>{40, 10, 30}));
+
+  BatPtr fcol = FloatBat({0.5f, 1.5f});
+  auto r2 = engine_->Project(OidBat({1, 0, 1}), fcol);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(Floats(*r2), (std::vector<float>{1.5f, 0.5f, 1.5f}));
+}
+
+TEST_P(OcelotTest, ProjectOnBitmapMaterializesFirst) {
+  // Paper 4.1.2: projecting a selection result triggers bitmap -> oid-list
+  // materialization via prefix sum.
+  BatPtr col = IntBat({9, 1, 9, 2, 9, 3});
+  BatPtr vals = FloatBat({0.f, 1.f, 2.f, 3.f, 4.f, 5.f});
+  auto sel = engine_->SelectRange(col, nullptr, Bound::Incl(9), Bound::Incl(9));
+  ASSERT_TRUE(sel.ok());
+  auto proj = engine_->Project(*sel, vals);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(Floats(*proj), (std::vector<float>{0.f, 2.f, 4.f}));
+  EXPECT_EQ(engine_->memory()->FindBitmap(*sel), nullptr);  // handle upgraded
+  EXPECT_EQ((*sel)->size(), 3u);
+}
+
+// --- Hash table internals ----------------------------------------------------------
+
+TEST_P(OcelotTest, HashTableBuildsAndRepairsCollisions) {
+  Rng rng(23);
+  std::vector<std::int32_t> keys(4096);
+  std::iota(keys.begin(), keys.end(), 1'000'000);  // unique
+  BatPtr build = IntBat(keys);
+  build->set_key(true);
+  auto ht = ocelot::BuildHashTable(engine_->memory(), build, /*distinct_only=*/false);
+  ASSERT_TRUE(ht.ok());
+  ctx_->queue()->Finish();
+  // Every key must be findable with its position.
+  auto tk = (*ht)->keys->Span<const std::int32_t>();
+  auto tv = (*ht)->vals->Span<const std::uint32_t>();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::size_t slot = ocelot::HtLookup(tk, tv, (*ht)->mask, (*ht)->family, keys[i]);
+    ASSERT_NE(slot, SIZE_MAX) << "key " << keys[i];
+    ASSERT_EQ(tv[slot] - 1, i);
+  }
+  // Absent keys must miss.
+  EXPECT_EQ(ocelot::HtLookup(tk, tv, (*ht)->mask, (*ht)->family, 7), SIZE_MAX);
+  // The optimistic round cannot have placed everything (4096 keys in a
+  // ~1.4x table see collisions).
+  EXPECT_GT((*ht)->optimistic_failures, 0u);
+}
+
+TEST_P(OcelotTest, HashTableCacheHit) {
+  BatPtr build = IntBat({1, 2, 3});
+  build->set_key(true);
+  auto a = ocelot::BuildHashTable(engine_->memory(), build, false);
+  auto b = ocelot::BuildHashTable(engine_->memory(), build, false);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->get(), b->get());  // same cached table (paper 5.2.6)
+}
+
+// --- Joins ---------------------------------------------------------------------------
+
+TEST_P(OcelotTest, HashJoinAgainstKeyColumn) {
+  BatPtr left = IntBat({3, 1, 4, 1, 5, 9, 9});
+  BatPtr right = IntBat({1, 5, 9});
+  right->set_key(true);
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Oids(res->left), (std::vector<oid_t>{1, 3, 4, 5, 6}));
+  EXPECT_EQ(Oids(res->right), (std::vector<oid_t>{0, 0, 1, 2, 2}));
+}
+
+TEST_P(OcelotTest, HashJoinDenseFastPath) {
+  BatPtr right = Bat::MakeInt(4);
+  std::iota(right->ints().begin(), right->ints().end(), 10);
+  right->SetDense(10);
+  BatPtr left = IntBat({12, 9, 10, 14, 13});
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Oids(res->left), (std::vector<oid_t>{0, 2, 4}));
+  EXPECT_EQ(Oids(res->right), (std::vector<oid_t>{2, 0, 3}));
+}
+
+TEST_P(OcelotTest, HashJoinMatchesBaselineOnRandomData) {
+  monet::SequentialEngine seq;
+  Rng rng(29);
+  std::vector<std::int32_t> rkeys(512);
+  std::iota(rkeys.begin(), rkeys.end(), 0);
+  std::shuffle(rkeys.begin(), rkeys.end(), std::mt19937(7));
+  BatPtr right = IntBat(rkeys);
+  right->set_key(true);
+  std::vector<std::int32_t> lkeys(20'000);
+  for (auto& v : lkeys) v = static_cast<std::int32_t>(rng.Uniform(-100, 600));
+  BatPtr left = IntBat(lkeys);
+
+  auto ours = engine_->HashJoin(left, right);
+  auto want = seq.HashJoin(left, right);
+  ASSERT_TRUE(ours.ok() && want.ok());
+  auto wl = want->left->oids();
+  auto wr = want->right->oids();
+  EXPECT_EQ(Oids(ours->left), std::vector<oid_t>(wl.begin(), wl.end()));
+  EXPECT_EQ(Oids(ours->right), std::vector<oid_t>(wr.begin(), wr.end()));
+}
+
+TEST_P(OcelotTest, SemiAndAntiJoinAreBitmapBackedAndComplementary) {
+  BatPtr left = IntBat({1, 2, 3, 4, 2, kIntNil});
+  BatPtr right = IntBat({2, 4, 2});
+  auto semi = engine_->SemiJoin(left, right);
+  auto anti = engine_->AntiJoin(left, right);
+  ASSERT_TRUE(semi.ok() && anti.ok());
+  EXPECT_NE(engine_->memory()->FindBitmap(*semi), nullptr);
+  EXPECT_EQ(Oids(*semi), (std::vector<oid_t>{1, 3, 4}));
+  EXPECT_EQ(Oids(*anti), (std::vector<oid_t>{0, 2, 5}));  // nil lands in anti
+}
+
+TEST_P(OcelotTest, ThetaJoinSmall) {
+  auto res = engine_->ThetaJoin(IntBat({1, 5}), IntBat({2, 4}), CmpOp::kLt);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Oids(res->left), (std::vector<oid_t>{0, 0}));
+  EXPECT_EQ(Oids(res->right), (std::vector<oid_t>{0, 1}));
+}
+
+TEST_P(OcelotTest, HashJoinNonKeyRightFallsBackToNestedLoop) {
+  BatPtr left = IntBat({7, 8});
+  BatPtr right = IntBat({7, 8, 7});  // duplicates, not key
+  auto res = engine_->HashJoin(left, right);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->left->size(), 3u);
+  EXPECT_EQ(Oids(res->left), (std::vector<oid_t>{0, 0, 1}));
+  EXPECT_EQ(Oids(res->right), (std::vector<oid_t>{0, 2, 1}));
+}
+
+// --- Sort -----------------------------------------------------------------------------
+
+TEST_P(OcelotTest, RadixSortSmall) {
+  BatPtr col = IntBat({5, -3, 9, 0, -3});
+  auto res = engine_->Sort(col);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(Ints(res->values), (std::vector<std::int32_t>{-3, -3, 0, 5, 9}));
+  EXPECT_EQ(Oids(res->order), (std::vector<oid_t>{1, 4, 3, 0, 2}));  // stable
+}
+
+TEST_P(OcelotTest, RadixSortMatchesBaselineIntFloat) {
+  monet::SequentialEngine seq;
+  Rng rng(31);
+  std::vector<std::int32_t> ints(30'000);
+  for (auto& v : ints) v = static_cast<std::int32_t>(rng.Uniform(-5'000'000, 5'000'000));
+  BatPtr icol = IntBat(ints);
+  auto ours = engine_->Sort(icol);
+  auto want = seq.Sort(icol);
+  ASSERT_TRUE(ours.ok() && want.ok());
+  auto wo = want->order->oids();
+  EXPECT_EQ(Oids(ours->order), std::vector<oid_t>(wo.begin(), wo.end()));
+
+  std::vector<float> floats(10'000);
+  for (auto& v : floats) v = (rng.NextFloat() - 0.5f) * 2000.f;
+  BatPtr fcol = FloatBat(floats);
+  auto f_ours = engine_->Sort(fcol);
+  auto f_want = seq.Sort(fcol);
+  ASSERT_TRUE(f_ours.ok() && f_want.ok());
+  auto fwo = f_want->order->oids();
+  EXPECT_EQ(Oids(f_ours->order), std::vector<oid_t>(fwo.begin(), fwo.end()));
+}
+
+// --- Grouping & aggregation ---------------------------------------------------------
+
+TEST_P(OcelotTest, GroupByHashPathMatchesBaselineUpToRelabeling) {
+  monet::SequentialEngine seq;
+  Rng rng(37);
+  std::vector<std::int32_t> keys(8'000);
+  for (auto& v : keys) v = static_cast<std::int32_t>(rng.Uniform(0, 99));
+  BatPtr col = IntBat(keys);
+  auto ours = engine_->GroupBy(col, nullptr);
+  auto want = seq.GroupBy(col, nullptr);
+  ASSERT_TRUE(ours.ok() && want.ok());
+  EXPECT_EQ(ours->ngroups, want->ngroups);
+  // Group ids may be permuted between engines; the *partition* must match:
+  // two rows share a group in ours iff they do in the baseline.
+  auto og = Oids(ours->groups);
+  auto wg = want->groups->oids();
+  std::map<oid_t, oid_t> bijection;
+  for (std::size_t i = 0; i < og.size(); ++i) {
+    auto [it, inserted] = bijection.emplace(og[i], wg[i]);
+    ASSERT_EQ(it->second, wg[i]) << "row " << i;
+  }
+  // Extents must point at representatives of their group.
+  auto ext = Oids(ours->extents);
+  for (std::size_t gid = 0; gid < ext.size(); ++gid) {
+    ASSERT_EQ(og[ext[gid]], gid);
+  }
+}
+
+TEST_P(OcelotTest, GroupBySortedPathProducesOrderedIds) {
+  BatPtr col = IntBat({3, 3, 5, 7, 7, 7});
+  col->set_sorted(true);
+  auto res = engine_->GroupBy(col, nullptr);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->ngroups, 3u);
+  EXPECT_EQ(Oids(res->groups), (std::vector<oid_t>{0, 0, 1, 2, 2, 2}));
+  EXPECT_EQ(Oids(res->extents), (std::vector<oid_t>{0, 2, 3}));
+}
+
+TEST_P(OcelotTest, MultiColumnGroupByRefines) {
+  BatPtr a = IntBat({1, 1, 2, 2, 1});
+  BatPtr b = IntBat({1, 2, 1, 1, 1});
+  auto ga = engine_->GroupBy(a, nullptr);
+  ASSERT_TRUE(ga.ok());
+  auto gb = engine_->GroupBy(b, &*ga);
+  ASSERT_TRUE(gb.ok());
+  EXPECT_EQ(gb->ngroups, 3u);
+  auto gids = Oids(gb->groups);
+  EXPECT_EQ(gids[0], gids[4]);
+  EXPECT_NE(gids[0], gids[1]);
+  EXPECT_EQ(gids[2], gids[3]);
+}
+
+TEST_P(OcelotTest, GroupedAggregatesMatchBaseline) {
+  monet::SequentialEngine seq;
+  Rng rng(41);
+  std::size_t n = 20'000;
+  std::vector<std::int32_t> keys(n);
+  std::vector<float> vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = static_cast<std::int32_t>(rng.Uniform(0, 9));
+    vals[i] = rng.NextFloat() * 100.f;
+  }
+  BatPtr kcol = IntBat(keys), vcol = FloatBat(vals);
+  // Use the baseline grouping on both sides so group ids align exactly.
+  auto grp = *seq.GroupBy(kcol, nullptr);
+
+  auto o_sum = engine_->SubSum(vcol, grp.groups, grp.ngroups);
+  auto w_sum = seq.SubSum(vcol, grp.groups, grp.ngroups);
+  auto o_cnt = engine_->SubCount(grp.groups, grp.ngroups);
+  auto w_cnt = seq.SubCount(grp.groups, grp.ngroups);
+  auto o_min = engine_->SubMin(vcol, grp.groups, grp.ngroups);
+  auto w_min = seq.SubMin(vcol, grp.groups, grp.ngroups);
+  auto o_max = engine_->SubMax(vcol, grp.groups, grp.ngroups);
+  auto w_max = seq.SubMax(vcol, grp.groups, grp.ngroups);
+  auto o_avg = engine_->SubAvg(vcol, grp.groups, grp.ngroups);
+  auto w_avg = seq.SubAvg(vcol, grp.groups, grp.ngroups);
+  ASSERT_TRUE(o_sum.ok() && w_sum.ok() && o_cnt.ok() && w_cnt.ok());
+  ASSERT_TRUE(o_min.ok() && w_min.ok() && o_max.ok() && w_max.ok());
+  ASSERT_TRUE(o_avg.ok() && w_avg.ok());
+  auto sums = Floats(*o_sum);
+  auto cnts = Ints(*o_cnt);
+  auto mins = Floats(*o_min);
+  auto maxs = Floats(*o_max);
+  auto avgs = Floats(*o_avg);
+  for (std::size_t g = 0; g < grp.ngroups; ++g) {
+    EXPECT_NEAR(sums[g], (*w_sum)->floats()[g], std::abs(sums[g]) * 1e-4 + 1e-2);
+    EXPECT_EQ(cnts[g], (*w_cnt)->ints()[g]);
+    EXPECT_FLOAT_EQ(mins[g], (*w_min)->floats()[g]);
+    EXPECT_FLOAT_EQ(maxs[g], (*w_max)->floats()[g]);
+    EXPECT_NEAR(avgs[g], (*w_avg)->floats()[g], 1e-2);
+  }
+}
+
+TEST_P(OcelotTest, ManyGroupsUseGlobalFallback) {
+  // More groups than local memory can hold accumulators for.
+  Rng rng(43);
+  std::size_t n = 50'000;
+  std::vector<std::int32_t> keys(n);
+  for (auto& v : keys) v = static_cast<std::int32_t>(rng.Uniform(0, 19'999));
+  BatPtr kcol = IntBat(keys);
+  monet::SequentialEngine seq;
+  auto grp = *seq.GroupBy(kcol, nullptr);
+  auto ours = engine_->SubCount(grp.groups, grp.ngroups);
+  auto want = seq.SubCount(grp.groups, grp.ngroups);
+  ASSERT_TRUE(ours.ok() && want.ok());
+  auto got = Ints(*ours);
+  for (std::size_t g = 0; g < grp.ngroups; ++g) {
+    ASSERT_EQ(got[g], (*want)->ints()[g]);
+  }
+}
+
+TEST_P(OcelotTest, ScalarAggregates) {
+  BatPtr col = FloatBat({2.0f, -1.0f, 4.5f, cstore::FloatNil()});
+  EXPECT_NEAR(*engine_->Sum(col), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(*engine_->Min(col), -1.0);
+  EXPECT_DOUBLE_EQ(*engine_->Max(col), 4.5);
+  EXPECT_EQ(*engine_->Count(col), 4);
+}
+
+TEST_P(OcelotTest, CountOnBitmapHandle) {
+  BatPtr col = IntBat({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  auto sel = engine_->SelectRange(col, nullptr, Bound::Incl(4), Bound::Incl(8));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*engine_->Count(*sel), 5);
+}
+
+// --- batcalc ---------------------------------------------------------------------------
+
+TEST_P(OcelotTest, CalcKernels) {
+  BatPtr a = FloatBat({2.f, 3.f});
+  BatPtr b = FloatBat({4.f, 5.f});
+  EXPECT_EQ(Floats(*engine_->Calc(CalcOp::kMul, a, b)), (std::vector<float>{8.f, 15.f}));
+  auto sub = engine_->CalcScalar(CalcOp::kSub, a, 1.0, /*scalar_left=*/true);
+  EXPECT_EQ(Floats(*sub), (std::vector<float>{-1.f, -2.f}));
+  auto cmp = engine_->CmpScalar(CmpOp::kGe, a, 3.0);
+  EXPECT_EQ(Ints(*cmp), (std::vector<std::int32_t>{0, 1}));
+  auto cols = engine_->Cmp(CmpOp::kLt, a, b);
+  EXPECT_EQ(Ints(*cols), (std::vector<std::int32_t>{1, 1}));
+  auto ite = engine_->IfThenElseConst(*cmp, a, -7.0);
+  EXPECT_EQ(Floats(*ite), (std::vector<float>{-7.f, 3.f}));
+  auto orr = engine_->BoolOr(*cmp, *cmp);
+  EXPECT_EQ(Ints(*orr), (std::vector<std::int32_t>{0, 1}));
+  auto cast = engine_->CastToFloat(IntBat({3}));
+  EXPECT_EQ(Floats(*cast), (std::vector<float>{3.f}));
+}
+
+TEST_P(OcelotTest, YearKernel) {
+  BatPtr dates = IntBat({common::date::FromYmd(1995, 6, 17)});
+  EXPECT_EQ(Ints(*engine_->Year(dates)), (std::vector<std::int32_t>{1995}));
+}
+
+}  // namespace

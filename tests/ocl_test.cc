@@ -1,0 +1,363 @@
+// Unit tests for OpenCLite: devices, buffers, the kernel execution model
+// (work-groups, item ranges, local memory), the lazy command queue, events
+// and the virtual timing model.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ocl/context.h"
+
+namespace {
+
+using ocl::AccessPattern;
+using ocl::Context;
+using ocl::DeviceModel;
+using ocl::EventPtr;
+using ocl::KernelLaunch;
+using ocl::WorkGroup;
+
+DeviceModel TestCpu() { return ocl::XeonE5620Model(); }
+DeviceModel TestGpu() { return ocl::Gtx460Model(); }
+
+TEST(DeviceTest, PresetGeometryMatchesPaper) {
+  DeviceModel cpu = TestCpu();
+  EXPECT_EQ(cpu.compute_cores, 4);
+  EXPECT_EQ(cpu.default_groups(), 4);        // one work-group per core
+  EXPECT_EQ(cpu.default_local_size(), 4 * cpu.units_per_core);
+  EXPECT_TRUE(cpu.unified_memory);
+  EXPECT_EQ(cpu.radix_bits, 8);
+
+  DeviceModel gpu = TestGpu();
+  EXPECT_EQ(gpu.compute_cores, 7);           // GF104 multiprocessors
+  EXPECT_EQ(gpu.units_per_core, 48);
+  EXPECT_EQ(gpu.default_local_size(), 192);  // 4 * na
+  EXPECT_FALSE(gpu.unified_memory);
+  EXPECT_EQ(gpu.radix_bits, 4);
+  EXPECT_EQ(gpu.global_mem_bytes, 2ull << 30);
+}
+
+TEST(DeviceTest, AvailableDevicesListsBoth) {
+  auto devices = ocl::AvailableDevices();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0].type, ocl::DeviceType::kCpu);
+  EXPECT_EQ(devices[1].type, ocl::DeviceType::kGpu);
+}
+
+TEST(DeviceTest, DiscreteAllocationAccountsCapacity) {
+  DeviceModel gpu = TestGpu();
+  gpu.global_mem_bytes = 1024;
+  auto ctx = Context::Create(gpu);
+  auto a = ctx->device()->Allocate(512);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(ctx->device()->allocated_bytes(), 512u);
+  auto b = ctx->device()->Allocate(600);
+  EXPECT_FALSE(b.ok());  // over capacity
+  EXPECT_EQ(b.status().code(), common::StatusCode::kResourceExhausted);
+  a->reset();  // free
+  EXPECT_EQ(ctx->device()->allocated_bytes(), 0u);
+  auto c = ctx->device()->Allocate(1024);
+  EXPECT_TRUE(c.ok());
+}
+
+TEST(DeviceTest, WrapHostOnlyOnUnifiedMemory) {
+  auto cpu_ctx = Context::Create(TestCpu());
+  int x[4] = {1, 2, 3, 4};
+  auto wrapped = cpu_ctx->device()->WrapHost(x, sizeof(x));
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ((*wrapped)->data(), x);  // zero-copy
+
+  auto gpu_ctx = Context::Create(TestGpu());
+  auto bad = gpu_ctx->device()->WrapHost(x, sizeof(x));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DeviceTest, TransferDurationModel) {
+  auto gpu_ctx = Context::Create(TestGpu());
+  auto* dev = gpu_ctx->device();
+  // latency + bytes/bandwidth; 5 GB/s => 1 MB ~ 200us + 20us latency.
+  common::Nanos t = dev->TransferDuration(1 << 20);
+  EXPECT_GT(t, 200'000);
+  EXPECT_LT(t, 260'000);
+
+  auto cpu_ctx = Context::Create(TestCpu());
+  EXPECT_EQ(cpu_ctx->device()->TransferDuration(1 << 20), 0);  // unified
+}
+
+TEST(DeviceTest, AtomicPenaltyContentionShape) {
+  auto ctx = Context::Create(TestCpu());
+  auto* dev = ctx->device();
+  // Few distinct addresses => contention => higher cost per op.
+  common::Nanos hot = dev->AtomicPenalty(1000, 10);
+  common::Nanos cold = dev->AtomicPenalty(1000, 1'000'000);
+  EXPECT_GT(hot, cold);
+  EXPECT_EQ(dev->AtomicPenalty(0, 10), 0);
+}
+
+// --- Kernel execution -------------------------------------------------------
+
+// Runs the canonical "add constant" kernel of the paper's Listing 1 on the
+// given device and checks every element was produced exactly once.
+void RunVectorAdd(const DeviceModel& model) {
+  auto ctx = Context::Create(model);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::int32_t> input(kN);
+  std::iota(input.begin(), input.end(), 0);
+  std::vector<std::int32_t> output(kN, -1);
+
+  KernelLaunch launch;
+  launch.name = "vector_add";
+  launch.body = [&](WorkGroup& wg) {
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, kN)) {
+        output[i] = input[i] + 7;
+      }
+    }
+  };
+  EventPtr e = ctx->queue()->EnqueueKernel(std::move(launch));
+  ctx->queue()->Wait(e);
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(output[i], static_cast<std::int32_t>(i) + 7) << "at " << i;
+  }
+}
+
+TEST(KernelTest, VectorAddOnCpuDevice) { RunVectorAdd(TestCpu()); }
+TEST(KernelTest, VectorAddOnGpuDevice) { RunVectorAdd(TestGpu()); }
+
+// The two access patterns must both partition the input exactly: every unit
+// visited once, across all (group, item) pairs.
+class AccessPatternTest : public ::testing::TestWithParam<AccessPattern> {};
+
+TEST_P(AccessPatternTest, UnitsPartitionInput) {
+  DeviceModel model = TestCpu();
+  model.access = GetParam();
+  auto ctx = Context::Create(model);
+  constexpr std::size_t kN = 12'345;  // deliberately not a multiple of anything
+  std::vector<int> visits(kN, 0);
+
+  KernelLaunch launch;
+  launch.name = "visit_count";
+  launch.body = [&](WorkGroup& wg) {
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, kN)) visits[i]++;
+    }
+  };
+  ctx->queue()->Wait(ctx->queue()->EnqueueKernel(std::move(launch)));
+
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i], 1) << "unit " << i;
+}
+
+TEST_P(AccessPatternTest, GroupUnitsPartitionInput) {
+  DeviceModel model = TestCpu();
+  model.access = GetParam();
+  auto ctx = Context::Create(model);
+  constexpr std::size_t kN = 777;
+  std::vector<int> visits(kN, 0);
+
+  KernelLaunch launch;
+  launch.name = "group_visit";
+  launch.body = [&](WorkGroup& wg) {
+    for (std::uint64_t i : wg.GroupUnits(kN)) visits[i]++;
+  };
+  ctx->queue()->Wait(ctx->queue()->EnqueueKernel(std::move(launch)));
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i], 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPatterns, AccessPatternTest,
+                         ::testing::Values(AccessPattern::kSequentialPerThread,
+                                           AccessPattern::kCoalesced));
+
+TEST(KernelTest, CoalescedStrideIsThreadCount) {
+  DeviceModel model = TestGpu();
+  auto ctx = Context::Create(model);
+  bool checked = false;
+  KernelLaunch launch;
+  launch.name = "stride_check";
+  launch.body = [&](WorkGroup& wg) {
+    if (wg.group_id() != 0) return;
+    ocl::UnitRange r = wg.UnitsFor(0, 1'000'000);
+    EXPECT_EQ(r.step, static_cast<std::uint64_t>(wg.global_threads()));
+    EXPECT_EQ(r.first, 0u);
+    checked = true;
+  };
+  ctx->queue()->Wait(ctx->queue()->EnqueueKernel(std::move(launch)));
+  EXPECT_TRUE(checked);
+}
+
+TEST(KernelTest, LocalArenaAllocatesZeroed) {
+  auto ctx = Context::Create(TestCpu());
+  KernelLaunch launch;
+  launch.name = "local_mem";
+  bool ok = true;
+  launch.body = [&](WorkGroup& wg) {
+    auto histo = wg.local().Alloc<std::uint32_t>(256);
+    for (std::uint32_t v : histo) ok &= (v == 0);
+    histo[0] = wg.group_id() + 1;  // dirty it; next group must still see zeros
+  };
+  ctx->queue()->Wait(ctx->queue()->EnqueueKernel(std::move(launch)));
+  EXPECT_TRUE(ok);
+}
+
+TEST(KernelTest, SmallInputFewerUnitsThanThreads) {
+  // 3 units on a device with hundreds of threads: exactly 3 visits.
+  auto ctx = Context::Create(TestGpu());
+  std::vector<int> visits(3, 0);
+  KernelLaunch launch;
+  launch.name = "tiny";
+  launch.body = [&](WorkGroup& wg) {
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, 3)) visits[i]++;
+    }
+  };
+  ctx->queue()->Wait(ctx->queue()->EnqueueKernel(std::move(launch)));
+  EXPECT_EQ(visits, (std::vector<int>{1, 1, 1}));
+}
+
+// --- Queue, events, virtual timing -----------------------------------------
+
+TEST(QueueTest, LazyUntilFlush) {
+  auto ctx = Context::Create(TestCpu());
+  int executed = 0;
+  KernelLaunch launch;
+  launch.name = "lazy";
+  launch.body = [&](WorkGroup&) { executed++; };
+  EventPtr e = ctx->queue()->EnqueueKernel(std::move(launch));
+  EXPECT_EQ(executed, 0);  // operators only *schedule* (paper 3.4)
+  EXPECT_FALSE(e->complete());
+  EXPECT_EQ(ctx->queue()->pending(), 1u);
+  ctx->queue()->Flush();
+  EXPECT_EQ(executed, ctx->device()->model().default_groups());
+  EXPECT_TRUE(e->complete());
+}
+
+TEST(QueueTest, WaitListOrdersVirtualTime) {
+  auto ctx = Context::Create(TestGpu());
+  KernelLaunch k1{.name = "producer", .groups = 0, .local_size = 0,
+                  .body = [](WorkGroup&) {}};
+  EventPtr e1 = ctx->queue()->EnqueueKernel(std::move(k1));
+  KernelLaunch k2{.name = "consumer", .groups = 0, .local_size = 0,
+                  .body = [](WorkGroup&) {}};
+  EventPtr e2 = ctx->queue()->EnqueueKernel(std::move(k2), {e1});
+  ctx->queue()->Finish();
+  EXPECT_GE(e2->start_time(), e1->end_time());
+}
+
+TEST(QueueTest, TransfersRoundTrip) {
+  auto ctx = Context::Create(TestGpu());
+  auto buf = ctx->device()->Allocate(16 * sizeof(int));
+  ASSERT_TRUE(buf.ok());
+  std::vector<int> src(16);
+  std::iota(src.begin(), src.end(), 100);
+  std::vector<int> dst(16, 0);
+  EventPtr w = ctx->queue()->EnqueueWrite(*buf, src.data(), 16 * sizeof(int));
+  EventPtr r = ctx->queue()->EnqueueRead(dst.data(), *buf, 16 * sizeof(int), {w});
+  ctx->queue()->Wait(r);
+  EXPECT_EQ(src, dst);
+  EXPECT_GE(r->start_time(), w->end_time());
+}
+
+TEST(QueueTest, TransferOverlapsIndependentKernel) {
+  // Figure 3: a transfer independent of a running kernel proceeds on the
+  // transfer timeline concurrently with compute.
+  auto ctx = Context::Create(TestGpu());
+  auto buf = ctx->device()->Allocate(1 << 20);
+  ASSERT_TRUE(buf.ok());
+  std::vector<char> host(1 << 20, 'x');
+
+  // A kernel that takes noticeable modeled time.
+  std::vector<int> sink(1 << 18, 1);
+  KernelLaunch k{.name = "busy", .groups = 0, .local_size = 0,
+                 .body = [&](WorkGroup& wg) {
+                   long acc = 0;
+                   for (int item = 0; item < wg.local_size(); ++item)
+                     for (std::uint64_t i : wg.UnitsFor(item, sink.size()))
+                       acc += sink[i];
+                   if (acc == -1) sink[0] = 0;  // defeat DCE
+                 }};
+  EventPtr ke = ctx->queue()->EnqueueKernel(std::move(k));
+  EventPtr te = ctx->queue()->EnqueueWrite(*buf, host.data(), host.size());
+  ctx->queue()->Finish();
+  // The transfer must not wait for the kernel: starts before the kernel ends.
+  EXPECT_LT(te->start_time(), ke->end_time());
+}
+
+TEST(QueueTest, CompileCostChargedOncePerKernel) {
+  DeviceModel model = TestCpu();
+  model.kernel_compile_cost = 50'000'000;  // 50 ms
+  model.kernel_launch_overhead = 0;
+  auto ctx = Context::Create(model);
+
+  auto launch_once = [&] {
+    KernelLaunch k{.name = "jit_me", .groups = 0, .local_size = 0,
+                   .body = [](WorkGroup&) {}};
+    EventPtr e = ctx->queue()->EnqueueKernel(std::move(k));
+    ctx->queue()->Wait(e);
+    return e;
+  };
+  EventPtr first = launch_once();
+  EventPtr second = launch_once();
+  common::Nanos first_span = first->end_time() - first->queued_time();
+  common::Nanos second_span = second->end_time() - second->queued_time();
+  EXPECT_GE(first_span, 50'000'000);
+  EXPECT_LT(second_span, 25'000'000);  // cache hit: no recompile
+}
+
+TEST(QueueTest, ProfilesAccumulate) {
+  auto ctx = Context::Create(TestCpu());
+  for (int i = 0; i < 3; ++i) {
+    KernelLaunch k{.name = "profiled", .groups = 0, .local_size = 0,
+                   .body = [](WorkGroup&) {}};
+    ctx->queue()->Wait(ctx->queue()->EnqueueKernel(std::move(k)));
+  }
+  const auto& profiles = ctx->queue()->profiles();
+  ASSERT_TRUE(profiles.contains("profiled"));
+  EXPECT_EQ(profiles.at("profiled").launches, 3u);
+  EXPECT_EQ(profiles.at("profiled").work_groups, 12u);  // 3 launches x 4 groups
+}
+
+TEST(QueueTest, GpuKernelTimeBilledVirtually) {
+  // A kernel whose real single-core execution is slow must cost little
+  // virtual time on the GPU device (the whole point of the substitution).
+  DeviceModel model = TestGpu();
+  model.kernel_compile_cost = 0;  // JIT is billed separately; not under test
+  auto ctx = Context::Create(model);
+  std::vector<std::int64_t> data(1 << 22, 1);
+  KernelLaunch k{.name = "scan_like", .groups = 0, .local_size = 0,
+                 .body = [&](WorkGroup& wg) {
+                   std::int64_t acc = 0;
+                   for (int item = 0; item < wg.local_size(); ++item)
+                     for (std::uint64_t i : wg.UnitsFor(item, data.size()))
+                       acc += data[i];
+                   if (acc == -1) data[0] = 0;
+                 }};
+  common::Nanos v0 = ctx->clock()->Now();
+  common::Stopwatch real;
+  EventPtr e = ctx->queue()->EnqueueKernel(std::move(k));
+  ctx->queue()->Wait(e);
+  common::Nanos real_elapsed = real.ElapsedNanos();
+  common::Nanos virtual_elapsed = ctx->clock()->Now() - v0;
+  // Modeled: 4M int64 adds spread over 7 SMs at 0.35 scale ~ real/20.
+  EXPECT_GT(e->duration(), 0);
+  EXPECT_LT(virtual_elapsed, real_elapsed / 2);
+}
+
+TEST(QueueTest, AtomicStatsFeedTimingModel) {
+  auto ctx = Context::Create(TestCpu());
+  auto run = [&](std::uint64_t addresses) {
+    KernelLaunch k{.name = "atomics", .groups = 0, .local_size = 0,
+                   .body = [&](WorkGroup& wg) {
+                     wg.CountAtomics(100'000, addresses);
+                   }};
+    EventPtr e = ctx->queue()->EnqueueKernel(std::move(k));
+    ctx->queue()->Wait(e);
+    return e->duration();
+  };
+  common::Nanos contended = run(8);        // 8 hot addresses
+  common::Nanos uncontended = run(1 << 20);
+  EXPECT_GT(contended, uncontended);
+}
+
+}  // namespace

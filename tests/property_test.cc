@@ -1,0 +1,239 @@
+// Property-based sweeps: algebraic invariants of the operator contract that
+// must hold for every engine, every device, many sizes and distributions.
+// These complement the example-based suites with broad-coverage laws:
+//
+//   * selection partition:    sel(P) ∪ sel(!P) == all rows, disjoint
+//   * projection composition: proj(a, proj(b, c)) == proj(proj(a, b), c)
+//   * sort permutation:       order is a permutation; values == gather(order)
+//   * group-aggregate sums:   Σ_g subsum(v)[g] == sum(v);  Σ_g subcount == n
+//   * join vs semijoin:       distinct left oids of join == semijoin oids
+//   * semijoin/antijoin:      complementary partition of the left side
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "mal/interp.h"
+
+namespace {
+
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::oid_t;
+using mal::Pipeline;
+
+struct Case {
+  Pipeline pipeline;
+  std::size_t rows;
+  std::int32_t domain;  // value range [0, domain)
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string p = mal::PipelineName(info.param.pipeline);
+  std::replace(p.begin(), p.end(), '/', '_');
+  return p + "_n" + std::to_string(info.param.rows) + "_d" +
+         std::to_string(info.param.domain);
+}
+
+class PropertyTest : public ::testing::TestWithParam<Case> {
+ protected:
+  PropertyTest() : session_(mal::Session::Create(GetParam().pipeline)) {
+    common::Rng rng(GetParam().rows * 31 + static_cast<std::size_t>(GetParam().domain));
+    col_ = cstore::Bat::MakeInt(GetParam().rows);
+    for (auto& v : col_->ints()) {
+      v = static_cast<std::int32_t>(rng.Uniform(0, GetParam().domain - 1));
+    }
+    vals_ = cstore::Bat::MakeFloat(GetParam().rows);
+    for (auto& v : vals_->floats()) v = rng.NextFloat() * 10.f;
+  }
+
+  cstore::QueryEngine* engine() { return session_->engine(); }
+
+  std::vector<oid_t> Oids(const BatPtr& b) {
+    OCELOT_CHECK_OK(engine()->Sync(b));
+    auto s = b->oids();
+    return {s.begin(), s.end()};
+  }
+
+  std::unique_ptr<mal::Session> session_;
+  BatPtr col_;
+  BatPtr vals_;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertyTest,
+    ::testing::Values(Case{Pipeline::kSequential, 1000, 10},
+                      Case{Pipeline::kSequential, 10000, 1000},
+                      Case{Pipeline::kMitosis, 1000, 10},
+                      Case{Pipeline::kMitosis, 10000, 1000},
+                      Case{Pipeline::kMitosis, 9999, 7},
+                      Case{Pipeline::kOcelotCpu, 1000, 10},
+                      Case{Pipeline::kOcelotCpu, 10000, 1000},
+                      Case{Pipeline::kOcelotGpu, 1000, 10},
+                      Case{Pipeline::kOcelotGpu, 10000, 1000},
+                      Case{Pipeline::kOcelotGpu, 9999, 7}),
+    CaseName);
+
+TEST_P(PropertyTest, SelectionPartitionsRows) {
+  double mid = GetParam().domain / 2.0;
+  auto lo = engine()->SelectRange(col_, nullptr, Bound::None(), Bound::Excl(mid));
+  auto hi = engine()->SelectRange(col_, nullptr, Bound::Incl(mid), Bound::None());
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  std::vector<oid_t> a = Oids(*lo), b = Oids(*hi);
+  EXPECT_EQ(a.size() + b.size(), col_->size());
+  std::vector<oid_t> merged;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(merged));
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    ASSERT_EQ(merged[i], i);  // disjoint and exhaustive
+  }
+}
+
+TEST_P(PropertyTest, SelectionRespectsCandidates) {
+  auto first = engine()->SelectRange(col_, nullptr, Bound::None(),
+                                     Bound::Excl(GetParam().domain * 0.7));
+  ASSERT_TRUE(first.ok());
+  auto second = engine()->SelectRange(col_, *first,
+                                      Bound::Incl(GetParam().domain * 0.3), Bound::None());
+  ASSERT_TRUE(second.ok());
+  std::vector<oid_t> outer = Oids(*second);
+  // Every survivor satisfies both predicates.
+  auto v = col_->ints();
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    bool match = v[i] < GetParam().domain * 0.7 && v[i] >= GetParam().domain * 0.3;
+    expect += match;
+  }
+  EXPECT_EQ(outer.size(), expect);
+  for (oid_t o : outer) {
+    ASSERT_LT(v[o], GetParam().domain * 0.7);
+    ASSERT_GE(v[o], GetParam().domain * 0.3);
+  }
+}
+
+TEST_P(PropertyTest, SortProducesPermutationAndOrderedValues) {
+  auto res = engine()->Sort(col_);
+  ASSERT_TRUE(res.ok());
+  OCELOT_CHECK_OK(engine()->Sync(res->order));
+  OCELOT_CHECK_OK(engine()->Sync(res->values));
+  auto order = res->order->oids();
+  std::vector<bool> seen(col_->size(), false);
+  for (oid_t o : order) {
+    ASSERT_LT(o, col_->size());
+    ASSERT_FALSE(seen[o]);
+    seen[o] = true;
+  }
+  auto sorted = res->values->ints();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(sorted[i], col_->ints()[order[i]]);
+  }
+}
+
+TEST_P(PropertyTest, GroupAggregatesConserveTotals) {
+  auto g = engine()->GroupBy(col_, nullptr);
+  ASSERT_TRUE(g.ok());
+  auto sums = engine()->SubSum(vals_, g->groups, g->ngroups);
+  auto counts = engine()->SubCount(g->groups, g->ngroups);
+  ASSERT_TRUE(sums.ok() && counts.ok());
+  OCELOT_CHECK_OK(engine()->Sync(*sums));
+  OCELOT_CHECK_OK(engine()->Sync(*counts));
+
+  double total = 0;
+  for (float v : (*sums)->floats()) total += v;
+  double want = *engine()->Sum(vals_);
+  EXPECT_NEAR(total, want, std::abs(want) * 1e-4 + 1e-2);
+
+  std::int64_t rows = 0;
+  for (std::int32_t c : (*counts)->ints()) rows += c;
+  EXPECT_EQ(rows, static_cast<std::int64_t>(col_->size()));
+
+  // Group count can never exceed the value domain.
+  EXPECT_LE(g->ngroups, static_cast<std::size_t>(GetParam().domain));
+}
+
+TEST_P(PropertyTest, GroupMinMaxBracketValues) {
+  auto g = engine()->GroupBy(col_, nullptr);
+  ASSERT_TRUE(g.ok());
+  auto mins = engine()->SubMin(vals_, g->groups, g->ngroups);
+  auto maxs = engine()->SubMax(vals_, g->groups, g->ngroups);
+  ASSERT_TRUE(mins.ok() && maxs.ok());
+  OCELOT_CHECK_OK(engine()->Sync(*mins));
+  OCELOT_CHECK_OK(engine()->Sync(*maxs));
+  OCELOT_CHECK_OK(engine()->Sync(g->groups));
+  auto gid = g->groups->oids();
+  for (std::size_t i = 0; i < vals_->size(); ++i) {
+    ASSERT_LE((*mins)->floats()[gid[i]], vals_->floats()[i]);
+    ASSERT_GE((*maxs)->floats()[gid[i]], vals_->floats()[i]);
+  }
+}
+
+TEST_P(PropertyTest, JoinAgreesWithSemiJoin) {
+  // Build side: the distinct values 0..domain/2 (unique keys).
+  std::int32_t half = GetParam().domain / 2 + 1;
+  BatPtr right = cstore::Bat::MakeInt(static_cast<std::size_t>(half));
+  std::iota(right->ints().begin(), right->ints().end(), 0);
+  right->set_key(true);
+  right->set_sorted(true);
+
+  auto join = engine()->HashJoin(col_, right);
+  auto semi = engine()->SemiJoin(col_, right);
+  ASSERT_TRUE(join.ok() && semi.ok());
+  std::vector<oid_t> join_left = Oids(join->left);
+  std::vector<oid_t> semi_left = Oids(*semi);
+  // Unique build side: every left row matches at most once.
+  EXPECT_EQ(join_left, semi_left);
+
+  // Join pairs are actual equalities.
+  OCELOT_CHECK_OK(engine()->Sync(join->right));
+  auto jr = join->right->oids();
+  for (std::size_t i = 0; i < join_left.size(); ++i) {
+    ASSERT_EQ(col_->ints()[join_left[i]], right->ints()[jr[i]]);
+  }
+}
+
+TEST_P(PropertyTest, SemiAndAntiJoinPartitionLeft) {
+  std::int32_t half = GetParam().domain / 2 + 1;
+  BatPtr right = cstore::Bat::MakeInt(static_cast<std::size_t>(half));
+  std::iota(right->ints().begin(), right->ints().end(), 0);
+  auto semi = engine()->SemiJoin(col_, right);
+  auto anti = engine()->AntiJoin(col_, right);
+  ASSERT_TRUE(semi.ok() && anti.ok());
+  std::vector<oid_t> a = Oids(*semi), b = Oids(*anti);
+  EXPECT_EQ(a.size() + b.size(), col_->size());
+  std::set<oid_t> all(a.begin(), a.end());
+  all.insert(b.begin(), b.end());
+  EXPECT_EQ(all.size(), col_->size());
+}
+
+TEST_P(PropertyTest, ProjectionComposes) {
+  // Take every third row, then reverse: composition == composed gather.
+  std::size_t n = col_->size();
+  std::vector<oid_t> thirds;
+  for (std::size_t i = 0; i < n; i += 3) thirds.push_back(static_cast<oid_t>(i));
+  BatPtr a = cstore::Bat::MakeOid(thirds.size());
+  std::copy(thirds.begin(), thirds.end(), a->oids().begin());
+  BatPtr rev = cstore::Bat::MakeOid(thirds.size());
+  for (std::size_t i = 0; i < thirds.size(); ++i) {
+    rev->oids()[i] = static_cast<oid_t>(thirds.size() - 1 - i);
+  }
+
+  auto inner = engine()->Project(a, col_);
+  ASSERT_TRUE(inner.ok());
+  auto lhs = engine()->Project(rev, *inner);
+  auto composed = engine()->Project(rev, a);
+  ASSERT_TRUE(composed.ok());
+  auto rhs = engine()->Project(*composed, col_);
+  ASSERT_TRUE(lhs.ok() && rhs.ok());
+  OCELOT_CHECK_OK(engine()->Sync(*lhs));
+  OCELOT_CHECK_OK(engine()->Sync(*rhs));
+  for (std::size_t i = 0; i < thirds.size(); ++i) {
+    ASSERT_EQ((*lhs)->ints()[i], (*rhs)->ints()[i]);
+  }
+}
+
+}  // namespace

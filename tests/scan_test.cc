@@ -1,0 +1,92 @@
+// Direct unit tests of the device-side prefix-sum primitive — the scan [33]
+// that bitmap materialization, the radix sort and the two-phase joins are
+// built on — plus the scalar read-back helper.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "ocelot/scan.h"
+
+namespace {
+
+class ScanTest : public ::testing::TestWithParam<ocl::DeviceType> {
+ protected:
+  ScanTest() {
+    ocl::DeviceModel model = GetParam() == ocl::DeviceType::kCpu
+                                 ? ocl::XeonE5620Model()
+                                 : ocl::Gtx460Model();
+    model.kernel_compile_cost = 0;
+    ctx_ = ocl::Context::Create(model);
+    mm_ = std::make_unique<ocelot::MemoryManager>(ctx_.get());
+  }
+
+  /// Uploads `in`, scans it, returns the n+1 output values.
+  std::vector<std::uint32_t> Scan(const std::vector<std::uint32_t>& in) {
+    std::size_t n = in.size();
+    auto in_buf = *mm_->AllocScratch(std::max<std::size_t>(n, 1) * 4);
+    auto out_buf = *mm_->AllocScratch((n + 1) * 4);
+    ocl::EventPtr w =
+        ctx_->queue()->EnqueueWrite(in_buf, in.data(), n * 4);
+    auto done = ocelot::EnqueueExclusiveScan(mm_.get(), in_buf, out_buf, n, {w});
+    OCELOT_CHECK_OK(done.status());
+    ctx_->queue()->Wait(*done);
+    auto span = out_buf->Span<const std::uint32_t>();
+    return {span.begin(), span.begin() + static_cast<std::ptrdiff_t>(n + 1)};
+  }
+
+  std::unique_ptr<ocl::Context> ctx_;
+  std::unique_ptr<ocelot::MemoryManager> mm_;
+};
+
+INSTANTIATE_TEST_SUITE_P(BothDevices, ScanTest,
+                         ::testing::Values(ocl::DeviceType::kCpu,
+                                           ocl::DeviceType::kGpu),
+                         [](const auto& info) {
+                           return info.param == ocl::DeviceType::kCpu ? "Cpu" : "Gpu";
+                         });
+
+TEST_P(ScanTest, SmallKnownInput) {
+  auto out = Scan({3, 1, 4, 1, 5});
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 3, 4, 8, 9, 14}));
+}
+
+TEST_P(ScanTest, AllZeros) {
+  auto out = Scan(std::vector<std::uint32_t>(100, 0));
+  for (std::uint32_t v : out) EXPECT_EQ(v, 0u);
+}
+
+TEST_P(ScanTest, SingleElement) {
+  auto out = Scan({42});
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 42}));
+}
+
+TEST_P(ScanTest, MatchesStdExclusiveScanOnRandomSizes) {
+  common::Rng rng(13);
+  for (std::size_t n : {2u, 63u, 64u, 65u, 1000u, 4097u, 100'000u}) {
+    std::vector<std::uint32_t> in(n);
+    for (auto& v : in) v = static_cast<std::uint32_t>(rng.Uniform(0, 9));
+    std::vector<std::uint32_t> want(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) want[i + 1] = want[i] + in[i];
+    std::vector<std::uint32_t> got = Scan(in);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i <= n; ++i) {
+      ASSERT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(ScanTest, ReadScalarReturnsRequestedSlot) {
+  auto buf = *mm_->AllocScratch(16);
+  std::uint32_t host[4] = {10, 20, 30, 40};
+  ctx_->queue()->Wait(ctx_->queue()->EnqueueWrite(buf, host, 16));
+  auto v = ocelot::ReadScalarU32(ctx_.get(), buf, 2, {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 30u);
+  auto bad = ocelot::ReadScalarU32(ctx_.get(), buf, 9, {});
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace

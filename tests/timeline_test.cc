@@ -1,0 +1,129 @@
+// Unit tests for the discrete-event timeline and virtual clock — the
+// foundation of the hardware simulation (DESIGN.md section 2).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/timeline.h"
+#include "common/vclock.h"
+
+namespace {
+
+using common::Interval;
+using common::Nanos;
+using common::Timeline;
+using common::VirtualClock;
+
+TEST(TimelineTest, SingleLaneSerializes) {
+  Timeline t(1);
+  Interval a = t.Schedule(0, 100);
+  Interval b = t.Schedule(0, 50);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(a.end, 100);
+  EXPECT_EQ(b.start, 100);  // must wait for the lane
+  EXPECT_EQ(b.end, 150);
+}
+
+TEST(TimelineTest, ReadyTimeRespected) {
+  Timeline t(2);
+  Interval a = t.Schedule(1000, 10);
+  EXPECT_EQ(a.start, 1000);
+  EXPECT_EQ(a.end, 1010);
+}
+
+TEST(TimelineTest, TwoLanesOverlap) {
+  Timeline t(2);
+  Interval a = t.Schedule(0, 100);
+  Interval b = t.Schedule(0, 100);
+  EXPECT_EQ(a.start, 0);
+  EXPECT_EQ(b.start, 0);  // second lane
+  Interval c = t.Schedule(0, 10);
+  EXPECT_EQ(c.start, 100);  // both lanes busy until 100
+}
+
+TEST(TimelineTest, BatchMakespanFourLanes) {
+  // 8 equal work-groups on 4 cores: two waves.
+  Timeline t(4);
+  std::vector<Nanos> durations(8, 100);
+  Interval iv = t.ScheduleBatch(0, durations);
+  EXPECT_EQ(iv.start, 0);
+  EXPECT_EQ(iv.end, 200);
+}
+
+TEST(TimelineTest, BatchImbalanceDominates) {
+  // One straggler group determines the makespan — the effect the paper's
+  // scheduling strategy (4.2) avoids by over-decomposing into 4*na items.
+  Timeline t(4);
+  std::vector<Nanos> durations{100, 100, 100, 400};
+  Interval iv = t.ScheduleBatch(0, durations);
+  EXPECT_EQ(iv.end, 400);
+}
+
+TEST(TimelineTest, EmptyBatch) {
+  Timeline t(4);
+  Interval iv = t.ScheduleBatch(123, {});
+  EXPECT_EQ(iv.start, 123);
+  EXPECT_EQ(iv.end, 123);
+}
+
+TEST(TimelineTest, IndependentKernelsInterleave) {
+  // Figure 3 of the paper: two independent kernels with few groups can share
+  // the device. 2 groups each on a 4-lane device run fully overlapped.
+  Timeline t(4);
+  std::vector<Nanos> k1(2, 100), k2(2, 100);
+  Interval a = t.ScheduleBatch(0, k1);
+  Interval b = t.ScheduleBatch(0, k2);
+  EXPECT_EQ(a.end, 100);
+  EXPECT_EQ(b.end, 100);  // interleaved, not serialized
+}
+
+TEST(TimelineTest, AllIdleAndNextFree) {
+  Timeline t(2);
+  t.Schedule(0, 100);
+  EXPECT_EQ(t.NextFreeTime(), 0);    // second lane idle
+  EXPECT_EQ(t.AllIdleTime(), 100);
+  t.Schedule(0, 40);
+  EXPECT_EQ(t.NextFreeTime(), 40);
+}
+
+TEST(TimelineTest, ResetClearsLanes) {
+  Timeline t(2);
+  t.Schedule(0, 100);
+  t.Reset(500);
+  EXPECT_EQ(t.NextFreeTime(), 500);
+  EXPECT_EQ(t.AllIdleTime(), 500);
+}
+
+TEST(VirtualClockTest, FollowsRealTime) {
+  VirtualClock clock;
+  Nanos a = clock.Now();
+  Nanos b = clock.Now();
+  EXPECT_GE(b, a);
+}
+
+TEST(VirtualClockTest, AdvanceToFuture) {
+  VirtualClock clock;
+  Nanos now = clock.Now();
+  clock.AdvanceTo(now + 1'000'000'000);
+  EXPECT_GE(clock.Now(), now + 1'000'000'000);
+}
+
+TEST(VirtualClockTest, AdvanceToPastIsNoop) {
+  VirtualClock clock;
+  Nanos now = clock.Now();
+  clock.AdvanceTo(now - 1'000'000'000);
+  EXPECT_GE(clock.Now(), now - 1000);  // unchanged (modulo real progress)
+}
+
+TEST(VirtualClockTest, DeductRemovesSimulationCost) {
+  VirtualClock clock;
+  Nanos before = clock.Now();
+  clock.Deduct(5'000'000'000);  // pretend we spent 5s executing kernels
+  clock.AdvanceTo(before + 1000);  // bill 1us of modeled time
+  Nanos after = clock.Now();
+  // Virtual elapsed is ~1us + host overhead, certainly far below 5s.
+  EXPECT_LT(after - before, 100'000'000);
+}
+
+}  // namespace
