@@ -12,6 +12,8 @@
 //       table vs rebuilding it per join.
 
 #include "bench/micro_common.h"
+
+#include "ocelot/engine.h"
 #include "ocelot/hash_table.h"
 
 namespace {
@@ -19,12 +21,11 @@ namespace {
 using bench::Label;
 using cstore::Bound;
 
-const std::vector<mal::Pipeline> kOcelotConfigs = {mal::Pipeline::kOcelotCpu,
-                                                   mal::Pipeline::kOcelotGpu};
+const std::vector<std::string> kOcelotConfigs = {"ocelot:cpu", "ocelot:gpu"};
 
 // A1: selection result representation.
 void RegisterBitmapAblation() {
-  for (mal::Pipeline pipeline : kOcelotConfigs) {
+  for (const std::string& pipeline : kOcelotConfigs) {
     for (bool materialize : {false, true}) {
       std::string name = std::string("Ablation_SelectRepr/") + Label(pipeline) + "/" +
                          (materialize ? "oid_list" : "bitmap");
@@ -51,7 +52,7 @@ void RegisterBitmapAblation() {
 // group count; contrasting few groups (heavy contention, wide spread) with
 // many groups (no contention, spread collapses to 1) exposes the mechanism.
 void RegisterAccumulatorAblation() {
-  for (mal::Pipeline pipeline : kOcelotConfigs) {
+  for (const std::string& pipeline : kOcelotConfigs) {
     for (int groups : {4, 64, 1024}) {
       std::string name = std::string("Ablation_GroupedAggContention/") +
                          Label(pipeline) + "/" + std::to_string(groups) + "groups";
@@ -79,7 +80,7 @@ void RegisterAccumulatorAblation() {
 
 // A3: hash-table cache hit vs cold rebuild per probe.
 void RegisterHashCacheAblation() {
-  for (mal::Pipeline pipeline : kOcelotConfigs) {
+  for (const std::string& pipeline : kOcelotConfigs) {
     for (bool cached : {true, false}) {
       std::string name = std::string("Ablation_HashTableCache/") + Label(pipeline) +
                          "/" + (cached ? "cached" : "rebuild");

@@ -9,9 +9,9 @@
 namespace {
 
 void Register() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (int mb : bench::MbAxis()) {
-      std::string name = "Fig5d_MinAggregation/" + std::string(bench::Label(pipeline)) +
+      std::string name = "Fig5d_MinAggregation/" + bench::Label(pipeline) +
                          "/" + std::to_string(mb) + "MB";
       bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
         cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 1 << 30);

@@ -8,13 +8,13 @@
 
 #include "bench/micro_common.h"
 
+#include "ocelot/engine.h"
+
 namespace {
 
 void RunGroup(mal::Session* s, benchmark::State& st, cstore::BatPtr col) {
   bench::MicroLoop(s, st, [&] {
-    if (s->ocelot() != nullptr) {
-      s->ocelot()->memory()->DropCachedHashTable(col->id());
-    }
+    bench::DropCachedHashTable(s, col->id());
     auto res = s->engine()->GroupBy(col, nullptr);
     if (!res.ok()) return !bench::IsMemoryLimit(res.status());
     bench::Settle(s);
@@ -24,9 +24,9 @@ void RunGroup(mal::Session* s, benchmark::State& st, cstore::BatPtr col) {
 }
 
 void RegisterBySize() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (int mb : bench::MbAxis()) {
-      std::string name = "Fig5g_GroupBySize/" + std::string(bench::Label(pipeline)) +
+      std::string name = "Fig5g_GroupBySize/" + bench::Label(pipeline) +
                          "/" + std::to_string(mb) + "MB";
       bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
         cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 100);
@@ -37,10 +37,10 @@ void RegisterBySize() {
 }
 
 void RegisterByGroups() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (int groups : {10, 100, 1000, 10000}) {
       std::string name = "Fig5h_GroupByDistinct/" +
-                         std::string(bench::Label(pipeline)) + "/" +
+                         bench::Label(pipeline) + "/" +
                          std::to_string(groups);
       bench::RegisterPoint(
           name, pipeline, [groups](mal::Session* s, benchmark::State& st) {

@@ -11,10 +11,10 @@
 namespace {
 
 void Register() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (int mb : bench::MbAxis()) {
       std::string name = "Fig5i_HashJoinByProbeSize/" +
-                         std::string(bench::Label(pipeline)) + "/" +
+                         bench::Label(pipeline) + "/" +
                          std::to_string(mb) + "MB";
       bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
         cstore::BatPtr probe = bench::UniformInts(bench::RowsForMb(mb), 100);

@@ -14,10 +14,10 @@ using bench::Label;
 using cstore::Bound;
 
 void RegisterBySize() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (int mb : bench::MbAxis()) {
       std::string name =
-          "Fig5a_SelectBySize/" + std::string(Label(pipeline)) + "/" +
+          "Fig5a_SelectBySize/" + Label(pipeline) + "/" +
           std::to_string(mb) + "MB";
       bench::RegisterPoint(name, pipeline, [mb](mal::Session* s, benchmark::State& st) {
         cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(mb), 1000);
@@ -35,10 +35,10 @@ void RegisterBySize() {
 }
 
 void RegisterBySelectivity() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (int sel : {5, 15, 30, 45, 60, 75}) {
       std::string name =
-          "Fig5b_SelectBySelectivity/" + std::string(Label(pipeline)) + "/" +
+          "Fig5b_SelectBySelectivity/" + Label(pipeline) + "/" +
           std::to_string(sel) + "pct";
       bench::RegisterPoint(name, pipeline, [sel](mal::Session* s,
                                                  benchmark::State& st) {

@@ -19,8 +19,8 @@ namespace {
 using bench::Label;
 
 void RegisterWorkload(const char* figure, double sf, bool with_gpu) {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
-    if (!with_gpu && pipeline == mal::Pipeline::kOcelotGpu) continue;
+  for (const std::string& pipeline : bench::Configurations()) {
+    if (!with_gpu && pipeline == "ocelot:gpu") continue;
     for (int query : tpch::PaperWorkload()) {
       std::string name = std::string(figure) + "/Q" + std::to_string(query) + "/" +
                          Label(pipeline);
@@ -30,7 +30,7 @@ void RegisterWorkload(const char* figure, double sf, bool with_gpu) {
             const tpch::TpchDb& db = bench::Db(sf);
             ocl::DeviceModel gpu = bench::TpchGpuModel();
             ocl::DeviceModel cpu = bench::TpchCpuModel();
-            auto session = mal::Session::Create(pipeline, &gpu, &cpu);
+            auto session = bench::OpenSession(pipeline, &gpu, &cpu);
             if (!bench::RunQuery(query, db, session.get())) {  // hot-cache warm-up
               state.SkipWithError("exceeds device memory");
               return;
@@ -50,7 +50,7 @@ void RegisterWorkload(const char* figure, double sf, bool with_gpu) {
 }
 
 void RegisterQ1Scaling() {
-  for (mal::Pipeline pipeline : bench::Configurations()) {
+  for (const std::string& pipeline : bench::Configurations()) {
     for (double sf : {1.0, 2.0, 4.0, 6.0, 8.0, 10.0}) {
       std::string name = "Fig7d_Q1Scaling/SF" + std::to_string(static_cast<int>(sf)) +
                          "/" + Label(pipeline);
@@ -60,7 +60,7 @@ void RegisterQ1Scaling() {
             const tpch::TpchDb& db = bench::Db(sf);
             ocl::DeviceModel gpu = bench::TpchGpuModel();
             ocl::DeviceModel cpu = bench::TpchCpuModel();
-            auto session = mal::Session::Create(pipeline, &gpu, &cpu);
+            auto session = bench::OpenSession(pipeline, &gpu, &cpu);
             if (!bench::RunQuery(1, db, session.get())) {
               state.SkipWithError("exceeds device memory");
               return;

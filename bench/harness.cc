@@ -1,25 +1,48 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/rng.h"
 
 namespace bench {
 
-const char* Label(mal::Pipeline p) {
-  switch (p) {
-    case mal::Pipeline::kSequential:
-      return "MS";
-    case mal::Pipeline::kMitosis:
-      return "MP";
-    case mal::Pipeline::kOcelotCpu:
-      return "CPU";
-    case mal::Pipeline::kOcelotGpu:
-      return "GPU";
+namespace {
+
+std::vector<std::string> BuildConfigurations() {
+  std::vector<std::string> ordered = mal::OrderedEngineNames();
+  const char* env = std::getenv("OCELOT_ENGINES");
+  if (env == nullptr || *env == '\0') return ordered;
+  std::vector<std::string> filtered;
+  std::stringstream ss(env);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    OCELOT_CHECK(cstore::EngineRegistry::Global().Contains(token))
+        << "OCELOT_ENGINES names unknown engine '" << token << "'";
+    filtered.push_back(token);
   }
-  return "?";
+  return filtered;
+}
+
+}  // namespace
+
+const std::vector<std::string>& Configurations() {
+  static const std::vector<std::string>* kAll =
+      new std::vector<std::string>(BuildConfigurations());
+  return *kAll;
+}
+
+std::string Label(const std::string& engine) {
+  if (engine == "seq") return "MS";
+  if (engine == "par") return "MP";
+  if (engine == "ocelot:cpu") return "CPU";
+  if (engine == "ocelot:gpu") return "GPU";
+  if (engine == "ocelot:multi") return "MULTI";
+  return engine;
 }
 
 namespace {
@@ -98,14 +121,25 @@ double MeasureVirtualMs(mal::Session* session, const std::function<void()>& op) 
   return static_cast<double>(session->clock()->Now() - v0) / 1e6;
 }
 
-void RegisterPoint(const std::string& name, mal::Pipeline pipeline,
+std::unique_ptr<mal::Session> OpenSession(const std::string& engine,
+                                          const ocl::DeviceModel* gpu_model,
+                                          const ocl::DeviceModel* cpu_model) {
+  cstore::EngineOptions options;
+  options.gpu_model = gpu_model;
+  options.cpu_model = cpu_model;
+  auto session = mal::Session::Open(engine, options);
+  OCELOT_CHECK(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+void RegisterPoint(const std::string& name, const std::string& engine,
                    std::function<void(mal::Session*, benchmark::State&)> body) {
   benchmark::RegisterBenchmark(
       name.c_str(),
-      [pipeline, body](benchmark::State& state) {
+      [engine, body](benchmark::State& state) {
         ocl::DeviceModel gpu = MicroGpuModel();
         ocl::DeviceModel cpu = MicroCpuModel();
-        auto session = mal::Session::Create(pipeline, &gpu, &cpu);
+        auto session = OpenSession(engine, &gpu, &cpu);
         body(session.get(), state);
       })
       ->UseManualTime()
@@ -127,7 +161,7 @@ bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session) {
   auto plan = tpch::BuildQuery(q, db);
   OCELOT_CHECK(plan.ok()) << plan.status().ToString();
   mal::Program prog = *plan;
-  if (session->ocelot() != nullptr) prog = mal::RewriteForOcelot(prog);
+  if (session->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
   auto res = mal::Run(prog, db.catalog, session);
   if (!res.ok()) {
     // mal::Run wraps engine errors as Internal; memory exhaustion is a
@@ -135,8 +169,7 @@ bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session) {
     if (res.status().ToString().find("ResourceExhausted") != std::string::npos) {
       return false;
     }
-    OCELOT_CHECK(false) << "Q" << q << " on "
-                        << mal::PipelineName(session->pipeline()) << ": "
+    OCELOT_CHECK(false) << "Q" << q << " on " << session->engine_name() << ": "
                         << res.status().ToString();
   }
   benchmark::DoNotOptimize(res->returns.data());

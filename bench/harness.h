@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "mal/engines.h"
 #include "mal/interp.h"
+#include "ocl/device.h"
 #include "mal/rewriter.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
@@ -18,16 +20,16 @@
 /// for MP and the Ocelot devices (DESIGN.md section 2).
 namespace bench {
 
-/// The four configurations of the paper's evaluation, in figure order.
-inline const std::vector<mal::Pipeline>& Configurations() {
-  static const std::vector<mal::Pipeline> kAll = {
-      mal::Pipeline::kSequential, mal::Pipeline::kMitosis,
-      mal::Pipeline::kOcelotCpu, mal::Pipeline::kOcelotGpu};
-  return kAll;
-}
+/// The engines every benchmark sweeps, resolved by name from the global
+/// cstore::EngineRegistry: the paper's four configurations first ("seq",
+/// "par", "ocelot:cpu", "ocelot:gpu"), then every further registered engine
+/// ("ocelot:multi", ...). Set OCELOT_ENGINES to a comma-separated subset
+/// (e.g. OCELOT_ENGINES=seq,ocelot:multi) to restrict a sweep.
+const std::vector<std::string>& Configurations();
 
-/// Short labels used in the paper's plots.
-const char* Label(mal::Pipeline p);
+/// Short labels used in the paper's plots ("MS", "MP", "CPU", "GPU",
+/// "MULTI"; unknown engines label as their registry name).
+std::string Label(const std::string& engine);
 
 /// Paper "input size in MB" axis -> row count, scaled by OCELOT_MB_SCALE
 /// (default 1/8 so the sweeps finish on one core).
@@ -51,10 +53,18 @@ ocl::DeviceModel TpchCpuModel();
 /// One measured run of `op` under `session`: returns virtual milliseconds.
 double MeasureVirtualMs(mal::Session* session, const std::function<void()>& op);
 
+/// Resolves `engine` from the registry with the given device-model
+/// overrides; aborts on failure (benchmarks must not silently skip an
+/// engine they were asked to sweep).
+std::unique_ptr<mal::Session> OpenSession(const std::string& engine,
+                                          const ocl::DeviceModel* gpu_model,
+                                          const ocl::DeviceModel* cpu_model);
+
 /// Registers one microbenchmark series point: name like "Fig5a/select/MS/64MB".
-/// `make_op` is invoked once per measurement with the session; a warm-up run
-/// precedes timing (hot caches, compiled kernels — paper 5.2/5.3).
-void RegisterPoint(const std::string& name, mal::Pipeline pipeline,
+/// The session is resolved from the engine registry by name (with the micro
+/// device models); a warm-up run precedes timing (hot caches, compiled
+/// kernels — paper 5.2/5.3).
+void RegisterPoint(const std::string& name, const std::string& engine,
                    std::function<void(mal::Session*, benchmark::State&)> body);
 
 /// TPC-H database cache shared by the Fig. 7 benchmarks (generated once per

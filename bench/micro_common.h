@@ -2,6 +2,8 @@
 #define OCELOT_BENCH_MICRO_COMMON_H_
 
 #include "bench/harness.h"
+#include "ocelot/engine.h"
+#include "ocelot/scheduler.h"
 
 namespace bench {
 
@@ -26,8 +28,19 @@ inline void MicroLoop(mal::Session* session, benchmark::State& state,
 /// Settles the virtual clock after enqueue-only Ocelot operators: waits for
 /// all scheduled kernels but does not transfer results back (the paper's
 /// microbenchmarks exclude device<->host transfers).
-inline void Settle(mal::Session* session) {
-  if (session->ocl_context() != nullptr) session->ocl_context()->queue()->Finish();
+inline void Settle(mal::Session* session) { session->FinishDevices(); }
+
+/// Drops the cached device hash table of BAT `id` on every device of the
+/// session — the single Ocelot engine's, or all scheduler slots'; no-op for
+/// the host baselines (benchmarks measuring cold builds).
+inline void DropCachedHashTable(mal::Session* session, std::uint64_t id) {
+  if (ocelot::OcelotEngine* eng = session->ocelot()) {
+    eng->memory()->DropCachedHashTable(id);
+    return;
+  }
+  if (auto* sched = dynamic_cast<ocelot::Scheduler*>(session->engine())) {
+    sched->DropCachedHashTable(id);
+  }
 }
 
 /// True when the status is the device-memory signal (skip the point).

@@ -1,12 +1,14 @@
 // End-to-end analytics: generate a TPC-H database, show a query plan before
-// and after the Ocelot rewriter, and run the paper's workload on all four
-// configurations, printing a Fig. 7-style runtime table.
+// and after the Ocelot rewriter, and run the paper's workload on every
+// engine in the registry (the paper's four configurations plus the
+// multi-device scheduler), printing a Fig. 7-style runtime table.
 //
 //   $ ./tpch_analytics [paper_scale_factor]   (default 1)
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "mal/engines.h"
 #include "mal/interp.h"
 #include "mal/rewriter.h"
 #include "tpch/dbgen.h"
@@ -28,19 +30,22 @@ int main(int argc, char** argv) {
   std::printf("---- Q6 plan (after the Ocelot rewriter) ----\n%s\n",
               mal::RewriteForOcelot(*q6).Explain().c_str());
 
-  // Run the paper workload on the four configurations.
-  std::printf("%-5s %12s %12s %12s %12s   (virtual ms, hot cache)\n", "query", "MS",
-              "MP", "Ocelot/CPU", "Ocelot/GPU");
+  // Run the paper workload on every registered engine, resolved by name.
+  std::vector<std::string> engines = mal::OrderedEngineNames();
+
+  std::printf("%-5s", "query");
+  for (const std::string& e : engines) std::printf(" %12s", e.c_str());
+  std::printf("   (virtual ms, hot cache)\n");
   for (int query : tpch::PaperWorkload()) {
     std::printf("Q%-4d", query);
-    for (mal::Pipeline p :
-         {mal::Pipeline::kSequential, mal::Pipeline::kMitosis,
-          mal::Pipeline::kOcelotCpu, mal::Pipeline::kOcelotGpu}) {
-      auto session = mal::Session::Create(p);
+    for (const std::string& e : engines) {
+      auto opened = mal::Session::Open(e);
+      OCELOT_CHECK(opened.ok()) << opened.status().ToString();
+      std::unique_ptr<mal::Session> session = std::move(*opened);
       auto plan = tpch::BuildQuery(query, db);
       OCELOT_CHECK_OK(plan.status());
       mal::Program prog = *plan;
-      if (session->ocelot() != nullptr) prog = mal::RewriteForOcelot(prog);
+      if (session->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
 
       auto warm = mal::Run(prog, db.catalog, session.get());  // hot cache
       if (!warm.ok()) {

@@ -1,0 +1,42 @@
+#include "cstore/registry.h"
+
+#include <utility>
+
+namespace cstore {
+
+EngineRegistry& EngineRegistry::Global() {
+  static EngineRegistry* registry = new EngineRegistry();
+  return *registry;
+}
+
+void EngineRegistry::Register(const std::string& name, Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool EngineRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+common::Result<std::unique_ptr<EngineBundle>> EngineRegistry::Create(
+    const std::string& name, const EngineOptions& options) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [n, f] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return common::Status::NotFound("no engine named '" + name +
+                                    "' (registered: " + known + ")");
+  }
+  return it->second(options);
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) names.push_back(n);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace cstore

@@ -1,0 +1,88 @@
+#ifndef OCELOT_CSTORE_REGISTRY_H_
+#define OCELOT_CSTORE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vclock.h"
+#include "cstore/engine.h"
+
+namespace ocl {
+struct DeviceModel;  // registry options carry model overrides opaquely
+class Context;
+}  // namespace ocl
+
+namespace cstore {
+
+/// Construction-time knobs a caller may pass when resolving an engine by
+/// name. Benchmarks use the model overrides to scale device memory and
+/// driver constants with their data axes; everything else takes the presets.
+struct EngineOptions {
+  const ocl::DeviceModel* cpu_model = nullptr;  ///< override the CPU preset
+  const ocl::DeviceModel* gpu_model = nullptr;  ///< override the GPU preset
+};
+
+/// A constructed engine plus the runtime state that backs it (OpenCLite
+/// context, virtual clock, sub-engines). Factories return bundles so callers
+/// never have to know what an engine needs to stay alive — the prerequisite
+/// for resolving engines purely by name.
+class EngineBundle {
+ public:
+  virtual ~EngineBundle() = default;
+
+  virtual QueryEngine* engine() = 0;
+
+  /// The clock all measurements of this engine should read: Ocelot bundles
+  /// expose the context clock (which splices in modeled device time),
+  /// baselines their own session clock.
+  virtual common::VirtualClock* clock() = 0;
+
+  /// True for engines built from the hardware-oblivious operator set; plans
+  /// for these need the ocelot rewrite (module swap + sync instructions).
+  virtual bool hardware_oblivious() const { return false; }
+
+  /// The OpenCLite context, when the engine has one (null for baselines).
+  virtual ocl::Context* ocl_context() { return nullptr; }
+
+  /// Drains any device queues and settles the clock (clFinish analogue);
+  /// no-op for host-resident engines.
+  virtual void Finish() {}
+};
+
+/// Process-wide name -> factory map for execution engines. Each layer
+/// registers its own engines (monet: "seq", "par"; ocelot: "ocelot:cpu",
+/// "ocelot:gpu", "ocelot:multi", one per available device model), so
+/// benches, examples, tests and the MAL interpreter resolve engines by name
+/// instead of constructing them by hand.
+class EngineRegistry {
+ public:
+  using Factory =
+      std::function<common::Result<std::unique_ptr<EngineBundle>>(const EngineOptions&)>;
+
+  /// The process-wide registry instance.
+  static EngineRegistry& Global();
+
+  /// Registers (or replaces) the factory for `name`.
+  void Register(const std::string& name, Factory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates the engine registered under `name`; NotFound lists the
+  /// registered names when the lookup misses.
+  common::Result<std::unique_ptr<EngineBundle>> Create(
+      const std::string& name, const EngineOptions& options = {}) const;
+
+  /// Registered names in sorted order (benchmark sweeps iterate this).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace cstore
+
+#endif  // OCELOT_CSTORE_REGISTRY_H_

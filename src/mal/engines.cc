@@ -1,0 +1,31 @@
+#include "mal/engines.h"
+
+#include <algorithm>
+
+#include "monet/register.h"
+#include "ocelot/register.h"
+
+namespace mal {
+
+cstore::EngineRegistry& EnsureEngineRegistry() {
+  static bool registered = [] {
+    monet::RegisterEngines(&cstore::EngineRegistry::Global());
+    ocelot::RegisterEngines(&cstore::EngineRegistry::Global());
+    return true;
+  }();
+  (void)registered;
+  return cstore::EngineRegistry::Global();
+}
+
+std::vector<std::string> OrderedEngineNames() {
+  EnsureEngineRegistry();
+  std::vector<std::string> ordered = {"seq", "par", "ocelot:cpu", "ocelot:gpu"};
+  for (const std::string& name : cstore::EngineRegistry::Global().Names()) {
+    if (std::find(ordered.begin(), ordered.end(), name) == ordered.end()) {
+      ordered.push_back(name);
+    }
+  }
+  return ordered;
+}
+
+}  // namespace mal

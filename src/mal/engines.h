@@ -1,0 +1,23 @@
+#ifndef OCELOT_MAL_ENGINES_H_
+#define OCELOT_MAL_ENGINES_H_
+
+#include "cstore/registry.h"
+
+namespace mal {
+
+/// Ensures every built-in engine factory is registered with the global
+/// cstore::EngineRegistry: monet's baselines ("seq", "par") and ocelot's
+/// device engines ("ocelot:cpu", "ocelot:gpu", "ocelot:multi"). Idempotent
+/// and cheap; called by Session::Open, the bench harness and tests before
+/// any by-name lookup.
+cstore::EngineRegistry& EnsureEngineRegistry();
+
+/// Every registered engine name, the paper's configurations first ("seq",
+/// "par", "ocelot:cpu", "ocelot:gpu"), then all further registrations in
+/// sorted order — the canonical column/sweep order for benches, examples
+/// and reports.
+std::vector<std::string> OrderedEngineNames();
+
+}  // namespace mal
+
+#endif  // OCELOT_MAL_ENGINES_H_

@@ -5,8 +5,9 @@
 #include <limits>
 #include <map>
 
-#include "monet/par_engine.h"
-#include "monet/seq_engine.h"
+#include "common/logging.h"
+#include "mal/engines.h"
+#include "ocelot/engine.h"
 
 namespace mal {
 
@@ -28,41 +29,65 @@ const char* PipelineName(Pipeline p) {
       return "Ocelot/CPU";
     case Pipeline::kOcelotGpu:
       return "Ocelot/GPU";
+    case Pipeline::kOcelotMulti:
+      return "Ocelot/Multi";
   }
   return "?";
+}
+
+const char* EngineNameFor(Pipeline p) {
+  switch (p) {
+    case Pipeline::kSequential:
+      return "seq";
+    case Pipeline::kMitosis:
+      return "par";
+    case Pipeline::kOcelotCpu:
+      return "ocelot:cpu";
+    case Pipeline::kOcelotGpu:
+      return "ocelot:gpu";
+    case Pipeline::kOcelotMulti:
+      return "ocelot:multi";
+  }
+  return "?";
+}
+
+namespace {
+
+Pipeline PipelineForName(const std::string& name) {
+  for (Pipeline p : {Pipeline::kSequential, Pipeline::kMitosis, Pipeline::kOcelotCpu,
+                     Pipeline::kOcelotGpu, Pipeline::kOcelotMulti}) {
+    if (name == EngineNameFor(p)) return p;
+  }
+  return Pipeline::kSequential;  // best effort for external registrations
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Session>> Session::Open(const std::string& engine_name,
+                                               const cstore::EngineOptions& options) {
+  cstore::EngineRegistry& registry = EnsureEngineRegistry();
+  ASSIGN_OR_RETURN(std::unique_ptr<cstore::EngineBundle> bundle,
+                   registry.Create(engine_name, options));
+  auto session = std::unique_ptr<Session>(new Session());
+  session->pipeline_ = PipelineForName(engine_name);
+  session->engine_name_ = engine_name;
+  session->bundle_ = std::move(bundle);
+  return session;
 }
 
 std::unique_ptr<Session> Session::Create(Pipeline pipeline,
                                          const ocl::DeviceModel* gpu_model,
                                          const ocl::DeviceModel* cpu_model) {
-  auto session = std::unique_ptr<Session>(new Session());
-  session->pipeline_ = pipeline;
-  switch (pipeline) {
-    case Pipeline::kSequential:
-      session->engine_ = std::make_unique<monet::SequentialEngine>();
-      break;
-    case Pipeline::kMitosis:
-      session->engine_ = std::make_unique<monet::MitosisEngine>(&session->clock_);
-      break;
-    case Pipeline::kOcelotCpu: {
-      session->ocl_ctx_ = ocl::Context::Create(cpu_model != nullptr
-                                                   ? *cpu_model
-                                                   : ocl::XeonE5620Model());
-      auto engine = std::make_unique<ocelot::OcelotEngine>(session->ocl_ctx_.get());
-      session->ocelot_ = engine.get();
-      session->engine_ = std::move(engine);
-      break;
-    }
-    case Pipeline::kOcelotGpu: {
-      session->ocl_ctx_ = ocl::Context::Create(gpu_model != nullptr ? *gpu_model
-                                                                    : ocl::Gtx460Model());
-      auto engine = std::make_unique<ocelot::OcelotEngine>(session->ocl_ctx_.get());
-      session->ocelot_ = engine.get();
-      session->engine_ = std::move(engine);
-      break;
-    }
-  }
-  return session;
+  cstore::EngineOptions options;
+  options.gpu_model = gpu_model;
+  options.cpu_model = cpu_model;
+  auto session = Open(EngineNameFor(pipeline), options);
+  OCELOT_CHECK(session.ok()) << session.status().ToString();
+  return std::move(*session);
+}
+
+ocelot::OcelotEngine* Session::ocelot() {
+  return dynamic_cast<ocelot::OcelotEngine*>(bundle_->engine());
 }
 
 namespace {

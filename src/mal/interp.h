@@ -2,26 +2,49 @@
 #define OCELOT_MAL_INTERP_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/vclock.h"
 #include "cstore/catalog.h"
 #include "cstore/engine.h"
+#include "cstore/registry.h"
 #include "mal/program.h"
-#include "ocelot/engine.h"
-#include "ocl/context.h"
+
+namespace ocelot {
+class OcelotEngine;
+}
+namespace ocl {
+class Context;
+}
 
 namespace mal {
 
-/// The four execution configurations of the paper's evaluation (5.1).
-enum class Pipeline { kSequential, kMitosis, kOcelotCpu, kOcelotGpu };
+/// The execution configurations of the paper's evaluation (5.1), plus the
+/// multi-device scheduler this reproduction adds. Kept as a convenience
+/// enum over the registry's canonical engine names.
+enum class Pipeline { kSequential, kMitosis, kOcelotCpu, kOcelotGpu, kOcelotMulti };
 
 const char* PipelineName(Pipeline p);
 
-/// One execution configuration: an engine plus (for Ocelot) its OpenCLite
-/// context, sharing one virtual clock with the measurement harness.
+/// The engine-registry name a pipeline resolves to ("seq", "par",
+/// "ocelot:cpu", "ocelot:gpu", "ocelot:multi").
+const char* EngineNameFor(Pipeline p);
+
+/// One execution configuration, resolved by name from the global
+/// cstore::EngineRegistry: the engine plus whatever runtime state backs it
+/// (an OpenCLite context for the Ocelot engines, a session clock for the
+/// baselines), sharing one virtual clock with the measurement harness.
 class Session {
  public:
+  /// Resolves `engine_name` through the registry ("seq", "par",
+  /// "ocelot:cpu", "ocelot:gpu", "ocelot:multi", ...). NotFound lists the
+  /// registered names on a miss.
+  static common::Result<std::unique_ptr<Session>> Open(
+      const std::string& engine_name, const cstore::EngineOptions& options = {});
+
+  /// Convenience constructor over the paper's configurations; aborts if the
+  /// engine cannot be built (the built-ins always can).
   /// `gpu_model`/`cpu_model` override the GTX460/Xeon presets (benchmarks
   /// scale device memory and driver constants with their data axes).
   static std::unique_ptr<Session> Create(Pipeline pipeline,
@@ -29,23 +52,36 @@ class Session {
                                          const ocl::DeviceModel* cpu_model = nullptr);
 
   Pipeline pipeline() const { return pipeline_; }
-  cstore::QueryEngine* engine() { return engine_.get(); }
-  ocelot::OcelotEngine* ocelot() { return ocelot_; }  // null for baselines
+  const std::string& engine_name() const { return engine_name_; }
+  cstore::QueryEngine* engine() { return bundle_->engine(); }
+
+  /// True when plans must be rewritten for the hardware-oblivious operator
+  /// set (module swap + sync instructions) before running on this session.
+  bool hardware_oblivious() const { return bundle_->hardware_oblivious(); }
+
+  /// The single-device Ocelot engine, when this session wraps exactly one
+  /// (null for the baselines and for the multi-device scheduler). Benches
+  /// use this for cache/bitmap introspection.
+  ocelot::OcelotEngine* ocelot();
+
   /// The clock all measurements read: Ocelot pipelines share the OpenCLite
   /// context clock (which splices in modeled device time), baselines use
-  /// the session's own (MP bills parallel makespans against it).
-  common::VirtualClock* clock() {
-    return ocl_ctx_ != nullptr ? ocl_ctx_->clock() : &clock_;
-  }
-  ocl::Context* ocl_context() { return ocl_ctx_.get(); }
+  /// the session's own (MP bills parallel makespans against it) and the
+  /// scheduler its makespan-merged clock.
+  common::VirtualClock* clock() { return bundle_->clock(); }
+
+  /// The OpenCLite context, when the engine has one (null for baselines).
+  ocl::Context* ocl_context() { return bundle_->ocl_context(); }
+
+  /// Drains every device queue of the session and settles the clock
+  /// (clFinish analogue); no-op for host-resident engines.
+  void FinishDevices() { bundle_->Finish(); }
 
  private:
   Session() = default;
   Pipeline pipeline_ = Pipeline::kSequential;
-  common::VirtualClock clock_;
-  std::unique_ptr<ocl::Context> ocl_ctx_;
-  std::unique_ptr<cstore::QueryEngine> engine_;
-  ocelot::OcelotEngine* ocelot_ = nullptr;
+  std::string engine_name_;
+  std::unique_ptr<cstore::EngineBundle> bundle_;
 };
 
 /// Execution result: the values of the program's return variables.

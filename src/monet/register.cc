@@ -1,0 +1,48 @@
+#include "monet/register.h"
+
+#include <memory>
+
+#include "monet/par_engine.h"
+#include "monet/seq_engine.h"
+
+namespace monet {
+
+namespace {
+
+/// Baseline engines run in real host time against a session-owned clock.
+class BaselineBundle : public cstore::EngineBundle {
+ public:
+  cstore::QueryEngine* engine() override { return engine_.get(); }
+  common::VirtualClock* clock() override { return &clock_; }
+
+  static std::unique_ptr<BaselineBundle> Sequential() {
+    auto b = std::make_unique<BaselineBundle>();
+    b->engine_ = std::make_unique<SequentialEngine>();
+    return b;
+  }
+
+  static std::unique_ptr<BaselineBundle> Mitosis() {
+    auto b = std::make_unique<BaselineBundle>();
+    b->engine_ = std::make_unique<MitosisEngine>(&b->clock_);
+    return b;
+  }
+
+ private:
+  common::VirtualClock clock_;
+  std::unique_ptr<cstore::QueryEngine> engine_;
+};
+
+}  // namespace
+
+void RegisterEngines(cstore::EngineRegistry* registry) {
+  registry->Register("seq", [](const cstore::EngineOptions&)
+                                -> common::Result<std::unique_ptr<cstore::EngineBundle>> {
+    return std::unique_ptr<cstore::EngineBundle>(BaselineBundle::Sequential());
+  });
+  registry->Register("par", [](const cstore::EngineOptions&)
+                                -> common::Result<std::unique_ptr<cstore::EngineBundle>> {
+    return std::unique_ptr<cstore::EngineBundle>(BaselineBundle::Mitosis());
+  });
+}
+
+}  // namespace monet

@@ -1,0 +1,16 @@
+#ifndef OCELOT_MONET_REGISTER_H_
+#define OCELOT_MONET_REGISTER_H_
+
+#include "cstore/registry.h"
+
+namespace monet {
+
+/// Registers the MonetDB baseline engines with `registry`:
+///   "seq" — hand-written single-core operators (the paper's MS);
+///   "par" — hand-parallelized Mitosis/Dataflow operators (MP).
+/// Idempotent; mal::EnsureEngineRegistry() calls this once per process.
+void RegisterEngines(cstore::EngineRegistry* registry);
+
+}  // namespace monet
+
+#endif  // OCELOT_MONET_REGISTER_H_

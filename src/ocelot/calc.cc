@@ -229,7 +229,7 @@ Result<BatPtr> OcelotEngine::CmpScalar(CmpOp op, const BatPtr& a, double s) {
 namespace {
 
 /// Shared implementation of the int32 0/1 logical kernels.
-Result<BatPtr> BoolBinary(OcelotEngine* eng, MemoryManager* mm, ocl::Context* ctx,
+Result<BatPtr> BoolBinary(OcelotEngine* eng, MemoryManager* mm, ocl::DeviceContext* ctx,
                           const BatPtr& a, const BatPtr& b, bool is_or) {
   (void)eng;
   if (a == nullptr || b == nullptr) return Status::InvalidArgument("bool op: null input");
@@ -394,7 +394,7 @@ namespace {
 
 enum class ReduceOp { kSum, kMin, kMax };
 
-Result<double> Reduce(MemoryManager* mm, ocl::Context* ctx, const BatPtr& col,
+Result<double> Reduce(MemoryManager* mm, ocl::DeviceContext* ctx, const BatPtr& col,
                       ReduceOp op) {
   RETURN_IF_ERROR(CheckNumeric(col, "reduce input"));
   std::size_t n = col->size();

@@ -24,13 +24,20 @@ namespace ocelot {
 /// when `Sync` hands the BAT back to the host.
 class OcelotEngine : public cstore::QueryEngine {
  public:
-  explicit OcelotEngine(ocl::Context* ctx) : ctx_(ctx), mm_(ctx) {}
+  /// Binds to device slot `device_index` of `ctx`; the default is the
+  /// primary device, matching the historical one-device contexts.
+  explicit OcelotEngine(ocl::Context* ctx, int device_index = 0)
+      : OcelotEngine(ctx->at(device_index)) {}
+
+  /// Binds directly to one device slot (used by ocelot::Scheduler, which
+  /// creates one engine per slot of a multi-device context).
+  explicit OcelotEngine(ocl::DeviceContext* ctx) : ctx_(ctx), mm_(ctx) {}
 
   std::string name() const override {
     return std::string("Ocelot on ") + ctx_->device()->name();
   }
 
-  ocl::Context* context() { return ctx_; }
+  ocl::DeviceContext* context() { return ctx_; }
   MemoryManager* memory() { return &mm_; }
 
   common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
@@ -106,7 +113,7 @@ class OcelotEngine : public cstore::QueryEngine {
   // Implementation helpers shared by the operator translation units.
   friend struct EngineOps;
 
-  ocl::Context* ctx_;
+  ocl::DeviceContext* ctx_;
   MemoryManager mm_;
 };
 

@@ -249,7 +249,7 @@ std::size_t AccumulatorsPerGroup(std::size_t ngroups) {
 struct GroupAggArgs {
   OcelotEngine* eng;
   MemoryManager* mm;
-  ocl::Context* ctx;
+  ocl::DeviceContext* ctx;
   const BatPtr& vals;  // null for kCount
   const BatPtr& groups;
   std::size_t ngroups;

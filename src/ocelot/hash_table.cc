@@ -60,7 +60,7 @@ Result<std::shared_ptr<DeviceHashTable>> BuildHashTable(MemoryManager* mm,
     return std::static_pointer_cast<DeviceHashTable>(cached);
   }
 
-  ocl::Context* ctx = mm->context();
+  ocl::DeviceContext* ctx = mm->context();
   std::size_t n = build->size();
   // Unique-key builds size by the input; distinct-insert builds (grouping,
   // semijoins) size by an estimated cardinality.

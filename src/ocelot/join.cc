@@ -167,7 +167,7 @@ namespace {
 /// Shared semi/anti join: probes the distinct hash table of `right` and
 /// emits a *bitmap* over the left domain (a candidate handle, like a
 /// selection result).
-Result<BatPtr> SemiAnti(OcelotEngine* eng, MemoryManager* mm, ocl::Context* ctx,
+Result<BatPtr> SemiAnti(OcelotEngine* eng, MemoryManager* mm, ocl::DeviceContext* ctx,
                         const BatPtr& left, const BatPtr& right, bool anti) {
   (void)eng;
   RETURN_IF_ERROR(CheckIntCol(left, "semijoin left"));

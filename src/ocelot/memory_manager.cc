@@ -11,7 +11,7 @@ using common::Result;
 using common::Status;
 using cstore::BatPtr;
 
-MemoryManager::MemoryManager(ocl::Context* ctx) : ctx_(ctx) {
+MemoryManager::MemoryManager(ocl::DeviceContext* ctx) : ctx_(ctx) {
   listener_token_ = cstore::Bat::AddDeleteListener(
       [this](std::uint64_t id) { OnBatDeleted(id); });
 }

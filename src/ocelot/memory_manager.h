@@ -33,7 +33,9 @@ namespace ocelot {
 ///    only materialized into oid lists on demand (paper 4.1.1).
 class MemoryManager {
  public:
-  explicit MemoryManager(ocl::Context* ctx);
+  /// Binds to one device slot of a context; a multi-device context gets one
+  /// MemoryManager (inside one OcelotEngine) per slot.
+  explicit MemoryManager(ocl::DeviceContext* ctx);
   ~MemoryManager();
 
   MemoryManager(const MemoryManager&) = delete;
@@ -116,7 +118,7 @@ class MemoryManager {
   std::uint64_t reloads() const { return reloads_; }
   std::size_t cached_entries() const { return entries_.size(); }
 
-  ocl::Context* context() { return ctx_; }
+  ocl::DeviceContext* context() { return ctx_; }
 
  private:
   struct Entry {
@@ -145,7 +147,7 @@ class MemoryManager {
   void OnBatDeleted(std::uint64_t bat_id);
   void Hold(OpScope* scope, std::uint64_t id, Entry* entry);
 
-  ocl::Context* ctx_;
+  ocl::DeviceContext* ctx_;
   std::map<std::uint64_t, Entry> entries_;
   std::map<std::uint64_t, BitmapInfo> bitmaps_;
   std::map<std::uint64_t, CachedTable> hash_tables_;

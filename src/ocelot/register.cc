@@ -1,0 +1,93 @@
+#include "ocelot/register.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ocelot/engine.h"
+#include "ocelot/scheduler.h"
+#include "ocl/context.h"
+
+namespace ocelot {
+
+namespace {
+
+/// Applies the caller's model overrides to a discovered device model.
+ocl::DeviceModel WithOverride(const ocl::DeviceModel& discovered,
+                              const cstore::EngineOptions& options) {
+  if (discovered.type == ocl::DeviceType::kCpu && options.cpu_model != nullptr) {
+    return *options.cpu_model;
+  }
+  if (discovered.type == ocl::DeviceType::kGpu && options.gpu_model != nullptr) {
+    return *options.gpu_model;
+  }
+  return discovered;
+}
+
+const char* ShortName(ocl::DeviceType type) {
+  return type == ocl::DeviceType::kCpu ? "cpu" : "gpu";
+}
+
+/// One OcelotEngine on one device model.
+class SingleDeviceBundle : public cstore::EngineBundle {
+ public:
+  explicit SingleDeviceBundle(ocl::DeviceModel model)
+      : ctx_(ocl::Context::Create(std::move(model))), engine_(ctx_.get()) {}
+
+  cstore::QueryEngine* engine() override { return &engine_; }
+  common::VirtualClock* clock() override { return ctx_->clock(); }
+  bool hardware_oblivious() const override { return true; }
+  ocl::Context* ocl_context() override { return ctx_.get(); }
+  void Finish() override { ctx_->FinishAll(); }
+
+ private:
+  std::unique_ptr<ocl::Context> ctx_;
+  OcelotEngine engine_;
+};
+
+/// The Scheduler across every device of a multi-device context.
+class MultiDeviceBundle : public cstore::EngineBundle {
+ public:
+  explicit MultiDeviceBundle(std::vector<ocl::DeviceModel> models)
+      : ctx_(ocl::Context::Create(std::move(models))), scheduler_(ctx_.get()) {}
+
+  cstore::QueryEngine* engine() override { return &scheduler_; }
+  common::VirtualClock* clock() override { return scheduler_.clock(); }
+  bool hardware_oblivious() const override { return true; }
+  ocl::Context* ocl_context() override { return ctx_.get(); }
+  void Finish() override { ctx_->FinishAll(); }
+
+ private:
+  std::unique_ptr<ocl::Context> ctx_;
+  Scheduler scheduler_;
+};
+
+}  // namespace
+
+void RegisterEngines(cstore::EngineRegistry* registry) {
+  // One single-device engine per discovered device, named by device kind.
+  for (const ocl::DeviceModel& model : ocl::AvailableDevices()) {
+    std::string name = std::string("ocelot:") + ShortName(model.type);
+    registry->Register(
+        name, [model](const cstore::EngineOptions& options)
+                  -> common::Result<std::unique_ptr<cstore::EngineBundle>> {
+          return std::unique_ptr<cstore::EngineBundle>(
+              std::make_unique<SingleDeviceBundle>(WithOverride(model, options)));
+        });
+  }
+
+  // The multi-device scheduler over the whole device set.
+  registry->Register(
+      "ocelot:multi", [](const cstore::EngineOptions& options)
+                          -> common::Result<std::unique_ptr<cstore::EngineBundle>> {
+        std::vector<ocl::DeviceModel> models;
+        for (const ocl::DeviceModel& model : ocl::AvailableDevices()) {
+          models.push_back(WithOverride(model, options));
+        }
+        return std::unique_ptr<cstore::EngineBundle>(
+            std::make_unique<MultiDeviceBundle>(std::move(models)));
+      });
+}
+
+}  // namespace ocelot

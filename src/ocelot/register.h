@@ -1,0 +1,19 @@
+#ifndef OCELOT_OCELOT_REGISTER_H_
+#define OCELOT_OCELOT_REGISTER_H_
+
+#include "cstore/registry.h"
+
+namespace ocelot {
+
+/// Registers the hardware-oblivious engines with `registry`, driven by
+/// ocl::AvailableDevices():
+///   "ocelot:cpu" / "ocelot:gpu" — one OcelotEngine on a single device model
+///                                 (overridable through EngineOptions);
+///   "ocelot:multi"              — the Scheduler across *all* available
+///                                 devices (one engine per device slot).
+/// Idempotent; mal::EnsureEngineRegistry() calls this once per process.
+void RegisterEngines(cstore::EngineRegistry* registry);
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_REGISTER_H_

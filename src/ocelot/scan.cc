@@ -7,7 +7,7 @@ using common::Result;
 Result<ocl::EventPtr> EnqueueExclusiveScan(MemoryManager* mm, ocl::BufferPtr in,
                                            ocl::BufferPtr out, std::size_t n,
                                            ocl::EventList waits) {
-  ocl::Context* ctx = mm->context();
+  ocl::DeviceContext* ctx = mm->context();
   int groups = ctx->device()->model().default_groups();
   ASSIGN_OR_RETURN(ocl::BufferPtr partials,
                    mm->AllocScratch(static_cast<std::size_t>(groups) * 4));
@@ -57,7 +57,7 @@ Result<ocl::EventPtr> EnqueueExclusiveScan(MemoryManager* mm, ocl::BufferPtr in,
   return ctx->queue()->EnqueueKernel(std::move(k3), {e2});
 }
 
-Result<std::uint32_t> ReadScalarU32(ocl::Context* ctx, ocl::BufferPtr buffer,
+Result<std::uint32_t> ReadScalarU32(ocl::DeviceContext* ctx, ocl::BufferPtr buffer,
                                     std::size_t index, ocl::EventList waits) {
   std::uint32_t value = 0;
   // A 4-byte read; on discrete devices this is a (latency-bound) transfer,

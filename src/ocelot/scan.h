@@ -21,7 +21,7 @@ common::Result<ocl::EventPtr> EnqueueExclusiveScan(MemoryManager* mm,
                                                    ocl::EventList waits);
 
 /// Blocking 4-byte read of `buffer[index]` (uint32 element index).
-common::Result<std::uint32_t> ReadScalarU32(ocl::Context* ctx, ocl::BufferPtr buffer,
+common::Result<std::uint32_t> ReadScalarU32(ocl::DeviceContext* ctx, ocl::BufferPtr buffer,
                                             std::size_t index, ocl::EventList waits);
 
 }  // namespace ocelot

@@ -1,0 +1,632 @@
+// The multi-device execution layer (see scheduler.h): Mitosis-style
+// horizontal fragments over the device set, per-device execution through the
+// hardware-oblivious operator set, host-side merge, makespan clock billing.
+
+#include "ocelot/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "monet/mitosis.h"
+
+namespace ocelot {
+
+using common::Nanos;
+using common::Result;
+using common::Status;
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::GroupResult;
+using cstore::JoinResult;
+using cstore::kIntNil;
+using cstore::oid_t;
+using cstore::SortResult;
+using cstore::ValType;
+
+namespace {
+
+Status CheckHostResident(const BatPtr& b, const char* what) {
+  if (b != nullptr && b->ocelot_owned()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": scheduler inputs must be host-resident "
+                                   "(sync the producing engine first)");
+  }
+  return Status::Ok();
+}
+
+/// Copies rows [begin, end) of `src` into a fresh BAT (all tails are 4-byte).
+BatPtr CopyRows(const BatPtr& src, std::size_t begin, std::size_t end) {
+  BatPtr out = Bat::Make(src->type(), end - begin);
+  std::memcpy(out->data(), static_cast<const std::byte*>(src->data()) + begin * 4,
+              (end - begin) * 4);
+  out->set_nonil(src->nonil());
+  if (src->sorted()) out->set_sorted(true);
+  return out;
+}
+
+/// Concatenates fragment results in fragment order.
+BatPtr ConcatParts(ValType type, const std::vector<BatPtr>& parts) {
+  std::size_t total = 0;
+  bool nonil = true;
+  for (const BatPtr& p : parts) {
+    total += p->size();
+    nonil = nonil && p->nonil();
+  }
+  BatPtr out = Bat::Make(type, total);
+  std::size_t at = 0;
+  for (const BatPtr& p : parts) {
+    std::memcpy(static_cast<std::byte*>(out->data()) + at * 4, p->data(),
+                p->size() * 4);
+    at += p->size();
+  }
+  out->set_nonil(nonil);
+  return out;
+}
+
+/// Shifts every oid of a fragment result by its fragment's base row.
+void OffsetOids(const BatPtr& b, oid_t base) {
+  for (oid_t& o : b->oids()) o = o + base;
+}
+
+/// Marks a concatenated candidate list with the properties every engine
+/// guarantees for selection results (sorted unique oids, no nils).
+void MarkCandidate(const BatPtr& b) {
+  b->set_sorted(true);
+  b->set_key(true);
+  b->set_nonil(true);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(ocl::Context* ctx) : ctx_(ctx) {
+  engines_.reserve(static_cast<std::size_t>(ctx->device_count()));
+  for (int i = 0; i < ctx->device_count(); ++i) {
+    engines_.push_back(std::make_unique<OcelotEngine>(ctx->at(i)));
+  }
+}
+
+std::string Scheduler::name() const {
+  std::string n = "Ocelot scheduler on {";
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (i != 0) n += ", ";
+    n += engines_[i]->context()->device()->name();
+  }
+  return n + "}";
+}
+
+int Scheduler::PartsFor(std::size_t n) const {
+  if (n == 0) return 1;
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(device_count()), n));
+}
+
+void Scheduler::DropCachedHashTable(std::uint64_t id) {
+  for (auto& engine : engines_) engine->memory()->DropCachedHashTable(id);
+}
+
+Status Scheduler::SyncPart(int i, const BatPtr& bat) {
+  return engines_[static_cast<std::size_t>(i)]->Sync(bat);
+}
+
+Status Scheduler::RunPartitioned(int parts,
+                                 const std::function<Status(int)>& part) {
+  Nanos t0 = clock_.Now();
+  common::Stopwatch real;
+  Nanos longest = 0;
+  Status status;
+  for (int i = 0; i < parts && status.ok(); ++i) {
+    common::VirtualClock* device_clock = ctx_->at(i)->clock();
+    Nanos d0 = device_clock->Now();
+    status = part(i);
+    longest = std::max(longest, device_clock->Now() - d0);
+  }
+  // The host ran the fragments back to back; the model says they ran
+  // concurrently, so the session clock advances by the makespan only. Done
+  // on the error path too: the fragments that did execute must not leave
+  // their real host time billed as virtual time (vclock.h contract).
+  clock_.Deduct(real.ElapsedNanos());
+  clock_.AdvanceTo(t0 + longest);
+  return status;
+}
+
+// --- Selection ---------------------------------------------------------------
+
+Result<BatPtr> Scheduler::SelectRange(const BatPtr& col, const BatPtr& cand,
+                                      cstore::Bound lo, cstore::Bound hi) {
+  if (col == nullptr) return Status::InvalidArgument("select input is null");
+  RETURN_IF_ERROR(CheckHostResident(col, "select input"));
+  RETURN_IF_ERROR(CheckHostResident(cand, "select candidates"));
+
+  std::size_t n = col->size();
+  int parts = PartsFor(n);
+  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    BatPtr col_frag = CopyRows(col, s.begin, s.end);
+    BatPtr cand_frag;  // candidates of this fragment, rebased to it
+    if (cand != nullptr) {
+      auto cv = cand->oids();
+      auto first = std::lower_bound(cv.begin(), cv.end(), static_cast<oid_t>(s.begin));
+      auto last = std::lower_bound(first, cv.end(), static_cast<oid_t>(s.end));
+      if (first == last) {  // no candidate falls into this fragment
+        results[static_cast<std::size_t>(i)] = Bat::MakeOid(0);
+        MarkCandidate(results[static_cast<std::size_t>(i)]);
+        return Status::Ok();
+      }
+      cand_frag = Bat::MakeOid(static_cast<std::size_t>(last - first));
+      auto out = cand_frag->oids();
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        out[k] = *(first + static_cast<std::ptrdiff_t>(k)) - static_cast<oid_t>(s.begin);
+      }
+      MarkCandidate(cand_frag);
+    }
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    ASSIGN_OR_RETURN(BatPtr r, eng->SelectRange(col_frag, cand_frag, lo, hi));
+    RETURN_IF_ERROR(SyncPart(i, r));
+    OffsetOids(r, static_cast<oid_t>(s.begin));
+    results[static_cast<std::size_t>(i)] = std::move(r);
+    return Status::Ok();
+  }));
+
+  BatPtr merged = ConcatParts(ValType::kOid, results);
+  MarkCandidate(merged);
+  return merged;
+}
+
+Result<BatPtr> Scheduler::CandUnion(const BatPtr& a, const BatPtr& b) {
+  if (a == nullptr || b == nullptr) return Status::InvalidArgument("union input null");
+  RETURN_IF_ERROR(CheckHostResident(a, "union lhs"));
+  RETURN_IF_ERROR(CheckHostResident(b, "union rhs"));
+  // Both inputs are host-resident sorted oid lists; the merge is pure host
+  // work and cheaper than any device round-trip.
+  auto av = a->oids();
+  auto bv = b->oids();
+  std::vector<oid_t> merged;
+  merged.reserve(av.size() + bv.size());
+  std::set_union(av.begin(), av.end(), bv.begin(), bv.end(),
+                 std::back_inserter(merged));
+  BatPtr out = Bat::MakeOid(merged.size());
+  std::copy(merged.begin(), merged.end(), out->oids().begin());
+  MarkCandidate(out);
+  return out;
+}
+
+// --- Projection / joins ------------------------------------------------------
+
+Result<BatPtr> Scheduler::Project(const BatPtr& oids, const BatPtr& col) {
+  if (oids == nullptr || col == nullptr) {
+    return Status::InvalidArgument("projection input is null");
+  }
+  RETURN_IF_ERROR(CheckHostResident(oids, "projection head"));
+  RETURN_IF_ERROR(CheckHostResident(col, "projection tail"));
+
+  // Partition the oid list; the gathered column is replicated (the gather
+  // needs random access to all of it).
+  std::size_t n = oids->size();
+  int parts = PartsFor(n);
+  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    BatPtr oid_frag = CopyRows(oids, s.begin, s.end);
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    ASSIGN_OR_RETURN(BatPtr r, eng->Project(oid_frag, col));
+    RETURN_IF_ERROR(SyncPart(i, r));
+    results[static_cast<std::size_t>(i)] = std::move(r);
+    return Status::Ok();
+  }));
+  return ConcatParts(col->type(), results);
+}
+
+Result<JoinResult> Scheduler::LeftFragmentJoin(
+    const BatPtr& left,
+    const std::function<Result<JoinResult>(OcelotEngine*, const BatPtr&)>& op) {
+  std::size_t n = left->size();
+  int parts = PartsFor(n);
+  std::vector<JoinResult> results(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    BatPtr left_frag = CopyRows(left, s.begin, s.end);
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    ASSIGN_OR_RETURN(JoinResult r, op(eng, left_frag));
+    RETURN_IF_ERROR(SyncPart(i, r.left));
+    RETURN_IF_ERROR(SyncPart(i, r.right));
+    OffsetOids(r.left, static_cast<oid_t>(s.begin));
+    results[static_cast<std::size_t>(i)] = std::move(r);
+    return Status::Ok();
+  }));
+
+  // Fragment outputs are in probe (left) order, so concatenation reproduces
+  // the single-device pair order exactly.
+  std::vector<BatPtr> lefts, rights;
+  for (JoinResult& r : results) {
+    lefts.push_back(std::move(r.left));
+    rights.push_back(std::move(r.right));
+  }
+  JoinResult merged;
+  merged.left = ConcatParts(ValType::kOid, lefts);
+  merged.left->set_sorted(true);
+  merged.right = ConcatParts(ValType::kOid, rights);
+  return merged;
+}
+
+Result<JoinResult> Scheduler::HashJoin(const BatPtr& left, const BatPtr& right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("join input is null");
+  }
+  RETURN_IF_ERROR(CheckHostResident(left, "join left"));
+  RETURN_IF_ERROR(CheckHostResident(right, "join right"));
+  // Fragment-and-replicate: the probe side is partitioned, the build side is
+  // replicated (every device builds/caches its own hash table of `right`).
+  return LeftFragmentJoin(left, [&right](OcelotEngine* eng, const BatPtr& frag) {
+    return eng->HashJoin(frag, right);
+  });
+}
+
+Result<JoinResult> Scheduler::ThetaJoin(const BatPtr& left, const BatPtr& right,
+                                        cstore::CmpOp op) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("theta join: null input");
+  }
+  RETURN_IF_ERROR(CheckHostResident(left, "theta join left"));
+  RETURN_IF_ERROR(CheckHostResident(right, "theta join right"));
+  return LeftFragmentJoin(left, [&right, op](OcelotEngine* eng, const BatPtr& frag) {
+    return eng->ThetaJoin(frag, right, op);
+  });
+}
+
+Result<BatPtr> Scheduler::LeftFragmentFilter(
+    const BatPtr& left,
+    const std::function<Result<BatPtr>(OcelotEngine*, const BatPtr&)>& op) {
+  std::size_t n = left->size();
+  int parts = PartsFor(n);
+  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    BatPtr left_frag = CopyRows(left, s.begin, s.end);
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    ASSIGN_OR_RETURN(BatPtr r, op(eng, left_frag));
+    RETURN_IF_ERROR(SyncPart(i, r));
+    OffsetOids(r, static_cast<oid_t>(s.begin));
+    results[static_cast<std::size_t>(i)] = std::move(r);
+    return Status::Ok();
+  }));
+  BatPtr merged = ConcatParts(ValType::kOid, results);
+  MarkCandidate(merged);
+  return merged;
+}
+
+Result<BatPtr> Scheduler::SemiJoin(const BatPtr& left, const BatPtr& right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("semijoin input is null");
+  }
+  RETURN_IF_ERROR(CheckHostResident(left, "semijoin left"));
+  RETURN_IF_ERROR(CheckHostResident(right, "semijoin right"));
+  return LeftFragmentFilter(left, [&right](OcelotEngine* eng, const BatPtr& frag) {
+    return eng->SemiJoin(frag, right);
+  });
+}
+
+Result<BatPtr> Scheduler::AntiJoin(const BatPtr& left, const BatPtr& right) {
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("antijoin input is null");
+  }
+  RETURN_IF_ERROR(CheckHostResident(left, "antijoin left"));
+  RETURN_IF_ERROR(CheckHostResident(right, "antijoin right"));
+  return LeftFragmentFilter(left, [&right](OcelotEngine* eng, const BatPtr& frag) {
+    return eng->AntiJoin(frag, right);
+  });
+}
+
+// --- Sort / group (order-sensitive: whole on the primary device) -------------
+
+Result<SortResult> Scheduler::Sort(const BatPtr& col) {
+  RETURN_IF_ERROR(CheckHostResident(col, "sort input"));
+  SortResult result;
+  RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
+    ASSIGN_OR_RETURN(result, engines_[0]->Sort(col));
+    RETURN_IF_ERROR(SyncPart(0, result.values));
+    RETURN_IF_ERROR(SyncPart(0, result.order));
+    return Status::Ok();
+  }));
+  return result;
+}
+
+Result<GroupResult> Scheduler::GroupBy(const BatPtr& col, const GroupResult* prev) {
+  RETURN_IF_ERROR(CheckHostResident(col, "group input"));
+  // Group ids must be globally dense and consistent; repartitioning them
+  // would need an id-remap pass, so grouping runs whole on device 0.
+  GroupResult result;
+  RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
+    ASSIGN_OR_RETURN(result, engines_[0]->GroupBy(col, prev));
+    RETURN_IF_ERROR(SyncPart(0, result.groups));
+    RETURN_IF_ERROR(SyncPart(0, result.extents));
+    return Status::Ok();
+  }));
+  return result;
+}
+
+// --- Grouped aggregation -----------------------------------------------------
+
+Result<BatPtr> Scheduler::PartitionedSubAgg(
+    const BatPtr& vals, const BatPtr& groups, std::size_t ngroups,
+    const std::function<Result<BatPtr>(OcelotEngine*, const BatPtr&,
+                                       const BatPtr&)>& op,
+    const std::function<void(BatPtr&, const BatPtr&)>& merge) {
+  RETURN_IF_ERROR(CheckHostResident(vals, "aggregate input"));
+  RETURN_IF_ERROR(CheckHostResident(groups, "group ids"));
+  if (groups == nullptr) return Status::InvalidArgument("group ids are null");
+  if (vals != nullptr && vals->size() != groups->size()) {
+    return Status::InvalidArgument("aggregate input and group ids differ in size");
+  }
+  std::size_t n = groups->size();
+  int parts = PartsFor(n);
+  std::vector<BatPtr> partials(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    BatPtr vals_frag = vals != nullptr ? CopyRows(vals, s.begin, s.end) : nullptr;
+    BatPtr groups_frag = CopyRows(groups, s.begin, s.end);
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    ASSIGN_OR_RETURN(BatPtr p, op(eng, vals_frag, groups_frag));
+    RETURN_IF_ERROR(SyncPart(i, p));
+    partials[static_cast<std::size_t>(i)] = std::move(p);
+    return Status::Ok();
+  }));
+  (void)ngroups;
+  // Merge into a fresh BAT: the partials were synced through their devices'
+  // memory managers, which may still cache their device buffers — mutating
+  // a synced BAT in place would leave such a cache stale.
+  BatPtr acc = CopyRows(partials[0], 0, partials[0]->size());
+  for (std::size_t i = 1; i < partials.size(); ++i) merge(acc, partials[i]);
+  return acc;
+}
+
+namespace {
+
+/// Element-wise partial merges over `ngroups`-sized aggregate BATs, with the
+/// engines' nil conventions (kIntNil / NaN marks "group empty so far").
+void MergeAdd(BatPtr& acc, const BatPtr& part) {
+  if (acc->type() == ValType::kFloat) {
+    auto a = acc->floats();
+    auto p = part->floats();
+    for (std::size_t k = 0; k < a.size(); ++k) a[k] += p[k];
+  } else {
+    auto a = acc->ints();
+    auto p = part->ints();
+    for (std::size_t k = 0; k < a.size(); ++k) a[k] += p[k];
+  }
+}
+
+void MergeMinMax(BatPtr& acc, const BatPtr& part, bool want_min) {
+  if (acc->type() == ValType::kFloat) {
+    auto a = acc->floats();
+    auto p = part->floats();
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (std::isnan(p[k])) continue;
+      if (std::isnan(a[k]) || (want_min ? p[k] < a[k] : p[k] > a[k])) a[k] = p[k];
+    }
+  } else {
+    auto a = acc->ints();
+    auto p = part->ints();
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (p[k] == kIntNil) continue;
+      if (a[k] == kIntNil || (want_min ? p[k] < a[k] : p[k] > a[k])) a[k] = p[k];
+    }
+  }
+}
+
+}  // namespace
+
+Result<BatPtr> Scheduler::SubSum(const BatPtr& vals, const BatPtr& groups,
+                                 std::size_t ngroups) {
+  return PartitionedSubAgg(
+      vals, groups, ngroups,
+      [ngroups](OcelotEngine* eng, const BatPtr& v, const BatPtr& g) {
+        return eng->SubSum(v, g, ngroups);
+      },
+      [](BatPtr& acc, const BatPtr& p) { MergeAdd(acc, p); });
+}
+
+Result<BatPtr> Scheduler::SubCount(const BatPtr& groups, std::size_t ngroups) {
+  return PartitionedSubAgg(
+      nullptr, groups, ngroups,
+      [ngroups](OcelotEngine* eng, const BatPtr&, const BatPtr& g) {
+        return eng->SubCount(g, ngroups);
+      },
+      [](BatPtr& acc, const BatPtr& p) { MergeAdd(acc, p); });
+}
+
+Result<BatPtr> Scheduler::SubMin(const BatPtr& vals, const BatPtr& groups,
+                                 std::size_t ngroups) {
+  return PartitionedSubAgg(
+      vals, groups, ngroups,
+      [ngroups](OcelotEngine* eng, const BatPtr& v, const BatPtr& g) {
+        return eng->SubMin(v, g, ngroups);
+      },
+      [](BatPtr& acc, const BatPtr& p) { MergeMinMax(acc, p, /*want_min=*/true); });
+}
+
+Result<BatPtr> Scheduler::SubMax(const BatPtr& vals, const BatPtr& groups,
+                                 std::size_t ngroups) {
+  return PartitionedSubAgg(
+      vals, groups, ngroups,
+      [ngroups](OcelotEngine* eng, const BatPtr& v, const BatPtr& g) {
+        return eng->SubMax(v, g, ngroups);
+      },
+      [](BatPtr& acc, const BatPtr& p) { MergeMinMax(acc, p, /*want_min=*/false); });
+}
+
+Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
+                                 std::size_t ngroups) {
+  // avg has no exact distributed merge through the existing operator set:
+  // dividing merged sums by SubCount would weigh nil values into the
+  // denominator (the engines divide by the *non-nil* count). Run it whole
+  // on the primary device until a per-group non-nil count operator exists.
+  RETURN_IF_ERROR(CheckHostResident(vals, "subavg input"));
+  RETURN_IF_ERROR(CheckHostResident(groups, "group ids"));
+  BatPtr result;
+  RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
+    ASSIGN_OR_RETURN(result, engines_[0]->SubAvg(vals, groups, ngroups));
+    return SyncPart(0, result);
+  }));
+  return result;
+}
+
+// --- Ungrouped aggregation ---------------------------------------------------
+
+Result<double> Scheduler::PartitionedReduce(
+    const BatPtr& col,
+    const std::function<Result<double>(OcelotEngine*, const BatPtr&)>& op,
+    const std::function<double(double, double)>& merge) {
+  RETURN_IF_ERROR(CheckHostResident(col, "reduce input"));
+  std::size_t n = col == nullptr ? 0 : col->size();
+  if (col == nullptr || n == 0) {
+    // Preserve the engine's own null/empty-input semantics.
+    double result = 0;
+    RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
+      ASSIGN_OR_RETURN(result, op(engines_[0].get(), col));
+      return Status::Ok();
+    }));
+    return result;
+  }
+  int parts = PartsFor(n);
+  std::vector<double> partials(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    BatPtr frag = CopyRows(col, s.begin, s.end);
+    ASSIGN_OR_RETURN(partials[static_cast<std::size_t>(i)],
+                     op(engines_[static_cast<std::size_t>(i)].get(), frag));
+    return Status::Ok();
+  }));
+  double acc = partials[0];
+  for (std::size_t i = 1; i < partials.size(); ++i) acc = merge(acc, partials[i]);
+  return acc;
+}
+
+Result<double> Scheduler::Sum(const BatPtr& col) {
+  return PartitionedReduce(
+      col, [](OcelotEngine* eng, const BatPtr& c) { return eng->Sum(c); },
+      [](double a, double b) { return a + b; });
+}
+
+Result<double> Scheduler::Min(const BatPtr& col) {
+  return PartitionedReduce(
+      col, [](OcelotEngine* eng, const BatPtr& c) { return eng->Min(c); },
+      [](double a, double b) { return std::min(a, b); });
+}
+
+Result<double> Scheduler::Max(const BatPtr& col) {
+  return PartitionedReduce(
+      col, [](OcelotEngine* eng, const BatPtr& c) { return eng->Max(c); },
+      [](double a, double b) { return std::max(a, b); });
+}
+
+Result<std::int64_t> Scheduler::Count(const BatPtr& col) {
+  if (col == nullptr) return Status::InvalidArgument("count input is null");
+  RETURN_IF_ERROR(CheckHostResident(col, "count input"));
+  // Scheduler inputs are host-resident, so cardinality is known directly —
+  // the same answer every engine gives for materialized BATs.
+  return static_cast<std::int64_t>(col->size());
+}
+
+// --- Column arithmetic (all element-wise: fragment every input) --------------
+
+Result<BatPtr> Scheduler::ElementWise(
+    const std::vector<BatPtr>& inputs,
+    const std::function<Result<BatPtr>(OcelotEngine*, const std::vector<BatPtr>&)>&
+        op) {
+  for (const BatPtr& in : inputs) {
+    if (in == nullptr) return Status::InvalidArgument("batcalc input is null");
+    RETURN_IF_ERROR(CheckHostResident(in, "batcalc input"));
+  }
+  std::size_t n = inputs[0]->size();
+  for (const BatPtr& in : inputs) {
+    if (in->size() != n) {
+      // Let the single-device engine produce its own size-mismatch error.
+      BatPtr result;
+      RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
+        ASSIGN_OR_RETURN(result, op(engines_[0].get(), inputs));
+        RETURN_IF_ERROR(SyncPart(0, result));
+        return Status::Ok();
+      }));
+      return result;
+    }
+  }
+
+  int parts = PartsFor(n);
+  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
+  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
+    monet::Slice s = monet::SliceOf(n, i, parts);
+    std::vector<BatPtr> frags;
+    frags.reserve(inputs.size());
+    for (const BatPtr& in : inputs) frags.push_back(CopyRows(in, s.begin, s.end));
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    ASSIGN_OR_RETURN(BatPtr r, op(eng, frags));
+    RETURN_IF_ERROR(SyncPart(i, r));
+    results[static_cast<std::size_t>(i)] = std::move(r);
+    return Status::Ok();
+  }));
+  return ConcatParts(results[0]->type(), results);
+}
+
+Result<BatPtr> Scheduler::Calc(cstore::CalcOp op, const BatPtr& a, const BatPtr& b) {
+  return ElementWise({a, b}, [op](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->Calc(op, f[0], f[1]);
+  });
+}
+
+Result<BatPtr> Scheduler::CalcScalar(cstore::CalcOp op, const BatPtr& a, double s,
+                                     bool scalar_left) {
+  return ElementWise(
+      {a}, [op, s, scalar_left](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+        return eng->CalcScalar(op, f[0], s, scalar_left);
+      });
+}
+
+Result<BatPtr> Scheduler::Cmp(cstore::CmpOp op, const BatPtr& a, const BatPtr& b) {
+  return ElementWise({a, b}, [op](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->Cmp(op, f[0], f[1]);
+  });
+}
+
+Result<BatPtr> Scheduler::CmpScalar(cstore::CmpOp op, const BatPtr& a, double s) {
+  return ElementWise({a}, [op, s](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->CmpScalar(op, f[0], s);
+  });
+}
+
+Result<BatPtr> Scheduler::BoolOr(const BatPtr& a, const BatPtr& b) {
+  return ElementWise({a, b}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->BoolOr(f[0], f[1]);
+  });
+}
+
+Result<BatPtr> Scheduler::BoolAnd(const BatPtr& a, const BatPtr& b) {
+  return ElementWise({a, b}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->BoolAnd(f[0], f[1]);
+  });
+}
+
+Result<BatPtr> Scheduler::IfThenElseConst(const BatPtr& cond, const BatPtr& then_vals,
+                                          double else_val) {
+  return ElementWise(
+      {cond, then_vals},
+      [else_val](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+        return eng->IfThenElseConst(f[0], f[1], else_val);
+      });
+}
+
+Result<BatPtr> Scheduler::Year(const BatPtr& col) {
+  return ElementWise({col}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->Year(f[0]);
+  });
+}
+
+Result<BatPtr> Scheduler::CastToFloat(const BatPtr& col) {
+  return ElementWise({col}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+    return eng->CastToFloat(f[0]);
+  });
+}
+
+}  // namespace ocelot

@@ -1,0 +1,172 @@
+#ifndef OCELOT_OCELOT_SCHEDULER_H_
+#define OCELOT_OCELOT_SCHEDULER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/vclock.h"
+#include "cstore/engine.h"
+#include "ocelot/engine.h"
+#include "ocl/context.h"
+
+namespace ocelot {
+
+/// The multi-device execution layer: one hardware-oblivious operator set
+/// running concurrently on every device of a multi-device ocl::Context.
+///
+/// The Scheduler is itself a cstore::QueryEngine. It owns one OcelotEngine
+/// per device slot and, per operator call, horizontally partitions the
+/// operator's inputs across the devices with MonetDB's Mitosis slicing
+/// (monet::SliceOf), runs each fragment on its device's engine, synchronizes
+/// the fragment results through each engine's memory manager, and merges
+/// them on the host:
+///
+///  * row-partitionable operators (selection, projection, batcalc, the
+///    probe side of joins, grouped/ungrouped aggregation) run as true
+///    fragments — each device sees 1/N of the rows;
+///  * order-sensitive operators without a cheap merge (sort, grouping)
+///    run whole on the primary device;
+///  * candidate lists and join pair lists merge by offset-shifted
+///    concatenation, which reproduces the single-device result exactly.
+///
+/// Virtual time: each device bills its fragment onto its own slot clock;
+/// the scheduler advances its session clock by the *makespan* (the slowest
+/// device's delta), modeling the fragments as concurrent even though the
+/// host executes them back to back.
+///
+/// Contract: inputs must be host-resident BATs (catalog columns or results
+/// this scheduler produced). Scheduler results are always host-resident, so
+/// Sync is a no-op and chains of scheduler operators compose naturally.
+class Scheduler : public cstore::QueryEngine {
+ public:
+  /// Builds one engine per device of `ctx` (which must outlive the
+  /// scheduler). A one-device context degenerates to single-device Ocelot
+  /// with a merge layer on top.
+  explicit Scheduler(ocl::Context* ctx);
+
+  std::string name() const override;
+
+  int device_count() const { return static_cast<int>(engines_.size()); }
+  OcelotEngine* engine(int i) { return engines_[static_cast<std::size_t>(i)].get(); }
+
+  /// The merged session clock operator makespans are billed onto.
+  common::VirtualClock* clock() { return &clock_; }
+
+  /// Forgets BAT `id`'s cached hash table on every device (benchmarks
+  /// measuring cold builds; joins replicate the build per device).
+  void DropCachedHashTable(std::uint64_t id);
+
+  common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
+                                             const cstore::BatPtr& cand,
+                                             cstore::Bound lo,
+                                             cstore::Bound hi) override;
+  common::Result<cstore::BatPtr> CandUnion(const cstore::BatPtr& a,
+                                           const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> Project(const cstore::BatPtr& oids,
+                                         const cstore::BatPtr& col) override;
+  common::Result<cstore::JoinResult> HashJoin(const cstore::BatPtr& left,
+                                              const cstore::BatPtr& right) override;
+  common::Result<cstore::JoinResult> ThetaJoin(const cstore::BatPtr& left,
+                                               const cstore::BatPtr& right,
+                                               cstore::CmpOp op) override;
+  common::Result<cstore::BatPtr> SemiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::BatPtr> AntiJoin(const cstore::BatPtr& left,
+                                          const cstore::BatPtr& right) override;
+  common::Result<cstore::SortResult> Sort(const cstore::BatPtr& col) override;
+  common::Result<cstore::GroupResult> GroupBy(const cstore::BatPtr& col,
+                                              const cstore::GroupResult* prev) override;
+  common::Result<cstore::BatPtr> SubSum(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubCount(const cstore::BatPtr& groups,
+                                          std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMin(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubMax(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<cstore::BatPtr> SubAvg(const cstore::BatPtr& vals,
+                                        const cstore::BatPtr& groups,
+                                        std::size_t ngroups) override;
+  common::Result<double> Sum(const cstore::BatPtr& col) override;
+  common::Result<double> Min(const cstore::BatPtr& col) override;
+  common::Result<double> Max(const cstore::BatPtr& col) override;
+  common::Result<std::int64_t> Count(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> Calc(cstore::CalcOp op, const cstore::BatPtr& a,
+                                      const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CalcScalar(cstore::CalcOp op, const cstore::BatPtr& a,
+                                            double s, bool scalar_left) override;
+  common::Result<cstore::BatPtr> Cmp(cstore::CmpOp op, const cstore::BatPtr& a,
+                                     const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> CmpScalar(cstore::CmpOp op, const cstore::BatPtr& a,
+                                           double s) override;
+  common::Result<cstore::BatPtr> BoolOr(const cstore::BatPtr& a,
+                                        const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> BoolAnd(const cstore::BatPtr& a,
+                                         const cstore::BatPtr& b) override;
+  common::Result<cstore::BatPtr> IfThenElseConst(const cstore::BatPtr& cond,
+                                                 const cstore::BatPtr& then_vals,
+                                                 double else_val) override;
+  common::Result<cstore::BatPtr> Year(const cstore::BatPtr& col) override;
+  common::Result<cstore::BatPtr> CastToFloat(const cstore::BatPtr& col) override;
+
+ private:
+  /// Number of fragments for an `n`-row input: every device gets one while
+  /// there are rows to go around.
+  int PartsFor(std::size_t n) const;
+
+  /// Runs `part(i)` for fragments 0..parts-1 (fragment i on device i),
+  /// measuring each device's virtual-time delta, then bills the makespan of
+  /// the fragment set onto the session clock (real host time is deducted —
+  /// the fragments are modeled as concurrent).
+  common::Status RunPartitioned(int parts,
+                                const std::function<common::Status(int)>& part);
+
+  /// Element-wise operator skeleton: slices every BAT in `inputs` by rows,
+  /// applies `op` per fragment, concatenates the fragment results.
+  common::Result<cstore::BatPtr> ElementWise(
+      const std::vector<cstore::BatPtr>& inputs,
+      const std::function<common::Result<cstore::BatPtr>(
+          OcelotEngine*, const std::vector<cstore::BatPtr>&)>& op);
+
+  /// Left-fragment join skeleton shared by HashJoin/ThetaJoin.
+  common::Result<cstore::JoinResult> LeftFragmentJoin(
+      const cstore::BatPtr& left,
+      const std::function<common::Result<cstore::JoinResult>(
+          OcelotEngine*, const cstore::BatPtr&)>& op);
+
+  /// Left-fragment semi/anti join skeleton (oid-list results).
+  common::Result<cstore::BatPtr> LeftFragmentFilter(
+      const cstore::BatPtr& left,
+      const std::function<common::Result<cstore::BatPtr>(
+          OcelotEngine*, const cstore::BatPtr&)>& op);
+
+  /// Grouped-aggregate skeleton: slices (vals, groups) by rows, computes an
+  /// `ngroups`-sized partial per device, merges with `merge`.
+  common::Result<cstore::BatPtr> PartitionedSubAgg(
+      const cstore::BatPtr& vals, const cstore::BatPtr& groups, std::size_t ngroups,
+      const std::function<common::Result<cstore::BatPtr>(
+          OcelotEngine*, const cstore::BatPtr&, const cstore::BatPtr&)>& op,
+      const std::function<void(cstore::BatPtr&, const cstore::BatPtr&)>& merge);
+
+  /// Scalar-aggregate skeleton (Sum/Min/Max).
+  common::Result<double> PartitionedReduce(
+      const cstore::BatPtr& col,
+      const std::function<common::Result<double>(OcelotEngine*,
+                                                 const cstore::BatPtr&)>& op,
+      const std::function<double(double, double)>& merge);
+
+  /// Syncs a fragment result back to the host through device `i`'s engine.
+  common::Status SyncPart(int i, const cstore::BatPtr& bat);
+
+  ocl::Context* ctx_;
+  common::VirtualClock clock_;
+  std::vector<std::unique_ptr<OcelotEngine>> engines_;
+};
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_SCHEDULER_H_

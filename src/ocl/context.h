@@ -4,34 +4,86 @@
 #include <memory>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/vclock.h"
 #include "ocl/device.h"
 #include "ocl/queue.h"
 
 namespace ocl {
 
-/// An OpenCLite context: one device, its command queue, and the virtual
-/// clock that splices modeled device time into the engine's measurements.
-/// Mirrors the (context, device, queue) triple every OpenCL host program
-/// sets up; Ocelot's "OpenCL Context Management" component (paper Fig. 2)
-/// wraps exactly this.
-class Context {
+/// One device slot of a context: the device, its command queue, and the
+/// virtual clock that splices this device's modeled time into the engine's
+/// measurements. Mirrors the (device, queue) pair every OpenCL host program
+/// sets up per device of a context; engine code binds to exactly one slot
+/// and never needs to know about its siblings.
+class DeviceContext {
  public:
-  static std::unique_ptr<Context> Create(DeviceModel model) {
-    return std::unique_ptr<Context>(new Context(std::move(model)));
-  }
+  explicit DeviceContext(DeviceModel model)
+      : device_(std::move(model)), queue_(&device_, &clock_) {}
+
+  DeviceContext(const DeviceContext&) = delete;
+  DeviceContext& operator=(const DeviceContext&) = delete;
 
   Device* device() { return &device_; }
   CommandQueue* queue() { return &queue_; }
   common::VirtualClock* clock() { return &clock_; }
 
  private:
-  explicit Context(DeviceModel model)
-      : device_(std::move(model)), queue_(&device_, &clock_) {}
-
   common::VirtualClock clock_;
   Device device_;
   CommandQueue queue_;
+};
+
+/// An OpenCLite context: a *set* of devices, each with its own command queue
+/// and virtual clock. Mirrors clCreateContext over several device ids;
+/// Ocelot's "OpenCL Context Management" component (paper Fig. 2) wraps
+/// exactly this. Single-device contexts behave exactly as before through the
+/// primary-slot accessors; the multi-device form feeds ocelot::Scheduler,
+/// which partitions operator inputs across the slots.
+class Context {
+ public:
+  /// Single-device context (the paper's configurations).
+  static std::unique_ptr<Context> Create(DeviceModel model) {
+    std::vector<DeviceModel> models;
+    models.push_back(std::move(model));
+    return Create(std::move(models));
+  }
+
+  /// Multi-device context, e.g. Create(AvailableDevices()).
+  static std::unique_ptr<Context> Create(std::vector<DeviceModel> models) {
+    return std::unique_ptr<Context>(new Context(std::move(models)));
+  }
+
+  int device_count() const { return static_cast<int>(slots_.size()); }
+
+  /// Slot `i`'s bundled (device, queue, clock) triple.
+  DeviceContext* at(int i) {
+    OCELOT_CHECK(i >= 0 && i < device_count()) << "device index " << i;
+    return slots_[static_cast<std::size_t>(i)].get();
+  }
+
+  // Primary-slot accessors: a single-device context is used exactly like the
+  // historical one-device Context through these.
+  Device* device(int i = 0) { return at(i)->device(); }
+  CommandQueue* queue(int i = 0) { return at(i)->queue(); }
+  common::VirtualClock* clock() { return at(0)->clock(); }
+
+  /// Drains every device's queue and advances each slot clock to idle
+  /// (clFinish over the whole context).
+  void FinishAll() {
+    for (auto& slot : slots_) slot->queue()->Finish();
+  }
+
+ private:
+  explicit Context(std::vector<DeviceModel> models) {
+    OCELOT_CHECK(!models.empty()) << "context needs at least one device";
+    slots_.reserve(models.size());
+    for (DeviceModel& m : models) {
+      slots_.push_back(std::make_unique<DeviceContext>(std::move(m)));
+    }
+  }
+
+  std::vector<std::unique_ptr<DeviceContext>> slots_;
 };
 
 /// Device discovery, mirroring clGetPlatformIDs/clGetDeviceIDs: the models

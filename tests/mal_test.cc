@@ -67,7 +67,7 @@ TEST_P(MalPipelineTest, SelectSumRunsEverywhere) {
   cstore::Catalog catalog = TinyCatalog();
   auto session = mal::Session::Create(GetParam());
   Program p = SelectSumPlan();
-  if (session->ocelot() != nullptr) p = mal::RewriteForOcelot(p);
+  if (session->hardware_oblivious()) p = mal::RewriteForOcelot(p);
   auto res = mal::Run(p, catalog, session.get());
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ASSERT_EQ(res->returns.size(), 1u);
@@ -86,7 +86,7 @@ TEST_P(MalPipelineTest, JoinGroupPlanRunsEverywhere) {
   int cnt = b.Emit("aggr", "subcount", {g[0], g[2]});
   b.Return(cnt);
   Program p = b.Build();
-  if (session->ocelot() != nullptr) p = mal::RewriteForOcelot(p);
+  if (session->hardware_oblivious()) p = mal::RewriteForOcelot(p);
   auto res = mal::Run(p, catalog, session.get());
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   auto bat = std::get<cstore::BatPtr>(res->returns[0]);
@@ -108,7 +108,8 @@ TEST_P(MalPipelineTest, UnknownOpReportsUnsupported) {
 
 INSTANTIATE_TEST_SUITE_P(AllPipelines, MalPipelineTest,
                          ::testing::Values(Pipeline::kSequential, Pipeline::kMitosis,
-                                           Pipeline::kOcelotCpu, Pipeline::kOcelotGpu),
+                                           Pipeline::kOcelotCpu, Pipeline::kOcelotGpu,
+                                           Pipeline::kOcelotMulti),
                          [](const auto& info) {
                            switch (info.param) {
                              case Pipeline::kSequential:
@@ -119,6 +120,8 @@ INSTANTIATE_TEST_SUITE_P(AllPipelines, MalPipelineTest,
                                return "OcelotCpu";
                              case Pipeline::kOcelotGpu:
                                return "OcelotGpu";
+                             case Pipeline::kOcelotMulti:
+                               return "OcelotMulti";
                            }
                            return "?";
                          });

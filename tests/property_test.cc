@@ -76,7 +76,10 @@ INSTANTIATE_TEST_SUITE_P(
                       Case{Pipeline::kOcelotCpu, 10000, 1000},
                       Case{Pipeline::kOcelotGpu, 1000, 10},
                       Case{Pipeline::kOcelotGpu, 10000, 1000},
-                      Case{Pipeline::kOcelotGpu, 9999, 7}),
+                      Case{Pipeline::kOcelotGpu, 9999, 7},
+                      Case{Pipeline::kOcelotMulti, 1000, 10},
+                      Case{Pipeline::kOcelotMulti, 10000, 1000},
+                      Case{Pipeline::kOcelotMulti, 9999, 7}),
     CaseName);
 
 TEST_P(PropertyTest, SelectionPartitionsRows) {

@@ -1,0 +1,130 @@
+// Tests for the engine registry: by-name resolution of every built-in
+// engine, unknown-name errors, custom registration, and model overrides
+// flowing through EngineOptions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "mal/engines.h"
+#include "mal/interp.h"
+#include "monet/seq_engine.h"
+#include "ocl/context.h"
+#include "ocl/device.h"
+
+namespace {
+
+using cstore::EngineBundle;
+using cstore::EngineOptions;
+using cstore::EngineRegistry;
+
+TEST(EngineRegistryTest, BuiltinsRegister) {
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+  for (const char* name :
+       {"seq", "par", "ocelot:cpu", "ocelot:gpu", "ocelot:multi"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  std::vector<std::string> names = registry.Names();
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(EngineRegistryTest, CreateResolvesByName) {
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+  auto seq = registry.Create("seq");
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ((*seq)->engine()->name(), "MonetDB (sequential)");
+  EXPECT_FALSE((*seq)->hardware_oblivious());
+  EXPECT_EQ((*seq)->ocl_context(), nullptr);
+
+  auto cpu = registry.Create("ocelot:cpu");
+  ASSERT_TRUE(cpu.ok()) << cpu.status().ToString();
+  EXPECT_TRUE((*cpu)->hardware_oblivious());
+  ASSERT_NE((*cpu)->ocl_context(), nullptr);
+  EXPECT_EQ((*cpu)->ocl_context()->device_count(), 1);
+
+  auto multi = registry.Create("ocelot:multi");
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  EXPECT_TRUE((*multi)->hardware_oblivious());
+  ASSERT_NE((*multi)->ocl_context(), nullptr);
+  EXPECT_EQ((*multi)->ocl_context()->device_count(),
+            static_cast<int>(ocl::AvailableDevices().size()));
+}
+
+TEST(EngineRegistryTest, UnknownEngineIsNotFoundAndListsNames) {
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+  auto missing = registry.Create("warp-drive");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+  // The error names the registered engines so a typo is self-diagnosing.
+  EXPECT_NE(missing.status().ToString().find("ocelot:multi"), std::string::npos);
+  EXPECT_NE(missing.status().ToString().find("seq"), std::string::npos);
+}
+
+TEST(EngineRegistryTest, ModelOverridesReachTheDevice) {
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+  ocl::DeviceModel tiny = ocl::XeonE5620Model();
+  tiny.name = "Tiny CPU";
+  EngineOptions options;
+  options.cpu_model = &tiny;
+  auto bundle = registry.Create("ocelot:cpu", options);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ((*bundle)->ocl_context()->device()->name(), "Tiny CPU");
+  EXPECT_NE((*bundle)->engine()->name().find("Tiny CPU"), std::string::npos);
+}
+
+TEST(EngineRegistryTest, CustomEnginesSelfRegister) {
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+
+  class CustomBundle : public EngineBundle {
+   public:
+    cstore::QueryEngine* engine() override { return &engine_; }
+    common::VirtualClock* clock() override { return &clock_; }
+
+   private:
+    monet::SequentialEngine engine_;
+    common::VirtualClock clock_;
+  };
+
+  registry.Register("custom:test", [](const EngineOptions&)
+                                       -> common::Result<std::unique_ptr<EngineBundle>> {
+    return std::unique_ptr<EngineBundle>(std::make_unique<CustomBundle>());
+  });
+  EXPECT_TRUE(registry.Contains("custom:test"));
+  auto bundle = registry.Create("custom:test");
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ((*bundle)->engine()->name(), "MonetDB (sequential)");
+
+  // And the session layer resolves it like any built-in.
+  auto session = mal::Session::Open("custom:test");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->engine_name(), "custom:test");
+  EXPECT_FALSE((*session)->hardware_oblivious());
+}
+
+TEST(SessionTest, OpenByNameMapsPipelinesAndClocks) {
+  auto seq = mal::Session::Open("seq");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ((*seq)->pipeline(), mal::Pipeline::kSequential);
+  EXPECT_NE((*seq)->clock(), nullptr);
+  EXPECT_EQ((*seq)->ocelot(), nullptr);
+
+  auto gpu = mal::Session::Open("ocelot:gpu");
+  ASSERT_TRUE(gpu.ok());
+  EXPECT_EQ((*gpu)->pipeline(), mal::Pipeline::kOcelotGpu);
+  EXPECT_NE((*gpu)->ocelot(), nullptr);  // single-device Ocelot is exposed
+  EXPECT_EQ((*gpu)->clock(), (*gpu)->ocl_context()->clock());
+
+  auto multi = mal::Session::Open("ocelot:multi");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)->pipeline(), mal::Pipeline::kOcelotMulti);
+  EXPECT_TRUE((*multi)->hardware_oblivious());
+  EXPECT_EQ((*multi)->ocelot(), nullptr);  // scheduler, not a single device
+
+  auto missing = mal::Session::Open("warp-drive");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+}
+
+}  // namespace

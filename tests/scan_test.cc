@@ -20,7 +20,7 @@ class ScanTest : public ::testing::TestWithParam<ocl::DeviceType> {
                                  : ocl::Gtx460Model();
     model.kernel_compile_cost = 0;
     ctx_ = ocl::Context::Create(model);
-    mm_ = std::make_unique<ocelot::MemoryManager>(ctx_.get());
+    mm_ = std::make_unique<ocelot::MemoryManager>(ctx_->at(0));
   }
 
   /// Uploads `in`, scans it, returns the n+1 output values.
@@ -82,10 +82,10 @@ TEST_P(ScanTest, ReadScalarReturnsRequestedSlot) {
   auto buf = *mm_->AllocScratch(16);
   std::uint32_t host[4] = {10, 20, 30, 40};
   ctx_->queue()->Wait(ctx_->queue()->EnqueueWrite(buf, host, 16));
-  auto v = ocelot::ReadScalarU32(ctx_.get(), buf, 2, {});
+  auto v = ocelot::ReadScalarU32(ctx_->at(0), buf, 2, {});
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, 30u);
-  auto bad = ocelot::ReadScalarU32(ctx_.get(), buf, 9, {});
+  auto bad = ocelot::ReadScalarU32(ctx_->at(0), buf, 9, {});
   EXPECT_FALSE(bad.ok());
 }
 

@@ -1,0 +1,396 @@
+// Tests for the multi-device execution layer: multi-device context
+// creation, the Scheduler's partition-and-merge operators (checked for
+// result equality against the single-device OcelotEngine), work placement
+// across the device set, and end-to-end query equality for engines resolved
+// purely by name from the EngineRegistry (seq vs ocelot:cpu vs
+// ocelot:multi) — the paper's hardware-obliviousness claim extended to
+// heterogeneous device *sets*.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "mal/engines.h"
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+#include "ocelot/engine.h"
+#include "ocelot/scheduler.h"
+#include "ocl/context.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::oid_t;
+using ocelot::OcelotEngine;
+using ocelot::Scheduler;
+
+std::vector<ocl::DeviceModel> TestDevices() {
+  std::vector<ocl::DeviceModel> models = ocl::AvailableDevices();
+  for (auto& m : models) m.kernel_compile_cost = 0;  // keep unit tests snappy
+  return models;
+}
+
+BatPtr RandomInts(std::size_t n, std::int32_t limit, std::uint64_t seed) {
+  common::Rng rng(seed);
+  BatPtr b = Bat::MakeInt(n);
+  for (auto& v : b->ints()) {
+    v = static_cast<std::int32_t>(rng.Uniform(0, limit - 1));
+  }
+  b->set_nonil(true);
+  return b;
+}
+
+std::vector<oid_t> OidsOf(const BatPtr& b) {
+  auto s = b->oids();
+  return {s.begin(), s.end()};
+}
+
+std::vector<std::int32_t> IntsOf(const BatPtr& b) {
+  auto s = b->ints();
+  return {s.begin(), s.end()};
+}
+
+// --- Multi-device context ----------------------------------------------------
+
+TEST(MultiDeviceContextTest, CreatesOneSlotPerDevice) {
+  auto ctx = ocl::Context::Create(TestDevices());
+  ASSERT_EQ(ctx->device_count(), 2);
+  // Distinct devices with their own queues and virtual clocks...
+  EXPECT_NE(ctx->at(0)->device(), ctx->at(1)->device());
+  EXPECT_NE(ctx->at(0)->queue(), ctx->at(1)->queue());
+  EXPECT_NE(ctx->at(0)->clock(), ctx->at(1)->clock());
+  EXPECT_EQ(ctx->at(0)->device()->model().type, ocl::DeviceType::kCpu);
+  EXPECT_EQ(ctx->at(1)->device()->model().type, ocl::DeviceType::kGpu);
+  // ...and the primary accessors alias slot 0, preserving the historical
+  // single-device Context API.
+  EXPECT_EQ(ctx->device(), ctx->at(0)->device());
+  EXPECT_EQ(ctx->queue(), ctx->at(0)->queue());
+  EXPECT_EQ(ctx->clock(), ctx->at(0)->clock());
+}
+
+TEST(MultiDeviceContextTest, SingleDeviceContextUnchanged) {
+  auto ctx = ocl::Context::Create(ocl::XeonE5620Model());
+  EXPECT_EQ(ctx->device_count(), 1);
+  EXPECT_EQ(ctx->device()->model().type, ocl::DeviceType::kCpu);
+}
+
+// --- Scheduler vs single-device OcelotEngine ---------------------------------
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : multi_ctx_(ocl::Context::Create(TestDevices())),
+        scheduler_(multi_ctx_.get()),
+        single_ctx_(ocl::Context::Create(TestDevices()[0])),
+        single_(single_ctx_.get()) {}
+
+  /// Runs `op` on both engines and returns (scheduler result, single-device
+  /// result), both synced to the host.
+  template <typename Fn>
+  std::pair<BatPtr, BatPtr> Both(Fn op) {
+    auto multi = op(static_cast<cstore::QueryEngine*>(&scheduler_));
+    auto single = op(static_cast<cstore::QueryEngine*>(&single_));
+    OCELOT_CHECK(multi.ok()) << multi.status().ToString();
+    OCELOT_CHECK(single.ok()) << single.status().ToString();
+    OCELOT_CHECK_OK(scheduler_.Sync(*multi));
+    OCELOT_CHECK_OK(single_.Sync(*single));
+    return {*multi, *single};
+  }
+
+  std::unique_ptr<ocl::Context> multi_ctx_;
+  Scheduler scheduler_;
+  std::unique_ptr<ocl::Context> single_ctx_;
+  OcelotEngine single_;
+};
+
+TEST_F(SchedulerTest, SelectRangeMatchesSingleDevice) {
+  BatPtr col = RandomInts(10000, 1000, 42);
+  auto [multi, single] = Both([&](cstore::QueryEngine* e) {
+    return e->SelectRange(col, nullptr, Bound::Incl(100), Bound::Excl(300));
+  });
+  EXPECT_FALSE(multi->empty());
+  EXPECT_EQ(OidsOf(multi), OidsOf(single));
+  EXPECT_TRUE(multi->sorted());
+}
+
+TEST_F(SchedulerTest, SelectRangeWithCandidatesMatchesSingleDevice) {
+  BatPtr col = RandomInts(10000, 1000, 43);
+  // A candidate list produced by a previous (scheduler) selection.
+  auto cand = scheduler_.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(700));
+  ASSERT_TRUE(cand.ok()) << cand.status().ToString();
+  auto [multi, single] = Both([&](cstore::QueryEngine* e) {
+    return e->SelectRange(col, *cand, Bound::Incl(200), Bound::Incl(900));
+  });
+  EXPECT_FALSE(multi->empty());
+  EXPECT_EQ(OidsOf(multi), OidsOf(single));
+}
+
+TEST_F(SchedulerTest, ProjectMatchesSingleDevice) {
+  BatPtr col = RandomInts(8000, 100000, 44);
+  auto cand = scheduler_.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(50000));
+  ASSERT_TRUE(cand.ok());
+  auto [multi, single] = Both(
+      [&](cstore::QueryEngine* e) { return e->Project(*cand, col); });
+  EXPECT_FALSE(multi->empty());
+  EXPECT_EQ(IntsOf(multi), IntsOf(single));
+}
+
+TEST_F(SchedulerTest, HashJoinMatchesSingleDevice) {
+  // FK -> unique key join: right side is a key column (non-dense values).
+  std::size_t nkeys = 500;
+  BatPtr right = Bat::MakeInt(nkeys);
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    right->ints()[i] = static_cast<std::int32_t>(i * 7 + 3);  // sparse keys
+  }
+  right->set_key(true);
+  right->set_nonil(true);
+  BatPtr left = RandomInts(6000, static_cast<std::int32_t>(nkeys * 7 + 3), 45);
+
+  auto multi = scheduler_.HashJoin(left, right);
+  auto single = single_.HashJoin(left, right);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  OCELOT_CHECK_OK(scheduler_.Sync(multi->left));
+  OCELOT_CHECK_OK(scheduler_.Sync(multi->right));
+  OCELOT_CHECK_OK(single_.Sync(single->left));
+  OCELOT_CHECK_OK(single_.Sync(single->right));
+
+  EXPECT_FALSE(multi->left->empty());
+  EXPECT_EQ(OidsOf(multi->left), OidsOf(single->left));
+  EXPECT_EQ(OidsOf(multi->right), OidsOf(single->right));
+}
+
+TEST_F(SchedulerTest, DenseHashJoinAndSemiJoinMatchSingleDevice) {
+  BatPtr right = Bat::MakeInt(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    right->ints()[i] = static_cast<std::int32_t>(i + 1);
+  }
+  right->SetDense(1);  // PK fast path
+  BatPtr left = RandomInts(5000, 1500, 46);  // one third misses
+
+  auto multi = scheduler_.HashJoin(left, right);
+  auto single = single_.HashJoin(left, right);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(single.ok());
+  OCELOT_CHECK_OK(scheduler_.Sync(multi->left));
+  OCELOT_CHECK_OK(scheduler_.Sync(multi->right));
+  OCELOT_CHECK_OK(single_.Sync(single->left));
+  OCELOT_CHECK_OK(single_.Sync(single->right));
+  EXPECT_EQ(OidsOf(multi->left), OidsOf(single->left));
+  EXPECT_EQ(OidsOf(multi->right), OidsOf(single->right));
+
+  auto [semi_m, semi_s] =
+      Both([&](cstore::QueryEngine* e) { return e->SemiJoin(left, right); });
+  EXPECT_EQ(OidsOf(semi_m), OidsOf(semi_s));
+  auto [anti_m, anti_s] =
+      Both([&](cstore::QueryEngine* e) { return e->AntiJoin(left, right); });
+  EXPECT_EQ(OidsOf(anti_m), OidsOf(anti_s));
+  EXPECT_EQ(semi_m->size() + anti_m->size(), left->size());
+}
+
+TEST_F(SchedulerTest, AggregatesMatchSingleDevice) {
+  BatPtr col = RandomInts(9999, 500, 47);
+  auto sum_m = scheduler_.Sum(col);
+  auto sum_s = single_.Sum(col);
+  ASSERT_TRUE(sum_m.ok());
+  ASSERT_TRUE(sum_s.ok());
+  EXPECT_DOUBLE_EQ(*sum_m, *sum_s);
+
+  auto min_m = scheduler_.Min(col);
+  auto min_s = single_.Min(col);
+  auto max_m = scheduler_.Max(col);
+  auto max_s = single_.Max(col);
+  ASSERT_TRUE(min_m.ok() && min_s.ok() && max_m.ok() && max_s.ok());
+  EXPECT_DOUBLE_EQ(*min_m, *min_s);
+  EXPECT_DOUBLE_EQ(*max_m, *max_s);
+
+  auto cnt = scheduler_.Count(col);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(*cnt, static_cast<std::int64_t>(col->size()));
+}
+
+TEST_F(SchedulerTest, GroupedAggregatesMatchSingleDevice) {
+  BatPtr col = RandomInts(7000, 37, 48);
+  auto grp = scheduler_.GroupBy(col, nullptr);
+  ASSERT_TRUE(grp.ok()) << grp.status().ToString();
+
+  for (auto agg : {&cstore::QueryEngine::SubSum, &cstore::QueryEngine::SubMin,
+                   &cstore::QueryEngine::SubMax}) {
+    auto [multi, single] = Both([&](cstore::QueryEngine* e) {
+      return (e->*agg)(col, grp->groups, grp->ngroups);
+    });
+    EXPECT_EQ(IntsOf(multi), IntsOf(single));
+  }
+
+  auto [cnt_m, cnt_s] = Both([&](cstore::QueryEngine* e) {
+    return e->SubCount(grp->groups, grp->ngroups);
+  });
+  EXPECT_EQ(IntsOf(cnt_m), IntsOf(cnt_s));
+
+  auto [avg_m, avg_s] = Both([&](cstore::QueryEngine* e) {
+    return e->SubAvg(col, grp->groups, grp->ngroups);
+  });
+  ASSERT_EQ(avg_m->size(), avg_s->size());
+  for (std::size_t k = 0; k < avg_m->size(); ++k) {
+    EXPECT_NEAR(avg_m->floats()[k], avg_s->floats()[k],
+                1e-3 + std::abs(avg_s->floats()[k]) * 1e-5);
+  }
+}
+
+TEST_F(SchedulerTest, SubAvgSkipsNilsLikeEveryEngine) {
+  // avg divides by the count of non-nil values, not the row count; a
+  // partitioned sum/count merge would get this wrong (the reason SubAvg
+  // runs whole on the primary device).
+  BatPtr vals = Bat::MakeInt(6);
+  std::int32_t data[] = {4, cstore::kIntNil, 8, cstore::kIntNil,
+                         cstore::kIntNil, 10};
+  std::copy(std::begin(data), std::end(data), vals->ints().begin());
+  BatPtr groups = Bat::MakeOid(6);
+  oid_t gids[] = {0, 0, 0, 1, 1, 2};  // group 1 is all-nil
+  std::copy(std::begin(gids), std::end(gids), groups->oids().begin());
+
+  auto [multi, single] =
+      Both([&](cstore::QueryEngine* e) { return e->SubAvg(vals, groups, 3); });
+  ASSERT_EQ(multi->size(), 3u);
+  EXPECT_FLOAT_EQ(multi->floats()[0], 6.0f);        // (4 + 8) / 2, nil skipped
+  EXPECT_TRUE(std::isnan(multi->floats()[1]));      // all-nil group -> nil
+  EXPECT_FLOAT_EQ(multi->floats()[2], 10.0f);
+  EXPECT_FLOAT_EQ(single->floats()[0], multi->floats()[0]);
+  EXPECT_TRUE(std::isnan(single->floats()[1]));
+}
+
+TEST_F(SchedulerTest, WorkIsSpreadAcrossAllDevices) {
+  BatPtr col = RandomInts(20000, 1000, 49);
+  auto res = scheduler_.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(499));
+  ASSERT_TRUE(res.ok());
+  // Every device slot must have executed selection kernels for its fragment.
+  for (int i = 0; i < multi_ctx_->device_count(); ++i) {
+    const auto& profiles = multi_ctx_->at(i)->queue()->profiles();
+    EXPECT_TRUE(profiles.count("select_range_int")) << "device " << i << " idle";
+  }
+}
+
+TEST(SchedulerClockTest, MakespanIsBilledNotTheSum) {
+  // Give both devices a fat per-launch driver cost so modeled device time
+  // dwarfs host-side slicing/merge noise: each fragment's virtual cost is
+  // ~launches x 5 ms, so the sum over two devices is ~2x the makespan.
+  std::vector<ocl::DeviceModel> models = TestDevices();
+  for (auto& m : models) m.kernel_launch_overhead = 5'000'000;
+  auto ctx = ocl::Context::Create(models);
+  Scheduler scheduler(ctx.get());
+
+  BatPtr col = RandomInts(50000, 1000, 50);
+  common::Nanos t0 = scheduler.clock()->Now();
+  auto res = scheduler.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(499));
+  ASSERT_TRUE(res.ok());
+  common::Nanos elapsed = scheduler.clock()->Now() - t0;
+
+  common::Nanos device_sum = 0;
+  common::Nanos device_max = 0;
+  for (int i = 0; i < ctx->device_count(); ++i) {
+    common::Nanos device = 0;
+    for (const auto& [name, prof] : ctx->at(i)->queue()->profiles()) {
+      device += prof.modeled_ns;
+    }
+    device_sum += device;
+    device_max = std::max(device_max, device);
+  }
+  // The merged clock advanced by the slowest fragment (plus host merge
+  // overhead), not by the sum of all devices' modeled time.
+  EXPECT_GE(elapsed, device_max);
+  EXPECT_LT(elapsed, device_sum);
+}
+
+// --- End-to-end: three engines by name, one result ---------------------------
+
+using Rows = std::vector<std::vector<double>>;
+
+Rows Canonicalize(const std::vector<mal::Value>& returns) {
+  std::size_t nrows = 0;
+  std::vector<std::vector<double>> columns;
+  for (const mal::Value& v : returns) {
+    if (std::holds_alternative<double>(v)) {
+      columns.push_back({std::get<double>(v)});
+    } else if (std::holds_alternative<std::int64_t>(v)) {
+      columns.push_back({static_cast<double>(std::get<std::int64_t>(v))});
+    } else {
+      const BatPtr& b = std::get<BatPtr>(v);
+      std::vector<double> col;
+      switch (b->type()) {
+        case cstore::ValType::kInt:
+          for (auto x : b->ints()) col.push_back(x);
+          break;
+        case cstore::ValType::kFloat:
+          for (auto x : b->floats()) col.push_back(x);
+          break;
+        case cstore::ValType::kOid:
+          for (auto x : b->oids()) col.push_back(x);
+          break;
+      }
+      columns.push_back(std::move(col));
+    }
+    nrows = std::max(nrows, columns.back().size());
+  }
+  Rows rows(nrows);
+  for (auto& col : columns) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      rows[i].push_back(i < col.size() ? col[i] : 0);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class RegistryQueryTest : public ::testing::TestWithParam<int> {};
+
+/// Acceptance: a TPC-H query executes via EngineRegistry on "seq", a single
+/// Ocelot device and the multi-device Scheduler, producing identical
+/// results.
+TEST_P(RegistryQueryTest, ThreeEnginesOneResult) {
+  static const tpch::TpchDb* db = new tpch::TpchDb(tpch::Generate(0.02));
+  int query = GetParam();
+  auto plan = tpch::BuildQuery(query, *db);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  Rows reference;
+  for (const std::string& engine : {"seq", "ocelot:cpu", "ocelot:multi"}) {
+    auto session = mal::Session::Open(engine);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    mal::Program prog = *plan;
+    if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+    auto res = mal::Run(prog, db->catalog, session->get());
+    ASSERT_TRUE(res.ok()) << "Q" << query << " on " << engine << ": "
+                          << res.status().ToString();
+    Rows rows = Canonicalize(res->returns);
+    ASSERT_FALSE(rows.empty()) << "Q" << query << " on " << engine;
+    if (engine == "seq") {
+      reference = std::move(rows);
+      continue;
+    }
+    ASSERT_EQ(reference.size(), rows.size()) << "Q" << query << " on " << engine;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      ASSERT_EQ(reference[r].size(), rows[r].size());
+      for (std::size_t c = 0; c < rows[r].size(); ++c) {
+        double tol = std::abs(reference[r][c]) * 5e-4 + 1e-2;
+        ASSERT_NEAR(reference[r][c], rows[r][c], tol)
+            << "Q" << query << " on " << engine << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SchedulerAcceptance, RegistryQueryTest,
+                         ::testing::Values(1, 6),
+                         [](const auto& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace

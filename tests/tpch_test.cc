@@ -162,11 +162,11 @@ TEST_P(TpchQueryTest, AllConfigurationsAgree) {
   Rows want = Canonicalize(ref->returns);
   ASSERT_FALSE(want.empty()) << "Q" << query << " returned nothing";
 
-  for (Pipeline p :
-       {Pipeline::kMitosis, Pipeline::kOcelotCpu, Pipeline::kOcelotGpu}) {
+  for (Pipeline p : {Pipeline::kMitosis, Pipeline::kOcelotCpu,
+                     Pipeline::kOcelotGpu, Pipeline::kOcelotMulti}) {
     auto session = mal::Session::Create(p);
     mal::Program prog = *tpch::BuildQuery(query, db);
-    if (session->ocelot() != nullptr) prog = mal::RewriteForOcelot(prog);
+    if (session->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
     auto res = mal::Run(prog, db.catalog, session.get());
     ASSERT_TRUE(res.ok()) << "Q" << query << " (" << mal::PipelineName(p)
                           << "): " << res.status().ToString();
