@@ -35,12 +35,9 @@ void RegisterWorkload(const char* figure, double sf, bool with_gpu) {
               state.SkipWithError("exceeds device memory");
               return;
             }
-            for (auto _ : state) {
-              double ms = bench::MeasureVirtualMs(session.get(), [&] {
-                bench::RunQuery(query, db, session.get());
-              });
-              state.SetIterationTime(ms / 1000.0);
-            }
+            bench::JsonMeasuredLoop(state, session.get(), [&] {
+              return bench::RunQuery(query, db, session.get());
+            });
           })
           ->UseManualTime()
           ->Unit(benchmark::kMillisecond)
@@ -65,12 +62,9 @@ void RegisterQ1Scaling() {
               state.SkipWithError("exceeds device memory");
               return;
             }
-            for (auto _ : state) {
-              double ms = bench::MeasureVirtualMs(session.get(), [&] {
-                bench::RunQuery(1, db, session.get());
-              });
-              state.SetIterationTime(ms / 1000.0);
-            }
+            bench::JsonMeasuredLoop(state, session.get(), [&] {
+              return bench::RunQuery(1, db, session.get());
+            });
           })
           ->UseManualTime()
           ->Unit(benchmark::kMillisecond)
@@ -86,7 +80,5 @@ int main(int argc, char** argv) {
   RegisterWorkload("Fig7b_TPCH_SF8", 8.0, /*with_gpu=*/true);
   RegisterWorkload("Fig7c_TPCH_SF50", 50.0, /*with_gpu=*/false);
   RegisterQ1Scaling();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::RunBenchmarks(argc, argv, "BENCH_tpch.json");
 }

@@ -1,0 +1,143 @@
+// Scheduler scaling: partition+merge overhead and real wall-clock scaling
+// of the multi-device Scheduler ("ocelot:multi") against the single-device
+// baseline ("ocelot:cpu") across 1/2/4/8 host threads, on the three
+// workloads the layer is built for:
+//
+//   * select   — range selection over a 256 MB-axis int column
+//   * hashjoin — FK probe against a replicated unique-key build side
+//   * q1       — TPC-H Q1 end to end at paper SF 1
+//
+// Reported per point (and written to BENCH_scheduler.json):
+//   virtual_ms   — modeled device time (google-benchmark's manual time)
+//   real_ms      — measured host wall time per iteration: with zero-copy
+//                  view partitioning and pool execution this is what must
+//                  *drop* as threads grow (given ≥ 2 physical cores)
+//   bytes_copied — host bytes the scheduler moved per iteration (merge
+//                  writes only; must stay ≤ one output per operator and be
+//                  independent of the thread count)
+//   threads      — the OCELOT_THREADS value of the point
+//
+// Results and virtual clocks are thread-count-invariant (fragment i always
+// runs whole against device slot i); only real_ms may change.
+
+#include <algorithm>
+#include <numeric>
+
+#include "bench/micro_common.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using bench::Label;
+using cstore::Bound;
+
+const int kThreadAxis[] = {1, 2, 4, 8};
+
+/// The engines this bench compares, restricted by OCELOT_ENGINES like every
+/// other sweep.
+std::vector<std::string> Engines() {
+  std::vector<std::string> all = bench::Configurations();
+  std::vector<std::string> picked;
+  for (const std::string& e : {"ocelot:cpu", "ocelot:multi"}) {
+    if (std::find(all.begin(), all.end(), e) != all.end()) picked.push_back(e);
+  }
+  return picked;
+}
+
+/// Measured loop shared by all points: pool resize, warm-up, then the
+/// harness's JSON measured loop plus the thread-count axis.
+void ScalingLoop(benchmark::State& state, int threads, mal::Session* session,
+                 const std::function<bool()>& op) {
+  common::ThreadPool::SetGlobalThreads(threads);
+  if (!op()) {
+    state.SkipWithError("exceeds device memory");
+    return;
+  }
+  bench::JsonMeasuredLoop(state, session, op);
+  state.counters["threads"] = threads;
+}
+
+void RegisterOperatorPoints() {
+  for (const std::string& engine : Engines()) {
+    for (int threads : kThreadAxis) {
+      std::string suffix = Label(engine) + "/t" + std::to_string(threads);
+
+      benchmark::RegisterBenchmark(
+          ("SchedulerScaling/select/" + suffix).c_str(),
+          [engine, threads](benchmark::State& state) {
+            ocl::DeviceModel gpu = bench::MicroGpuModel();
+            ocl::DeviceModel cpu = bench::MicroCpuModel();
+            auto session = bench::OpenSession(engine, &gpu, &cpu);
+            cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(256), 1000);
+            ScalingLoop(state, threads, session.get(), [&] {
+              auto res = session->engine()->SelectRange(col, nullptr, Bound::Incl(0),
+                                                        Bound::Incl(49));
+              if (!res.ok()) {
+                // Memory exhaustion is a legitimate skip; anything else must
+                // abort, not be measured as a successful iteration.
+                OCELOT_CHECK(bench::IsMemoryLimit(res.status()))
+                    << res.status().ToString();
+                return false;
+              }
+              bench::Settle(session.get());
+              benchmark::DoNotOptimize(*res);
+              return true;
+            });
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+
+      benchmark::RegisterBenchmark(
+          ("SchedulerScaling/hashjoin/" + suffix).c_str(),
+          [engine, threads](benchmark::State& state) {
+            ocl::DeviceModel gpu = bench::MicroGpuModel();
+            ocl::DeviceModel cpu = bench::MicroCpuModel();
+            auto session = bench::OpenSession(engine, &gpu, &cpu);
+            std::size_t nkeys = 100'000;
+            cstore::BatPtr build = cstore::Bat::MakeInt(nkeys);
+            std::iota(build->ints().begin(), build->ints().end(), 0);
+            build->set_key(true);
+            build->set_nonil(true);
+            cstore::BatPtr probe = bench::UniformInts(
+                bench::RowsForMb(64), static_cast<std::int32_t>(nkeys));
+            ScalingLoop(state, threads, session.get(), [&] {
+              auto res = session->engine()->HashJoin(probe, build);
+              if (!res.ok()) {
+                OCELOT_CHECK(bench::IsMemoryLimit(res.status()))
+                    << res.status().ToString();
+                return false;
+              }
+              bench::Settle(session.get());
+              benchmark::DoNotOptimize(res->left);
+              return true;
+            });
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+
+      benchmark::RegisterBenchmark(
+          ("SchedulerScaling/q1/" + suffix).c_str(),
+          [engine, threads](benchmark::State& state) {
+            const tpch::TpchDb& db = bench::Db(1.0);
+            ocl::DeviceModel gpu = bench::TpchGpuModel();
+            ocl::DeviceModel cpu = bench::TpchCpuModel();
+            auto session = bench::OpenSession(engine, &gpu, &cpu);
+            ScalingLoop(state, threads, session.get(), [&] {
+              return bench::RunQuery(1, db, session.get());
+            });
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterOperatorPoints();
+  return bench::RunBenchmarks(argc, argv, "BENCH_scheduler.json");
+}

@@ -1,12 +1,14 @@
 #include "bench/harness.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <sstream>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "ocelot/scheduler.h"
 
 namespace bench {
 
@@ -155,6 +157,119 @@ const tpch::TpchDb& Db(double paper_sf) {
              .first;
   }
   return it->second;
+}
+
+void JsonMeasuredLoop(benchmark::State& state, mal::Session* session,
+                      const std::function<bool()>& op) {
+  double real_ms = 0;
+  std::uint64_t copied0 = ocelot::Scheduler::bytes_copied();
+  int iters = 0;
+  for (auto _ : state) {
+    common::Stopwatch wall;
+    double ms = MeasureVirtualMs(session, [&] {
+      if (!op()) state.SkipWithError("exceeds device memory");
+    });
+    real_ms += wall.ElapsedMillis();
+    iters += 1;
+    state.SetIterationTime(ms / 1000.0);
+  }
+  if (iters > 0) {
+    state.counters["real_ms"] = real_ms / iters;
+    state.counters["bytes_copied"] = static_cast<double>(
+        (ocelot::Scheduler::bytes_copied() - copied0) /
+        static_cast<std::uint64_t>(iters));
+  }
+}
+
+namespace {
+
+std::string EngineLabelOf(const std::string& name) {
+  // One mapping governs both directions: benchmarks name their points with
+  // Label(engine), so match path segments against the same function over
+  // every registered engine.
+  static const std::vector<std::string>* labels = [] {
+    auto* v = new std::vector<std::string>();
+    for (const std::string& engine : mal::OrderedEngineNames()) {
+      v->push_back(Label(engine));
+    }
+    return v;
+  }();
+  std::stringstream ss(name);
+  std::string segment;
+  while (std::getline(ss, segment, '/')) {
+    for (const std::string& label : *labels) {
+      if (segment == label) return segment;
+    }
+  }
+  return "";
+}
+
+double CounterOr(const benchmark::UserCounters& counters, const char* key,
+                 double fallback) {
+  auto it = counters.find(key);
+  return it == counters.end() ? fallback : static_cast<double>(it->second);
+}
+
+/// google-benchmark < 1.8 reports errored runs via Run::error_occurred;
+/// 1.8+ replaced it with the Run::skipped state. Detect whichever member
+/// the installed headers have.
+template <typename R>
+auto RunErrored(const R& run, int) -> decltype(run.error_occurred) {
+  return run.error_occurred;
+}
+template <typename R>
+auto RunErrored(const R& run, long) -> decltype(static_cast<bool>(run.skipped)) {
+  return static_cast<bool>(run.skipped);
+}
+
+}  // namespace
+
+BenchJsonReporter::BenchJsonReporter(std::string path) : path_(std::move(path)) {}
+
+void BenchJsonReporter::ReportRuns(const std::vector<Run>& report) {
+  for (const Run& run : report) {
+    if (RunErrored(run, 0)) continue;
+    // Manual time is the virtual (modeled) milliseconds every bench reports;
+    // GetAdjustedRealTime applies the per-iteration average and the ms unit.
+    std::ostringstream rec;
+    rec << "{\"engine\": \"" << EngineLabelOf(run.benchmark_name())
+        << "\", \"benchmark\": \"" << run.benchmark_name()
+        << "\", \"virtual_ms\": " << run.GetAdjustedRealTime()
+        << ", \"real_ms\": " << CounterOr(run.counters, "real_ms", 0.0)
+        << ", \"bytes_copied\": "
+        << static_cast<std::uint64_t>(CounterOr(run.counters, "bytes_copied", 0.0))
+        << "}";
+    records_.push_back(rec.str());
+  }
+  ConsoleReporter::ReportRuns(report);
+}
+
+BenchJsonReporter::~BenchJsonReporter() {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchJsonReporter: cannot write %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", records_[i].c_str(),
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+int RunBenchmarks(int argc, char** argv, const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  BenchJsonReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (reporter.records() == 0) {
+    std::fprintf(stderr,
+                 "error: no benchmark produced a measurable run (every point "
+                 "errored or the filter matched nothing)\n");
+    return 1;
+  }
+  return 0;
 }
 
 bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session) {

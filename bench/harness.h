@@ -77,6 +77,44 @@ const tpch::TpchDb& Db(double paper_sf);
 /// other error (benchmarks must not silently measure failures).
 bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session);
 
+/// The measured loop of a JSON-reporting benchmark: per-iteration virtual
+/// milliseconds as google-benchmark manual time, plus the `real_ms` (host
+/// wall per iteration) and `bytes_copied` (scheduler merge traffic per
+/// iteration) user counters the BenchJsonReporter picks up. `op` returns
+/// false when the point legitimately exceeds device memory; the loop then
+/// ends with SkipWithError. Callers warm up before entering.
+void JsonMeasuredLoop(benchmark::State& state, mal::Session* session,
+                      const std::function<bool()>& op);
+
+/// Console reporter that additionally appends one machine-readable JSON
+/// record per finished run to a file:
+///   {"engine": "MULTI", "benchmark": "...", "virtual_ms": ..,
+///    "real_ms": .., "bytes_copied": ..}
+/// The engine is the paper label found in the benchmark name's path
+/// segments; virtual_ms is the manual (modeled) time every bench reports;
+/// real_ms and bytes_copied come from the like-named user counters when the
+/// benchmark sets them (0 otherwise). The file is written on destruction.
+class BenchJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit BenchJsonReporter(std::string path);
+  ~BenchJsonReporter() override;
+
+  void ReportRuns(const std::vector<Run>& report) override;
+
+  /// Successfully measured runs so far (errored/skipped points excluded).
+  std::size_t records() const { return records_.size(); }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+/// Standard bench main body: Initialize + RunSpecifiedBenchmarks with a
+/// BenchJsonReporter writing `json_path` next to the console output.
+/// Returns nonzero when not a single point produced a measurable run, so a
+/// CI smoke job fails instead of uploading an empty trajectory.
+int RunBenchmarks(int argc, char** argv, const std::string& json_path);
+
 }  // namespace bench
 
 #endif  // OCELOT_BENCH_HARNESS_H_

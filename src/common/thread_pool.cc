@@ -1,0 +1,134 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+namespace common {
+
+namespace {
+
+/// True while this thread is executing inside a ParallelFor (caller or
+/// worker): nested fan-out runs serially instead of deadlocking.
+thread_local bool tl_in_parallel_for = false;
+
+int EnvThreads() {
+  if (const char* env = std::getenv("OCELOT_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex& GlobalMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::unique_ptr<ThreadPool>& GlobalSlot() {
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  int workers = (threads < 1 ? 1 : threads) - 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  for (;;) {
+    int i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->n) return;
+    (*batch->fn)(i);
+    batch->done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  tl_in_parallel_for = true;  // nested fan-out from task bodies runs serial
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      batch = batch_;
+      batch->entered += 1;
+    }
+    RunBatch(batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch->exited += 1;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (tl_in_parallel_for || workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  Batch batch;
+  batch.n = n;
+  batch.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    generation_ += 1;
+  }
+  work_cv_.notify_all();
+
+  tl_in_parallel_for = true;
+  RunBatch(&batch);
+  tl_in_parallel_for = false;
+
+  // Wait until every index ran *and* every worker that touched the batch
+  // has left it (batch lives on this stack frame). Unpublishing under mu_
+  // guarantees no further workers can enter afterwards.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch.done.load(std::memory_order_acquire) == batch.n &&
+             batch.entered == batch.exited;
+    });
+    batch_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  auto& slot = GlobalSlot();
+  if (slot == nullptr) slot = std::make_unique<ThreadPool>(EnvThreads());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  std::lock_guard<std::mutex> lock(GlobalMutex());
+  auto& slot = GlobalSlot();
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace common

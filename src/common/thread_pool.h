@@ -1,0 +1,83 @@
+#ifndef OCELOT_COMMON_THREAD_POOL_H_
+#define OCELOT_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace common {
+
+/// A fixed-size host thread pool for index-based fan-out: ParallelFor(n, fn)
+/// runs fn(0..n-1) across the pool and the calling thread, blocking until
+/// every index finished. This is the *real* parallelism underneath the
+/// simulated kind — ocelot::Scheduler runs its per-device fragments on it
+/// and monet::ParallelFor runs its Mitosis slice tasks on it, while virtual
+/// clocks keep billing modeled device time exactly as in serial execution.
+///
+/// Semantics:
+///  * The caller participates: a pool of size 1 has no worker threads and
+///    ParallelFor degenerates to the serial loop `for (i) fn(i)`.
+///  * Indices are claimed atomically; no ordering between indices may be
+///    assumed. fn must make concurrent calls safe for *distinct* indices
+///    (the scheduler's fragments touch disjoint devices/slots by design).
+///  * Nested ParallelFor calls from inside fn run serially on the calling
+///    worker — no deadlock, no thread explosion.
+///  * Concurrent ParallelFor calls from different threads serialize.
+class ThreadPool {
+ public:
+  /// Creates `threads` total execution lanes (the caller plus threads-1
+  /// workers). Values < 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, caller included.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0..n-1) across the pool; returns when all calls finished.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// The process-wide pool, sized from OCELOT_THREADS (default: the host's
+  /// hardware_concurrency). Created on first use.
+  static ThreadPool& Global();
+
+  /// Re-sizes the global pool (benchmarks/tests sweeping thread counts).
+  /// Must not be called while a ParallelFor is in flight.
+  static void SetGlobalThreads(int threads);
+
+ private:
+  struct Batch {
+    int n = 0;
+    const std::function<void(int)>* fn = nullptr;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    // Guarded by mu_: workers currently inside RunBatch for this batch. The
+    // caller frees the (stack-allocated) batch only once every participant
+    // has left it, not merely once every index ran.
+    int entered = 0;
+    int exited = 0;
+  };
+
+  void WorkerLoop();
+  void RunBatch(Batch* batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: a batch was published
+  std::condition_variable done_cv_;   // caller: the batch completed
+  Batch* batch_ = nullptr;            // currently published batch
+  std::uint64_t generation_ = 0;      // bumped per published batch
+  bool shutdown_ = false;
+
+  std::mutex caller_mu_;              // serializes concurrent ParallelFor calls
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_THREAD_POOL_H_

@@ -1,11 +1,23 @@
 #include "common/vclock.h"
 
+#include <ctime>
+
 namespace common {
 
 Nanos RealNow() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+Nanos ThreadCpuNow() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  std::timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<Nanos>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  }
+#endif
+  return RealNow();  // platforms without a per-thread CPU clock
 }
 
 }  // namespace common

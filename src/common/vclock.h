@@ -10,6 +10,12 @@ namespace common {
 /// Wall-clock nanoseconds from a monotonic source.
 Nanos RealNow();
 
+/// CPU nanoseconds consumed by the *calling thread* (excludes time the
+/// thread spent descheduled). Seeds the modeled kernel/task durations, so
+/// an oversubscribed host (OCELOT_THREADS > cores) does not inflate the
+/// virtual cost model with scheduling gaps.
+Nanos ThreadCpuNow();
+
 /// A virtual clock that tracks real host time except where the simulation
 /// substitutes modeled device time.
 ///
@@ -44,13 +50,26 @@ class VirtualClock {
 };
 
 /// Measures real elapsed time; used both for benchmarking the sequential
-/// baseline and for timing kernel work-groups inside the simulator.
+/// baseline and for deducting simulated-execution time from virtual clocks.
 class Stopwatch {
  public:
   Stopwatch() : start_(RealNow()) {}
   void Restart() { start_ = RealNow(); }
   Nanos ElapsedNanos() const { return RealNow() - start_; }
   double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+
+ private:
+  Nanos start_;
+};
+
+/// Measures the calling thread's CPU time; used for timing kernel
+/// work-groups and Mitosis slice tasks inside the simulator, where the
+/// measurement seeds a *modeled* duration and must not grow just because
+/// concurrent host threads contended for cores.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(ThreadCpuNow()) {}
+  Nanos ElapsedNanos() const { return ThreadCpuNow() - start_; }
 
  private:
   Nanos start_;

@@ -1,34 +1,102 @@
 #include "cstore/bat.h"
 
 #include <atomic>
+#include <mutex>
 #include <utility>
 
 namespace cstore {
 namespace {
 
 std::atomic<std::uint64_t> g_next_bat_id{1};
+std::atomic<std::uint64_t> g_next_heap_id{1};
 std::atomic<std::uint64_t> g_next_listener_token{1};
 
+/// One registered callback with its own invocation lock. Fire() invokes
+/// under this per-listener lock, and Remove() clears the callback under the
+/// same lock — so Remove() doubles as a barrier for exactly this listener:
+/// once it returns, the callback can no longer be in flight on any thread
+/// and its owner (a MemoryManager) may be destroyed safely. The lock is
+/// recursive so a callback that itself releases a BAT (firing the registry
+/// again on the same thread) cannot self-deadlock.
 struct Listener {
-  std::uint64_t token;
-  std::function<void(std::uint64_t)> fn;
+  std::uint64_t token = 0;
+  std::recursive_mutex mu;
+  std::function<void(std::uint64_t)> fn;  // empty after removal
 };
 
-// The engine is single-threaded per session (MonetDB's operator-at-a-time
-// execution); a plain vector suffices.
-std::vector<Listener>& Listeners() {
-  static std::vector<Listener>* listeners = new std::vector<Listener>();
-  return *listeners;
+/// One registry for BAT-death callbacks, one for heap-death callbacks.
+/// Scheduler fragments create and destroy BATs concurrently on pool
+/// threads, so the registry lock guards only the listener *list* (held
+/// briefly for snapshots); invocation serializes per listener, not
+/// globally — fragments destroying unrelated BATs do not convoy behind one
+/// process-wide lock while some memory manager drains its queue.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Listener>> listeners;
+
+  std::uint64_t Add(std::function<void(std::uint64_t)> fn) {
+    auto l = std::make_shared<Listener>();
+    l->token = g_next_listener_token.fetch_add(1);
+    l->fn = std::move(fn);
+    std::lock_guard<std::mutex> lock(mu);
+    listeners.push_back(l);
+    return listeners.back()->token;
+  }
+
+  void Remove(std::uint64_t token) {
+    std::shared_ptr<Listener> victim;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto it = listeners.begin(); it != listeners.end(); ++it) {
+        if ((*it)->token == token) {
+          victim = *it;
+          listeners.erase(it);
+          break;
+        }
+      }
+    }
+    if (victim != nullptr) {
+      // Wait out any in-flight invocation of *this* listener, then disarm.
+      std::lock_guard<std::recursive_mutex> lock(victim->mu);
+      victim->fn = nullptr;
+    }
+  }
+
+  void Fire(std::uint64_t id) {
+    std::vector<std::shared_ptr<Listener>> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      snapshot = listeners;
+    }
+    for (const auto& l : snapshot) {
+      std::lock_guard<std::recursive_mutex> lock(l->mu);
+      if (l->fn) l->fn(id);
+    }
+  }
+};
+
+Registry& BatRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry& HeapRegistry() {
+  static Registry* r = new Registry();
+  return *r;
 }
 
 }  // namespace
+
+Bat::Heap::Heap(std::size_t n) : id(g_next_heap_id.fetch_add(1)), bytes(n) {}
+
+Bat::Heap::~Heap() { HeapRegistry().Fire(id); }
 
 Bat::Bat(ValType type, std::size_t n, oid_t hseqbase)
     : id_(g_next_bat_id.fetch_add(1)),
       type_(type),
       count_(n),
       hseqbase_(hseqbase),
-      heap_(n * ValTypeSize(type)) {}
+      heap_(std::make_shared<Heap>(n * ValTypeSize(type))) {}
 
 BatPtr Bat::Make(ValType type, std::size_t n, oid_t hseqbase) {
   return BatPtr(new Bat(type, n, hseqbase));
@@ -42,19 +110,61 @@ BatPtr Bat::DenseOids(std::size_t n, oid_t base) {
   return b;
 }
 
-Bat::~Bat() {
-  for (const Listener& l : Listeners()) l.fn(id_);
+Bat::Bat(const Bat& src, std::size_t offset, std::size_t n, ViewTag)
+    : id_(g_next_bat_id.fetch_add(1)),
+      type_(src.type_),
+      count_(n),
+      hseqbase_(src.hseqbase_ + static_cast<oid_t>(offset)),
+      // Share the parent's storage: the view pins the heap, which dies only
+      // when parent and every view are gone.
+      heap_(src.heap_),
+      offset_(src.offset_ + offset * ValTypeSize(src.type_)),
+      view_(true) {
+  // A contiguous row sub-range preserves every tail property.
+  sorted_ = src.sorted_;
+  key_ = src.key_;
+  nonil_ = src.nonil_;
+  if (src.dense_) SetDense(src.tseqbase_ + static_cast<oid_t>(offset));
+  // Device ownership travels with the bytes: a view of an unsynced
+  // device-resident result is itself device-resident, so host-residency
+  // checks (and the memory manager) keep seeing the truth.
+  ocelot_owned_ = src.ocelot_owned_;
 }
+
+BatPtr Bat::View(const BatPtr& src, std::size_t offset, std::size_t n) {
+  OCELOT_CHECK(src != nullptr) << "View of a null BAT";
+  OCELOT_CHECK_LE(offset + n, src->size())
+      << "view range [" << offset << ", " << offset + n << ") exceeds parent";
+  return BatPtr(new Bat(*src, offset, n, ViewTag{}));
+}
+
+void Bat::ResizeTail(std::size_t n) {
+  OCELOT_CHECK(!view_) << "ResizeTail on a BAT view (views alias a fixed "
+                          "range of their parent's heap)";
+  OCELOT_CHECK(heap_.use_count() == 1)
+      << "ResizeTail on a BAT with live views of its heap";
+  // Anything keyed on (heap id, offset, length) is stale after the resize:
+  // the byte length changes and the storage may move. Announce the heap's
+  // old identity as dead before reallocating, exactly as destruction would.
+  HeapRegistry().Fire(heap_->id);
+  count_ = n;
+  heap_->bytes.resize(n * ValTypeSize(type_));
+}
+
+Bat::~Bat() { BatRegistry().Fire(id_); }
 
 std::uint64_t Bat::AddDeleteListener(std::function<void(std::uint64_t)> fn) {
-  std::uint64_t token = g_next_listener_token.fetch_add(1);
-  Listeners().push_back({token, std::move(fn)});
-  return token;
+  return BatRegistry().Add(std::move(fn));
 }
 
-void Bat::RemoveDeleteListener(std::uint64_t token) {
-  auto& listeners = Listeners();
-  std::erase_if(listeners, [token](const Listener& l) { return l.token == token; });
+void Bat::RemoveDeleteListener(std::uint64_t token) { BatRegistry().Remove(token); }
+
+std::uint64_t Bat::AddHeapDeleteListener(std::function<void(std::uint64_t)> fn) {
+  return HeapRegistry().Add(std::move(fn));
+}
+
+void Bat::RemoveHeapDeleteListener(std::uint64_t token) {
+  HeapRegistry().Remove(token);
 }
 
 }  // namespace cstore

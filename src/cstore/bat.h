@@ -21,17 +21,31 @@ using BatPtr = std::shared_ptr<Bat>;
 /// typed tail heap), the object every operator in this engine consumes and
 /// produces.
 ///
-/// The tail heap is 128-byte aligned (paper 4.3). Property bits mirror
-/// MonetDB's: `sorted`/`revsorted` (tail ordering), `key` (tail values
-/// unique), `dense` (tail is the oid sequence tseqbase, tseqbase+1, ...) and
-/// `nonil`. Operators maintain them best-effort; consumers may only rely on
-/// a set bit, never on a cleared one.
+/// The tail heap is 128-byte aligned (paper 4.3) and *shared*: a BAT either
+/// owns its heap or is a **view** (`Bat::View`) aliasing a row range of
+/// another BAT's heap, the way MonetDB's Mitosis slices are views rather
+/// than copies. A view holds a shared reference to the heap, so the storage
+/// outlives whichever of parent and views is released first. Every heap
+/// carries a process-unique id; (heap id, byte offset, byte length)
+/// identifies the bytes a BAT covers, independent of which descriptor —
+/// parent or view — names them (Ocelot's memory manager keys its device
+/// cache on exactly this triple).
+///
+/// Property bits mirror MonetDB's: `sorted`/`revsorted` (tail ordering),
+/// `key` (tail values unique), `dense` (tail is the oid sequence tseqbase,
+/// tseqbase+1, ...) and `nonil`. Operators maintain them best-effort;
+/// consumers may only rely on a set bit, never on a cleared one. Views
+/// inherit every property from their parent at creation (a contiguous
+/// sub-range preserves all of them; a dense view's tseqbase shifts by the
+/// view offset).
 ///
 /// Two integration hooks from the paper's MonetDB modifications (4.3) are
 /// present: the `ocelot_owned` flag on the descriptor (results of Ocelot
 /// operators are device-resident until an explicit sync hands them back) and
 /// the delete-listener callbacks that let Ocelot's memory manager drop
-/// cached device buffers when a BAT is destroyed.
+/// cached state when a BAT — or the heap behind it — is destroyed. Both
+/// registries are thread-safe: scheduler fragments create and destroy BATs
+/// concurrently on host threads.
 class Bat {
  public:
   /// Creates a BAT with `n` uninitialized tail values of type `type` and a
@@ -45,6 +59,14 @@ class Bat {
   /// the identity candidate list of a table.
   static BatPtr DenseOids(std::size_t n, oid_t base = 0);
 
+  /// Creates a zero-copy view of rows [offset, offset+n) of `src`: a new
+  /// descriptor aliasing `src`'s heap (shared ownership — the heap lives
+  /// until parent *and* every view are gone). Property bits are inherited;
+  /// the head continues `src`'s numbering (hseqbase shifts by `offset`).
+  /// Views of views collapse to one level: the result aliases the root heap
+  /// directly. Views are fixed-size: ResizeTail on a view is a fatal error.
+  static BatPtr View(const BatPtr& src, std::size_t offset, std::size_t n);
+
   ~Bat();
 
   Bat(const Bat&) = delete;
@@ -57,41 +79,58 @@ class Bat {
   oid_t hseqbase() const { return hseqbase_; }
   std::size_t tail_bytes() const { return count_ * ValTypeSize(type_); }
 
-  void* data() { return heap_.data(); }
-  const void* data() const { return heap_.data(); }
+  /// True for descriptors created by View (non-owning alias of a range).
+  bool is_view() const { return view_; }
+  /// Process-unique id of the heap backing this BAT; equal for a parent and
+  /// all of its views.
+  std::uint64_t heap_id() const { return heap_->id; }
+  /// Byte offset of this BAT's first tail value inside its heap (0 for
+  /// heap-owning BATs).
+  std::size_t heap_offset() const { return offset_; }
+  /// Type-erased shared handle to the tail heap: alive exactly as long as
+  /// any BAT (parent or view) still references it. The memory manager
+  /// tracks heap liveness through a weak copy of this.
+  std::shared_ptr<const void> heap_handle() const {
+    return std::shared_ptr<const void>(heap_, heap_.get());
+  }
+
+  void* data() { return heap_->bytes.data() + offset_; }
+  const void* data() const { return heap_->bytes.data() + offset_; }
 
   /// Re-sizes the tail heap. Used when a deferred result (e.g. an Ocelot
   /// bitmap-backed candidate list) learns its true cardinality at
   /// materialization time. Existing contents up to min(old, new) survive;
-  /// all outstanding spans/pointers are invalidated.
-  void ResizeTail(std::size_t n) {
-    count_ = n;
-    heap_.resize(n * ValTypeSize(type_));
-  }
+  /// all outstanding spans/pointers are invalidated — including any device
+  /// buffer cached for a range of this heap, so the heap-delete listeners
+  /// fire (under the old heap id; the BAT keeps it) before the storage is
+  /// reallocated. Fatal on views (a view does not own its heap) and on a
+  /// parent with live views (the resize would reallocate the heap under
+  /// them).
+  void ResizeTail(std::size_t n);
 
   std::span<std::int32_t> ints() {
     OCELOT_CHECK(type_ == ValType::kInt);
-    return {reinterpret_cast<std::int32_t*>(heap_.data()), count_};
+    return {reinterpret_cast<std::int32_t*>(data()), count_};
   }
   std::span<const std::int32_t> ints() const {
     OCELOT_CHECK(type_ == ValType::kInt);
-    return {reinterpret_cast<const std::int32_t*>(heap_.data()), count_};
+    return {reinterpret_cast<const std::int32_t*>(data()), count_};
   }
   std::span<float> floats() {
     OCELOT_CHECK(type_ == ValType::kFloat);
-    return {reinterpret_cast<float*>(heap_.data()), count_};
+    return {reinterpret_cast<float*>(data()), count_};
   }
   std::span<const float> floats() const {
     OCELOT_CHECK(type_ == ValType::kFloat);
-    return {reinterpret_cast<const float*>(heap_.data()), count_};
+    return {reinterpret_cast<const float*>(data()), count_};
   }
   std::span<oid_t> oids() {
     OCELOT_CHECK(type_ == ValType::kOid);
-    return {reinterpret_cast<oid_t*>(heap_.data()), count_};
+    return {reinterpret_cast<oid_t*>(data()), count_};
   }
   std::span<const oid_t> oids() const {
     OCELOT_CHECK(type_ == ValType::kOid);
-    return {reinterpret_cast<const oid_t*>(heap_.data()), count_};
+    return {reinterpret_cast<const oid_t*>(data()), count_};
   }
 
   // -- Properties -----------------------------------------------------------
@@ -127,14 +166,35 @@ class Bat {
   static std::uint64_t AddDeleteListener(std::function<void(std::uint64_t)> fn);
   static void RemoveDeleteListener(std::uint64_t token);
 
+  /// Registers a process-wide callback fired with the heap id when a tail
+  /// heap is destroyed — i.e. when the *last* BAT sharing it (parent or
+  /// view) goes away. Buffer caches keyed on heap identity hook this.
+  static std::uint64_t AddHeapDeleteListener(std::function<void(std::uint64_t)> fn);
+  static void RemoveHeapDeleteListener(std::uint64_t token);
+
  private:
+  /// The shared tail storage: an aligned byte vector with a process-unique
+  /// identity that outlives any single descriptor referencing it.
+  struct Heap {
+    explicit Heap(std::size_t n);
+    ~Heap();
+    std::uint64_t id;
+    std::vector<std::byte, common::AlignedAllocator<std::byte>> bytes;
+  };
+
+  struct ViewTag {};
+
   Bat(ValType type, std::size_t n, oid_t hseqbase);
+  /// View constructor: aliases `src`'s heap at a row offset.
+  Bat(const Bat& src, std::size_t offset, std::size_t n, ViewTag);
 
   std::uint64_t id_;
   ValType type_;
   std::size_t count_;
   oid_t hseqbase_;
-  std::vector<std::byte, common::AlignedAllocator<std::byte>> heap_;
+  std::shared_ptr<Heap> heap_;
+  std::size_t offset_ = 0;  ///< byte offset into heap_ (views only)
+  bool view_ = false;
 
   bool sorted_ = false;
   bool key_ = false;

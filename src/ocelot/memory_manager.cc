@@ -12,39 +12,58 @@ using common::Status;
 using cstore::BatPtr;
 
 MemoryManager::MemoryManager(ocl::DeviceContext* ctx) : ctx_(ctx) {
-  listener_token_ = cstore::Bat::AddDeleteListener(
+  bat_listener_token_ = cstore::Bat::AddDeleteListener(
       [this](std::uint64_t id) { OnBatDeleted(id); });
+  heap_listener_token_ = cstore::Bat::AddHeapDeleteListener(
+      [this](std::uint64_t id) { OnHeapDeleted(id); });
 }
 
 MemoryManager::~MemoryManager() {
-  cstore::Bat::RemoveDeleteListener(listener_token_);
+  cstore::Bat::RemoveDeleteListener(bat_listener_token_);
+  cstore::Bat::RemoveHeapDeleteListener(heap_listener_token_);
+}
+
+MemoryManager::BufferKey MemoryManager::KeyOf(const BatPtr& bat) {
+  return {bat->heap_id(), bat->heap_offset(), bat->tail_bytes()};
 }
 
 MemoryManager::OpScope::~OpScope() {
-  for (std::uint64_t id : held_) {
-    auto it = mm_->entries_.find(id);
+  std::lock_guard<std::mutex> lock(mm_->mu_);
+  for (const BufferKey& key : held_) {
+    auto it = mm_->entries_.find(key);
     if (it != mm_->entries_.end() && it->second.scope_refs > 0) {
       it->second.scope_refs -= 1;
     }
   }
 }
 
-void MemoryManager::Hold(OpScope* scope, std::uint64_t id, Entry* entry) {
+void MemoryManager::Hold(OpScope* scope, const BufferKey& key, Entry* entry) {
   if (scope == nullptr) return;
   entry->scope_refs += 1;
-  scope->held_.push_back(id);
+  scope->held_.push_back(key);
 }
 
 Result<ocl::BufferPtr> MemoryManager::AcquireRead(OpScope* scope, const BatPtr& bat,
                                                   ocl::EventList* waits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AcquireReadLocked(scope, bat, waits);
+}
+
+Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
+                                                        const BatPtr& bat,
+                                                        ocl::EventList* waits) {
   if (bat == nullptr) return Status::InvalidArgument("AcquireRead: null BAT");
-  Entry& entry = entries_[bat->id()];
+  BufferKey key = KeyOf(bat);
+  Entry& entry = entries_[key];
   entry.bat = bat;
+  entry.heap = bat->heap_handle();
   entry.last_use = ++tick_;
-  entry.bytes = bat->tail_bytes();
+  entry.bytes = key.bytes;
 
   if (entry.buffer == nullptr) {
     if (ctx_->device()->model().unified_memory) {
+      // Zero-copy: the host heap *is* the device memory, so this is valid
+      // even for device-owned ranges.
       ASSIGN_OR_RETURN(entry.buffer,
                        ctx_->device()->WrapHost(bat->data(), bat->tail_bytes()));
     } else {
@@ -52,25 +71,57 @@ Result<ocl::BufferPtr> MemoryManager::AcquireRead(OpScope* scope, const BatPtr& 
         // An offloaded result is being pulled back (footnote 4): reload the
         // host copy we parked in the BAT heap.
         reloads_ += 1;
+      } else if (bat->ocelot_owned()) {
+        // The BAT says its authoritative bytes live on a device, but this
+        // range has no device-resident buffer here (e.g. a sub-range view
+        // of an unsynced result, or a result of another device's engine).
+        // Uploading the host heap would silently read stale bytes.
+        return Status::InvalidArgument(
+            "AcquireRead: BAT is device-owned but this range is not "
+            "device-resident here (sync the producing engine first)");
       }
       ASSIGN_OR_RETURN(entry.buffer, AllocateWithEviction(bat->tail_bytes()));
       entry.producer =
           ctx_->queue()->EnqueueWrite(entry.buffer, bat->data(), bat->tail_bytes());
+      SubsumeCoveredEntries(key);
     }
   }
   if (entry.producer != nullptr && !entry.producer->complete() && waits != nullptr) {
     waits->push_back(entry.producer);
   }
-  Hold(scope, bat->id(), &entry);
+  Hold(scope, key, &entry);
   return entry.buffer;
+}
+
+void MemoryManager::SubsumeCoveredEntries(const BufferKey& key) {
+  // A freshly cached range makes cached copies of sub-ranges redundant:
+  // once the whole column lands on the device, the scheduler's persistent
+  // per-fragment view entries would otherwise double the footprint. Reap
+  // the evictable ones (clean, unpinned, unreferenced, quiescent).
+  auto it = entries_.lower_bound(BufferKey{key.heap, 0, 0});
+  while (it != entries_.end() && it->first.heap == key.heap) {
+    const BufferKey& k = it->first;
+    const Entry& e = it->second;
+    bool covered = k != key && k.offset >= key.offset &&
+                   k.offset + k.bytes <= key.offset + key.bytes;
+    if (covered && !e.device_authoritative && !e.pinned && e.scope_refs == 0 &&
+        Quiescent(e)) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Result<ocl::BufferPtr> MemoryManager::AcquireWrite(OpScope* scope, const BatPtr& bat) {
   if (bat == nullptr) return Status::InvalidArgument("AcquireWrite: null BAT");
-  Entry& entry = entries_[bat->id()];
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferKey key = KeyOf(bat);
+  Entry& entry = entries_[key];
   entry.bat = bat;
+  entry.heap = bat->heap_handle();
   entry.last_use = ++tick_;
-  entry.bytes = bat->tail_bytes();
+  entry.bytes = key.bytes;
 
   if (entry.buffer == nullptr) {
     if (ctx_->device()->model().unified_memory) {
@@ -82,11 +133,12 @@ Result<ocl::BufferPtr> MemoryManager::AcquireWrite(OpScope* scope, const BatPtr&
   }
   entry.device_authoritative = !ctx_->device()->model().unified_memory;
   bat->set_ocelot_owned(true);
-  Hold(scope, bat->id(), &entry);
+  Hold(scope, key, &entry);
   return entry.buffer;
 }
 
 Result<ocl::BufferPtr> MemoryManager::AllocScratch(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   return AllocateWithEviction(bytes);
 }
 
@@ -116,22 +168,22 @@ void MemoryManager::WaitForQuiescence(Entry* entry) {
 bool MemoryManager::EvictOne() {
   // Tier 1 (paper 3.3): evict cached copies of host-resident BATs, LRU.
   Entry* victim = nullptr;
-  std::uint64_t victim_id = 0;
+  BufferKey victim_key;
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (auto& [id, entry] : entries_) {
+  for (auto& [key, entry] : entries_) {
     if (entry.buffer == nullptr || entry.pinned || entry.scope_refs > 0) continue;
     if (entry.device_authoritative) continue;  // tier 3
     if (entry.last_use < best) {
       best = entry.last_use;
       victim = &entry;
-      victim_id = id;
+      victim_key = key;
     }
   }
   if (victim != nullptr) {
     WaitForQuiescence(victim);
     victim->buffer.reset();
     victim->producer.reset();
-    entries_.erase(victim_id);
+    entries_.erase(victim_key);
     evictions_ += 1;
     return true;
   }
@@ -154,21 +206,26 @@ bool MemoryManager::EvictOne() {
   // BAT has been destroyed are unreachable garbage: drop them outright.
   best = std::numeric_limits<std::uint64_t>::max();
   victim = nullptr;
-  for (auto& [id, entry] : entries_) {
+  for (auto& [key, entry] : entries_) {
     if (entry.buffer == nullptr || entry.pinned || entry.scope_refs > 0) continue;
     if (!entry.device_authoritative) continue;
     if (entry.bat.expired()) {
+      // The descriptor is gone, but with heap-identity keys the bytes may
+      // still be reachable through a live view of the same range — then the
+      // buffer holds the only copy and is neither garbage nor offloadable
+      // (no descriptor to park it in) until a view re-acquires the entry.
+      if (!entry.heap.expired()) continue;
       WaitForQuiescence(&entry);
       entry.buffer.reset();
       entry.producer.reset();
-      entries_.erase(id);
+      entries_.erase(key);
       evictions_ += 1;
       return true;
     }
     if (entry.last_use < best) {
       best = entry.last_use;
       victim = &entry;
-      victim_id = id;
+      victim_key = key;
     }
   }
   if (victim == nullptr) return false;
@@ -190,14 +247,17 @@ bool MemoryManager::EvictOne() {
 }
 
 void MemoryManager::SetProducer(const BatPtr& bat, ocl::EventPtr event) {
-  Entry& entry = entries_[bat->id()];
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[KeyOf(bat)];
   entry.bat = bat;
+  entry.heap = bat->heap_handle();
   entry.producer = std::move(event);
   entry.last_use = ++tick_;
 }
 
 void MemoryManager::AddConsumer(const BatPtr& bat, ocl::EventPtr event) {
-  auto it = entries_.find(bat->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyOf(bat));
   if (it == entries_.end()) return;
   // Consumer events decide when a buffer may be discarded (footnote 5);
   // prune completed ones to bound the list.
@@ -207,37 +267,58 @@ void MemoryManager::AddConsumer(const BatPtr& bat, ocl::EventPtr event) {
 }
 
 ocl::EventPtr MemoryManager::Producer(const BatPtr& bat) const {
-  auto it = entries_.find(bat->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyOf(bat));
   if (it == entries_.end()) return nullptr;
   return it->second.producer;
 }
 
 void MemoryManager::RegisterBitmap(const BatPtr& handle, BitmapInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
   bitmaps_[handle->id()] = std::move(info);
   handle->set_ocelot_owned(true);
 }
 
 MemoryManager::BitmapInfo* MemoryManager::FindBitmap(const BatPtr& bat) {
+  // The returned pointer stays valid while the caller holds `bat` alive:
+  // only the death of this exact BAT erases its bitmap registration.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = bitmaps_.find(bat->id());
   return it == bitmaps_.end() ? nullptr : &it->second;
 }
 
-void MemoryManager::DropBitmap(const BatPtr& bat) { bitmaps_.erase(bat->id()); }
+void MemoryManager::DropBitmap(const BatPtr& bat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bitmaps_.erase(bat->id());
+}
 
 void MemoryManager::CacheHashTable(std::uint64_t bat_id, std::shared_ptr<void> table,
                                    std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   hash_tables_[bat_id] = {std::move(table), bytes, ++tick_};
 }
 
 std::shared_ptr<void> MemoryManager::FindHashTable(std::uint64_t bat_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hash_tables_.find(bat_id);
   if (it == hash_tables_.end()) return nullptr;
   it->second.last_use = ++tick_;
   return it->second.table;
 }
 
+void MemoryManager::DropCachedHashTable(std::uint64_t bat_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hash_tables_.erase(bat_id);
+}
+
+std::size_t MemoryManager::cached_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 Status MemoryManager::SyncToHost(const BatPtr& bat) {
-  auto it = entries_.find(bat->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyOf(bat));
   if (it == entries_.end()) {
     bat->set_ocelot_owned(false);
     return Status::Ok();
@@ -258,27 +339,53 @@ Status MemoryManager::SyncToHost(const BatPtr& bat) {
 }
 
 Status MemoryManager::Pin(OpScope* scope, const BatPtr& bat) {
+  std::lock_guard<std::mutex> lock(mu_);
   ocl::EventList waits;
-  RETURN_IF_ERROR(AcquireRead(scope, bat, &waits).status());
-  entries_[bat->id()].pinned = true;
+  RETURN_IF_ERROR(AcquireReadLocked(scope, bat, &waits).status());
+  entries_[KeyOf(bat)].pinned = true;
   return Status::Ok();
 }
 
 void MemoryManager::Unpin(const BatPtr& bat) {
-  auto it = entries_.find(bat->id());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(KeyOf(bat));
   if (it != entries_.end()) it->second.pinned = false;
 }
 
 void MemoryManager::OnBatDeleted(std::uint64_t bat_id) {
-  // MonetDB told us the BAT is gone (paper 4.3): its cache entry, bitmap and
-  // hash table are garbage now. Pending events must drain first.
-  auto it = entries_.find(bat_id);
-  if (it != entries_.end()) {
-    WaitForQuiescence(&it->second);
-    entries_.erase(it);
-  }
+  // MonetDB told us the BAT is gone (paper 4.3): its bitmap and hash table
+  // are garbage now. Buffer-cache entries are keyed on heap identity and
+  // survive as long as the heap does — another view of the same bytes keeps
+  // hitting the cached buffer (OnHeapDeleted reaps them).
+  std::lock_guard<std::mutex> lock(mu_);
   bitmaps_.erase(bat_id);
   hash_tables_.erase(bat_id);
+}
+
+bool MemoryManager::Quiescent(const Entry& entry) {
+  if (entry.producer != nullptr && !entry.producer->complete()) return false;
+  for (const ocl::EventPtr& e : entry.consumers) {
+    if (!e->complete()) return false;
+  }
+  return true;
+}
+
+void MemoryManager::OnHeapDeleted(std::uint64_t heap_id) {
+  // The last BAT sharing this heap (parent or view) is gone — or its heap
+  // was reallocated by ResizeTail: every cached buffer of any range of it
+  // is garbage. Quiescent entries are erased outright (pending queue ops
+  // hold their own buffer/event references, so this never touches the
+  // CommandQueue and is safe from whatever thread dropped the last
+  // reference). Entries with incomplete events can only exist while the
+  // slot's own driving thread has enqueued-but-unflushed work; that thread
+  // is also the only one that can be destroying such a BAT (fragments own
+  // their temporaries), so draining the queue here stays single-threaded.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.lower_bound(BufferKey{heap_id, 0, 0});
+  while (it != entries_.end() && it->first.heap == heap_id) {
+    if (!Quiescent(it->second)) WaitForQuiescence(&it->second);
+    it = entries_.erase(it);
+  }
 }
 
 }  // namespace ocelot

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -17,7 +18,11 @@ namespace ocelot {
 /// Responsibilities, mirroring the paper:
 ///  * BAT -> device buffer registry. On unified-memory devices the mapping
 ///    is zero-copy; discrete devices get a transfer and the copy is kept as
-///    a *device cache* for as long as possible.
+///    a *device cache* for as long as possible. The cache is keyed on
+///    **heap identity** — (heap id, byte offset, byte length) — not on the
+///    BAT descriptor, so a parent and any view covering the same bytes share
+///    one cached buffer, and the scheduler's per-operator fragment views hit
+///    the cache across operator calls instead of re-uploading.
 ///  * LRU eviction of clean cached base BATs under memory pressure, then
 ///    dropping of auxiliary structures (cached hash tables), then
 ///    *offloading* of computed result buffers back to the host — those
@@ -26,12 +31,34 @@ namespace ocelot {
 ///    scheduled are never victims; explicit pinning for hot BATs.
 ///  * Producer/consumer event registries per buffer: the scheduling
 ///    information Ocelot hands to the OpenCL runtime (paper 3.4).
-///  * Delete/recycle callbacks from the BAT layer (paper 4.3) that drop
-///    cache entries of destroyed BATs.
+///  * Delete/recycle callbacks from the BAT layer (paper 4.3): BAT death
+///    drops bitmap/hash-table state, heap death drops the buffer cache
+///    entries of every range of that heap.
 ///  * The hash-table cache for base-table joins (paper 5.2.6).
 ///  * Bitmap registry: selection results live as device bitmaps and are
 ///    only materialized into oid lists on demand (paper 4.1.1).
+///
+/// Thread safety: one MemoryManager belongs to one device slot and is
+/// driven by one scheduler fragment at a time, but the process-wide BAT and
+/// heap delete listeners fire on whichever thread drops the last reference
+/// — possibly while another fragment runs on this manager's device. All
+/// internal state is therefore guarded by a mutex. Foreign threads only
+/// ever mutate the maps (their reaping never drives this slot's command
+/// queue — see OnHeapDeleted); queue draining stays with the slot's own
+/// driving thread, which keeps per-slot virtual clocks single-writer.
 class MemoryManager {
+  /// Identity of the bytes a device buffer caches: the backing heap plus
+  /// the byte range inside it. A parent BAT and a view covering the same
+  /// range produce the same key; distinct fragment views of one column
+  /// produce per-range keys that are stable across operator calls.
+  /// (Declared before OpScope, which stores the keys it holds.)
+  struct BufferKey {
+    std::uint64_t heap = 0;
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+    auto operator<=>(const BufferKey&) const = default;
+  };
+
  public:
   /// Binds to one device slot of a context; a multi-device context gets one
   /// MemoryManager (inside one OcelotEngine) per slot.
@@ -52,8 +79,9 @@ class MemoryManager {
 
    private:
     friend class MemoryManager;
+
     MemoryManager* mm_;
-    std::vector<std::uint64_t> held_;
+    std::vector<BufferKey> held_;  ///< cache keys of the held buffers
   };
 
   /// Device buffer with valid contents of `bat`. Appends the buffer's
@@ -97,7 +125,7 @@ class MemoryManager {
                       std::size_t bytes);
   std::shared_ptr<void> FindHashTable(std::uint64_t bat_id);
   /// Forgets a cached hash table (benchmarks measuring cold builds).
-  void DropCachedHashTable(std::uint64_t bat_id) { hash_tables_.erase(bat_id); }
+  void DropCachedHashTable(std::uint64_t bat_id);
 
   // -- Ownership / sync ---------------------------------------------------------
 
@@ -116,13 +144,16 @@ class MemoryManager {
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t offloads() const { return offloads_; }
   std::uint64_t reloads() const { return reloads_; }
-  std::size_t cached_entries() const { return entries_.size(); }
+  std::size_t cached_entries() const;
 
   ocl::DeviceContext* context() { return ctx_; }
 
  private:
+  static BufferKey KeyOf(const cstore::BatPtr& bat);
+
   struct Entry {
     std::weak_ptr<cstore::Bat> bat;
+    std::weak_ptr<const void> heap;  // liveness of the bytes behind the key
     ocl::BufferPtr buffer;          // null while offloaded/evicted
     ocl::EventPtr producer;
     ocl::EventList consumers;
@@ -139,19 +170,32 @@ class MemoryManager {
     std::uint64_t last_use = 0;
   };
 
+  // Unlocked implementations; the public methods take mu_ and delegate.
+  common::Result<ocl::BufferPtr> AcquireReadLocked(OpScope* scope,
+                                                   const cstore::BatPtr& bat,
+                                                   ocl::EventList* waits);
   common::Result<ocl::BufferPtr> AllocateWithEviction(std::size_t bytes);
   /// Frees some device memory; returns false when nothing can be evicted.
   bool EvictOne();
-  /// True when the entry's events are all complete (safe to move/drop).
+  /// Reaps evictable cached sub-ranges of `key`'s heap that `key`'s buffer
+  /// now covers (fragment views after the whole column got cached).
+  void SubsumeCoveredEntries(const BufferKey& key);
+  /// True when the entry's events are all complete (safe to move/drop
+  /// without touching the command queue).
+  static bool Quiescent(const Entry& entry);
+  /// Drains the entry's pending events through the slot's queue.
   void WaitForQuiescence(Entry* entry);
   void OnBatDeleted(std::uint64_t bat_id);
-  void Hold(OpScope* scope, std::uint64_t id, Entry* entry);
+  void OnHeapDeleted(std::uint64_t heap_id);
+  void Hold(OpScope* scope, const BufferKey& key, Entry* entry);
 
   ocl::DeviceContext* ctx_;
-  std::map<std::uint64_t, Entry> entries_;
+  mutable std::mutex mu_;
+  std::map<BufferKey, Entry> entries_;
   std::map<std::uint64_t, BitmapInfo> bitmaps_;
   std::map<std::uint64_t, CachedTable> hash_tables_;
-  std::uint64_t listener_token_;
+  std::uint64_t bat_listener_token_;
+  std::uint64_t heap_listener_token_;
   std::uint64_t tick_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t offloads_ = 0;

@@ -1,14 +1,23 @@
 // The multi-device execution layer (see scheduler.h): Mitosis-style
 // horizontal fragments over the device set, per-device execution through the
 // hardware-oblivious operator set, host-side merge, makespan clock billing.
+//
+// Data movement is zero-copy on the partition side: fragments are Bat views
+// aliasing the input heaps (monet::SliceOf decides the ranges), so the only
+// bytes the scheduler itself moves are the single merge write of each
+// operator's output. Fragments execute concurrently on the host thread pool
+// (one lane per device at most); every fragment bills its own device-slot
+// clock, and the session clock advances by the makespan only.
 
 #include "ocelot/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "monet/mitosis.h"
 
 namespace ocelot {
@@ -24,8 +33,14 @@ using cstore::kIntNil;
 using cstore::oid_t;
 using cstore::SortResult;
 using cstore::ValType;
+using cstore::ValTypeSize;
 
 namespace {
+
+/// Host bytes the scheduler itself has copied (merge writes and partial
+/// folds; partitioning is views and contributes nothing). Process-wide so
+/// benchmarks can report copy traffic per measured section.
+std::atomic<std::uint64_t> g_bytes_copied{0};
 
 Status CheckHostResident(const BatPtr& b, const char* what) {
   if (b != nullptr && b->ocelot_owned()) {
@@ -36,18 +51,49 @@ Status CheckHostResident(const BatPtr& b, const char* what) {
   return Status::Ok();
 }
 
-/// Copies rows [begin, end) of `src` into a fresh BAT (all tails are 4-byte).
-BatPtr CopyRows(const BatPtr& src, std::size_t begin, std::size_t end) {
-  BatPtr out = Bat::Make(src->type(), end - begin);
-  std::memcpy(out->data(), static_cast<const std::byte*>(src->data()) + begin * 4,
-              (end - begin) * 4);
-  out->set_nonil(src->nonil());
-  if (src->sorted()) out->set_sorted(true);
+/// Zero-copy fragment: a view of rows [s.begin, s.end) aliasing `src`'s heap.
+BatPtr FragmentOf(const BatPtr& src, const monet::Slice& s) {
+  return Bat::View(src, s.begin, s.size());
+}
+
+/// Merges oid-list fragment results into one output BAT, preallocated once
+/// from a size-prefix pass. Each fragment's base row offset is added during
+/// the single merge write (the old per-fragment OffsetOids pass is fused
+/// into it); bases must be zero where fragment results are already global.
+/// A lone fragment is stolen wholesale — the steady-state single-device
+/// case copies nothing at all.
+BatPtr MergeOidParts(std::vector<BatPtr>& parts, const std::vector<oid_t>& bases) {
+  if (parts.size() == 1 && bases[0] == 0) return std::move(parts[0]);
+  std::size_t total = 0;
+  bool nonil = true;
+  for (const BatPtr& p : parts) {
+    total += p->size();
+    nonil = nonil && p->nonil();
+  }
+  BatPtr out = Bat::MakeOid(total);
+  auto dst = out->oids();
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    auto src = parts[i]->oids();
+    oid_t base = bases[i];
+    if (base == 0) {
+      std::copy(src.begin(), src.end(),
+                dst.begin() + static_cast<std::ptrdiff_t>(at));
+    } else {
+      for (std::size_t k = 0; k < src.size(); ++k) dst[at + k] = src[k] + base;
+    }
+    at += src.size();
+  }
+  out->set_nonil(nonil);
+  g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);
   return out;
 }
 
-/// Concatenates fragment results in fragment order.
-BatPtr ConcatParts(ValType type, const std::vector<BatPtr>& parts) {
+/// Concatenates value fragment results in fragment order (element size from
+/// ValTypeSize — merges stay correct for any tail width). Single fragments
+/// are stolen without a copy.
+BatPtr MergeValueParts(ValType type, std::vector<BatPtr>& parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
   std::size_t total = 0;
   bool nonil = true;
   for (const BatPtr& p : parts) {
@@ -55,23 +101,32 @@ BatPtr ConcatParts(ValType type, const std::vector<BatPtr>& parts) {
     nonil = nonil && p->nonil();
   }
   BatPtr out = Bat::Make(type, total);
+  const std::size_t elem = ValTypeSize(type);
   std::size_t at = 0;
   for (const BatPtr& p : parts) {
-    std::memcpy(static_cast<std::byte*>(out->data()) + at * 4, p->data(),
-                p->size() * 4);
+    std::memcpy(static_cast<std::byte*>(out->data()) + at * elem, p->data(),
+                p->size() * elem);
     at += p->size();
   }
   out->set_nonil(nonil);
+  g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);
   return out;
 }
 
-/// Shifts every oid of a fragment result by its fragment's base row.
-void OffsetOids(const BatPtr& b, oid_t base) {
-  for (oid_t& o : b->oids()) o = o + base;
+/// Fresh private copy of a fragment partial (grouped-aggregate folds mutate
+/// the accumulator; the partials were synced through their devices' memory
+/// managers, which may still cache their device buffers).
+BatPtr CloneBat(const BatPtr& src) {
+  BatPtr out = Bat::Make(src->type(), src->size());
+  std::memcpy(out->data(), src->data(), src->tail_bytes());
+  out->set_nonil(src->nonil());
+  if (src->sorted()) out->set_sorted(true);
+  g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);
+  return out;
 }
 
-/// Marks a concatenated candidate list with the properties every engine
-/// guarantees for selection results (sorted unique oids, no nils).
+/// Marks a candidate list with the properties every engine guarantees for
+/// selection results (sorted unique oids, no nils).
 void MarkCandidate(const BatPtr& b) {
   b->set_sorted(true);
   b->set_key(true);
@@ -96,6 +151,10 @@ std::string Scheduler::name() const {
   return n + "}";
 }
 
+std::uint64_t Scheduler::bytes_copied() {
+  return g_bytes_copied.load(std::memory_order_relaxed);
+}
+
 int Scheduler::PartsFor(std::size_t n) const {
   if (n == 0) return 1;
   return static_cast<int>(
@@ -114,21 +173,30 @@ Status Scheduler::RunPartitioned(int parts,
                                  const std::function<Status(int)>& part) {
   Nanos t0 = clock_.Now();
   common::Stopwatch real;
-  Nanos longest = 0;
-  Status status;
-  for (int i = 0; i < parts && status.ok(); ++i) {
+  std::vector<Nanos> deltas(static_cast<std::size_t>(parts), 0);
+  std::vector<Status> statuses(static_cast<std::size_t>(parts));
+  // Fragment i runs against device slot i only, so concurrent fragments
+  // touch disjoint engines, memory managers and slot clocks; the pool adds
+  // real host parallelism without changing what any slot clock observes.
+  common::ThreadPool::Global().ParallelFor(parts, [&](int i) {
     common::VirtualClock* device_clock = ctx_->at(i)->clock();
     Nanos d0 = device_clock->Now();
-    status = part(i);
-    longest = std::max(longest, device_clock->Now() - d0);
-  }
-  // The host ran the fragments back to back; the model says they ran
-  // concurrently, so the session clock advances by the makespan only. Done
-  // on the error path too: the fragments that did execute must not leave
-  // their real host time billed as virtual time (vclock.h contract).
+    statuses[static_cast<std::size_t>(i)] = part(i);
+    deltas[static_cast<std::size_t>(i)] = device_clock->Now() - d0;
+  });
+  Nanos longest = 0;
+  for (Nanos d : deltas) longest = std::max(longest, d);
+  // The host ran the fragments on however many threads it has; the model
+  // says the *devices* ran them concurrently, so the session clock advances
+  // by the makespan only. Done on the error path too: the fragments that
+  // did execute must not leave their real host time billed as virtual time
+  // (vclock.h contract).
   clock_.Deduct(real.ElapsedNanos());
   clock_.AdvanceTo(t0 + longest);
-  return status;
+  for (Status& s : statuses) {
+    if (!s.ok()) return s;  // first failing fragment, deterministically
+  }
+  return Status::Ok();
 }
 
 // --- Selection ---------------------------------------------------------------
@@ -139,38 +207,59 @@ Result<BatPtr> Scheduler::SelectRange(const BatPtr& col, const BatPtr& cand,
   RETURN_IF_ERROR(CheckHostResident(col, "select input"));
   RETURN_IF_ERROR(CheckHostResident(cand, "select candidates"));
 
-  std::size_t n = col->size();
-  int parts = PartsFor(n);
+  // Without candidates the column is fragmented by rows and results come
+  // back fragment-local (rebased during the merge). With candidates the
+  // *candidate list* is partitioned instead, and each device sees a
+  // zero-copy view of the column covering just its fragment's row range
+  // [cand[first], cand[last]] — 1/N of the scan, not a replicated full
+  // column. The candidate oids are rebased to that view in a single
+  // fragment-sized write (the one partition-side transform no view can
+  // express); results rebase back during the fused merge write.
+  if (cand != nullptr && cand->empty()) {
+    BatPtr none = Bat::MakeOid(0);
+    MarkCandidate(none);
+    return none;
+  }
+  std::size_t domain = cand != nullptr ? cand->size() : col->size();
+  int parts = PartsFor(domain);
   std::vector<BatPtr> results(static_cast<std::size_t>(parts));
+  std::vector<oid_t> bases(static_cast<std::size_t>(parts), 0);
   RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
-    BatPtr col_frag = CopyRows(col, s.begin, s.end);
-    BatPtr cand_frag;  // candidates of this fragment, rebased to it
+    monet::Slice s = monet::SliceOf(domain, i, parts);
+    if (s.size() == 0) {
+      // Ceil-division slicing can leave a trailing device without rows
+      // (e.g. 4 candidates on 3 devices); it contributes an empty result.
+      BatPtr none = Bat::MakeOid(0);
+      MarkCandidate(none);
+      results[static_cast<std::size_t>(i)] = std::move(none);
+      return Status::Ok();
+    }
+    BatPtr col_in;
+    BatPtr cand_in;
+    oid_t base = 0;
     if (cand != nullptr) {
       auto cv = cand->oids();
-      auto first = std::lower_bound(cv.begin(), cv.end(), static_cast<oid_t>(s.begin));
-      auto last = std::lower_bound(first, cv.end(), static_cast<oid_t>(s.end));
-      if (first == last) {  // no candidate falls into this fragment
-        results[static_cast<std::size_t>(i)] = Bat::MakeOid(0);
-        MarkCandidate(results[static_cast<std::size_t>(i)]);
-        return Status::Ok();
-      }
-      cand_frag = Bat::MakeOid(static_cast<std::size_t>(last - first));
-      auto out = cand_frag->oids();
-      for (std::size_t k = 0; k < out.size(); ++k) {
-        out[k] = *(first + static_cast<std::ptrdiff_t>(k)) - static_cast<oid_t>(s.begin);
-      }
-      MarkCandidate(cand_frag);
+      base = cv[s.begin];
+      std::size_t rows = cv[s.end - 1] - base + 1;
+      col_in = Bat::View(col, base, rows);
+      cand_in = Bat::MakeOid(s.size());
+      auto out = cand_in->oids();
+      for (std::size_t k = 0; k < s.size(); ++k) out[k] = cv[s.begin + k] - base;
+      MarkCandidate(cand_in);
+      g_bytes_copied.fetch_add(cand_in->tail_bytes(), std::memory_order_relaxed);
+    } else {
+      col_in = FragmentOf(col, s);
+      base = static_cast<oid_t>(s.begin);
     }
+    bases[static_cast<std::size_t>(i)] = base;
     OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
-    ASSIGN_OR_RETURN(BatPtr r, eng->SelectRange(col_frag, cand_frag, lo, hi));
+    ASSIGN_OR_RETURN(BatPtr r, eng->SelectRange(col_in, cand_in, lo, hi));
     RETURN_IF_ERROR(SyncPart(i, r));
-    OffsetOids(r, static_cast<oid_t>(s.begin));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
 
-  BatPtr merged = ConcatParts(ValType::kOid, results);
+  BatPtr merged = MergeOidParts(results, bases);
   MarkCandidate(merged);
   return merged;
 }
@@ -202,21 +291,20 @@ Result<BatPtr> Scheduler::Project(const BatPtr& oids, const BatPtr& col) {
   RETURN_IF_ERROR(CheckHostResident(oids, "projection head"));
   RETURN_IF_ERROR(CheckHostResident(col, "projection tail"));
 
-  // Partition the oid list; the gathered column is replicated (the gather
-  // needs random access to all of it).
+  // Partition the oid list (views); the gathered column is replicated (the
+  // gather needs random access to all of it).
   std::size_t n = oids->size();
   int parts = PartsFor(n);
   std::vector<BatPtr> results(static_cast<std::size_t>(parts));
   RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
     monet::Slice s = monet::SliceOf(n, i, parts);
-    BatPtr oid_frag = CopyRows(oids, s.begin, s.end);
     OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
-    ASSIGN_OR_RETURN(BatPtr r, eng->Project(oid_frag, col));
+    ASSIGN_OR_RETURN(BatPtr r, eng->Project(FragmentOf(oids, s), col));
     RETURN_IF_ERROR(SyncPart(i, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
-  return ConcatParts(col->type(), results);
+  return MergeValueParts(col->type(), results);
 }
 
 Result<JoinResult> Scheduler::LeftFragmentJoin(
@@ -225,29 +313,31 @@ Result<JoinResult> Scheduler::LeftFragmentJoin(
   std::size_t n = left->size();
   int parts = PartsFor(n);
   std::vector<JoinResult> results(static_cast<std::size_t>(parts));
+  std::vector<oid_t> bases(static_cast<std::size_t>(parts), 0);
   RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
     monet::Slice s = monet::SliceOf(n, i, parts);
-    BatPtr left_frag = CopyRows(left, s.begin, s.end);
+    bases[static_cast<std::size_t>(i)] = static_cast<oid_t>(s.begin);
     OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
-    ASSIGN_OR_RETURN(JoinResult r, op(eng, left_frag));
+    ASSIGN_OR_RETURN(JoinResult r, op(eng, FragmentOf(left, s)));
     RETURN_IF_ERROR(SyncPart(i, r.left));
     RETURN_IF_ERROR(SyncPart(i, r.right));
-    OffsetOids(r.left, static_cast<oid_t>(s.begin));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
 
   // Fragment outputs are in probe (left) order, so concatenation reproduces
-  // the single-device pair order exactly.
+  // the single-device pair order exactly; the left oids rebase during the
+  // merge write, the right oids point into the replicated build side and
+  // are global already.
   std::vector<BatPtr> lefts, rights;
   for (JoinResult& r : results) {
     lefts.push_back(std::move(r.left));
     rights.push_back(std::move(r.right));
   }
   JoinResult merged;
-  merged.left = ConcatParts(ValType::kOid, lefts);
+  merged.left = MergeOidParts(lefts, bases);
   merged.left->set_sorted(true);
-  merged.right = ConcatParts(ValType::kOid, rights);
+  merged.right = MergeValueParts(ValType::kOid, rights);
   return merged;
 }
 
@@ -282,17 +372,17 @@ Result<BatPtr> Scheduler::LeftFragmentFilter(
   std::size_t n = left->size();
   int parts = PartsFor(n);
   std::vector<BatPtr> results(static_cast<std::size_t>(parts));
+  std::vector<oid_t> bases(static_cast<std::size_t>(parts), 0);
   RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
     monet::Slice s = monet::SliceOf(n, i, parts);
-    BatPtr left_frag = CopyRows(left, s.begin, s.end);
+    bases[static_cast<std::size_t>(i)] = static_cast<oid_t>(s.begin);
     OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
-    ASSIGN_OR_RETURN(BatPtr r, op(eng, left_frag));
+    ASSIGN_OR_RETURN(BatPtr r, op(eng, FragmentOf(left, s)));
     RETURN_IF_ERROR(SyncPart(i, r));
-    OffsetOids(r, static_cast<oid_t>(s.begin));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
-  BatPtr merged = ConcatParts(ValType::kOid, results);
+  BatPtr merged = MergeOidParts(results, bases);
   MarkCandidate(merged);
   return merged;
 }
@@ -365,19 +455,20 @@ Result<BatPtr> Scheduler::PartitionedSubAgg(
   std::vector<BatPtr> partials(static_cast<std::size_t>(parts));
   RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
     monet::Slice s = monet::SliceOf(n, i, parts);
-    BatPtr vals_frag = vals != nullptr ? CopyRows(vals, s.begin, s.end) : nullptr;
-    BatPtr groups_frag = CopyRows(groups, s.begin, s.end);
+    BatPtr vals_frag = vals != nullptr ? FragmentOf(vals, s) : nullptr;
     OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
-    ASSIGN_OR_RETURN(BatPtr p, op(eng, vals_frag, groups_frag));
+    ASSIGN_OR_RETURN(BatPtr p, op(eng, vals_frag, FragmentOf(groups, s)));
     RETURN_IF_ERROR(SyncPart(i, p));
     partials[static_cast<std::size_t>(i)] = std::move(p);
     return Status::Ok();
   }));
   (void)ngroups;
-  // Merge into a fresh BAT: the partials were synced through their devices'
-  // memory managers, which may still cache their device buffers — mutating
-  // a synced BAT in place would leave such a cache stale.
-  BatPtr acc = CopyRows(partials[0], 0, partials[0]->size());
+  if (partials.size() == 1) return std::move(partials[0]);
+  // Fold into a fresh ngroups-sized BAT (≤ output bytes): the partials were
+  // synced through their devices' memory managers, which may still cache
+  // their device buffers — mutating a synced BAT in place would leave such
+  // a cache stale.
+  BatPtr acc = CloneBat(partials[0]);
   for (std::size_t i = 1; i < partials.size(); ++i) merge(acc, partials[i]);
   return acc;
 }
@@ -494,9 +585,9 @@ Result<double> Scheduler::PartitionedReduce(
   std::vector<double> partials(static_cast<std::size_t>(parts));
   RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
     monet::Slice s = monet::SliceOf(n, i, parts);
-    BatPtr frag = CopyRows(col, s.begin, s.end);
     ASSIGN_OR_RETURN(partials[static_cast<std::size_t>(i)],
-                     op(engines_[static_cast<std::size_t>(i)].get(), frag));
+                     op(engines_[static_cast<std::size_t>(i)].get(),
+                        FragmentOf(col, s)));
     return Status::Ok();
   }));
   double acc = partials[0];
@@ -560,14 +651,14 @@ Result<BatPtr> Scheduler::ElementWise(
     monet::Slice s = monet::SliceOf(n, i, parts);
     std::vector<BatPtr> frags;
     frags.reserve(inputs.size());
-    for (const BatPtr& in : inputs) frags.push_back(CopyRows(in, s.begin, s.end));
+    for (const BatPtr& in : inputs) frags.push_back(FragmentOf(in, s));
     OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
     ASSIGN_OR_RETURN(BatPtr r, op(eng, frags));
     RETURN_IF_ERROR(SyncPart(i, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
-  return ConcatParts(results[0]->type(), results);
+  return MergeValueParts(results[0]->type(), results);
 }
 
 Result<BatPtr> Scheduler::Calc(cstore::CalcOp op, const BatPtr& a, const BatPtr& b) {

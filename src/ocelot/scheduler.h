@@ -22,18 +22,35 @@ namespace ocelot {
 /// the fragment results through each engine's memory manager, and merges
 /// them on the host:
 ///
+///  * partitioning is **zero-copy**: fragments are Bat views aliasing the
+///    input heaps, so devices cache fragment uploads across operator calls
+///    (the memory manager keys its cache on heap identity) and the host
+///    moves no input bytes at all;
 ///  * row-partitionable operators (selection, projection, batcalc, the
 ///    probe side of joins, grouped/ungrouped aggregation) run as true
-///    fragments — each device sees 1/N of the rows;
+///    fragments — each device sees 1/N of the rows (selection with a
+///    candidate list fragments the *candidates* instead);
 ///  * order-sensitive operators without a cheap merge (sort, grouping)
 ///    run whole on the primary device;
-///  * candidate lists and join pair lists merge by offset-shifted
-///    concatenation, which reproduces the single-device result exactly.
+///  * merges preallocate the output once from a size-prefix pass and write
+///    every fragment exactly once (candidate/pair-list rebasing is fused
+///    into that write; single-fragment results are stolen wholesale), so
+///    the scheduler's copy traffic is at most one output's worth of bytes
+///    per operator — and the byte-exact single-device result order is
+///    reproduced.
+///
+/// Execution is *really* parallel: fragments run concurrently on the host
+/// thread pool (common::ThreadPool, OCELOT_THREADS lanes). Fragment i only
+/// ever touches device slot i — engine, memory manager and slot clock are
+/// per-fragment-private — so results are bit-identical and billing follows
+/// the same makespan rule at every thread count (clock *values* stay
+/// real-time-anchored and vary run to run, as for every engine; see
+/// ARCHITECTURE.md's determinism contract).
 ///
 /// Virtual time: each device bills its fragment onto its own slot clock;
 /// the scheduler advances its session clock by the *makespan* (the slowest
-/// device's delta), modeling the fragments as concurrent even though the
-/// host executes them back to back.
+/// device's delta), modeling the fragments as concurrent on the devices
+/// regardless of how many host threads happened to drive them.
 ///
 /// Contract: inputs must be host-resident BATs (catalog columns or results
 /// this scheduler produced). Scheduler results are always host-resident, so
@@ -56,6 +73,11 @@ class Scheduler : public cstore::QueryEngine {
   /// Forgets BAT `id`'s cached hash table on every device (benchmarks
   /// measuring cold builds; joins replicate the build per device).
   void DropCachedHashTable(std::uint64_t id);
+
+  /// Process-wide count of host bytes scheduler merges have copied (the
+  /// partition side is views and copies nothing). Benchmarks report the
+  /// delta across a measured section.
+  static std::uint64_t bytes_copied();
 
   common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
                                              const cstore::BatPtr& cand,
@@ -119,9 +141,11 @@ class Scheduler : public cstore::QueryEngine {
   int PartsFor(std::size_t n) const;
 
   /// Runs `part(i)` for fragments 0..parts-1 (fragment i on device i),
-  /// measuring each device's virtual-time delta, then bills the makespan of
-  /// the fragment set onto the session clock (real host time is deducted —
-  /// the fragments are modeled as concurrent).
+  /// concurrently on the host thread pool, measuring each device's
+  /// virtual-time delta, then bills the makespan of the fragment set onto
+  /// the session clock (the section's real host time is deducted — the
+  /// fragments are modeled as concurrent on the devices). On error the
+  /// lowest-index failing fragment's status is returned.
   common::Status RunPartitioned(int parts,
                                 const std::function<common::Status(int)>& part);
 

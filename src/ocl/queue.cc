@@ -82,8 +82,10 @@ void CommandQueue::ExecuteKernel(PendingOp* op) {
   }
   common::Interval dispatch = device_->driver_timeline().Schedule(ready, driver_cost);
 
-  // Execute each work-group on the host, measuring real time and collecting
-  // the kernel's atomic counters; convert to modeled per-group durations.
+  // Execute each work-group on the host, measuring the thread's CPU time
+  // (concurrent scheduler fragments must not inflate each other's modeled
+  // durations through scheduling gaps) and collecting the kernel's atomic
+  // counters; convert to modeled per-group durations.
   std::vector<common::Nanos> durations;
   durations.reserve(static_cast<std::size_t>(launch.groups));
   KernelProfile& prof = profiles_[launch.name];
@@ -91,7 +93,7 @@ void CommandQueue::ExecuteKernel(PendingOp* op) {
   for (int g = 0; g < launch.groups; ++g) {
     local_arena_.Reset();
     WorkGroup wg(g, launch.groups, launch.local_size, model.access, &local_arena_);
-    common::Stopwatch group_real;
+    common::CpuStopwatch group_real;
     launch.body(wg);
     common::Nanos real_ns = group_real.ElapsedNanos();
     common::Nanos modeled =

@@ -1,0 +1,156 @@
+// Tests for zero-copy BAT views (shared tail heaps): aliasing, property
+// inheritance, lifetime (the heap outlives whichever of parent/view dies
+// first), heap-identity bookkeeping for the memory manager's buffer cache,
+// and the fixed-size contract (no ResizeTail on views).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cstore/bat.h"
+
+namespace {
+
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::oid_t;
+using cstore::ValType;
+
+BatPtr Iota(std::size_t n) {
+  BatPtr b = Bat::MakeInt(n);
+  std::iota(b->ints().begin(), b->ints().end(), 0);
+  return b;
+}
+
+TEST(BatViewTest, AliasesParentStorage) {
+  BatPtr parent = Iota(100);
+  BatPtr view = Bat::View(parent, 40, 20);
+  ASSERT_EQ(view->size(), 20u);
+  EXPECT_TRUE(view->is_view());
+  EXPECT_FALSE(parent->is_view());
+  // Same bytes, not a copy: the view's data points into the parent heap...
+  EXPECT_EQ(view->data(), static_cast<const std::byte*>(parent->data()) + 40 * 4);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(view->ints()[i], static_cast<std::int32_t>(40 + i));
+  }
+  // ...so writes through the parent are visible through the view.
+  parent->ints()[45] = -7;
+  EXPECT_EQ(view->ints()[5], -7);
+}
+
+TEST(BatViewTest, SharesHeapIdentityWithParent) {
+  BatPtr parent = Iota(64);
+  BatPtr whole = Bat::View(parent, 0, 64);
+  BatPtr part = Bat::View(parent, 16, 32);
+  // Distinct descriptors...
+  EXPECT_NE(whole->id(), parent->id());
+  // ...one heap: (heap, offset, bytes) identifies the covered range.
+  EXPECT_EQ(whole->heap_id(), parent->heap_id());
+  EXPECT_EQ(part->heap_id(), parent->heap_id());
+  EXPECT_EQ(parent->heap_offset(), 0u);
+  EXPECT_EQ(whole->heap_offset(), 0u);
+  EXPECT_EQ(part->heap_offset(), 16u * 4);
+  EXPECT_EQ(part->tail_bytes(), 32u * 4);
+}
+
+TEST(BatViewTest, ViewOfViewCollapses) {
+  BatPtr parent = Iota(100);
+  BatPtr outer = Bat::View(parent, 20, 60);
+  BatPtr inner = Bat::View(outer, 10, 30);  // rows 30..60 of the parent
+  EXPECT_EQ(inner->heap_id(), parent->heap_id());
+  EXPECT_EQ(inner->heap_offset(), 30u * 4);
+  EXPECT_EQ(inner->ints()[0], 30);
+  EXPECT_EQ(inner->ints()[29], 59);
+}
+
+TEST(BatViewTest, InheritsPropertyBits) {
+  BatPtr parent = Iota(50);
+  parent->set_sorted(true);
+  parent->set_key(true);
+  parent->set_nonil(true);
+  BatPtr view = Bat::View(parent, 10, 20);
+  EXPECT_TRUE(view->sorted());
+  EXPECT_TRUE(view->key());
+  EXPECT_TRUE(view->nonil());
+  // The head keeps the parent's numbering: row 0 of the view is row 10.
+  EXPECT_EQ(view->hseqbase(), parent->hseqbase() + 10);
+}
+
+TEST(BatViewTest, InheritsDeviceOwnership) {
+  // Device ownership travels with the bytes: a view of an unsynced
+  // device-resident BAT must not masquerade as host-resident.
+  BatPtr parent = Iota(50);
+  parent->set_ocelot_owned(true);
+  BatPtr view = Bat::View(parent, 0, 25);
+  EXPECT_TRUE(view->ocelot_owned());
+  parent->set_ocelot_owned(false);
+  EXPECT_FALSE(Bat::View(parent, 0, 25)->ocelot_owned());
+}
+
+TEST(BatViewTest, DenseViewShiftsTseqbase) {
+  BatPtr cand = Bat::DenseOids(100, /*base=*/5);
+  BatPtr view = Bat::View(cand, 30, 40);
+  ASSERT_TRUE(view->dense());
+  EXPECT_EQ(view->tseqbase(), 35u);
+  EXPECT_EQ(view->oids()[0], 35u);
+  EXPECT_TRUE(view->sorted());
+  EXPECT_TRUE(view->key());
+}
+
+TEST(BatViewTest, HeapSurvivesParentRelease) {
+  BatPtr view;
+  std::uint64_t heap = 0;
+  {
+    BatPtr parent = Iota(1000);
+    heap = parent->heap_id();
+    view = Bat::View(parent, 500, 100);
+  }
+  // The parent descriptor is gone; the view pinned the heap.
+  EXPECT_EQ(view->heap_id(), heap);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(view->ints()[i], static_cast<std::int32_t>(500 + i));
+  }
+}
+
+TEST(BatViewTest, HeapListenerFiresOnceAfterLastOwner) {
+  std::vector<std::uint64_t> died;
+  std::uint64_t token =
+      Bat::AddHeapDeleteListener([&](std::uint64_t id) { died.push_back(id); });
+  std::uint64_t heap = 0;
+  {
+    BatPtr view;
+    {
+      BatPtr parent = Iota(10);
+      heap = parent->heap_id();
+      view = Bat::View(parent, 0, 10);
+    }
+    // Parent released, view alive: the heap must not have died.
+    EXPECT_TRUE(std::find(died.begin(), died.end(), heap) == died.end());
+  }
+  // Last owner (the view) released: exactly one death notification.
+  EXPECT_EQ(std::count(died.begin(), died.end(), heap), 1);
+  Bat::RemoveHeapDeleteListener(token);
+}
+
+TEST(BatViewDeathTest, ResizeTailOnViewIsFatal) {
+  BatPtr parent = Iota(10);
+  BatPtr view = Bat::View(parent, 2, 4);
+  EXPECT_DEATH(view->ResizeTail(8), "ResizeTail on a BAT view");
+}
+
+TEST(BatViewDeathTest, ResizeTailUnderLiveViewsIsFatal) {
+  // The other side of the fixed-size contract: a parent must not shrink or
+  // reallocate the heap while views alias it.
+  BatPtr parent = Iota(10);
+  BatPtr view = Bat::View(parent, 2, 4);
+  EXPECT_DEATH(parent->ResizeTail(4), "live views");
+}
+
+TEST(BatViewDeathTest, OutOfRangeViewIsFatal) {
+  BatPtr parent = Iota(10);
+  EXPECT_DEATH(Bat::View(parent, 8, 4), "exceeds parent");
+}
+
+}  // namespace

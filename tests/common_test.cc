@@ -7,12 +7,15 @@
 #include <set>
 #include <vector>
 
+#include <atomic>
+
 #include "common/aligned.h"
 #include "common/bitvector.h"
 #include "common/date.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -214,6 +217,66 @@ TEST(DateTest, AddYears) {
   EXPECT_EQ(common::date::ToString(common::date::AddYears(d, 1)), "1995-01-01");
   std::int32_t leap = common::date::FromYmd(1996, 2, 29);
   EXPECT_EQ(common::date::ToString(common::date::AddYears(leap, 1)), "1997-02-28");
+}
+
+// --- ThreadPool ----------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    common::ThreadPool pool(threads);
+    EXPECT_EQ(pool.threads(), threads);
+    for (int n : {0, 1, 3, 17, 1000}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      pool.ParallelFor(n, [&](int i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i << " with " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentIndicesSeeDisjointSlots) {
+  common::ThreadPool pool(4);
+  std::vector<std::int64_t> out(512, -1);
+  pool.ParallelFor(512, [&](int i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(i) * i;
+  });
+  for (int i = 0; i < 512; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], static_cast<std::int64_t>(i) * i);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerially) {
+  common::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](int) {
+    // A task fanning out again must not deadlock; the inner loop runs
+    // inline on the owning lane.
+    pool.ParallelFor(8, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  common::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(7, [&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50 * 7);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  common::ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(common::ThreadPool::Global().threads(), 2);
+  std::atomic<int> total{0};
+  common::ThreadPool::Global().ParallelFor(10, [&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 10);
+  common::ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(common::ThreadPool::Global().threads(), 1);
 }
 
 }  // namespace

@@ -135,6 +135,132 @@ TEST(MemoryManagerTest, PinnedBatSurvivesPressure) {
   engine.memory()->Unpin(hot);
 }
 
+TEST(MemoryManagerTest, ViewSharesCachedBufferWithParent) {
+  // The cache keys on heap identity: a view covering the same bytes as an
+  // already-cached parent hits the parent's device buffer — no second
+  // transfer, no second allocation. This is what makes the scheduler's
+  // zero-copy fragment views cache-friendly across operator calls.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(100'000, 7);
+
+  MemoryManager::OpScope scope(engine.memory());
+  ocl::EventList waits;
+  auto parent_buf = engine.memory()->AcquireRead(&scope, col, &waits);
+  ASSERT_TRUE(parent_buf.ok());
+  std::size_t bytes_after_parent = engine.memory()->device_bytes();
+  EXPECT_EQ(engine.memory()->cached_entries(), 1u);
+
+  BatPtr whole = Bat::View(col, 0, col->size());
+  auto view_buf = engine.memory()->AcquireRead(&scope, whole, &waits);
+  ASSERT_TRUE(view_buf.ok());
+  EXPECT_EQ(view_buf->get(), parent_buf->get());  // the same device buffer
+  EXPECT_EQ(engine.memory()->cached_entries(), 1u);
+  EXPECT_EQ(engine.memory()->device_bytes(), bytes_after_parent);
+}
+
+TEST(MemoryManagerTest, RepeatedFragmentViewsHitTheCache) {
+  // Fresh view descriptors over the same row range (what the scheduler
+  // creates per operator call) key identically: the first call uploads,
+  // every later call reuses the cached fragment buffer.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(100'000, 8);
+  std::size_t half = col->size() / 2;
+
+  ASSERT_TRUE(engine.Sum(Bat::View(col, 0, half)).ok());
+  ASSERT_TRUE(engine.Sum(Bat::View(col, half, col->size() - half)).ok());
+  std::size_t entries_after_first = engine.memory()->cached_entries();
+  std::size_t bytes_after_first = engine.memory()->device_bytes();
+
+  ASSERT_TRUE(engine.Sum(Bat::View(col, 0, half)).ok());
+  ASSERT_TRUE(engine.Sum(Bat::View(col, half, col->size() - half)).ok());
+  EXPECT_EQ(engine.memory()->cached_entries(), entries_after_first);
+  EXPECT_EQ(engine.memory()->device_bytes(), bytes_after_first);
+  EXPECT_EQ(engine.memory()->evictions(), 0u);
+}
+
+TEST(MemoryManagerTest, ViewDeathKeepsParentCacheAlive) {
+  // Dropping a view must not drop the shared buffer — the heap is still
+  // alive through the parent; only the heap's death reaps cache entries.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(100'000, 9);
+  ASSERT_TRUE(engine.Sum(Bat::View(col, 0, col->size())).ok());
+  EXPECT_EQ(engine.memory()->cached_entries(), 1u);  // view died, entry lives
+
+  ASSERT_TRUE(engine.Sum(col).ok());  // parent hits the view's upload
+  EXPECT_EQ(engine.memory()->cached_entries(), 1u);
+  EXPECT_EQ(engine.memory()->evictions(), 0u);
+}
+
+TEST(MemoryManagerTest, SubRangeOfUnsyncedResultIsRejectedNotUploaded) {
+  // A sub-range view of a device-authoritative result has no device buffer
+  // of its own; uploading the (stale) host heap would silently produce
+  // garbage, so AcquireRead must refuse until the result is synced.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr a = Column(100'000, 10);
+  auto doubled = engine.CalcScalar(cstore::CalcOp::kMul, a, 2.0, false);
+  ASSERT_TRUE(doubled.ok());
+  ASSERT_TRUE((*doubled)->ocelot_owned());
+
+  BatPtr half = Bat::View(*doubled, 0, (*doubled)->size() / 2);
+  EXPECT_TRUE(half->ocelot_owned());  // ownership travels with the bytes
+  MemoryManager::OpScope scope(engine.memory());
+  ocl::EventList waits;
+  auto buf = engine.memory()->AcquireRead(&scope, half, &waits);
+  EXPECT_FALSE(buf.ok());
+
+  // After the sync the host heap is authoritative and the view is usable.
+  ASSERT_TRUE(engine.Sync(*doubled).ok());
+  auto total = engine.Sum(Bat::View(*doubled, 0, (*doubled)->size() / 2));
+  ASSERT_TRUE(total.ok());
+}
+
+TEST(MemoryManagerTest, WholeRangeUploadSubsumesFragmentEntries) {
+  // Fragment-range entries become redundant once the whole column is
+  // cached; keeping both would double the device footprint of hot columns.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(100'000, 13);
+  std::size_t half = col->size() / 2;
+  ASSERT_TRUE(engine.Sum(Bat::View(col, 0, half)).ok());
+  ASSERT_TRUE(engine.Sum(Bat::View(col, half, col->size() - half)).ok());
+  EXPECT_EQ(engine.memory()->cached_entries(), 2u);
+
+  ASSERT_TRUE(engine.Sum(col).ok());  // whole column covers both fragments
+  EXPECT_EQ(engine.memory()->cached_entries(), 1u);
+  EXPECT_EQ(engine.memory()->device_bytes(), col->tail_bytes());
+}
+
+TEST(MemoryManagerTest, LiveViewProtectsUnsyncedResultFromGarbageDrop) {
+  // A device-authoritative result whose descriptor died but whose bytes are
+  // still reachable through a view must not be dropped as garbage under
+  // pressure — the device buffer holds the only copy.
+  auto ctx = TinyGpu(9 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr a = Column(1'000'000, 11);
+  BatPtr view;
+  {
+    auto doubled = engine.CalcScalar(cstore::CalcOp::kMul, a, 2.0, false);
+    ASSERT_TRUE(doubled.ok());
+    view = Bat::View(*doubled, 0, (*doubled)->size());
+  }  // result descriptor released; only the view pins the heap now
+
+  // Crowd the device. The unsynced result can be neither dropped (live
+  // view) nor offloaded (no descriptor), so this may legitimately fail —
+  // it must not corrupt the result.
+  BatPtr b = Column(1'500'000, 12);
+  (void)engine.Sum(b);
+
+  auto total = engine.Sum(view);
+  ASSERT_TRUE(total.ok());
+  double expect = 0;
+  for (auto v : a->ints()) expect += 2.0 * v;
+  EXPECT_NEAR(*total, expect, std::abs(expect) * 1e-6);
+}
+
 TEST(MemoryManagerTest, BatDeletionDropsCacheEntries) {
   auto ctx = TinyGpu(64 << 20);
   OcelotEngine engine(ctx.get());

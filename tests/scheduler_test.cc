@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "mal/engines.h"
 #include "mal/interp.h"
 #include "mal/rewriter.h"
@@ -307,6 +308,165 @@ TEST(SchedulerClockTest, MakespanIsBilledNotTheSum) {
   // overhead), not by the sum of all devices' modeled time.
   EXPECT_GE(elapsed, device_max);
   EXPECT_LT(elapsed, device_sum);
+}
+
+TEST(SchedulerSliceTest, TinyCandidateListOnThreeDevicesHandlesEmptySlice) {
+  // Ceil-division slicing gives the trailing device an empty fragment
+  // (4 candidates over 3 devices: 2+2+0); the candidate path must not
+  // index past the candidate list.
+  std::vector<ocl::DeviceModel> models = TestDevices();
+  models.push_back(models[0]);  // a third device slot
+  auto ctx = ocl::Context::Create(models);
+  ASSERT_EQ(ctx->device_count(), 3);
+  Scheduler scheduler(ctx.get());
+
+  BatPtr col = RandomInts(1000, 100, 51);
+  BatPtr cand = Bat::MakeOid(4);
+  oid_t picks[] = {10, 250, 500, 900};
+  std::copy(std::begin(picks), std::end(picks), cand->oids().begin());
+  cand->set_sorted(true);
+  cand->set_key(true);
+  cand->set_nonil(true);
+
+  auto res = scheduler.SelectRange(col, cand, Bound::Incl(0), Bound::Incl(49));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  // Same answer as evaluating the candidates by hand.
+  std::vector<oid_t> expect;
+  for (oid_t o : picks) {
+    if (col->ints()[o] >= 0 && col->ints()[o] <= 49) expect.push_back(o);
+  }
+  EXPECT_EQ(OidsOf(*res), expect);
+}
+
+// --- Zero-copy accounting ----------------------------------------------------
+
+TEST(SchedulerCopyTest, MergeWritesAreTheOnlyCopies) {
+  // Steady-state contract: partitioning is views (no input bytes move);
+  // the only host copy per operator is the single merge write of its
+  // output — so the global copy counter advances by exactly the output's
+  // tail bytes per partitioned operator.
+  auto ctx = ocl::Context::Create(TestDevices());
+  ASSERT_EQ(ctx->device_count(), 2);
+  Scheduler scheduler(ctx.get());
+  BatPtr col = RandomInts(20000, 1000, 77);
+
+  std::uint64_t c0 = Scheduler::bytes_copied();
+  auto sel = scheduler.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(499));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(Scheduler::bytes_copied() - c0, (*sel)->tail_bytes());
+
+  std::uint64_t c1 = Scheduler::bytes_copied();
+  auto proj = scheduler.Project(*sel, col);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(Scheduler::bytes_copied() - c1, (*proj)->tail_bytes());
+
+  // Selection *with* candidates partitions the candidate list; the only
+  // partition-side write is the fragment-local candidate rebase (one pass
+  // over the candidate bytes), plus the single merged output write.
+  std::uint64_t c2 = Scheduler::bytes_copied();
+  auto sel2 = scheduler.SelectRange(col, *sel, Bound::Incl(100), Bound::Incl(400));
+  ASSERT_TRUE(sel2.ok());
+  EXPECT_EQ(Scheduler::bytes_copied() - c2,
+            (*sel2)->tail_bytes() + (*sel)->tail_bytes());
+}
+
+// --- Determinism across host thread counts -----------------------------------
+
+/// One fixed operator pipeline on a fresh multi-device scheduler; returns
+/// every result materialized to plain vectors.
+struct WorkloadResult {
+  std::vector<oid_t> sel;
+  std::vector<std::int32_t> proj;
+  std::vector<oid_t> join_left, join_right;
+  std::vector<std::int32_t> sums;
+  double total = 0;
+};
+
+WorkloadResult RunWorkload() {
+  auto ctx = ocl::Context::Create(TestDevices());
+  Scheduler scheduler(ctx.get());
+  BatPtr col = RandomInts(30000, 1000, 99);
+  BatPtr keys = Bat::MakeInt(700);
+  for (std::size_t i = 0; i < 700; ++i) {
+    keys->ints()[i] = static_cast<std::int32_t>(i);
+  }
+  keys->SetDense(0);
+
+  WorkloadResult r;
+  auto sel = scheduler.SelectRange(col, nullptr, Bound::Incl(100), Bound::Excl(900));
+  OCELOT_CHECK(sel.ok());
+  r.sel = OidsOf(*sel);
+  auto proj = scheduler.Project(*sel, col);
+  OCELOT_CHECK(proj.ok());
+  OCELOT_CHECK_OK(scheduler.Sync(*proj));
+  r.proj = IntsOf(*proj);
+  auto join = scheduler.HashJoin(col, keys);
+  OCELOT_CHECK(join.ok());
+  OCELOT_CHECK_OK(scheduler.Sync(join->left));
+  OCELOT_CHECK_OK(scheduler.Sync(join->right));
+  r.join_left = OidsOf(join->left);
+  r.join_right = OidsOf(join->right);
+  auto grp = scheduler.GroupBy(col, nullptr);
+  OCELOT_CHECK(grp.ok());
+  auto sums = scheduler.SubSum(col, grp->groups, grp->ngroups);
+  OCELOT_CHECK(sums.ok());
+  OCELOT_CHECK_OK(scheduler.Sync(*sums));
+  r.sums = IntsOf(*sums);
+  auto total = scheduler.Sum(col);
+  OCELOT_CHECK(total.ok());
+  r.total = *total;
+  return r;
+}
+
+TEST(SchedulerDeterminismTest, ResultsAreIdenticalAtEveryThreadCount) {
+  // Fragment i always runs whole against device slot i, so results must be
+  // bit-identical no matter how many host threads execute the fragments.
+  common::ThreadPool::SetGlobalThreads(1);
+  WorkloadResult serial = RunWorkload();
+  for (int threads : {2, 8}) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    WorkloadResult par = RunWorkload();
+    EXPECT_EQ(par.sel, serial.sel) << threads << " threads";
+    EXPECT_EQ(par.proj, serial.proj) << threads << " threads";
+    EXPECT_EQ(par.join_left, serial.join_left) << threads << " threads";
+    EXPECT_EQ(par.join_right, serial.join_right) << threads << " threads";
+    EXPECT_EQ(par.sums, serial.sums) << threads << " threads";
+    EXPECT_EQ(par.total, serial.total) << threads << " threads";
+  }
+  common::ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(SchedulerDeterminismTest, MakespanBillingHoldsAtEveryThreadCount) {
+  // The virtual-time contract of RunPartitioned — session clock advances by
+  // the slowest fragment's slot-clock delta, not the sum — must hold
+  // whether the host ran the fragments serially or concurrently.
+  for (int threads : {1, 2, 8}) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    std::vector<ocl::DeviceModel> models = TestDevices();
+    for (auto& m : models) m.kernel_launch_overhead = 5'000'000;
+    auto ctx = ocl::Context::Create(models);
+    Scheduler scheduler(ctx.get());
+
+    BatPtr col = RandomInts(50000, 1000, 50);
+    common::Nanos t0 = scheduler.clock()->Now();
+    auto res = scheduler.SelectRange(col, nullptr, Bound::Incl(0), Bound::Incl(499));
+    ASSERT_TRUE(res.ok());
+    common::Nanos elapsed = scheduler.clock()->Now() - t0;
+
+    common::Nanos device_sum = 0;
+    common::Nanos device_max = 0;
+    for (int i = 0; i < ctx->device_count(); ++i) {
+      common::Nanos device = 0;
+      for (const auto& [name, prof] : ctx->at(i)->queue()->profiles()) {
+        device += prof.modeled_ns;
+      }
+      device_sum += device;
+      device_max = std::max(device_max, device);
+    }
+    EXPECT_GE(elapsed, device_max) << threads << " threads";
+    EXPECT_LT(elapsed, device_sum) << threads << " threads";
+  }
+  common::ThreadPool::SetGlobalThreads(1);
 }
 
 // --- End-to-end: three engines by name, one result ---------------------------
