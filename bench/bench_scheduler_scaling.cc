@@ -1,11 +1,18 @@
 // Scheduler scaling: partition+merge overhead and real wall-clock scaling
 // of the multi-device Scheduler ("ocelot:multi") against the single-device
-// baseline ("ocelot:cpu") across 1/2/4/8 host threads, on the three
-// workloads the layer is built for:
+// baselines ("ocelot:cpu", "ocelot:gpu") across 1/2/4/8 host threads, on
+// the three workloads the layer is built for:
 //
 //   * select   — range selection over a 256 MB-axis int column
 //   * hashjoin — FK probe against a replicated unique-key build side
 //   * q1       — TPC-H Q1 end to end at paper SF 1
+//
+// The multi-device engine runs in two partitioning modes: "weighted" (the
+// default throughput-calibrated fragment sizing; a warm-up phase lets the
+// per-class EWMA converge before measuring) and "static" (the
+// OCELOT_STATIC_PARTITION=1 equal-split escape hatch). On the heterogeneous
+// CPU+GPU model set, weighted must beat both static multi and the best
+// single device on virtual makespan.
 //
 // Reported per point (and written to BENCH_scheduler.json):
 //   virtual_ms   — modeled device time (google-benchmark's manual time)
@@ -21,6 +28,7 @@
 // runs whole against device slot i); only real_ms may change.
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "bench/micro_common.h"
@@ -38,38 +46,95 @@ const int kThreadAxis[] = {1, 2, 4, 8};
 std::vector<std::string> Engines() {
   std::vector<std::string> all = bench::Configurations();
   std::vector<std::string> picked;
-  for (const std::string& e : {"ocelot:cpu", "ocelot:multi"}) {
+  for (const std::string& e : {"ocelot:cpu", "ocelot:gpu", "ocelot:multi"}) {
     if (std::find(all.begin(), all.end(), e) != all.end()) picked.push_back(e);
   }
   return picked;
 }
 
-/// Measured loop shared by all points: pool resize, warm-up, then the
-/// harness's JSON measured loop plus the thread-count axis.
-void ScalingLoop(benchmark::State& state, int threads, mal::Session* session,
-                 const std::function<bool()>& op) {
+/// One (engine, partition-mode) point of the sweep. Single-device engines
+/// have no partitioning axis; the multi engine is measured both weighted
+/// and static.
+struct EngineMode {
+  std::string engine;
+  bool static_partition = false;
+  int warmups = 1;
+
+  std::string label() const {
+    std::string l = Label(engine);
+    if (engine == "ocelot:multi") l += static_partition ? "-static" : "-weighted";
+    return l;
+  }
+};
+
+std::vector<EngineMode> EngineModes() {
+  std::vector<EngineMode> modes;
+  for (const std::string& e : Engines()) {
+    if (e == "ocelot:multi") {
+      // The weighted mode needs calibration rounds before the measured
+      // iterations see converged fragment boundaries.
+      modes.push_back({e, /*static_partition=*/false, /*warmups=*/8});
+      modes.push_back({e, /*static_partition=*/true, /*warmups=*/1});
+    } else {
+      modes.push_back({e});
+    }
+  }
+  return modes;
+}
+
+/// Opens the session with the mode's partitioning flag (the same
+/// OCELOT_STATIC_PARTITION switch operators would use). The variable is
+/// forced for *both* modes during Session::Open — an operator-exported
+/// OCELOT_STATIC_PARTITION=1 must not silently turn the weighted points
+/// static — and the caller's setting is restored afterwards.
+std::unique_ptr<mal::Session> OpenModeSession(const EngineMode& mode,
+                                              const ocl::DeviceModel* gpu,
+                                              const ocl::DeviceModel* cpu) {
+  const char* old = std::getenv("OCELOT_STATIC_PARTITION");
+  std::string saved = old != nullptr ? old : "";
+  if (mode.static_partition) {
+    setenv("OCELOT_STATIC_PARTITION", "1", 1);
+  } else {
+    unsetenv("OCELOT_STATIC_PARTITION");
+  }
+  auto session = bench::OpenSession(mode.engine, gpu, cpu);
+  if (old != nullptr) {
+    setenv("OCELOT_STATIC_PARTITION", saved.c_str(), 1);
+  } else {
+    unsetenv("OCELOT_STATIC_PARTITION");
+  }
+  return session;
+}
+
+/// Measured loop shared by all points: pool resize, warm-up (several rounds
+/// for the calibrating scheduler), then the harness's JSON measured loop
+/// plus the thread-count axis.
+void ScalingLoop(benchmark::State& state, int threads, int warmups,
+                 mal::Session* session, const std::function<bool()>& op) {
   common::ThreadPool::SetGlobalThreads(threads);
-  if (!op()) {
-    state.SkipWithError("exceeds device memory");
-    return;
+  for (int i = 0; i < warmups; ++i) {
+    if (!op()) {
+      state.SkipWithError("exceeds device memory");
+      return;
+    }
   }
   bench::JsonMeasuredLoop(state, session, op);
   state.counters["threads"] = threads;
 }
 
 void RegisterOperatorPoints() {
-  for (const std::string& engine : Engines()) {
+  for (const EngineMode& mode : EngineModes()) {
     for (int threads : kThreadAxis) {
-      std::string suffix = Label(engine) + "/t" + std::to_string(threads);
+      std::string suffix = mode.label() + "/t" + std::to_string(threads);
 
       benchmark::RegisterBenchmark(
           ("SchedulerScaling/select/" + suffix).c_str(),
-          [engine, threads](benchmark::State& state) {
+          [mode, threads](benchmark::State& state) {
             ocl::DeviceModel gpu = bench::MicroGpuModel();
             ocl::DeviceModel cpu = bench::MicroCpuModel();
-            auto session = bench::OpenSession(engine, &gpu, &cpu);
+            auto session = OpenModeSession(mode, &gpu, &cpu);
             cstore::BatPtr col = bench::UniformInts(bench::RowsForMb(256), 1000);
-            ScalingLoop(state, threads, session.get(), [&] {
+            ScalingLoop(state, threads, mode.warmups, session.get(), [&] {
               auto res = session->engine()->SelectRange(col, nullptr, Bound::Incl(0),
                                                         Bound::Incl(49));
               if (!res.ok()) {
@@ -90,10 +155,10 @@ void RegisterOperatorPoints() {
 
       benchmark::RegisterBenchmark(
           ("SchedulerScaling/hashjoin/" + suffix).c_str(),
-          [engine, threads](benchmark::State& state) {
+          [mode, threads](benchmark::State& state) {
             ocl::DeviceModel gpu = bench::MicroGpuModel();
             ocl::DeviceModel cpu = bench::MicroCpuModel();
-            auto session = bench::OpenSession(engine, &gpu, &cpu);
+            auto session = OpenModeSession(mode, &gpu, &cpu);
             std::size_t nkeys = 100'000;
             cstore::BatPtr build = cstore::Bat::MakeInt(nkeys);
             std::iota(build->ints().begin(), build->ints().end(), 0);
@@ -101,7 +166,7 @@ void RegisterOperatorPoints() {
             build->set_nonil(true);
             cstore::BatPtr probe = bench::UniformInts(
                 bench::RowsForMb(64), static_cast<std::int32_t>(nkeys));
-            ScalingLoop(state, threads, session.get(), [&] {
+            ScalingLoop(state, threads, mode.warmups, session.get(), [&] {
               auto res = session->engine()->HashJoin(probe, build);
               if (!res.ok()) {
                 OCELOT_CHECK(bench::IsMemoryLimit(res.status()))
@@ -119,12 +184,12 @@ void RegisterOperatorPoints() {
 
       benchmark::RegisterBenchmark(
           ("SchedulerScaling/q1/" + suffix).c_str(),
-          [engine, threads](benchmark::State& state) {
+          [mode, threads](benchmark::State& state) {
             const tpch::TpchDb& db = bench::Db(1.0);
             ocl::DeviceModel gpu = bench::TpchGpuModel();
             ocl::DeviceModel cpu = bench::TpchCpuModel();
-            auto session = bench::OpenSession(engine, &gpu, &cpu);
-            ScalingLoop(state, threads, session.get(), [&] {
+            auto session = OpenModeSession(mode, &gpu, &cpu);
+            ScalingLoop(state, threads, mode.warmups, session.get(), [&] {
               return bench::RunQuery(1, db, session.get());
             });
           })

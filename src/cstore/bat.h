@@ -153,6 +153,21 @@ class Bat {
     nonil_ = true;
   }
 
+  /// Copies the complete property set of `src` (tail bits, dense/tseqbase,
+  /// hseqbase) onto this BAT. The one place that must enumerate every
+  /// property bit — anything cloning a BAT's contents (e.g. the scheduler's
+  /// aggregate-fold copies) goes through here so a newly added bit cannot be
+  /// silently laundered away. `ocelot_owned` is deliberately excluded: it
+  /// describes where the *storage* lives, not what the values are.
+  void CopyPropertiesFrom(const Bat& src) {
+    sorted_ = src.sorted_;
+    key_ = src.key_;
+    nonil_ = src.nonil_;
+    dense_ = src.dense_;
+    tseqbase_ = src.tseqbase_;
+    hseqbase_ = src.hseqbase_;
+  }
+
   // -- Ocelot integration (paper 4.3) ---------------------------------------
 
   /// True while the BAT's authoritative contents live on an Ocelot device;

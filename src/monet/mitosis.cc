@@ -1,5 +1,8 @@
 #include "monet/mitosis.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <vector>
 
 #include "common/logging.h"
@@ -17,6 +20,74 @@ Slice SliceOf(std::size_t n, int i, int slices) {
   if (begin > n) begin = n;
   if (end > n) end = n;
   return {begin, end};
+}
+
+std::vector<Slice> WeightedSlices(std::size_t n, const std::vector<double>& weights) {
+  const std::size_t parts = weights.size();
+  OCELOT_CHECK(parts > 0) << "weighted slicing needs at least one part";
+  OCELOT_CHECK(n >= parts) << "cannot cut " << n << " rows into " << parts
+                           << " non-empty slices";
+
+  // Sanitize: a weight that is not a positive finite number (or an all-zero
+  // set) makes the whole vector unusable — fall back to an equal split.
+  double total = 0;
+  bool usable = true;
+  for (double w : weights) {
+    if (!std::isfinite(w) || w <= 0) {
+      usable = false;
+      break;
+    }
+    total += w;
+  }
+  std::vector<double> w = usable && total > 0 ? weights
+                                              : std::vector<double>(parts, 1.0);
+  if (!usable || total <= 0) total = static_cast<double>(parts);
+
+  // Largest-remainder apportionment: floor every ideal share, then hand the
+  // leftover rows to the largest fractional parts (ties broken by index, so
+  // the result is deterministic for identical inputs).
+  std::vector<std::size_t> share(parts);
+  std::vector<std::pair<double, std::size_t>> frac(parts);
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    double ideal = static_cast<double>(n) * w[i] / total;
+    share[i] = std::min(static_cast<std::size_t>(ideal), n);
+    frac[i] = {ideal - static_cast<double>(share[i]), i};
+    assigned += share[i];
+  }
+  std::sort(frac.begin(), frac.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  for (std::size_t k = 0; assigned < n; k = (k + 1) % parts) {
+    share[frac[k].second] += 1;
+    assigned += 1;
+  }
+  while (assigned > n) {  // floating-point paranoia: shave the largest share
+    auto it = std::max_element(share.begin(), share.end());
+    *it -= 1;
+    assigned -= 1;
+  }
+
+  // Never emit an empty fragment: a starved device takes one row from the
+  // fattest share (which has > 1 because n >= parts).
+  for (std::size_t i = 0; i < parts; ++i) {
+    while (share[i] == 0) {
+      auto it = std::max_element(share.begin(), share.end());
+      OCELOT_CHECK(*it > 1);
+      *it -= 1;
+      share[i] += 1;
+    }
+  }
+
+  std::vector<Slice> slices(parts);
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < parts; ++i) {
+    slices[i] = {at, at + share[i]};
+    at += share[i];
+  }
+  OCELOT_CHECK(at == n);
+  return slices;
 }
 
 common::Nanos ParallelFor(common::VirtualClock* clock, int lanes, int tasks,

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "common/timeline.h"
 #include "common/vclock.h"
@@ -17,8 +18,20 @@ struct Slice {
 };
 
 /// Slice `i` of `n` rows split over `slices` equal parts (MonetDB Mitosis
-/// partitioning).
+/// partitioning). Ceil division: the trailing slice can be empty (n=5 over
+/// 4 parts is 2+2+1+0) — partitioners that must not ship empty fragments
+/// use WeightedSlices instead.
 Slice SliceOf(std::size_t n, int i, int slices);
+
+/// Splits `n` rows into weights.size() contiguous slices whose sizes are
+/// proportional to `weights` (largest-remainder rounding, deterministic
+/// index-order tie-break). Contract: weights is non-empty and
+/// n >= weights.size(); every returned slice is **non-empty** — a device's
+/// share is clamped up to one row rather than shipping it a zero-row
+/// fragment. Non-finite, zero or negative weights (and an all-zero set)
+/// degrade to an equal split, which is also the balanced replacement for
+/// ceil-division SliceOf: equal weights over n=5, 4 parts give 2+1+1+1.
+std::vector<Slice> WeightedSlices(std::size_t n, const std::vector<double>& weights);
 
 /// Executes `tasks` independent closures, measuring each on the host, then
 /// bills the makespan of list-scheduling them onto `lanes` virtual cores to

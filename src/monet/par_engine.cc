@@ -376,27 +376,39 @@ Result<BatPtr> MitosisEngine::SubSum(const BatPtr& vals, const BatPtr& groups,
   auto g = groups->oids();
   std::vector<std::vector<double>> partials(
       static_cast<std::size_t>(slices_), std::vector<double>(ngroups, 0.0));
+  std::vector<std::vector<std::int64_t>> counts(
+      static_cast<std::size_t>(slices_), std::vector<std::int64_t>(ngroups, 0));
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
     auto& acc = partials[static_cast<std::size_t>(s)];
+    auto& cnt = counts[static_cast<std::size_t>(s)];
     for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (!IsNilAt(vals, i)) acc[g[i]] += ValueAt(vals, i);
+      if (IsNilAt(vals, i)) continue;
+      acc[g[i]] += ValueAt(vals, i);
+      cnt[g[i]] += 1;
     }
   });
   std::vector<double> total(ngroups, 0.0);
-  for (const auto& acc : partials) {
-    for (std::size_t k = 0; k < ngroups; ++k) total[k] += acc[k];
+  std::vector<std::int64_t> seen(ngroups, 0);
+  for (std::size_t s = 0; s < partials.size(); ++s) {
+    for (std::size_t k = 0; k < ngroups; ++k) {
+      total[k] += partials[s][k];
+      seen[k] += counts[s][k];
+    }
   }
+  // Empty-group nil convention: all-nil (or row-less) groups sum to nil,
+  // matching the sequential and Ocelot engines.
   if (vals->type() == ValType::kFloat) {
     BatPtr out = Bat::MakeFloat(ngroups);
     for (std::size_t k = 0; k < ngroups; ++k) {
-      out->floats()[k] = static_cast<float>(total[k]);
+      out->floats()[k] =
+          seen[k] == 0 ? cstore::FloatNil() : static_cast<float>(total[k]);
     }
     return out;
   }
   BatPtr out = Bat::MakeInt(ngroups);
   for (std::size_t k = 0; k < ngroups; ++k) {
-    out->ints()[k] = static_cast<std::int32_t>(total[k]);
+    out->ints()[k] = seen[k] == 0 ? kIntNil : static_cast<std::int32_t>(total[k]);
   }
   return out;
 }

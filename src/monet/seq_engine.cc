@@ -283,25 +283,38 @@ Result<BatPtr> SequentialEngine::SubSum(const BatPtr& vals, const BatPtr& groups
   RETURN_IF_ERROR(CheckOids(groups, "group ids"));
   RETURN_IF_ERROR(CheckSameSize(vals, groups));
   auto g = groups->oids();
+  // Empty-group nil convention (shared by every engine, and what the
+  // multi-device merge in ocelot::Scheduler folds over): a group that
+  // received no non-nil value sums to nil — kIntNil / NaN — like min/max,
+  // not to 0, which is indistinguishable from a real zero-sum.
+  std::vector<std::int64_t> cnt(ngroups, 0);
   if (vals->type() == ValType::kFloat) {
     std::vector<double> acc(ngroups, 0.0);
     auto v = vals->floats();
     for (std::size_t i = 0; i < v.size(); ++i) {
-      if (!std::isnan(v[i])) acc[g[i]] += v[i];
+      if (std::isnan(v[i])) continue;
+      acc[g[i]] += v[i];
+      cnt[g[i]] += 1;
     }
     BatPtr out = Bat::MakeFloat(ngroups);
     auto o = out->floats();
-    for (std::size_t k = 0; k < ngroups; ++k) o[k] = static_cast<float>(acc[k]);
+    for (std::size_t k = 0; k < ngroups; ++k) {
+      o[k] = cnt[k] == 0 ? cstore::FloatNil() : static_cast<float>(acc[k]);
+    }
     return out;
   }
   std::vector<std::int64_t> acc(ngroups, 0);
   auto v = vals->ints();
   for (std::size_t i = 0; i < v.size(); ++i) {
-    if (v[i] != kIntNil) acc[g[i]] += v[i];
+    if (v[i] == kIntNil) continue;
+    acc[g[i]] += v[i];
+    cnt[g[i]] += 1;
   }
   BatPtr out = Bat::MakeInt(ngroups);
   auto o = out->ints();
-  for (std::size_t k = 0; k < ngroups; ++k) o[k] = static_cast<std::int32_t>(acc[k]);
+  for (std::size_t k = 0; k < ngroups; ++k) {
+    o[k] = cnt[k] == 0 ? kIntNil : static_cast<std::int32_t>(acc[k]);
+  }
   return out;
 }
 

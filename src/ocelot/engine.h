@@ -65,6 +65,14 @@ class OcelotEngine : public cstore::QueryEngine {
                                         std::size_t ngroups) override;
   common::Result<cstore::BatPtr> SubCount(const cstore::BatPtr& groups,
                                           std::size_t ngroups) override;
+  /// Per-group count of *non-nil* values of `vals` (0 for a group with only
+  /// nils — counts are never nil). Not part of the QueryEngine surface: it
+  /// exists so ocelot::Scheduler can distribute SubAvg exactly (merge
+  /// partial sums and non-nil counts, then divide by the non-nil count the
+  /// way every engine's avg does).
+  common::Result<cstore::BatPtr> SubCountNonNil(const cstore::BatPtr& vals,
+                                                const cstore::BatPtr& groups,
+                                                std::size_t ngroups);
   common::Result<cstore::BatPtr> SubMin(const cstore::BatPtr& vals,
                                         const cstore::BatPtr& groups,
                                         std::size_t ngroups) override;

@@ -237,7 +237,17 @@ Result<GroupResult> OcelotEngine::GroupBy(const BatPtr& col, const GroupResult* 
 
 namespace {
 
-enum class GroupAgg { kSum, kMin, kMax, kCount, kAvg };
+enum class GroupAgg { kSum, kMin, kMax, kCount, kCountNonNil, kAvg };
+
+/// The empty-group nil convention shared by every engine (and relied on by
+/// the multi-device merge layer in ocelot::Scheduler):
+///   SubSum / SubMin / SubMax  -> kIntNil (int) / NaN (float) when a group
+///                                received no non-nil value,
+///   SubAvg                    -> NaN (always float-typed),
+///   SubCount / SubCountNonNil -> 0, never nil (a count is a cardinality).
+/// Min/max detect emptiness through their +/-inf fold identities; sum's
+/// identity is 0 — indistinguishable from a real zero-sum — so the sum path
+/// tracks per-group non-nil counts exactly like avg does.
 
 /// Accumulators per group: inversely proportional to the group count so the
 /// atomic traffic per address stays bounded (the paper's contention fix).
@@ -272,7 +282,9 @@ Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
   const ocl::DeviceModel& model = args.ctx->device()->model();
   std::size_t groups_launched = static_cast<std::size_t>(model.default_groups());
   std::size_t accums = AccumulatorsPerGroup(ngroups);
-  bool with_count = args.op == GroupAgg::kAvg;
+  // avg needs non-nil counts for the divide; sum needs them to tell an
+  // empty group (-> nil) from one that genuinely sums to zero.
+  bool with_count = args.op == GroupAgg::kAvg || args.op == GroupAgg::kSum;
 
   MemoryManager::OpScope scope(args.mm);
   ocl::EventList waits;
@@ -354,6 +366,7 @@ Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
             acc[at] = std::max(acc[at], v);
             break;
           case GroupAgg::kCount:
+          case GroupAgg::kCountNonNil:
             acc[at] += 1.0;
             break;
         }
@@ -380,6 +393,7 @@ Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
             case GroupAgg::kSum:
             case GroupAgg::kAvg:
             case GroupAgg::kCount:
+            case GroupAgg::kCountNonNil:
               folded += v;
               break;
             case GroupAgg::kMin:
@@ -400,10 +414,10 @@ Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
   ocl::EventPtr ep = args.ctx->queue()->EnqueueKernel(std::move(kp), waits);
 
   // Final stage: one thread per group folds the per-work-group partials.
-  ValType out_type = counting ? ValType::kInt
-                     : args.op == GroupAgg::kAvg
-                         ? ValType::kFloat
-                         : args.vals->type();
+  ValType out_type = counting || args.op == GroupAgg::kCountNonNil
+                         ? ValType::kInt
+                     : args.op == GroupAgg::kAvg ? ValType::kFloat
+                                                 : args.vals->type();
   BatPtr out = Bat::Make(out_type, ngroups);
   ASSIGN_OR_RETURN(ocl::BufferPtr out_buf, args.mm->AcquireWrite(&scope, out));
 
@@ -424,6 +438,7 @@ Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
             case GroupAgg::kSum:
             case GroupAgg::kAvg:
             case GroupAgg::kCount:
+            case GroupAgg::kCountNonNil:
               folded += v;
               break;
             case GroupAgg::kMin:
@@ -439,7 +454,10 @@ Result<BatPtr> GroupedAggregate(const GroupAggArgs& args) {
           folded = folded_cnt == 0 ? std::numeric_limits<double>::quiet_NaN()
                                    : folded / folded_cnt;
         }
-        bool empty = std::isinf(folded);
+        // Empty-group detection: min/max fall out of their infinite fold
+        // identities; sum's identity (0) is a legal result, so its counts
+        // decide. Counts themselves are never nil — 0 is the answer.
+        bool empty = op == GroupAgg::kSum ? folded_cnt == 0 : std::isinf(folded);
         switch (out_type) {
           case ValType::kInt:
             out_buf->Span<std::int32_t>()[grp] =
@@ -471,6 +489,12 @@ Result<BatPtr> OcelotEngine::SubSum(const BatPtr& vals, const BatPtr& groups,
 
 Result<BatPtr> OcelotEngine::SubCount(const BatPtr& groups, std::size_t ngroups) {
   return GroupedAggregate({this, &mm_, ctx_, nullptr, groups, ngroups, GroupAgg::kCount});
+}
+
+Result<BatPtr> OcelotEngine::SubCountNonNil(const BatPtr& vals, const BatPtr& groups,
+                                            std::size_t ngroups) {
+  return GroupedAggregate(
+      {this, &mm_, ctx_, vals, groups, ngroups, GroupAgg::kCountNonNil});
 }
 
 Result<BatPtr> OcelotEngine::SubMin(const BatPtr& vals, const BatPtr& groups,

@@ -2,18 +2,27 @@
 // horizontal fragments over the device set, per-device execution through the
 // hardware-oblivious operator set, host-side merge, makespan clock billing.
 //
+// Fragment sizes are throughput-weighted: a per-device, per-operator-class,
+// per-size-bucket EWMA calibrated from the virtual durations RunPartitioned
+// measures decides each device's share (monet::WeightedSlices cuts the
+// ranges; equal split on cold start or under OCELOT_STATIC_PARTITION=1),
+// and a device whose fixed per-operator cost exceeds the makespan without
+// it is dropped from the plan entirely.
+//
 // Data movement is zero-copy on the partition side: fragments are Bat views
-// aliasing the input heaps (monet::SliceOf decides the ranges), so the only
-// bytes the scheduler itself moves are the single merge write of each
-// operator's output. Fragments execute concurrently on the host thread pool
-// (one lane per device at most); every fragment bills its own device-slot
-// clock, and the session clock advances by the makespan only.
+// aliasing the input heaps, so the only bytes the scheduler itself moves
+// are the single merge write of each operator's output. Fragments execute
+// concurrently on the host thread pool (one lane per device at most); every
+// fragment bills its own device queue's modeled time, and the session clock
+// advances by the makespan only.
 
 #include "ocelot/scheduler.h"
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -115,12 +124,14 @@ BatPtr MergeValueParts(ValType type, std::vector<BatPtr>& parts) {
 
 /// Fresh private copy of a fragment partial (grouped-aggregate folds mutate
 /// the accumulator; the partials were synced through their devices' memory
-/// managers, which may still cache their device buffers).
+/// managers, which may still cache their device buffers). The *complete*
+/// property set rides along (Bat::CopyPropertiesFrom — key, dense/tseqbase,
+/// hseqbase and whatever bit is added next), so the aggregate fold path
+/// cannot launder properties away.
 BatPtr CloneBat(const BatPtr& src) {
   BatPtr out = Bat::Make(src->type(), src->size());
   std::memcpy(out->data(), src->data(), src->tail_bytes());
-  out->set_nonil(src->nonil());
-  if (src->sorted()) out->set_sorted(true);
+  out->CopyPropertiesFrom(*src);
   g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);
   return out;
 }
@@ -135,10 +146,103 @@ void MarkCandidate(const BatPtr& b) {
 
 }  // namespace
 
-Scheduler::Scheduler(ocl::Context* ctx) : ctx_(ctx) {
+// --- Throughput calibration --------------------------------------------------
+
+ThroughputTracker::ThroughputTracker(std::vector<double> priors)
+    : priors_(std::move(priors)), cells_(priors_.size()) {}
+
+int ThroughputTracker::Bucket(std::size_t n) {
+  if (n <= 1) return 0;
+  int b = std::bit_width(n) - 1;
+  return std::min(b, kSizeBuckets - 1);
+}
+
+const ThroughputTracker::Cell& ThroughputTracker::At(OpClass c, std::size_t n,
+                                                     int device) const {
+  return cells_[static_cast<std::size_t>(device)][static_cast<int>(c)]
+               [static_cast<std::size_t>(Bucket(n))];
+}
+
+void ThroughputTracker::Observe(OpClass c, std::size_t n, int device,
+                                std::size_t rows, common::Nanos ns) {
+  if (rows == 0 || ns <= 0) return;
+  Cell& cell = cells_[static_cast<std::size_t>(device)][static_cast<int>(c)]
+                     [static_cast<std::size_t>(Bucket(n))];
+  double tp = static_cast<double>(rows) / static_cast<double>(ns);
+  cell.throughput = cell.throughput == 0.0
+                        ? tp
+                        : kAlpha * tp + (1.0 - kAlpha) * cell.throughput;
+  cell.samples += 1;
+  // The first sample of a kernel on a device carries the one-time JIT
+  // compile cost; folding it into the floor would poison the device-drop
+  // rule (see MinCost), so the floor only starts with the second sample.
+  if (cell.samples >= 2 &&
+      (cell.min_cost == 0.0 || static_cast<double>(ns) < cell.min_cost)) {
+    cell.min_cost = static_cast<double>(ns);
+  }
+}
+
+double ThroughputTracker::Throughput(OpClass c, std::size_t n, int device) const {
+  return At(c, n, device).throughput;
+}
+
+common::Nanos ThroughputTracker::MinCost(OpClass c, std::size_t n,
+                                         int device) const {
+  return static_cast<common::Nanos>(At(c, n, device).min_cost);
+}
+
+std::vector<double> ThroughputTracker::Weights(
+    OpClass c, std::size_t n, const std::vector<int>& devices) const {
+  std::vector<double> w(devices.size(), 1.0);
+  double observed_tp = 0, observed_prior = 0;
+  int observed = 0;
+  for (int d : devices) {
+    double e = At(c, n, d).throughput;
+    if (e > 0) {
+      observed += 1;
+      observed_tp += e;
+      observed_prior += priors_[static_cast<std::size_t>(d)];
+    }
+  }
+  if (observed == 0) return w;  // cold start: equal split
+  // A device without its own measurement for this bucket (it sat out
+  // earlier calls) is extrapolated from the model prior, scaled into the
+  // observed devices' EWMA units so the two kinds of weight are comparable.
+  double scale = observed_prior > 0 ? observed_tp / observed_prior : 0;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    double e = At(c, n, devices[i]).throughput;
+    if (e > 0) {
+      w[i] = e;
+    } else if (scale > 0) {
+      w[i] = priors_[static_cast<std::size_t>(devices[i])] * scale;
+    } else {
+      w[i] = observed_tp / observed;
+    }
+  }
+  return w;
+}
+
+Scheduler::Scheduler(ocl::Context* ctx)
+    : ctx_(ctx), tracker_([ctx] {
+        std::vector<double> priors;
+        priors.reserve(static_cast<std::size_t>(ctx->device_count()));
+        for (int i = 0; i < ctx->device_count(); ++i) {
+          priors.push_back(ctx->at(i)->device()->model().partition_weight());
+        }
+        return priors;
+      }()) {
   engines_.reserve(static_cast<std::size_t>(ctx->device_count()));
+  double best_prior = -1.0;
   for (int i = 0; i < ctx->device_count(); ++i) {
     engines_.push_back(std::make_unique<OcelotEngine>(ctx->at(i)));
+    double prior = ctx->at(i)->device()->model().partition_weight();
+    if (prior > best_prior) {
+      best_prior = prior;
+      primary_ = i;
+    }
+  }
+  if (const char* env = std::getenv("OCELOT_STATIC_PARTITION")) {
+    static_partition_ = env[0] == '1' && env[1] == '\0';
   }
 }
 
@@ -161,6 +265,102 @@ int Scheduler::PartsFor(std::size_t n) const {
       std::min<std::size_t>(static_cast<std::size_t>(device_count()), n));
 }
 
+PartitionPlan Scheduler::PlanParts(OpClass c, std::size_t n) {
+  int parts = PartsFor(n);
+  if (parts <= 1) return {{monet::Slice{0, n}}, {primary_}};
+  // PartsFor guarantees n >= parts, so every slice is non-empty: no device
+  // is ever shipped a zero-row fragment (it would pay launch/sync virtual
+  // cost for nothing).
+  std::vector<int> devices(static_cast<std::size_t>(parts));
+  for (int i = 0; i < parts; ++i) devices[static_cast<std::size_t>(i)] = i;
+  if (static_partition_) {
+    return {monet::WeightedSlices(
+                n, std::vector<double>(static_cast<std::size_t>(parts), 1.0)),
+            std::move(devices)};
+  }
+
+  // Device drop: per-launch driver costs (the paper's 2 ms Intel-SDK
+  // dispatch) do not shrink with a device's row share, so past a point a
+  // slow device is pure ballast — even its smallest-ever fragment costs a
+  // multiple of the whole makespan achievable without it. MinCost is an
+  // upper bound on the device's fixed per-operator cost (it converges down
+  // as the weighting shrinks the share); the remaining set's makespan is
+  // estimated as its linear time n/Σtp plus its own worst fixed floor.
+  // Break-even is floor == makespan-without (a device can only absorb rows
+  // "for free" until its fragment time reaches the others' finish line);
+  // the 1.25x margin is hysteresis against flip-flopping. All terms depend
+  // on n, so a dropped device re-enters when inputs grow enough to
+  // amortize its fixed costs.
+  while (devices.size() > 1) {
+    double total_tp = 0;
+    bool all_observed = true;
+    std::size_t slowest = 0;
+    double slowest_tp = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      double tp = tracker_.Throughput(c, n, devices[i]);
+      if (tp <= 0) {
+        all_observed = false;  // still calibrating: keep the full set
+        break;
+      }
+      total_tp += tp;
+      if (slowest_tp == 0 || tp < slowest_tp) {
+        slowest_tp = tp;
+        slowest = i;
+      }
+    }
+    if (!all_observed) break;
+    double floor_rest = 0;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (i == slowest) continue;
+      floor_rest = std::max(
+          floor_rest, static_cast<double>(tracker_.MinCost(c, n, devices[i])));
+    }
+    double makespan_without =
+        static_cast<double>(n) / (total_tp - slowest_tp) + floor_rest;
+    double floor = static_cast<double>(tracker_.MinCost(c, n, devices[slowest]));
+    if (floor <= 1.25 * makespan_without) break;
+    devices.erase(devices.begin() + static_cast<std::ptrdiff_t>(slowest));
+  }
+  if (devices.size() == 1) return {{monet::Slice{0, n}}, std::move(devices)};
+
+  std::vector<monet::Slice> slices =
+      monet::WeightedSlices(n, tracker_.Weights(c, n, devices));
+
+  // Hysteresis: fragment views are cached device-side by exact heap range,
+  // so moving a cut point invalidates the covering uploads on non-unified
+  // devices and pays a fresh transfer. Keep the previously adopted plan
+  // for this (class, exact n, device set) unless some device's ideal share
+  // drifted by more than n/16 — EWMA jitter then never wobbles the
+  // boundaries, while a real throughput shift still re-cuts promptly.
+  std::map<std::size_t, PlanCache>& class_plans = plans_[static_cast<int>(c)];
+  if (class_plans.size() > 1024) class_plans.clear();
+  PlanCache& cache = class_plans[n];
+  if (cache.devices == devices && cache.shares.size() == slices.size()) {
+    bool stable = true;
+    for (std::size_t i = 0; i < slices.size() && stable; ++i) {
+      std::size_t ideal = slices[i].size();
+      std::size_t kept = cache.shares[i];
+      std::size_t drift = ideal > kept ? ideal - kept : kept - ideal;
+      stable = drift * 16 <= n;
+    }
+    if (stable) {
+      std::vector<monet::Slice> kept(cache.shares.size());
+      std::size_t at = 0;
+      for (std::size_t i = 0; i < cache.shares.size(); ++i) {
+        kept[i] = {at, at + cache.shares[i]};
+        at += cache.shares[i];
+      }
+      return {std::move(kept), std::move(devices)};
+    }
+  }
+  cache.devices = devices;
+  cache.shares.resize(slices.size());
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    cache.shares[i] = slices[i].size();
+  }
+  return {std::move(slices), std::move(devices)};
+}
+
 void Scheduler::DropCachedHashTable(std::uint64_t id) {
   for (auto& engine : engines_) engine->memory()->DropCachedHashTable(id);
 }
@@ -169,20 +369,30 @@ Status Scheduler::SyncPart(int i, const BatPtr& bat) {
   return engines_[static_cast<std::size_t>(i)]->Sync(bat);
 }
 
-Status Scheduler::RunPartitioned(int parts,
-                                 const std::function<Status(int)>& part) {
+Status Scheduler::RunPartitioned(const std::vector<int>& devices,
+                                 const std::function<Status(int)>& frag,
+                                 std::vector<Nanos>* deltas_out) {
+  int parts = static_cast<int>(devices.size());
   Nanos t0 = clock_.Now();
   common::Stopwatch real;
   std::vector<Nanos> deltas(static_cast<std::size_t>(parts), 0);
   std::vector<Status> statuses(static_cast<std::size_t>(parts));
-  // Fragment i runs against device slot i only, so concurrent fragments
-  // touch disjoint engines, memory managers and slot clocks; the pool adds
-  // real host parallelism without changing what any slot clock observes.
+  // Fragment i runs against device slot devices[i] only (the plan's device
+  // ids are distinct), so concurrent fragments touch disjoint engines,
+  // memory managers and slot clocks; the pool adds real host parallelism
+  // without changing what any slot clock observes.
+  //
+  // Each fragment's duration is its device queue's *modeled* busy-time
+  // delta (kernels + transfers), not a wall-clock difference: the slot
+  // clocks are real-time anchored, so a raw clock delta would fold host
+  // scheduling gaps into the measurement and poison both the makespan bill
+  // and the throughput calibration with thread-count-dependent noise.
   common::ThreadPool::Global().ParallelFor(parts, [&](int i) {
-    common::VirtualClock* device_clock = ctx_->at(i)->clock();
-    Nanos d0 = device_clock->Now();
-    statuses[static_cast<std::size_t>(i)] = part(i);
-    deltas[static_cast<std::size_t>(i)] = device_clock->Now() - d0;
+    ocl::CommandQueue* queue =
+        ctx_->at(devices[static_cast<std::size_t>(i)])->queue();
+    Nanos d0 = queue->modeled_busy_ns();
+    statuses[static_cast<std::size_t>(i)] = frag(i);
+    deltas[static_cast<std::size_t>(i)] = queue->modeled_busy_ns() - d0;
   });
   Nanos longest = 0;
   for (Nanos d : deltas) longest = std::max(longest, d);
@@ -193,10 +403,51 @@ Status Scheduler::RunPartitioned(int parts,
   // (vclock.h contract).
   clock_.Deduct(real.ElapsedNanos());
   clock_.AdvanceTo(t0 + longest);
+  if (deltas_out != nullptr) *deltas_out = std::move(deltas);
   for (Status& s : statuses) {
     if (!s.ok()) return s;  // first failing fragment, deterministically
   }
   return Status::Ok();
+}
+
+Status Scheduler::RunWeighted(
+    OpClass c, const PartitionPlan& plan,
+    const std::function<Status(int, int, const monet::Slice&)>& part,
+    const std::vector<std::size_t>* observed_rows) {
+  std::vector<Nanos> deltas;
+  Status status = RunPartitioned(
+      plan.devices,
+      [&](int i) {
+        return part(i, plan.devices[static_cast<std::size_t>(i)],
+                    plan.slices[static_cast<std::size_t>(i)]);
+      },
+      &deltas);
+  if (!status.ok() || static_partition_) return status;
+  // Calibration feed, on the calling thread after the fragment barrier and
+  // in plan order: the measured deltas are *virtual* durations, so the EWMA
+  // state — and with it every later partition boundary — is invariant under
+  // the host thread count (PR 2's determinism contract carries over).
+  std::size_t n = plan.slices.empty() ? 0 : plan.slices.back().end;
+  for (int i = 0; i < plan.parts(); ++i) {
+    std::size_t rows = observed_rows != nullptr
+                           ? (*observed_rows)[static_cast<std::size_t>(i)]
+                           : plan.slices[static_cast<std::size_t>(i)].size();
+    tracker_.Observe(c, n, plan.devices[static_cast<std::size_t>(i)], rows,
+                     deltas[static_cast<std::size_t>(i)]);
+  }
+  return status;
+}
+
+Status Scheduler::RunOnDevice(int device, const std::function<Status()>& fn) {
+  Nanos t0 = clock_.Now();
+  common::Stopwatch real;
+  ocl::CommandQueue* queue = ctx_->at(device)->queue();
+  Nanos d0 = queue->modeled_busy_ns();
+  Status status = fn();
+  Nanos delta = queue->modeled_busy_ns() - d0;
+  clock_.Deduct(real.ElapsedNanos());
+  clock_.AdvanceTo(t0 + delta);
+  return status;
 }
 
 // --- Selection ---------------------------------------------------------------
@@ -221,14 +472,20 @@ Result<BatPtr> Scheduler::SelectRange(const BatPtr& col, const BatPtr& cand,
     return none;
   }
   std::size_t domain = cand != nullptr ? cand->size() : col->size();
-  int parts = PartsFor(domain);
-  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
-  std::vector<oid_t> bases(static_cast<std::size_t>(parts), 0);
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(domain, i, parts);
+  PartitionPlan plan = PlanParts(OpClass::kSelect, domain);
+  std::vector<BatPtr> results(plan.slices.size());
+  std::vector<oid_t> bases(plan.slices.size(), 0);
+  // Calibration weight of each fragment: the column rows the device
+  // actually scans (== the slice for plain selects, the covered row range
+  // for candidate selects), so both flavors feed comparable rows/ns into
+  // the shared select buckets.
+  std::vector<std::size_t> scanned(plan.slices.size(), 0);
+  RETURN_IF_ERROR(RunWeighted(OpClass::kSelect, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
     if (s.size() == 0) {
-      // Ceil-division slicing can leave a trailing device without rows
-      // (e.g. 4 candidates on 3 devices); it contributes an empty result.
+      // Only the degenerate whole-input plan over an empty column lands
+      // here (multi-fragment plans never contain empty slices); it
+      // contributes an empty result without a device round-trip.
       BatPtr none = Bat::MakeOid(0);
       MarkCandidate(none);
       results[static_cast<std::size_t>(i)] = std::move(none);
@@ -247,17 +504,20 @@ Result<BatPtr> Scheduler::SelectRange(const BatPtr& col, const BatPtr& cand,
       for (std::size_t k = 0; k < s.size(); ++k) out[k] = cv[s.begin + k] - base;
       MarkCandidate(cand_in);
       g_bytes_copied.fetch_add(cand_in->tail_bytes(), std::memory_order_relaxed);
+      scanned[static_cast<std::size_t>(i)] = rows;
     } else {
       col_in = FragmentOf(col, s);
       base = static_cast<oid_t>(s.begin);
+      scanned[static_cast<std::size_t>(i)] = s.size();
     }
     bases[static_cast<std::size_t>(i)] = base;
-    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr r, eng->SelectRange(col_in, cand_in, lo, hi));
-    RETURN_IF_ERROR(SyncPart(i, r));
+    RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
-  }));
+  },
+                              &scanned));
 
   BatPtr merged = MergeOidParts(results, bases);
   MarkCandidate(merged);
@@ -294,13 +554,13 @@ Result<BatPtr> Scheduler::Project(const BatPtr& oids, const BatPtr& col) {
   // Partition the oid list (views); the gathered column is replicated (the
   // gather needs random access to all of it).
   std::size_t n = oids->size();
-  int parts = PartsFor(n);
-  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
-    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+  PartitionPlan plan = PlanParts(OpClass::kProject, n);
+  std::vector<BatPtr> results(plan.slices.size());
+  RETURN_IF_ERROR(RunWeighted(OpClass::kProject, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr r, eng->Project(FragmentOf(oids, s), col));
-    RETURN_IF_ERROR(SyncPart(i, r));
+    RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
@@ -311,16 +571,16 @@ Result<JoinResult> Scheduler::LeftFragmentJoin(
     const BatPtr& left,
     const std::function<Result<JoinResult>(OcelotEngine*, const BatPtr&)>& op) {
   std::size_t n = left->size();
-  int parts = PartsFor(n);
-  std::vector<JoinResult> results(static_cast<std::size_t>(parts));
-  std::vector<oid_t> bases(static_cast<std::size_t>(parts), 0);
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
+  PartitionPlan plan = PlanParts(OpClass::kJoin, n);
+  std::vector<JoinResult> results(plan.slices.size());
+  std::vector<oid_t> bases(plan.slices.size(), 0);
+  RETURN_IF_ERROR(RunWeighted(OpClass::kJoin, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
     bases[static_cast<std::size_t>(i)] = static_cast<oid_t>(s.begin);
-    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(JoinResult r, op(eng, FragmentOf(left, s)));
-    RETURN_IF_ERROR(SyncPart(i, r.left));
-    RETURN_IF_ERROR(SyncPart(i, r.right));
+    RETURN_IF_ERROR(SyncPart(dev, r.left));
+    RETURN_IF_ERROR(SyncPart(dev, r.right));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
@@ -370,15 +630,15 @@ Result<BatPtr> Scheduler::LeftFragmentFilter(
     const BatPtr& left,
     const std::function<Result<BatPtr>(OcelotEngine*, const BatPtr&)>& op) {
   std::size_t n = left->size();
-  int parts = PartsFor(n);
-  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
-  std::vector<oid_t> bases(static_cast<std::size_t>(parts), 0);
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
+  PartitionPlan plan = PlanParts(OpClass::kJoin, n);
+  std::vector<BatPtr> results(plan.slices.size());
+  std::vector<oid_t> bases(plan.slices.size(), 0);
+  RETURN_IF_ERROR(RunWeighted(OpClass::kJoin, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
     bases[static_cast<std::size_t>(i)] = static_cast<oid_t>(s.begin);
-    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr r, op(eng, FragmentOf(left, s)));
-    RETURN_IF_ERROR(SyncPart(i, r));
+    RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));
@@ -414,10 +674,10 @@ Result<BatPtr> Scheduler::AntiJoin(const BatPtr& left, const BatPtr& right) {
 Result<SortResult> Scheduler::Sort(const BatPtr& col) {
   RETURN_IF_ERROR(CheckHostResident(col, "sort input"));
   SortResult result;
-  RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
-    ASSIGN_OR_RETURN(result, engines_[0]->Sort(col));
-    RETURN_IF_ERROR(SyncPart(0, result.values));
-    RETURN_IF_ERROR(SyncPart(0, result.order));
+  RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+    ASSIGN_OR_RETURN(result, engines_[static_cast<std::size_t>(primary_)]->Sort(col));
+    RETURN_IF_ERROR(SyncPart(primary_, result.values));
+    RETURN_IF_ERROR(SyncPart(primary_, result.order));
     return Status::Ok();
   }));
   return result;
@@ -426,12 +686,14 @@ Result<SortResult> Scheduler::Sort(const BatPtr& col) {
 Result<GroupResult> Scheduler::GroupBy(const BatPtr& col, const GroupResult* prev) {
   RETURN_IF_ERROR(CheckHostResident(col, "group input"));
   // Group ids must be globally dense and consistent; repartitioning them
-  // would need an id-remap pass, so grouping runs whole on device 0.
+  // would need an id-remap pass, so grouping runs whole — on the fastest
+  // device of the set (by model prior), not on whatever slot is first.
   GroupResult result;
-  RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
-    ASSIGN_OR_RETURN(result, engines_[0]->GroupBy(col, prev));
-    RETURN_IF_ERROR(SyncPart(0, result.groups));
-    RETURN_IF_ERROR(SyncPart(0, result.extents));
+  RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+    ASSIGN_OR_RETURN(result,
+                     engines_[static_cast<std::size_t>(primary_)]->GroupBy(col, prev));
+    RETURN_IF_ERROR(SyncPart(primary_, result.groups));
+    RETURN_IF_ERROR(SyncPart(primary_, result.extents));
     return Status::Ok();
   }));
   return result;
@@ -451,14 +713,14 @@ Result<BatPtr> Scheduler::PartitionedSubAgg(
     return Status::InvalidArgument("aggregate input and group ids differ in size");
   }
   std::size_t n = groups->size();
-  int parts = PartsFor(n);
-  std::vector<BatPtr> partials(static_cast<std::size_t>(parts));
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
+  PartitionPlan plan = PlanParts(OpClass::kSubAgg, n);
+  std::vector<BatPtr> partials(plan.slices.size());
+  RETURN_IF_ERROR(RunWeighted(OpClass::kSubAgg, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
     BatPtr vals_frag = vals != nullptr ? FragmentOf(vals, s) : nullptr;
-    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr p, op(eng, vals_frag, FragmentOf(groups, s)));
-    RETURN_IF_ERROR(SyncPart(i, p));
+    RETURN_IF_ERROR(SyncPart(dev, p));
     partials[static_cast<std::size_t>(i)] = std::move(p);
     return Status::Ok();
   }));
@@ -477,15 +739,27 @@ namespace {
 
 /// Element-wise partial merges over `ngroups`-sized aggregate BATs, with the
 /// engines' nil conventions (kIntNil / NaN marks "group empty so far").
+///
+/// The additive merge must honor them just like MergeMinMax does: a group
+/// whose rows are clustered into one fragment (any post-sort grouping) is
+/// *empty* in every other fragment, and those partials carry nil — folding
+/// them in blindly would poison the sum (NaN) or wrap it (kIntNil). A nil
+/// partial is the identity; a group nil in every fragment stays nil.
 void MergeAdd(BatPtr& acc, const BatPtr& part) {
   if (acc->type() == ValType::kFloat) {
     auto a = acc->floats();
     auto p = part->floats();
-    for (std::size_t k = 0; k < a.size(); ++k) a[k] += p[k];
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (std::isnan(p[k])) continue;
+      a[k] = std::isnan(a[k]) ? p[k] : a[k] + p[k];
+    }
   } else {
     auto a = acc->ints();
     auto p = part->ints();
-    for (std::size_t k = 0; k < a.size(); ++k) a[k] += p[k];
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (p[k] == kIntNil) continue;
+      a[k] = a[k] == kIntNil ? p[k] : a[k] + p[k];
+    }
   }
 }
 
@@ -520,6 +794,9 @@ Result<BatPtr> Scheduler::SubSum(const BatPtr& vals, const BatPtr& groups,
 }
 
 Result<BatPtr> Scheduler::SubCount(const BatPtr& groups, std::size_t ngroups) {
+  // Counts follow the other half of the nil convention: a group empty in a
+  // fragment counts 0 there, never nil (a count is a cardinality), so the
+  // nil-aware MergeAdd degenerates to plain addition on this path.
   return PartitionedSubAgg(
       nullptr, groups, ngroups,
       [ngroups](OcelotEngine* eng, const BatPtr&, const BatPtr& g) {
@@ -550,18 +827,70 @@ Result<BatPtr> Scheduler::SubMax(const BatPtr& vals, const BatPtr& groups,
 
 Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
                                  std::size_t ngroups) {
-  // avg has no exact distributed merge through the existing operator set:
-  // dividing merged sums by SubCount would weigh nil values into the
-  // denominator (the engines divide by the *non-nil* count). Run it whole
-  // on the primary device until a per-group non-nil count operator exists.
   RETURN_IF_ERROR(CheckHostResident(vals, "subavg input"));
   RETURN_IF_ERROR(CheckHostResident(groups, "group ids"));
-  BatPtr result;
-  RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
-    ASSIGN_OR_RETURN(result, engines_[0]->SubAvg(vals, groups, ngroups));
-    return SyncPart(0, result);
+  if (vals == nullptr || groups == nullptr || vals->size() != groups->size()) {
+    // Let the single-device engine surface its own shape errors.
+    BatPtr result;
+    RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+      ASSIGN_OR_RETURN(result, engines_[static_cast<std::size_t>(primary_)]->SubAvg(
+                                   vals, groups, ngroups));
+      return SyncPart(primary_, result);
+    }));
+    return result;
+  }
+
+  // avg distributes exactly now that a per-group non-nil count operator
+  // exists: merge per-fragment partial sums (nil-aware) and non-nil counts,
+  // then divide by the non-nil count the way every engine's avg does —
+  // dividing by SubCount instead would weigh nil values into the
+  // denominator. The partials go through the engines' SubSum output types,
+  // so this path inherits SubSum's value-range contract: int partial sums
+  // live in int32 (groups summing past 2^31 wrap there too) and float
+  // partials round to float per fragment. Exact for int groups within
+  // int32 and bit-equal to seq for integer-valued floats — the property
+  // the sweep tests pin.
+  std::size_t n = groups->size();
+  PartitionPlan plan = PlanParts(OpClass::kSubAgg, n);
+  std::vector<BatPtr> sums(plan.slices.size());
+  std::vector<BatPtr> cnts(plan.slices.size());
+  RETURN_IF_ERROR(RunWeighted(OpClass::kSubAgg, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
+    BatPtr vals_frag = FragmentOf(vals, s);
+    BatPtr groups_frag = FragmentOf(groups, s);
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
+    ASSIGN_OR_RETURN(BatPtr sum, eng->SubSum(vals_frag, groups_frag, ngroups));
+    RETURN_IF_ERROR(SyncPart(dev, sum));
+    ASSIGN_OR_RETURN(BatPtr cnt,
+                     eng->SubCountNonNil(vals_frag, groups_frag, ngroups));
+    RETURN_IF_ERROR(SyncPart(dev, cnt));
+    sums[static_cast<std::size_t>(i)] = std::move(sum);
+    cnts[static_cast<std::size_t>(i)] = std::move(cnt);
+    return Status::Ok();
   }));
-  return result;
+
+  BatPtr sum = sums.size() == 1 ? std::move(sums[0]) : CloneBat(sums[0]);
+  BatPtr cnt = cnts.size() == 1 ? std::move(cnts[0]) : CloneBat(cnts[0]);
+  for (std::size_t i = 1; i < plan.slices.size(); ++i) {
+    MergeAdd(sum, sums[i]);
+    MergeAdd(cnt, cnts[i]);
+  }
+  BatPtr out = Bat::MakeFloat(ngroups);
+  auto o = out->floats();
+  auto c = cnt->ints();
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    if (c[g] == 0) {
+      o[g] = cstore::FloatNil();  // all-nil group: avg is nil
+    } else if (sum->type() == ValType::kFloat) {
+      o[g] = static_cast<float>(static_cast<double>(sum->floats()[g]) /
+                                static_cast<double>(c[g]));
+    } else {
+      o[g] = static_cast<float>(static_cast<double>(sum->ints()[g]) /
+                                static_cast<double>(c[g]));
+    }
+  }
+  g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);
+  return out;
 }
 
 // --- Ungrouped aggregation ---------------------------------------------------
@@ -575,18 +904,18 @@ Result<double> Scheduler::PartitionedReduce(
   if (col == nullptr || n == 0) {
     // Preserve the engine's own null/empty-input semantics.
     double result = 0;
-    RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
-      ASSIGN_OR_RETURN(result, op(engines_[0].get(), col));
+    RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+      ASSIGN_OR_RETURN(result, op(engines_[static_cast<std::size_t>(primary_)].get(), col));
       return Status::Ok();
     }));
     return result;
   }
-  int parts = PartsFor(n);
-  std::vector<double> partials(static_cast<std::size_t>(parts));
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
+  PartitionPlan plan = PlanParts(OpClass::kReduce, n);
+  std::vector<double> partials(plan.slices.size());
+  RETURN_IF_ERROR(RunWeighted(OpClass::kReduce, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
     ASSIGN_OR_RETURN(partials[static_cast<std::size_t>(i)],
-                     op(engines_[static_cast<std::size_t>(i)].get(),
+                     op(engines_[static_cast<std::size_t>(dev)].get(),
                         FragmentOf(col, s)));
     return Status::Ok();
   }));
@@ -636,25 +965,26 @@ Result<BatPtr> Scheduler::ElementWise(
     if (in->size() != n) {
       // Let the single-device engine produce its own size-mismatch error.
       BatPtr result;
-      RETURN_IF_ERROR(RunPartitioned(1, [&](int) -> Status {
-        ASSIGN_OR_RETURN(result, op(engines_[0].get(), inputs));
-        RETURN_IF_ERROR(SyncPart(0, result));
+      RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+        ASSIGN_OR_RETURN(result,
+                         op(engines_[static_cast<std::size_t>(primary_)].get(), inputs));
+        RETURN_IF_ERROR(SyncPart(primary_, result));
         return Status::Ok();
       }));
       return result;
     }
   }
 
-  int parts = PartsFor(n);
-  std::vector<BatPtr> results(static_cast<std::size_t>(parts));
-  RETURN_IF_ERROR(RunPartitioned(parts, [&](int i) -> Status {
-    monet::Slice s = monet::SliceOf(n, i, parts);
+  PartitionPlan plan = PlanParts(OpClass::kElementWise, n);
+  std::vector<BatPtr> results(plan.slices.size());
+  RETURN_IF_ERROR(RunWeighted(OpClass::kElementWise, plan,
+                              [&](int i, int dev, const monet::Slice& s) -> Status {
     std::vector<BatPtr> frags;
     frags.reserve(inputs.size());
     for (const BatPtr& in : inputs) frags.push_back(FragmentOf(in, s));
-    OcelotEngine* eng = engines_[static_cast<std::size_t>(i)].get();
+    OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr r, op(eng, frags));
-    RETURN_IF_ERROR(SyncPart(i, r));
+    RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   }));

@@ -1,26 +1,128 @@
 #ifndef OCELOT_OCELOT_SCHEDULER_H_
 #define OCELOT_OCELOT_SCHEDULER_H_
 
+#include <array>
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/vclock.h"
 #include "cstore/engine.h"
+#include "monet/mitosis.h"
 #include "ocelot/engine.h"
 #include "ocl/context.h"
 
 namespace ocelot {
+
+/// Operator classes the scheduler calibrates separately: devices have
+/// different relative strengths per kernel shape (a GPU gains more on a
+/// streaming select than on an atomic-heavy sub-aggregate), so throughput is
+/// tracked per (device, class), not per device.
+enum class OpClass : int {
+  kSelect = 0,
+  kProject,
+  kJoin,
+  kElementWise,
+  kSubAgg,
+  kReduce,
+};
+inline constexpr int kOpClassCount = 6;
+
+/// Per-device, per-operator-class, per-size-bucket throughput calibration
+/// for weighted work division. Fed by the *virtual* per-fragment durations
+/// RunPartitioned measures (rows / modeled-nanoseconds, folded by EWMA), so
+/// the calibration inherits the billing layer's thread-count invariance:
+/// the weights — and therefore the fragment boundaries — do not depend on
+/// how many host threads ran the fragments.
+///
+/// Calibration is bucketed by log2 of the *operator's* input size because
+/// effective throughput is not size-free: per-launch driver costs and DMA
+/// setup dominate small inputs, so a 4-row projection and a 120k-row
+/// projection of the same class have throughputs three orders of magnitude
+/// apart — one EWMA across both would corrupt each other's plans.
+///
+/// Observations arrive on the scheduler's calling thread after the fragment
+/// barrier, in device order; the tracker is not itself synchronized (one
+/// scheduler == one session, like every engine).
+class ThroughputTracker {
+ public:
+  /// `priors` are model-derived relative throughputs (one per device,
+  /// ocl::DeviceModel::partition_weight()), used only to extrapolate a
+  /// device that has no observation for a bucket while its siblings do.
+  explicit ThroughputTracker(std::vector<double> priors);
+
+  /// Relative split weights for the given devices of class `c` at operator
+  /// size `n`. Equal weights until the first calibration of the bucket
+  /// lands (equal-split cold start); afterwards the observed EWMA
+  /// throughputs, with prior-extrapolated stand-ins for not-yet-observed
+  /// devices.
+  std::vector<double> Weights(OpClass c, std::size_t n,
+                              const std::vector<int>& devices) const;
+
+  /// Observed EWMA throughput of `device` for (`c`, size bucket of `n`) in
+  /// rows per virtual nanosecond; 0 when there is no observation yet.
+  double Throughput(OpClass c, std::size_t n, int device) const;
+
+  /// Smallest fragment duration observed for (`c`, bucket of `n`,
+  /// `device`): an upper bound on the device's *fixed* per-operator cost
+  /// (launch/dispatch/DMA setup), approached as the weighting shrinks its
+  /// share. A device whose floor exceeds the whole makespan achievable
+  /// without it is ballast — the signal the scheduler's device-drop rule
+  /// uses. Returns 0 (unknown) until a cell has at least two observations:
+  /// the first sample of a kernel on a device carries the one-time JIT
+  /// compile cost, and treating that as the device's floor would let a
+  /// single compile-inflated measurement exclude a healthy device
+  /// permanently (dropped devices get no new observations to recover
+  /// with).
+  common::Nanos MinCost(OpClass c, std::size_t n, int device) const;
+
+  /// Folds one fragment measurement (`rows` of an `n`-row operator in `ns`
+  /// virtual nanoseconds on `device`) into the bucket EWMAs. Zero-row or
+  /// zero-time measurements carry no signal and are dropped.
+  void Observe(OpClass c, std::size_t n, int device, std::size_t rows,
+               common::Nanos ns);
+
+  /// log2 size bucket of `n` (0 for n <= 1).
+  static int Bucket(std::size_t n);
+  static constexpr int kSizeBuckets = 40;
+
+ private:
+  static constexpr double kAlpha = 0.3;  ///< EWMA: fresh observation share
+
+  struct Cell {
+    double throughput = 0;  ///< EWMA rows per virtual ns; 0 = no observation
+    double min_cost = 0;    ///< smallest fragment ns since sample 2; 0 = none
+    int samples = 0;        ///< observations folded into this cell
+  };
+  const Cell& At(OpClass c, std::size_t n, int device) const;
+
+  std::vector<double> priors_;
+  /// cells_[device][class][bucket].
+  std::vector<std::array<std::array<Cell, kSizeBuckets>, kOpClassCount>> cells_;
+};
+
+/// A partition plan: fragment i (rows [slices[i].begin, slices[i].end)) runs
+/// on device devices[i]. Slices are contiguous and ascending, so merging
+/// fragment results in plan order reproduces the global row order; the
+/// device set may be a subset of the context (see Scheduler::PlanParts).
+struct PartitionPlan {
+  std::vector<monet::Slice> slices;
+  std::vector<int> devices;
+  int parts() const { return static_cast<int>(slices.size()); }
+};
 
 /// The multi-device execution layer: one hardware-oblivious operator set
 /// running concurrently on every device of a multi-device ocl::Context.
 ///
 /// The Scheduler is itself a cstore::QueryEngine. It owns one OcelotEngine
 /// per device slot and, per operator call, horizontally partitions the
-/// operator's inputs across the devices with MonetDB's Mitosis slicing
-/// (monet::SliceOf), runs each fragment on its device's engine, synchronizes
-/// the fragment results through each engine's memory manager, and merges
-/// them on the host:
+/// operator's inputs across the devices with **throughput-weighted** Mitosis
+/// slicing (monet::WeightedSlices over the per-device, per-operator-class
+/// EWMA the ThroughputTracker maintains; equal split on cold start or under
+/// OCELOT_STATIC_PARTITION=1), runs each fragment on its device's engine,
+/// synchronizes the fragment results through each engine's memory manager,
+/// and merges them on the host:
 ///
 ///  * partitioning is **zero-copy**: fragments are Bat views aliasing the
 ///    input heaps, so devices cache fragment uploads across operator calls
@@ -28,28 +130,34 @@ namespace ocelot {
 ///    moves no input bytes at all;
 ///  * row-partitionable operators (selection, projection, batcalc, the
 ///    probe side of joins, grouped/ungrouped aggregation) run as true
-///    fragments — each device sees 1/N of the rows (selection with a
-///    candidate list fragments the *candidates* instead);
+///    fragments — each device's share follows its calibrated throughput
+///    (selection with a candidate list fragments the *candidates* instead),
+///    and a device whose fixed per-operator cost exceeds the makespan
+///    without it is dropped from the plan (see PlanParts);
 ///  * order-sensitive operators without a cheap merge (sort, grouping)
-///    run whole on the primary device;
+///    run whole on the fastest device of the set (by model prior);
 ///  * merges preallocate the output once from a size-prefix pass and write
 ///    every fragment exactly once (candidate/pair-list rebasing is fused
 ///    into that write; single-fragment results are stolen wholesale), so
 ///    the scheduler's copy traffic is at most one output's worth of bytes
 ///    per operator — and the byte-exact single-device result order is
-///    reproduced.
+///    reproduced. Merges of grouped-aggregate partials honor the engines'
+///    empty-group nil convention (kIntNil / NaN partials are fold
+///    identities — see MergeAdd/MergeMinMax in scheduler.cc).
 ///
 /// Execution is *really* parallel: fragments run concurrently on the host
 /// thread pool (common::ThreadPool, OCELOT_THREADS lanes). Fragment i only
-/// ever touches device slot i — engine, memory manager and slot clock are
+/// ever touches its plan device — engine, memory manager and queue are
 /// per-fragment-private — so results are bit-identical and billing follows
 /// the same makespan rule at every thread count (clock *values* stay
 /// real-time-anchored and vary run to run, as for every engine; see
 /// ARCHITECTURE.md's determinism contract).
 ///
-/// Virtual time: each device bills its fragment onto its own slot clock;
-/// the scheduler advances its session clock by the *makespan* (the slowest
-/// device's delta), modeling the fragments as concurrent on the devices
+/// Virtual time: each fragment's duration is its device queue's *modeled*
+/// busy-time delta (kernels + transfers — never raw wall time, which would
+/// fold host scheduling noise into both billing and calibration); the
+/// scheduler advances its session clock by the *makespan* (the slowest
+/// fragment's delta), modeling the fragments as concurrent on the devices
 /// regardless of how many host threads happened to drive them.
 ///
 /// Contract: inputs must be host-resident BATs (catalog columns or results
@@ -59,8 +167,15 @@ class Scheduler : public cstore::QueryEngine {
  public:
   /// Builds one engine per device of `ctx` (which must outlive the
   /// scheduler). A one-device context degenerates to single-device Ocelot
-  /// with a merge layer on top.
+  /// with a merge layer on top. Honors OCELOT_STATIC_PARTITION=1 (equal
+  /// splits forever — the calibration escape hatch).
   explicit Scheduler(ocl::Context* ctx);
+
+  /// Forces equal-split partitioning regardless of calibration state (what
+  /// OCELOT_STATIC_PARTITION=1 sets at construction). Benchmarks and tests
+  /// use this to compare weighted against static division.
+  void set_static_partition(bool v) { static_partition_ = v; }
+  bool static_partition() const { return static_partition_; }
 
   std::string name() const override;
 
@@ -140,14 +255,57 @@ class Scheduler : public cstore::QueryEngine {
   /// there are rows to go around.
   int PartsFor(std::size_t n) const;
 
-  /// Runs `part(i)` for fragments 0..parts-1 (fragment i on device i),
-  /// concurrently on the host thread pool, measuring each device's
-  /// virtual-time delta, then bills the makespan of the fragment set onto
-  /// the session clock (the section's real host time is deducted — the
-  /// fragments are modeled as concurrent on the devices). On error the
-  /// lowest-index failing fragment's status is returned.
-  common::Status RunPartitioned(int parts,
-                                const std::function<common::Status(int)>& part);
+  /// Partition plan for an `n`-row input of operator class `c`: contiguous
+  /// fragment row-ranges sized by the class's calibrated device throughputs
+  /// (equal on cold start or under static partitioning; never empty —
+  /// monet::WeightedSlices' contract). A single-fragment plan covers [0, n)
+  /// whole, including n == 0.
+  ///
+  /// Two calibrated refinements beyond proportional slicing:
+  ///  * **Device drop** — a device whose recent fragment cost exceeds the
+  ///    modeled makespan of running without it is excluded from the plan:
+  ///    per-launch driver overhead (the Intel-SDK 2 ms dispatch of the
+  ///    paper's Fig. 7d) does not shrink with the row share, so past a
+  ///    point a slow device is pure ballast. The decision depends on `n`,
+  ///    so a dropped device re-enters naturally when inputs grow enough to
+  ///    amortize its fixed costs.
+  ///  * **Hysteresis** — for a repeated (class, n, device-set) the previous
+  ///    cut points are kept unless some device's ideal share moved by more
+  ///    than n/16. Fragment views are cached device-side by their exact
+  ///    heap range, so a boundary that wobbles with every EWMA update would
+  ///    invalidate the non-unified devices' upload cache on every call and
+  ///    pay the transfer the weighting was meant to save.
+  PartitionPlan PlanParts(OpClass c, std::size_t n);
+
+  /// Runs `frag(i)` for fragments 0..devices.size()-1 (fragment i on device
+  /// devices[i]), concurrently on the host thread pool, measuring each
+  /// fragment's *virtual* duration (its device queue's modeled-busy delta),
+  /// then bills the makespan of the fragment set onto the session clock
+  /// (the section's real host time is deducted — the fragments are modeled
+  /// as concurrent on the devices). On error the lowest-index failing
+  /// fragment's status is returned. `deltas`, when non-null, receives each
+  /// fragment's virtual duration.
+  common::Status RunPartitioned(const std::vector<int>& devices,
+                                const std::function<common::Status(int)>& frag,
+                                std::vector<common::Nanos>* deltas = nullptr);
+
+  /// RunPartitioned over a PlanParts plan, feeding each fragment's
+  /// (rows, virtual duration) back into the throughput tracker on success.
+  /// `part` receives (fragment index, device index, row range).
+  /// `observed_rows`, when non-null, overrides the per-fragment row count
+  /// reported to the tracker (filled in by `part`): candidate-list
+  /// selections partition the candidates but each device scans the
+  /// *covered column range*, and calibrating on candidate counts would
+  /// pollute the select buckets plain selections share.
+  common::Status RunWeighted(
+      OpClass c, const PartitionPlan& plan,
+      const std::function<common::Status(int, int, const monet::Slice&)>& part,
+      const std::vector<std::size_t>* observed_rows = nullptr);
+
+  /// Runs `fn` whole against device `device` (no partitioning), billing that
+  /// device's modeled busy-time delta onto the session clock. The un-split
+  /// analogue of RunPartitioned for order-sensitive operators.
+  common::Status RunOnDevice(int device, const std::function<common::Status()>& fn);
 
   /// Element-wise operator skeleton: slices every BAT in `inputs` by rows,
   /// applies `op` per fragment, concatenates the fragment results.
@@ -186,9 +344,31 @@ class Scheduler : public cstore::QueryEngine {
   /// Syncs a fragment result back to the host through device `i`'s engine.
   common::Status SyncPart(int i, const cstore::BatPtr& bat);
 
+  /// Last adopted plan for one exact input size of one operator class —
+  /// the hysteresis state. Keyed by exact n (per-class map, not a single
+  /// slot): a query that interleaves several input sizes of the same class
+  /// (Q3 selects customer, orders and lineitem columns every iteration)
+  /// must not evict each size's cut points on every call, or the
+  /// hysteresis protects nothing.
+  struct PlanCache {
+    std::vector<int> devices;
+    std::vector<std::size_t> shares;
+  };
+
   ocl::Context* ctx_;
   common::VirtualClock clock_;
   std::vector<std::unique_ptr<OcelotEngine>> engines_;
+  ThroughputTracker tracker_;
+  /// plans_[class]: exact input size -> last adopted plan (bounded; cleared
+  /// wholesale if a pathological workload produces thousands of distinct
+  /// sizes — losing hysteresis there costs re-cuts, not correctness).
+  std::array<std::map<std::size_t, PlanCache>, kOpClassCount> plans_;
+  bool static_partition_ = false;
+  /// Device for operators that cannot be partitioned (sort, grouping):
+  /// the highest model-prior-throughput device of the set — pinning them to
+  /// slot 0 would chain a heterogeneous set to whatever device happens to
+  /// be enumerated first. Index 0 for homogeneous sets (all priors equal).
+  int primary_ = 0;
 };
 
 }  // namespace ocelot

@@ -76,6 +76,18 @@ struct DeviceModel {
   AccessPattern access = AccessPattern::kSequentialPerThread;
 
   int total_lanes() const { return compute_cores * units_per_core; }
+
+  /// Model-derived relative throughput prior for multi-device work division
+  /// before any calibration has happened: the modeled per-core time of a
+  /// work-group is (measured host time x group_time_scale), and compute_cores
+  /// groups run concurrently, so sustained row throughput is proportional to
+  /// compute_cores / group_time_scale. Dimensionless — only ratios between
+  /// devices matter (ocelot::Scheduler's throughput tracker scales it into
+  /// its observed-EWMA units for devices it has not yet calibrated).
+  double partition_weight() const {
+    if (group_time_scale <= 0) return static_cast<double>(compute_cores);
+    return static_cast<double>(compute_cores) / group_time_scale;
+  }
   /// Default work-group geometry of the paper's scheduling strategy (4.2):
   /// one work-group per core, each of size 4*na.
   int default_groups() const { return compute_cores; }

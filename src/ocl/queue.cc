@@ -113,6 +113,7 @@ void CommandQueue::ExecuteKernel(PendingOp* op) {
   prof.work_groups += static_cast<std::uint64_t>(launch.groups);
   prof.modeled_ns += iv.end - dispatch.start;
   prof.measured_ns += total_real.ElapsedNanos();
+  modeled_busy_ += iv.end - dispatch.start;
 }
 
 void CommandQueue::ExecuteTransfer(PendingOp* op) {
@@ -125,6 +126,7 @@ void CommandQueue::ExecuteTransfer(PendingOp* op) {
   common::Nanos duration = device_->TransferDuration(op->bytes);
   common::Interval iv = device_->transfer_timeline().Schedule(ready, duration);
   op->event->MarkComplete(iv.start, iv.end);
+  modeled_busy_ += iv.end - iv.start;
 }
 
 void CommandQueue::Flush() {

@@ -73,6 +73,15 @@ class CommandQueue {
   const std::map<std::string, KernelProfile>& profiles() const { return profiles_; }
   void ResetProfiles() { profiles_.clear(); }
 
+  /// Monotone total of *modeled* device time this queue has executed:
+  /// kernel batches (dispatch + compute, as in the profiles) plus transfer
+  /// durations. Purely virtual — no real host time, no scheduling gaps —
+  /// so a delta across a code section gives that section's device cost
+  /// independent of host thread count or load. ocelot::Scheduler bills
+  /// fragment makespans and calibrates per-device throughput from exactly
+  /// these deltas.
+  common::Nanos modeled_busy_ns() const { return modeled_busy_; }
+
  private:
   struct PendingOp {
     enum class Kind { kKernel, kWrite, kRead };
@@ -96,6 +105,7 @@ class CommandQueue {
   LocalArena local_arena_;
   std::map<std::string, KernelProfile> profiles_;
   std::map<std::string, bool> compiled_;  // kernel name -> JIT done
+  common::Nanos modeled_busy_ = 0;
 };
 
 }  // namespace ocl

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -333,6 +334,36 @@ TEST_P(EngineTest, SubSumIntAndNilSkipping) {
   EXPECT_EQ((*sum)->ints()[0], 12);
 }
 
+TEST_P(EngineTest, SubSumEmptyGroupIsNil) {
+  // The engine-wide empty-group nil convention: a group that received no
+  // non-nil value sums to nil (kIntNil / NaN) like min/max — not to 0,
+  // which would be indistinguishable from a real zero-sum. Group 1 has no
+  // rows at all; group 2 has only nils; group 3 legitimately sums to zero.
+  BatPtr vals = IntBat({5, 7, kIntNil, kIntNil, 4, -4});
+  BatPtr groups = OidBat({0, 0, 2, 2, 3, 3});
+  auto sum = engine_->SubSum(vals, groups, 4);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->ints()[0], 12);
+  EXPECT_EQ((*sum)->ints()[1], kIntNil);
+  EXPECT_EQ((*sum)->ints()[2], kIntNil);
+  EXPECT_EQ((*sum)->ints()[3], 0);
+
+  float nil = cstore::FloatNil();
+  BatPtr fvals = FloatBat({5.f, 7.f, nil, nil, 4.f, -4.f});
+  auto fsum = engine_->SubSum(fvals, groups, 4);
+  ASSERT_TRUE(fsum.ok());
+  EXPECT_FLOAT_EQ((*fsum)->floats()[0], 12.f);
+  EXPECT_TRUE(std::isnan((*fsum)->floats()[1]));
+  EXPECT_TRUE(std::isnan((*fsum)->floats()[2]));
+  EXPECT_FLOAT_EQ((*fsum)->floats()[3], 0.f);
+
+  // Counts are cardinalities: the empty/all-nil groups count 0, never nil.
+  auto cnt = engine_->SubCount(groups, 4);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ((*cnt)->ints()[1], 0);
+  EXPECT_EQ((*cnt)->ints()[2], 2);
+}
+
 TEST_P(EngineTest, ScalarAggregates) {
   BatPtr col = FloatBat({2.0f, -1.0f, 4.5f});
   EXPECT_DOUBLE_EQ(*engine_->Sum(col), 5.5);
@@ -502,6 +533,84 @@ TEST(MitosisTest, SliceOfCoversRange) {
     }
     EXPECT_EQ(covered, n);
   }
+}
+
+/// Contiguity + full coverage + the never-empty contract, for any plan.
+void CheckSlicePlan(const std::vector<monet::Slice>& slices, std::size_t n) {
+  std::size_t prev_end = 0;
+  for (const monet::Slice& s : slices) {
+    EXPECT_EQ(s.begin, prev_end);
+    EXPECT_GT(s.size(), 0u);
+    prev_end = s.end;
+  }
+  EXPECT_EQ(prev_end, n);
+}
+
+TEST(MitosisTest, WeightedSlicesEqualWeightsAreBalanced) {
+  // The ceil-division pathology: SliceOf cuts 5 rows over 4 parts as
+  // 2+2+1+0, shipping one device a zero-row fragment. Equal-weight
+  // WeightedSlices must balance instead (2+1+1+1) and never emit empties.
+  auto slices = monet::WeightedSlices(5, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_EQ(slices.size(), 4u);
+  CheckSlicePlan(slices, 5);
+  EXPECT_EQ(slices[0].size(), 2u);
+  EXPECT_EQ(slices[1].size(), 1u);
+
+  for (std::size_t n : {4u, 5u, 6u, 7u, 8u, 9u, 100u, 1001u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 4u}) {
+      auto plan = monet::WeightedSlices(n, std::vector<double>(parts, 1.0));
+      ASSERT_EQ(plan.size(), parts);
+      CheckSlicePlan(plan, n);
+      // Equal weights: shares differ by at most one row.
+      std::size_t lo = n, hi = 0;
+      for (const auto& s : plan) {
+        lo = std::min(lo, s.size());
+        hi = std::max(hi, s.size());
+      }
+      EXPECT_LE(hi - lo, 1u) << n << " rows, " << parts << " parts";
+    }
+  }
+}
+
+TEST(MitosisTest, WeightedSlicesFollowWeights) {
+  auto slices = monet::WeightedSlices(100, {3.0, 1.0});
+  ASSERT_EQ(slices.size(), 2u);
+  CheckSlicePlan(slices, 100);
+  EXPECT_EQ(slices[0].size(), 75u);
+  EXPECT_EQ(slices[1].size(), 25u);
+
+  // A starved part is clamped up to one row rather than emitted empty.
+  auto clamped = monet::WeightedSlices(10, {1000.0, 1.0, 1.0});
+  ASSERT_EQ(clamped.size(), 3u);
+  CheckSlicePlan(clamped, 10);
+  EXPECT_GE(clamped[1].size(), 1u);
+  EXPECT_GE(clamped[2].size(), 1u);
+  EXPECT_EQ(clamped[0].size(), 8u);
+}
+
+TEST(MitosisTest, WeightedSlicesDegenerateWeightsFallBackToEqual) {
+  for (auto weights : {std::vector<double>{0.0, 0.0},
+                       std::vector<double>{-1.0, 2.0},
+                       std::vector<double>{std::nan(""), 1.0},
+                       std::vector<double>{std::numeric_limits<double>::infinity(),
+                                           1.0}}) {
+    auto slices = monet::WeightedSlices(10, weights);
+    ASSERT_EQ(slices.size(), 2u);
+    CheckSlicePlan(slices, 10);
+    EXPECT_EQ(slices[0].size(), 5u) << "weights did not fall back to equal";
+  }
+}
+
+TEST(MitosisTest, WeightedSlicesAreDeterministic) {
+  std::vector<double> w = {0.37, 1.41, 2.72, 0.9};
+  auto a = monet::WeightedSlices(997, w);
+  auto b = monet::WeightedSlices(997, w);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+  CheckSlicePlan(a, 997);
 }
 
 }  // namespace

@@ -393,6 +393,40 @@ TEST_P(OcelotTest, MultiColumnGroupByRefines) {
   EXPECT_EQ(gids[2], gids[3]);
 }
 
+TEST_P(OcelotTest, SubSumEmptyGroupNilAndSubCountNonNil) {
+  // The empty-group nil convention on the device path: group 1 has no rows,
+  // group 2 only nils -> sum is nil; group 3 really sums to 0. The non-nil
+  // count operator (the scheduler's distributed-avg denominator) reports
+  // 0 for both — counts are never nil.
+  BatPtr vals = IntBat({5, 7, cstore::kIntNil, cstore::kIntNil, 4, -4});
+  BatPtr groups = OidBat({0, 0, 2, 2, 3, 3});
+  auto sum = engine_->SubSum(vals, groups, 4);
+  ASSERT_TRUE(sum.ok());
+  auto s = Ints(*sum);
+  EXPECT_EQ(s[0], 12);
+  EXPECT_EQ(s[1], cstore::kIntNil);
+  EXPECT_EQ(s[2], cstore::kIntNil);
+  EXPECT_EQ(s[3], 0);
+
+  auto nonnil = engine_->SubCountNonNil(vals, groups, 4);
+  ASSERT_TRUE(nonnil.ok());
+  EXPECT_EQ(Ints(*nonnil), (std::vector<std::int32_t>{2, 0, 0, 2}));
+
+  auto cnt = engine_->SubCount(groups, 4);
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_EQ(Ints(*cnt), (std::vector<std::int32_t>{2, 0, 2, 2}));
+
+  float nil = cstore::FloatNil();
+  BatPtr fvals = FloatBat({5.f, 7.f, nil, nil, 4.f, -4.f});
+  auto fsum = engine_->SubSum(fvals, groups, 4);
+  ASSERT_TRUE(fsum.ok());
+  auto f = Floats(*fsum);
+  EXPECT_FLOAT_EQ(f[0], 12.f);
+  EXPECT_TRUE(std::isnan(f[1]));
+  EXPECT_TRUE(std::isnan(f[2]));
+  EXPECT_FLOAT_EQ(f[3], 0.f);
+}
+
 TEST_P(OcelotTest, GroupedAggregatesMatchBaseline) {
   monet::SequentialEngine seq;
   Rng rng(41);

@@ -39,6 +39,48 @@ TEST(DeviceTest, PresetGeometryMatchesPaper) {
   EXPECT_EQ(gpu.global_mem_bytes, 2ull << 30);
 }
 
+TEST(DeviceTest, PartitionWeightOrdersDevicesByModeledThroughput) {
+  // The model-derived prior the multi-device scheduler seeds weighted
+  // partitioning with: cores / per-core time scale. One GF104 multiprocessor
+  // is modeled ~2.9x a host core and there are 7 of them against the Xeon's
+  // 4 slower-than-native cores, so the GPU prior must dominate clearly.
+  DeviceModel cpu = TestCpu();
+  DeviceModel gpu = TestGpu();
+  EXPECT_NEAR(cpu.partition_weight(), 4.0 / 1.30, 1e-9);
+  EXPECT_NEAR(gpu.partition_weight(), 7.0 / 0.35, 1e-9);
+  EXPECT_GT(gpu.partition_weight(), 4.0 * cpu.partition_weight());
+}
+
+TEST(QueueTest, ModeledBusyCountsKernelsAndTransfers) {
+  // modeled_busy_ns is the pure virtual cost of everything a queue ran —
+  // the quantity the scheduler bills fragment makespans from and feeds its
+  // throughput calibration with. It must advance for kernels and for
+  // transfers, and must never move backwards.
+  DeviceModel gpu = TestGpu();
+  gpu.kernel_compile_cost = 0;
+  auto context = Context::Create(gpu);
+  ocl::CommandQueue* queue = context->queue();
+  EXPECT_EQ(queue->modeled_busy_ns(), 0);
+
+  auto buf = *context->device()->Allocate(1 << 20);
+  std::vector<std::uint32_t> host(1 << 18, 7);
+  EventPtr write = queue->EnqueueWrite(buf, host.data(), host.size() * 4);
+  queue->Wait(write);
+  common::Nanos after_write = queue->modeled_busy_ns();
+  EXPECT_GT(after_write, 0);  // discrete device: transfers cost virtual time
+
+  KernelLaunch k;
+  k.name = "busy_test";
+  k.body = [buf](WorkGroup& wg) {
+    auto v = buf->Span<std::uint32_t>();
+    for (int item = 0; item < wg.local_size(); ++item) {
+      for (std::uint64_t i : wg.UnitsFor(item, v.size())) v[i] += 1;
+    }
+  };
+  queue->Wait(queue->EnqueueKernel(std::move(k)));
+  EXPECT_GT(queue->modeled_busy_ns(), after_write);
+}
+
 TEST(DeviceTest, AvailableDevicesListsBoth) {
   auto devices = ocl::AvailableDevices();
   ASSERT_EQ(devices.size(), 2u);

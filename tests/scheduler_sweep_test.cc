@@ -1,0 +1,278 @@
+// Parameterized Scheduler sweep: every partitioned operator, over input
+// sizes straddling the device count (n = device_count-1 .. 2*device_count+1,
+// the exact band where fragment planning hits its edge cases: fewer rows
+// than devices, one row per device, one leftover row) x {uniform, clustered}
+// group layouts, asserting bit-equality with the sequential engine and the
+// makespan billing rule at every host thread count {1, 2, 8}.
+//
+// Clustered layouts are the regression surface of the nil-blind merge bug:
+// sorted group ids put each group's rows into exactly one fragment, so the
+// other devices' partials are nil for it (the engines' empty-group
+// convention) and the scheduler's additive merges must treat nil as the
+// fold identity.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "monet/seq_engine.h"
+#include "ocelot/scheduler.h"
+#include "ocl/context.h"
+
+namespace {
+
+using cstore::Bat;
+using cstore::BatPtr;
+using cstore::Bound;
+using cstore::oid_t;
+using ocelot::Scheduler;
+
+enum class Layout { kUniform, kClustered };
+
+struct SweepCase {
+  std::size_t n;
+  Layout layout;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  return std::string("n") + std::to_string(info.param.n) +
+         (info.param.layout == Layout::kUniform ? "_uniform" : "_clustered");
+}
+
+std::vector<ocl::DeviceModel> SweepDevices() {
+  std::vector<ocl::DeviceModel> models = ocl::AvailableDevices();
+  for (auto& m : models) m.kernel_compile_cost = 0;
+  return models;
+}
+
+int DeviceCount() { return static_cast<int>(SweepDevices().size()); }
+
+template <typename T>
+std::vector<T> Span(std::span<const T> s) {
+  return {s.begin(), s.end()};
+}
+
+/// Bit-exact BAT comparison (nils included: kIntNil compares equal, float
+/// NaNs compare by bit pattern).
+void ExpectBitEqual(const BatPtr& got, const BatPtr& want, const char* what) {
+  ASSERT_EQ(got->type(), want->type()) << what;
+  ASSERT_EQ(got->size(), want->size()) << what;
+  switch (got->type()) {
+    case cstore::ValType::kInt:
+      EXPECT_EQ(Span(std::span<const std::int32_t>(got->ints())),
+                Span(std::span<const std::int32_t>(want->ints())))
+          << what;
+      break;
+    case cstore::ValType::kOid:
+      EXPECT_EQ(Span(std::span<const oid_t>(got->oids())),
+                Span(std::span<const oid_t>(want->oids())))
+          << what;
+      break;
+    case cstore::ValType::kFloat:
+      for (std::size_t i = 0; i < got->size(); ++i) {
+        EXPECT_EQ(std::bit_cast<std::uint32_t>(got->floats()[i]),
+                  std::bit_cast<std::uint32_t>(want->floats()[i]))
+            << what << " row " << i;
+      }
+      break;
+  }
+}
+
+class SchedulerSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  SchedulerSweepTest()
+      : ctx_(ocl::Context::Create(SweepDevices())), scheduler_(ctx_.get()) {
+    const SweepCase& c = GetParam();
+    std::size_t n = c.n;
+    common::Rng rng(n * 131 + (c.layout == Layout::kClustered ? 7 : 0));
+    ngroups_ = std::max<std::size_t>(1, (n + 1) / 2);
+    vals_ = Bat::MakeInt(n);
+    groups_ = Bat::MakeOid(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // A nil value here and there: the sub-aggregates must skip them and
+      // the all-nil/empty groups must come out nil through the merge.
+      std::int32_t v = static_cast<std::int32_t>(rng.Uniform(0, 99)) - 50;
+      vals_->ints()[i] = i % 3 == 1 ? cstore::kIntNil : v;
+      groups_->oids()[i] = c.layout == Layout::kClustered
+                               ? static_cast<oid_t>(i * ngroups_ / n)
+                               : static_cast<oid_t>(rng.Uniform(
+                                     0, static_cast<std::int32_t>(ngroups_) - 1));
+    }
+    // Integer-valued floats: partial sums stay exact, so the float paths
+    // can be bit-compared too.
+    fvals_ = Bat::MakeFloat(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t v = vals_->ints()[i];
+      fvals_->floats()[i] = v == cstore::kIntNil
+                                ? cstore::FloatNil()
+                                : static_cast<float>(v);
+    }
+  }
+
+  BatPtr Synced(common::Result<BatPtr> r) {
+    OCELOT_CHECK(r.ok()) << r.status().ToString();
+    OCELOT_CHECK_OK(scheduler_.Sync(*r));
+    return *r;
+  }
+
+  std::unique_ptr<ocl::Context> ctx_;
+  Scheduler scheduler_;
+  monet::SequentialEngine seq_;
+  std::size_t ngroups_ = 0;
+  BatPtr vals_;
+  BatPtr groups_;
+  BatPtr fvals_;
+};
+
+TEST_P(SchedulerSweepTest, SelectProjectBitEqualToSeq) {
+  auto got = Synced(scheduler_.SelectRange(vals_, nullptr, Bound::Incl(-20),
+                                           Bound::Incl(30)));
+  auto want = *seq_.SelectRange(vals_, nullptr, Bound::Incl(-20), Bound::Incl(30));
+  ExpectBitEqual(got, want, "select");
+
+  if (!got->empty()) {
+    auto proj = Synced(scheduler_.Project(got, vals_));
+    auto wproj = *seq_.Project(want, vals_);
+    ExpectBitEqual(proj, wproj, "project");
+
+    auto sel2 = Synced(scheduler_.SelectRange(vals_, got, Bound::Incl(0),
+                                              Bound::Incl(30)));
+    auto wsel2 = *seq_.SelectRange(vals_, want, Bound::Incl(0), Bound::Incl(30));
+    ExpectBitEqual(sel2, wsel2, "select+candidates");
+  }
+}
+
+TEST_P(SchedulerSweepTest, JoinsBitEqualToSeq) {
+  // Unique build side over the value domain; every probe row is a fragment
+  // citizen. Nil probes miss (both engines treat nil as no-match).
+  BatPtr build = Bat::MakeInt(101);
+  for (std::size_t i = 0; i < 101; ++i) {
+    build->ints()[i] = static_cast<std::int32_t>(i) - 50;
+  }
+  build->set_key(true);
+  build->set_nonil(true);
+
+  auto got = scheduler_.HashJoin(vals_, build);
+  auto want = seq_.HashJoin(vals_, build);
+  ASSERT_TRUE(got.ok() && want.ok());
+  OCELOT_CHECK_OK(scheduler_.Sync(got->left));
+  OCELOT_CHECK_OK(scheduler_.Sync(got->right));
+  ExpectBitEqual(got->left, want->left, "join left");
+  ExpectBitEqual(got->right, want->right, "join right");
+
+  auto semi = Synced(scheduler_.SemiJoin(vals_, build));
+  ExpectBitEqual(semi, *seq_.SemiJoin(vals_, build), "semijoin");
+  auto anti = Synced(scheduler_.AntiJoin(vals_, build));
+  ExpectBitEqual(anti, *seq_.AntiJoin(vals_, build), "antijoin");
+}
+
+TEST_P(SchedulerSweepTest, ElementWiseBitEqualToSeq) {
+  auto add = Synced(scheduler_.Calc(cstore::CalcOp::kAdd, vals_, vals_));
+  ExpectBitEqual(add, *seq_.Calc(cstore::CalcOp::kAdd, vals_, vals_), "calc add");
+  auto cmp = Synced(scheduler_.CmpScalar(cstore::CmpOp::kLt, vals_, 10.0));
+  ExpectBitEqual(cmp, *seq_.CmpScalar(cstore::CmpOp::kLt, vals_, 10.0),
+                 "cmp scalar");
+  auto cast = Synced(scheduler_.CastToFloat(vals_));
+  ExpectBitEqual(cast, *seq_.CastToFloat(vals_), "cast");
+}
+
+TEST_P(SchedulerSweepTest, SubAggregatesBitEqualToSeq) {
+  ExpectBitEqual(Synced(scheduler_.SubSum(vals_, groups_, ngroups_)),
+                 *seq_.SubSum(vals_, groups_, ngroups_), "subsum int");
+  ExpectBitEqual(Synced(scheduler_.SubSum(fvals_, groups_, ngroups_)),
+                 *seq_.SubSum(fvals_, groups_, ngroups_), "subsum float");
+  ExpectBitEqual(Synced(scheduler_.SubCount(groups_, ngroups_)),
+                 *seq_.SubCount(groups_, ngroups_), "subcount");
+  ExpectBitEqual(Synced(scheduler_.SubMin(vals_, groups_, ngroups_)),
+                 *seq_.SubMin(vals_, groups_, ngroups_), "submin");
+  ExpectBitEqual(Synced(scheduler_.SubMax(vals_, groups_, ngroups_)),
+                 *seq_.SubMax(vals_, groups_, ngroups_), "submax");
+  // avg = exact int partial sums / non-nil counts: bit-equal for int vals.
+  ExpectBitEqual(Synced(scheduler_.SubAvg(vals_, groups_, ngroups_)),
+                 *seq_.SubAvg(vals_, groups_, ngroups_), "subavg");
+}
+
+TEST_P(SchedulerSweepTest, ReducesMatchSeq) {
+  // Integer values: per-fragment double accumulation is exact, so the
+  // merged reduce equals seq's bit for bit.
+  EXPECT_EQ(*scheduler_.Sum(vals_), *seq_.Sum(vals_));
+  EXPECT_EQ(*scheduler_.Min(vals_), *seq_.Min(vals_));
+  EXPECT_EQ(*scheduler_.Max(vals_), *seq_.Max(vals_));
+  EXPECT_EQ(*scheduler_.Count(vals_), *seq_.Count(vals_));
+}
+
+TEST_P(SchedulerSweepTest, ResultsAndBillingInvariantAcrossThreadCounts) {
+  // One partitioned op of every class per thread count; results must be
+  // bit-identical and the billing must follow the makespan rule (session
+  // clock advance >= the slowest device's modeled time, < the device sum
+  // whenever more than one device contributed).
+  std::vector<std::int32_t> ref_sums;
+  std::vector<oid_t> ref_sel;
+  for (int threads : {1, 2, 8}) {
+    common::ThreadPool::SetGlobalThreads(threads);
+    auto ctx = ocl::Context::Create(SweepDevices());
+    Scheduler scheduler(ctx.get());
+    common::Nanos t0 = scheduler.clock()->Now();
+    auto sel = scheduler.SelectRange(vals_, nullptr, Bound::Incl(-20),
+                                     Bound::Incl(30));
+    auto sums = scheduler.SubSum(vals_, groups_, ngroups_);
+    ASSERT_TRUE(sel.ok() && sums.ok());
+    OCELOT_CHECK_OK(scheduler.Sync(*sel));
+    OCELOT_CHECK_OK(scheduler.Sync(*sums));
+    common::Nanos elapsed = scheduler.clock()->Now() - t0;
+
+    std::vector<oid_t> sel_v((*sel)->oids().begin(), (*sel)->oids().end());
+    std::vector<std::int32_t> sums_v((*sums)->ints().begin(),
+                                     (*sums)->ints().end());
+    if (threads == 1) {
+      ref_sel = sel_v;
+      ref_sums = sums_v;
+    } else {
+      EXPECT_EQ(sel_v, ref_sel) << threads << " threads";
+      EXPECT_EQ(sums_v, ref_sums) << threads << " threads";
+    }
+
+    common::Nanos device_sum = 0;
+    common::Nanos device_max = 0;
+    int active = 0;
+    for (int i = 0; i < ctx->device_count(); ++i) {
+      common::Nanos device = 0;
+      for (const auto& [name, prof] : ctx->at(i)->queue()->profiles()) {
+        device += prof.modeled_ns;
+      }
+      if (device > 0) active += 1;
+      device_sum += device;
+      device_max = std::max(device_max, device);
+    }
+    EXPECT_GE(elapsed, device_max) << threads << " threads";
+    if (active > 1) EXPECT_LT(elapsed, device_sum) << threads << " threads";
+  }
+  common::ThreadPool::SetGlobalThreads(1);
+}
+
+/// n = device_count-1 .. 2*device_count+1, in both layouts.
+std::vector<SweepCase> SweepCases() {
+  std::vector<SweepCase> cases;
+  int dc = DeviceCount();
+  for (int n = std::max(1, dc - 1); n <= 2 * dc + 1; ++n) {
+    cases.push_back({static_cast<std::size_t>(n), Layout::kUniform});
+    cases.push_back({static_cast<std::size_t>(n), Layout::kClustered});
+  }
+  // One pair of fatter cases so clustered groups actually span/skip whole
+  // fragments with multiple rows each.
+  cases.push_back({static_cast<std::size_t>(40 * dc), Layout::kUniform});
+  cases.push_back({static_cast<std::size_t>(40 * dc), Layout::kClustered});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(PartitionEdgeBand, SchedulerSweepTest,
+                         ::testing::ValuesIn(SweepCases()), SweepName);
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "mal/engines.h"
 #include "mal/interp.h"
 #include "mal/rewriter.h"
+#include "monet/seq_engine.h"
 #include "ocelot/engine.h"
 #include "ocelot/scheduler.h"
 #include "ocl/context.h"
@@ -246,10 +248,73 @@ TEST_F(SchedulerTest, GroupedAggregatesMatchSingleDevice) {
   }
 }
 
+// The headline regression for the nil-blind merge bug: with *clustered*
+// (sorted) group ids every group's rows land in exactly one fragment, so
+// each device's partial is nil for most groups (the engines' empty-group
+// convention). A MergeAdd that folds partials without honoring nils turns
+// those sums into kIntNil+x garbage — the multi-device result silently
+// diverges from seq exactly when grouping follows a sort.
+TEST_F(SchedulerTest, SubSumClusteredGroupsBitEqualToSeq) {
+  const std::size_t ngroups = 12;
+  const std::size_t per = 50;
+  const std::size_t n = ngroups * per;
+  BatPtr groups = Bat::MakeOid(n);
+  BatPtr vals = Bat::MakeInt(n);
+  common::Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups->oids()[i] = static_cast<oid_t>(i / per);  // sorted -> clustered
+    vals->ints()[i] = static_cast<std::int32_t>(rng.Uniform(0, 999)) - 500;
+  }
+  // Group 3 is all-nil: it must stay nil through the merge, on top of the
+  // groups that are merely empty in one of the two fragments.
+  for (std::size_t i = 3 * per; i < 4 * per; ++i) {
+    vals->ints()[i] = cstore::kIntNil;
+  }
+
+  monet::SequentialEngine seq;
+  auto want = seq.SubSum(vals, groups, ngroups);
+  ASSERT_TRUE(want.ok());
+  auto got = scheduler_.SubSum(vals, groups, ngroups);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  OCELOT_CHECK_OK(scheduler_.Sync(*got));
+  EXPECT_EQ(IntsOf(*got), IntsOf(*want));  // bit-exact, nils included
+  EXPECT_EQ((*got)->ints()[3], cstore::kIntNil);
+
+  // Same shape through the float path (integer-valued floats keep the
+  // partial sums exact, so bit-comparison is legitimate).
+  BatPtr fvals = Bat::MakeFloat(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int32_t v = vals->ints()[i];
+    fvals->floats()[i] =
+        v == cstore::kIntNil ? cstore::FloatNil() : static_cast<float>(v);
+  }
+  auto fwant = seq.SubSum(fvals, groups, ngroups);
+  auto fgot = scheduler_.SubSum(fvals, groups, ngroups);
+  ASSERT_TRUE(fwant.ok() && fgot.ok());
+  OCELOT_CHECK_OK(scheduler_.Sync(*fgot));
+  ASSERT_EQ((*fgot)->size(), ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    float w = (*fwant)->floats()[g];
+    float m = (*fgot)->floats()[g];
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(w), std::bit_cast<std::uint32_t>(m))
+        << "group " << g;
+  }
+  EXPECT_TRUE(std::isnan((*fgot)->floats()[3]));
+
+  // SubCount on the same clustered layout: counts are never nil, and the
+  // all-nil group still counts its rows.
+  auto cwant = seq.SubCount(groups, ngroups);
+  auto cgot = scheduler_.SubCount(groups, ngroups);
+  ASSERT_TRUE(cwant.ok() && cgot.ok());
+  OCELOT_CHECK_OK(scheduler_.Sync(*cgot));
+  EXPECT_EQ(IntsOf(*cgot), IntsOf(*cwant));
+  EXPECT_EQ((*cgot)->ints()[3], static_cast<std::int32_t>(per));
+}
+
 TEST_F(SchedulerTest, SubAvgSkipsNilsLikeEveryEngine) {
-  // avg divides by the count of non-nil values, not the row count; a
-  // partitioned sum/count merge would get this wrong (the reason SubAvg
-  // runs whole on the primary device).
+  // avg divides by the count of non-nil values, not the row count; the
+  // distributed merge divides merged partial sums by merged SubCountNonNil,
+  // never by the row count.
   BatPtr vals = Bat::MakeInt(6);
   std::int32_t data[] = {4, cstore::kIntNil, 8, cstore::kIntNil,
                          cstore::kIntNil, 10};
@@ -276,6 +341,108 @@ TEST_F(SchedulerTest, WorkIsSpreadAcrossAllDevices) {
   for (int i = 0; i < multi_ctx_->device_count(); ++i) {
     const auto& profiles = multi_ctx_->at(i)->queue()->profiles();
     EXPECT_TRUE(profiles.count("select_range_int")) << "device " << i << " idle";
+  }
+}
+
+TEST_F(SchedulerTest, SubAvgRunsPartitionedAcrossDevices) {
+  // The single-device fallback is gone: a multi-device avg fragments like
+  // every other sub-aggregate (partial sums + non-nil counts per device).
+  BatPtr col = RandomInts(20000, 37, 53);
+  auto grp = scheduler_.GroupBy(col, nullptr);
+  ASSERT_TRUE(grp.ok());
+  auto avg = scheduler_.SubAvg(col, grp->groups, grp->ngroups);
+  ASSERT_TRUE(avg.ok()) << avg.status().ToString();
+  for (int i = 0; i < multi_ctx_->device_count(); ++i) {
+    const auto& profiles = multi_ctx_->at(i)->queue()->profiles();
+    EXPECT_TRUE(profiles.count("group_agg_final"))
+        << "device " << i << " sat out the distributed avg";
+  }
+}
+
+// --- Throughput-weighted partitioning ----------------------------------------
+
+TEST(SchedulerWeightedPartitionTest, HeterogeneousSetBeatsEqualSplit) {
+  // The tentpole acceptance: on a CPU+GPU model set whose per-row compute
+  // speeds differ by ~6x, calibrated weighted fragments must yield a
+  // strictly lower virtual makespan than equal splits, where the set crawls
+  // at the slower device's pace. Launch overheads are zeroed so the linear
+  // per-row term — the thing weighting can actually shift — dominates, and
+  // the selection is low-selectivity so the GPU's result read-back does not
+  // drown its compute advantage in PCIe time.
+  std::vector<ocl::DeviceModel> models = TestDevices();
+  for (auto& m : models) {
+    m.kernel_launch_overhead = 0;
+    m.kernel_compile_cost = 0;
+  }
+  BatPtr col = RandomInts(1000000, 1000, 77);
+
+  // Sum of the last 4 of 20 calls' *virtual* makespans (max per-device
+  // modeled-busy delta): the first 16 calls are the equal-split cold start
+  // plus EWMA convergence; averaging the converged tail smooths the
+  // measurement noise of the modeled kernel times.
+  auto converged_makespans = [&](bool static_split) {
+    auto ctx = ocl::Context::Create(models);
+    Scheduler scheduler(ctx.get());
+    scheduler.set_static_partition(static_split);
+    common::Nanos tail = 0;
+    for (int it = 0; it < 20; ++it) {
+      std::vector<common::Nanos> before;
+      for (int d = 0; d < ctx->device_count(); ++d) {
+        before.push_back(ctx->at(d)->queue()->modeled_busy_ns());
+      }
+      auto res = scheduler.SelectRange(col, nullptr, Bound::Incl(0),
+                                       Bound::Incl(9));
+      OCELOT_CHECK(res.ok()) << res.status().ToString();
+      common::Nanos vmax = 0;
+      for (int d = 0; d < ctx->device_count(); ++d) {
+        vmax = std::max(vmax, ctx->at(d)->queue()->modeled_busy_ns() -
+                                  before[static_cast<std::size_t>(d)]);
+      }
+      if (it >= 16) tail += vmax;
+    }
+    return tail;
+  };
+
+  common::Nanos weighted = converged_makespans(false);
+  common::Nanos equal_split = converged_makespans(true);
+  EXPECT_LT(weighted, equal_split);
+}
+
+TEST(SchedulerWeightedPartitionTest, StaticPartitionEnvIsHonored) {
+  auto ctx = ocl::Context::Create(TestDevices());
+  {
+    Scheduler scheduler(ctx.get());
+    EXPECT_FALSE(scheduler.static_partition());
+  }
+  setenv("OCELOT_STATIC_PARTITION", "1", 1);
+  {
+    Scheduler scheduler(ctx.get());
+    EXPECT_TRUE(scheduler.static_partition());
+  }
+  unsetenv("OCELOT_STATIC_PARTITION");
+}
+
+TEST(SchedulerWeightedPartitionTest, WeightedResultsStayBitIdentical) {
+  // Calibration moves fragment *boundaries* only; merges restore the
+  // single-device row order, so results are identical whether the split is
+  // cold (equal), warmed (weighted) or forced static.
+  auto ctx = ocl::Context::Create(TestDevices());
+  Scheduler scheduler(ctx.get());
+  auto static_ctx = ocl::Context::Create(TestDevices());
+  Scheduler static_scheduler(static_ctx.get());
+  static_scheduler.set_static_partition(true);
+
+  BatPtr col = RandomInts(50000, 1000, 21);
+  std::vector<oid_t> reference;
+  for (int round = 0; round < 3; ++round) {
+    auto weighted = scheduler.SelectRange(col, nullptr, Bound::Incl(100),
+                                          Bound::Excl(700));
+    auto fixed = static_scheduler.SelectRange(col, nullptr, Bound::Incl(100),
+                                              Bound::Excl(700));
+    ASSERT_TRUE(weighted.ok() && fixed.ok());
+    if (round == 0) reference = OidsOf(*weighted);
+    EXPECT_EQ(OidsOf(*weighted), reference) << "round " << round;
+    EXPECT_EQ(OidsOf(*fixed), reference) << "round " << round;
   }
 }
 
@@ -310,10 +477,11 @@ TEST(SchedulerClockTest, MakespanIsBilledNotTheSum) {
   EXPECT_LT(elapsed, device_sum);
 }
 
-TEST(SchedulerSliceTest, TinyCandidateListOnThreeDevicesHandlesEmptySlice) {
-  // Ceil-division slicing gives the trailing device an empty fragment
-  // (4 candidates over 3 devices: 2+2+0); the candidate path must not
-  // index past the candidate list.
+TEST(SchedulerSliceTest, TinyCandidateListOnThreeDevicesHasNoEmptySlice) {
+  // Ceil-division slicing used to give the trailing device an empty
+  // fragment (4 candidates over 3 devices: 2+2+0); the weighted partitioner
+  // splits 2+1+1 instead — no device is shipped a zero-row fragment, and
+  // the candidate path must not index past the candidate list.
   std::vector<ocl::DeviceModel> models = TestDevices();
   models.push_back(models[0]);  // a third device slot
   auto ctx = ocl::Context::Create(models);
@@ -344,8 +512,19 @@ TEST(SchedulerCopyTest, MergeWritesAreTheOnlyCopies) {
   // Steady-state contract: partitioning is views (no input bytes move);
   // the only host copy per operator is the single merge write of its
   // output — so the global copy counter advances by exactly the output's
-  // tail bytes per partitioned operator.
-  auto ctx = ocl::Context::Create(TestDevices());
+  // tail bytes per partitioned operator. The device set is two identical
+  // zero-overhead unified-memory CPUs: on the stock heterogeneous models
+  // the calibrated planner correctly judges one device ballast at these
+  // input sizes (2 ms dispatch / DMA latency floors) and plans single
+  // fragments, whose merges steal instead of copy — this test pins the
+  // *multi-fragment* merge-copy contract.
+  std::vector<ocl::DeviceModel> models = {ocl::XeonE5620Model(),
+                                          ocl::XeonE5620Model()};
+  for (auto& m : models) {
+    m.kernel_launch_overhead = 0;
+    m.kernel_compile_cost = 0;
+  }
+  auto ctx = ocl::Context::Create(models);
   ASSERT_EQ(ctx->device_count(), 2);
   Scheduler scheduler(ctx.get());
   BatPtr col = RandomInts(20000, 1000, 77);
