@@ -73,6 +73,43 @@ void RegisterQ1Scaling() {
   }
 }
 
+// Dataflow on/off comparison on the workload's multi-branch query: Q3's
+// customer/orders/lineitem selection branches are independent until the
+// joins, so the dataflow executor overlaps them (Q9 — the other natural
+// candidate — is outside the paper's workload, App. A). Both points land in
+// BENCH_tpch.json, so the perf trajectory records the inter-operator
+// overlap per engine: virtual time via critical-path billing, real time via
+// the real_ms counter (host overlap on concurrency-safe engines).
+void RegisterQ3Dataflow() {
+  for (const std::string& pipeline : bench::Configurations()) {
+    for (bool dataflow : {false, true}) {
+      std::string name = std::string("Fig7e_Q3Dataflow/") +
+                         (dataflow ? "on" : "off") + "/" + Label(pipeline);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [pipeline, dataflow](benchmark::State& state) {
+            mal::RunOptions::Mode mode = dataflow
+                                             ? mal::RunOptions::Mode::kDataflow
+                                             : mal::RunOptions::Mode::kSequential;
+            const tpch::TpchDb& db = bench::Db(1.0);
+            ocl::DeviceModel gpu = bench::TpchGpuModel();
+            ocl::DeviceModel cpu = bench::TpchCpuModel();
+            auto session = bench::OpenSession(pipeline, &gpu, &cpu);
+            if (!bench::RunQuery(3, db, session.get(), mode)) {
+              state.SkipWithError("exceeds device memory");
+              return;
+            }
+            bench::JsonMeasuredLoop(state, session.get(), [&] {
+              return bench::RunQuery(3, db, session.get(), mode);
+            });
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -80,5 +117,6 @@ int main(int argc, char** argv) {
   RegisterWorkload("Fig7b_TPCH_SF8", 8.0, /*with_gpu=*/true);
   RegisterWorkload("Fig7c_TPCH_SF50", 50.0, /*with_gpu=*/false);
   RegisterQ1Scaling();
+  RegisterQ3Dataflow();
   return bench::RunBenchmarks(argc, argv, "BENCH_tpch.json");
 }

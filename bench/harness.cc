@@ -272,12 +272,15 @@ int RunBenchmarks(int argc, char** argv, const std::string& json_path) {
   return 0;
 }
 
-bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session) {
+bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session,
+              mal::RunOptions::Mode mode) {
   auto plan = tpch::BuildQuery(q, db);
   OCELOT_CHECK(plan.ok()) << plan.status().ToString();
   mal::Program prog = *plan;
   if (session->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
-  auto res = mal::Run(prog, db.catalog, session);
+  mal::RunOptions options;
+  options.mode = mode;
+  auto res = mal::Run(prog, db.catalog, session, options);
   if (!res.ok()) {
     // mal::Run wraps engine errors as Internal; memory exhaustion is a
     // legitimate skip, anything else is a bug.

@@ -74,8 +74,11 @@ const tpch::TpchDb& Db(double paper_sf);
 /// Runs query `q` under `session`. Returns false when the configuration
 /// legitimately cannot run the point (device memory exhausted — the paper's
 /// "line ends"/"could not use the graphics card" cases); aborts on any
-/// other error (benchmarks must not silently measure failures).
-bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session);
+/// other error (benchmarks must not silently measure failures). `mode`
+/// selects the interpreter (default: whatever OCELOT_DATAFLOW says); the
+/// dataflow on/off comparison points pass it explicitly.
+bool RunQuery(int q, const tpch::TpchDb& db, mal::Session* session,
+              mal::RunOptions::Mode mode = mal::RunOptions::Mode::kEnv);
 
 /// The measured loop of a JSON-reporting benchmark: per-iteration virtual
 /// milliseconds as google-benchmark manual time, plus the `real_ms` (host

@@ -12,15 +12,6 @@ namespace {
 /// worker): nested fan-out runs serially instead of deadlocking.
 thread_local bool tl_in_parallel_for = false;
 
-int EnvThreads() {
-  if (const char* env = std::getenv("OCELOT_THREADS")) {
-    int v = std::atoi(env);
-    if (v >= 1) return v;
-  }
-  unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
 std::mutex& GlobalMutex() {
   static std::mutex* mu = new std::mutex();
   return *mu;
@@ -123,6 +114,15 @@ ThreadPool& ThreadPool::Global() {
   auto& slot = GlobalSlot();
   if (slot == nullptr) slot = std::make_unique<ThreadPool>(EnvThreads());
   return *slot;
+}
+
+int ThreadPool::EnvThreads() {
+  if (const char* env = std::getenv("OCELOT_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
 void ThreadPool::SetGlobalThreads(int threads) {

@@ -51,6 +51,12 @@ class ThreadPool {
   /// Must not be called while a ParallelFor is in flight.
   static void SetGlobalThreads(int threads);
 
+  /// The environment-derived pool size (OCELOT_THREADS, else the host's
+  /// hardware_concurrency) — what Global() starts with. Tests that sweep
+  /// SetGlobalThreads restore this afterwards, so a CI OCELOT_THREADS
+  /// matrix leg keeps meaning what it says for the tests that follow.
+  static int EnvThreads();
+
  private:
   struct Batch {
     int n = 0;

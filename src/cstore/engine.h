@@ -47,6 +47,20 @@ struct SortResult {
   BatPtr order;
 };
 
+/// The property bits every engine's Sort guarantees, in one place (the
+/// CopyPropertiesFrom discipline: a bit added here reaches all engines at
+/// once instead of silently diverging one of them): the order BAT is a
+/// permutation of 0..n-1 — key and nonil by construction, *not* sorted —
+/// and the values are a sorted permutation of the input, inheriting its
+/// nonil/key bits.
+inline void FinalizeSortProperties(SortResult* res, const BatPtr& input) {
+  res->order->set_key(true);
+  res->order->set_nonil(true);
+  res->values->set_sorted(true);
+  if (input->nonil()) res->values->set_nonil(true);
+  if (input->key()) res->values->set_key(true);
+}
+
 /// The operator contract every execution engine implements. There are three
 /// implementations, matching the paper's four configurations:
 ///
@@ -66,6 +80,31 @@ class QueryEngine {
   virtual ~QueryEngine() = default;
 
   virtual std::string name() const = 0;
+
+  /// The engine's concurrency contract for the MAL dataflow executor: true
+  /// when *independent* operator calls (distinct instructions of one plan,
+  /// never sharing a result BAT) may run concurrently from different host
+  /// threads. Default is false — the executor then serializes the engine's
+  /// calls in program order (deterministic, still benefiting from eager
+  /// intermediate release and critical-path billing).
+  ///
+  /// Audit notes for the built-ins:
+  ///  * monet::SequentialEngine — true: stateless pure operators over
+  ///    host-resident BATs;
+  ///  * monet::MitosisEngine — false: every operator brackets its slices
+  ///    with Deduct/AdvanceTo billing windows on the shared session clock;
+  ///    interleaved windows from two threads would corrupt the makespan
+  ///    accounting (and offset_ is not atomic);
+  ///  * ocelot::OcelotEngine — false: one CommandQueue per device slot
+  ///    (unsynchronized pending deque, flush-driven clock splicing) and
+  ///    OpScope/eviction interplay assume a single driving thread;
+  ///  * ocelot::Scheduler — false: the throughput-tracker EWMAs, the plan
+  ///    hysteresis cache and the merged session clock are fed on the
+  ///    calling thread after each fragment barrier; concurrent operator
+  ///    calls would race them — and make partition boundaries (and thus
+  ///    float partial-sum splits) depend on scheduling order, breaking the
+  ///    dataflow-on == dataflow-off bit-identity contract.
+  virtual bool concurrency_safe() const { return false; }
 
   // -- Selection ------------------------------------------------------------
 

@@ -1,11 +1,17 @@
 #include "mal/interp.h"
 
 #include <cmath>
+#include <condition_variable>
+#include <cctype>
+#include <cstdlib>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
+#include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "mal/engines.h"
 #include "ocelot/engine.h"
 
@@ -31,6 +37,8 @@ const char* PipelineName(Pipeline p) {
       return "Ocelot/GPU";
     case Pipeline::kOcelotMulti:
       return "Ocelot/Multi";
+    case Pipeline::kExternal:
+      return "External";
   }
   return "?";
 }
@@ -47,6 +55,8 @@ const char* EngineNameFor(Pipeline p) {
       return "ocelot:gpu";
     case Pipeline::kOcelotMulti:
       return "ocelot:multi";
+    case Pipeline::kExternal:
+      return "";  // external engines exist only as concrete registry names
   }
   return "?";
 }
@@ -58,7 +68,9 @@ Pipeline PipelineForName(const std::string& name) {
                      Pipeline::kOcelotGpu, Pipeline::kOcelotMulti}) {
     if (name == EngineNameFor(p)) return p;
   }
-  return Pipeline::kSequential;  // best effort for external registrations
+  // External registration: keep the name visible through Session::label()
+  // instead of mislabeling the configuration "MS".
+  return Pipeline::kExternal;
 }
 
 }  // namespace
@@ -391,26 +403,245 @@ Status ExecInstr(EvalCtx& ctx, const Instr& ins) {
   return Status::Unsupported(ins.module + "." + ins.op);
 }
 
-}  // namespace
+Status WrapInstrError(const Instr& ins, const Status& st) {
+  if (st.code() == common::StatusCode::kUnsupported) return st;
+  return Status::Internal(ins.module + "." + ins.op + ": " + st.ToString());
+}
 
-Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
-                       Session* session) {
-  std::vector<Value> vars = program.init;
-  vars.resize(static_cast<std::size_t>(program.nvars));
-  EvalCtx ctx{&catalog, session->engine(), &vars};
-  for (const Instr& ins : program.instrs) {
-    Status st = ExecInstr(ctx, ins);
-    if (!st.ok()) {
-      if (st.code() == common::StatusCode::kUnsupported) return st;
-      return Status::Internal(ins.module + "." + ins.op + ": " + st.ToString());
-    }
+bool DataflowEnabled(RunOptions::Mode mode) {
+  switch (mode) {
+    case RunOptions::Mode::kSequential:
+      return false;
+    case RunOptions::Mode::kDataflow:
+      return true;
+    case RunOptions::Mode::kEnv:
+      break;
   }
+  const char* env = std::getenv("OCELOT_DATAFLOW");
+  if (env == nullptr) return true;
+  // The escape hatch: common "disabled" spellings all work, any case.
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return v != "0" && v != "false" && v != "off" && v != "no";
+}
+
+ExecResult CollectReturns(const Program& program, const std::vector<Value>& vars) {
   ExecResult result;
   result.returns.reserve(program.returns.size());
   for (int var : program.returns) {
     result.returns.push_back(vars[static_cast<std::size_t>(var)]);
   }
   return result;
+}
+
+/// The bookkeeping one finished instruction triggers, shared by the ordered
+/// and the concurrent executor (the latter calls it under its lock):
+/// accounts freshly produced BATs, decrements the liveness counts of every
+/// variable the instruction touched and moves dead values into `graveyard`
+/// — the caller destroys them outside any lock, which is where heap-death
+/// listeners reap device-cache entries mid-query.
+void AccountAndRelease(const Program& program, const Dataflow& dag, int i,
+                       std::vector<Value>* vars, std::vector<int>* uses,
+                       DataflowStats* stats, int* live_bats,
+                       std::vector<Value>* graveyard) {
+  const Instr& ins = program.instrs[static_cast<std::size_t>(i)];
+  for (int ret : ins.rets) {
+    if (std::holds_alternative<cstore::BatPtr>((*vars)[static_cast<std::size_t>(ret)])) {
+      stats->total_bat_vars += 1;
+      *live_bats += 1;
+    }
+  }
+  stats->peak_live_bats = std::max(stats->peak_live_bats, *live_bats);
+  for (int v : dag.touched[static_cast<std::size_t>(i)]) {
+    auto idx = static_cast<std::size_t>(v);
+    if (--(*uses)[idx] != 0 || dag.returned[idx]) continue;
+    if (std::holds_alternative<cstore::BatPtr>((*vars)[idx])) {
+      *live_bats -= 1;
+      stats->released_early += 1;
+    }
+    graveyard->push_back(std::move((*vars)[idx]));
+    (*vars)[idx] = Value{};
+  }
+  stats->executed += 1;
+}
+
+/// Shared state of the concurrent dataflow executor. Workers (thread-pool
+/// lanes) pull ready instructions from `ready`; a finished instruction
+/// unblocks its successors.
+///
+/// Error contract: the run reports exactly the error sequential
+/// interpretation would — the lowest-index instruction that fails with all
+/// lower-index instructions succeeding. After a failure, instructions
+/// *below* the failing index stay eligible (sequential would have executed
+/// them first, and one of them may fail with a lower index yet); ready
+/// instructions above it are never issued. Successors of a failed
+/// instruction are unreachable anyway (their index is higher).
+struct ConcurrentRun {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int> ready;
+  std::vector<int> npreds;
+  std::vector<int> uses;
+  int inflight = 0;
+  int first_error = std::numeric_limits<int>::max();
+  Status error = Status::Ok();
+  int live_bats = 0;
+  int cur_parallel = 0;
+
+  /// Position in `ready` of the next issuable instruction (index below the
+  /// first known error), -1 if none. Call with `mu` held.
+  int Eligible() const {
+    for (std::size_t at = 0; at < ready.size(); ++at) {
+      if (ready[at] < first_error) return static_cast<int>(at);
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
+                       Session* session, const RunOptions& options) {
+  std::vector<Value> vars = program.init;
+  vars.resize(static_cast<std::size_t>(program.nvars));
+  EvalCtx ctx{&catalog, session->engine(), &vars};
+
+  if (options.stats != nullptr) *options.stats = DataflowStats{};
+
+  if (!DataflowEnabled(options.mode) || program.instrs.empty()) {
+    // Classic operator-at-a-time interpretation: every intermediate stays
+    // live in `vars` until the program ends.
+    for (std::size_t i = 0; i < program.instrs.size(); ++i) {
+      const Instr& ins = program.instrs[i];
+      Status st = ExecInstr(ctx, ins);
+      if (!st.ok()) return WrapInstrError(ins, st);
+      if (options.after_instr) options.after_instr(static_cast<int>(i));
+    }
+    return CollectReturns(program, vars);
+  }
+
+  const Dataflow dag = AnalyzeDataflow(program);
+  const int n = dag.instructions();
+  common::VirtualClock* clock = session->clock();
+  const common::Nanos t0 = clock->Now();
+  std::vector<common::Nanos> costs(static_cast<std::size_t>(n), 0);
+  DataflowStats stats;
+
+  common::ThreadPool& pool = common::ThreadPool::Global();
+  const bool concurrent =
+      session->engine()->concurrency_safe() && pool.threads() > 1 && n > 1;
+  stats.parallel = concurrent;
+
+  if (!concurrent) {
+    // Ordered dataflow: engines without a concurrency contract (or a
+    // one-lane pool) execute in program order — deterministic by
+    // construction — but still release each variable at its last use and
+    // get the DAG's critical-path billing below.
+    int live_bats = 0;
+    std::vector<int> uses = dag.use_count;
+    for (int i = 0; i < n; ++i) {
+      const Instr& ins = program.instrs[static_cast<std::size_t>(i)];
+      common::Nanos c0 = clock->Now();
+      Status st = ExecInstr(ctx, ins);
+      if (!st.ok()) return WrapInstrError(ins, st);
+      // Release work (it can flush a device queue) bills to the
+      // instruction that killed the variable.
+      std::vector<Value> graveyard;
+      AccountAndRelease(program, dag, i, &vars, &uses, &stats, &live_bats,
+                        &graveyard);
+      graveyard.clear();
+      costs[static_cast<std::size_t>(i)] = clock->Now() - c0;
+      stats.peak_parallelism = 1;
+      if (options.after_instr) options.after_instr(i);
+    }
+  } else {
+    ConcurrentRun ex;
+    ex.npreds.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ex.npreds[static_cast<std::size_t>(i)] =
+          static_cast<int>(dag.preds[static_cast<std::size_t>(i)].size());
+      if (ex.npreds[static_cast<std::size_t>(i)] == 0) ex.ready.push_back(i);
+    }
+    ex.uses = dag.use_count;
+
+    auto worker = [&](int) {
+      std::unique_lock<std::mutex> lock(ex.mu);
+      for (;;) {
+        // Wake when there is an issuable instruction or nothing is in
+        // flight (nothing in flight + nothing issuable == the run is over:
+        // with an acyclic DAG some unfinished instruction is always ready
+        // or running, unless everything left sits above the first error).
+        ex.cv.wait(lock, [&] { return ex.Eligible() >= 0 || ex.inflight == 0; });
+        int at = ex.Eligible();
+        if (at < 0) {
+          if (ex.inflight == 0) return;
+          continue;  // another worker claimed the instruction; sleep again
+        }
+        int i = ex.ready[static_cast<std::size_t>(at)];
+        ex.ready.erase(ex.ready.begin() + at);
+        ex.inflight += 1;
+        ex.cur_parallel += 1;
+        stats.peak_parallelism = std::max(stats.peak_parallelism, ex.cur_parallel);
+        lock.unlock();
+
+        const Instr& ins = program.instrs[static_cast<std::size_t>(i)];
+        common::Nanos c0 = clock->Now();
+        Status st = ExecInstr(ctx, ins);
+        std::vector<Value> graveyard;
+        lock.lock();
+        ex.cur_parallel -= 1;
+        if (!st.ok()) {
+          if (i < ex.first_error) {
+            ex.first_error = i;
+            ex.error = WrapInstrError(ins, st);
+          }
+        } else {
+          AccountAndRelease(program, dag, i, &vars, &ex.uses, &stats,
+                            &ex.live_bats, &graveyard);
+        }
+        lock.unlock();
+        graveyard.clear();  // dead values die off-lock (listeners may work)
+        costs[static_cast<std::size_t>(i)] = clock->Now() - c0;
+        lock.lock();
+        if (st.ok()) {
+          for (int s : dag.succs[static_cast<std::size_t>(i)]) {
+            if (--ex.npreds[static_cast<std::size_t>(s)] == 0) {
+              ex.ready.push_back(s);
+            }
+          }
+          if (options.after_instr) options.after_instr(i);
+        }
+        ex.inflight -= 1;
+        ex.cv.notify_all();
+      }
+    };
+    pool.ParallelFor(std::min(pool.threads(), n), worker);
+    if (ex.first_error != std::numeric_limits<int>::max()) return ex.error;
+  }
+
+  for (common::Nanos c : costs) stats.serial_sum_ns += c;
+  stats.critical_path_ns = CriticalPath(dag, costs);
+  // Bill the makespan of the dependency DAG: independent instructions are
+  // modeled as overlapped (the dataflow analogue of the Scheduler's
+  // per-fragment makespan merge), however many host threads actually ran
+  // them. Exception: a single-device Ocelot session's clock *is* the
+  // context clock the device timelines re-anchor on every Finish — and one
+  // simulated device executes operators serially anyway — so its
+  // device-timeline billing stands untouched (the stats still expose the
+  // DAG numbers).
+  bool clock_is_device_anchored = session->ocl_context() != nullptr &&
+                                  clock == session->ocl_context()->clock();
+  if (!clock_is_device_anchored) {
+    clock->Deduct(clock->Now() - t0);
+    clock->AdvanceTo(t0 + stats.critical_path_ns);
+  }
+  if (options.stats != nullptr) *options.stats = stats;
+  return CollectReturns(program, vars);
+}
+
+Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
+                       Session* session) {
+  return Run(program, catalog, session, RunOptions{});
 }
 
 }  // namespace mal

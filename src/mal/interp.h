@@ -1,6 +1,7 @@
 #ifndef OCELOT_MAL_INTERP_H_
 #define OCELOT_MAL_INTERP_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,14 +22,26 @@ class Context;
 namespace mal {
 
 /// The execution configurations of the paper's evaluation (5.1), plus the
-/// multi-device scheduler this reproduction adds. Kept as a convenience
-/// enum over the registry's canonical engine names.
-enum class Pipeline { kSequential, kMitosis, kOcelotCpu, kOcelotGpu, kOcelotMulti };
+/// multi-device scheduler this reproduction adds and a marker for engines
+/// registered from outside this codebase. Kept as a convenience enum over
+/// the registry's canonical engine names.
+enum class Pipeline {
+  kSequential,
+  kMitosis,
+  kOcelotCpu,
+  kOcelotGpu,
+  kOcelotMulti,
+  /// An externally registered engine resolved by name; it has no paper
+  /// label — reports should use Session::label(), which carries the
+  /// registry name through instead of mislabeling it "MS".
+  kExternal,
+};
 
 const char* PipelineName(Pipeline p);
 
 /// The engine-registry name a pipeline resolves to ("seq", "par",
-/// "ocelot:cpu", "ocelot:gpu", "ocelot:multi").
+/// "ocelot:cpu", "ocelot:gpu", "ocelot:multi"; "" for kExternal, which
+/// only exists resolved from a concrete registry name).
 const char* EngineNameFor(Pipeline p);
 
 /// One execution configuration, resolved by name from the global
@@ -53,6 +66,14 @@ class Session {
 
   Pipeline pipeline() const { return pipeline_; }
   const std::string& engine_name() const { return engine_name_; }
+
+  /// Human-readable configuration label for bench/report output: the
+  /// paper's name for the built-ins ("MS", "MP", "Ocelot/CPU", ...), the
+  /// registry name for externally registered engines.
+  std::string label() const {
+    return pipeline_ == Pipeline::kExternal ? engine_name_ : PipelineName(pipeline_);
+  }
+
   cstore::QueryEngine* engine() { return bundle_->engine(); }
 
   /// True when plans must be rewritten for the hardware-oblivious operator
@@ -89,10 +110,58 @@ struct ExecResult {
   std::vector<Value> returns;
 };
 
-/// The operator-at-a-time MAL interpreter (MonetDB's execution layer in
-/// miniature): materializes every instruction's result before the next
-/// starts. Column bindings resolve against the catalog; operator calls
-/// dispatch to the session's engine.
+/// Introspection of one dataflow-mode program run (all zero after a
+/// sequential-mode run). Costs are per-instruction session-clock deltas;
+/// the clock is advanced by critical_path_ns, not serial_sum_ns — the
+/// dataflow model bills independent branches as overlapped.
+struct DataflowStats {
+  common::Nanos critical_path_ns = 0;  ///< billed virtual makespan
+  common::Nanos serial_sum_ns = 0;     ///< what operator-at-a-time would bill
+  int executed = 0;                    ///< instructions run
+  int released_early = 0;   ///< variables released before program end
+  int total_bat_vars = 0;   ///< variables that ever held a BAT
+  int peak_live_bats = 0;   ///< max BAT-holding variables live at once
+  int peak_parallelism = 0; ///< max instructions in flight concurrently
+  bool parallel = false;    ///< ran on the concurrent executor (engine
+                            ///< concurrency-safe and pool has >1 lane)
+};
+
+/// Per-run knobs of the interpreter (tests and benches; Run() without
+/// options follows OCELOT_DATAFLOW).
+struct RunOptions {
+  enum class Mode {
+    kEnv,         ///< dataflow unless OCELOT_DATAFLOW=0 (the escape hatch)
+    kSequential,  ///< force classic operator-at-a-time interpretation
+    kDataflow,    ///< force the dataflow executor
+  };
+  Mode mode = Mode::kEnv;
+  /// Filled with the run's dataflow introspection when non-null.
+  DataflowStats* stats = nullptr;
+  /// Test probe: called after instruction `i` finished and the variables it
+  /// killed were released (serialized under the executor lock in parallel
+  /// mode). Mid-query memory observations hook here.
+  std::function<void(int)> after_instr;
+};
+
+/// The MAL interpreter (MonetDB's execution layer in miniature). Column
+/// bindings resolve against the catalog; operator calls dispatch to the
+/// session's engine.
+///
+/// By default programs execute in **dataflow mode** (MonetDB's dataflow
+/// optimizer in miniature — the "MP = mitosis + dataflow" of the paper's
+/// baseline): instructions run as their operands become ready, concurrently
+/// on common::ThreadPool when the engine's concurrency contract allows it
+/// (QueryEngine::concurrency_safe; other engines execute serialized in
+/// program order), every variable is released the moment its last consumer
+/// finished (heap-death listeners then reap device-cache entries
+/// mid-query), and the session clock advances by the dependency DAG's
+/// *critical path* instead of the instruction sum. Results are
+/// bit-identical to sequential interpretation at every OCELOT_THREADS /
+/// OCELOT_DATAFLOW setting; OCELOT_DATAFLOW=0 is the escape hatch back to
+/// strict operator-at-a-time execution.
+common::Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
+                               Session* session, const RunOptions& options);
+
 common::Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
                                Session* session);
 

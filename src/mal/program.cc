@@ -1,8 +1,95 @@
 #include "mal/program.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mal {
+
+namespace {
+
+/// Ops that mutate the BAT behind an argument in place. They order like
+/// writers of that argument: `setkey` flips the key property bit, `sync`
+/// moves device-authoritative bytes into the host heap and clears Ocelot
+/// ownership — concurrent readers would observe the transition.
+bool MutatesArgs(const Instr& ins) { return ins.op == "setkey" || ins.op == "sync"; }
+
+void PushUnique(std::vector<int>* v, int x) {
+  if (std::find(v->begin(), v->end(), x) == v->end()) v->push_back(x);
+}
+
+}  // namespace
+
+Dataflow AnalyzeDataflow(const Program& program) {
+  int n = static_cast<int>(program.instrs.size());
+  auto nvars = static_cast<std::size_t>(program.nvars);
+  Dataflow d;
+  d.preds.resize(static_cast<std::size_t>(n));
+  d.succs.resize(static_cast<std::size_t>(n));
+  d.touched.resize(static_cast<std::size_t>(n));
+  d.use_count.assign(nvars, 0);
+  d.returned.assign(nvars, 0);
+  for (int var : program.returns) d.returned[static_cast<std::size_t>(var)] = 1;
+
+  std::vector<int> writer(nvars, -1);            // last instruction writing v
+  std::vector<std::vector<int>> readers(nvars);  // readers since that write
+  for (int i = 0; i < n; ++i) {
+    const Instr& ins = program.instrs[static_cast<std::size_t>(i)];
+    std::vector<int>& preds = d.preds[static_cast<std::size_t>(i)];
+    std::vector<int>& touched = d.touched[static_cast<std::size_t>(i)];
+    bool mutates = MutatesArgs(ins);
+    for (int arg : ins.args) {
+      auto v = static_cast<std::size_t>(arg);
+      if (writer[v] >= 0) PushUnique(&preds, writer[v]);
+      if (mutates) {
+        for (int r : readers[v]) PushUnique(&preds, r);
+      }
+      PushUnique(&touched, arg);
+    }
+    // Mutating ops become the new "writer" of their arguments only after
+    // every argument contributed its edges (an op reading a variable twice
+    // must not depend on itself).
+    if (mutates) {
+      for (int arg : ins.args) {
+        auto v = static_cast<std::size_t>(arg);
+        writer[v] = i;
+        readers[v].clear();
+      }
+    } else {
+      for (int arg : ins.args) readers[static_cast<std::size_t>(arg)].push_back(i);
+    }
+    for (int ret : ins.rets) {
+      auto v = static_cast<std::size_t>(ret);
+      if (writer[v] >= 0 && writer[v] != i) PushUnique(&preds, writer[v]);
+      for (int r : readers[v]) {
+        if (r != i) PushUnique(&preds, r);
+      }
+      writer[v] = i;
+      readers[v].clear();
+      PushUnique(&touched, ret);
+    }
+    std::sort(preds.begin(), preds.end());
+    for (int p : preds) d.succs[static_cast<std::size_t>(p)].push_back(i);
+    for (int var : touched) d.use_count[static_cast<std::size_t>(var)] += 1;
+  }
+  return d;
+}
+
+common::Nanos CriticalPath(const Dataflow& dataflow,
+                           const std::vector<common::Nanos>& costs) {
+  // Program order is a topological order (every edge points forward), so a
+  // single left-to-right pass computes earliest finish times.
+  common::Nanos makespan = 0;
+  std::vector<common::Nanos> finish(dataflow.preds.size(), 0);
+  for (std::size_t i = 0; i < dataflow.preds.size(); ++i) {
+    common::Nanos start = 0;
+    for (int p : dataflow.preds[i]) {
+      start = std::max(start, finish[static_cast<std::size_t>(p)]);
+    }
+    finish[i] = start + (i < costs.size() ? costs[i] : 0);
+    makespan = std::max(makespan, finish[i]);
+  }
+  return makespan;
+}
 
 int ProgramBuilder::NewVar() {
   program_.init.emplace_back();

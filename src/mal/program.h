@@ -6,6 +6,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/timeline.h"
 #include "cstore/bat.h"
 
 namespace mal {
@@ -41,6 +42,60 @@ struct Program {
   /// MonetDB EXPLAIN-style rendering.
   std::string Explain() const;
 };
+
+/// The dependency structure of a Program, derived purely from its args/rets
+/// variable ids: the instruction DAG the dataflow executor schedules, plus
+/// the liveness bookkeeping that lets it release a variable's value the
+/// moment its last consumer finished (so heap-death listeners can reap
+/// device-cache entries mid-query instead of at program end).
+///
+/// Edge rules (instruction indices; every predecessor precedes its
+/// successor in program order, so program order is a topological order):
+///  * read-after-write — an instruction depends on the producer of each of
+///    its argument variables;
+///  * mutation ordering — ops that mutate the BAT behind an argument in
+///    place (`setkey` flips a property bit, `sync` materializes device
+///    results into the host heap) act as *writers* of that argument: they
+///    wait for every earlier reader, and every later toucher waits for
+///    them. Everything else may share arguments freely;
+///  * write-after-read/write — a re-written variable (not produced by the
+///    ProgramBuilder, but legal) waits for every earlier toucher.
+///
+/// Mutation ordering is tracked per *variable id*, not per runtime BAT
+/// identity (analysis never sees values). Plans must therefore only mutate
+/// variables whose BAT is not aliased by an unrelated live variable —
+/// which builder-produced plans satisfy: `setkey` is applied to fresh
+/// operator outputs, and `sync` targets are only consumed again through
+/// the synced variable itself (or run on serialized engines anyway).
+struct Dataflow {
+  /// preds[i] / succs[i]: dependency edges of instruction i (deduplicated,
+  /// ascending).
+  std::vector<std::vector<int>> preds;
+  std::vector<std::vector<int>> succs;
+  /// touched[i]: distinct variable ids instruction i reads, writes or
+  /// mutates. The executor decrements use_count[v] for each once i
+  /// finished; the variable dies at zero.
+  std::vector<std::vector<int>> touched;
+  /// use_count[v]: number of instructions touching variable v (0 for
+  /// constants no instruction consumes).
+  std::vector<int> use_count;
+  /// returned[v]: v carries a result of the program — never released.
+  std::vector<char> returned;
+
+  int instructions() const { return static_cast<int>(preds.size()); }
+};
+
+/// Derives the dependency DAG and liveness table of `program`. Pure
+/// bookkeeping over variable ids; does not inspect values.
+Dataflow AnalyzeDataflow(const Program& program);
+
+/// The makespan of executing the DAG with unlimited parallelism: the cost
+/// of the most expensive dependency chain ("critical path"). `costs` holds
+/// one per-instruction duration. This is the virtual time the dataflow
+/// executor bills for a program run — the analogue of the Scheduler's
+/// per-fragment makespan merge, one level up.
+common::Nanos CriticalPath(const Dataflow& dataflow,
+                           const std::vector<common::Nanos>& costs);
 
 /// Convenience builder used by the TPC-H plan generators and the tests.
 class ProgramBuilder {

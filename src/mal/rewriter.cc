@@ -1,5 +1,8 @@
 #include "mal/rewriter.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace mal {
 
 Program RewriteForOcelot(const Program& program) {
@@ -9,7 +12,14 @@ Program RewriteForOcelot(const Program& program) {
     // drop-in replacement in this engine's scope.
     if (ins.module != "bat") ins.module = "ocelot";
   }
+  // One sync per distinct returned variable: a variable returned twice
+  // needs (and gets) exactly one ownership handover — a duplicate would be
+  // a pure serialization point in the dataflow DAG (sync mutates its
+  // argument, so syncs of one variable order behind each other).
+  std::vector<int> synced;
   for (int var : out.returns) {
+    if (std::find(synced.begin(), synced.end(), var) != synced.end()) continue;
+    synced.push_back(var);
     out.instrs.push_back({"ocelot", "sync", {}, {var}});
   }
   return out;

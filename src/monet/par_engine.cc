@@ -285,7 +285,7 @@ Result<SortResult> MitosisEngine::Sort(const BatPtr& col) {
   auto order = res.order->oids();
   for (std::size_t i = 0; i < n; ++i) order[i] = (*src)[i].second;
   ASSIGN_OR_RETURN(res.values, Project(res.order, col));
-  res.values->set_sorted(true);
+  cstore::FinalizeSortProperties(&res, col);
   return res;
 }
 

@@ -23,6 +23,12 @@ class MitosisEngine : public SequentialEngine {
 
   std::string name() const override { return "MonetDB (parallel)"; }
 
+  /// Not concurrency-safe (unlike the sequential base): every heavy
+  /// operator brackets its slice fan-out in a Deduct/AdvanceTo billing
+  /// window on the shared session clock; interleaved windows from two
+  /// threads would corrupt the parallel-makespan accounting.
+  bool concurrency_safe() const override { return false; }
+
   common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
                                              const cstore::BatPtr& cand,
                                              cstore::Bound lo,

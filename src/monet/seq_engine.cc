@@ -239,7 +239,7 @@ Result<SortResult> SequentialEngine::Sort(const BatPtr& col) {
   res.order = Bat::MakeOid(n);
   std::copy(order.begin(), order.end(), res.order->oids().begin());
   ASSIGN_OR_RETURN(res.values, Project(res.order, col));
-  res.values->set_sorted(true);
+  cstore::FinalizeSortProperties(&res, col);
   return res;
 }
 

@@ -13,6 +13,11 @@ class SequentialEngine : public cstore::QueryEngine {
  public:
   std::string name() const override { return "MonetDB (sequential)"; }
 
+  /// Stateless pure operators over host-resident BATs: independent
+  /// instructions of a plan may run concurrently (the MAL dataflow
+  /// executor's real-parallelism case; see QueryEngine::concurrency_safe).
+  bool concurrency_safe() const override { return true; }
+
   common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
                                              const cstore::BatPtr& cand,
                                              cstore::Bound lo,

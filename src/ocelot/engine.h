@@ -37,6 +37,13 @@ class OcelotEngine : public cstore::QueryEngine {
     return std::string("Ocelot on ") + ctx_->device()->name();
   }
 
+  /// Audited not concurrency-safe: operators enqueue into the slot's single
+  /// CommandQueue (unsynchronized pending deque; flushes splice modeled
+  /// time into the context clock), and OpScope refcounts assume one driving
+  /// thread per slot. The MAL dataflow executor therefore serializes calls
+  /// in program order; cross-*slot* parallelism stays with the Scheduler.
+  bool concurrency_safe() const override { return false; }
+
   ocl::DeviceContext* context() { return ctx_; }
   MemoryManager* memory() { return &mm_; }
 

@@ -31,8 +31,15 @@ MemoryManager::OpScope::~OpScope() {
   std::lock_guard<std::mutex> lock(mm_->mu_);
   for (const BufferKey& key : held_) {
     auto it = mm_->entries_.find(key);
-    if (it != mm_->entries_.end() && it->second.scope_refs > 0) {
-      it->second.scope_refs -= 1;
+    if (it == mm_->entries_.end() || it->second.scope_refs <= 0) continue;
+    it->second.scope_refs -= 1;
+    // A write overlapping this entry landed while the scope held it (see
+    // InvalidateOverlappingEntries): reap it the moment it is free so the
+    // pre-write bytes can never satisfy a later acquire. The scope closes
+    // on the slot's driving thread, so draining the queue here is safe.
+    if (it->second.scope_refs == 0 && it->second.stale) {
+      mm_->WaitForQuiescence(&it->second);
+      mm_->entries_.erase(it);
     }
   }
 }
@@ -55,6 +62,15 @@ Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
   if (bat == nullptr) return Status::InvalidArgument("AcquireRead: null BAT");
   BufferKey key = KeyOf(bat);
   Entry& entry = entries_[key];
+  if (entry.stale && entry.scope_refs == 0) {
+    // Marked stale by an overlapping write while scope-held, and the scope
+    // has since closed without this key being re-held: drop the pre-write
+    // buffer so the normal path re-uploads fresh host bytes.
+    WaitForQuiescence(&entry);
+    entry.buffer.reset();
+    entry.producer.reset();
+    entry.stale = false;
+  }
   entry.bat = bat;
   entry.heap = bat->heap_handle();
   entry.last_use = ++tick_;
@@ -113,11 +129,46 @@ void MemoryManager::SubsumeCoveredEntries(const BufferKey& key) {
   }
 }
 
+void MemoryManager::InvalidateOverlappingEntries(const BufferKey& key) {
+  // Write-path cache coherence: the written range is about to become
+  // device-authoritative, so every *other* cached upload of bytes it
+  // overlaps (a previously cached sub-range view, a stale partial parent)
+  // now holds pre-write host bytes and must not serve another read. Unlike
+  // SubsumeCoveredEntries this is a correctness rule, not a footprint
+  // optimization: pinned and LRU state do not protect a stale entry.
+  // Device-authoritative overlaps are left alone — they hold the only copy
+  // of *their* result and writing over them is a plan error this layer
+  // cannot repair. Entries held by an open OpScope belong to the very
+  // operator doing this write (its own inputs, which it may still read):
+  // they are only *marked* stale here and reaped when the scope closes, so
+  // they can never satisfy a later acquire either.
+  auto it = entries_.lower_bound(BufferKey{key.heap, 0, 0});
+  while (it != entries_.end() && it->first.heap == key.heap) {
+    const BufferKey& k = it->first;
+    Entry& e = it->second;
+    bool overlaps = k != key && k.offset < key.offset + key.bytes &&
+                    k.offset + k.bytes > key.offset;
+    if (overlaps && !e.device_authoritative) {
+      if (e.scope_refs > 0) {
+        e.stale = true;
+        ++it;
+      } else {
+        WaitForQuiescence(&e);
+        it = entries_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+}
+
 Result<ocl::BufferPtr> MemoryManager::AcquireWrite(OpScope* scope, const BatPtr& bat) {
   if (bat == nullptr) return Status::InvalidArgument("AcquireWrite: null BAT");
   std::lock_guard<std::mutex> lock(mu_);
   BufferKey key = KeyOf(bat);
+  if (!ctx_->device()->model().unified_memory) InvalidateOverlappingEntries(key);
   Entry& entry = entries_[key];
+  entry.stale = false;  // the write overwrites whatever the buffer held
   entry.bat = bat;
   entry.heap = bat->heap_handle();
   entry.last_use = ++tick_;

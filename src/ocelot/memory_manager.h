@@ -90,7 +90,10 @@ class MemoryManager {
                                              ocl::EventList* waits);
 
   /// Device buffer backing the (new) result `bat`; contents undefined.
-  /// Marks the BAT ocelot-owned.
+  /// Marks the BAT ocelot-owned. On discrete devices every *other* cached
+  /// non-authoritative entry overlapping the written byte range is
+  /// invalidated first — a previously cached sub-range view must not keep
+  /// serving pre-write host bytes once this range is device-authoritative.
   common::Result<ocl::BufferPtr> AcquireWrite(OpScope* scope, const cstore::BatPtr& bat);
 
   /// Anonymous device scratch (histograms, ping-pong buffers, partials).
@@ -159,6 +162,11 @@ class MemoryManager {
     ocl::EventList consumers;
     bool device_authoritative = false;  // result lives on device only
     bool pinned = false;
+    /// An overlapping range was acquired for write while this entry was
+    /// scope-held: the cached bytes are pre-write garbage. The entry is
+    /// reaped when its scope closes (or on the next acquire of the key) —
+    /// it must never serve another read.
+    bool stale = false;
     int scope_refs = 0;
     std::uint64_t last_use = 0;
     std::size_t bytes = 0;
@@ -180,6 +188,11 @@ class MemoryManager {
   /// Reaps evictable cached sub-ranges of `key`'s heap that `key`'s buffer
   /// now covers (fragment views after the whole column got cached).
   void SubsumeCoveredEntries(const BufferKey& key);
+  /// Write-path coherence (AcquireWrite): drops every other cached
+  /// non-authoritative entry whose byte range overlaps `key` — after the
+  /// write those entries would keep serving pre-write host-uploaded bytes.
+  /// Correctness, not eviction policy: ignores pin and LRU state.
+  void InvalidateOverlappingEntries(const BufferKey& key);
   /// True when the entry's events are all complete (safe to move/drop
   /// without touching the command queue).
   static bool Quiescent(const Entry& entry);

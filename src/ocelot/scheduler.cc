@@ -854,6 +854,13 @@ Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
   PartitionPlan plan = PlanParts(OpClass::kSubAgg, n);
   std::vector<BatPtr> sums(plan.slices.size());
   std::vector<BatPtr> cnts(plan.slices.size());
+  // Each fragment runs *two* grouped aggregates (sum + non-nil count), so
+  // its measured duration covers twice the row-aggregation work of a plain
+  // SubSum fragment. Report 2x rows to the shared kSubAgg calibration
+  // bucket — feeding raw rows would halve the apparent throughput and make
+  // the EWMA (and with it the cut points, against the hysteresis) oscillate
+  // between SubSum and SubAvg calls of the same size.
+  std::vector<std::size_t> observed_rows(plan.slices.size());
   RETURN_IF_ERROR(RunWeighted(OpClass::kSubAgg, plan,
                               [&](int i, int dev, const monet::Slice& s) -> Status {
     BatPtr vals_frag = FragmentOf(vals, s);
@@ -866,8 +873,9 @@ Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
     RETURN_IF_ERROR(SyncPart(dev, cnt));
     sums[static_cast<std::size_t>(i)] = std::move(sum);
     cnts[static_cast<std::size_t>(i)] = std::move(cnt);
+    observed_rows[static_cast<std::size_t>(i)] = 2 * s.size();
     return Status::Ok();
-  }));
+  }, &observed_rows));
 
   BatPtr sum = sums.size() == 1 ? std::move(sums[0]) : CloneBat(sums[0]);
   BatPtr cnt = cnts.size() == 1 ? std::move(cnts[0]) : CloneBat(cnts[0]);

@@ -179,6 +179,16 @@ class Scheduler : public cstore::QueryEngine {
 
   std::string name() const override;
 
+  /// Audited not concurrency-safe: the throughput-tracker EWMAs, the plan
+  /// hysteresis cache and the merged session clock are all fed on the
+  /// operator's calling thread. Concurrent operator calls would race them,
+  /// and — worse — make partition boundaries depend on scheduling order,
+  /// so float partial-sum splits (non-associative) would differ between
+  /// dataflow-on and dataflow-off runs. The MAL dataflow executor instead
+  /// serializes Scheduler calls in program order; the Scheduler supplies
+  /// its own intra-operator device parallelism.
+  bool concurrency_safe() const override { return false; }
+
   int device_count() const { return static_cast<int>(engines_.size()); }
   OcelotEngine* engine(int i) { return engines_[static_cast<std::size_t>(i)].get(); }
 

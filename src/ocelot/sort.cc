@@ -155,7 +155,7 @@ Result<SortResult> OcelotEngine::Sort(const BatPtr& col) {
   mm_.SetProducer(res.order, ec);
 
   ASSIGN_OR_RETURN(res.values, Project(res.order, col));
-  res.values->set_sorted(true);
+  cstore::FinalizeSortProperties(&res, col);
   return res;
 }
 

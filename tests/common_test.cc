@@ -277,6 +277,7 @@ TEST(ThreadPoolTest, GlobalPoolResizes) {
   EXPECT_EQ(total.load(), 10);
   common::ThreadPool::SetGlobalThreads(1);
   EXPECT_EQ(common::ThreadPool::Global().threads(), 1);
+  common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
 }
 
 }  // namespace

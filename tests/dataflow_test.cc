@@ -1,0 +1,445 @@
+// Tests for the MAL dataflow executor: dependency-DAG derivation (RAW edges,
+// in-place-mutation ordering, liveness counts), critical-path billing,
+// eager intermediate release (including mid-query device-cache reaping),
+// concurrent execution on the thread pool, and the OCELOT_DATAFLOW escape
+// hatch's bit-equality contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "common/vclock.h"
+#include "mal/engines.h"
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+#include "monet/seq_engine.h"
+#include "ocelot/engine.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using common::Nanos;
+using cstore::BatPtr;
+using mal::Dataflow;
+using mal::Program;
+using mal::ProgramBuilder;
+using mal::RunOptions;
+
+/// Restores the global pool to its environment-derived size (the tests
+/// below sweep it).
+void RestoreGlobalThreads() {
+  common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
+}
+
+// --- DAG derivation -----------------------------------------------------------
+
+TEST(DataflowAnalysisTest, DiamondEdgesAndLiveness) {
+  // v0 := bind; v1 := year(v0); v2 := mirror(v0); v3 := join(v1, v2).
+  ProgramBuilder b;
+  int t = b.Const(std::string("t"));
+  int c = b.Const(std::string("v"));
+  int v0 = b.Emit("bat", "bind", {t, c});
+  int v1 = b.Emit("batcalc", "year", {v0});
+  int v2 = b.Emit("bat", "mirror", {v0});
+  auto v3 = b.EmitMulti("algebra", "join", {v1, v2}, 2);
+  b.Return(v3[0]);
+  Program p = b.Build();
+
+  Dataflow d = mal::AnalyzeDataflow(p);
+  ASSERT_EQ(d.instructions(), 4);
+  EXPECT_TRUE(d.preds[0].empty());
+  EXPECT_EQ(d.preds[1], (std::vector<int>{0}));
+  EXPECT_EQ(d.preds[2], (std::vector<int>{0}));
+  EXPECT_EQ(d.preds[3], (std::vector<int>{1, 2}));
+  EXPECT_EQ(d.succs[0], (std::vector<int>{1, 2}));
+
+  // v0 is touched by bind (ret), year and mirror; dies after both readers.
+  EXPECT_EQ(d.use_count[static_cast<std::size_t>(v0)], 3);
+  // The returned variable is never released.
+  EXPECT_TRUE(d.returned[static_cast<std::size_t>(v3[0])]);
+  EXPECT_FALSE(d.returned[static_cast<std::size_t>(v3[1])]);
+}
+
+TEST(DataflowAnalysisTest, SetkeyOrdersLikeAWriter) {
+  // setkey mutates the BAT behind its argument in place: readers before it
+  // must precede it, readers after it must follow it.
+  ProgramBuilder b;
+  int t = b.Const(std::string("t"));
+  int c = b.Const(std::string("v"));
+  int v0 = b.Emit("bat", "bind", {t, c});
+  int r1 = b.Emit("bat", "mirror", {v0});   // reader before the mutation
+  int k = b.Emit("bat", "setkey", {v0});    // mutates v0's BAT
+  int r2 = b.Emit("bat", "mirror", {v0});   // reader after the mutation
+  b.Return(k);
+  b.Return(r1);
+  b.Return(r2);
+  Program p = b.Build();
+
+  Dataflow d = mal::AnalyzeDataflow(p);
+  // setkey (instr 2) waits for the bind and the earlier reader...
+  EXPECT_EQ(d.preds[2], (std::vector<int>{0, 1}));
+  // ...and the later reader waits for setkey, not the original bind.
+  EXPECT_EQ(d.preds[3], (std::vector<int>{2}));
+}
+
+TEST(DataflowAnalysisTest, SyncSerializesWithReaders) {
+  ProgramBuilder b;
+  int t = b.Const(std::string("t"));
+  int c = b.Const(std::string("v"));
+  int v0 = b.Emit("bat", "bind", {t, c});
+  int r1 = b.Emit("bat", "mirror", {v0});
+  b.EmitVoid("ocelot", "sync", {v0});
+  b.Return(r1);
+  Program p = b.Build();
+
+  Dataflow d = mal::AnalyzeDataflow(p);
+  EXPECT_EQ(d.preds[2], (std::vector<int>{0, 1}));  // sync waits for the reader
+}
+
+TEST(DataflowAnalysisTest, CriticalPathOfDiamond) {
+  ProgramBuilder b;
+  int t = b.Const(std::string("t"));
+  int c = b.Const(std::string("v"));
+  int v0 = b.Emit("bat", "bind", {t, c});
+  int v1 = b.Emit("batcalc", "year", {v0});
+  int v2 = b.Emit("bat", "mirror", {v0});
+  auto v3 = b.EmitMulti("algebra", "join", {v1, v2}, 2);
+  b.Return(v3[0]);
+  Dataflow d = mal::AnalyzeDataflow(b.Build());
+
+  // Longest chain: 4 (bind) -> 10 (year) -> 3 (join) = 17; the 5ns mirror
+  // branch overlaps. A serial interpreter would bill the 22ns sum.
+  std::vector<Nanos> costs = {4, 10, 5, 3};
+  EXPECT_EQ(mal::CriticalPath(d, costs), 17);
+  costs = {4, 5, 10, 3};  // now the mirror branch dominates
+  EXPECT_EQ(mal::CriticalPath(d, costs), 17);
+  EXPECT_EQ(mal::CriticalPath(d, {0, 0, 0, 0}), 0);
+}
+
+TEST(DataflowAnalysisTest, RewriterDedupesSyncOfTwiceReturnedVar) {
+  ProgramBuilder b;
+  int t = b.Const(std::string("t"));
+  int c = b.Const(std::string("v"));
+  int v0 = b.Emit("bat", "bind", {t, c});
+  int v1 = b.Emit("bat", "mirror", {v0});
+  b.Return(v1);
+  b.Return(v1);  // same variable returned twice
+  Program rewritten = mal::RewriteForOcelot(b.Build());
+  EXPECT_EQ(mal::CountSyncs(rewritten), 1);
+}
+
+// --- Execution ----------------------------------------------------------------
+
+const tpch::TpchDb& Db() {
+  static const tpch::TpchDb* db = new tpch::TpchDb(tpch::Generate(0.02));
+  return *db;
+}
+
+common::Result<mal::ExecResult> RunQ3(mal::Session* session, RunOptions options) {
+  auto plan = tpch::BuildQuery(3, Db());
+  OCELOT_CHECK(plan.ok());
+  mal::Program prog = *plan;
+  if (session->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+  return mal::Run(prog, Db().catalog, session, options);
+}
+
+TEST(DataflowExecTest, CriticalPathBelowSerialSumOnMultiBranchQuery) {
+  // Q3's customer/orders/lineitem branches are independent until the joins:
+  // the DAG must bill strictly less than the instruction sum, and the
+  // session clock must advance by the makespan, not the sum.
+  const tpch::TpchDb& db = Db();
+  auto plan = tpch::BuildQuery(3, db);
+  ASSERT_TRUE(plan.ok());
+  auto session = mal::Session::Open("seq");
+  ASSERT_TRUE(session.ok());
+  mal::DataflowStats stats;
+  RunOptions options;
+  options.mode = RunOptions::Mode::kDataflow;
+  options.stats = &stats;
+  Nanos before = (*session)->clock()->Now();
+  auto res = mal::Run(*plan, db.catalog, session->get(), options);
+  Nanos billed = (*session)->clock()->Now() - before;
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  EXPECT_GT(stats.serial_sum_ns, 0);
+  EXPECT_LT(stats.critical_path_ns, stats.serial_sum_ns);
+  // The clock moved by the critical path (plus inter-measurement noise),
+  // not by the serial sum.
+  EXPECT_GE(billed, stats.critical_path_ns);
+  EXPECT_LT(billed, stats.serial_sum_ns);
+  EXPECT_GT(stats.executed, 0);
+}
+
+TEST(DataflowExecTest, EagerReleaseDropsPeakLiveIntermediates) {
+  auto session = mal::Session::Open("seq");
+  ASSERT_TRUE(session.ok());
+  mal::DataflowStats stats;
+  RunOptions options;
+  options.mode = RunOptions::Mode::kDataflow;
+  options.stats = &stats;
+  ASSERT_TRUE(RunQ3(session->get(), options).ok());
+  EXPECT_GT(stats.released_early, 0);
+  EXPECT_GT(stats.total_bat_vars, 0);
+  // With every intermediate released at its last use, the peak number of
+  // live BAT variables must sit strictly below the all-live total the
+  // sequential interpreter would hold.
+  EXPECT_LT(stats.peak_live_bats, stats.total_bat_vars);
+}
+
+/// A concurrency-safe engine whose selects block for a fixed wall-clock
+/// interval before delegating: pool workers reliably pick up the second
+/// branch while the first sleeps, so overlap assertions hold even on a
+/// single-core CI machine (where Q3's microsecond operators can drain
+/// through one lane before another thread ever gets scheduled).
+class SleepySelectEngine : public monet::SequentialEngine {
+ public:
+  static constexpr auto kNap = std::chrono::milliseconds(20);
+
+  std::string name() const override { return "sleepy"; }
+  bool concurrency_safe() const override { return true; }
+  common::Result<BatPtr> SelectRange(const BatPtr& col, const BatPtr& cand,
+                                     cstore::Bound lo, cstore::Bound hi) override {
+    std::this_thread::sleep_for(kNap);
+    return monet::SequentialEngine::SelectRange(col, cand, lo, hi);
+  }
+};
+
+/// Registers the sleepy engine under "dataflow:sleepy" (idempotent) — which
+/// also exercises the external-engine session path (Pipeline::kExternal).
+void EnsureSleepyEngine() {
+  class Bundle : public cstore::EngineBundle {
+   public:
+    cstore::QueryEngine* engine() override { return &engine_; }
+    common::VirtualClock* clock() override { return &clock_; }
+
+   private:
+    SleepySelectEngine engine_;
+    common::VirtualClock clock_;
+  };
+  mal::EnsureEngineRegistry().Register(
+      "dataflow:sleepy",
+      [](const cstore::EngineOptions&)
+          -> common::Result<std::unique_ptr<cstore::EngineBundle>> {
+        return std::unique_ptr<cstore::EngineBundle>(std::make_unique<Bundle>());
+      });
+}
+
+/// Two independent selects over `t.v` joined at the end — the smallest plan
+/// with real branch parallelism.
+Program TwoBranchPlan() {
+  ProgramBuilder b;
+  int col = b.Emit("bat", "bind",
+                   {b.Const(std::string("t")), b.Const(std::string("v"))});
+  int c1 = b.Emit("algebra", "select",
+                  {col, b.Const(mal::Value{}), b.Const(0.0), b.Const(40.0),
+                   b.Const(std::int64_t{1}), b.Const(std::int64_t{1})});
+  int c2 = b.Emit("algebra", "select",
+                  {col, b.Const(mal::Value{}), b.Const(50.0), b.Const(96.0),
+                   b.Const(std::int64_t{1}), b.Const(std::int64_t{1})});
+  int u = b.Emit("algebra", "candunion", {c1, c2});
+  int n = b.Emit("aggr", "count", {u});
+  b.Return(n);
+  return b.Build();
+}
+
+cstore::Catalog SmallCatalog() {
+  cstore::Catalog catalog;
+  cstore::Table t("t");
+  auto vals = cstore::Bat::MakeInt(1024);
+  for (int i = 0; i < 1024; ++i) {
+    vals->ints()[static_cast<std::size_t>(i)] = i % 97;
+  }
+  OCELOT_CHECK_OK(t.AddColumn("v", vals));
+  OCELOT_CHECK_OK(catalog.AddTable(std::move(t)));
+  return catalog;
+}
+
+TEST(DataflowExecTest, ConcurrentExecutorOverlapsIndependentBranches) {
+  EnsureSleepyEngine();
+  cstore::Catalog catalog = SmallCatalog();
+  Program prog = TwoBranchPlan();
+  common::ThreadPool::SetGlobalThreads(4);
+  auto session = mal::Session::Open("dataflow:sleepy");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->pipeline(), mal::Pipeline::kExternal);
+  mal::DataflowStats stats;
+  RunOptions options;
+  options.mode = RunOptions::Mode::kDataflow;
+  options.stats = &stats;
+  auto res = mal::Run(prog, catalog, session->get(), options);
+  RestoreGlobalThreads();
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(stats.parallel);  // the engine is concurrency-safe, 4 lanes
+  EXPECT_GE(stats.peak_parallelism, 2);  // both selects in flight at once
+}
+
+TEST(DataflowExecTest, RealTimeImprovesWithOverlappedBranches) {
+  // Wall-clock: the two 20ms selects overlap under the dataflow executor
+  // (sleeps overlap even on one core), so the dataflow run must beat the
+  // operator-at-a-time run by a solid margin.
+  EnsureSleepyEngine();
+  cstore::Catalog catalog = SmallCatalog();
+  Program prog = TwoBranchPlan();
+  common::ThreadPool::SetGlobalThreads(4);
+  auto run_ms = [&](RunOptions::Mode mode) {
+    auto session = mal::Session::Open("dataflow:sleepy");
+    OCELOT_CHECK(session.ok());
+    RunOptions options;
+    options.mode = mode;
+    common::Stopwatch w;
+    OCELOT_CHECK(mal::Run(prog, catalog, session->get(), options).ok());
+    return w.ElapsedMillis();
+  };
+  double off = run_ms(RunOptions::Mode::kSequential);  // ~2 naps serial
+  double on = run_ms(RunOptions::Mode::kDataflow);     // ~1 nap, overlapped
+  RestoreGlobalThreads();
+  EXPECT_LT(on, off * 0.8) << "dataflow on: " << on << "ms, off: " << off << "ms";
+}
+
+TEST(DataflowExecTest, MidQueryDeviceCacheReaping) {
+  // An Ocelot intermediate released at its last use fires the heap-death
+  // listener, which reaps the device-cache entry *mid-query* — observable
+  // as a drop in cached_entries() before the program ends. In sequential
+  // mode every intermediate stays live, so the count never drops.
+  cstore::Catalog catalog;
+  cstore::Table t("t");
+  auto vals = cstore::Bat::MakeInt(4096);
+  for (int i = 0; i < 4096; ++i) {
+    vals->ints()[static_cast<std::size_t>(i)] = i % 97;
+  }
+  OCELOT_CHECK_OK(t.AddColumn("v", vals));
+  OCELOT_CHECK_OK(catalog.AddTable(std::move(t)));
+
+  ProgramBuilder b;
+  int col = b.Emit("bat", "bind",
+                   {b.Const(std::string("t")), b.Const(std::string("v"))});
+  int cand = b.Emit("algebra", "select",
+                    {col, b.Const(mal::Value{}), b.Const(10.0), b.Const(80.0),
+                     b.Const(std::int64_t{1}), b.Const(std::int64_t{1})});
+  int proj = b.Emit("algebra", "projection", {cand, col});
+  int sum = b.Emit("aggr", "sum", {proj});
+  b.Return(sum);
+  Program prog = mal::RewriteForOcelot(b.Build());
+
+  auto run_samples = [&](RunOptions::Mode mode) {
+    auto session = mal::Session::Open("ocelot:gpu");
+    OCELOT_CHECK(session.ok());
+    std::vector<std::size_t> samples;
+    RunOptions options;
+    options.mode = mode;
+    options.after_instr = [&](int) {
+      samples.push_back((*session)->ocelot()->memory()->cached_entries());
+    };
+    auto res = mal::Run(prog, catalog, session->get(), options);
+    OCELOT_CHECK(res.ok()) << res.status().ToString();
+    return samples;
+  };
+
+  std::vector<std::size_t> eager = run_samples(RunOptions::Mode::kDataflow);
+  std::vector<std::size_t> lazy = run_samples(RunOptions::Mode::kSequential);
+  ASSERT_EQ(eager.size(), lazy.size());
+
+  // Sequential mode: monotone non-decreasing until the program ends.
+  for (std::size_t i = 1; i < lazy.size(); ++i) {
+    EXPECT_GE(lazy[i], lazy[i - 1]) << "unexpected mid-query reap at " << i;
+  }
+  // Dataflow mode: some intermediate died before the end.
+  bool dropped = false;
+  for (std::size_t i = 1; i < eager.size(); ++i) {
+    if (eager[i] < eager[i - 1]) dropped = true;
+  }
+  EXPECT_TRUE(dropped) << "no device-cache entry was reaped mid-query";
+}
+
+TEST(DataflowExecTest, ErrorsMatchSequentialInterpretation) {
+  cstore::Catalog catalog;  // empty: bind will fail
+  ProgramBuilder b;
+  int t = b.Const(std::string("nope"));
+  int c = b.Const(std::string("v"));
+  int v0 = b.Emit("bat", "bind", {t, c});
+  b.Return(v0);
+  b.Emit("voodoo", "levitate", {});
+  Program p = b.Build();
+
+  auto session = mal::Session::Open("seq");
+  ASSERT_TRUE(session.ok());
+  RunOptions off;
+  off.mode = RunOptions::Mode::kSequential;
+  RunOptions on;
+  on.mode = RunOptions::Mode::kDataflow;
+  auto r_off = mal::Run(p, catalog, session->get(), off);
+  auto r_on = mal::Run(p, catalog, session->get(), on);
+  ASSERT_FALSE(r_off.ok());
+  ASSERT_FALSE(r_on.ok());
+  // The lowest-index failing instruction wins deterministically, matching
+  // what operator-at-a-time interpretation reports.
+  EXPECT_EQ(r_off.status().code(), r_on.status().code());
+  EXPECT_EQ(r_off.status().ToString(), r_on.status().ToString());
+}
+
+TEST(DataflowExecTest, LowestIndexErrorWinsOverFasterLaterFailure) {
+  // Error contract under real concurrency: a fast-failing high-index
+  // instruction must not mask a lower-index failure that is still waiting
+  // on a slow dependency — the run has to keep executing instructions
+  // below the first known error and report exactly what sequential
+  // interpretation would.
+  EnsureSleepyEngine();
+  cstore::Catalog catalog = SmallCatalog();
+  ProgramBuilder b;
+  int scalar = b.Const(std::int64_t{7});
+  int col = b.Emit("bat", "bind",
+                   {b.Const(std::string("t")), b.Const(std::string("v"))});
+  int c1 = b.Emit("algebra", "select",  // sleeps before running
+                  {col, b.Const(mal::Value{}), b.Const(0.0), b.Const(40.0),
+                   b.Const(std::int64_t{1}), b.Const(std::int64_t{1})});
+  int bad = b.Emit("algebra", "projection", {c1, scalar});  // arg not a BAT
+  b.EmitVoid("voodoo", "levitate", {});  // independent, fails instantly
+  b.Return(bad);
+  Program p = b.Build();
+
+  common::ThreadPool::SetGlobalThreads(4);
+  auto session = mal::Session::Open("dataflow:sleepy");
+  ASSERT_TRUE(session.ok());
+  RunOptions off;
+  off.mode = RunOptions::Mode::kSequential;
+  RunOptions on;
+  on.mode = RunOptions::Mode::kDataflow;
+  auto r_off = mal::Run(p, catalog, session->get(), off);
+  auto r_on = mal::Run(p, catalog, session->get(), on);
+  RestoreGlobalThreads();
+  ASSERT_FALSE(r_off.ok());
+  ASSERT_FALSE(r_on.ok());
+  EXPECT_EQ(r_off.status().ToString(), r_on.status().ToString());
+  // Both must name the projection, not the later unsupported op.
+  EXPECT_NE(r_on.status().ToString().find("projection"), std::string::npos)
+      << r_on.status().ToString();
+}
+
+TEST(DataflowExecTest, EnvEscapeHatchForcesSequential) {
+  // OCELOT_DATAFLOW=0 must force operator-at-a-time execution for Mode::kEnv.
+  const char* saved = std::getenv("OCELOT_DATAFLOW");
+  std::string saved_value = saved != nullptr ? saved : "";
+  setenv("OCELOT_DATAFLOW", "0", 1);
+  auto session = mal::Session::Open("seq");
+  ASSERT_TRUE(session.ok());
+  mal::DataflowStats stats;
+  RunOptions options;  // Mode::kEnv
+  options.stats = &stats;
+  ASSERT_TRUE(RunQ3(session->get(), options).ok());
+  EXPECT_EQ(stats.executed, 0);  // the sequential path fills no stats
+
+  unsetenv("OCELOT_DATAFLOW");
+  ASSERT_TRUE(RunQ3(session->get(), options).ok());
+  EXPECT_GT(stats.executed, 0);  // default is dataflow
+
+  if (saved != nullptr) setenv("OCELOT_DATAFLOW", saved_value.c_str(), 1);
+}
+
+}  // namespace

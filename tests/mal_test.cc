@@ -122,6 +122,8 @@ INSTANTIATE_TEST_SUITE_P(AllPipelines, MalPipelineTest,
                                return "OcelotGpu";
                              case Pipeline::kOcelotMulti:
                                return "OcelotMulti";
+                             case Pipeline::kExternal:
+                               return "External";
                            }
                            return "?";
                          });

@@ -218,6 +218,76 @@ TEST(MemoryManagerTest, SubRangeOfUnsyncedResultIsRejectedNotUploaded) {
   ASSERT_TRUE(total.ok());
 }
 
+TEST(MemoryManagerTest, AcquireWriteInvalidatesOverlappingCachedViews) {
+  // Write-path coherence regression: a cached sub-range view upload must
+  // not keep serving pre-write host bytes after the covering parent range
+  // is acquired for write (becomes device-authoritative) and later synced.
+  // Before the fix AcquireWrite left the view entry in the cache, so the
+  // view's second read returned the stale first-upload bytes.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(10'000, 21);
+  std::size_t half = col->size() / 2;
+  BatPtr view = Bat::View(col, 0, half);
+
+  // Cache the fragment view's upload (the pre-write bytes).
+  auto before = engine.Sum(view);
+  ASSERT_TRUE(before.ok());
+  EXPECT_GE(engine.memory()->cached_entries(), 1u);
+
+  // Acquire the whole parent for write and produce new device contents
+  // (what any kernel writing the covering range does), then hand the
+  // result back to the host heap.
+  {
+    MemoryManager::OpScope scope(engine.memory());
+    auto buf = engine.memory()->AcquireWrite(&scope, col);
+    ASSERT_TRUE(buf.ok());
+    auto dst = (*buf)->Span<std::int32_t>();
+    for (std::size_t i = 0; i < col->size(); ++i) {
+      dst[i] = static_cast<std::int32_t>(i % 7);
+    }
+  }
+  ASSERT_TRUE(engine.Sync(col).ok());
+
+  // The view must re-read the fresh bytes, not hit the stale cached upload.
+  double want = 0;
+  for (std::size_t i = 0; i < half; ++i) want += static_cast<double>(i % 7);
+  auto after = engine.Sum(view);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, want) << "stale pre-write view bytes served from cache";
+}
+
+TEST(MemoryManagerTest, ScopeHeldOverlapIsReapedWhenTheScopeCloses) {
+  // Variant of the stale-read regression with the view entry held by the
+  // *same* OpScope as the write: the invalidation cannot erase it outright
+  // (the op may still read its input), so it is marked stale and must be
+  // reaped at scope close — never serving the pre-write bytes afterwards.
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(10'000, 22);
+  std::size_t half = col->size() / 2;
+  BatPtr view = Bat::View(col, 0, half);
+
+  {
+    MemoryManager::OpScope scope(engine.memory());
+    ocl::EventList waits;
+    ASSERT_TRUE(engine.memory()->AcquireRead(&scope, view, &waits).ok());
+    auto buf = engine.memory()->AcquireWrite(&scope, col);
+    ASSERT_TRUE(buf.ok());
+    auto dst = (*buf)->Span<std::int32_t>();
+    for (std::size_t i = 0; i < col->size(); ++i) {
+      dst[i] = static_cast<std::int32_t>(i % 5);
+    }
+  }
+  ASSERT_TRUE(engine.Sync(col).ok());
+
+  double want = 0;
+  for (std::size_t i = 0; i < half; ++i) want += static_cast<double>(i % 5);
+  auto after = engine.Sum(view);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, want) << "stale scope-held view entry survived its scope";
+}
+
 TEST(MemoryManagerTest, WholeRangeUploadSubsumesFragmentEntries) {
   // Fragment-range entries become redundant once the whole column is
   // cached; keeping both would double the device footprint of hot columns.

@@ -258,6 +258,21 @@ TEST_P(EngineTest, SortIntWithOrder) {
   EXPECT_EQ(ToVec(res->order), (std::vector<oid_t>{1, 4, 3, 0, 2}));
 }
 
+TEST_P(EngineTest, SortPropagatesProperties) {
+  // Mirrors OcelotTest.SortPropagatesProperties: the order permutation is
+  // key+nonil by construction, the values inherit nonil/key from the input.
+  BatPtr col = IntBat({5, -3, 9, 0, 7});
+  col->set_nonil(true);
+  col->set_key(true);
+  auto res = engine_->Sort(col);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->order->key());
+  EXPECT_TRUE(res->order->nonil());
+  EXPECT_TRUE(res->values->sorted());
+  EXPECT_TRUE(res->values->nonil());
+  EXPECT_TRUE(res->values->key());
+}
+
 TEST_P(EngineTest, SortFloat) {
   BatPtr col = FloatBat({2.5f, -1.0f, 0.25f});
   auto res = engine_->Sort(col);

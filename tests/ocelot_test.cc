@@ -341,6 +341,32 @@ TEST_P(OcelotTest, RadixSortMatchesBaselineIntFloat) {
   EXPECT_EQ(Oids(f_ours->order), std::vector<oid_t>(fwo.begin(), fwo.end()));
 }
 
+TEST_P(OcelotTest, SortPropagatesProperties) {
+  // The order BAT is a permutation of 0..n-1: key and nonil by
+  // construction (it used to carry no property bits at all); the values
+  // are a sorted permutation of the input, inheriting its nonil/key bits.
+  BatPtr col = IntBat({5, -3, 9, 0, 7});
+  col->set_nonil(true);
+  col->set_key(true);
+  auto res = engine_->Sort(col);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->order->key());
+  EXPECT_TRUE(res->order->nonil());
+  EXPECT_FALSE(res->order->sorted());  // a permutation, not an ordered list
+  EXPECT_TRUE(res->values->sorted());
+  EXPECT_TRUE(res->values->nonil());
+  EXPECT_TRUE(res->values->key());
+
+  // Without input guarantees the value bits must not be invented.
+  BatPtr dups = IntBat({2, 2, 1});
+  auto res2 = engine_->Sort(dups);
+  ASSERT_TRUE(res2.ok());
+  EXPECT_TRUE(res2->order->key());
+  EXPECT_TRUE(res2->order->nonil());
+  EXPECT_FALSE(res2->values->key());
+  EXPECT_FALSE(res2->values->nonil());
+}
+
 // --- Grouping & aggregation ---------------------------------------------------------
 
 TEST_P(OcelotTest, GroupByHashPathMatchesBaselineUpToRelabeling) {

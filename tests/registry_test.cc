@@ -103,6 +103,40 @@ TEST(EngineRegistryTest, CustomEnginesSelfRegister) {
   EXPECT_FALSE((*session)->hardware_oblivious());
 }
 
+TEST(EngineRegistryTest, ExternalEnginesKeepTheirNameInLabels) {
+  // An externally registered engine used to silently map to kSequential,
+  // so bench/report output labeled it "MS". It must resolve to kExternal
+  // and carry its registry name through Session::label().
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+  class Bundle : public EngineBundle {
+   public:
+    cstore::QueryEngine* engine() override { return &engine_; }
+    common::VirtualClock* clock() override { return &clock_; }
+
+   private:
+    monet::SequentialEngine engine_;
+    common::VirtualClock clock_;
+  };
+  registry.Register("custom:labeled", [](const EngineOptions&)
+                                          -> common::Result<std::unique_ptr<EngineBundle>> {
+    return std::unique_ptr<EngineBundle>(std::make_unique<Bundle>());
+  });
+
+  auto session = mal::Session::Open("custom:labeled");
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->pipeline(), mal::Pipeline::kExternal);
+  EXPECT_EQ((*session)->label(), "custom:labeled");
+  EXPECT_STREQ(mal::PipelineName((*session)->pipeline()), "External");
+
+  // Built-ins keep the paper labels.
+  auto seq = mal::Session::Open("seq");
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ((*seq)->label(), "MS");
+  auto multi = mal::Session::Open("ocelot:multi");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)->label(), "Ocelot/Multi");
+}
+
 TEST(SessionTest, OpenByNameMapsPipelinesAndClocks) {
   auto seq = mal::Session::Open("seq");
   ASSERT_TRUE(seq.ok());

@@ -254,7 +254,9 @@ TEST_P(SchedulerSweepTest, ResultsAndBillingInvariantAcrossThreadCounts) {
     EXPECT_GE(elapsed, device_max) << threads << " threads";
     if (active > 1) EXPECT_LT(elapsed, device_sum) << threads << " threads";
   }
-  common::ThreadPool::SetGlobalThreads(1);
+  // Restore the OCELOT_THREADS-derived size: pinning 1 here would quietly
+  // defeat the CI thread matrix for every test that runs after this one.
+  common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
 }
 
 /// n = device_count-1 .. 2*device_count+1, in both layouts.

@@ -612,7 +612,7 @@ TEST(SchedulerDeterminismTest, ResultsAreIdenticalAtEveryThreadCount) {
     EXPECT_EQ(par.sums, serial.sums) << threads << " threads";
     EXPECT_EQ(par.total, serial.total) << threads << " threads";
   }
-  common::ThreadPool::SetGlobalThreads(1);
+  common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
 }
 
 TEST(SchedulerDeterminismTest, MakespanBillingHoldsAtEveryThreadCount) {
@@ -645,7 +645,7 @@ TEST(SchedulerDeterminismTest, MakespanBillingHoldsAtEveryThreadCount) {
     EXPECT_GE(elapsed, device_max) << threads << " threads";
     EXPECT_LT(elapsed, device_sum) << threads << " threads";
   }
-  common::ThreadPool::SetGlobalThreads(1);
+  common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
 }
 
 // --- End-to-end: three engines by name, one result ---------------------------

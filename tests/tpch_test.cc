@@ -7,11 +7,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "common/date.h"
+#include "common/thread_pool.h"
 #include "mal/interp.h"
 #include "mal/rewriter.h"
+#include "ocelot/scheduler.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -179,6 +183,50 @@ INSTANTIATE_TEST_SUITE_P(PaperWorkloadPlusQ18, TpchQueryTest,
                          [](const auto& info) {
                            return "Q" + std::to_string(info.param);
                          });
+
+TEST_P(TpchQueryTest, DataflowBitIdenticalToSequentialInterpretation) {
+  // The dataflow executor's correctness contract: for every engine, the
+  // result of a query is *bit-identical* — not merely tolerance-near — to
+  // operator-at-a-time interpretation, at every pool size. (Engines that
+  // are not concurrency-safe execute serialized in program order; the
+  // concurrency-safe ones must be order-independent.)
+  //
+  // ocelot:multi runs under static partitioning here: its *weighted* mode
+  // is independently not bit-reproducible between any two runs — even two
+  // sequential ones at identical settings — because the calibration EWMAs
+  // are seeded from measured CPU time and moving fragment boundaries move
+  // non-associative float partial sums. Pinning the boundaries isolates
+  // what this test is about: the executor itself must not change results.
+  int query = GetParam();
+  const tpch::TpchDb& db = SmallDb();
+
+  for (Pipeline p : {Pipeline::kSequential, Pipeline::kMitosis, Pipeline::kOcelotCpu,
+                     Pipeline::kOcelotGpu, Pipeline::kOcelotMulti}) {
+    auto run = [&](mal::RunOptions::Mode mode) {
+      auto session = mal::Session::Create(p);
+      if (auto* sched = dynamic_cast<ocelot::Scheduler*>(session->engine())) {
+        sched->set_static_partition(true);
+      }
+      mal::Program prog = *tpch::BuildQuery(query, db);
+      if (session->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+      mal::RunOptions options;
+      options.mode = mode;
+      auto res = mal::Run(prog, db.catalog, session.get(), options);
+      OCELOT_CHECK(res.ok()) << "Q" << query << " (" << mal::PipelineName(p)
+                             << "): " << res.status().ToString();
+      return Canonicalize(res->returns);
+    };
+    Rows want = run(mal::RunOptions::Mode::kSequential);
+    for (int threads : {1, 8}) {
+      common::ThreadPool::SetGlobalThreads(threads);
+      Rows got = run(mal::RunOptions::Mode::kDataflow);
+      EXPECT_EQ(want, got) << "Q" << query << " on " << mal::PipelineName(p)
+                           << " with dataflow at " << threads
+                           << " threads is not bit-identical";
+    }
+  }
+  common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
+}
 
 TEST(TpchPlanTest, ExplainShowsRewrittenModules) {
   const tpch::TpchDb& db = SmallDb();
