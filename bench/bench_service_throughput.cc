@@ -1,0 +1,116 @@
+// Concurrent query-service throughput: queries/sec of the shuffled TPC-H
+// workload submitted through mal::QueryService at 1/2/4/8 concurrent
+// sessions, for the sequential baseline and the multi-device scheduler.
+//
+// This is the inter-query axis on top of the paper's intra-query one: each
+// session runs the ordinary per-query machinery (dataflow interpreter,
+// weighted multi-device partitioning), and the service composes N of them
+// over one shared catalog, one shared host thread pool and the machine's
+// physical device slots (leased per operator batch through the
+// SlotArbiter). Queries/sec must *rise* with the session count until the
+// host cores or the slot pool saturate; per-query virtual time is
+// concurrency-invariant by contract, so it is not the measured axis here.
+//
+// Reported per point (and written to BENCH_service.json):
+//   virtual_ms / real_ms — host wall milliseconds per workload round
+//                          (manual time; a throughput bench measures wall)
+//   qps                  — completed queries per second of wall time
+//   sessions             — the point's concurrency level
+//
+// OCELOT_ENGINES restricts the engine sweep as everywhere else.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/vclock.h"
+#include "mal/service.h"
+
+namespace {
+
+const int kSessionAxis[] = {1, 2, 4, 8};
+
+/// Queries per workload round: the paper workload, shuffled per submitter
+/// so concurrent sessions interleave heavy and light queries.
+std::vector<int> Workload() { return tpch::PaperWorkload(); }
+
+std::vector<std::string> Engines() {
+  std::vector<std::string> all = bench::Configurations();
+  std::vector<std::string> picked;
+  for (const std::string& e : {"seq", "ocelot:multi"}) {
+    if (std::find(all.begin(), all.end(), e) != all.end()) picked.push_back(e);
+  }
+  return picked;
+}
+
+/// One measured iteration: submit `rounds` shuffled copies of the workload
+/// through the service and wait for every result. Returns the wall time.
+double RunRounds(mal::QueryService* service, const tpch::TpchDb& db, int rounds,
+                 int* queries) {
+  std::vector<std::future<common::Result<mal::ExecResult>>> futures;
+  std::vector<int> order = Workload();
+  common::Stopwatch wall;
+  for (int r = 0; r < rounds; ++r) {
+    // Rotate the workload per round: sessions see different query mixes
+    // in flight together, like a real multi-tenant queue.
+    std::rotate(order.begin(), order.begin() + (r % order.size()), order.end());
+    for (int q : order) {
+      futures.push_back(service->Submit(*tpch::BuildQuery(q, db)));
+    }
+  }
+  for (auto& f : futures) {
+    auto res = f.get();
+    OCELOT_CHECK(res.ok()) << res.status().ToString();
+  }
+  *queries = static_cast<int>(futures.size());
+  return wall.ElapsedMillis();
+}
+
+void RegisterPoints() {
+  for (const std::string& engine : Engines()) {
+    for (int sessions : kSessionAxis) {
+      std::string name = "ServiceThroughput/" + bench::Label(engine) +
+                         "/sessions:" + std::to_string(sessions);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [engine, sessions](benchmark::State& state) {
+            const tpch::TpchDb& db = bench::Db(1.0);
+            mal::ServiceOptions options;
+            options.max_sessions = sessions;
+            auto service = mal::QueryService::Open(engine, &db.catalog, options);
+            OCELOT_CHECK(service.ok()) << service.status().ToString();
+
+            // Warm-up round: first-touch generation/JIT effects out of the
+            // measured window.
+            int queries = 0;
+            RunRounds(service->get(), db, 1, &queries);
+
+            double total_ms = 0;
+            int total_queries = 0;
+            for (auto _ : state) {
+              int n = 0;
+              double ms = RunRounds(service->get(), db, 2, &n);
+              state.SetIterationTime(ms / 1e3);
+              total_ms += ms;
+              total_queries += n;
+            }
+            if (total_ms > 0) {
+              state.counters["qps"] = total_queries / (total_ms / 1e3);
+              state.counters["real_ms"] =
+                  total_ms / static_cast<double>(state.iterations());
+            }
+            state.counters["sessions"] = sessions;
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(3);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterPoints();
+  return bench::RunBenchmarks(argc, argv, "BENCH_service.json");
+}

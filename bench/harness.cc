@@ -237,8 +237,17 @@ void BenchJsonReporter::ReportRuns(const std::vector<Run>& report) {
         << "\", \"virtual_ms\": " << run.GetAdjustedRealTime()
         << ", \"real_ms\": " << CounterOr(run.counters, "real_ms", 0.0)
         << ", \"bytes_copied\": "
-        << static_cast<std::uint64_t>(CounterOr(run.counters, "bytes_copied", 0.0))
-        << "}";
+        << static_cast<std::uint64_t>(CounterOr(run.counters, "bytes_copied", 0.0));
+    // Service-throughput points report queries/sec and their concurrency
+    // level; absent counters are simply omitted from the record.
+    if (run.counters.find("qps") != run.counters.end()) {
+      rec << ", \"qps\": " << CounterOr(run.counters, "qps", 0.0);
+    }
+    if (run.counters.find("sessions") != run.counters.end()) {
+      rec << ", \"sessions\": "
+          << static_cast<int>(CounterOr(run.counters, "sessions", 0.0));
+    }
+    rec << "}";
     records_.push_back(rec.str());
   }
   ConsoleReporter::ReportRuns(report);

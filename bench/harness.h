@@ -96,7 +96,9 @@ void JsonMeasuredLoop(benchmark::State& state, mal::Session* session,
 /// The engine is the paper label found in the benchmark name's path
 /// segments; virtual_ms is the manual (modeled) time every bench reports;
 /// real_ms and bytes_copied come from the like-named user counters when the
-/// benchmark sets them (0 otherwise). The file is written on destruction.
+/// benchmark sets them (0 otherwise). Service-throughput points add "qps"
+/// and "sessions" fields when those counters are present. The file is
+/// written on destruction.
 class BenchJsonReporter : public benchmark::ConsoleReporter {
  public:
   explicit BenchJsonReporter(std::string path);

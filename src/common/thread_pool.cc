@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -50,27 +51,35 @@ void ThreadPool::RunBatch(Batch* batch) {
   }
 }
 
+ThreadPool::Batch* ThreadPool::FindOpenBatch() {
+  while (!open_.empty() &&
+         open_.front()->next.load(std::memory_order_relaxed) >= open_.front()->n) {
+    open_.pop_front();  // exhausted; its caller no longer needs it listed
+  }
+  for (Batch* batch : open_) {
+    if (batch->next.load(std::memory_order_relaxed) < batch->n) return batch;
+  }
+  return nullptr;
+}
+
 void ThreadPool::WorkerLoop() {
-  std::uint64_t seen = 0;
   tl_in_parallel_for = true;  // nested fan-out from task bodies runs serial
   for (;;) {
     Batch* batch = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return shutdown_ || (batch_ != nullptr && generation_ != seen);
+        return shutdown_ || (batch = FindOpenBatch()) != nullptr;
       });
       if (shutdown_) return;
-      seen = generation_;
-      batch = batch_;
       batch->entered += 1;
     }
     RunBatch(batch);
     {
       std::lock_guard<std::mutex> lock(mu_);
       batch->exited += 1;
+      done_cv_.notify_all();  // under mu_: pairs with the caller's predicate
     }
-    done_cv_.notify_all();
   }
 }
 
@@ -81,14 +90,12 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     return;
   }
 
-  std::lock_guard<std::mutex> caller_lock(caller_mu_);
   Batch batch;
   batch.n = n;
   batch.fn = &fn;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_ = &batch;
-    generation_ += 1;
+    open_.push_back(&batch);
   }
   work_cv_.notify_all();
 
@@ -96,16 +103,19 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   RunBatch(&batch);
   tl_in_parallel_for = false;
 
-  // Wait until every index ran *and* every worker that touched the batch
-  // has left it (batch lives on this stack frame). Unpublishing under mu_
-  // guarantees no further workers can enter afterwards.
+  // All indices are claimed once the caller's RunBatch returns; delist the
+  // batch (a pruning worker may already have) and wait until every index
+  // ran *and* every worker that touched the batch has left it (the batch
+  // lives on this stack frame). The final index may finish inside a
+  // worker's fn; that worker's exited-bump under mu_ delivers the wakeup.
   {
     std::unique_lock<std::mutex> lock(mu_);
+    auto it = std::find(open_.begin(), open_.end(), &batch);
+    if (it != open_.end()) open_.erase(it);
     done_cv_.wait(lock, [&] {
       return batch.done.load(std::memory_order_acquire) == batch.n &&
              batch.entered == batch.exited;
     });
-    batch_ = nullptr;
   }
 }
 

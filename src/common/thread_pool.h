@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -14,9 +15,11 @@ namespace common {
 /// A fixed-size host thread pool for index-based fan-out: ParallelFor(n, fn)
 /// runs fn(0..n-1) across the pool and the calling thread, blocking until
 /// every index finished. This is the *real* parallelism underneath the
-/// simulated kind — ocelot::Scheduler runs its per-device fragments on it
-/// and monet::ParallelFor runs its Mitosis slice tasks on it, while virtual
-/// clocks keep billing modeled device time exactly as in serial execution.
+/// simulated kind — ocelot::Scheduler runs its per-device fragments on it,
+/// monet::ParallelFor runs its Mitosis slice tasks on it, and
+/// mal::QueryService's concurrent sessions run their dataflow lanes on it —
+/// while virtual clocks keep billing modeled device time exactly as in
+/// serial execution.
 ///
 /// Semantics:
 ///  * The caller participates: a pool of size 1 has no worker threads and
@@ -26,7 +29,15 @@ namespace common {
 ///    (the scheduler's fragments touch disjoint devices/slots by design).
 ///  * Nested ParallelFor calls from inside fn run serially on the calling
 ///    worker — no deadlock, no thread explosion.
-///  * Concurrent ParallelFor calls from different threads serialize.
+///  * Concurrent ParallelFor calls from different threads run
+///    *concurrently*: each batch joins a shared open list and idle workers
+///    help whichever batch still has unclaimed indices (oldest first).
+///    Every caller participates in its own batch, so every batch makes
+///    progress — at worst at the caller's own serial speed — even when all
+///    workers are busy elsewhere. This is what lets N concurrent sessions
+///    share one process-wide pool instead of owning a pool each (and
+///    instead of serializing on a caller mutex, which would defeat
+///    inter-query parallelism entirely).
 class ThreadPool {
  public:
   /// Creates `threads` total execution lanes (the caller plus threads-1
@@ -64,24 +75,27 @@ class ThreadPool {
     std::atomic<int> next{0};
     std::atomic<int> done{0};
     // Guarded by mu_: workers currently inside RunBatch for this batch. The
-    // caller frees the (stack-allocated) batch only once every participant
-    // has left it, not merely once every index ran.
+    // caller frees the (stack-allocated) batch only once every worker that
+    // touched it has left it, not merely once every index ran.
     int entered = 0;
     int exited = 0;
   };
 
   void WorkerLoop();
-  void RunBatch(Batch* batch);
+  static void RunBatch(Batch* batch);
+  /// First open batch with unclaimed indices; prunes exhausted entries.
+  /// Call with mu_ held.
+  Batch* FindOpenBatch();
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable work_cv_;   // workers: a batch was published
-  std::condition_variable done_cv_;   // caller: the batch completed
-  Batch* batch_ = nullptr;            // currently published batch
-  std::uint64_t generation_ = 0;      // bumped per published batch
+  std::condition_variable work_cv_;   // workers: an open batch may exist
+  std::condition_variable done_cv_;   // callers: some batch made progress
+  /// Batches that may still have unclaimed indices, oldest first. Entries
+  /// live on their caller's stack; the caller removes its entry (if a
+  /// worker's pruning has not already) before returning from ParallelFor.
+  std::deque<Batch*> open_;
   bool shutdown_ = false;
-
-  std::mutex caller_mu_;              // serializes concurrent ParallelFor calls
 };
 
 }  // namespace common

@@ -39,6 +39,18 @@ class Table {
 
 /// The schema catalog: name -> table. The TPC-H generator fills one of
 /// these; plans resolve `table.column` references against it.
+///
+/// Thread-safety contract (mal::QueryService relies on this): a Catalog has
+/// a single-writer *load phase* (AddTable/AddColumn calls, externally
+/// serialized) followed by a shared read-only *serve phase* — once loading
+/// is done, any number of concurrent sessions may call the const accessors
+/// (GetTable/GetColumn/TableNames/TotalBytes) without synchronization.
+/// GetColumn hands out BatPtr copies; shared_ptr refcounting is atomic, and
+/// engines never mutate catalog-owned BATs in place (ocelot.sync targets
+/// operator *results*, and a query's writes go to fresh heaps), so the
+/// column data behind those pointers stays immutable for the catalog's
+/// lifetime. There is no mutation API to guard: correcting a served catalog
+/// means building a new one and swapping the pointer between workloads.
 class Catalog {
  public:
   common::Status AddTable(Table table);

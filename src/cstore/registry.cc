@@ -10,29 +10,39 @@ EngineRegistry& EngineRegistry::Global() {
 }
 
 void EngineRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
   factories_[name] = std::move(factory);
 }
 
 bool EngineRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return factories_.count(name) != 0;
 }
 
 common::Result<std::unique_ptr<EngineBundle>> EngineRegistry::Create(
     const std::string& name, const EngineOptions& options) const {
-  auto it = factories_.find(name);
-  if (it == factories_.end()) {
-    std::string known;
-    for (const auto& [n, f] : factories_) {
-      if (!known.empty()) known += ", ";
-      known += n;
+  // Copy the factory out under the lock, invoke it off the lock: factories
+  // build whole engine stacks and may legitimately consult the registry.
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      std::string known;
+      for (const auto& [n, f] : factories_) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      return common::Status::NotFound("no engine named '" + name +
+                                      "' (registered: " + known + ")");
     }
-    return common::Status::NotFound("no engine named '" + name +
-                                    "' (registered: " + known + ")");
+    factory = it->second;
   }
-  return it->second(options);
+  return factory(options);
 }
 
 std::vector<std::string> EngineRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [n, f] : factories_) names.push_back(n);

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,13 @@ class EngineBundle {
 /// "ocelot:gpu", "ocelot:multi", one per available device model), so
 /// benches, examples, tests and the MAL interpreter resolve engines by name
 /// instead of constructing them by hand.
+///
+/// Thread safety: all methods are safe to call concurrently — concurrent
+/// sessions resolve engines by name while tests register custom engines
+/// (the map is mutex-guarded; Create invokes the factory *off* the lock, so
+/// a factory may itself consult the registry). The bundles a factory
+/// returns are per-session state and are NOT shared: each concurrent
+/// session owns its engine, context and clocks outright.
 class EngineRegistry {
  public:
   using Factory =
@@ -80,6 +88,7 @@ class EngineRegistry {
   std::vector<std::string> Names() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Factory> factories_;
 };
 

@@ -1,0 +1,135 @@
+#include "mal/service.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "mal/engines.h"
+#include "mal/rewriter.h"
+#include "ocelot/scheduler.h"
+#include "ocl/context.h"
+
+namespace mal {
+
+namespace {
+
+int DefaultMaxSessions() {
+  if (const char* env = std::getenv("OCELOT_MAX_SESSIONS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 4;
+}
+
+}  // namespace
+
+common::Result<std::unique_ptr<QueryService>> QueryService::Open(
+    const std::string& engine_name, const cstore::Catalog* catalog,
+    const ServiceOptions& options) {
+  OCELOT_CHECK(catalog != nullptr) << "QueryService needs a catalog";
+  // Probe the engine name once so a typo fails Open with the registry's
+  // name list instead of failing every submitted query.
+  cstore::EngineRegistry& registry = EnsureEngineRegistry();
+  ASSIGN_OR_RETURN(std::unique_ptr<cstore::EngineBundle> probe,
+                   registry.Create(engine_name, options.engine_options));
+  (void)probe;  // construction-validates; sessions are opened per query
+  int slots = static_cast<int>(ocl::AvailableDevices().size());
+  return std::unique_ptr<QueryService>(
+      new QueryService(engine_name, catalog, options, slots));
+}
+
+QueryService::QueryService(std::string engine_name, const cstore::Catalog* catalog,
+                           const ServiceOptions& options, int slot_count)
+    : engine_name_(std::move(engine_name)),
+      catalog_(catalog),
+      options_(options),
+      arbiter_(slot_count, options.leases_per_slot) {
+  int sessions = options.max_sessions >= 1 ? options.max_sessions
+                                           : DefaultMaxSessions();
+  workers_.reserve(static_cast<std::size_t>(sessions));
+  for (int i = 0; i < sessions; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;  // workers finish the queue first, then exit
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<common::Result<ExecResult>> QueryService::Submit(Program program) {
+  Job job;
+  job.program = std::move(program);
+  std::future<common::Result<ExecResult>> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OCELOT_CHECK(!shutdown_) << "Submit after QueryService destruction began";
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+int QueryService::peak_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_active_;
+}
+
+std::uint64_t QueryService::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      active_ += 1;
+      peak_active_ = std::max(peak_active_, active_);
+    }
+    common::Result<ExecResult> result = RunOne(std::move(job.program));
+    {
+      // Account *before* fulfilling the promise: a caller that observed its
+      // future resolve must see the query counted.
+      std::lock_guard<std::mutex> lock(mu_);
+      active_ -= 1;
+      completed_ += 1;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+    job.promise.set_value(std::move(result));
+  }
+}
+
+common::Result<ExecResult> QueryService::RunOne(Program program) {
+  // A fresh session per query: own engine, own simulated contexts, own
+  // clocks, cold calibration. Queries never share mutable engine state —
+  // the whole reason the serial-vs-concurrent bit-identity contract holds.
+  ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                   Session::Open(engine_name_, options_.engine_options));
+  if (auto* sched = dynamic_cast<ocelot::Scheduler*>(session->engine())) {
+    sched->set_slot_arbiter(&arbiter_);
+    if (options_.static_partition) sched->set_static_partition(true);
+  }
+  if (session->hardware_oblivious()) program = RewriteForOcelot(program);
+  ASSIGN_OR_RETURN(ExecResult result,
+                   Run(program, *catalog_, session.get(), RunOptions{}));
+  session->FinishDevices();
+  return result;
+}
+
+}  // namespace mal

@@ -1,0 +1,154 @@
+#ifndef OCELOT_MAL_SERVICE_H_
+#define OCELOT_MAL_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cstore/catalog.h"
+#include "cstore/registry.h"
+#include "mal/interp.h"
+#include "ocelot/slot_arbiter.h"
+
+namespace mal {
+
+/// Construction-time knobs of a QueryService.
+struct ServiceOptions {
+  /// Maximum concurrently executing sessions (the admission-control bound).
+  /// <= 0 reads OCELOT_MAX_SESSIONS (default 4). Submissions beyond the
+  /// bound queue in arrival order; they are admitted, not rejected — the
+  /// bound caps *concurrency*, protecting the host and the device pool from
+  /// an unbounded session stampede.
+  int max_sessions = 0;
+
+  /// Lease units per physical device slot for this service's SlotArbiter
+  /// (<= 0: OCELOT_SLOT_LEASES, default 4; 1 = strictly exclusive devices).
+  int leases_per_slot = 0;
+
+  /// Pin every session's Scheduler to static (equal-split) partitioning.
+  /// This is the *bit-identity* mode: weighted calibration is seeded from
+  /// measured CPU time, which is not bit-reproducible between any two runs
+  /// — serial or not — so workloads that must reproduce results bit-exactly
+  /// across serial and concurrent execution pin the partition boundaries,
+  /// exactly like the dataflow bit-identity tests do. Engines other than
+  /// the multi-device scheduler are unaffected.
+  bool static_partition = false;
+
+  /// Model overrides passed through to every session's engine factory.
+  cstore::EngineOptions engine_options;
+};
+
+/// A concurrent query service: N sessions of one engine configuration
+/// executing MAL programs over one shared read-only cstore::Catalog.
+///
+/// This is the paper's missing other half at system scale: the
+/// hardware-oblivious operators parallelize one query across devices
+/// (intra-query), the service runs many such queries at once (inter-query)
+/// — and the two compose, because every session runs the same per-query
+/// machinery it would run standalone, over shared process-wide resources:
+///
+///  * the **catalog** is shared read-only (see the Catalog thread-safety
+///    contract) — zero copies, zero locks on the read path;
+///  * the **host thread pool** (common::ThreadPool::Global()) is shared by
+///    every session's dataflow lanes and scheduler fragments — concurrent
+///    ParallelFor batches interleave on the one lane set instead of
+///    oversubscribing the host with per-session pools;
+///  * the machine's **physical device slots** are shared through a
+///    per-service ocelot::SlotArbiter — each session's Scheduler leases the
+///    slots of its partition plan per operator batch, so devices
+///    time-share fairly between queries (FIFO, no starvation) instead of
+///    being monopolized for a whole query's runtime.
+///
+/// Per *query*, a worker opens a fresh Session (own engine, own contexts,
+/// own clocks, cold calibration): queries never share mutable engine state,
+/// which is what makes the determinism contract extend to concurrency — a
+/// workload's results are bit-identical whether its queries run serially or
+/// through N concurrent sessions (weighted-partitioning float caveat: see
+/// ServiceOptions::static_partition); only wall-clock throughput changes.
+///
+/// Usage:
+///   auto service = *mal::QueryService::Open("ocelot:multi", &db.catalog);
+///   auto f = service->Submit(*tpch::BuildQuery(3, db));
+///   auto result = f.get();   // Result<ExecResult>
+///
+/// Submit is thread-safe and non-blocking; plans are rewritten for
+/// hardware-oblivious engines internally (callers submit the same plan they
+/// would hand to a "seq" session). Destruction drains: every accepted
+/// submission completes before the service goes away.
+class QueryService {
+ public:
+  /// Validates `engine_name` against the registry (NotFound on a miss,
+  /// listing the registered names) and starts the worker sessions.
+  /// `catalog` must outlive the service and be in its read-only serve
+  /// phase (no more AddTable/AddColumn).
+  static common::Result<std::unique_ptr<QueryService>> Open(
+      const std::string& engine_name, const cstore::Catalog* catalog,
+      const ServiceOptions& options = {});
+
+  /// Drains outstanding queries, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues `program` for execution; the future resolves to the query's
+  /// result (or its error — a failing query never takes the service down).
+  /// Queries are admitted in submission order; up to max_sessions() execute
+  /// concurrently.
+  std::future<common::Result<ExecResult>> Submit(Program program);
+
+  /// Blocks until every submission accepted so far has completed.
+  void Drain();
+
+  const std::string& engine_name() const { return engine_name_; }
+  int max_sessions() const { return static_cast<int>(workers_.size()); }
+
+  /// High-water mark of concurrently executing sessions (tests pin the
+  /// admission bound with this).
+  int peak_sessions() const;
+  /// Queries completed (successfully or not) since Open.
+  std::uint64_t completed() const;
+
+  /// The service's physical-slot arbiter (slot count = the machine's
+  /// device count; installed into every session's Scheduler).
+  ocelot::SlotArbiter* arbiter() { return &arbiter_; }
+
+ private:
+  struct Job {
+    Program program;
+    std::promise<common::Result<ExecResult>> promise;
+  };
+
+  QueryService(std::string engine_name, const cstore::Catalog* catalog,
+               const ServiceOptions& options, int slot_count);
+
+  void WorkerLoop();
+  /// One query, start to finish, on a freshly opened session.
+  common::Result<ExecResult> RunOne(Program program);
+
+  const std::string engine_name_;
+  const cstore::Catalog* const catalog_;
+  const ServiceOptions options_;
+  ocelot::SlotArbiter arbiter_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: a job arrived / shutdown
+  std::condition_variable idle_cv_;   // Drain: queue empty and workers idle
+  std::deque<Job> queue_;
+  bool shutdown_ = false;
+  int active_ = 0;
+  int peak_active_ = 0;
+  std::uint64_t completed_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mal
+
+#endif  // OCELOT_MAL_SERVICE_H_

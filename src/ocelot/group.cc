@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 #include "ocelot/engine.h"
 #include "ocelot/hash_table.h"
@@ -190,13 +191,75 @@ Result<GroupResult> OcelotEngine::GroupBy(const BatPtr& col, const GroupResult* 
   ASSIGN_OR_RETURN(ocl::EventPtr es, EnqueueExclusiveScan(&mm_, occ, slot_gid, slots, {eo}));
   ASSIGN_OR_RETURN(std::uint32_t ngroups, ReadScalarU32(ctx_, slot_gid, slots, {es}));
 
-  res.ngroups = ngroups;
-  res.extents = Bat::MakeOid(ngroups);
+  // Nil-pattern keys never enter the distinct table (HtInsert skips
+  // kIntNil, which is what join semantics want: nil matches nothing). For
+  // *grouping* the convention is MonetDB's: rows group by raw bit pattern,
+  // so every kIntNil-pattern row — an int nil, or a float -0.0 whose bits
+  // equal kIntNil — belongs to one ordinary group. Scan for such rows and
+  // give them the dense id after the slot-derived ones; without this their
+  // rows would carry kOidNil group ids and every downstream aggregate
+  // kernel would index its accumulators out of bounds
+  // (fuzz_differential_test seed 20260731 found exactly that crash).
+  //
+  // A nonil int column cannot contain the pattern (the same property bit
+  // the engines already trust for correctness), so the usual case — every
+  // TPC-H group key — skips the scan entirely. Float keys always scan,
+  // nonil or not: -0.0 carries kIntNil's bit pattern.
+  const bool may_have_nil = !(col->type() == ValType::kInt && col->nonil());
+  std::uint32_t nil_rows = 0;
+  std::uint32_t first_nil = 0;
+  ocl::EventList gwaits{es};
+  ocl::BufferPtr key_buf;
+  ASSIGN_OR_RETURN(key_buf, mm_.AcquireRead(&scope, key_col, &gwaits));
+  if (may_have_nil) {
+    ASSIGN_OR_RETURN(ocl::BufferPtr nil_stats, mm_.AllocScratch(2 * 4));
+    ocl::KernelLaunch kn;
+    kn.name = "group_nil_scan";
+    kn.body = [key_buf, nil_stats, n](ocl::WorkGroup& wg) {
+      auto keys = key_buf->Span<const std::int32_t>();
+      auto s = nil_stats->Span<std::uint32_t>();
+      // s[0] = nil-pattern rows, s[1] = first such row. Group 0
+      // initializes (groups execute in order here, like ht_init's flag
+      // reset); every group then folds its own tally in — an
+      // unconditional per-group reset would throw away every
+      // predecessor's count.
+      if (wg.group_id() == 0) {
+        s[0] = 0;
+        s[1] = std::numeric_limits<std::uint32_t>::max();
+      }
+      std::uint32_t count = 0;
+      std::uint32_t first = std::numeric_limits<std::uint32_t>::max();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+          if (keys[i] == kIntNil) {
+            count += 1;
+            first = std::min(first, static_cast<std::uint32_t>(i));
+          }
+        }
+      }
+      if (count != 0) {
+        s[0] += count;  // one atomic add + min per group in a real runtime
+        s[1] = std::min(s[1], first);
+        wg.CountAtomics(2, 2);
+      }
+    };
+    ocl::EventPtr en = ctx_->queue()->EnqueueKernel(std::move(kn), gwaits);
+    ASSIGN_OR_RETURN(nil_rows, ReadScalarU32(ctx_, nil_stats, 0, {en}));
+    if (nil_rows != 0) {
+      ASSIGN_OR_RETURN(first_nil, ReadScalarU32(ctx_, nil_stats, 1, {en}));
+    }
+  }
+  const bool has_nil = nil_rows != 0;
+  const oid_t nil_gid = has_nil ? static_cast<oid_t>(ngroups) : cstore::kOidNil;
+
+  res.ngroups = ngroups + (has_nil ? 1 : 0);
+  res.extents = Bat::MakeOid(res.ngroups);
   ASSIGN_OR_RETURN(ocl::BufferPtr ext_buf, mm_.AcquireWrite(&scope, res.extents));
 
   ocl::KernelLaunch ke;
   ke.name = "group_extents";
-  ke.body = [ht, slot_gid, ext_buf, slots](ocl::WorkGroup& wg) {
+  ke.body = [ht, slot_gid, ext_buf, slots, has_nil, nil_gid,
+             first_nil](ocl::WorkGroup& wg) {
     auto v = ht->vals->Span<const std::uint32_t>();
     auto sg = slot_gid->Span<const std::uint32_t>();
     auto e = ext_buf->Span<oid_t>();
@@ -205,16 +268,14 @@ Result<GroupResult> OcelotEngine::GroupBy(const BatPtr& col, const GroupResult* 
         if (v[u] != 0) e[sg[u]] = static_cast<oid_t>(v[u] - 1);
       }
     }
+    if (has_nil) e[nil_gid] = static_cast<oid_t>(first_nil);
   };
   ocl::EventPtr ee = ctx_->queue()->EnqueueKernel(std::move(ke), {es});
   mm_.SetProducer(res.extents, ee);
 
-  ocl::EventList gwaits{es};
-  ocl::BufferPtr key_buf;
-  ASSIGN_OR_RETURN(key_buf, mm_.AcquireRead(&scope, key_col, &gwaits));
   ocl::KernelLaunch kg;
   kg.name = "group_assign_ids";
-  kg.body = [key_buf, ht, slot_gid, gid_buf, n](ocl::WorkGroup& wg) {
+  kg.body = [key_buf, ht, slot_gid, gid_buf, n, nil_gid](ocl::WorkGroup& wg) {
     auto keys = key_buf->Span<const std::int32_t>();
     auto tk = ht->keys->Span<const std::int32_t>();
     auto tv = ht->vals->Span<const std::uint32_t>();
@@ -223,7 +284,11 @@ Result<GroupResult> OcelotEngine::GroupBy(const BatPtr& col, const GroupResult* 
     for (int item = 0; item < wg.local_size(); ++item) {
       for (std::uint64_t i : wg.UnitsFor(item, n)) {
         std::size_t slot = HtLookup(tk, tv, ht->mask, ht->family, keys[i]);
-        g[i] = slot == SIZE_MAX ? cstore::kOidNil : static_cast<oid_t>(sg[slot]);
+        // SIZE_MAX means "not in the distinct table", and the only keys the
+        // build skipped are the nil-pattern ones — they map to the dense
+        // nil-group id (kOidNil when no such row exists, which then never
+        // reaches this branch).
+        g[i] = slot == SIZE_MAX ? nil_gid : static_cast<oid_t>(sg[slot]);
       }
     }
   };

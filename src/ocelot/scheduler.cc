@@ -166,6 +166,7 @@ const ThroughputTracker::Cell& ThroughputTracker::At(OpClass c, std::size_t n,
 void ThroughputTracker::Observe(OpClass c, std::size_t n, int device,
                                 std::size_t rows, common::Nanos ns) {
   if (rows == 0 || ns <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   Cell& cell = cells_[static_cast<std::size_t>(device)][static_cast<int>(c)]
                      [static_cast<std::size_t>(Bucket(n))];
   double tp = static_cast<double>(rows) / static_cast<double>(ns);
@@ -183,16 +184,19 @@ void ThroughputTracker::Observe(OpClass c, std::size_t n, int device,
 }
 
 double ThroughputTracker::Throughput(OpClass c, std::size_t n, int device) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return At(c, n, device).throughput;
 }
 
 common::Nanos ThroughputTracker::MinCost(OpClass c, std::size_t n,
                                          int device) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return static_cast<common::Nanos>(At(c, n, device).min_cost);
 }
 
 std::vector<double> ThroughputTracker::Weights(
     OpClass c, std::size_t n, const std::vector<int>& devices) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<double> w(devices.size(), 1.0);
   double observed_tp = 0, observed_prior = 0;
   int observed = 0;
@@ -375,6 +379,13 @@ Status Scheduler::RunPartitioned(const std::vector<int>& devices,
   int parts = static_cast<int>(devices.size());
   Nanos t0 = clock_.Now();
   common::Stopwatch real;
+  // Physical-slot leases, when a service-level arbiter is attached: hold
+  // one lease unit of every plan device for exactly this operator batch.
+  // Acquired *inside* the deducted real-time window, so queueing for a
+  // contended device costs wall-clock only — the makespan billed below is
+  // the same with or without concurrent sessions.
+  SlotArbiter::Lease lease;
+  if (arbiter_ != nullptr) lease = arbiter_->Acquire(devices);
   std::vector<Nanos> deltas(static_cast<std::size_t>(parts), 0);
   std::vector<Status> statuses(static_cast<std::size_t>(parts));
   // Fragment i runs against device slot devices[i] only (the plan's device
@@ -441,6 +452,8 @@ Status Scheduler::RunWeighted(
 Status Scheduler::RunOnDevice(int device, const std::function<Status()>& fn) {
   Nanos t0 = clock_.Now();
   common::Stopwatch real;
+  SlotArbiter::Lease lease;
+  if (arbiter_ != nullptr) lease = arbiter_->Acquire({device});
   ocl::CommandQueue* queue = ctx_->at(device)->queue();
   Nanos d0 = queue->modeled_busy_ns();
   Status status = fn();

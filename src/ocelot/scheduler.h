@@ -5,12 +5,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/vclock.h"
 #include "cstore/engine.h"
 #include "monet/mitosis.h"
 #include "ocelot/engine.h"
+#include "ocelot/slot_arbiter.h"
 #include "ocl/context.h"
 
 namespace ocelot {
@@ -43,8 +45,14 @@ inline constexpr int kOpClassCount = 6;
 /// apart — one EWMA across both would corrupt each other's plans.
 ///
 /// Observations arrive on the scheduler's calling thread after the fragment
-/// barrier, in device order; the tracker is not itself synchronized (one
-/// scheduler == one session, like every engine).
+/// barrier, in device order. The tracker is internally mutex-guarded: one
+/// scheduler == one session feeds it single-threaded as before, but
+/// mal::QueryService runs many sessions in one process, and an engine
+/// introspecting a sibling's calibration (tests, benches, a future shared
+/// prior) must not race the owner's EWMA updates. The lock is uncontended
+/// on the single-session hot path. Determinism is unchanged: each tracker
+/// instance is still fed exclusively by its own session, in plan order, so
+/// cross-session scheduling cannot reorder any instance's observations.
 class ThroughputTracker {
  public:
   /// `priors` are model-derived relative throughputs (one per device,
@@ -97,6 +105,7 @@ class ThroughputTracker {
   };
   const Cell& At(OpClass c, std::size_t n, int device) const;
 
+  mutable std::mutex mu_;
   std::vector<double> priors_;
   /// cells_[device][class][bucket].
   std::vector<std::array<std::array<Cell, kSizeBuckets>, kOpClassCount>> cells_;
@@ -176,6 +185,24 @@ class Scheduler : public cstore::QueryEngine {
   /// use this to compare weighted against static division.
   void set_static_partition(bool v) { static_partition_ = v; }
   bool static_partition() const { return static_partition_; }
+
+  /// Attaches the process-level physical-slot arbiter (mal::QueryService
+  /// installs its own into every session's scheduler). When set, each
+  /// operator batch acquires one lease unit of every device slot in its
+  /// partition plan before the fragments launch and releases them after the
+  /// merge — concurrent sessions then time-share the machine's physical
+  /// devices instead of pretending N disjoint machines exist. Slot ids map
+  /// 1:1 onto this scheduler's device indices: both the multi-device
+  /// context and the arbiter enumerate ocl::AvailableDevices() in order.
+  ///
+  /// Determinism: the lease gates *when* a plan executes, never *what* the
+  /// plan is — partition boundaries remain a pure function of calibration
+  /// state, and the wait happens inside the window RunPartitioned deducts
+  /// as unbilled host time, so results and virtual metrics are identical
+  /// with or without contention; only wall-clock changes. `arbiter` must
+  /// outlive the scheduler; nullptr detaches.
+  void set_slot_arbiter(SlotArbiter* arbiter) { arbiter_ = arbiter; }
+  SlotArbiter* slot_arbiter() const { return arbiter_; }
 
   std::string name() const override;
 
@@ -369,6 +396,7 @@ class Scheduler : public cstore::QueryEngine {
   common::VirtualClock clock_;
   std::vector<std::unique_ptr<OcelotEngine>> engines_;
   ThroughputTracker tracker_;
+  SlotArbiter* arbiter_ = nullptr;  ///< not owned; see set_slot_arbiter
   /// plans_[class]: exact input size -> last adopted plan (bounded; cleared
   /// wholesale if a pathological workload produces thousands of distinct
   /// sizes — losing hysteresis there costs re-cuts, not correctness).

@@ -1,0 +1,94 @@
+#include "ocelot/slot_arbiter.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace ocelot {
+
+namespace {
+
+int DefaultLeasesPerSlot() {
+  if (const char* env = std::getenv("OCELOT_SLOT_LEASES")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 4;
+}
+
+}  // namespace
+
+SlotArbiter::SlotArbiter(int slots, int leases_per_slot)
+    : leases_per_slot_(leases_per_slot >= 1 ? leases_per_slot
+                                            : DefaultLeasesPerSlot()) {
+  OCELOT_CHECK(slots >= 1) << "arbiter needs at least one slot";
+  free_.assign(static_cast<std::size_t>(slots), leases_per_slot_);
+}
+
+void SlotArbiter::Lease::Release() {
+  if (arbiter_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(arbiter_->mu_);
+    for (int s : slots_) arbiter_->free_[static_cast<std::size_t>(s)] += 1;
+    arbiter_->Pump();
+  }
+  arbiter_->cv_.notify_all();
+  arbiter_ = nullptr;
+}
+
+void SlotArbiter::Pump() {
+  // Scan waiters in arrival order. An older request that cannot run yet
+  // *reserves* its slots: no younger request touching them may overtake it.
+  // Younger requests on disjoint slots are granted in the same pass.
+  std::vector<char> reserved(free_.size(), 0);
+  for (Request* req : waiting_) {
+    bool runnable = true;
+    for (int s : *req->slots) {
+      auto idx = static_cast<std::size_t>(s);
+      if (free_[idx] == 0 || reserved[idx]) {
+        runnable = false;
+        break;
+      }
+    }
+    if (runnable) {
+      for (int s : *req->slots) free_[static_cast<std::size_t>(s)] -= 1;
+      req->granted = true;
+      grants_ += 1;
+    } else {
+      for (int s : *req->slots) reserved[static_cast<std::size_t>(s)] = 1;
+    }
+  }
+  waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                [](const Request* r) { return r->granted; }),
+                 waiting_.end());
+}
+
+SlotArbiter::Lease SlotArbiter::Acquire(const std::vector<int>& slots) {
+  if (slots.empty()) return Lease();
+  for (int s : slots) {
+    OCELOT_CHECK(s >= 0 && s < this->slots()) << "slot id " << s;
+  }
+  Request req;
+  req.slots = &slots;
+  std::unique_lock<std::mutex> lock(mu_);
+  waiting_.push_back(&req);
+  Pump();
+  if (!req.granted) {
+    contended_ += 1;
+    cv_.wait(lock, [&] { return req.granted; });
+  }
+  return Lease(this, slots);
+}
+
+std::uint64_t SlotArbiter::contended_acquires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contended_;
+}
+
+std::uint64_t SlotArbiter::grants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return grants_;
+}
+
+}  // namespace ocelot

@@ -1,0 +1,116 @@
+#ifndef OCELOT_OCELOT_SLOT_ARBITER_H_
+#define OCELOT_OCELOT_SLOT_ARBITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ocelot {
+
+/// Arbitrates the machine's *physical* device slots between concurrent
+/// sessions. Every session's ocl::Context simulates its own private device
+/// set, but the machine those contexts model has one CPU and one GPU: when
+/// mal::QueryService runs N sessions at once, their schedulers must not
+/// pretend N disjoint machines exist. The arbiter leases slot capacity to
+/// sessions per *operator batch* — a Scheduler acquires the slots of its
+/// partition plan right before launching the fragments and releases them at
+/// the merge — so a heavy query holds devices for one operator at a time,
+/// never for its whole runtime.
+///
+/// Capacity model: each physical slot has `leases_per_slot` concurrent
+/// lease units — the multiplexing depth of a real device driver's command
+/// queues (several host contexts can feed one device; the driver interleaves
+/// them). `leases_per_slot = 1` models strictly exclusive devices and is
+/// what the starvation tests pin; the default (OCELOT_SLOT_LEASES, else 4)
+/// lets sessions share a device the way concurrent OpenCL contexts do.
+/// Virtual time is unaffected either way: each session bills modeled device
+/// durations onto its own clocks, and lease *waiting* happens inside the
+/// window the Scheduler deducts as unbilled host time — contention changes
+/// wall-clock throughput, never a query's virtual metrics or results.
+///
+/// Fairness: strict arrival order per slot. A request blocks while any
+/// *older* waiting request needs one of its slots, even if enough units are
+/// free right now — bypassing would let a stream of small queries starve a
+/// gang request for the full device set. Disjoint requests overtake freely.
+/// Because leases are per-operator-batch, a heavy query re-enters the queue
+/// behind everyone who arrived while it ran, so no session can starve the
+/// pool by re-acquiring in a loop.
+class SlotArbiter {
+ public:
+  /// `slots` physical device slots with `leases_per_slot` concurrent lease
+  /// units each; `leases_per_slot <= 0` reads OCELOT_SLOT_LEASES (default 4).
+  explicit SlotArbiter(int slots, int leases_per_slot = 0);
+
+  SlotArbiter(const SlotArbiter&) = delete;
+  SlotArbiter& operator=(const SlotArbiter&) = delete;
+
+  /// A held lease; releases its slot units on destruction. Movable so
+  /// Acquire can return it; an empty lease (default) releases nothing.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(SlotArbiter* arbiter, std::vector<int> slots)
+        : arbiter_(arbiter), slots_(std::move(slots)) {}
+    Lease(Lease&& o) noexcept : arbiter_(o.arbiter_), slots_(std::move(o.slots_)) {
+      o.arbiter_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        Release();
+        arbiter_ = o.arbiter_;
+        slots_ = std::move(o.slots_);
+        o.arbiter_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    bool held() const { return arbiter_ != nullptr; }
+    void Release();
+
+   private:
+    SlotArbiter* arbiter_ = nullptr;
+    std::vector<int> slots_;
+  };
+
+  /// Blocks until one lease unit of *every* slot in `slots` is held by the
+  /// caller (all-or-nothing: fragment batches run on their full plan device
+  /// set, so partial grants would deadlock two half-granted schedulers).
+  /// Slot ids must be distinct and < slots(). Granted in arrival order per
+  /// slot (see class comment).
+  Lease Acquire(const std::vector<int>& slots);
+
+  int slots() const { return static_cast<int>(free_.size()); }
+  int leases_per_slot() const { return leases_per_slot_; }
+
+  /// Total Acquire calls that could not be granted immediately and had to
+  /// queue (tests assert contention actually occurred / didn't).
+  std::uint64_t contended_acquires() const;
+  /// Total leases granted so far.
+  std::uint64_t grants() const;
+
+ private:
+  struct Request {
+    const std::vector<int>* slots;
+    bool granted = false;
+  };
+
+  /// Grants every grantable waiting request in arrival order; called with
+  /// mu_ held after any release or enqueue.
+  void Pump();
+
+  const int leases_per_slot_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> free_;            ///< free lease units per slot
+  std::vector<Request*> waiting_;    ///< arrival order
+  std::uint64_t contended_ = 0;
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace ocelot
+
+#endif  // OCELOT_OCELOT_SLOT_ARBITER_H_

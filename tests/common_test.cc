@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <atomic>
@@ -278,6 +279,50 @@ TEST(ThreadPoolTest, GlobalPoolResizes) {
   common::ThreadPool::SetGlobalThreads(1);
   EXPECT_EQ(common::ThreadPool::Global().threads(), 1);
   common::ThreadPool::SetGlobalThreads(common::ThreadPool::EnvThreads());
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersShareThePoolWithoutSerializing) {
+  // Two threads fan out on the same pool at once, and their batches
+  // *rendezvous*: an index of batch A spins until an index of batch B ran.
+  // Under the old single-published-batch pool, concurrent ParallelFor
+  // calls serialized on a caller mutex, so A's batch blocked B's from ever
+  // starting and this deadlocked. The concurrent-session pool must
+  // interleave the two batches (each caller participates in its own batch,
+  // so this holds at any pool size, even one lane).
+  common::ThreadPool pool(2);
+  std::atomic<bool> b_ran{false};
+  std::atomic<int> total{0};
+  std::thread a([&] {
+    pool.ParallelFor(2, [&](int) {
+      while (!b_ran.load()) std::this_thread::yield();
+      total.fetch_add(1);
+    });
+  });
+  std::thread b([&] {
+    pool.ParallelFor(2, [&](int) {
+      b_ran.store(true);
+      total.fetch_add(1);
+    });
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentCallersAllComplete) {
+  common::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(5, [&](int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(total.load(), 8 * 20 * 5);
 }
 
 }  // namespace

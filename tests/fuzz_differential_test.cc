@@ -1,0 +1,647 @@
+// Cross-engine differential fuzzer: a seeded generator of random
+// well-typed BAT-algebra programs — selects (with candidate chains),
+// projections, joins, semi/anti joins, batcalc expressions, sorts and
+// grouped aggregates over random int/float columns with 0-30% nil density
+// — executed on every registered engine under both interpreter modes
+// (dataflow off/on) and *bit*-compared against the sequential baseline.
+//
+// Bit-comparison across engines is only meaningful if float arithmetic is
+// order-independent, so the generator keeps every float integer-valued and
+// every intermediate magnitude below 2^23 (an "exactness budget" tracked
+// through the expression graph): integer-valued IEEE sums and products in
+// that range are exact in any association order, so weighted partitioning,
+// fragment merges and dataflow reordering cannot change a single bit. What
+// remains is pure semantics — nil propagation, empty groups, candidate
+// rebasing, merge conventions — which is exactly what the fuzzer hunts.
+//
+// Every failure prints the seed, the iteration and the full program, so
+// any divergence replays with OCELOT_FUZZ_SEED / OCELOT_FUZZ_ITERS.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "cstore/bat.h"
+#include "cstore/catalog.h"
+#include "cstore/types.h"
+#include "mal/engines.h"
+#include "mal/interp.h"
+#include "mal/program.h"
+#include "mal/rewriter.h"
+
+namespace {
+
+using cstore::BatPtr;
+using cstore::ValType;
+
+// --- Random database ---------------------------------------------------------
+
+struct FuzzDb {
+  cstore::Catalog catalog;
+  std::size_t rows = 0;
+  double nil_density = 0;
+};
+
+BatPtr RandomIntColumn(common::Rng& rng, std::size_t n, std::int32_t lo,
+                       std::int32_t hi, double nil_density) {
+  BatPtr b = cstore::Bat::MakeInt(n);
+  auto v = b->ints();
+  bool any_nil = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < nil_density) {
+      v[i] = cstore::kIntNil;
+      any_nil = true;
+    } else {
+      v[i] = static_cast<std::int32_t>(rng.Uniform(lo, hi));
+    }
+  }
+  b->set_nonil(!any_nil);
+  return b;
+}
+
+BatPtr RandomFloatColumn(common::Rng& rng, std::size_t n, double nil_density) {
+  // Integer-valued floats: see the exactness-budget comment at the top.
+  BatPtr b = cstore::Bat::MakeFloat(n);
+  auto v = b->floats();
+  bool any_nil = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < nil_density) {
+      v[i] = cstore::FloatNil();
+      any_nil = true;
+    } else {
+      v[i] = static_cast<float>(rng.Uniform(-50, 100));
+    }
+  }
+  b->set_nonil(!any_nil);
+  return b;
+}
+
+FuzzDb MakeDb(common::Rng& rng) {
+  FuzzDb db;
+  db.rows = static_cast<std::size_t>(rng.Uniform(40, 800));
+  db.nil_density = rng.NextDouble() * 0.3;  // the issue's 0-30% band
+  cstore::Table t("t");
+  // i0 is key-ish (sparse values) so joins stay selective; i1/i2 are the
+  // low-cardinality value band selects and groupings chew on.
+  OCELOT_CHECK(
+      t.AddColumn("i0", RandomIntColumn(rng, db.rows, 0, 4000, db.nil_density))
+          .ok());
+  OCELOT_CHECK(
+      t.AddColumn("i1", RandomIntColumn(rng, db.rows, -50, 100, db.nil_density))
+          .ok());
+  OCELOT_CHECK(
+      t.AddColumn("i2", RandomIntColumn(rng, db.rows, -50, 100, db.nil_density))
+          .ok());
+  OCELOT_CHECK(t.AddColumn("f0", RandomFloatColumn(rng, db.rows, db.nil_density)).ok());
+  OCELOT_CHECK(t.AddColumn("f1", RandomFloatColumn(rng, db.rows, db.nil_density)).ok());
+  OCELOT_CHECK(db.catalog.AddTable(std::move(t)).ok());
+  return db;
+}
+
+// --- Random well-typed programs ----------------------------------------------
+
+/// Exactness cap: every intermediate stays below this in absolute value, so
+/// float arithmetic (including any summation order) is exact. 2^23 leaves a
+/// factor-2 margin below float's 2^24 integer-exactness limit.
+constexpr double kMaxMagnitude = 8'000'000.0;
+/// Row-count upper bound past which no further ops build on a frame (keeps
+/// chained-join blowup and runtimes bounded).
+constexpr double kMaxRows = 50'000.0;
+
+/// One materialized column of a frame.
+struct Col {
+  int var;         ///< program variable holding the BAT
+  ValType type;    ///< kInt or kFloat
+  double est;      ///< upper bound on |value| (exactness budget)
+  bool key_range;  ///< from the sparse i0 band (preferred join key)
+};
+
+/// An alignment class: a set of equally-sized columns produced by the same
+/// row-defining operation (base table, select, join, group, sort).
+struct Frame {
+  std::vector<Col> cols;
+  double rows_bound;  ///< upper bound on the frame's cardinality
+  bool grouped;       ///< rows are groups (ids may be engine-ordered)
+};
+
+class ProgramFuzzer {
+ public:
+  ProgramFuzzer(common::Rng& rng, const FuzzDb& db) : rng_(rng), db_(db) {}
+
+  mal::Program Generate() {
+    nil_const_ = b_.Const(mal::Value{});
+    Frame base;
+    base.rows_bound = static_cast<double>(db_.rows);
+    base.grouped = false;
+    const char* names[] = {"i0", "i1", "i2", "f0", "f1"};
+    for (int c = 0; c < 5; ++c) {
+      Col col;
+      col.var = b_.Emit("bat", "bind", {S("t"), S(names[c])});
+      col.type = c < 3 ? ValType::kInt : ValType::kFloat;
+      col.est = c == 0 ? 4000 : 100;
+      col.key_range = c == 0;
+      base.cols.push_back(col);
+    }
+    frames_.push_back(std::move(base));
+
+    int ops = static_cast<int>(rng_.Uniform(5, 16));
+    for (int i = 0; i < ops; ++i) EmitRandomOp();
+
+    // Return every column of the most recently created frame (the deepest
+    // pipeline) — one alignment class, so canonicalization is a clean row
+    // table even when engines order group ids differently.
+    const Frame& last = frames_.back();
+    for (std::size_t c = 0; c < last.cols.size() && c < 4; ++c) {
+      b_.Return(last.cols[c].var);
+    }
+    return b_.Build();
+  }
+
+ private:
+  int S(const std::string& s) { return b_.Const(s); }
+  int D(double v) { return b_.Const(v); }
+  int I(std::int64_t v) { return b_.Const(v); }
+
+  const Frame& Pick(const std::vector<int>& candidates) {
+    return frames_[static_cast<std::size_t>(
+        candidates[static_cast<std::size_t>(
+            rng_.Uniform(0, static_cast<std::int64_t>(candidates.size()) - 1))])];
+  }
+
+  /// Frames whose row bound keeps downstream work bounded.
+  std::vector<int> UsableFrames() const {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+      if (frames_[i].rows_bound <= kMaxRows) out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+  static const Col* PickCol(common::Rng& rng, const Frame& f,
+                            ValType type, double max_est,
+                            bool require_key_range = false) {
+    std::vector<const Col*> eligible;
+    for (const Col& c : f.cols) {
+      if (c.type != type || c.est > max_est) continue;
+      if (require_key_range && !c.key_range) continue;
+      eligible.push_back(&c);
+    }
+    if (eligible.empty()) return nullptr;
+    return eligible[static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+  }
+
+  const Col* AnyNumericCol(const Frame& f, double max_est) {
+    std::vector<const Col*> eligible;
+    for (const Col& c : f.cols) {
+      if (c.est <= max_est) eligible.push_back(&c);
+    }
+    if (eligible.empty()) return nullptr;
+    return eligible[static_cast<std::size_t>(
+        rng_.Uniform(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+  }
+
+  /// Projects a random non-empty subset of `src`'s columns through the oid
+  /// variable `oids` into a new frame with row bound `rows_bound`.
+  Frame ProjectSubset(const Frame& src, int oids, double rows_bound) {
+    Frame out;
+    out.rows_bound = rows_bound;
+    out.grouped = false;
+    int want = static_cast<int>(rng_.Uniform(1, std::min<std::int64_t>(
+                                                   3, static_cast<std::int64_t>(
+                                                          src.cols.size()))));
+    std::vector<std::size_t> order(src.cols.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[static_cast<std::size_t>(rng_.Uniform(
+                                  0, static_cast<std::int64_t>(i) - 1))]);
+    }
+    for (int i = 0; i < want; ++i) {
+      const Col& c = src.cols[order[static_cast<std::size_t>(i)]];
+      Col out_col = c;
+      out_col.var = b_.Emit("algebra", "projection", {oids, c.var});
+      out.cols.push_back(out_col);
+    }
+    return out;
+  }
+
+  /// A random selection bound pair over a column with estimate `est`.
+  std::vector<int> SelectArgs(int col, int cand, double est) {
+    double lo = rng_.Uniform(-60, 110) * (est / 100.0);
+    double hi = lo + rng_.Uniform(0, 120) * (est / 100.0);
+    if (rng_.NextDouble() < 0.15) lo = -std::numeric_limits<double>::infinity();
+    if (rng_.NextDouble() < 0.15) hi = std::numeric_limits<double>::infinity();
+    return {col,   cand,  D(std::floor(lo)), D(std::floor(hi)),
+            I(rng_.Uniform(0, 1)), I(rng_.Uniform(0, 1))};
+  }
+
+  void EmitRandomOp() {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int kind = static_cast<int>(rng_.Uniform(0, 9));
+      bool emitted = false;
+      switch (kind) {
+        case 0:
+        case 1:
+          emitted = EmitSelect();
+          break;
+        case 2:
+          emitted = EmitJoin();
+          break;
+        case 3:
+          emitted = EmitSemiAnti();
+          break;
+        case 4:
+        case 5:
+          emitted = EmitCalc();
+          break;
+        case 6:
+          emitted = EmitGroupAgg();
+          break;
+        case 7:
+          emitted = EmitSort();
+          break;
+        case 8:
+          emitted = EmitCandUnion();
+          break;
+        default:
+          break;
+      }
+      if (emitted) return;
+    }
+  }
+
+  bool EmitSelect() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    const Frame& f = Pick(usable);
+    const Col* col = AnyNumericCol(f, kMaxMagnitude);
+    if (col == nullptr) return false;
+    int cand = b_.Emit("algebra", "select",
+                       SelectArgs(col->var, nil_const_, col->est));
+    // Half the time, refine through the candidate list (the chained
+    // select idiom every TPC-H plan uses).
+    if (f.cols.size() > 1 && rng_.NextDouble() < 0.5) {
+      const Col* col2 = AnyNumericCol(f, kMaxMagnitude);
+      if (col2 != nullptr) {
+        cand = b_.Emit("algebra", "select", SelectArgs(col2->var, cand, col2->est));
+      }
+    }
+    frames_.push_back(ProjectSubset(f, cand, f.rows_bound));
+    return true;
+  }
+
+  bool EmitCandUnion() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    const Frame& f = Pick(usable);
+    const Col* a = AnyNumericCol(f, kMaxMagnitude);
+    const Col* b = AnyNumericCol(f, kMaxMagnitude);
+    if (a == nullptr || b == nullptr) return false;
+    int ca = b_.Emit("algebra", "select", SelectArgs(a->var, nil_const_, a->est));
+    int cb = b_.Emit("algebra", "select", SelectArgs(b->var, nil_const_, b->est));
+    int both = b_.Emit("algebra", "candunion", {ca, cb});
+    frames_.push_back(ProjectSubset(f, both, f.rows_bound));
+    return true;
+  }
+
+  bool EmitJoin() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    const Frame& f1 = Pick(usable);
+    const Frame& f2 = Pick(usable);
+    // Prefer the sparse key band on at least one side; low-cardinality
+    // joins on value columns explode quadratically.
+    const Col* a = PickCol(rng_, f1, ValType::kInt, kMaxMagnitude,
+                           /*require_key_range=*/true);
+    if (a == nullptr) a = PickCol(rng_, f1, ValType::kInt, kMaxMagnitude);
+    const Col* b = PickCol(rng_, f2, ValType::kInt, kMaxMagnitude);
+    if (a == nullptr || b == nullptr) return false;
+    double matches_per_probe =
+        (a->key_range || b->key_range) ? 1.5 : f2.rows_bound / 100.0;
+    double bound = f1.rows_bound * std::max(1.0, matches_per_probe);
+    if (bound > kMaxRows) return false;
+    auto lr = b_.EmitMulti("algebra", "join", {a->var, b->var}, 2);
+    Frame joined = ProjectSubset(f1, lr[0], bound);
+    Frame right = ProjectSubset(f2, lr[1], bound);
+    for (const Col& c : right.cols) joined.cols.push_back(c);
+    frames_.push_back(std::move(joined));
+    return true;
+  }
+
+  bool EmitSemiAnti() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    const Frame& f1 = Pick(usable);
+    const Frame& f2 = Pick(usable);
+    const Col* a = PickCol(rng_, f1, ValType::kInt, kMaxMagnitude);
+    const Col* b = PickCol(rng_, f2, ValType::kInt, kMaxMagnitude);
+    if (a == nullptr || b == nullptr) return false;
+    const char* op = rng_.NextDouble() < 0.5 ? "semijoin" : "antijoin";
+    int oids = b_.Emit("algebra", op, {a->var, b->var});
+    frames_.push_back(ProjectSubset(f1, oids, f1.rows_bound));
+    return true;
+  }
+
+  bool EmitCalc() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    std::size_t fi = static_cast<std::size_t>(
+        usable[static_cast<std::size_t>(rng_.Uniform(
+            0, static_cast<std::int64_t>(usable.size()) - 1))]);
+    Frame& f = frames_[fi];
+    int kind = static_cast<int>(rng_.Uniform(0, 5));
+    Col out;
+    out.key_range = false;
+    if (kind == 0) {
+      // Arithmetic on two columns (add/sub/mul) under the budget.
+      const Col* a = AnyNumericCol(f, kMaxMagnitude);
+      const Col* b = AnyNumericCol(f, kMaxMagnitude);
+      if (a == nullptr || b == nullptr) return false;
+      const char* ops[] = {"add", "sub", "mul"};
+      int which = static_cast<int>(rng_.Uniform(0, 2));
+      double est = which == 2 ? a->est * b->est : a->est + b->est;
+      if (est > kMaxMagnitude) return false;
+      out.var = b_.Emit("batcalc", ops[which], {a->var, b->var});
+      out.type = (a->type == ValType::kInt && b->type == ValType::kInt)
+                     ? ValType::kInt
+                     : ValType::kFloat;
+      out.est = est;
+    } else if (kind == 1) {
+      // Scalar arithmetic; division only by powers of two (exact).
+      const Col* a = AnyNumericCol(f, kMaxMagnitude);
+      if (a == nullptr) return false;
+      if (rng_.NextDouble() < 0.4) {
+        double divisor = static_cast<double>(1 << rng_.Uniform(1, 4));
+        out.var = b_.Emit("batcalc", "div", {a->var, D(divisor)});
+        out.type = ValType::kFloat;
+        out.est = a->est;
+      } else {
+        double s = static_cast<double>(rng_.Uniform(-20, 20));
+        const char* op = rng_.NextDouble() < 0.5 ? "add" : "mul";
+        double est = op[0] == 'a' ? a->est + std::abs(s) : a->est * std::abs(s);
+        if (est > kMaxMagnitude) return false;
+        bool scalar_left = rng_.NextDouble() < 0.5;
+        std::vector<int> args = scalar_left ? std::vector<int>{D(s), a->var}
+                                            : std::vector<int>{a->var, D(s)};
+        out.var = b_.Emit("batcalc", op, std::move(args));
+        out.type = ValType::kFloat;  // CalcScalar always yields float
+        out.est = est;
+      }
+    } else if (kind == 2) {
+      // Comparison -> 0/1 int column.
+      const Col* a = AnyNumericCol(f, kMaxMagnitude);
+      if (a == nullptr) return false;
+      const char* cmps[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+      const char* cmp = cmps[rng_.Uniform(0, 5)];
+      if (f.cols.size() > 1 && rng_.NextDouble() < 0.5) {
+        const Col* b = AnyNumericCol(f, kMaxMagnitude);
+        if (b == nullptr) return false;
+        out.var = b_.Emit("batcalc", cmp, {a->var, b->var});
+      } else {
+        out.var = b_.Emit("batcalc", cmp,
+                          {a->var, D(std::floor(rng_.Uniform(-60, 110) *
+                                                (a->est / 100.0)))});
+      }
+      out.type = ValType::kInt;
+      out.est = 1;
+    } else if (kind == 3) {
+      // Boolean algebra over two fresh comparisons.
+      const Col* a = AnyNumericCol(f, kMaxMagnitude);
+      const Col* b = AnyNumericCol(f, kMaxMagnitude);
+      if (a == nullptr || b == nullptr) return false;
+      int ca = b_.Emit("batcalc", "le", {a->var, D(std::floor(a->est / 2))});
+      int cb = b_.Emit("batcalc", "ge", {b->var, D(-std::floor(b->est / 2))});
+      out.var = b_.Emit("batcalc", rng_.NextDouble() < 0.5 ? "and" : "or", {ca, cb});
+      out.type = ValType::kInt;
+      out.est = 1;
+    } else if (kind == 4) {
+      // ifthenelse(cond, vals, const).
+      const Col* cond = PickCol(rng_, f, ValType::kInt, 1.5);
+      const Col* vals = AnyNumericCol(f, kMaxMagnitude - 100);
+      if (cond == nullptr || vals == nullptr) return false;
+      double else_val = static_cast<double>(rng_.Uniform(-100, 100));
+      out.var = b_.Emit("batcalc", "ifthenelse", {cond->var, vals->var, D(else_val)});
+      out.type = vals->type;
+      out.est = std::max(vals->est, std::abs(else_val));
+    } else {
+      // Cast int -> float (exact by the budget).
+      const Col* a = PickCol(rng_, f, ValType::kInt, kMaxMagnitude);
+      if (a == nullptr) return false;
+      out.var = b_.Emit("batcalc", "flt", {a->var});
+      out.type = ValType::kFloat;
+      out.est = a->est;
+    }
+    f.cols.push_back(out);
+    return true;
+  }
+
+  bool EmitGroupAgg() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    const Frame& f = Pick(usable);
+    const Col* key = PickCol(rng_, f, ValType::kInt, kMaxMagnitude);
+    if (key == nullptr) return false;
+    auto grp = b_.EmitMulti("algebra", "group", {key->var}, 3);
+    int groups = grp[0];
+    int ngroups = grp[2];
+    Frame out;
+    out.rows_bound = f.rows_bound;
+    out.grouped = true;
+    int naggs = static_cast<int>(rng_.Uniform(1, 3));
+    for (int i = 0; i < naggs; ++i) {
+      Col agg;
+      agg.key_range = false;
+      int which = static_cast<int>(rng_.Uniform(0, 4));
+      const Col* vals =
+          AnyNumericCol(f, kMaxMagnitude / std::max(1.0, f.rows_bound));
+      if (which == 0 || vals == nullptr) {
+        agg.var = b_.Emit("aggr", "subcount", {groups, ngroups});
+        agg.type = ValType::kInt;
+        agg.est = f.rows_bound;
+      } else if (which == 1) {
+        agg.var = b_.Emit("aggr", "subsum", {vals->var, groups, ngroups});
+        agg.type = vals->type;
+        agg.est = vals->est * f.rows_bound;
+      } else if (which == 2) {
+        const char* op = rng_.NextDouble() < 0.5 ? "submin" : "submax";
+        agg.var = b_.Emit("aggr", op, {vals->var, groups, ngroups});
+        agg.type = vals->type;
+        agg.est = vals->est;
+      } else {
+        // subavg divides an exact sum by an exact count: both operands are
+        // bit-identical across engines, so the quotient is too.
+        agg.var = b_.Emit("aggr", "subavg", {vals->var, groups, ngroups});
+        agg.type = ValType::kFloat;
+        agg.est = vals->est;
+      }
+      out.cols.push_back(agg);
+    }
+    frames_.push_back(std::move(out));
+    return true;
+  }
+
+  bool EmitSort() {
+    std::vector<int> usable = UsableFrames();
+    if (usable.empty()) return false;
+    const Frame& f = Pick(usable);
+    // Int keys only: NaN float nils have no total order to sort by.
+    const Col* key = PickCol(rng_, f, ValType::kInt, kMaxMagnitude);
+    if (key == nullptr) return false;
+    auto vo = b_.EmitMulti("algebra", "sort", {key->var}, 2);
+    Frame out = ProjectSubset(f, vo[1], f.rows_bound);
+    Col sorted;
+    sorted.var = vo[0];
+    sorted.type = ValType::kInt;
+    sorted.est = key->est;
+    sorted.key_range = key->key_range;
+    out.cols.push_back(sorted);
+    frames_.push_back(std::move(out));
+    return true;
+  }
+
+  common::Rng& rng_;
+  const FuzzDb& db_;
+  mal::ProgramBuilder b_;
+  std::vector<Frame> frames_;
+  int nil_const_ = -1;
+};
+
+// --- Execution and comparison ------------------------------------------------
+
+/// Rows of doubles, lexicographically sorted; NaNs (float nil, 0/0) are
+/// mapped to a finite sentinel so sorting stays a strict weak order and
+/// equality means "same bits, nil-for-nil".
+using Rows = std::vector<std::vector<double>>;
+
+constexpr double kNanSentinel = -1.0e308;
+
+Rows Canonicalize(const std::vector<mal::Value>& returns) {
+  std::size_t nrows = 0;
+  std::vector<std::vector<double>> columns;
+  for (const mal::Value& v : returns) {
+    if (std::holds_alternative<double>(v)) {
+      columns.push_back({std::get<double>(v)});
+    } else if (std::holds_alternative<std::int64_t>(v)) {
+      columns.push_back({static_cast<double>(std::get<std::int64_t>(v))});
+    } else if (std::holds_alternative<BatPtr>(v)) {
+      const BatPtr& b = std::get<BatPtr>(v);
+      std::vector<double> col;
+      col.reserve(b->size());
+      switch (b->type()) {
+        case ValType::kInt:
+          for (auto x : b->ints()) col.push_back(x);
+          break;
+        case ValType::kFloat:
+          for (auto x : b->floats()) col.push_back(x);
+          break;
+        case ValType::kOid:
+          for (auto x : b->oids()) col.push_back(x);
+          break;
+      }
+      columns.push_back(std::move(col));
+    } else {
+      columns.push_back({});
+    }
+    nrows = std::max(nrows, columns.back().size());
+  }
+  Rows rows(nrows);
+  for (auto& col : columns) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      double x = i < col.size() ? col[i] : 0;
+      rows[i].push_back(std::isnan(x) ? kNanSentinel : x);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::uint64_t FuzzSeed() {
+  if (const char* env = std::getenv("OCELOT_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260729;
+}
+
+int FuzzIters() {
+  if (const char* env = std::getenv("OCELOT_FUZZ_ITERS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 200;
+}
+
+TEST(DifferentialFuzzTest, AllEnginesAgreeWithSeqOnRandomPrograms) {
+  const std::uint64_t base_seed = FuzzSeed();
+  const int iters = FuzzIters();
+  const std::vector<std::string> engines = mal::OrderedEngineNames();
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(iter);
+    common::Rng rng(seed);
+    FuzzDb db = MakeDb(rng);
+    ProgramFuzzer fuzzer(rng, db);
+    mal::Program program = fuzzer.Generate();
+
+    // Golden: the sequential baseline under strict operator-at-a-time
+    // interpretation.
+    Rows golden;
+    {
+      auto session = mal::Session::Open("seq");
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      mal::RunOptions options;
+      options.mode = mal::RunOptions::Mode::kSequential;
+      auto res = mal::Run(program, db.catalog, session->get(), options);
+      ASSERT_TRUE(res.ok()) << "seed " << seed << " iter " << iter
+                            << ": golden failed: " << res.status().ToString()
+                            << "\n"
+                            << program.Explain();
+      golden = Canonicalize(res->returns);
+    }
+
+    for (const std::string& engine : engines) {
+      for (auto mode : {mal::RunOptions::Mode::kSequential,
+                        mal::RunOptions::Mode::kDataflow}) {
+        if (std::getenv("OCELOT_FUZZ_TRACE") != nullptr) {
+          // Crash triage: a SIGSEGV/CHECK inside an engine never reaches the
+          // gtest failure printer, so narrate progress up front.
+          std::fprintf(stderr, "[fuzz] seed %llu iter %d engine %s mode %d\n%s",
+                       static_cast<unsigned long long>(seed), iter,
+                       engine.c_str(), static_cast<int>(mode),
+                       iter == 0 ? program.Explain().c_str() : "");
+        }
+        auto session = mal::Session::Open(engine);
+        ASSERT_TRUE(session.ok()) << session.status().ToString();
+        mal::Program prog = program;
+        if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+        mal::RunOptions options;
+        options.mode = mode;
+        auto res = mal::Run(prog, db.catalog, session->get(), options);
+        const char* mode_name =
+            mode == mal::RunOptions::Mode::kDataflow ? "dataflow" : "sequential";
+        ASSERT_TRUE(res.ok())
+            << "seed " << seed << " iter " << iter << " engine " << engine
+            << " mode " << mode_name << ": " << res.status().ToString() << "\n"
+            << program.Explain();
+        (*session)->FinishDevices();
+        Rows got = Canonicalize(res->returns);
+        ASSERT_EQ(golden, got)
+            << "DIVERGENCE seed " << seed << " iter " << iter << " engine "
+            << engine << " mode " << mode_name
+            << "\nreplay: OCELOT_FUZZ_SEED=" << seed
+            << " OCELOT_FUZZ_ITERS=1 ./fuzz_differential_test\n"
+            << program.Explain();
+      }
+    }
+  }
+}
+
+}  // namespace

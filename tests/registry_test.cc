@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "mal/engines.h"
 #include "mal/interp.h"
@@ -159,6 +162,52 @@ TEST(SessionTest, OpenByNameMapsPipelinesAndClocks) {
   auto missing = mal::Session::Open("warp-drive");
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(EngineRegistryTest, ConcurrentLookupAndRegistrationIsSafe) {
+  // The registry's thread-safety contract: concurrent sessions resolve
+  // engines by name while other threads register custom engines. Run under
+  // TSan, this pins the mutex guard; without it the bare std::map races.
+  EngineRegistry& registry = mal::EnsureEngineRegistry();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &registry, &failures] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          // Reader half: resolve built-ins by name, enumerate, probe.
+          auto bundle = registry.Create(i % 2 == 0 ? "seq" : "ocelot:cpu");
+          if (!bundle.ok() || (*bundle)->engine() == nullptr) failures += 1;
+          if (!registry.Contains("par")) failures += 1;
+          if (registry.Names().size() < 5) failures += 1;
+        } else {
+          // Writer half: (re-)register a thread-private name and use it.
+          std::string name = "custom:race-" + std::to_string(t);
+          registry.Register(
+              name, [](const EngineOptions&)
+                        -> common::Result<std::unique_ptr<EngineBundle>> {
+                class Bundle : public EngineBundle {
+                 public:
+                  cstore::QueryEngine* engine() override { return &engine_; }
+                  common::VirtualClock* clock() override { return &clock_; }
+
+                 private:
+                  monet::SequentialEngine engine_;
+                  common::VirtualClock clock_;
+                };
+                return std::unique_ptr<EngineBundle>(std::make_unique<Bundle>());
+              });
+          auto bundle = registry.Create(name);
+          if (!bundle.ok()) failures += 1;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,394 @@
+// Concurrency stress tests for mal::QueryService and ocelot::SlotArbiter:
+// 8 threads submit the shuffled 14-query TPC-H workload through one service
+// and every result must be bit-identical to its single-session serial
+// golden; plus lease fairness/starvation and admission-bound tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+#include "mal/service.h"
+#include "ocelot/scheduler.h"
+#include "ocelot/slot_arbiter.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using cstore::BatPtr;
+using ocelot::SlotArbiter;
+
+const tpch::TpchDb& SmallDb() {
+  // Same scale as tpch_test: large enough that every workload query has a
+  // non-empty result.
+  static const tpch::TpchDb* db = new tpch::TpchDb(tpch::Generate(0.02));
+  return *db;
+}
+
+/// A result set canonicalized for comparison: rows of doubles, sorted
+/// lexicographically (engines may order ties and group ids differently;
+/// the comparison itself is *exact* — bit-identity, not tolerance). NaNs
+/// (float nil, e.g. an empty group's SubSum) are mapped to a finite
+/// sentinel so sorting keeps a strict weak order and equality means
+/// "same bits, nil-for-nil" — same trick as fuzz_differential_test.
+using Rows = std::vector<std::vector<double>>;
+
+constexpr double kNanSentinel = -1.0e308;
+
+Rows Canonicalize(const std::vector<mal::Value>& returns) {
+  std::size_t nrows = 0;
+  std::vector<std::vector<double>> columns;
+  for (const mal::Value& v : returns) {
+    if (std::holds_alternative<double>(v)) {
+      columns.push_back({std::get<double>(v)});
+    } else if (std::holds_alternative<std::int64_t>(v)) {
+      columns.push_back({static_cast<double>(std::get<std::int64_t>(v))});
+    } else {
+      const BatPtr& b = std::get<BatPtr>(v);
+      std::vector<double> col;
+      col.reserve(b->size());
+      switch (b->type()) {
+        case cstore::ValType::kInt:
+          for (auto x : b->ints()) col.push_back(x);
+          break;
+        case cstore::ValType::kFloat:
+          for (auto x : b->floats()) col.push_back(x);
+          break;
+        case cstore::ValType::kOid:
+          for (auto x : b->oids()) col.push_back(x);
+          break;
+      }
+      columns.push_back(std::move(col));
+    }
+    nrows = std::max(nrows, columns.back().size());
+  }
+  Rows rows(nrows);
+  for (auto& col : columns) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      double x = i < col.size() ? col[i] : 0;
+      rows[i].push_back(std::isnan(x) ? kNanSentinel : x);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Serial golden of query `q` on `engine`: a fresh single session, exactly
+/// what QueryService::RunOne does for each query — minus any concurrency.
+/// The multi-device scheduler is pinned to static partitioning on both
+/// sides (see ServiceOptions::static_partition).
+Rows SerialGolden(int q, const std::string& engine) {
+  const tpch::TpchDb& db = SmallDb();
+  auto session = mal::Session::Open(engine);
+  OCELOT_CHECK(session.ok()) << session.status().ToString();
+  if (auto* sched = dynamic_cast<ocelot::Scheduler*>((*session)->engine())) {
+    sched->set_static_partition(true);
+  }
+  mal::Program prog = *tpch::BuildQuery(q, db);
+  if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+  auto res = mal::Run(prog, db.catalog, session->get());
+  OCELOT_CHECK(res.ok()) << "Q" << q << " (" << engine
+                         << "): " << res.status().ToString();
+  (*session)->FinishDevices();
+  return Canonicalize(res->returns);
+}
+
+class ServiceWorkloadTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServiceWorkloadTest, EightThreadShuffledWorkloadBitIdenticalToSerial) {
+  const std::string engine = GetParam();
+  const tpch::TpchDb& db = SmallDb();
+  const std::vector<int> workload = tpch::PaperWorkload();
+
+  std::vector<Rows> golden(workload.size());
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    golden[i] = SerialGolden(workload[i], engine);
+    ASSERT_FALSE(golden[i].empty()) << "Q" << workload[i];
+  }
+
+  mal::ServiceOptions options;
+  options.max_sessions = 8;
+  options.static_partition = true;  // bit-identity mode; see ServiceOptions
+  auto service = mal::QueryService::Open(engine, &db.catalog, options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_EQ((*service)->max_sessions(), 8);
+
+  // 8 submitter threads, each submitting the whole workload in its own
+  // deterministic shuffle — 112 queries racing through 8 sessions.
+  struct Pending {
+    std::size_t workload_index;
+    std::future<common::Result<mal::ExecResult>> future;
+  };
+  std::mutex mu;
+  std::vector<Pending> pending;
+  std::vector<std::thread> submitters;
+  submitters.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([t, &db, &workload, &service, &mu, &pending] {
+      std::vector<std::size_t> order(workload.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      common::Rng rng(static_cast<std::uint64_t>(t) + 101);
+      for (std::size_t i = order.size(); i > 1; --i) {  // Fisher-Yates
+        std::swap(order[i - 1],
+                  order[static_cast<std::size_t>(rng.Uniform(0, static_cast<std::int64_t>(i) - 1))]);
+      }
+      for (std::size_t idx : order) {
+        auto future = (*service)->Submit(*tpch::BuildQuery(workload[idx], db));
+        std::lock_guard<std::mutex> lock(mu);
+        pending.push_back(Pending{idx, std::move(future)});
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  ASSERT_EQ(pending.size(), workload.size() * 8);
+
+  for (Pending& p : pending) {
+    auto res = p.future.get();
+    ASSERT_TRUE(res.ok()) << "Q" << workload[p.workload_index] << " on " << engine
+                          << ": " << res.status().ToString();
+    EXPECT_EQ(golden[p.workload_index], Canonicalize(res->returns))
+        << "Q" << workload[p.workload_index] << " on " << engine
+        << " diverged from its serial golden under 8-way concurrency";
+  }
+  EXPECT_EQ((*service)->completed(), workload.size() * 8);
+  EXPECT_LE((*service)->peak_sessions(), 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ServiceWorkloadTest,
+                         ::testing::Values("seq", "ocelot:multi"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), ':', '_');
+                           return name;
+                         });
+
+TEST(ServiceTest, SingleDeviceAndMitosisEnginesServeConcurrently) {
+  // Smoke the remaining engine kinds through the service (subset of the
+  // workload; the full 8-way sweep above covers seq and the scheduler).
+  const tpch::TpchDb& db = SmallDb();
+  for (const char* engine : {"par", "ocelot:cpu"}) {
+    Rows g1 = SerialGolden(1, engine);
+    Rows g6 = SerialGolden(6, engine);
+    mal::ServiceOptions options;
+    options.max_sessions = 4;
+    auto service = mal::QueryService::Open(engine, &db.catalog, options);
+    ASSERT_TRUE(service.ok()) << service.status().ToString();
+    std::vector<std::future<common::Result<mal::ExecResult>>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back((*service)->Submit(*tpch::BuildQuery(i % 2 == 0 ? 1 : 6, db)));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      auto res = futures[i].get();
+      ASSERT_TRUE(res.ok()) << engine << ": " << res.status().ToString();
+      EXPECT_EQ(i % 2 == 0 ? g1 : g6, Canonicalize(res->returns)) << engine;
+    }
+  }
+}
+
+TEST(ServiceTest, AdmissionBoundCapsConcurrentSessions) {
+  const tpch::TpchDb& db = SmallDb();
+  mal::ServiceOptions options;
+  options.max_sessions = 2;
+  auto service = mal::QueryService::Open("seq", &db.catalog, options);
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->max_sessions(), 2);
+  std::vector<std::future<common::Result<mal::ExecResult>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back((*service)->Submit(*tpch::BuildQuery(6, db)));
+  }
+  (*service)->Drain();
+  EXPECT_EQ((*service)->completed(), 16u);
+  // The bound is a hard cap on concurrently executing sessions; the queue
+  // absorbed the rest.
+  EXPECT_LE((*service)->peak_sessions(), 2);
+  EXPECT_GE((*service)->peak_sessions(), 1);
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+TEST(ServiceTest, MaxSessionsReadsEnvironmentBound) {
+  const tpch::TpchDb& db = SmallDb();
+  ::setenv("OCELOT_MAX_SESSIONS", "3", 1);
+  auto service = mal::QueryService::Open("seq", &db.catalog);
+  ::unsetenv("OCELOT_MAX_SESSIONS");
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ((*service)->max_sessions(), 3);
+}
+
+TEST(ServiceTest, UnknownEngineFailsOpenNotEveryQuery) {
+  const tpch::TpchDb& db = SmallDb();
+  auto service = mal::QueryService::Open("warp-drive", &db.catalog);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(ServiceTest, FailingQueryResolvesItsFutureAndServiceKeepsServing) {
+  const tpch::TpchDb& db = SmallDb();
+  auto service = mal::QueryService::Open("seq", &db.catalog);
+  ASSERT_TRUE(service.ok());
+
+  mal::ProgramBuilder bad;
+  bad.Return(bad.Emit("algebra", "warp", {}));
+  auto bad_future = (*service)->Submit(bad.Build());
+  auto bad_res = bad_future.get();
+  ASSERT_FALSE(bad_res.ok());
+
+  auto good_future = (*service)->Submit(*tpch::BuildQuery(6, db));
+  EXPECT_TRUE(good_future.get().ok());
+}
+
+TEST(ServiceTest, SchedulerSessionsLeaseSlotsFromTheServiceArbiter) {
+  // The integration seam: every scheduler session leases its plan's slots
+  // from the service's arbiter, per operator batch. With one lease unit
+  // per slot and several in-flight queries, contention must actually
+  // occur — and results stay correct (covered by the golden sweep above).
+  const tpch::TpchDb& db = SmallDb();
+  mal::ServiceOptions options;
+  options.max_sessions = 4;
+  options.leases_per_slot = 1;
+  options.static_partition = true;
+  auto service = mal::QueryService::Open("ocelot:multi", &db.catalog, options);
+  ASSERT_TRUE(service.ok());
+  Rows g6 = SerialGolden(6, "ocelot:multi");
+  std::vector<std::future<common::Result<mal::ExecResult>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back((*service)->Submit(*tpch::BuildQuery(6, db)));
+  }
+  for (auto& f : futures) {
+    auto res = f.get();
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_EQ(g6, Canonicalize(res->returns));
+  }
+  EXPECT_GT((*service)->arbiter()->grants(), 0u);
+}
+
+// --- SlotArbiter ------------------------------------------------------------
+
+TEST(SlotArbiterTest, LeasesAreCountedPerSlot) {
+  SlotArbiter arbiter(2, /*leases_per_slot=*/2);
+  EXPECT_EQ(arbiter.slots(), 2);
+  EXPECT_EQ(arbiter.leases_per_slot(), 2);
+  auto a = arbiter.Acquire({0, 1});
+  auto b = arbiter.Acquire({0, 1});  // second unit of each slot: no block
+  EXPECT_TRUE(a.held());
+  EXPECT_TRUE(b.held());
+  EXPECT_EQ(arbiter.contended_acquires(), 0u);
+  EXPECT_EQ(arbiter.grants(), 2u);
+}
+
+TEST(SlotArbiterTest, ExclusiveLeaseBlocksUntilReleased) {
+  SlotArbiter arbiter(1, 1);
+  std::mutex mu;
+  std::vector<char> order;
+  auto a = arbiter.Acquire({0});
+  std::thread waiter([&] {
+    auto b = arbiter.Acquire({0});
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back('B');
+  });
+  while (arbiter.contended_acquires() == 0) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back('A');  // B is queued but cannot hold the slot yet
+  }
+  a.Release();
+  waiter.join();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B'}));
+}
+
+TEST(SlotArbiterTest, YoungerRequestCannotBypassOlderConflictingWaiter) {
+  // A holds slot 0. B waits for {0, 1}. C then wants {1} — slot 1 is free,
+  // but granting C would bypass the older gang request B (a stream of
+  // small C-like queries could then starve B forever). C must wait its
+  // turn: grant order is A, B, C.
+  SlotArbiter arbiter(2, 1);
+  std::mutex mu;
+  std::vector<char> order;
+  auto push = [&](char c) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(c);
+  };
+  auto a = arbiter.Acquire({0});
+  push('A');
+  std::thread b([&] {
+    auto lease = arbiter.Acquire({0, 1});
+    push('B');
+    lease.Release();
+  });
+  while (arbiter.contended_acquires() < 1) std::this_thread::yield();
+  std::thread c([&] {
+    auto lease = arbiter.Acquire({1});
+    push('C');
+    lease.Release();
+  });
+  while (arbiter.contended_acquires() < 2) std::this_thread::yield();
+  // Slot 1 is free the whole time B waits; C still must not hold it.
+  EXPECT_EQ(arbiter.grants(), 1u);
+  a.Release();
+  b.join();
+  c.join();
+  EXPECT_EQ(order, (std::vector<char>{'A', 'B', 'C'}));
+}
+
+TEST(SlotArbiterTest, DisjointRequestsOvertakeFreely) {
+  // A holds slot 0, B waits for slot 0 — but C wants only slot 1, which
+  // nobody older wants: C is granted immediately, no convoy.
+  SlotArbiter arbiter(2, 1);
+  auto a = arbiter.Acquire({0});
+  std::atomic<bool> b_granted{false};
+  std::thread b([&] {
+    auto lease = arbiter.Acquire({0});
+    b_granted.store(true);
+  });
+  while (arbiter.contended_acquires() == 0) std::this_thread::yield();
+  auto c = arbiter.Acquire({1});
+  EXPECT_TRUE(c.held());
+  EXPECT_FALSE(b_granted.load());
+  a.Release();
+  b.join();
+}
+
+TEST(SlotArbiterTest, HeavyReacquirerCannotStarveAWaiter) {
+  // The fairness property behind "one heavy query cannot starve the pool":
+  // H re-acquires the only slot in a tight loop; L queues once while H
+  // holds it. FIFO arrival order means H's *next* acquire queues behind L,
+  // so L is granted after at most one release — however fast H spins.
+  SlotArbiter arbiter(1, 1);
+  std::atomic<bool> l_done{false};
+  std::atomic<int> h_rounds_after_l_queued{0};
+  auto h_lease = arbiter.Acquire({0});
+  std::thread l([&] {
+    auto lease = arbiter.Acquire({0});
+    l_done.store(true);
+  });
+  while (arbiter.contended_acquires() == 0) std::this_thread::yield();
+  std::thread h([&] {
+    h_lease.Release();
+    while (!l_done.load()) {
+      auto lease = arbiter.Acquire({0});
+      h_rounds_after_l_queued.fetch_add(1);
+    }
+  });
+  l.join();
+  h.join();
+  EXPECT_TRUE(l_done.load());
+  // L was older than every one of H's re-acquires, so it won the very
+  // first grant after H's release; H got through at most once more (if it
+  // queued before observing l_done). Without FIFO arrival order H could
+  // have won arbitrarily many rounds first.
+  EXPECT_LE(h_rounds_after_l_queued.load(), 1);
+}
+
+}  // namespace
