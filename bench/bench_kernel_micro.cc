@@ -1,0 +1,179 @@
+// Kernel micro-sweep: the host SIMD primitives against their scalar
+// references, A/B'd through the same SetForceScalar switch the
+// OCELOT_SCALAR_KERNELS escape hatch flips. Unlike the figure benchmarks
+// these measure real host nanoseconds (no virtual clock, no device model):
+// the point is the raw rows/sec and bytes/sec of each kernel on this
+// machine, published per run into BENCH_kernels.json so CI tracks the
+// speedup of the vector path (and catches a regression that quietly turns
+// it into a slowdown).
+//
+// Axes: kernel x rows (2^16, 2^19, 2^22) x {simd, scalar}. The 2^22 points
+// are the acceptance gauge: the vector path must hold >= 1.5x rows/sec on
+// the bulk kernels there.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "monet/detail.h"
+
+namespace {
+
+namespace simd = common::simd;
+
+/// Forces (or re-enables) the scalar fallback for one benchmark's scope.
+class ScalarGuard {
+ public:
+  explicit ScalarGuard(bool force) { simd::SetForceScalar(force); }
+  ~ScalarGuard() { simd::SetForceScalar(false); }
+};
+
+std::vector<std::int32_t> UniformKeys(std::size_t n, std::int32_t limit,
+                                      std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (std::int32_t& x : v) x = static_cast<std::int32_t>(rng.Uniform(0, limit - 1));
+  return v;
+}
+
+/// Registers the real-throughput rate counters the BenchJsonReporter
+/// serializes: totals across all iterations, divided by host wall time by
+/// google-benchmark's kIsRate machinery.
+void Throughput(benchmark::State& state, std::size_t rows_per_iter,
+                std::size_t bytes_per_iter) {
+  double iters = static_cast<double>(state.iterations());
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(rows_per_iter) * iters, benchmark::Counter::kIsRate);
+  state.counters["bytes_per_sec"] = benchmark::Counter(
+      static_cast<double>(bytes_per_iter) * iters, benchmark::Counter::kIsRate);
+}
+
+// --- select: branchless range predicate + candidate materialization ----------
+
+void BM_Select(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ScalarGuard guard(state.range(1) != 0);
+  std::vector<std::int32_t> col = UniformKeys(n, 1000, 7);
+  std::vector<std::uint32_t> hits;
+  hits.reserve(n);
+  for (auto _ : state) {
+    hits.clear();
+    simd::SelectRangeInt32(col.data(), n, 0, 49, 0, &hits);  // 5% selectivity
+    benchmark::DoNotOptimize(hits.data());
+  }
+  Throughput(state, n, n * sizeof(std::int32_t));
+}
+
+// --- batcalc: double-domain arithmetic with nil propagation ------------------
+
+void BM_BatcalcAddInt(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ScalarGuard guard(state.range(1) != 0);
+  std::vector<std::int32_t> a = UniformKeys(n, 100000, 11);
+  std::vector<std::int32_t> b = UniformKeys(n, 100000, 13);
+  std::vector<std::int32_t> out(n);
+  for (auto _ : state) {
+    simd::CalcIntInt(simd::Arith::kAdd, a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  Throughput(state, n, n * 3 * sizeof(std::int32_t));
+}
+
+void BM_BatcalcMulFloat(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ScalarGuard guard(state.range(1) != 0);
+  std::vector<std::int32_t> ai = UniformKeys(n, 100000, 17);
+  std::vector<float> a(n), b(n), out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(ai[i]) * 0.5f;
+    b[i] = static_cast<float>(ai[n - 1 - i]) * 0.25f;
+  }
+  for (auto _ : state) {
+    simd::CalcFF(simd::Arith::kMul, a.data(), b.data(), out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  Throughput(state, n, n * 3 * sizeof(float));
+}
+
+// --- hashjoin probe: radix/chained index + distance-ahead prefetch -----------
+
+void BM_HashjoinProbe(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ScalarGuard guard(state.range(1) != 0);
+  // Build side n/4 distinct-ish keys; probe side hits ~all of them. Built
+  // under the same switch as the probe, so scalar measures the chained
+  // table and simd the radix one — exactly the engines' dispatch.
+  const std::size_t build_n = n / 4;
+  std::vector<std::int32_t> build =
+      UniformKeys(build_n, static_cast<std::int32_t>(build_n), 19);
+  std::vector<std::int32_t> probe =
+      UniformKeys(n, static_cast<std::int32_t>(build_n), 23);
+  monet::detail::JoinIndex ht{std::span<const std::int32_t>(build)};
+  for (auto _ : state) {
+    std::uint64_t matches = 0;
+    monet::detail::ProbeLoop(std::span<const std::int32_t>(probe), ht,
+                             [&](std::size_t i) {
+                               ht.ForEachMatch(probe[i],
+                                               [&](std::uint32_t) { ++matches; });
+                             });
+    benchmark::DoNotOptimize(matches);
+  }
+  Throughput(state, n, n * sizeof(std::int32_t));
+}
+
+// --- fetchjoin: random gather with distance-ahead prefetch -------------------
+
+void BM_FetchjoinGather(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ScalarGuard guard(state.range(1) != 0);
+  std::vector<std::uint32_t> src(n);
+  for (std::size_t i = 0; i < n; ++i) src[i] = static_cast<std::uint32_t>(i);
+  common::Rng rng(29);
+  std::vector<std::uint32_t> idx(n);
+  for (std::uint32_t& x : idx) {
+    x = static_cast<std::uint32_t>(rng.Uniform(0, static_cast<std::int64_t>(n) - 1));
+  }
+  std::vector<std::uint32_t> dst(n);
+  for (auto _ : state) {
+    simd::GatherU32(src.data(), n, idx.data(), n, simd::kU32Nil, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  Throughput(state, n, n * 3 * sizeof(std::uint32_t));
+}
+
+// --- hash: full-avalanche finalizer, batched ---------------------------------
+
+void BM_HashInt32(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ScalarGuard guard(state.range(1) != 0);
+  std::vector<std::int32_t> keys = UniformKeys(n, 1 << 30, 31);
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    simd::HashInt32(keys.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  Throughput(state, n, n * 2 * sizeof(std::int32_t));
+}
+
+void Register(const char* name, void (*fn)(benchmark::State&)) {
+  benchmark::RegisterBenchmark(name, fn)
+      ->ArgNames({"rows", "scalar"})
+      ->ArgsProduct({{1 << 16, 1 << 19, 1 << 22}, {0, 1}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register("Kernel/select", BM_Select);
+  Register("Kernel/batcalc_add_int", BM_BatcalcAddInt);
+  Register("Kernel/batcalc_mul_float", BM_BatcalcMulFloat);
+  Register("Kernel/hashjoin_probe", BM_HashjoinProbe);
+  Register("Kernel/fetchjoin_gather", BM_FetchjoinGather);
+  Register("Kernel/hash_int32", BM_HashInt32);
+  return bench::RunBenchmarks(argc, argv, "BENCH_kernels.json");
+}

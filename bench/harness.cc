@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "ocelot/scheduler.h"
 
 namespace bench {
@@ -247,6 +248,16 @@ void BenchJsonReporter::ReportRuns(const std::vector<Run>& report) {
       rec << ", \"sessions\": "
           << static_cast<int>(CounterOr(run.counters, "sessions", 0.0));
     }
+    // Kernel-throughput points: the benchmark registers rate counters
+    // (Counter::kIsRate), so google-benchmark already divided by host wall
+    // time — these are real rows/bytes per second, not virtual.
+    if (run.counters.find("rows_per_sec") != run.counters.end()) {
+      rec << ", \"rows_per_sec\": " << CounterOr(run.counters, "rows_per_sec", 0.0);
+    }
+    if (run.counters.find("bytes_per_sec") != run.counters.end()) {
+      rec << ", \"bytes_per_sec\": "
+          << CounterOr(run.counters, "bytes_per_sec", 0.0);
+    }
     rec << "}";
     records_.push_back(rec.str());
   }
@@ -260,6 +271,15 @@ BenchJsonReporter::~BenchJsonReporter() {
     return;
   }
   std::fprintf(f, "[\n");
+  // Metadata header record: which SIMD flavor this binary compiled to and
+  // what the host actually supports, so a perf-trajectory diff across CI
+  // runners never silently compares different instruction sets.
+  std::fprintf(f,
+               "  {\"metadata\": true, \"simd_isa\": \"%s\", \"simd_width\": "
+               "%d, \"cpu_features\": \"%s\", \"scalar_forced\": %s},\n",
+               common::simd::IsaName(), common::simd::Width(),
+               common::simd::CpuFeatures(),
+               common::simd::Enabled() ? "false" : "true");
   for (std::size_t i = 0; i < records_.size(); ++i) {
     std::fprintf(f, "  %s%s\n", records_[i].c_str(),
                  i + 1 < records_.size() ? "," : "");

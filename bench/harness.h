@@ -97,8 +97,13 @@ void JsonMeasuredLoop(benchmark::State& state, mal::Session* session,
 /// segments; virtual_ms is the manual (modeled) time every bench reports;
 /// real_ms and bytes_copied come from the like-named user counters when the
 /// benchmark sets them (0 otherwise). Service-throughput points add "qps"
-/// and "sessions" fields when those counters are present. The file is
-/// written on destruction.
+/// and "sessions" fields when those counters are present; kernel points add
+/// "rows_per_sec" and "bytes_per_sec" when the benchmark sets those rate
+/// counters (benchmark::Counter::kIsRate over host wall time — real
+/// throughput, not modeled). The file is written on destruction, headed by
+/// one metadata record ({"metadata": true, "simd_isa": .., "simd_width": ..,
+/// "cpu_features": .., "scalar_forced": ..}) identifying the compiled SIMD
+/// flavor and the runtime CPU feature set the numbers were measured under.
 class BenchJsonReporter : public benchmark::ConsoleReporter {
  public:
   explicit BenchJsonReporter(std::string path);

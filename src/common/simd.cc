@@ -1,0 +1,548 @@
+#include "common/simd.h"
+
+// See the matching pragma in simd.h: 32-byte vectors lower to paired 16-byte
+// ops here; the cross-flag parameter-passing ABI never comes into play.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace common::simd {
+
+namespace {
+
+bool EnvForceScalar() {
+  const char* v = std::getenv("OCELOT_SCALAR_KERNELS");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::atomic<bool>& ForceScalarFlag() {
+  static std::atomic<bool> flag{EnvForceScalar()};
+  return flag;
+}
+
+}  // namespace
+
+bool ForceScalar() { return ForceScalarFlag().load(std::memory_order_relaxed); }
+
+void SetForceScalar(bool force) {
+  ForceScalarFlag().store(force, std::memory_order_relaxed);
+}
+
+int Width() { return Enabled() ? 4 : 1; }
+
+const char* IsaName() {
+#if OCELOT_SIMD_VECTOR
+  return "vector-ext-128";
+#else
+  return "scalar";
+#endif
+}
+
+const char* CpuFeatures() {
+  static const std::string features = [] {
+    std::string s;
+#if (defined(__GNUC__) || defined(__clang__)) && (defined(__x86_64__) || defined(__i386__))
+    auto add = [&s](bool have, const char* name) {
+      if (!have) return;
+      if (!s.empty()) s += ' ';
+      s += name;
+    };
+    add(__builtin_cpu_supports("sse2"), "sse2");
+    add(__builtin_cpu_supports("sse4.2"), "sse4.2");
+    add(__builtin_cpu_supports("avx"), "avx");
+    add(__builtin_cpu_supports("avx2"), "avx2");
+    add(__builtin_cpu_supports("avx512f"), "avx512f");
+#endif
+    if (s.empty()) s = "unknown";
+    return s;
+  }();
+  return features.c_str();
+}
+
+std::size_t PrefetchDistance() {
+  static const std::size_t dist = [] {
+    const char* v = std::getenv("OCELOT_PREFETCH_DIST");
+    long parsed = v != nullptr ? std::strtol(v, nullptr, 10) : 0;
+    if (parsed < 1 || parsed > 256) parsed = 16;
+    return static_cast<std::size_t>(parsed);
+  }();
+  return dist;
+}
+
+// --- Range predicates --------------------------------------------------------
+
+namespace {
+
+inline bool MatchInt(std::int32_t v, double lo, double hi) {
+  if (v == kInt32Nil) return false;
+  double d = v;
+  return d >= lo && d <= hi;
+}
+
+inline bool MatchFloat(float v, double lo, double hi) {
+  return v >= lo && v <= hi;  // NaN (nil) fails both compares
+}
+
+void RangeMaskBytesInt32Scalar(const std::int32_t* v, std::size_t n, double lo,
+                               double hi, std::uint8_t* out) {
+  for (std::size_t j = 0; j * 8 < n; ++j) {
+    std::uint8_t byte = 0;
+    std::size_t limit = std::min<std::size_t>(n, j * 8 + 8);
+    for (std::size_t i = j * 8; i < limit; ++i) {
+      if (MatchInt(v[i], lo, hi)) byte |= static_cast<std::uint8_t>(1u << (i - j * 8));
+    }
+    out[j] = byte;
+  }
+}
+
+void RangeMaskBytesFloatScalar(const float* v, std::size_t n, double lo,
+                               double hi, std::uint8_t* out) {
+  for (std::size_t j = 0; j * 8 < n; ++j) {
+    std::uint8_t byte = 0;
+    std::size_t limit = std::min<std::size_t>(n, j * 8 + 8);
+    for (std::size_t i = j * 8; i < limit; ++i) {
+      if (MatchFloat(v[i], lo, hi)) byte |= static_cast<std::uint8_t>(1u << (i - j * 8));
+    }
+    out[j] = byte;
+  }
+}
+
+}  // namespace
+
+void RangeMaskBytesInt32(const std::int32_t* v, std::size_t n, double lo,
+                         double hi, std::uint8_t* out) {
+#if OCELOT_SIMD_VECTOR
+  if (Enabled() && n >= 8) {
+    IntRange r = ClampRangeToInt32(lo, hi);
+    if (r.empty) {
+      std::memset(out, 0, (n + 7) / 8);
+      return;
+    }
+    const i32x4 vlo = {r.lo, r.lo, r.lo, r.lo};
+    const i32x4 vhi = {r.hi, r.hi, r.hi, r.hi};
+    const i32x4 vnil = {kInt32Nil, kInt32Nil, kInt32Nil, kInt32Nil};
+    std::size_t j = 0;
+    for (; (j + 1) * 8 <= n; ++j) {
+      i32x4 a = LoadV<i32x4>(v + j * 8);
+      i32x4 b = LoadV<i32x4>(v + j * 8 + 4);
+      i32x4 ma = (a >= vlo) & (a <= vhi) & (a != vnil);
+      i32x4 mb = (b >= vlo) & (b <= vhi) & (b != vnil);
+      out[j] = static_cast<std::uint8_t>(MoveMask4(ma) | (MoveMask4(mb) << 4));
+    }
+    if (j * 8 < n) RangeMaskBytesInt32Scalar(v + j * 8, n - j * 8, lo, hi, out + j);
+    return;
+  }
+#endif
+  RangeMaskBytesInt32Scalar(v, n, lo, hi, out);
+}
+
+void RangeMaskBytesFloat(const float* v, std::size_t n, double lo, double hi,
+                         std::uint8_t* out) {
+#if OCELOT_SIMD_VECTOR
+  if (Enabled() && n >= 8) {
+    const f64x4 vlo = {lo, lo, lo, lo};
+    const f64x4 vhi = {hi, hi, hi, hi};
+    std::size_t j = 0;
+    for (; (j + 1) * 8 <= n; ++j) {
+      f64x4 a = ToF64x4(LoadV<f32x4>(v + j * 8));
+      f64x4 b = ToF64x4(LoadV<f32x4>(v + j * 8 + 4));
+      i32x4 ma = __builtin_convertvector((a >= vlo) & (a <= vhi), i32x4);
+      i32x4 mb = __builtin_convertvector((b >= vlo) & (b <= vhi), i32x4);
+      out[j] = static_cast<std::uint8_t>(MoveMask4(ma) | (MoveMask4(mb) << 4));
+    }
+    if (j * 8 < n) RangeMaskBytesFloatScalar(v + j * 8, n - j * 8, lo, hi, out + j);
+    return;
+  }
+#endif
+  RangeMaskBytesFloatScalar(v, n, lo, hi, out);
+}
+
+namespace {
+
+/// Turns a block's bitmap into appended hit positions. `base` is the global
+/// position of mask bit 0; `bits` is the number of valid bits.
+void AppendHitsFromMask(const std::uint8_t* mask, std::size_t bits,
+                        std::uint32_t base, std::vector<std::uint32_t>* out) {
+  for (std::size_t j = 0; j * 8 < bits; ++j) {
+    unsigned byte = mask[j];
+    while (byte != 0) {
+      unsigned b = static_cast<unsigned>(std::countr_zero(byte));
+      out->push_back(base + static_cast<std::uint32_t>(j * 8 + b));
+      byte &= byte - 1;
+    }
+  }
+}
+
+template <typename T, typename MaskFn, typename MatchFn>
+void SelectRangeImpl(const T* v, std::size_t n, double lo, double hi,
+                     std::uint32_t base, std::vector<std::uint32_t>* out,
+                     MaskFn&& mask_fn, MatchFn&& match_fn) {
+  if (!Enabled() || n < 64) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (match_fn(v[i], lo, hi)) out->push_back(base + static_cast<std::uint32_t>(i));
+    }
+    return;
+  }
+  constexpr std::size_t kBlock = 4096;
+  std::uint8_t mask[kBlock / 8];
+  for (std::size_t at = 0; at < n; at += kBlock) {
+    std::size_t len = std::min(kBlock, n - at);
+    mask_fn(v + at, len, lo, hi, mask);
+    AppendHitsFromMask(mask, len, base + static_cast<std::uint32_t>(at), out);
+  }
+}
+
+}  // namespace
+
+void SelectRangeInt32(const std::int32_t* v, std::size_t n, double lo,
+                      double hi, std::uint32_t base,
+                      std::vector<std::uint32_t>* out) {
+  SelectRangeImpl(v, n, lo, hi, base, out, RangeMaskBytesInt32,
+                  [](std::int32_t x, double l, double h) { return MatchInt(x, l, h); });
+}
+
+void SelectRangeFloat(const float* v, std::size_t n, double lo, double hi,
+                      std::uint32_t base, std::vector<std::uint32_t>* out) {
+  SelectRangeImpl(v, n, lo, hi, base, out, RangeMaskBytesFloat,
+                  [](float x, double l, double h) { return MatchFloat(x, l, h); });
+}
+
+// --- Batcalc -----------------------------------------------------------------
+
+#if OCELOT_SIMD_VECTOR
+namespace {
+
+/// kAdd/kSub stay in the int32 domain: the double-domain result of
+/// int32 +/- int32 is exact, truncation returns it unchanged, and the
+/// cvttsd2si convention sends the only inexact case — overflow past the
+/// int32 range — to INT32_MIN. The sign rule ((a^r)&(b^r) for add,
+/// (a^b)&(a^r) for sub, sign bit set iff overflowed) detects exactly that
+/// case, so this is bit-identical to the double path at a quarter of the
+/// vector width cost (no i32->f64 widening, no 256-bit emulation on SSE).
+template <bool kIsAdd>
+std::size_t CalcIntAddSubVec(const std::int32_t* a, const std::int32_t* b,
+                             std::int32_t* out, std::size_t n) {
+  const i32x4 nil_out = {kInt32Nil, kInt32Nil, kInt32Nil, kInt32Nil};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    i32x4 va = LoadV<i32x4>(a + i);
+    i32x4 vb = LoadV<i32x4>(b + i);
+    i32x4 nil = NilMask4(va) | NilMask4(vb);
+    // Arithmetic in the unsigned domain: signed vector add/sub overflow is
+    // UB, unsigned wraps mod 2^32 — and the wrapped bit pattern is exactly
+    // what the sign rule inspects.
+    u32x4 ua = (u32x4)va;
+    u32x4 ub = (u32x4)vb;
+    i32x4 r = kIsAdd ? (i32x4)(ua + ub) : (i32x4)(ua - ub);
+    i32x4 ovf;
+    if constexpr (kIsAdd) {
+      ovf = ((va ^ r) & (vb ^ r)) >> 31;
+    } else {
+      ovf = ((va ^ vb) & (va ^ r)) >> 31;
+    }
+    i32x4 bad = nil | ovf;
+    StoreV(out + i, (r & ~bad) | (bad & nil_out));
+  }
+  return i;
+}
+
+}  // namespace
+#endif
+
+void CalcIntInt(Arith op, const std::int32_t* a, const std::int32_t* b,
+                std::int32_t* out, std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled() && (op == Arith::kAdd || op == Arith::kSub)) {
+    i = op == Arith::kAdd ? CalcIntAddSubVec<true>(a, b, out, n)
+                          : CalcIntAddSubVec<false>(a, b, out, n);
+  } else if (Enabled()) {
+    const i32x4 nil_out = {kInt32Nil, kInt32Nil, kInt32Nil, kInt32Nil};
+    const f64x4 min_ok = {-2147483649.0, -2147483649.0, -2147483649.0, -2147483649.0};
+    const f64x4 max_ok = {2147483648.0, 2147483648.0, 2147483648.0, 2147483648.0};
+    for (; i + 4 <= n; i += 4) {
+      i32x4 va = LoadV<i32x4>(a + i);
+      i32x4 vb = LoadV<i32x4>(b + i);
+      i32x4 nil = NilMask4(va) | NilMask4(vb);
+      f64x4 r = ArithV(op, ToF64x4(va), ToF64x4(vb));
+      // cvttsd2si convention: NaN / out-of-range lanes become INT32_MIN,
+      // which is also the nil sentinel, so one blend covers both.
+      i64x4 in_range = (r > min_ok) & (r < max_ok);
+      i32x4 good = __builtin_convertvector(in_range, i32x4) & ~nil;
+      f64x4 safe = (f64x4)((i64x4)r & in_range);
+      i32x4 ri = __builtin_convertvector(safe, i32x4);
+      StoreV(out + i, (good & ri) | (~good & nil_out));
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    bool nil = IsNil(a[i]) || IsNil(b[i]);
+    out[i] = nil ? kInt32Nil : DoubleToInt32(ApplyArith(op, a[i], b[i]));
+  }
+}
+
+namespace {
+
+template <typename TA, typename TB>
+void CalcFloatOutImpl(Arith op, const TA* a, const TB* b, float* out,
+                      std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const i32x4 nil_bits = {
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue()))};
+    for (; i + 4 <= n; i += 4) {
+      auto va = LoadV<typename Vec4Of<TA>::type>(a + i);
+      auto vb = LoadV<typename Vec4Of<TB>::type>(b + i);
+      i32x4 nil = NilMask4(va) | NilMask4(vb);
+      f64x4 r = ArithV(op, ToF64x4(va), ToF64x4(vb));
+      f32x4 rf = __builtin_convertvector(r, f32x4);
+      i32x4 blended = ((i32x4)rf & ~nil) | (nil & nil_bits);
+      StoreV(out + i, (f32x4)blended);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    bool nil = IsNil(a[i]) || IsNil(b[i]);
+    out[i] = nil ? FloatNilValue()
+                 : static_cast<float>(ApplyArith(op, ToDouble(a[i]), ToDouble(b[i])));
+  }
+}
+
+template <typename TA>
+void CalcScalarImpl(Arith op, const TA* a, double s, bool scalar_left,
+                    float* out, std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const f64x4 vs = {s, s, s, s};
+    const i32x4 nil_bits = {
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue()))};
+    for (; i + 4 <= n; i += 4) {
+      auto va = LoadV<typename Vec4Of<TA>::type>(a + i);
+      i32x4 nil = NilMask4(va);
+      f64x4 da = ToF64x4(va);
+      f64x4 r = scalar_left ? ArithV(op, vs, da) : ArithV(op, da, vs);
+      f32x4 rf = __builtin_convertvector(r, f32x4);
+      i32x4 blended = ((i32x4)rf & ~nil) | (nil & nil_bits);
+      StoreV(out + i, (f32x4)blended);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (IsNil(a[i])) {
+      out[i] = FloatNilValue();
+      continue;
+    }
+    double v = ToDouble(a[i]);
+    out[i] = static_cast<float>(scalar_left ? ApplyArith(op, s, v)
+                                            : ApplyArith(op, v, s));
+  }
+}
+
+template <typename TA, typename TB>
+void CmpImpl(Rel op, const TA* a, const TB* b, std::int32_t* out, std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const i32x4 one = {1, 1, 1, 1};
+    for (; i + 4 <= n; i += 4) {
+      auto va = LoadV<typename Vec4Of<TA>::type>(a + i);
+      auto vb = LoadV<typename Vec4Of<TB>::type>(b + i);
+      i32x4 nil = NilMask4(va) | NilMask4(vb);
+      i32x4 m = __builtin_convertvector(RelV(op, ToF64x4(va), ToF64x4(vb)), i32x4);
+      StoreV(out + i, m & ~nil & one);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    bool nil = IsNil(a[i]) || IsNil(b[i]);
+    out[i] = (!nil && ApplyRel(op, ToDouble(a[i]), ToDouble(b[i]))) ? 1 : 0;
+  }
+}
+
+template <typename TA>
+void CmpScalarImpl(Rel op, const TA* a, double s, std::int32_t* out,
+                   std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const f64x4 vs = {s, s, s, s};
+    const i32x4 one = {1, 1, 1, 1};
+    for (; i + 4 <= n; i += 4) {
+      auto va = LoadV<typename Vec4Of<TA>::type>(a + i);
+      i32x4 nil = NilMask4(va);
+      i32x4 m = __builtin_convertvector(RelV(op, ToF64x4(va), vs), i32x4);
+      StoreV(out + i, m & ~nil & one);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = (!IsNil(a[i]) && ApplyRel(op, ToDouble(a[i]), s)) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+void CalcFF(Arith op, const float* a, const float* b, float* out, std::size_t n) {
+  CalcFloatOutImpl(op, a, b, out, n);
+}
+void CalcFI(Arith op, const float* a, const std::int32_t* b, float* out,
+            std::size_t n) {
+  CalcFloatOutImpl(op, a, b, out, n);
+}
+void CalcIF(Arith op, const std::int32_t* a, const float* b, float* out,
+            std::size_t n) {
+  CalcFloatOutImpl(op, a, b, out, n);
+}
+void CalcIIf(Arith op, const std::int32_t* a, const std::int32_t* b, float* out,
+             std::size_t n) {
+  CalcFloatOutImpl(op, a, b, out, n);
+}
+
+void CalcScalarI(Arith op, const std::int32_t* a, double s, bool scalar_left,
+                 float* out, std::size_t n) {
+  CalcScalarImpl(op, a, s, scalar_left, out, n);
+}
+void CalcScalarF(Arith op, const float* a, double s, bool scalar_left,
+                 float* out, std::size_t n) {
+  CalcScalarImpl(op, a, s, scalar_left, out, n);
+}
+
+void CmpII(Rel op, const std::int32_t* a, const std::int32_t* b,
+           std::int32_t* out, std::size_t n) {
+  CmpImpl(op, a, b, out, n);
+}
+void CmpFF(Rel op, const float* a, const float* b, std::int32_t* out,
+           std::size_t n) {
+  CmpImpl(op, a, b, out, n);
+}
+void CmpFI(Rel op, const float* a, const std::int32_t* b, std::int32_t* out,
+           std::size_t n) {
+  CmpImpl(op, a, b, out, n);
+}
+void CmpIF(Rel op, const std::int32_t* a, const float* b, std::int32_t* out,
+           std::size_t n) {
+  CmpImpl(op, a, b, out, n);
+}
+
+void CmpScalarI(Rel op, const std::int32_t* a, double s, std::int32_t* out,
+                std::size_t n) {
+  CmpScalarImpl(op, a, s, out, n);
+}
+void CmpScalarF(Rel op, const float* a, double s, std::int32_t* out,
+                std::size_t n) {
+  CmpScalarImpl(op, a, s, out, n);
+}
+
+void BoolBin(bool is_or, const std::int32_t* a, const std::int32_t* b,
+             std::int32_t* out, std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const i32x4 zero = {0, 0, 0, 0};
+    const i32x4 one = {1, 1, 1, 1};
+    for (; i + 4 <= n; i += 4) {
+      i32x4 va = LoadV<i32x4>(a + i) != zero;
+      i32x4 vb = LoadV<i32x4>(b + i) != zero;
+      StoreV(out + i, (is_or ? (va | vb) : (va & vb)) & one);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    bool r = is_or ? (a[i] != 0 || b[i] != 0) : (a[i] != 0 && b[i] != 0);
+    out[i] = r ? 1 : 0;
+  }
+}
+
+void CastIntToFloat(const std::int32_t* v, float* out, std::size_t n) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const i32x4 nil_bits = {
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue())),
+        static_cast<std::int32_t>(std::bit_cast<std::uint32_t>(FloatNilValue()))};
+    for (; i + 4 <= n; i += 4) {
+      i32x4 vi = LoadV<i32x4>(v + i);
+      i32x4 nil = NilMask4(vi);
+      f32x4 f = __builtin_convertvector(vi, f32x4);
+      i32x4 blended = ((i32x4)f & ~nil) | (nil & nil_bits);
+      StoreV(out + i, (f32x4)blended);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = IsNil(v[i]) ? FloatNilValue() : static_cast<float>(v[i]);
+  }
+}
+
+// --- Hashing -----------------------------------------------------------------
+
+void BucketHashInt32(const std::int32_t* keys, std::size_t n,
+                     std::uint32_t bucket_mask, std::uint32_t* out) {
+  std::size_t i = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    const u32x4 vmask = {bucket_mask, bucket_mask, bucket_mask, bucket_mask};
+    for (; i + 4 <= n; i += 4) {
+      u32x4 h = Mix32V(LoadV<u32x4>(keys + i)) & vmask;
+      StoreV(out + i, h);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = Mix32(static_cast<std::uint32_t>(keys[i])) & bucket_mask;
+  }
+}
+
+void HashInt32(const std::int32_t* keys, std::size_t n, std::uint32_t* out) {
+  BucketHashInt32(keys, n, 0xffffffffu, out);
+}
+
+// --- Gather ------------------------------------------------------------------
+
+std::uint32_t SumU32(const std::uint32_t* v, std::size_t n) {
+  std::size_t i = 0;
+  std::uint32_t total = 0;
+#if OCELOT_SIMD_VECTOR
+  if (Enabled()) {
+    u32x4 acc = {0, 0, 0, 0};
+    for (; i + 4 <= n; i += 4) acc += LoadV<u32x4>(v + i);
+    total = acc[0] + acc[1] + acc[2] + acc[3];
+  }
+#endif
+  for (; i < n; ++i) total += v[i];
+  return total;
+}
+
+void GatherU32(const std::uint32_t* src, std::size_t src_n,
+               const std::uint32_t* idx, std::size_t n, std::uint32_t nil_bits,
+               std::uint32_t* dst) {
+  const std::size_t dist = PrefetchDistance();
+  if (Enabled()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + dist < n) {
+        std::uint32_t j = idx[i + dist];
+        if (j < src_n) PrefetchRead(src + j);
+      }
+      dst[i] = idx[i] == kU32Nil ? nil_bits : src[idx[i]];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = idx[i] == kU32Nil ? nil_bits : src[idx[i]];
+  }
+}
+
+}  // namespace common::simd

@@ -1,0 +1,357 @@
+#ifndef OCELOT_COMMON_SIMD_H_
+#define OCELOT_COMMON_SIMD_H_
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/hash.h"
+
+/// Portable SIMD layer for the host kernels (ROADMAP open item 5).
+///
+/// Everything here comes in pairs: a vector implementation built on the
+/// GCC/Clang vector extensions (lowered to SSE/AVX on x86, NEON on ARM, or
+/// plain scalar code on anything else) and a scalar reference implementation
+/// that reproduces the pre-SIMD engine loops operation for operation. The
+/// public entry points dispatch between the two:
+///
+///  - compile time: `OCELOT_SIMD_VECTOR` is 1 only under a compiler that
+///    supports the vector extensions; otherwise the scalar path is all
+///    there is.
+///  - run time: `OCELOT_SCALAR_KERNELS=1` (or SetForceScalar(true)) forces
+///    the scalar path everywhere — the A/B escape hatch used by the bench
+///    sweep and the bit-identity tests.
+///
+/// The determinism contract: every vector kernel must produce bit-identical
+/// results to its scalar reference on every input, including nil sentinels
+/// (kIntNil / NaN), -0.0, infinities, unaligned spans and ragged tails.
+/// Float arithmetic therefore evaluates in double precision per element,
+/// exactly like the scalar engines do, and integer overflow reproduces the
+/// x86 cvttsd2si convention (out-of-range -> INT32_MIN) explicitly, which
+/// also keeps the conversion defined under UBSan.
+namespace common::simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define OCELOT_SIMD_VECTOR 1
+#else
+#define OCELOT_SIMD_VECTOR 0
+#endif
+
+inline constexpr std::int32_t kInt32Nil = std::numeric_limits<std::int32_t>::min();
+inline constexpr std::uint32_t kU32Nil = 0xffffffffu;
+
+/// Arithmetic / comparison ops, mirroring cstore::CalcOp / cstore::CmpOp
+/// without depending on the cstore layer (simd.h sits below it).
+enum class Arith { kAdd, kSub, kMul, kDiv };
+enum class Rel { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// --- Runtime dispatch --------------------------------------------------------
+
+/// True when OCELOT_SCALAR_KERNELS=1 (env, read once) or SetForceScalar(true).
+bool ForceScalar();
+/// Test/bench hook: force (or re-enable) the scalar fallback at run time.
+void SetForceScalar(bool force);
+/// True when the vector path is compiled in and not forced off.
+inline bool Enabled() {
+  return OCELOT_SIMD_VECTOR != 0 && !ForceScalar();
+}
+
+/// Lanes of a 32-bit element the vector path processes per step (1 = scalar).
+int Width();
+/// Human-readable name of the compiled vector flavor ("vector-ext-128" or
+/// "scalar"); independent of the runtime switch.
+const char* IsaName();
+/// Space-separated runtime CPU feature list (x86: via __builtin_cpu_supports).
+const char* CpuFeatures();
+
+/// Lookahead, in elements, for the distance-ahead software prefetches in the
+/// irregular-access loops (hash probe, fetchjoin gather). Tunable via
+/// OCELOT_PREFETCH_DIST; default 16, clamped to [1, 256].
+std::size_t PrefetchDistance();
+
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
+// --- Scalar reference helpers ------------------------------------------------
+
+inline double ApplyArith(Arith op, double a, double b) {
+  switch (op) {
+    case Arith::kAdd:
+      return a + b;
+    case Arith::kSub:
+      return a - b;
+    case Arith::kMul:
+      return a * b;
+    case Arith::kDiv:
+      return a / b;
+  }
+  return 0;
+}
+
+inline bool ApplyRel(Rel op, double a, double b) {
+  switch (op) {
+    case Rel::kEq:
+      return a == b;
+    case Rel::kNe:
+      return a != b;
+    case Rel::kLt:
+      return a < b;
+    case Rel::kLe:
+      return a <= b;
+    case Rel::kGt:
+      return a > b;
+    case Rel::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+inline bool IsNil(std::int32_t v) { return v == kInt32Nil; }
+inline bool IsNil(float v) { return v != v; }
+inline double ToDouble(std::int32_t v) { return static_cast<double>(v); }
+inline double ToDouble(float v) { return static_cast<double>(v); }
+
+inline float FloatNilValue() { return std::numeric_limits<float>::quiet_NaN(); }
+
+/// double -> int32 with the x86 cvttsd2si convention (NaN and out-of-range
+/// truncate to INT32_MIN), spelled out so it is defined behavior everywhere.
+/// This is bit-identical to what the pre-SIMD `static_cast<std::int32_t>`
+/// compiled to on x86.
+inline std::int32_t DoubleToInt32(double d) {
+  if (!(d > -2147483649.0) || d >= 2147483648.0) return kInt32Nil;
+  return static_cast<std::int32_t>(d);
+}
+
+// --- Vector machinery --------------------------------------------------------
+
+#if OCELOT_SIMD_VECTOR
+
+// The 32-byte types lower to two 16-byte ops without AVX; GCC warns that
+// their parameter-passing ABI differs across -mavx settings, which is
+// irrelevant here (all uses inline within TUs built with the same flags).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+typedef std::int32_t i32x4 __attribute__((vector_size(16)));
+typedef std::uint32_t u32x4 __attribute__((vector_size(16)));
+typedef float f32x4 __attribute__((vector_size(16)));
+typedef double f64x4 __attribute__((vector_size(32)));
+typedef std::int64_t i64x4 __attribute__((vector_size(32)));
+
+template <typename V, typename T>
+inline V LoadV(const T* p) {
+  V v;
+  std::memcpy(&v, p, sizeof(V));  // unaligned-safe
+  return v;
+}
+
+template <typename V, typename T>
+inline void StoreV(T* p, V v) {
+  std::memcpy(p, &v, sizeof(V));
+}
+
+template <typename T>
+struct Vec4Of;
+template <>
+struct Vec4Of<std::int32_t> {
+  using type = i32x4;
+};
+template <>
+struct Vec4Of<float> {
+  using type = f32x4;
+};
+
+inline f64x4 ToF64x4(i32x4 v) { return __builtin_convertvector(v, f64x4); }
+inline f64x4 ToF64x4(f32x4 v) { return __builtin_convertvector(v, f64x4); }
+
+/// -1 per nil lane (int: == kIntNil; float: NaN, by self-inequality).
+inline i32x4 NilMask4(i32x4 v) {
+  return v == i32x4{kInt32Nil, kInt32Nil, kInt32Nil, kInt32Nil};
+}
+inline i32x4 NilMask4(f32x4 v) { return v != v; }
+
+inline f64x4 ArithV(Arith op, f64x4 a, f64x4 b) {
+  switch (op) {
+    case Arith::kAdd:
+      return a + b;
+    case Arith::kSub:
+      return a - b;
+    case Arith::kMul:
+      return a * b;
+    case Arith::kDiv:
+      return a / b;
+  }
+  return f64x4{};
+}
+
+inline i64x4 RelV(Rel op, f64x4 a, f64x4 b) {
+  switch (op) {
+    case Rel::kEq:
+      return a == b;
+    case Rel::kNe:
+      return a != b;
+    case Rel::kLt:
+      return a < b;
+    case Rel::kLe:
+      return a <= b;
+    case Rel::kGt:
+      return a > b;
+    case Rel::kGe:
+      return a >= b;
+  }
+  return i64x4{};
+}
+
+/// Low 4 bits: one per lane of the (all-ones / all-zeros) compare mask.
+inline unsigned MoveMask4(i32x4 m) {
+#if defined(__SSE__)
+  return static_cast<unsigned>(__builtin_ia32_movmskps((f32x4)m));
+#else
+  union {
+    i32x4 v;
+    std::uint32_t u[4];
+  } x{m};
+  return (x.u[0] & 1u) | (x.u[1] & 2u) | (x.u[2] & 4u) | (x.u[3] & 8u);
+#endif
+}
+
+inline u32x4 Mix32V(u32x4 h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // OCELOT_SIMD_VECTOR
+
+// --- Range predicates (select) -----------------------------------------------
+
+/// Closed int32 range equivalent to the engines' double-domain predicate
+/// `(double)v >= lo && (double)v <= hi` (every int32 is exact in double, so
+/// the comparison can be moved to the integer domain after rounding the
+/// bounds inward). `empty` means no int32 can match. Nil exclusion is
+/// separate, exactly like RangePred::Match(int32).
+struct IntRange {
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+  bool empty = false;
+};
+
+inline IntRange ClampRangeToInt32(double lo, double hi) {
+  double cl = std::ceil(lo);
+  double fh = std::floor(hi);
+  if (!(cl <= 2147483647.0) || !(fh >= -2147483648.0) || !(cl <= fh)) {
+    return {0, 0, true};
+  }
+  IntRange r;
+  r.lo = cl <= -2147483648.0 ? kInt32Nil : static_cast<std::int32_t>(cl);
+  r.hi = fh >= 2147483647.0 ? std::numeric_limits<std::int32_t>::max()
+                            : static_cast<std::int32_t>(fh);
+  return r;
+}
+
+/// Writes ceil(n/8) bitmap bytes; bit b of byte j is set iff element j*8+b
+/// matches `lo <= (double)v <= hi` and is not nil. Tail bits stay zero.
+/// Bit-compatible with the Ocelot select_range kernels' byte loop.
+void RangeMaskBytesInt32(const std::int32_t* v, std::size_t n, double lo,
+                         double hi, std::uint8_t* out);
+void RangeMaskBytesFloat(const float* v, std::size_t n, double lo, double hi,
+                         std::uint8_t* out);
+
+/// Appends `base + i` for every matching element i to `out`, in ascending
+/// order — the full-column (or slice, via base) select of the MonetDB
+/// engines.
+void SelectRangeInt32(const std::int32_t* v, std::size_t n, double lo,
+                      double hi, std::uint32_t base,
+                      std::vector<std::uint32_t>* out);
+void SelectRangeFloat(const float* v, std::size_t n, double lo, double hi,
+                      std::uint32_t base, std::vector<std::uint32_t>* out);
+
+// --- Batcalc -----------------------------------------------------------------
+
+/// out[i] = nil if either input is nil, else the double-domain op truncated
+/// to int32 (cvttsd2si convention). `op` must not be kDiv (int division
+/// produces a float column in this engine).
+void CalcIntInt(Arith op, const std::int32_t* a, const std::int32_t* b,
+                std::int32_t* out, std::size_t n);
+
+/// Float-result batcalc over any int/float operand mix: out[i] = NaN-nil if
+/// either input is nil, else (float)((double)a op (double)b).
+void CalcFF(Arith op, const float* a, const float* b, float* out, std::size_t n);
+void CalcFI(Arith op, const float* a, const std::int32_t* b, float* out,
+            std::size_t n);
+void CalcIF(Arith op, const std::int32_t* a, const float* b, float* out,
+            std::size_t n);
+void CalcIIf(Arith op, const std::int32_t* a, const std::int32_t* b, float* out,
+             std::size_t n);
+
+/// Column (+) scalar, float result; `scalar_left` puts `s` on the left.
+void CalcScalarI(Arith op, const std::int32_t* a, double s, bool scalar_left,
+                 float* out, std::size_t n);
+void CalcScalarF(Arith op, const float* a, double s, bool scalar_left,
+                 float* out, std::size_t n);
+
+/// out[i] = (neither nil && a op b in the double domain) ? 1 : 0.
+void CmpII(Rel op, const std::int32_t* a, const std::int32_t* b,
+           std::int32_t* out, std::size_t n);
+void CmpFF(Rel op, const float* a, const float* b, std::int32_t* out,
+           std::size_t n);
+void CmpFI(Rel op, const float* a, const std::int32_t* b, std::int32_t* out,
+           std::size_t n);
+void CmpIF(Rel op, const std::int32_t* a, const float* b, std::int32_t* out,
+           std::size_t n);
+
+void CmpScalarI(Rel op, const std::int32_t* a, double s, std::int32_t* out,
+                std::size_t n);
+void CmpScalarF(Rel op, const float* a, double s, std::int32_t* out,
+                std::size_t n);
+
+/// out[i] = (a[i] != 0 <op> b[i] != 0) ? 1 : 0, op = OR (is_or) or AND.
+void BoolBin(bool is_or, const std::int32_t* a, const std::int32_t* b,
+             std::int32_t* out, std::size_t n);
+
+/// out[i] = nil ? NaN : (float)v[i].
+void CastIntToFloat(const std::int32_t* v, float* out, std::size_t n);
+
+// --- Hashing -----------------------------------------------------------------
+
+/// out[i] = Mix32((uint32)keys[i]) & bucket_mask — the ChainedHash / radix
+/// bucket function, batched.
+void BucketHashInt32(const std::int32_t* keys, std::size_t n,
+                     std::uint32_t bucket_mask, std::uint32_t* out);
+
+/// out[i] = Mix32((uint32)keys[i]) (full 32-bit hash, no masking).
+void HashInt32(const std::int32_t* keys, std::size_t n, std::uint32_t* out);
+
+// --- Reduction ---------------------------------------------------------------
+
+/// Wraparound (mod 2^32) sum of a u32 span. Unsigned addition is exactly
+/// associative, so the 4-lane accumulation is bit-identical to the serial
+/// loop — usable even in kernels whose results feed indexing (prefix sums).
+std::uint32_t SumU32(const std::uint32_t* v, std::size_t n);
+
+// --- Gather (fetchjoin) ------------------------------------------------------
+
+/// dst[i] = idx[i] == kU32Nil ? nil_bits : src[idx[i]], with distance-ahead
+/// prefetching of src when the vector path is enabled. Covers every 4-byte
+/// payload type (int / float / oid) as raw bits; src_n guards the prefetch.
+void GatherU32(const std::uint32_t* src, std::size_t src_n,
+               const std::uint32_t* idx, std::size_t n, std::uint32_t nil_bits,
+               std::uint32_t* dst);
+
+}  // namespace common::simd
+
+#endif  // OCELOT_COMMON_SIMD_H_

@@ -4,16 +4,128 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "cstore/bat.h"
 #include "cstore/engine.h"
+#include "monet/hashmap.h"
 
 /// Shared inner-loop helpers of the MonetDB baseline engines (sequential and
 /// Mitosis). Internal header — not part of the public API.
 namespace monet::detail {
+
+static_assert(common::simd::kInt32Nil == cstore::kIntNil);
+static_assert(common::simd::kU32Nil == cstore::kOidNil);
+
+/// cstore op enums -> their simd-layer mirrors (kept separate so common/
+/// does not depend on cstore/).
+inline common::simd::Arith ToSimdOp(cstore::CalcOp op) {
+  switch (op) {
+    case cstore::CalcOp::kAdd:
+      return common::simd::Arith::kAdd;
+    case cstore::CalcOp::kSub:
+      return common::simd::Arith::kSub;
+    case cstore::CalcOp::kMul:
+      return common::simd::Arith::kMul;
+    case cstore::CalcOp::kDiv:
+      return common::simd::Arith::kDiv;
+  }
+  return common::simd::Arith::kAdd;
+}
+
+inline common::simd::Rel ToSimdOp(cstore::CmpOp op) {
+  switch (op) {
+    case cstore::CmpOp::kEq:
+      return common::simd::Rel::kEq;
+    case cstore::CmpOp::kNe:
+      return common::simd::Rel::kNe;
+    case cstore::CmpOp::kLt:
+      return common::simd::Rel::kLt;
+    case cstore::CmpOp::kLe:
+      return common::simd::Rel::kLe;
+    case cstore::CmpOp::kGt:
+      return common::simd::Rel::kGt;
+    case cstore::CmpOp::kGe:
+      return common::simd::Rel::kGe;
+  }
+  return common::simd::Rel::kEq;
+}
+
+/// Build-side index of the hash/semi/anti joins: radix-partitioned when the
+/// key count justifies it (and the SIMD layer is not forced scalar — the
+/// OCELOT_SCALAR_KERNELS escape hatch reverts to the chained build), the
+/// classic chained table otherwise. Both enumerate the matches of a key in
+/// descending position order, so the choice never changes a result bit.
+class JoinIndex {
+ public:
+  explicit JoinIndex(std::span<const std::int32_t> keys) {
+    if (RadixHash::ShouldUse(keys.size())) {
+      radix_.emplace(keys);
+    } else {
+      chained_.emplace(keys);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachMatch(std::int32_t key, Fn&& fn) const {
+    if (radix_.has_value()) {
+      radix_->ForEachMatch(key, fn);
+    } else {
+      chained_->ForEachMatch(key, fn);
+    }
+  }
+
+  bool Contains(std::int32_t key) const {
+    return radix_.has_value() ? radix_->Contains(key) : chained_->Contains(key);
+  }
+
+  void PrefetchBucket(std::int32_t key) const {
+    if (radix_.has_value()) {
+      radix_->PrefetchBucket(key);
+    } else {
+      chained_->PrefetchBucket(key);
+    }
+  }
+  void PrefetchEntries(std::int32_t key) const {
+    if (radix_.has_value()) {
+      radix_->PrefetchEntries(key);
+    } else {
+      chained_->PrefetchEntries(key);
+    }
+  }
+
+ private:
+  std::optional<ChainedHash> chained_;
+  std::optional<RadixHash> radix_;
+};
+
+/// Shared probe loop of the int-keyed joins: invokes fn(i) for every left
+/// row in order (fn does its own nil handling), with the index structures
+/// of the keys `dist` and `2*dist` rows ahead prefetched. Identical visit
+/// order to the plain loop, so results are unchanged; only the stalls move.
+template <typename Fn>
+void ProbeLoop(std::span<const std::int32_t> lv, const JoinIndex& ht, Fn&& fn) {
+  const std::size_t n = lv.size();
+  if (common::simd::Enabled()) {
+    const std::size_t dist = common::simd::PrefetchDistance();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 2 * dist < n && lv[i + 2 * dist] != cstore::kIntNil) {
+        ht.PrefetchBucket(lv[i + 2 * dist]);
+      }
+      if (i + dist < n && lv[i + dist] != cstore::kIntNil) {
+        ht.PrefetchEntries(lv[i + dist]);
+      }
+      fn(i);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
 
 inline common::Status CheckNumeric(const cstore::BatPtr& b, const char* what) {
   if (b == nullptr) return common::Status::InvalidArgument(std::string(what) + " is null");

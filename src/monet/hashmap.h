@@ -1,18 +1,26 @@
 #ifndef OCELOT_MONET_HASHMAP_H_
 #define OCELOT_MONET_HASHMAP_H_
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace monet {
 
 /// MonetDB-style chained hash index over an int32 column: a bucket array
 /// (`head`) plus a per-row collision chain (`next`). Supports duplicate
 /// keys; used by the sequential hash join, semi/anti joins and grouping.
+///
+/// Capacity is a power of two (>= 2x the key count) indexed by mask, and the
+/// bucket function is the full-avalanche murmur3 finalizer (common::Mix32) —
+/// both prerequisites for the radix build below, which must agree with this
+/// table on bucket semantics. Matches for a key enumerate in descending row
+/// position (chains push-front); RadixHash reproduces that order exactly.
 class ChainedHash {
  public:
   static constexpr std::uint32_t kNone = 0xffffffffu;
@@ -23,10 +31,25 @@ class ChainedHash {
     mask_ = static_cast<std::uint32_t>(buckets - 1);
     head_.assign(buckets, kNone);
     next_.assign(keys.size(), kNone);
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      std::uint32_t b = Bucket(keys[i]);
-      next_[i] = head_[b];
-      head_[b] = static_cast<std::uint32_t>(i);
+    if (common::simd::Enabled() && keys.size() >= 1024) {
+      // Batch-hash the keys, then insert with the bucket slot of the row
+      // `dist` ahead prefetched — insertion is a read-modify-write of a
+      // random `head_` slot, the classic TLB/cache stall of hash builds.
+      std::vector<std::uint32_t> bucket(keys.size());
+      common::simd::BucketHashInt32(keys.data(), keys.size(), mask_, bucket.data());
+      const std::size_t dist = common::simd::PrefetchDistance();
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (i + dist < keys.size()) common::simd::PrefetchRead(&head_[bucket[i + dist]]);
+        std::uint32_t b = bucket[i];
+        next_[i] = head_[b];
+        head_[b] = static_cast<std::uint32_t>(i);
+      }
+    } else {
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        std::uint32_t b = Bucket(keys[i]);
+        next_[i] = head_[b];
+        head_[b] = static_cast<std::uint32_t>(i);
+      }
     }
   }
 
@@ -34,6 +57,15 @@ class ChainedHash {
   std::uint32_t First(std::int32_t key) const { return head_[Bucket(key)]; }
   /// Next position on the same chain.
   std::uint32_t Next(std::uint32_t pos) const { return next_[pos]; }
+
+  /// Invokes fn(pos) for every position whose key equals `key`, in
+  /// descending position order.
+  template <typename Fn>
+  void ForEachMatch(std::int32_t key, Fn&& fn) const {
+    for (std::uint32_t p = First(key); p != kNone; p = Next(p)) {
+      if (keys_[p] == key) fn(p);
+    }
+  }
 
   /// First position whose key equals `key`, or kNone.
   std::uint32_t FindFirst(std::int32_t key) const {
@@ -45,6 +77,19 @@ class ChainedHash {
 
   bool Contains(std::int32_t key) const { return FindFirst(key) != kNone; }
 
+  /// Distance-ahead probe pipeline: prefetch the bucket head slot...
+  void PrefetchBucket(std::int32_t key) const {
+    common::simd::PrefetchRead(&head_[Bucket(key)]);
+  }
+  /// ...then (once the head line has arrived) the first chain entry.
+  void PrefetchEntries(std::int32_t key) const {
+    std::uint32_t p = head_[Bucket(key)];
+    if (p != kNone) {
+      common::simd::PrefetchRead(&keys_[p]);
+      common::simd::PrefetchRead(&next_[p]);
+    }
+  }
+
  private:
   std::uint32_t Bucket(std::int32_t key) const {
     return common::Mix32(static_cast<std::uint32_t>(key)) & mask_;
@@ -54,6 +99,133 @@ class ChainedHash {
   std::uint32_t mask_;
   std::vector<std::uint32_t> head_;
   std::vector<std::uint32_t> next_;
+};
+
+/// Radix-partitioned hash index over an int32 column, equivalent to
+/// ChainedHash (same bucket count, same per-key descending match order) but
+/// built cache-consciously and laid out for probe locality:
+///
+///  1. batch-hash every key (vectorized Mix32);
+///  2. single-pass histogram over 2^pbits partitions (top hash bits), then
+///     scatter (key, pos) entries partition-major — every partition's
+///     entries and its ~2x bucket directory segment fit in L2, so the
+///     build's random accesses never leave the cache;
+///  3. per partition, counting-sort entries into per-bucket compact runs
+///     (CSR layout: `starts_[b]..starts_[b+1]` indexes `entries_`),
+///     iterating in reverse so equal keys land in descending-position
+///     order — bit-compatible with ChainedHash's push-front chains.
+///
+/// A probe touches exactly two lines in the common case: the bucket offset
+/// and the (key,pos)-interleaved entry run. Below kMinKeys the build cost
+/// is not worth it and callers should use ChainedHash (see ShouldUse).
+class RadixHash {
+ public:
+  /// Radix pays off once the bucket directory outgrows L2; below this the
+  /// chained build is already cache-resident.
+  static constexpr std::size_t kMinKeys = 1u << 16;
+
+  static bool ShouldUse(std::size_t nkeys) {
+    return common::simd::Enabled() && nkeys >= kMinKeys;
+  }
+
+  explicit RadixHash(std::span<const std::int32_t> keys) {
+    const std::size_t n = keys.size();
+    std::size_t buckets = 16;
+    while (buckets < n * 2) buckets <<= 1;
+    total_bits_ = static_cast<std::uint32_t>(std::countr_zero(buckets));
+    // Aim for <= ~32k entries per partition (a partition's entries plus its
+    // bucket-directory segment then fit comfortably in a 256 KB L2).
+    std::size_t parts = std::bit_ceil(std::max<std::size_t>(1, n / 32768));
+    parts = std::min<std::size_t>(parts, 512);
+    pbits_ = static_cast<std::uint32_t>(std::countr_zero(parts));
+    if (pbits_ > total_bits_) pbits_ = total_bits_;
+    bbits_ = total_bits_ - pbits_;
+    low_mask_ = (1u << bbits_) - 1u;
+
+    std::vector<std::uint32_t> hash(n);
+    common::simd::HashInt32(keys.data(), n, hash.data());
+
+    // Histogram + scatter: partition-major (key, pos) scratch.
+    const std::size_t nparts = std::size_t{1} << pbits_;
+    std::vector<std::uint32_t> cursor(nparts + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++cursor[PartOf(hash[i]) + 1];
+    for (std::size_t p = 1; p <= nparts; ++p) cursor[p] += cursor[p - 1];
+    std::vector<std::uint32_t> pstart(cursor);  // immutable partition bounds
+    std::vector<Entry> scratch(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      scratch[cursor[PartOf(hash[i])]++] = {keys[i], static_cast<std::uint32_t>(i)};
+    }
+    hash.clear();
+    hash.shrink_to_fit();
+
+    // Per-partition counting sort into the CSR (bucket counts first, one
+    // prefix sum over the whole directory, then reverse placement).
+    starts_.assign(buckets + 1, 0);
+    for (std::size_t e = 0; e < n; ++e) ++starts_[GlobalBucket(scratch[e].key) + 1];
+    for (std::size_t b = 1; b <= buckets; ++b) starts_[b] += starts_[b - 1];
+    entries_.resize(n);
+    std::vector<std::uint32_t> cur(std::size_t{1} << bbits_);
+    for (std::size_t p = 0; p < nparts; ++p) {
+      const std::size_t seg = p << bbits_;
+      for (std::size_t b = 0; b <= low_mask_; ++b) cur[b] = starts_[seg + b];
+      // Reverse over the partition's (ascending-position) entries so each
+      // bucket run comes out in descending position order.
+      for (std::size_t e = pstart[p + 1]; e-- > pstart[p];) {
+        std::uint32_t low = GlobalBucket(scratch[e].key) & low_mask_;
+        entries_[cur[low]++] = scratch[e];
+      }
+    }
+  }
+
+  /// Invokes fn(pos) for every position whose key equals `key`, in
+  /// descending position order (the ChainedHash contract).
+  template <typename Fn>
+  void ForEachMatch(std::int32_t key, Fn&& fn) const {
+    std::uint32_t b = GlobalBucket(key);
+    for (std::uint32_t e = starts_[b]; e < starts_[b + 1]; ++e) {
+      if (entries_[e].key == key) fn(entries_[e].pos);
+    }
+  }
+
+  bool Contains(std::int32_t key) const {
+    std::uint32_t b = GlobalBucket(key);
+    for (std::uint32_t e = starts_[b]; e < starts_[b + 1]; ++e) {
+      if (entries_[e].key == key) return true;
+    }
+    return false;
+  }
+
+  void PrefetchBucket(std::int32_t key) const {
+    common::simd::PrefetchRead(&starts_[GlobalBucket(key)]);
+  }
+  void PrefetchEntries(std::int32_t key) const {
+    // data() + offset stays valid even when the bucket is empty and the
+    // offset equals entries_.size().
+    common::simd::PrefetchRead(entries_.data() + starts_[GlobalBucket(key)]);
+  }
+
+ private:
+  struct Entry {
+    std::int32_t key;
+    std::uint32_t pos;
+  };
+
+  std::uint32_t PartOf(std::uint32_t h) const {
+    return pbits_ == 0 ? 0 : h >> (32 - pbits_);
+  }
+  std::uint32_t GlobalBucket(std::uint32_t h) const {
+    return (PartOf(h) << bbits_) | (h & low_mask_);
+  }
+  std::uint32_t GlobalBucket(std::int32_t key) const {
+    return GlobalBucket(common::Mix32(static_cast<std::uint32_t>(key)));
+  }
+
+  std::uint32_t total_bits_ = 0;
+  std::uint32_t pbits_ = 0;
+  std::uint32_t bbits_ = 0;
+  std::uint32_t low_mask_ = 0;
+  std::vector<std::uint32_t> starts_;
+  std::vector<Entry> entries_;
 };
 
 /// Open-addressing map from 64-bit keys to dense 32-bit ids, used by the
@@ -81,6 +253,14 @@ class DenseIdMap {
       ++occupied_;
     }
     return ids_[b];
+  }
+
+  /// Prefetches the home slot of `key` for a later GetOrAssign. Only a hint:
+  /// a Grow() in between moves the slots, which merely wastes the prefetch.
+  void Prefetch(std::uint64_t key) const {
+    std::size_t b = common::Mix64(key) & mask_;
+    common::simd::PrefetchRead(&keys_[b]);
+    common::simd::PrefetchRead(&ids_[b]);
   }
 
  private:

@@ -1,9 +1,13 @@
 #include "monet/par_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <span>
+
+#include "common/simd.h"
 
 #include "monet/detail.h"
 #include "monet/hashmap.h"
@@ -83,16 +87,32 @@ Result<BatPtr> MitosisEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(domain, s, slices_);
     auto& hits = parts[static_cast<std::size_t>(s)];
+    if (cand == nullptr) {
+      // Full-column slice: slices are contiguous, so the SIMD bitmask select
+      // runs on the subrange with sl.begin as the position base.
+      if (col->type() == ValType::kInt) {
+        common::simd::SelectRangeInt32(col->ints().data() + sl.begin,
+                                       sl.end - sl.begin, pred.lo, pred.hi,
+                                       static_cast<std::uint32_t>(sl.begin),
+                                       &hits);
+      } else {
+        common::simd::SelectRangeFloat(col->floats().data() + sl.begin,
+                                       sl.end - sl.begin, pred.lo, pred.hi,
+                                       static_cast<std::uint32_t>(sl.begin),
+                                       &hits);
+      }
+      return;
+    }
     if (col->type() == ValType::kInt) {
       auto vals = col->ints();
       for (std::size_t i = sl.begin; i < sl.end; ++i) {
-        oid_t o = cand != nullptr ? cand->oids()[i] : static_cast<oid_t>(i);
+        oid_t o = cand->oids()[i];
         if (pred.Match(vals[o])) hits.push_back(o);
       }
     } else {
       auto vals = col->floats();
       for (std::size_t i = sl.begin; i < sl.end; ++i) {
-        oid_t o = cand != nullptr ? cand->oids()[i] : static_cast<oid_t>(i);
+        oid_t o = cand->oids()[i];
         if (pred.Match(vals[o])) hits.push_back(o);
       }
     }
@@ -107,34 +127,33 @@ Result<BatPtr> MitosisEngine::Project(const BatPtr& oids, const BatPtr& col) {
   BatPtr out = Bat::Make(col->type(), n);
   auto idx = oids->oids();
 
+  // Every payload is 4 bytes; one bit-level gather (prefetching the randomly
+  // accessed source distance-ahead) covers all three types, per slice.
+  std::uint32_t nil_bits;
+  const void* src;
+  void* dst;
+  switch (col->type()) {
+    case ValType::kInt:
+      nil_bits = std::bit_cast<std::uint32_t>(kIntNil);
+      src = col->ints().data();
+      dst = out->ints().data();
+      break;
+    case ValType::kFloat:
+      nil_bits = std::bit_cast<std::uint32_t>(cstore::FloatNil());
+      src = col->floats().data();
+      dst = out->floats().data();
+      break;
+    default:
+      nil_bits = cstore::kOidNil;
+      src = col->oids().data();
+      dst = out->oids().data();
+      break;
+  }
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
-    switch (col->type()) {
-      case ValType::kInt: {
-        auto src = col->ints();
-        auto dst = out->ints();
-        for (std::size_t i = sl.begin; i < sl.end; ++i) {
-          dst[i] = idx[i] == cstore::kOidNil ? kIntNil : src[idx[i]];
-        }
-        break;
-      }
-      case ValType::kFloat: {
-        auto src = col->floats();
-        auto dst = out->floats();
-        for (std::size_t i = sl.begin; i < sl.end; ++i) {
-          dst[i] = idx[i] == cstore::kOidNil ? cstore::FloatNil() : src[idx[i]];
-        }
-        break;
-      }
-      case ValType::kOid: {
-        auto src = col->oids();
-        auto dst = out->oids();
-        for (std::size_t i = sl.begin; i < sl.end; ++i) {
-          dst[i] = idx[i] == cstore::kOidNil ? cstore::kOidNil : src[idx[i]];
-        }
-        break;
-      }
-    }
+    common::simd::GatherU32(static_cast<const std::uint32_t*>(src), col->size(),
+                            idx.data() + sl.begin, sl.end - sl.begin, nil_bits,
+                            static_cast<std::uint32_t*>(dst) + sl.begin);
   });
   return out;
 }
@@ -147,8 +166,8 @@ Result<JoinResult> MitosisEngine::HashJoin(const BatPtr& left, const BatPtr& rig
 
   // Build is sequential (as in MonetDB: the probe side is sliced, the build
   // side hash is shared); probe is sliced across cores.
-  std::unique_ptr<ChainedHash> ht;
-  if (!right->dense()) ht = std::make_unique<ChainedHash>(rv);
+  std::optional<detail::JoinIndex> ht;
+  if (!right->dense()) ht.emplace(rv);
 
   std::vector<std::vector<oid_t>> lparts(static_cast<std::size_t>(slices_));
   std::vector<std::vector<oid_t>> rparts(static_cast<std::size_t>(slices_));
@@ -168,16 +187,15 @@ Result<JoinResult> MitosisEngine::HashJoin(const BatPtr& left, const BatPtr& rig
         }
       }
     } else {
-      for (std::size_t i = sl.begin; i < sl.end; ++i) {
-        if (lv[i] == kIntNil) continue;
-        for (std::uint32_t p = ht->First(lv[i]); p != ChainedHash::kNone;
-             p = ht->Next(p)) {
-          if (rv[p] == lv[i]) {
-            lo.push_back(static_cast<oid_t>(i));
-            ro.push_back(static_cast<oid_t>(p));
-          }
-        }
-      }
+      detail::ProbeLoop(lv.subspan(sl.begin, sl.end - sl.begin), *ht,
+                        [&](std::size_t i) {
+                          std::size_t row = sl.begin + i;
+                          if (lv[row] == kIntNil) return;
+                          ht->ForEachMatch(lv[row], [&](std::uint32_t p) {
+                            lo.push_back(static_cast<oid_t>(row));
+                            ro.push_back(static_cast<oid_t>(p));
+                          });
+                        });
     }
   });
 
@@ -197,15 +215,19 @@ Result<JoinResult> MitosisEngine::HashJoin(const BatPtr& left, const BatPtr& rig
 Result<BatPtr> MitosisEngine::SemiJoin(const BatPtr& left, const BatPtr& right) {
   RETURN_IF_ERROR(CheckInts(left, "semijoin left"));
   RETURN_IF_ERROR(CheckInts(right, "semijoin right"));
-  ChainedHash ht(right->ints());
+  detail::JoinIndex ht(right->ints());
   auto lv = left->ints();
   std::vector<std::vector<oid_t>> parts(static_cast<std::size_t>(slices_));
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(lv.size(), s, slices_);
     auto& hits = parts[static_cast<std::size_t>(s)];
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (lv[i] != kIntNil && ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
-    }
+    detail::ProbeLoop(lv.subspan(sl.begin, sl.end - sl.begin), ht,
+                      [&](std::size_t i) {
+                        std::size_t row = sl.begin + i;
+                        if (lv[row] != kIntNil && ht.Contains(lv[row])) {
+                          hits.push_back(static_cast<oid_t>(row));
+                        }
+                      });
   });
   return PackOids(parts);
 }
@@ -213,15 +235,19 @@ Result<BatPtr> MitosisEngine::SemiJoin(const BatPtr& left, const BatPtr& right) 
 Result<BatPtr> MitosisEngine::AntiJoin(const BatPtr& left, const BatPtr& right) {
   RETURN_IF_ERROR(CheckInts(left, "antijoin left"));
   RETURN_IF_ERROR(CheckInts(right, "antijoin right"));
-  ChainedHash ht(right->ints());
+  detail::JoinIndex ht(right->ints());
   auto lv = left->ints();
   std::vector<std::vector<oid_t>> parts(static_cast<std::size_t>(slices_));
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(lv.size(), s, slices_);
     auto& hits = parts[static_cast<std::size_t>(s)];
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (lv[i] == kIntNil || !ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
-    }
+    detail::ProbeLoop(lv.subspan(sl.begin, sl.end - sl.begin), ht,
+                      [&](std::size_t i) {
+                        std::size_t row = sl.begin + i;
+                        if (lv[row] == kIntNil || !ht.Contains(lv[row])) {
+                          hits.push_back(static_cast<oid_t>(row));
+                        }
+                      });
   });
   return PackOids(parts);
 }
@@ -319,7 +345,10 @@ Result<GroupResult> MitosisEngine::GroupBy(const BatPtr& col, const GroupResult*
     DenseIdMap map(256);
     std::uint32_t next_id = 0;
     auto& sg = local[static_cast<std::size_t>(s)];
+    const std::size_t dist =
+        common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
     for (std::size_t i = sl.begin; i < sl.end; ++i) {
+      if (dist != 0 && i + dist < sl.end) map.Prefetch(key_at(i + dist));
       std::uint64_t key = key_at(i);
       std::uint32_t before = next_id;
       std::uint32_t lid = map.GetOrAssign(key, &next_id);
@@ -553,19 +582,34 @@ Result<BatPtr> MitosisEngine::Calc(CalcOp op, const BatPtr& a, const BatPtr& b) 
   RETURN_IF_ERROR(CheckNumeric(b, "calc rhs"));
   RETURN_IF_ERROR(CheckSameSize(a, b));
   std::size_t n = a->size();
-  bool int_result = a->type() == ValType::kInt && b->type() == ValType::kInt &&
-                    op != CalcOp::kDiv;
+  bool a_int = a->type() == ValType::kInt;
+  bool b_int = b->type() == ValType::kInt;
+  bool int_result = a_int && b_int && op != CalcOp::kDiv;
   BatPtr out = Bat::Make(int_result ? ValType::kInt : ValType::kFloat, n);
+  common::simd::Arith sop = detail::ToSimdOp(op);
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      bool nil = IsNilAt(a, i) || IsNilAt(b, i);
-      double r = nil ? 0 : ApplyCalc(op, ValueAt(a, i), ValueAt(b, i));
-      if (int_result) {
-        out->ints()[i] = nil ? kIntNil : static_cast<std::int32_t>(r);
-      } else {
-        out->floats()[i] = nil ? cstore::FloatNil() : static_cast<float>(r);
-      }
+    std::size_t len = sl.end - sl.begin;
+    if (int_result) {
+      common::simd::CalcIntInt(sop, a->ints().data() + sl.begin,
+                               b->ints().data() + sl.begin,
+                               out->ints().data() + sl.begin, len);
+    } else if (a_int && b_int) {
+      common::simd::CalcIIf(sop, a->ints().data() + sl.begin,
+                            b->ints().data() + sl.begin,
+                            out->floats().data() + sl.begin, len);
+    } else if (a_int) {
+      common::simd::CalcIF(sop, a->ints().data() + sl.begin,
+                           b->floats().data() + sl.begin,
+                           out->floats().data() + sl.begin, len);
+    } else if (b_int) {
+      common::simd::CalcFI(sop, a->floats().data() + sl.begin,
+                           b->ints().data() + sl.begin,
+                           out->floats().data() + sl.begin, len);
+    } else {
+      common::simd::CalcFF(sop, a->floats().data() + sl.begin,
+                           b->floats().data() + sl.begin,
+                           out->floats().data() + sl.begin, len);
     }
   });
   return out;
@@ -577,16 +621,16 @@ Result<BatPtr> MitosisEngine::CalcScalar(CalcOp op, const BatPtr& a, double s,
   std::size_t n = a->size();
   BatPtr out = Bat::MakeFloat(n);
   auto o = out->floats();
+  common::simd::Arith sop = detail::ToSimdOp(op);
   ParallelFor(clock_, cores_, slices_, [&](int sl_idx) {
     Slice sl = SliceOf(n, sl_idx, slices_);
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (IsNilAt(a, i)) {
-        o[i] = cstore::FloatNil();
-        continue;
-      }
-      double v = ValueAt(a, i);
-      o[i] = static_cast<float>(scalar_left ? ApplyCalc(op, s, v)
-                                            : ApplyCalc(op, v, s));
+    std::size_t len = sl.end - sl.begin;
+    if (a->type() == ValType::kInt) {
+      common::simd::CalcScalarI(sop, a->ints().data() + sl.begin, s,
+                                scalar_left, o.data() + sl.begin, len);
+    } else {
+      common::simd::CalcScalarF(sop, a->floats().data() + sl.begin, s,
+                                scalar_left, o.data() + sl.begin, len);
     }
   });
   return out;

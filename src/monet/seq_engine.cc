@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/date.h"
+#include "common/simd.h"
 #include "monet/detail.h"
 #include "monet/hashmap.h"
 
@@ -57,6 +58,18 @@ Result<BatPtr> SequentialEngine::SelectRange(const BatPtr& col, const BatPtr& ca
   if (cand != nullptr) RETURN_IF_ERROR(CheckOids(cand, "candidates"));
   RangePred pred(lo, hi);
   std::vector<oid_t> hits;
+  if (cand == nullptr) {
+    // Full-column scan: branchless bitmask + materialization in the SIMD
+    // layer (which falls back to this very predicate when forced scalar).
+    if (col->type() == ValType::kInt) {
+      common::simd::SelectRangeInt32(col->ints().data(), col->size(), pred.lo,
+                                     pred.hi, /*base=*/0, &hits);
+    } else {
+      common::simd::SelectRangeFloat(col->floats().data(), col->size(), pred.lo,
+                                     pred.hi, /*base=*/0, &hits);
+    }
+    return OidsFromVector(hits);
+  }
   if (col->type() == ValType::kInt) {
     auto vals = col->ints();
     ForEachCand(col->size(), cand, [&](oid_t o) {
@@ -89,32 +102,31 @@ Result<BatPtr> SequentialEngine::Project(const BatPtr& oids, const BatPtr& col) 
   std::size_t n = oids->size();
   BatPtr out = Bat::Make(col->type(), n);
   auto idx = oids->oids();
+  // Every payload is 4 bytes, so one bit-level gather (with distance-ahead
+  // prefetching of the randomly accessed source) covers all three types.
+  std::uint32_t nil_bits;
+  const void* src;
+  void* dst;
   switch (col->type()) {
-    case ValType::kInt: {
-      auto src = col->ints();
-      auto dst = out->ints();
-      for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = idx[i] == kOidNil ? kIntNil : src[idx[i]];
-      }
+    case ValType::kInt:
+      nil_bits = std::bit_cast<std::uint32_t>(kIntNil);
+      src = col->ints().data();
+      dst = out->ints().data();
       break;
-    }
-    case ValType::kFloat: {
-      auto src = col->floats();
-      auto dst = out->floats();
-      for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = idx[i] == kOidNil ? cstore::FloatNil() : src[idx[i]];
-      }
+    case ValType::kFloat:
+      nil_bits = std::bit_cast<std::uint32_t>(cstore::FloatNil());
+      src = col->floats().data();
+      dst = out->floats().data();
       break;
-    }
-    case ValType::kOid: {
-      auto src = col->oids();
-      auto dst = out->oids();
-      for (std::size_t i = 0; i < n; ++i) {
-        dst[i] = idx[i] == kOidNil ? kOidNil : src[idx[i]];
-      }
+    default:
+      nil_bits = kOidNil;
+      src = col->oids().data();
+      dst = out->oids().data();
       break;
-    }
   }
+  common::simd::GatherU32(static_cast<const std::uint32_t*>(src), col->size(),
+                          idx.data(), n, nil_bits,
+                          static_cast<std::uint32_t*>(dst));
   return out;
 }
 
@@ -138,16 +150,14 @@ Result<JoinResult> SequentialEngine::HashJoin(const BatPtr& left, const BatPtr& 
       }
     }
   } else {
-    ChainedHash ht(rv);
-    for (std::size_t i = 0; i < lv.size(); ++i) {
-      if (lv[i] == kIntNil) continue;
-      for (std::uint32_t p = ht.First(lv[i]); p != ChainedHash::kNone; p = ht.Next(p)) {
-        if (rv[p] == lv[i]) {
-          lo.push_back(static_cast<oid_t>(i));
-          ro.push_back(static_cast<oid_t>(p));
-        }
-      }
-    }
+    detail::JoinIndex ht(rv);
+    detail::ProbeLoop(lv, ht, [&](std::size_t i) {
+      if (lv[i] == kIntNil) return;
+      ht.ForEachMatch(lv[i], [&](std::uint32_t p) {
+        lo.push_back(static_cast<oid_t>(i));
+        ro.push_back(static_cast<oid_t>(p));
+      });
+    });
   }
   return JoinResult{OidsFromVector(lo), [&] {
                       BatPtr r = Bat::MakeOid(ro.size());
@@ -182,24 +192,24 @@ Result<JoinResult> SequentialEngine::ThetaJoin(const BatPtr& left, const BatPtr&
 Result<BatPtr> SequentialEngine::SemiJoin(const BatPtr& left, const BatPtr& right) {
   RETURN_IF_ERROR(CheckInts(left, "semijoin left"));
   RETURN_IF_ERROR(CheckInts(right, "semijoin right"));
-  ChainedHash ht(right->ints());
+  detail::JoinIndex ht(right->ints());
   auto lv = left->ints();
   std::vector<oid_t> hits;
-  for (std::size_t i = 0; i < lv.size(); ++i) {
+  detail::ProbeLoop(lv, ht, [&](std::size_t i) {
     if (lv[i] != kIntNil && ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
-  }
+  });
   return OidsFromVector(hits);
 }
 
 Result<BatPtr> SequentialEngine::AntiJoin(const BatPtr& left, const BatPtr& right) {
   RETURN_IF_ERROR(CheckInts(left, "antijoin left"));
   RETURN_IF_ERROR(CheckInts(right, "antijoin right"));
-  ChainedHash ht(right->ints());
+  detail::JoinIndex ht(right->ints());
   auto lv = left->ints();
   std::vector<oid_t> hits;
-  for (std::size_t i = 0; i < lv.size(); ++i) {
+  detail::ProbeLoop(lv, ht, [&](std::size_t i) {
     if (lv[i] == kIntNil || !ht.Contains(lv[i])) hits.push_back(static_cast<oid_t>(i));
-  }
+  });
   return OidsFromVector(hits);
 }
 
@@ -258,15 +268,20 @@ Result<GroupResult> SequentialEngine::GroupBy(const BatPtr& col,
   DenseIdMap map(1024);
   std::uint32_t next_id = 0;
   auto prev_gids = prev != nullptr ? prev->groups->oids() : std::span<const oid_t>();
-  for (std::size_t i = 0; i < n; ++i) {
+  auto key_at = [&](std::size_t i) {
     std::uint32_t bits = col->type() == ValType::kInt
                              ? static_cast<std::uint32_t>(col->ints()[i])
                              : std::bit_cast<std::uint32_t>(col->floats()[i]);
-    std::uint64_t key = prev != nullptr
-                            ? (static_cast<std::uint64_t>(prev_gids[i]) << 32) | bits
-                            : bits;
+    return prev != nullptr
+               ? (static_cast<std::uint64_t>(prev_gids[i]) << 32) | bits
+               : std::uint64_t{bits};
+  };
+  const std::size_t dist =
+      common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dist != 0 && i + dist < n) map.Prefetch(key_at(i + dist));
     std::uint32_t before = next_id;
-    std::uint32_t gid = map.GetOrAssign(key, &next_id);
+    std::uint32_t gid = map.GetOrAssign(key_at(i), &next_id);
     if (next_id != before) extents.push_back(static_cast<oid_t>(i));
     gids[i] = gid;
   }
@@ -437,17 +452,26 @@ Result<BatPtr> SequentialEngine::Calc(CalcOp op, const BatPtr& a, const BatPtr& 
   RETURN_IF_ERROR(CheckNumeric(b, "calc rhs"));
   RETURN_IF_ERROR(CheckSameSize(a, b));
   std::size_t n = a->size();
-  bool int_result = a->type() == ValType::kInt && b->type() == ValType::kInt &&
-                    op != CalcOp::kDiv;
+  bool a_int = a->type() == ValType::kInt;
+  bool b_int = b->type() == ValType::kInt;
+  bool int_result = a_int && b_int && op != CalcOp::kDiv;
   BatPtr out = Bat::Make(int_result ? ValType::kInt : ValType::kFloat, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    bool nil = IsNilAt(a, i) || IsNilAt(b, i);
-    double r = nil ? 0 : ApplyCalc(op, ValueAt(a, i), ValueAt(b, i));
-    if (int_result) {
-      out->ints()[i] = nil ? kIntNil : static_cast<std::int32_t>(r);
-    } else {
-      out->floats()[i] = nil ? cstore::FloatNil() : static_cast<float>(r);
-    }
+  auto sop = detail::ToSimdOp(op);
+  if (int_result) {
+    common::simd::CalcIntInt(sop, a->ints().data(), b->ints().data(),
+                             out->ints().data(), n);
+  } else if (a_int && b_int) {
+    common::simd::CalcIIf(sop, a->ints().data(), b->ints().data(),
+                          out->floats().data(), n);
+  } else if (a_int) {
+    common::simd::CalcIF(sop, a->ints().data(), b->floats().data(),
+                         out->floats().data(), n);
+  } else if (b_int) {
+    common::simd::CalcFI(sop, a->floats().data(), b->ints().data(),
+                         out->floats().data(), n);
+  } else {
+    common::simd::CalcFF(sop, a->floats().data(), b->floats().data(),
+                         out->floats().data(), n);
   }
   return out;
 }
@@ -457,14 +481,12 @@ Result<BatPtr> SequentialEngine::CalcScalar(CalcOp op, const BatPtr& a, double s
   RETURN_IF_ERROR(CheckNumeric(a, "calc input"));
   std::size_t n = a->size();
   BatPtr out = Bat::MakeFloat(n);
-  auto o = out->floats();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (IsNilAt(a, i)) {
-      o[i] = cstore::FloatNil();
-      continue;
-    }
-    double v = ValueAt(a, i);
-    o[i] = static_cast<float>(scalar_left ? ApplyCalc(op, s, v) : ApplyCalc(op, v, s));
+  if (a->type() == ValType::kInt) {
+    common::simd::CalcScalarI(detail::ToSimdOp(op), a->ints().data(), s,
+                              scalar_left, out->floats().data(), n);
+  } else {
+    common::simd::CalcScalarF(detail::ToSimdOp(op), a->floats().data(), s,
+                              scalar_left, out->floats().data(), n);
   }
   return out;
 }
@@ -474,10 +496,19 @@ Result<BatPtr> SequentialEngine::Cmp(CmpOp op, const BatPtr& a, const BatPtr& b)
   RETURN_IF_ERROR(CheckNumeric(b, "cmp rhs"));
   RETURN_IF_ERROR(CheckSameSize(a, b));
   BatPtr out = Bat::MakeInt(a->size());
-  auto o = out->ints();
-  for (std::size_t i = 0; i < a->size(); ++i) {
-    bool nil = IsNilAt(a, i) || IsNilAt(b, i);
-    o[i] = (!nil && ApplyCmp(op, ValueAt(a, i), ValueAt(b, i))) ? 1 : 0;
+  std::size_t n = a->size();
+  auto o = out->ints().data();
+  auto rop = detail::ToSimdOp(op);
+  bool a_int = a->type() == ValType::kInt;
+  bool b_int = b->type() == ValType::kInt;
+  if (a_int && b_int) {
+    common::simd::CmpII(rop, a->ints().data(), b->ints().data(), o, n);
+  } else if (a_int) {
+    common::simd::CmpIF(rop, a->ints().data(), b->floats().data(), o, n);
+  } else if (b_int) {
+    common::simd::CmpFI(rop, a->floats().data(), b->ints().data(), o, n);
+  } else {
+    common::simd::CmpFF(rop, a->floats().data(), b->floats().data(), o, n);
   }
   return out;
 }
@@ -485,9 +516,12 @@ Result<BatPtr> SequentialEngine::Cmp(CmpOp op, const BatPtr& a, const BatPtr& b)
 Result<BatPtr> SequentialEngine::CmpScalar(CmpOp op, const BatPtr& a, double s) {
   RETURN_IF_ERROR(CheckNumeric(a, "cmp input"));
   BatPtr out = Bat::MakeInt(a->size());
-  auto o = out->ints();
-  for (std::size_t i = 0; i < a->size(); ++i) {
-    o[i] = (!IsNilAt(a, i) && ApplyCmp(op, ValueAt(a, i), s)) ? 1 : 0;
+  if (a->type() == ValType::kInt) {
+    common::simd::CmpScalarI(detail::ToSimdOp(op), a->ints().data(), s,
+                             out->ints().data(), a->size());
+  } else {
+    common::simd::CmpScalarF(detail::ToSimdOp(op), a->floats().data(), s,
+                             out->ints().data(), a->size());
   }
   return out;
 }
@@ -497,9 +531,8 @@ Result<BatPtr> SequentialEngine::BoolOr(const BatPtr& a, const BatPtr& b) {
   RETURN_IF_ERROR(CheckInts(b, "or rhs"));
   RETURN_IF_ERROR(CheckSameSize(a, b));
   BatPtr out = Bat::MakeInt(a->size());
-  auto av = a->ints(), bv = b->ints();
-  auto o = out->ints();
-  for (std::size_t i = 0; i < a->size(); ++i) o[i] = (av[i] != 0 || bv[i] != 0) ? 1 : 0;
+  common::simd::BoolBin(/*is_or=*/true, a->ints().data(), b->ints().data(),
+                        out->ints().data(), a->size());
   return out;
 }
 
@@ -508,9 +541,8 @@ Result<BatPtr> SequentialEngine::BoolAnd(const BatPtr& a, const BatPtr& b) {
   RETURN_IF_ERROR(CheckInts(b, "and rhs"));
   RETURN_IF_ERROR(CheckSameSize(a, b));
   BatPtr out = Bat::MakeInt(a->size());
-  auto av = a->ints(), bv = b->ints();
-  auto o = out->ints();
-  for (std::size_t i = 0; i < a->size(); ++i) o[i] = (av[i] != 0 && bv[i] != 0) ? 1 : 0;
+  common::simd::BoolBin(/*is_or=*/false, a->ints().data(), b->ints().data(),
+                        out->ints().data(), a->size());
   return out;
 }
 
@@ -564,11 +596,8 @@ Result<BatPtr> SequentialEngine::CastToFloat(const BatPtr& col) {
     return out;
   }
   BatPtr out = Bat::MakeFloat(col->size());
-  auto v = col->ints();
-  auto o = out->floats();
-  for (std::size_t i = 0; i < col->size(); ++i) {
-    o[i] = v[i] == kIntNil ? cstore::FloatNil() : static_cast<float>(v[i]);
-  }
+  common::simd::CastIntToFloat(col->ints().data(), out->floats().data(),
+                               col->size());
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/date.h"
+#include "common/simd.h"
+#include "monet/detail.h"
 #include "ocelot/engine.h"
 #include "ocelot/internal.h"
 #include "ocelot/scan.h"
@@ -113,14 +115,39 @@ Result<BatPtr> OcelotEngine::Calc(CalcOp op, const BatPtr& a, const BatPtr& b) {
     NumSpans bv = NumSpans::Of(b_buf, bt);
     auto oi = int_result ? o_buf->Span<std::int32_t>() : std::span<std::int32_t>();
     auto of = !int_result ? o_buf->Span<float>() : std::span<float>();
+    common::simd::Arith sop = monet::detail::ToSimdOp(op);
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
-        bool nil = av.Nil(i) || bv.Nil(i);
-        double r = nil ? 0 : ApplyCalc(op, av.At(i), bv.At(i));
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      if (r.step == 1 && !r.empty()) {
+        // Contiguous chunk (CPU-preferred pattern): run the typed SIMD
+        // kernel; it falls back to this very scalar loop when forced off.
+        std::size_t at_ = static_cast<std::size_t>(r.first);
+        std::size_t len = static_cast<std::size_t>(r.limit - r.first);
         if (int_result) {
-          oi[i] = nil ? kIntNil : static_cast<std::int32_t>(r);
+          common::simd::CalcIntInt(sop, av.iv.data() + at_, bv.iv.data() + at_,
+                                   oi.data() + at_, len);
+        } else if (av.is_int && bv.is_int) {
+          common::simd::CalcIIf(sop, av.iv.data() + at_, bv.iv.data() + at_,
+                                of.data() + at_, len);
+        } else if (av.is_int) {
+          common::simd::CalcIF(sop, av.iv.data() + at_, bv.fv.data() + at_,
+                               of.data() + at_, len);
+        } else if (bv.is_int) {
+          common::simd::CalcFI(sop, av.fv.data() + at_, bv.iv.data() + at_,
+                               of.data() + at_, len);
         } else {
-          of[i] = nil ? cstore::FloatNil() : static_cast<float>(r);
+          common::simd::CalcFF(sop, av.fv.data() + at_, bv.fv.data() + at_,
+                               of.data() + at_, len);
+        }
+        continue;
+      }
+      for (std::uint64_t i : r) {
+        bool nil = av.Nil(i) || bv.Nil(i);
+        double rr = nil ? 0 : ApplyCalc(op, av.At(i), bv.At(i));
+        if (int_result) {
+          oi[i] = nil ? kIntNil : static_cast<std::int32_t>(rr);
+        } else {
+          of[i] = nil ? cstore::FloatNil() : static_cast<float>(rr);
         }
       }
     }
@@ -148,8 +175,22 @@ Result<BatPtr> OcelotEngine::CalcScalar(CalcOp op, const BatPtr& a, double s,
   k.body = [a_buf, o_buf, n, op, s, scalar_left, at](ocl::WorkGroup& wg) {
     NumSpans av = NumSpans::Of(a_buf, at);
     auto of = o_buf->Span<float>();
+    common::simd::Arith sop = monet::detail::ToSimdOp(op);
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      if (r.step == 1 && !r.empty()) {
+        std::size_t at_ = static_cast<std::size_t>(r.first);
+        std::size_t len = static_cast<std::size_t>(r.limit - r.first);
+        if (av.is_int) {
+          common::simd::CalcScalarI(sop, av.iv.data() + at_, s, scalar_left,
+                                    of.data() + at_, len);
+        } else {
+          common::simd::CalcScalarF(sop, av.fv.data() + at_, s, scalar_left,
+                                    of.data() + at_, len);
+        }
+        continue;
+      }
+      for (std::uint64_t i : r) {
         if (av.Nil(i)) {
           of[i] = cstore::FloatNil();
           continue;
@@ -185,8 +226,28 @@ Result<BatPtr> OcelotEngine::Cmp(CmpOp op, const BatPtr& a, const BatPtr& b) {
     NumSpans av = NumSpans::Of(a_buf, at);
     NumSpans bv = NumSpans::Of(b_buf, bt);
     auto oi = o_buf->Span<std::int32_t>();
+    common::simd::Rel sop = monet::detail::ToSimdOp(op);
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      if (r.step == 1 && !r.empty()) {
+        std::size_t at_ = static_cast<std::size_t>(r.first);
+        std::size_t len = static_cast<std::size_t>(r.limit - r.first);
+        if (av.is_int && bv.is_int) {
+          common::simd::CmpII(sop, av.iv.data() + at_, bv.iv.data() + at_,
+                              oi.data() + at_, len);
+        } else if (av.is_int) {
+          common::simd::CmpIF(sop, av.iv.data() + at_, bv.fv.data() + at_,
+                              oi.data() + at_, len);
+        } else if (bv.is_int) {
+          common::simd::CmpFI(sop, av.fv.data() + at_, bv.iv.data() + at_,
+                              oi.data() + at_, len);
+        } else {
+          common::simd::CmpFF(sop, av.fv.data() + at_, bv.fv.data() + at_,
+                              oi.data() + at_, len);
+        }
+        continue;
+      }
+      for (std::uint64_t i : r) {
         bool nil = av.Nil(i) || bv.Nil(i);
         oi[i] = (!nil && ApplyCmp(op, av.At(i), bv.At(i))) ? 1 : 0;
       }
@@ -214,8 +275,20 @@ Result<BatPtr> OcelotEngine::CmpScalar(CmpOp op, const BatPtr& a, double s) {
   k.body = [a_buf, o_buf, n, op, s, at](ocl::WorkGroup& wg) {
     NumSpans av = NumSpans::Of(a_buf, at);
     auto oi = o_buf->Span<std::int32_t>();
+    common::simd::Rel sop = monet::detail::ToSimdOp(op);
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      if (r.step == 1 && !r.empty()) {
+        std::size_t at_ = static_cast<std::size_t>(r.first);
+        std::size_t len = static_cast<std::size_t>(r.limit - r.first);
+        if (av.is_int) {
+          common::simd::CmpScalarI(sop, av.iv.data() + at_, s, oi.data() + at_, len);
+        } else {
+          common::simd::CmpScalarF(sop, av.fv.data() + at_, s, oi.data() + at_, len);
+        }
+        continue;
+      }
+      for (std::uint64_t i : r) {
         oi[i] = (!av.Nil(i) && ApplyCmp(op, av.At(i), s)) ? 1 : 0;
       }
     }
@@ -252,7 +325,15 @@ Result<BatPtr> BoolBinary(OcelotEngine* eng, MemoryManager* mm, ocl::DeviceConte
     auto bv = b_buf->Span<const std::int32_t>();
     auto ov = o_buf->Span<std::int32_t>();
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      if (r.step == 1 && !r.empty()) {
+        std::size_t at_ = static_cast<std::size_t>(r.first);
+        common::simd::BoolBin(is_or, av.data() + at_, bv.data() + at_,
+                              ov.data() + at_,
+                              static_cast<std::size_t>(r.limit - r.first));
+        continue;
+      }
+      for (std::uint64_t i : r) {
         ov[i] = (is_or ? (av[i] != 0 || bv[i] != 0) : (av[i] != 0 && bv[i] != 0)) ? 1 : 0;
       }
     }
@@ -373,7 +454,14 @@ Result<BatPtr> OcelotEngine::CastToFloat(const BatPtr& col) {
     for (int item = 0; item < wg.local_size(); ++item) {
       if (is_int) {
         auto av = a_buf->Span<const std::int32_t>();
-        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        ocl::UnitRange r = wg.UnitsFor(item, n);
+        if (r.step == 1 && !r.empty()) {
+          std::size_t at_ = static_cast<std::size_t>(r.first);
+          common::simd::CastIntToFloat(av.data() + at_, ov.data() + at_,
+                                       static_cast<std::size_t>(r.limit - r.first));
+          continue;
+        }
+        for (std::uint64_t i : r) {
           ov[i] = av[i] == kIntNil ? cstore::FloatNil() : static_cast<float>(av[i]);
         }
       } else {

@@ -8,6 +8,7 @@
 #include <bit>
 #include <vector>
 
+#include "common/simd.h"
 #include "ocelot/internal.h"
 #include "ocelot/scan.h"
 
@@ -63,7 +64,22 @@ Result<BatPtr> OcelotEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
     auto fv = !is_int ? col_buf->Span<const float>() : std::span<const float>();
     auto out = bits->Span<std::uint8_t>();
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t u : wg.UnitsFor(item, nbytes)) {
+      ocl::UnitRange r = wg.UnitsFor(item, nbytes);
+      if (r.step == 1 && !r.empty()) {
+        // Contiguous byte chunk (CPU-preferred pattern): one SIMD bitmask
+        // call covers the whole chunk, 8 elements per output byte.
+        std::size_t base = static_cast<std::size_t>(r.first) * 8;
+        std::size_t limit = std::min(domain, static_cast<std::size_t>(r.limit) * 8);
+        if (is_int) {
+          common::simd::RangeMaskBytesInt32(iv.data() + base, limit - base,
+                                            pred.lo, pred.hi, out.data() + r.first);
+        } else {
+          common::simd::RangeMaskBytesFloat(fv.data() + base, limit - base,
+                                            pred.lo, pred.hi, out.data() + r.first);
+        }
+        continue;
+      }
+      for (std::uint64_t u : r) {
         std::uint8_t byte = 0;
         std::size_t base = static_cast<std::size_t>(u) * 8;
         std::size_t limit = std::min(domain, base + 8);
@@ -345,7 +361,7 @@ Result<BatPtr> OcelotEngine::Project(const BatPtr& oids, const BatPtr& col) {
     // All tails are 4-byte; gather generically except for the nil fixup.
     auto src = src_buf->Span<const std::uint32_t>();
     auto dst = dst_buf->Span<std::uint32_t>();
-    std::uint32_t nil_bits;
+    std::uint32_t nil_bits = kOidNil;
     switch (type) {
       case ValType::kInt:
         nil_bits = std::bit_cast<std::uint32_t>(cstore::kIntNil);
@@ -358,7 +374,16 @@ Result<BatPtr> OcelotEngine::Project(const BatPtr& oids, const BatPtr& col) {
         break;
     }
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      if (r.step == 1 && !r.empty()) {
+        // Contiguous chunk: the SIMD-layer gather adds distance-ahead
+        // prefetching of the randomly accessed source column.
+        common::simd::GatherU32(src.data(), src.size(), idx.data() + r.first,
+                                static_cast<std::size_t>(r.limit - r.first),
+                                nil_bits, dst.data() + r.first);
+        continue;
+      }
+      for (std::uint64_t i : r) {
         dst[i] = idx[i] == kOidNil ? nil_bits : src[idx[i]];
       }
     }

@@ -281,8 +281,14 @@ Result<GroupResult> OcelotEngine::GroupBy(const BatPtr& col, const GroupResult* 
     auto tv = ht->vals->Span<const std::uint32_t>();
     auto sg = slot_gid->Span<const std::uint32_t>();
     auto g = gid_buf->Span<oid_t>();
+    const std::size_t dist =
+        common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
     for (int item = 0; item < wg.local_size(); ++item) {
-      for (std::uint64_t i : wg.UnitsFor(item, n)) {
+      ocl::UnitRange r = wg.UnitsFor(item, n);
+      for (std::uint64_t i : r) {
+        if (dist != 0 && r.step == 1 && i + dist < r.limit) {
+          HtPrefetch(tk, tv, ht->mask, ht->family, keys[i + dist]);
+        }
         std::size_t slot = HtLookup(tk, tv, ht->mask, ht->family, keys[i]);
         // SIZE_MAX means "not in the distinct table", and the only keys the
         // build skipped are the nil-pattern ones — they map to the dense

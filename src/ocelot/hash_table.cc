@@ -109,8 +109,14 @@ Result<std::shared_ptr<DeviceHashTable>> BuildHashTable(MemoryManager* mm,
       auto src = keys_bat->Span<const std::int32_t>();
       auto k = tkeys->Span<std::int32_t>();
       auto v = tvals->Span<std::uint32_t>();
+      const std::size_t dist =
+          common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
       for (int item = 0; item < wg.local_size(); ++item) {
-        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        ocl::UnitRange r = wg.UnitsFor(item, n);
+        for (std::uint64_t i : r) {
+          if (dist != 0 && r.step == 1 && i + dist < r.limit) {
+            HtPrefetch(k, v, mask, family, src[i + dist]);
+          }
           std::int32_t key = src[i];
           if (key == kIntNil) continue;
           std::size_t slot = family.Hash(0, static_cast<std::uint32_t>(key)) & mask;
@@ -130,8 +136,14 @@ Result<std::shared_ptr<DeviceHashTable>> BuildHashTable(MemoryManager* mm,
       auto v = tvals->Span<const std::uint32_t>();
       auto f = flags->Span<std::uint32_t>();
       std::uint32_t failed = 0;
+      const std::size_t dist =
+          common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
       for (int item = 0; item < wg.local_size(); ++item) {
-        for (std::uint64_t i : wg.UnitsFor(item, n)) {
+        ocl::UnitRange r = wg.UnitsFor(item, n);
+        for (std::uint64_t i : r) {
+          if (dist != 0 && r.step == 1 && i + dist < r.limit) {
+            HtPrefetch(k, v, mask, family, src[i + dist]);
+          }
           std::int32_t key = src[i];
           if (key == kIntNil) continue;
           std::size_t slot = family.Hash(0, static_cast<std::uint32_t>(key)) & mask;

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "common/hash.h"
+#include "common/simd.h"
 #include "cstore/bat.h"
 #include "ocelot/memory_manager.h"
 
@@ -51,6 +52,17 @@ inline std::size_t HtLookup(std::span<const std::int32_t> keys,
     if (keys[slot] == key) return slot;
   }
   return SIZE_MAX;
+}
+
+/// Prefetches the h0 slot of `key` — the line every probe touches first.
+/// Paired with HtLookup at a distance-ahead offset in the probe loops; a
+/// pure latency hint, never a semantic change.
+inline void HtPrefetch(std::span<const std::int32_t> keys,
+                       std::span<const std::uint32_t> vals, std::uint32_t mask,
+                       const common::HashFamily& family, std::int32_t key) {
+  std::size_t slot = family.Hash(0, static_cast<std::uint32_t>(key)) & mask;
+  common::simd::PrefetchRead(keys.data() + slot);
+  common::simd::PrefetchRead(vals.data() + slot);
 }
 
 /// Builds a hash table for `build` on the device. With `distinct_only`,

@@ -110,10 +110,16 @@ Result<JoinResult> OcelotEngine::HashJoin(const BatPtr& left, const BatPtr& righ
     auto tk = ht ? ht->keys->Span<const std::int32_t>() : std::span<const std::int32_t>();
     auto tv = ht ? ht->vals->Span<const std::uint32_t>() : std::span<const std::uint32_t>();
     auto c = counts->Span<std::uint32_t>();
+    const std::size_t dist =
+        ht && common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
     for (int item = 0; item < wg.local_size(); ++item) {
       std::uint32_t found = 0;
       oid_t rpos;
-      for (std::uint64_t i : wg.ContiguousUnitsFor(item, n)) {
+      ocl::UnitRange r = wg.ContiguousUnitsFor(item, n);
+      for (std::uint64_t i : r) {
+        if (dist != 0 && i + dist < r.limit && lv[i + dist] != kIntNil) {
+          HtPrefetch(tk, tv, ht->mask, ht->family, lv[i + dist]);
+        }
         if (probe(lv[i], tk, tv, &rpos)) found += 1;
       }
       c[static_cast<std::size_t>(wg.global_id(item))] = found;
@@ -143,10 +149,16 @@ Result<JoinResult> OcelotEngine::HashJoin(const BatPtr& left, const BatPtr& righ
     auto offs = offsets->Span<const std::uint32_t>();
     auto lo = lo_buf->Span<oid_t>();
     auto ro = ro_buf->Span<oid_t>();
+    const std::size_t dist =
+        ht && common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
     for (int item = 0; item < wg.local_size(); ++item) {
       std::uint32_t at = offs[static_cast<std::size_t>(wg.global_id(item))];
       oid_t rpos;
-      for (std::uint64_t i : wg.ContiguousUnitsFor(item, n)) {
+      ocl::UnitRange r = wg.ContiguousUnitsFor(item, n);
+      for (std::uint64_t i : r) {
+        if (dist != 0 && i + dist < r.limit && lv[i + dist] != kIntNil) {
+          HtPrefetch(tk, tv, ht->mask, ht->family, lv[i + dist]);
+        }
         if (probe(lv[i], tk, tv, &rpos)) {
           lo[at] = static_cast<oid_t>(i);
           ro[at] = rpos;
@@ -191,12 +203,17 @@ Result<BatPtr> SemiAnti(OcelotEngine* eng, MemoryManager* mm, ocl::DeviceContext
     auto tk = ht->keys->Span<const std::int32_t>();
     auto tv = ht->vals->Span<const std::uint32_t>();
     auto out = bits->Span<std::uint8_t>();
+    const std::size_t dist =
+        common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
     for (int item = 0; item < wg.local_size(); ++item) {
       for (std::uint64_t u : wg.UnitsFor(item, nbytes)) {
         std::uint8_t byte = 0;
         std::size_t base = static_cast<std::size_t>(u) * 8;
         std::size_t limit = std::min(n, base + 8);
         for (std::size_t i = base; i < limit; ++i) {
+          if (dist != 0 && i + dist < n && lv[i + dist] != kIntNil) {
+            HtPrefetch(tk, tv, ht->mask, ht->family, lv[i + dist]);
+          }
           bool match;
           if (lv[i] == kIntNil) {
             match = anti;  // nil has no match: anti keeps it, semi drops it

@@ -1,5 +1,7 @@
 #include "ocelot/scan.h"
 
+#include "common/simd.h"
+
 namespace ocelot {
 
 using common::Result;
@@ -17,8 +19,15 @@ Result<ocl::EventPtr> EnqueueExclusiveScan(MemoryManager* mm, ocl::BufferPtr in,
   k1.body = [in, partials, n](ocl::WorkGroup& wg) {
     auto src = in->Span<std::uint32_t>();
     auto part = partials->Span<std::uint32_t>();
+    ocl::UnitRange r = wg.GroupUnits(n);
     std::uint32_t sum = 0;
-    for (std::uint64_t i : wg.GroupUnits(n)) sum += src[i];
+    if (r.step == 1) {
+      // u32 wraparound addition is associative, so the 4-lane sum is
+      // bit-identical to the serial loop.
+      sum = common::simd::SumU32(src.data() + r.first, r.size());
+    } else {
+      for (std::uint64_t i : r) sum += src[i];
+    }
     part[static_cast<std::size_t>(wg.group_id())] = sum;
   };
   ocl::EventPtr e1 = ctx->queue()->EnqueueKernel(std::move(k1), std::move(waits));

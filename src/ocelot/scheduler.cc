@@ -113,8 +113,10 @@ BatPtr MergeValueParts(ValType type, std::vector<BatPtr>& parts) {
   const std::size_t elem = ValTypeSize(type);
   std::size_t at = 0;
   for (const BatPtr& p : parts) {
-    std::memcpy(static_cast<std::byte*>(out->data()) + at * elem, p->data(),
-                p->size() * elem);
+    if (p->size() != 0) {
+      std::memcpy(static_cast<std::byte*>(out->data()) + at * elem, p->data(),
+                  p->size() * elem);
+    }
     at += p->size();
   }
   out->set_nonil(nonil);
@@ -130,7 +132,10 @@ BatPtr MergeValueParts(ValType type, std::vector<BatPtr>& parts) {
 /// cannot launder properties away.
 BatPtr CloneBat(const BatPtr& src) {
   BatPtr out = Bat::Make(src->type(), src->size());
-  std::memcpy(out->data(), src->data(), src->tail_bytes());
+  // Empty BATs have a null heap; zero-length memcpy from null is still UB.
+  if (src->tail_bytes() != 0) {
+    std::memcpy(out->data(), src->data(), src->tail_bytes());
+  }
   out->CopyPropertiesFrom(*src);
   g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);
   return out;
@@ -334,8 +339,13 @@ PartitionPlan Scheduler::PlanParts(OpClass c, std::size_t n) {
   // so moving a cut point invalidates the covering uploads on non-unified
   // devices and pays a fresh transfer. Keep the previously adopted plan
   // for this (class, exact n, device set) unless some device's ideal share
-  // drifted by more than n/16 — EWMA jitter then never wobbles the
-  // boundaries, while a real throughput shift still re-cuts promptly.
+  // drifted by more than n/8 — EWMA jitter then never wobbles the
+  // boundaries, while a real throughput shift still re-cuts promptly. The
+  // window is sized for device sets near throughput parity (SIMD host
+  // kernels vs the modeled GPU): measurement noise there moves the ideal
+  // share by several percent, and a noise re-cut costs a transfer that
+  // dwarfs the share refinement it chased; a genuine kernel-speedup shift
+  // (1.5x+) moves shares far beyond any such window.
   std::map<std::size_t, PlanCache>& class_plans = plans_[static_cast<int>(c)];
   if (class_plans.size() > 1024) class_plans.clear();
   PlanCache& cache = class_plans[n];
@@ -345,7 +355,7 @@ PartitionPlan Scheduler::PlanParts(OpClass c, std::size_t n) {
       std::size_t ideal = slices[i].size();
       std::size_t kept = cache.shares[i];
       std::size_t drift = ideal > kept ? ideal - kept : kept - ideal;
-      stable = drift * 16 <= n;
+      stable = drift * 8 <= n;
     }
     if (stable) {
       std::vector<monet::Slice> kept(cache.shares.size());
@@ -375,7 +385,8 @@ Status Scheduler::SyncPart(int i, const BatPtr& bat) {
 
 Status Scheduler::RunPartitioned(const std::vector<int>& devices,
                                  const std::function<Status(int)>& frag,
-                                 std::vector<Nanos>* deltas_out) {
+                                 std::vector<Nanos>* deltas_out,
+                                 std::vector<Nanos>* kernel_deltas_out) {
   int parts = static_cast<int>(devices.size());
   Nanos t0 = clock_.Now();
   common::Stopwatch real;
@@ -387,6 +398,7 @@ Status Scheduler::RunPartitioned(const std::vector<int>& devices,
   SlotArbiter::Lease lease;
   if (arbiter_ != nullptr) lease = arbiter_->Acquire(devices);
   std::vector<Nanos> deltas(static_cast<std::size_t>(parts), 0);
+  std::vector<Nanos> kdeltas(static_cast<std::size_t>(parts), 0);
   std::vector<Status> statuses(static_cast<std::size_t>(parts));
   // Fragment i runs against device slot devices[i] only (the plan's device
   // ids are distinct), so concurrent fragments touch disjoint engines,
@@ -402,8 +414,10 @@ Status Scheduler::RunPartitioned(const std::vector<int>& devices,
     ocl::CommandQueue* queue =
         ctx_->at(devices[static_cast<std::size_t>(i)])->queue();
     Nanos d0 = queue->modeled_busy_ns();
+    Nanos k0 = queue->modeled_kernel_busy_ns();
     statuses[static_cast<std::size_t>(i)] = frag(i);
     deltas[static_cast<std::size_t>(i)] = queue->modeled_busy_ns() - d0;
+    kdeltas[static_cast<std::size_t>(i)] = queue->modeled_kernel_busy_ns() - k0;
   });
   Nanos longest = 0;
   for (Nanos d : deltas) longest = std::max(longest, d);
@@ -415,6 +429,7 @@ Status Scheduler::RunPartitioned(const std::vector<int>& devices,
   clock_.Deduct(real.ElapsedNanos());
   clock_.AdvanceTo(t0 + longest);
   if (deltas_out != nullptr) *deltas_out = std::move(deltas);
+  if (kernel_deltas_out != nullptr) *kernel_deltas_out = std::move(kdeltas);
   for (Status& s : statuses) {
     if (!s.ok()) return s;  // first failing fragment, deterministically
   }
@@ -426,25 +441,28 @@ Status Scheduler::RunWeighted(
     const std::function<Status(int, int, const monet::Slice&)>& part,
     const std::vector<std::size_t>* observed_rows) {
   std::vector<Nanos> deltas;
+  std::vector<Nanos> kdeltas;
   Status status = RunPartitioned(
       plan.devices,
       [&](int i) {
         return part(i, plan.devices[static_cast<std::size_t>(i)],
                     plan.slices[static_cast<std::size_t>(i)]);
       },
-      &deltas);
+      &deltas, &kdeltas);
   if (!status.ok() || static_partition_) return status;
   // Calibration feed, on the calling thread after the fragment barrier and
   // in plan order: the measured deltas are *virtual* durations, so the EWMA
   // state — and with it every later partition boundary — is invariant under
   // the host thread count (PR 2's determinism contract carries over).
+  // Kernel-only deltas: transfer time is a plan-change artifact, not a
+  // property of the device's compute rate (see RunWeighted's doc comment).
   std::size_t n = plan.slices.empty() ? 0 : plan.slices.back().end;
   for (int i = 0; i < plan.parts(); ++i) {
     std::size_t rows = observed_rows != nullptr
                            ? (*observed_rows)[static_cast<std::size_t>(i)]
                            : plan.slices[static_cast<std::size_t>(i)].size();
     tracker_.Observe(c, n, plan.devices[static_cast<std::size_t>(i)], rows,
-                     deltas[static_cast<std::size_t>(i)]);
+                     kdeltas[static_cast<std::size_t>(i)]);
   }
   return status;
 }

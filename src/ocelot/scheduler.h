@@ -321,13 +321,20 @@ class Scheduler : public cstore::QueryEngine {
   /// (the section's real host time is deducted — the fragments are modeled
   /// as concurrent on the devices). On error the lowest-index failing
   /// fragment's status is returned. `deltas`, when non-null, receives each
-  /// fragment's virtual duration.
-  common::Status RunPartitioned(const std::vector<int>& devices,
-                                const std::function<common::Status(int)>& frag,
-                                std::vector<common::Nanos>* deltas = nullptr);
+  /// fragment's virtual duration; `kernel_deltas` the kernel-only subset
+  /// (no transfers), the signal the throughput calibration wants.
+  common::Status RunPartitioned(
+      const std::vector<int>& devices,
+      const std::function<common::Status(int)>& frag,
+      std::vector<common::Nanos>* deltas = nullptr,
+      std::vector<common::Nanos>* kernel_deltas = nullptr);
 
   /// RunPartitioned over a PlanParts plan, feeding each fragment's
-  /// (rows, virtual duration) back into the throughput tracker on success.
+  /// (rows, kernel-only virtual duration) back into the throughput tracker
+  /// on success. Transfers are excluded from the calibration signal: a
+  /// boundary re-cut pays a one-time upload whose cost would depress the
+  /// device's estimate and re-move the boundary — with near-parity devices
+  /// (e.g. SIMD-accelerated host kernels) that feedback never settles.
   /// `part` receives (fragment index, device index, row range).
   /// `observed_rows`, when non-null, overrides the per-fragment row count
   /// reported to the tracker (filled in by `part`): candidate-list

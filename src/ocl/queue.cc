@@ -114,14 +114,19 @@ void CommandQueue::ExecuteKernel(PendingOp* op) {
   prof.modeled_ns += iv.end - dispatch.start;
   prof.measured_ns += total_real.ElapsedNanos();
   modeled_busy_ += iv.end - dispatch.start;
+  modeled_kernel_busy_ += iv.end - dispatch.start;
 }
 
 void CommandQueue::ExecuteTransfer(PendingOp* op) {
   common::Nanos ready = ReadyTime(*op);
-  if (op->kind == PendingOp::Kind::kWrite) {
-    std::memcpy(op->buffer->data(), op->host_src, op->bytes);
-  } else {
-    std::memcpy(op->host_dst, op->buffer->data(), op->bytes);
+  // Zero-byte transfers exist (empty columns); memcpy with a null source
+  // or destination is undefined even at zero length.
+  if (op->bytes != 0) {
+    if (op->kind == PendingOp::Kind::kWrite) {
+      std::memcpy(op->buffer->data(), op->host_src, op->bytes);
+    } else {
+      std::memcpy(op->host_dst, op->buffer->data(), op->bytes);
+    }
   }
   common::Nanos duration = device_->TransferDuration(op->bytes);
   common::Interval iv = device_->transfer_timeline().Schedule(ready, duration);

@@ -82,6 +82,13 @@ class CommandQueue {
   /// these deltas.
   common::Nanos modeled_busy_ns() const { return modeled_busy_; }
 
+  /// Kernel-only subset of modeled_busy_ns(): excludes transfer durations.
+  /// Throughput calibration reads this one — a boundary re-cut pays a
+  /// one-time upload that says nothing about the device's steady-state
+  /// compute rate, and folding it into the EWMA makes near-parity device
+  /// sets oscillate (re-cut -> transfer -> depressed estimate -> re-cut).
+  common::Nanos modeled_kernel_busy_ns() const { return modeled_kernel_busy_; }
+
  private:
   struct PendingOp {
     enum class Kind { kKernel, kWrite, kRead };
@@ -106,6 +113,7 @@ class CommandQueue {
   std::map<std::string, KernelProfile> profiles_;
   std::map<std::string, bool> compiled_;  // kernel name -> JIT done
   common::Nanos modeled_busy_ = 0;
+  common::Nanos modeled_kernel_busy_ = 0;
 };
 
 }  // namespace ocl

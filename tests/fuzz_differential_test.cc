@@ -30,6 +30,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "cstore/bat.h"
 #include "cstore/catalog.h"
 #include "cstore/types.h"
@@ -641,6 +642,67 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeWithSeqOnRandomPrograms) {
             << program.Explain();
       }
     }
+  }
+}
+
+// The SIMD axis: the same random programs, golden computed under forced
+// scalar kernels (OCELOT_SCALAR_KERNELS semantics) and every engine run
+// with the vector path enabled. Any bit of divergence means a vector
+// kernel broke the determinism contract of common/simd.h — nil handling,
+// the cvttsd2si overflow convention, double-domain float math, or the
+// radix/chained match order.
+TEST(DifferentialFuzzTest, ScalarAndSimdKernelsBitIdentical) {
+  const std::uint64_t base_seed = FuzzSeed() + 777;
+  const int iters = std::max(1, FuzzIters() / 4);
+  const std::vector<std::string> engines = mal::OrderedEngineNames();
+  const bool was_forced = !common::simd::Enabled();
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(iter);
+    common::Rng rng(seed);
+    FuzzDb db = MakeDb(rng);
+    ProgramFuzzer fuzzer(rng, db);
+    mal::Program program = fuzzer.Generate();
+
+    Rows golden;
+    {
+      common::simd::SetForceScalar(true);
+      auto session = mal::Session::Open("seq");
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      mal::RunOptions options;
+      options.mode = mal::RunOptions::Mode::kSequential;
+      auto res = mal::Run(program, db.catalog, session->get(), options);
+      common::simd::SetForceScalar(was_forced);
+      ASSERT_TRUE(res.ok()) << "seed " << seed << " iter " << iter
+                            << ": scalar golden failed: "
+                            << res.status().ToString() << "\n"
+                            << program.Explain();
+      golden = Canonicalize(res->returns);
+    }
+
+    common::simd::SetForceScalar(false);
+    for (const std::string& engine : engines) {
+      auto session = mal::Session::Open(engine);
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      mal::Program prog = program;
+      if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+      mal::RunOptions options;
+      options.mode = mal::RunOptions::Mode::kDataflow;
+      auto res = mal::Run(prog, db.catalog, session->get(), options);
+      ASSERT_TRUE(res.ok()) << "seed " << seed << " iter " << iter
+                            << " engine " << engine << " (simd): "
+                            << res.status().ToString() << "\n"
+                            << program.Explain();
+      (*session)->FinishDevices();
+      Rows got = Canonicalize(res->returns);
+      ASSERT_EQ(golden, got)
+          << "SCALAR/SIMD DIVERGENCE seed " << seed << " iter " << iter
+          << " engine " << engine
+          << "\nreplay: OCELOT_FUZZ_SEED=" << (seed - 777)
+          << " OCELOT_FUZZ_ITERS=1 ./fuzz_differential_test\n"
+          << program.Explain();
+    }
+    common::simd::SetForceScalar(was_forced);
   }
 }
 

@@ -1,0 +1,425 @@
+// Unit tests of the portable SIMD layer (common/simd.h): every public
+// primitive is bit-compared against its forced-scalar reference on
+// adversarial inputs — ragged lengths around the vector width, unaligned
+// subspans, nil sentinels (kIntNil / NaN), -0.0, infinities, INT32 range
+// edges and arithmetic overflow — plus the RadixHash/ChainedHash
+// equivalence the join kernels rely on (same matches, same descending
+// position order, duplicates included).
+//
+// The pattern throughout: run the primitive once under SetForceScalar(true)
+// (the reference, reproducing the pre-SIMD engine loops) and once with the
+// vector path enabled, then require byte equality. When the binary is
+// compiled without vector extensions the two runs coincide and the tests
+// degenerate to self-consistency — still useful as API coverage.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "monet/hashmap.h"
+
+namespace {
+
+namespace simd = common::simd;
+
+constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+const float kNaN = std::numeric_limits<float>::quiet_NaN();
+const float kInf = std::numeric_limits<float>::infinity();
+
+/// Runs `fn` once forced scalar and once with the vector path enabled,
+/// restoring the entry state afterwards.
+template <typename Fn>
+void ScalarThenVector(Fn&& fn) {
+  const bool was_forced = !simd::Enabled();
+  simd::SetForceScalar(true);
+  fn(/*scalar=*/true);
+  simd::SetForceScalar(false);
+  fn(/*scalar=*/false);
+  simd::SetForceScalar(was_forced);
+}
+
+/// The ragged lengths every sweep exercises: 0..3 vector widths plus odd
+/// tails, and one size big enough to hit the unrolled body many times.
+std::vector<std::size_t> Lengths() {
+  std::vector<std::size_t> ls;
+  for (std::size_t n = 0; n <= 13; ++n) ls.push_back(n);
+  ls.push_back(257);
+  ls.push_back(1000);
+  return ls;
+}
+
+/// Adversarial int column: nils, range edges, overflow fodder, randoms.
+std::vector<std::int32_t> IntColumn(std::size_t n, std::uint64_t seed) {
+  static const std::int32_t kSpecials[] = {kMin,     kMin + 1, kMax, kMax - 1,
+                                           0,        -1,       1,    1 << 30,
+                                           -(1 << 30)};
+  common::Rng rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.NextDouble() < 0.4) {
+      v[i] = kSpecials[rng.Uniform(0, std::size(kSpecials) - 1)];
+    } else {
+      v[i] = static_cast<std::int32_t>(rng.Uniform(kMin, kMax));
+    }
+  }
+  return v;
+}
+
+/// Adversarial float column: NaN (nil), +-0.0, +-inf, denormal, randoms.
+std::vector<float> FloatColumn(std::size_t n, std::uint64_t seed) {
+  static const float kSpecials[] = {0.0f,  -0.0f, 1.0f,    -1.0f,  1e30f,
+                                    -1e30f, 1e-40f, 0.5f,   -2.5f};
+  common::Rng rng(seed);
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < 0.15) {
+      v[i] = kNaN;
+    } else if (roll < 0.2) {
+      v[i] = rng.NextDouble() < 0.5 ? kInf : -kInf;
+    } else if (roll < 0.5) {
+      v[i] = kSpecials[rng.Uniform(0, std::size(kSpecials) - 1)];
+    } else {
+      v[i] = static_cast<float>(rng.Uniform(-1000000, 1000000)) * 0.25f;
+    }
+  }
+  return v;
+}
+
+/// Byte-exact comparison that treats NaN payloads literally.
+template <typename T>
+void ExpectBitEqual(const std::vector<T>& a, const std::vector<T>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(&a[i], &b[i], sizeof(T)))
+        << what << " diverges at element " << i;
+  }
+}
+
+const simd::Arith kAllArith[] = {simd::Arith::kAdd, simd::Arith::kSub,
+                                 simd::Arith::kMul, simd::Arith::kDiv};
+const simd::Rel kAllRel[] = {simd::Rel::kEq, simd::Rel::kNe, simd::Rel::kLt,
+                             simd::Rel::kLe, simd::Rel::kGt, simd::Rel::kGe};
+
+// --- Select ------------------------------------------------------------------
+
+TEST(SimdSelectTest, SelectRangeInt32MatchesScalar) {
+  const double bounds[][2] = {{0, 49},       {-1e18, 1e18}, {0.5, 0.5},
+                              {10.25, 99.75}, {5, 4},        {kMin, kMax}};
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> col = IntColumn(n, 100 + n);
+    for (std::size_t off = 0; off < std::min<std::size_t>(n, 4); ++off) {
+      for (const auto& b : bounds) {
+        std::vector<std::uint32_t> want, got;
+        ScalarThenVector([&](bool scalar) {
+          auto* out = scalar ? &want : &got;
+          simd::SelectRangeInt32(col.data() + off, n - off, b[0], b[1],
+                                 /*base=*/static_cast<std::uint32_t>(off), out);
+        });
+        ExpectBitEqual(want, got, "SelectRangeInt32");
+      }
+    }
+  }
+}
+
+TEST(SimdSelectTest, SelectRangeFloatMatchesScalar) {
+  const double bounds[][2] = {{-100, 100}, {0, 0}, {-0.0, 0.0}, {1e-41, 1e39}};
+  for (std::size_t n : Lengths()) {
+    std::vector<float> col = FloatColumn(n, 200 + n);
+    for (const auto& b : bounds) {
+      std::vector<std::uint32_t> want, got;
+      ScalarThenVector([&](bool scalar) {
+        simd::SelectRangeFloat(col.data(), n, b[0], b[1], /*base=*/7,
+                               scalar ? &want : &got);
+      });
+      ExpectBitEqual(want, got, "SelectRangeFloat");
+    }
+  }
+}
+
+TEST(SimdSelectTest, RangeMaskBytesMatchesScalar) {
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> iv = IntColumn(n, 300 + n);
+    std::vector<float> fv = FloatColumn(n, 400 + n);
+    std::size_t nbytes = (n + 7) / 8;
+    std::vector<std::uint8_t> want(nbytes), got(nbytes);
+    ScalarThenVector([&](bool scalar) {
+      simd::RangeMaskBytesInt32(iv.data(), n, -1000.5, 1000.5,
+                                (scalar ? want : got).data());
+    });
+    ASSERT_EQ(want, got) << "RangeMaskBytesInt32 n=" << n;
+    ScalarThenVector([&](bool scalar) {
+      simd::RangeMaskBytesFloat(fv.data(), n, -10, 10,
+                                (scalar ? want : got).data());
+    });
+    ASSERT_EQ(want, got) << "RangeMaskBytesFloat n=" << n;
+  }
+}
+
+// --- Batcalc -----------------------------------------------------------------
+
+TEST(SimdCalcTest, CalcIntIntMatchesScalarIncludingOverflow) {
+  // kDiv excluded by contract (int division yields a float column).
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> a = IntColumn(n, 500 + n);
+    std::vector<std::int32_t> b = IntColumn(n, 600 + n);
+    for (simd::Arith op :
+         {simd::Arith::kAdd, simd::Arith::kSub, simd::Arith::kMul}) {
+      std::vector<std::int32_t> want(n), got(n);
+      ScalarThenVector([&](bool scalar) {
+        simd::CalcIntInt(op, a.data(), b.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CalcIntInt");
+    }
+  }
+}
+
+TEST(SimdCalcTest, CalcIntIntOverflowFollowsCvttsd2si) {
+  // INT32_MAX + 1 and (INT32_MIN+1) - 2 overflow the int32 range; the
+  // double-domain truncation convention sends both to INT32_MIN (== nil).
+  std::int32_t a[] = {kMax, kMin + 1, kMax, 1000000000};
+  std::int32_t b[] = {1, 2, kMax, 2000000000};
+  std::int32_t add[4], sub[4];
+  simd::CalcIntInt(simd::Arith::kAdd, a, b, add, 4);
+  simd::CalcIntInt(simd::Arith::kSub, a, b, sub, 4);
+  EXPECT_EQ(add[0], kMin);  // 2^31 overflows
+  EXPECT_EQ(sub[1], kMin);  // -2^31 - 1 overflows
+  EXPECT_EQ(add[3], kMin);  // 3e9 overflows
+  EXPECT_EQ(sub[3], -1000000000);
+  EXPECT_EQ(add[2], kMin);  // 2*INT32_MAX overflows
+  EXPECT_EQ(sub[2], 0);
+}
+
+TEST(SimdCalcTest, FloatResultFamiliesMatchScalar) {
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> ia = IntColumn(n, 700 + n);
+    std::vector<std::int32_t> ib = IntColumn(n, 800 + n);
+    std::vector<float> fa = FloatColumn(n, 900 + n);
+    std::vector<float> fb = FloatColumn(n, 1000 + n);
+    for (simd::Arith op : kAllArith) {
+      std::vector<float> want(n), got(n);
+      ScalarThenVector([&](bool scalar) {
+        simd::CalcFF(op, fa.data(), fb.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CalcFF");
+      ScalarThenVector([&](bool scalar) {
+        simd::CalcFI(op, fa.data(), ib.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CalcFI");
+      ScalarThenVector([&](bool scalar) {
+        simd::CalcIF(op, ia.data(), fb.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CalcIF");
+      ScalarThenVector([&](bool scalar) {
+        simd::CalcIIf(op, ia.data(), ib.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CalcIIf");
+    }
+  }
+}
+
+TEST(SimdCalcTest, ScalarOperandFamiliesMatchScalar) {
+  const double scalars[] = {0.0, -0.0, 2.5, -3.0, 1e30};
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> ia = IntColumn(n, 1100 + n);
+    std::vector<float> fa = FloatColumn(n, 1200 + n);
+    for (simd::Arith op : kAllArith) {
+      for (double s : scalars) {
+        for (bool left : {false, true}) {
+          std::vector<float> want(n), got(n);
+          ScalarThenVector([&](bool scalar) {
+            simd::CalcScalarI(op, ia.data(), s, left,
+                              (scalar ? want : got).data(), n);
+          });
+          ExpectBitEqual(want, got, "CalcScalarI");
+          ScalarThenVector([&](bool scalar) {
+            simd::CalcScalarF(op, fa.data(), s, left,
+                              (scalar ? want : got).data(), n);
+          });
+          ExpectBitEqual(want, got, "CalcScalarF");
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdCmpTest, CompareFamiliesMatchScalar) {
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> ia = IntColumn(n, 1300 + n);
+    std::vector<std::int32_t> ib = IntColumn(n, 1400 + n);
+    std::vector<float> fa = FloatColumn(n, 1500 + n);
+    std::vector<float> fb = FloatColumn(n, 1600 + n);
+    for (simd::Rel op : kAllRel) {
+      std::vector<std::int32_t> want(n), got(n);
+      ScalarThenVector([&](bool scalar) {
+        simd::CmpII(op, ia.data(), ib.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CmpII");
+      ScalarThenVector([&](bool scalar) {
+        simd::CmpFF(op, fa.data(), fb.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CmpFF");
+      ScalarThenVector([&](bool scalar) {
+        simd::CmpFI(op, fa.data(), ib.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CmpFI");
+      ScalarThenVector([&](bool scalar) {
+        simd::CmpIF(op, ia.data(), fb.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CmpIF");
+      ScalarThenVector([&](bool scalar) {
+        simd::CmpScalarI(op, ia.data(), -7.5, (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CmpScalarI");
+      ScalarThenVector([&](bool scalar) {
+        simd::CmpScalarF(op, fa.data(), 0.0, (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "CmpScalarF");
+    }
+  }
+}
+
+TEST(SimdBoolTest, BoolBinAndCastMatchScalar) {
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> a = IntColumn(n, 1700 + n);
+    std::vector<std::int32_t> b = IntColumn(n, 1800 + n);
+    // Bool columns are 0/1 in practice but the kernel must treat any
+    // nonzero as true; feed it raw adversarial ints on purpose.
+    for (bool is_or : {false, true}) {
+      std::vector<std::int32_t> want(n), got(n);
+      ScalarThenVector([&](bool scalar) {
+        simd::BoolBin(is_or, a.data(), b.data(), (scalar ? want : got).data(), n);
+      });
+      ExpectBitEqual(want, got, "BoolBin");
+    }
+    std::vector<float> wantf(n), gotf(n);
+    ScalarThenVector([&](bool scalar) {
+      simd::CastIntToFloat(a.data(), (scalar ? wantf : gotf).data(), n);
+    });
+    ExpectBitEqual(wantf, gotf, "CastIntToFloat");
+  }
+}
+
+// --- Hashing & gather --------------------------------------------------------
+
+TEST(SimdHashTest, HashAndBucketHashMatchScalar) {
+  for (std::size_t n : Lengths()) {
+    std::vector<std::int32_t> keys = IntColumn(n, 1900 + n);
+    std::vector<std::uint32_t> want(n), got(n);
+    ScalarThenVector([&](bool scalar) {
+      simd::HashInt32(keys.data(), n, (scalar ? want : got).data());
+    });
+    ExpectBitEqual(want, got, "HashInt32");
+    for (std::uint32_t mask : {0x0u, 0x3fu, 0xffffu}) {
+      ScalarThenVector([&](bool scalar) {
+        simd::BucketHashInt32(keys.data(), n, mask, (scalar ? want : got).data());
+      });
+      ExpectBitEqual(want, got, "BucketHashInt32");
+    }
+  }
+}
+
+TEST(SimdGatherTest, GatherU32MatchesScalar) {
+  for (std::size_t n : Lengths()) {
+    std::size_t src_n = std::max<std::size_t>(n, 1);
+    std::vector<std::uint32_t> src(src_n);
+    common::Rng rng(2000 + n);
+    for (std::uint32_t& x : src) {
+      x = static_cast<std::uint32_t>(rng.Uniform(0, kMax));
+    }
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t& x : idx) {
+      x = rng.NextDouble() < 0.2
+              ? simd::kU32Nil
+              : static_cast<std::uint32_t>(
+                    rng.Uniform(0, static_cast<std::int64_t>(src_n) - 1));
+    }
+    for (std::uint32_t nil_bits :
+         {simd::kU32Nil, std::bit_cast<std::uint32_t>(kNaN), 0u}) {
+      std::vector<std::uint32_t> want(n), got(n);
+      ScalarThenVector([&](bool scalar) {
+        simd::GatherU32(src.data(), src_n, idx.data(), n, nil_bits,
+                        (scalar ? want : got).data());
+      });
+      ExpectBitEqual(want, got, "GatherU32");
+    }
+  }
+}
+
+TEST(SimdReduceTest, SumU32MatchesScalarIncludingWraparound) {
+  for (std::size_t n : Lengths()) {
+    common::Rng rng(2100 + n);
+    std::vector<std::uint32_t> v(n);
+    for (std::uint32_t& x : v) {
+      // Large values force mod-2^32 wraparound in any multi-element sum.
+      x = static_cast<std::uint32_t>(rng.Uniform(0, kMax)) | 0x80000000u;
+    }
+    std::uint32_t want = 0, got = 0;
+    ScalarThenVector([&](bool scalar) {
+      (scalar ? want : got) = simd::SumU32(v.data(), n);
+    });
+    ASSERT_EQ(want, got) << "SumU32 n=" << n;
+  }
+}
+
+// --- RadixHash vs ChainedHash ------------------------------------------------
+
+TEST(SimdJoinIndexTest, RadixMatchesChainedIncludingDuplicateOrder) {
+  // Construct both directly (RadixHash::ShouldUse would route small builds
+  // to the chained table); heavy duplication stresses the match order.
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{37},
+                        std::size_t{5000}}) {
+    common::Rng rng(3000 + n);
+    std::vector<std::int32_t> keys(n);
+    for (std::int32_t& k : keys) {
+      double roll = rng.NextDouble();
+      if (roll < 0.05) {
+        k = simd::kInt32Nil;  // nil keys are stored too; probes skip them
+      } else {
+        k = static_cast<std::int32_t>(rng.Uniform(0, 99));  // ~50x duplication
+      }
+    }
+    monet::ChainedHash chained{std::span<const std::int32_t>(keys)};
+    monet::RadixHash radix{std::span<const std::int32_t>(keys)};
+    std::vector<std::int32_t> probes = IntColumn(200, 4000 + n);
+    for (std::int32_t k = -2; k < 102; ++k) probes.push_back(k);
+    for (std::int32_t p : probes) {
+      std::vector<std::uint32_t> want, got;
+      chained.ForEachMatch(p, [&](std::uint32_t pos) { want.push_back(pos); });
+      radix.ForEachMatch(p, [&](std::uint32_t pos) { got.push_back(pos); });
+      ASSERT_EQ(want, got) << "match order diverges for key " << p;
+      ASSERT_EQ(chained.Contains(p), radix.Contains(p)) << "key " << p;
+    }
+  }
+}
+
+// --- Introspection -----------------------------------------------------------
+
+TEST(SimdIntrospectionTest, ReportsCoherentConfiguration) {
+  EXPECT_GE(simd::Width(), 1);
+  EXPECT_NE(simd::IsaName(), nullptr);
+  EXPECT_NE(simd::CpuFeatures(), nullptr);
+  EXPECT_GE(simd::PrefetchDistance(), 1u);
+  EXPECT_LE(simd::PrefetchDistance(), 256u);
+  // The runtime switch must actually flip Enabled() when the vector path
+  // is compiled in, and stay false when it is not.
+  const bool was_forced = !simd::Enabled();
+  simd::SetForceScalar(true);
+  EXPECT_FALSE(simd::Enabled());
+  simd::SetForceScalar(false);
+  EXPECT_EQ(simd::Enabled(), simd::Width() > 1);
+  simd::SetForceScalar(was_forced);
+}
+
+}  // namespace
