@@ -1,0 +1,69 @@
+// Fault-recovery overhead: virtual makespan of TPC-H Q1 on the
+// multi-device scheduler, fault-free vs under a transient-retry fault
+// schedule vs degraded (GPU permanently dead at startup, quarantined on
+// first touch). Written to BENCH_faults.json so recovery overhead is
+// tracked like any other figure.
+//
+// The retry ladder's cost model: a retried kernel bills the same modeled
+// duration again plus the re-run of its batch siblings, so the
+// transient-retry point should sit a bounded factor above fault-free —
+// growth of that gap is a regression in the recovery path, not in the
+// operators. The degraded point should approach the single-CPU makespan.
+
+#include <string>
+
+#include "bench/harness.h"
+#include "common/logging.h"
+#include "ocl/fault.h"
+
+namespace {
+
+struct FaultPoint {
+  const char* label;
+  const char* spec;  // empty = fault-free
+};
+
+const FaultPoint kPoints[] = {
+    {"fault-free", ""},
+    // One transient kernel blip per device early in the plan: each costs
+    // exactly one batch retry.
+    {"transient-retry", "dev=*,op=kernel,at=4,mode=transient"},
+    // The GPU never executes a single kernel: first touch strikes it out
+    // and the whole query runs on the surviving CPU.
+    {"degraded-gpu-dead", "dev=gpu,op=kernel,p=1,mode=permanent"},
+};
+
+void RegisterPoints() {
+  for (const FaultPoint& point : kPoints) {
+    std::string name = std::string("Faults/Q1/MULTI/") + point.label;
+    std::string spec = point.spec;
+    benchmark::RegisterBenchmark(
+        name.c_str(), [spec](benchmark::State& state) {
+          const tpch::TpchDb& db = bench::Db(1.0);
+          if (!spec.empty()) ocl::SetFaultSpecForTesting(spec);
+          // A fresh session per iteration: fault schedules are per-context
+          // op counts, so reuse would shift where scripted faults land.
+          ocl::DeviceModel gpu = bench::TpchGpuModel();
+          ocl::DeviceModel cpu = bench::TpchCpuModel();
+          for (auto _ : state) {
+            auto session = bench::OpenSession("ocelot:multi", &gpu, &cpu);
+            double ms = bench::MeasureVirtualMs(session.get(), [&] {
+              OCELOT_CHECK(bench::RunQuery(1, db, session.get()))
+                  << "Q1 must survive the fault schedule: " << spec;
+            });
+            state.SetIterationTime(ms / 1e3);
+          }
+          ocl::ClearFaultSpecForTesting();
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterPoints();
+  return bench::RunBenchmarks(argc, argv, "BENCH_faults.json");
+}

@@ -26,6 +26,7 @@
 #include "bench/harness.h"
 #include "common/vclock.h"
 #include "mal/service.h"
+#include "ocl/fault.h"
 
 namespace {
 
@@ -105,6 +106,47 @@ void RegisterPoints() {
           ->Unit(benchmark::kMillisecond)
           ->Iterations(3);
     }
+  }
+
+  // Degraded-mode point: the GPU is permanently dead from its first kernel
+  // on, so every session quarantines it and serves the workload from the
+  // surviving CPU. Lands in BENCH_service.json next to the healthy points —
+  // the visible cost of losing a device under load.
+  std::vector<std::string> engines = Engines();
+  if (std::find(engines.begin(), engines.end(), std::string("ocelot:multi")) !=
+      engines.end()) {
+    benchmark::RegisterBenchmark(
+        "ServiceThroughput/MULTI-degraded/sessions:4",
+        [](benchmark::State& state) {
+          ocl::SetFaultSpecForTesting("dev=gpu,op=kernel,p=1,mode=permanent");
+          const tpch::TpchDb& db = bench::Db(1.0);
+          mal::ServiceOptions options;
+          options.max_sessions = 4;
+          auto service = mal::QueryService::Open("ocelot:multi", &db.catalog,
+                                                 options);
+          OCELOT_CHECK(service.ok()) << service.status().ToString();
+          int queries = 0;
+          RunRounds(service->get(), db, 1, &queries);
+          double total_ms = 0;
+          int total_queries = 0;
+          for (auto _ : state) {
+            int n = 0;
+            double ms = RunRounds(service->get(), db, 2, &n);
+            state.SetIterationTime(ms / 1e3);
+            total_ms += ms;
+            total_queries += n;
+          }
+          if (total_ms > 0) {
+            state.counters["qps"] = total_queries / (total_ms / 1e3);
+            state.counters["real_ms"] =
+                total_ms / static_cast<double>(state.iterations());
+          }
+          state.counters["sessions"] = 4;
+          ocl::ClearFaultSpecForTesting();
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
   }
 }
 

@@ -1,0 +1,78 @@
+#ifndef OCELOT_COMMON_CANCEL_H_
+#define OCELOT_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace common {
+
+/// Cooperative cancellation + deadline for one query.
+///
+/// The interpreter polls `Check()` at instruction boundaries (both the
+/// serial loop and the dataflow workers), so a cancel or an expired
+/// deadline stops a query between instructions — never mid-operator, so
+/// no partial result can escape. All state is atomic: the service thread
+/// that arms a deadline or calls `Cancel()` races benignly with the
+/// interpreter threads polling it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute wall-clock deadline (steady clock).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            deadline.time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `budget` from now.
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    SetDeadline(std::chrono::steady_clock::now() + budget);
+  }
+
+  void ClearDeadline() {
+    deadline_ns_.store(kNoDeadline, std::memory_order_relaxed);
+  }
+
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+  /// Ok while the query may proceed; kCancelled / kDeadlineExceeded once
+  /// it must stop. Cancellation wins over the deadline when both fire.
+  Status Check() const {
+    if (cancel_requested()) return Status::Cancelled("query cancelled");
+    std::int64_t limit = deadline_ns_.load(std::memory_order_relaxed);
+    if (limit != kNoDeadline) {
+      std::int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+      if (now >= limit) return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+};
+
+}  // namespace common
+
+#endif  // OCELOT_COMMON_CANCEL_H_

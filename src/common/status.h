@@ -19,6 +19,9 @@ enum class StatusCode {
   kResourceExhausted,
   kUnsupported,
   kInternal,
+  kDeviceLost,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// A success-or-error result without a payload.
@@ -48,6 +51,21 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeviceLost(std::string msg) {
+    return Status(StatusCode::kDeviceLost, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// Rebuilds a status with the same code but a different message — used by
+  /// layers that add context without collapsing the code (error codes must
+  /// survive to the service tier verbatim).
+  static Status WithCode(StatusCode code, std::string msg) {
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

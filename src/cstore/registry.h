@@ -50,8 +50,9 @@ class EngineBundle {
   virtual ocl::Context* ocl_context() { return nullptr; }
 
   /// Drains any device queues and settles the clock (clFinish analogue);
-  /// no-op for host-resident engines.
-  virtual void Finish() {}
+  /// no-op for host-resident engines. Returns the first pending device
+  /// fault, if the drain flushed failed work (and clears it).
+  virtual common::Status Finish() { return common::Status::Ok(); }
 };
 
 /// Process-wide name -> factory map for execution engines. Each layer

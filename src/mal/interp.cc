@@ -404,8 +404,23 @@ Status ExecInstr(EvalCtx& ctx, const Instr& ins) {
 }
 
 Status WrapInstrError(const Instr& ins, const Status& st) {
-  if (st.code() == common::StatusCode::kUnsupported) return st;
-  return Status::Internal(ins.module + "." + ins.op + ": " + st.ToString());
+  switch (st.code()) {
+    case common::StatusCode::kUnsupported:
+    case common::StatusCode::kCancelled:
+    case common::StatusCode::kDeadlineExceeded:
+      // Verbatim: cancellation and deadline kills are not the instruction's
+      // fault, and the service tier dispatches on these codes.
+      return st;
+    case common::StatusCode::kDeviceLost:
+    case common::StatusCode::kResourceExhausted:
+      // Add instruction context but keep the code — a device fault that
+      // survived every scheduler recovery path must reach the service
+      // tier as a device fault, not be laundered into Internal.
+      return Status::WithCode(st.code(),
+                              ins.module + "." + ins.op + ": " + st.ToString());
+    default:
+      return Status::Internal(ins.module + "." + ins.op + ": " + st.ToString());
+  }
 }
 
 bool DataflowEnabled(RunOptions::Mode mode) {
@@ -513,6 +528,10 @@ Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
     // live in `vars` until the program ends.
     for (std::size_t i = 0; i < program.instrs.size(); ++i) {
       const Instr& ins = program.instrs[i];
+      // Cooperative cancellation boundary: a cancelled or over-deadline
+      // query stops before the next operator, leaving no half-built state
+      // (every completed instruction's results are whole).
+      if (options.cancel != nullptr) RETURN_IF_ERROR(options.cancel->Check());
       Status st = ExecInstr(ctx, ins);
       if (!st.ok()) return WrapInstrError(ins, st);
       if (options.after_instr) options.after_instr(static_cast<int>(i));
@@ -541,6 +560,7 @@ Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
     std::vector<int> uses = dag.use_count;
     for (int i = 0; i < n; ++i) {
       const Instr& ins = program.instrs[static_cast<std::size_t>(i)];
+      if (options.cancel != nullptr) RETURN_IF_ERROR(options.cancel->Check());
       common::Nanos c0 = clock->Now();
       Status st = ExecInstr(ctx, ins);
       if (!st.ok()) return WrapInstrError(ins, st);
@@ -586,7 +606,12 @@ Result<ExecResult> Run(const Program& program, const cstore::Catalog& catalog,
 
         const Instr& ins = program.instrs[static_cast<std::size_t>(i)];
         common::Nanos c0 = clock->Now();
-        Status st = ExecInstr(ctx, ins);
+        // Cancellation boundary at instruction claim: a cancelled query's
+        // remaining instructions fail here and flow through the
+        // first-error machinery, so concurrent lanes drain deterministically.
+        Status st = options.cancel != nullptr ? options.cancel->Check()
+                                              : Status::Ok();
+        if (st.ok()) st = ExecInstr(ctx, ins);
         std::vector<Value> graveyard;
         lock.lock();
         ex.cur_parallel -= 1;

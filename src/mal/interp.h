@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/vclock.h"
 #include "cstore/catalog.h"
 #include "cstore/engine.h"
@@ -96,7 +97,7 @@ class Session {
 
   /// Drains every device queue of the session and settles the clock
   /// (clFinish analogue); no-op for host-resident engines.
-  void FinishDevices() { bundle_->Finish(); }
+  common::Status FinishDevices() { return bundle_->Finish(); }
 
  private:
   Session() = default;
@@ -141,6 +142,13 @@ struct RunOptions {
   /// killed were released (serialized under the executor lock in parallel
   /// mode). Mid-query memory observations hook here.
   std::function<void(int)> after_instr;
+  /// Cooperative cancellation/deadline token, checked at instruction
+  /// boundaries by every executor (serial, ordered dataflow, concurrent).
+  /// A tripped token stops the run with kCancelled / kDeadlineExceeded
+  /// before the next operator starts — completed instructions are never
+  /// half-built, so cancellation can't corrupt shared state. Not owned;
+  /// must outlive the run. Null disables the checks.
+  const common::CancelToken* cancel = nullptr;
 };
 
 /// The MAL interpreter (MonetDB's execution layer in miniature). Column

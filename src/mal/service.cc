@@ -63,8 +63,14 @@ QueryService::~QueryService() {
 }
 
 std::future<common::Result<ExecResult>> QueryService::Submit(Program program) {
+  return Submit(std::move(program), SubmitOptions{});
+}
+
+std::future<common::Result<ExecResult>> QueryService::Submit(Program program,
+                                                             SubmitOptions options) {
   Job job;
   job.program = std::move(program);
+  job.options = std::move(options);
   std::future<common::Result<ExecResult>> future = job.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -90,6 +96,17 @@ std::uint64_t QueryService::completed() const {
   return completed_;
 }
 
+DegradationStats QueryService::degradation() const {
+  DegradationStats s;
+  s.retries = agg_retries_.load(std::memory_order_relaxed);
+  s.quarantines = agg_quarantines_.load(std::memory_order_relaxed);
+  s.fallbacks = agg_fallbacks_.load(std::memory_order_relaxed);
+  s.deadline_kills = agg_deadline_kills_.load(std::memory_order_relaxed);
+  s.cancel_kills = agg_cancel_kills_.load(std::memory_order_relaxed);
+  s.failures = agg_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void QueryService::WorkerLoop() {
   for (;;) {
     Job job;
@@ -102,7 +119,8 @@ void QueryService::WorkerLoop() {
       active_ += 1;
       peak_active_ = std::max(peak_active_, active_);
     }
-    common::Result<ExecResult> result = RunOne(std::move(job.program));
+    common::Result<ExecResult> result =
+        RunOne(std::move(job.program), job.options);
     {
       // Account *before* fulfilling the promise: a caller that observed its
       // future resolve must see the query counted.
@@ -115,20 +133,73 @@ void QueryService::WorkerLoop() {
   }
 }
 
-common::Result<ExecResult> QueryService::RunOne(Program program) {
+common::Result<ExecResult> QueryService::RunOne(Program program,
+                                                const SubmitOptions& options) {
   // A fresh session per query: own engine, own simulated contexts, own
   // clocks, cold calibration. Queries never share mutable engine state —
   // the whole reason the serial-vs-concurrent bit-identity contract holds.
-  ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                   Session::Open(engine_name_, options_.engine_options));
-  if (auto* sched = dynamic_cast<ocelot::Scheduler*>(session->engine())) {
-    sched->set_slot_arbiter(&arbiter_);
-    if (options_.static_partition) sched->set_static_partition(true);
-  }
-  if (session->hardware_oblivious()) program = RewriteForOcelot(program);
-  ASSIGN_OR_RETURN(ExecResult result,
-                   Run(program, *catalog_, session.get(), RunOptions{}));
-  session->FinishDevices();
+  common::Result<ExecResult> result = [&]() -> common::Result<ExecResult> {
+    ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                     Session::Open(engine_name_, options_.engine_options));
+    ocelot::Scheduler* sched =
+        dynamic_cast<ocelot::Scheduler*>(session->engine());
+    if (sched != nullptr) {
+      sched->set_slot_arbiter(&arbiter_);
+      if (options_.static_partition) sched->set_static_partition(true);
+    }
+    if (session->hardware_oblivious()) program = RewriteForOcelot(program);
+
+    // The deadline is armed here — at dequeue — not at Submit: queue wait
+    // under admission control is the service's doing, not the query's, and
+    // must not eat the query's execution budget.
+    std::shared_ptr<common::CancelToken> token = options.cancel;
+    if (options.deadline.count() > 0) {
+      if (token == nullptr) token = std::make_shared<common::CancelToken>();
+      token->SetDeadlineAfter(options.deadline);
+    }
+    RunOptions run_options;
+    run_options.cancel = token.get();
+
+    common::Result<ExecResult> r =
+        Run(program, *catalog_, session.get(), run_options);
+
+    // Per-query fault-recovery counters come straight off the scheduler:
+    // the session is query-private, so its totals are this query's story.
+    DegradationStats q;
+    if (sched != nullptr) {
+      ocelot::FaultStats fs = sched->fault_stats();
+      q.retries = fs.retries;
+      q.quarantines = fs.quarantines;
+      q.fallbacks = fs.fallbacks;
+    }
+    if (!r.ok()) {
+      switch (r.status().code()) {
+        case common::StatusCode::kDeadlineExceeded:
+          q.deadline_kills = 1;
+          break;
+        case common::StatusCode::kCancelled:
+          q.cancel_kills = 1;
+          break;
+        default:
+          q.failures = 1;
+          break;
+      }
+    }
+    agg_retries_.fetch_add(q.retries, std::memory_order_relaxed);
+    agg_quarantines_.fetch_add(q.quarantines, std::memory_order_relaxed);
+    agg_fallbacks_.fetch_add(q.fallbacks, std::memory_order_relaxed);
+    agg_deadline_kills_.fetch_add(q.deadline_kills, std::memory_order_relaxed);
+    agg_cancel_kills_.fetch_add(q.cancel_kills, std::memory_order_relaxed);
+    agg_failures_.fetch_add(q.failures, std::memory_order_relaxed);
+    if (options.stats != nullptr) *options.stats = q;
+
+    // Drain the device queues deliberately *without* failing the query on a
+    // residual drain-time fault: every result BAT was already synced to the
+    // host fragment by fragment, so a fault surfacing here cannot have
+    // touched the answer (and the recovery ladder handled live faults).
+    (void)session->FinishDevices();
+    return r;
+  }();
   return result;
 }
 

@@ -1,6 +1,8 @@
 #ifndef OCELOT_MAL_SERVICE_H_
 #define OCELOT_MAL_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -11,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "cstore/catalog.h"
 #include "cstore/registry.h"
 #include "mal/interp.h"
@@ -42,6 +45,38 @@ struct ServiceOptions {
 
   /// Model overrides passed through to every session's engine factory.
   cstore::EngineOptions engine_options;
+};
+
+/// Graceful-degradation counters: how much fault recovery, cancellation and
+/// deadline enforcement a query (or the whole service, aggregated) needed.
+/// All zero on a healthy run. The first three mirror the scheduler's
+/// ocelot::FaultStats (sessions are per-query, so the session totals *are*
+/// the query's stats); the rest classify terminal query outcomes.
+struct DegradationStats {
+  std::uint64_t retries = 0;      ///< operator batches re-run after device faults
+  std::uint64_t quarantines = 0;  ///< devices quarantined mid-query
+  std::uint64_t fallbacks = 0;    ///< operators completed on the host engine
+  std::uint64_t deadline_kills = 0;  ///< queries ended with kDeadlineExceeded
+  std::uint64_t cancel_kills = 0;    ///< queries ended with kCancelled
+  std::uint64_t failures = 0;        ///< queries ended with any other error
+};
+
+/// Per-submission knobs (Submit without options keeps the old behavior).
+struct SubmitOptions {
+  /// Execution deadline, armed when the query is *dequeued* — time spent
+  /// waiting in the admission queue does not count against it, so one slow
+  /// query cannot make every queued successor miss its budget. The
+  /// interpreter checks it cooperatively at instruction boundaries; an
+  /// over-budget query resolves to kDeadlineExceeded. Zero = no deadline.
+  std::chrono::nanoseconds deadline{0};
+  /// Caller-held cancellation handle: Cancel() it any time to stop the
+  /// query at its next instruction boundary (future resolves to
+  /// kCancelled). Optional; the service creates an internal token when a
+  /// deadline needs one.
+  std::shared_ptr<common::CancelToken> cancel;
+  /// When non-null, receives this query's degradation counters before its
+  /// future resolves. Must outlive the query.
+  DegradationStats* stats = nullptr;
 };
 
 /// A concurrent query service: N sessions of one engine configuration
@@ -98,10 +133,15 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues `program` for execution; the future resolves to the query's
-  /// result (or its error — a failing query never takes the service down).
-  /// Queries are admitted in submission order; up to max_sessions() execute
-  /// concurrently.
+  /// result (or its error — a failing query never takes the service down;
+  /// error codes reach the future verbatim, so callers can dispatch on
+  /// kDeadlineExceeded / kCancelled / kDeviceLost). Queries are admitted in
+  /// submission order; up to max_sessions() execute concurrently.
   std::future<common::Result<ExecResult>> Submit(Program program);
+
+  /// Submit with per-query deadline / cancellation / stats plumbing.
+  std::future<common::Result<ExecResult>> Submit(Program program,
+                                                 SubmitOptions options);
 
   /// Blocks until every submission accepted so far has completed.
   void Drain();
@@ -114,6 +154,8 @@ class QueryService {
   int peak_sessions() const;
   /// Queries completed (successfully or not) since Open.
   std::uint64_t completed() const;
+  /// Aggregate degradation counters across every completed query.
+  DegradationStats degradation() const;
 
   /// The service's physical-slot arbiter (slot count = the machine's
   /// device count; installed into every session's Scheduler).
@@ -122,6 +164,7 @@ class QueryService {
  private:
   struct Job {
     Program program;
+    SubmitOptions options;
     std::promise<common::Result<ExecResult>> promise;
   };
 
@@ -129,8 +172,9 @@ class QueryService {
                const ServiceOptions& options, int slot_count);
 
   void WorkerLoop();
-  /// One query, start to finish, on a freshly opened session.
-  common::Result<ExecResult> RunOne(Program program);
+  /// One query, start to finish, on a freshly opened session; fills
+  /// `options.stats` and folds the query's counters into the aggregate.
+  common::Result<ExecResult> RunOne(Program program, const SubmitOptions& options);
 
   const std::string engine_name_;
   const cstore::Catalog* const catalog_;
@@ -145,6 +189,15 @@ class QueryService {
   int active_ = 0;
   int peak_active_ = 0;
   std::uint64_t completed_ = 0;
+
+  /// Aggregate degradation counters (atomics: workers fold in their query's
+  /// counters off mu_, readers snapshot without blocking the queue).
+  std::atomic<std::uint64_t> agg_retries_{0};
+  std::atomic<std::uint64_t> agg_quarantines_{0};
+  std::atomic<std::uint64_t> agg_fallbacks_{0};
+  std::atomic<std::uint64_t> agg_deadline_kills_{0};
+  std::atomic<std::uint64_t> agg_cancel_kills_{0};
+  std::atomic<std::uint64_t> agg_failures_{0};
 
   std::vector<std::thread> workers_;
 };

@@ -558,7 +558,7 @@ Result<double> Reduce(MemoryManager* mm, ocl::DeviceContext* ctx, const BatPtr& 
   // 8-byte result read-back.
   double result = 0;
   ocl::EventPtr read = ctx->queue()->EnqueueRead(&result, partials, 8, {e2});
-  ctx->queue()->Wait(read);
+  RETURN_IF_ERROR(ctx->queue()->Wait(read));
   result = partials->Span<double>()[0];
   return result;
 }

@@ -62,6 +62,33 @@ Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
   if (bat == nullptr) return Status::InvalidArgument("AcquireRead: null BAT");
   BufferKey key = KeyOf(bat);
   Entry& entry = entries_[key];
+  if (entry.producer != nullptr && entry.producer->failed()) {
+    if (bat->ocelot_owned()) {
+      // The kernel that was to *compute* this result failed: there is no
+      // valid copy of these bytes anywhere (on unified devices the heap
+      // was never written; on discrete ones the device buffer holds
+      // garbage and the host heap was never read back). This is a device
+      // fault, not a cache miss — surface the queue's fault code so the
+      // retry ladder above sees kDeviceLost / kResourceExhausted rather
+      // than garbage data or a plan error. (A parked offload copy is the
+      // one loss here: its failed re-upload would be host-retryable, but
+      // distinguishing it is not worth serving garbage when wrong.)
+      Status fault = ctx_->queue()->fault();
+      if (fault.ok()) {
+        fault = Status::DeviceLost("AcquireRead: producer kernel of " +
+                                   entry.producer->label() + " failed");
+      }
+      return fault;
+    }
+    // A failed *upload* of host-authoritative bytes: the cached copy is
+    // garbage but the host heap is intact. Drop the entry so the normal
+    // path re-uploads (the re-upload may fail again; the retry ladder
+    // above us decides how often to try).
+    WaitForQuiescence(&entry);
+    entry.buffer.reset();
+    entry.producer.reset();
+    entry.device_authoritative = false;
+  }
   if (entry.stale && entry.scope_refs == 0) {
     // Marked stale by an overlapping write while scope-held, and the scope
     // has since closed without this key being re-held: drop the pre-write
@@ -89,9 +116,15 @@ Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
         reloads_ += 1;
       } else if (bat->ocelot_owned()) {
         // The BAT says its authoritative bytes live on a device, but this
-        // range has no device-resident buffer here (e.g. a sub-range view
-        // of an unsynced result, or a result of another device's engine).
-        // Uploading the host heap would silently read stale bytes.
+        // range has no device-resident buffer here. If the queue carries a
+        // pending fault, the likely story is that the entry was reaped
+        // after its producer failed (EvictOne's garbage-drop) — surface
+        // that fault so callers see a retryable device error. Otherwise
+        // it's a plan error (a sub-range view of an unsynced result, or a
+        // result of another device's engine): uploading the host heap
+        // would silently read stale bytes.
+        Status fault = ctx_->queue()->fault();
+        if (!fault.ok()) return fault;
         return Status::InvalidArgument(
             "AcquireRead: BAT is device-owned but this range is not "
             "device-resident here (sync the producing engine first)");
@@ -102,7 +135,7 @@ Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
       SubsumeCoveredEntries(key);
     }
   }
-  if (entry.producer != nullptr && !entry.producer->complete() && waits != nullptr) {
+  if (entry.producer != nullptr && !entry.producer->settled() && waits != nullptr) {
     waits->push_back(entry.producer);
   }
   Hold(scope, key, &entry);
@@ -207,11 +240,11 @@ Result<ocl::BufferPtr> MemoryManager::AllocateWithEviction(std::size_t bytes) {
 }
 
 void MemoryManager::WaitForQuiescence(Entry* entry) {
-  if (entry->producer != nullptr && !entry->producer->complete()) {
+  if (entry->producer != nullptr && !entry->producer->settled()) {
     ctx_->queue()->Wait(entry->producer);
   }
   for (const ocl::EventPtr& e : entry->consumers) {
-    if (!e->complete()) ctx_->queue()->Wait(e);
+    if (!e->settled()) ctx_->queue()->Wait(e);
   }
   entry->consumers.clear();
 }
@@ -283,13 +316,27 @@ bool MemoryManager::EvictOne() {
 
   BatPtr bat = victim->bat.lock();
   OCELOT_CHECK(bat != nullptr);
+  if (victim->producer != nullptr && victim->producer->failed()) {
+    // The "result" was never produced: garbage, droppable outright.
+    WaitForQuiescence(victim);
+    victim->buffer.reset();
+    victim->producer.reset();
+    entries_.erase(victim_key);
+    evictions_ += 1;
+    return true;
+  }
   ocl::EventList waits;
-  if (victim->producer != nullptr && !victim->producer->complete()) {
+  if (victim->producer != nullptr && !victim->producer->settled()) {
     waits.push_back(victim->producer);
   }
   ocl::EventPtr read = ctx_->queue()->EnqueueRead(bat->data(), victim->buffer,
                                                   bat->tail_bytes(), waits);
-  ctx_->queue()->Wait(read);
+  if (!ctx_->queue()->Wait(read).ok()) {
+    // The offload transfer itself faulted: the device copy is still the
+    // only one, so nothing was freed. Report "nothing evictable" and let
+    // the allocation failure surface to the retry ladder.
+    return false;
+  }
   WaitForQuiescence(victim);
   victim->buffer.reset();   // freed once pending closures drop their refs
   victim->producer.reset();
@@ -311,9 +358,9 @@ void MemoryManager::AddConsumer(const BatPtr& bat, ocl::EventPtr event) {
   auto it = entries_.find(KeyOf(bat));
   if (it == entries_.end()) return;
   // Consumer events decide when a buffer may be discarded (footnote 5);
-  // prune completed ones to bound the list.
+  // prune settled ones to bound the list.
   std::erase_if(it->second.consumers,
-                [](const ocl::EventPtr& e) { return e->complete(); });
+                [](const ocl::EventPtr& e) { return e->settled(); });
   it->second.consumers.push_back(std::move(event));
 }
 
@@ -375,14 +422,22 @@ Status MemoryManager::SyncToHost(const BatPtr& bat) {
     return Status::Ok();
   }
   Entry& entry = it->second;
-  if (entry.producer != nullptr && !entry.producer->complete()) {
+  if (entry.producer != nullptr && !entry.producer->settled()) {
     ctx_->queue()->Wait(entry.producer);
+  }
+  if (entry.producer != nullptr && entry.producer->failed()) {
+    // The result was never produced; the host heap keeps its pre-op bytes
+    // (no partial write can escape). Surface the failure instead of
+    // silently declaring the host authoritative over garbage.
+    return Status::DeviceLost("SyncToHost: producer of '" +
+                              entry.producer->label() + "' failed on " +
+                              ctx_->device()->name());
   }
   if (!ctx_->device()->model().unified_memory && entry.device_authoritative &&
       entry.buffer != nullptr) {
     ocl::EventPtr read =
         ctx_->queue()->EnqueueRead(bat->data(), entry.buffer, bat->tail_bytes());
-    ctx_->queue()->Wait(read);
+    RETURN_IF_ERROR(ctx_->queue()->Wait(read));
   }
   entry.device_authoritative = false;
   bat->set_ocelot_owned(false);
@@ -403,6 +458,57 @@ void MemoryManager::Unpin(const BatPtr& bat) {
   if (it != entries_.end()) it->second.pinned = false;
 }
 
+std::size_t MemoryManager::PurgeFailed() {
+  // Post-fault cleanup, called by the scheduler's driving thread after the
+  // slot's queue has been drained (all events settled): every entry whose
+  // producer or any consumer failed holds garbage or fed a failed op — drop
+  // it so a retry re-uploads fresh host bytes instead of reading the junk.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    Entry& e = it->second;
+    bool fault = e.producer != nullptr && e.producer->failed();
+    for (const ocl::EventPtr& c : e.consumers) fault = fault || c->failed();
+    if (!fault) {
+      ++it;
+      continue;
+    }
+    WaitForQuiescence(&e);
+    if (BatPtr bat = e.bat.lock()) bat->set_ocelot_owned(false);
+    it = entries_.erase(it);
+    dropped += 1;
+  }
+  auto bm = bitmaps_.begin();
+  while (bm != bitmaps_.end()) {
+    if (bm->second.producer != nullptr && bm->second.producer->failed()) {
+      bm = bitmaps_.erase(bm);
+      dropped += 1;
+    } else {
+      ++bm;
+    }
+  }
+  return dropped;
+}
+
+std::size_t MemoryManager::Quarantine() {
+  // The device is being retired from the plan: every cached buffer, bitmap
+  // and hash table bound to it is unreachable state. Cached uploads of
+  // host-resident BATs lose nothing; device-authoritative results are
+  // declared lost (their ops will be recomputed on surviving devices), so
+  // their BATs revert to host ownership rather than pointing at a corpse.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = entries_.size() + bitmaps_.size() + hash_tables_.size();
+  for (auto& [key, e] : entries_) {
+    WaitForQuiescence(&e);
+    if (BatPtr bat = e.bat.lock()) bat->set_ocelot_owned(false);
+  }
+  entries_.clear();
+  bitmaps_.clear();
+  hash_tables_.clear();
+  return dropped;
+}
+
 void MemoryManager::OnBatDeleted(std::uint64_t bat_id) {
   // MonetDB told us the BAT is gone (paper 4.3): its bitmap and hash table
   // are garbage now. Buffer-cache entries are keyed on heap identity and
@@ -414,9 +520,12 @@ void MemoryManager::OnBatDeleted(std::uint64_t bat_id) {
 }
 
 bool MemoryManager::Quiescent(const Entry& entry) {
-  if (entry.producer != nullptr && !entry.producer->complete()) return false;
+  // Settled, not complete: a failed event is just as terminal — treating it
+  // as "still busy" would make the entry permanently non-quiescent and push
+  // foreign-thread reapers (OnHeapDeleted) into draining the queue.
+  if (entry.producer != nullptr && !entry.producer->settled()) return false;
   for (const ocl::EventPtr& e : entry.consumers) {
-    if (!e->complete()) return false;
+    if (!e->settled()) return false;
   }
   return true;
 }

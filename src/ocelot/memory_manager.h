@@ -134,7 +134,21 @@ class MemoryManager {
 
   /// Waits for the producer and makes the BAT's host heap authoritative
   /// (device->host read on discrete devices); clears ocelot ownership.
+  /// Fails (without corrupting the host heap) when the producer or the
+  /// readback faulted.
   common::Status SyncToHost(const cstore::BatPtr& bat);
+
+  // -- Fault recovery -----------------------------------------------------------
+
+  /// Drops every cache entry touched by a failed event (garbage uploads,
+  /// never-produced results, bitmaps of failed kernels). Call after the
+  /// slot's queue has been drained, before retrying. Returns entries dropped.
+  std::size_t PurgeFailed();
+
+  /// Retires the whole device cache: the device has been quarantined, so
+  /// every entry/bitmap/hash table bound to its buffers is dropped and
+  /// surviving BATs revert to host ownership. Returns entries dropped.
+  std::size_t Quarantine();
 
   /// Pins a BAT's device buffer (never evicted) — the manual refcount bump
   /// of paper 3.3.

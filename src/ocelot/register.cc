@@ -39,7 +39,7 @@ class SingleDeviceBundle : public cstore::EngineBundle {
   common::VirtualClock* clock() override { return ctx_->clock(); }
   bool hardware_oblivious() const override { return true; }
   ocl::Context* ocl_context() override { return ctx_.get(); }
-  void Finish() override { ctx_->FinishAll(); }
+  common::Status Finish() override { return ctx_->FinishAll(); }
 
  private:
   std::unique_ptr<ocl::Context> ctx_;
@@ -56,7 +56,7 @@ class MultiDeviceBundle : public cstore::EngineBundle {
   common::VirtualClock* clock() override { return scheduler_.clock(); }
   bool hardware_oblivious() const override { return true; }
   ocl::Context* ocl_context() override { return ctx_.get(); }
-  void Finish() override { ctx_->FinishAll(); }
+  common::Status Finish() override { return ctx_->FinishAll(); }
 
  private:
   std::unique_ptr<ocl::Context> ctx_;

@@ -79,7 +79,7 @@ Result<std::uint32_t> ReadScalarU32(ocl::DeviceContext* ctx, ocl::BufferPtr buff
   ocl::EventPtr read = ctx->queue()->EnqueueRead(
       &value, buffer, 4, std::move(waits));
   // EnqueueRead copies from the buffer start; re-read the right slot below.
-  ctx->queue()->Wait(read);
+  RETURN_IF_ERROR(ctx->queue()->Wait(read));
   value = src[index];
   return value;
 }

@@ -21,10 +21,12 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <thread>
 
 #include "common/thread_pool.h"
 #include "monet/mitosis.h"
@@ -149,6 +151,23 @@ void MarkCandidate(const BatPtr& b) {
   b->set_nonil(true);
 }
 
+/// The failure classes the retry/quarantine/fallback ladder handles:
+/// injected or real device loss and device-memory exhaustion. Anything else
+/// (bad arguments, engine bugs) is not a device's fault and surfaces
+/// immediately, unretried.
+bool IsDeviceFault(const Status& s) {
+  return s.code() == common::StatusCode::kDeviceLost ||
+         s.code() == common::StatusCode::kResourceExhausted;
+}
+
+/// Exponential backoff between retry attempts (attempt >= 1). Real time
+/// only — the virtual clocks never see it — and deliberately tiny: the
+/// whole kMaxAttempts ladder costs single-digit milliseconds, enough to let
+/// a genuinely transient condition clear without stalling tests.
+void Backoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::microseconds(50LL << std::min(attempt, 8)));
+}
+
 }  // namespace
 
 // --- Throughput calibration --------------------------------------------------
@@ -250,6 +269,8 @@ Scheduler::Scheduler(ocl::Context* ctx)
       primary_ = i;
     }
   }
+  quarantined_.assign(static_cast<std::size_t>(ctx->device_count()), false);
+  strikes_.assign(static_cast<std::size_t>(ctx->device_count()), 0);
   if (const char* env = std::getenv("OCELOT_STATIC_PARTITION")) {
     static_partition_ = env[0] == '1' && env[1] == '\0';
   }
@@ -268,25 +289,47 @@ std::uint64_t Scheduler::bytes_copied() {
   return g_bytes_copied.load(std::memory_order_relaxed);
 }
 
-int Scheduler::PartsFor(std::size_t n) const {
-  if (n == 0) return 1;
-  return static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(device_count()), n));
+std::vector<int> Scheduler::HealthyDevices() const {
+  std::vector<int> devices;
+  devices.reserve(quarantined_.size());
+  for (int i = 0; i < device_count(); ++i) {
+    if (!quarantined_[static_cast<std::size_t>(i)]) devices.push_back(i);
+  }
+  return devices;
 }
 
 PartitionPlan Scheduler::PlanParts(OpClass c, std::size_t n) {
-  int parts = PartsFor(n);
-  if (parts <= 1) return {{monet::Slice{0, n}}, {primary_}};
-  // PartsFor guarantees n >= parts, so every slice is non-empty: no device
-  // is ever shipped a zero-row fragment (it would pay launch/sync virtual
-  // cost for nothing).
-  std::vector<int> devices(static_cast<std::size_t>(parts));
-  for (int i = 0; i < parts; ++i) devices[static_cast<std::size_t>(i)] = i;
+  // Plans only ever cover the healthy subset; an all-quarantined context
+  // yields the empty plan and the caller's fallback ladder takes over.
+  std::vector<int> devices = HealthyDevices();
+  if (devices.empty()) return {};
   if (static_partition_) {
-    return {monet::WeightedSlices(
-                n, std::vector<double>(static_cast<std::size_t>(parts), 1.0)),
-            std::move(devices)};
+    // Static mode's contract is bit-reproducibility, and that must survive
+    // quarantine: the plan *shape* is a function of the machine (the full
+    // device count), never of the quarantine state — a dead device's slices
+    // are reassigned round-robin to survivors instead of re-cutting the
+    // boundaries. Same boundaries → same per-slice kernels (devices execute
+    // identical host SIMD code) → same merge inputs in the same order, so a
+    // degraded run is bit-identical to the fault-free one.
+    std::size_t parts = std::min(static_cast<std::size_t>(device_count()),
+                                 std::max<std::size_t>(n, 1));
+    if (parts <= 1) return {{monet::Slice{0, n}}, {primary_}};
+    std::vector<int> assign;
+    assign.reserve(parts);
+    for (std::size_t i = 0; i < parts; ++i) {
+      int want = static_cast<int>(i);
+      assign.push_back(quarantined_[static_cast<std::size_t>(want)]
+                           ? devices[i % devices.size()]
+                           : want);
+    }
+    return {monet::WeightedSlices(n, std::vector<double>(parts, 1.0)),
+            std::move(assign)};
   }
+  std::size_t parts = std::min(devices.size(), std::max<std::size_t>(n, 1));
+  if (parts <= 1) return {{monet::Slice{0, n}}, {primary_}};
+  // parts <= n, so every slice is non-empty: no device is ever shipped a
+  // zero-row fragment (it would pay launch/sync virtual cost for nothing).
+  devices.resize(parts);
 
   // Device drop: per-launch driver costs (the paper's 2 ms Intel-SDK
   // dispatch) do not shrink with a device's row share, so past a point a
@@ -386,7 +429,8 @@ Status Scheduler::SyncPart(int i, const BatPtr& bat) {
 Status Scheduler::RunPartitioned(const std::vector<int>& devices,
                                  const std::function<Status(int)>& frag,
                                  std::vector<Nanos>* deltas_out,
-                                 std::vector<Nanos>* kernel_deltas_out) {
+                                 std::vector<Nanos>* kernel_deltas_out,
+                                 std::vector<Status>* statuses_out) {
   int parts = static_cast<int>(devices.size());
   Nanos t0 = clock_.Now();
   common::Stopwatch real;
@@ -395,32 +439,55 @@ Status Scheduler::RunPartitioned(const std::vector<int>& devices,
   // Acquired *inside* the deducted real-time window, so queueing for a
   // contended device costs wall-clock only — the makespan billed below is
   // the same with or without concurrent sessions.
+  // Group fragments by device slot: weighted plans assign distinct devices,
+  // but a *degraded static* plan keeps the fault-free shape and maps a dead
+  // device's slices onto survivors — a device's fragments then run
+  // sequentially on its one engine (queues, memory managers and slot clocks
+  // are single-session objects, not concurrency-safe), while distinct
+  // devices still run concurrently on the pool.
+  std::vector<int> unique_devices;
+  std::vector<std::vector<int>> frags_of;  // parallel to unique_devices
+  for (int i = 0; i < parts; ++i) {
+    int dev = devices[static_cast<std::size_t>(i)];
+    std::size_t u = 0;
+    while (u < unique_devices.size() && unique_devices[u] != dev) ++u;
+    if (u == unique_devices.size()) {
+      unique_devices.push_back(dev);
+      frags_of.emplace_back();
+    }
+    frags_of[u].push_back(i);
+  }
   SlotArbiter::Lease lease;
-  if (arbiter_ != nullptr) lease = arbiter_->Acquire(devices);
+  if (arbiter_ != nullptr) lease = arbiter_->Acquire(unique_devices);
   std::vector<Nanos> deltas(static_cast<std::size_t>(parts), 0);
   std::vector<Nanos> kdeltas(static_cast<std::size_t>(parts), 0);
   std::vector<Status> statuses(static_cast<std::size_t>(parts));
-  // Fragment i runs against device slot devices[i] only (the plan's device
-  // ids are distinct), so concurrent fragments touch disjoint engines,
-  // memory managers and slot clocks; the pool adds real host parallelism
-  // without changing what any slot clock observes.
-  //
   // Each fragment's duration is its device queue's *modeled* busy-time
   // delta (kernels + transfers), not a wall-clock difference: the slot
   // clocks are real-time anchored, so a raw clock delta would fold host
   // scheduling gaps into the measurement and poison both the makespan bill
   // and the throughput calibration with thread-count-dependent noise.
-  common::ThreadPool::Global().ParallelFor(parts, [&](int i) {
-    ocl::CommandQueue* queue =
-        ctx_->at(devices[static_cast<std::size_t>(i)])->queue();
-    Nanos d0 = queue->modeled_busy_ns();
-    Nanos k0 = queue->modeled_kernel_busy_ns();
-    statuses[static_cast<std::size_t>(i)] = frag(i);
-    deltas[static_cast<std::size_t>(i)] = queue->modeled_busy_ns() - d0;
-    kdeltas[static_cast<std::size_t>(i)] = queue->modeled_kernel_busy_ns() - k0;
-  });
+  common::ThreadPool::Global().ParallelFor(
+      static_cast<int>(unique_devices.size()), [&](int u) {
+        ocl::CommandQueue* queue =
+            ctx_->at(unique_devices[static_cast<std::size_t>(u)])->queue();
+        for (int i : frags_of[static_cast<std::size_t>(u)]) {
+          Nanos d0 = queue->modeled_busy_ns();
+          Nanos k0 = queue->modeled_kernel_busy_ns();
+          statuses[static_cast<std::size_t>(i)] = frag(i);
+          deltas[static_cast<std::size_t>(i)] = queue->modeled_busy_ns() - d0;
+          kdeltas[static_cast<std::size_t>(i)] =
+              queue->modeled_kernel_busy_ns() - k0;
+        }
+      });
+  // Makespan = the busiest *device* (a device executes its fragments
+  // serially; distinct devices overlap).
   Nanos longest = 0;
-  for (Nanos d : deltas) longest = std::max(longest, d);
+  for (const std::vector<int>& group : frags_of) {
+    Nanos total = 0;
+    for (int i : group) total += deltas[static_cast<std::size_t>(i)];
+    longest = std::max(longest, total);
+  }
   // The host ran the fragments on however many threads it has; the model
   // says the *devices* ran them concurrently, so the session clock advances
   // by the makespan only. Done on the error path too: the fragments that
@@ -430,41 +497,137 @@ Status Scheduler::RunPartitioned(const std::vector<int>& devices,
   clock_.AdvanceTo(t0 + longest);
   if (deltas_out != nullptr) *deltas_out = std::move(deltas);
   if (kernel_deltas_out != nullptr) *kernel_deltas_out = std::move(kdeltas);
+  Status first;
   for (Status& s : statuses) {
-    if (!s.ok()) return s;  // first failing fragment, deterministically
+    if (!s.ok()) {
+      first = s;  // first failing fragment, deterministically
+      break;
+    }
   }
-  return Status::Ok();
+  if (statuses_out != nullptr) *statuses_out = std::move(statuses);
+  return first;
 }
 
 Status Scheduler::RunWeighted(
-    OpClass c, const PartitionPlan& plan,
+    OpClass c, std::size_t n,
+    const std::function<void(const PartitionPlan&)>& reset,
     const std::function<Status(int, int, const monet::Slice&)>& part,
-    const std::vector<std::size_t>* observed_rows) {
-  std::vector<Nanos> deltas;
-  std::vector<Nanos> kdeltas;
-  Status status = RunPartitioned(
-      plan.devices,
-      [&](int i) {
-        return part(i, plan.devices[static_cast<std::size_t>(i)],
-                    plan.slices[static_cast<std::size_t>(i)]);
-      },
-      &deltas, &kdeltas);
-  if (!status.ok() || static_partition_) return status;
-  // Calibration feed, on the calling thread after the fragment barrier and
-  // in plan order: the measured deltas are *virtual* durations, so the EWMA
-  // state — and with it every later partition boundary — is invariant under
-  // the host thread count (PR 2's determinism contract carries over).
-  // Kernel-only deltas: transfer time is a plan-change artifact, not a
-  // property of the device's compute rate (see RunWeighted's doc comment).
-  std::size_t n = plan.slices.empty() ? 0 : plan.slices.back().end;
-  for (int i = 0; i < plan.parts(); ++i) {
-    std::size_t rows = observed_rows != nullptr
-                           ? (*observed_rows)[static_cast<std::size_t>(i)]
-                           : plan.slices[static_cast<std::size_t>(i)].size();
-    tracker_.Observe(c, n, plan.devices[static_cast<std::size_t>(i)], rows,
-                     kdeltas[static_cast<std::size_t>(i)]);
+    std::vector<std::size_t>* observed_rows) {
+  Status last = Status::DeviceLost("no healthy devices left (all quarantined)");
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    // Re-planned every attempt: a quarantine in the previous attempt shrinks
+    // the healthy set and this attempt's plan — and the caller's fragment
+    // state, via reset — follows it transparently.
+    PartitionPlan plan = PlanParts(c, n);
+    if (plan.devices.empty()) return last;
+    reset(plan);
+    if (observed_rows != nullptr) observed_rows->assign(plan.slices.size(), 0);
+    std::vector<Nanos> deltas;
+    std::vector<Nanos> kdeltas;
+    std::vector<Status> statuses;
+    Status status = RunPartitioned(
+        plan.devices,
+        [&](int i) {
+          return part(i, plan.devices[static_cast<std::size_t>(i)],
+                      plan.slices[static_cast<std::size_t>(i)]);
+        },
+        &deltas, &kdeltas, &statuses);
+    if (status.ok()) {
+      // A whole clean batch heals its devices' strike counters: strikes
+      // count *consecutive* faults, so transient blips never accumulate
+      // into a quarantine across a long query.
+      for (int d : plan.devices) strikes_[static_cast<std::size_t>(d)] = 0;
+      if (static_partition_) return status;
+      // Calibration feed, on the calling thread after the fragment barrier
+      // and in plan order: the measured deltas are *virtual* durations, so
+      // the EWMA state — and with it every later partition boundary — is
+      // invariant under the host thread count (PR 2's determinism contract
+      // carries over). Kernel-only deltas: transfer time is a plan-change
+      // artifact, not a property of the device's compute rate. Failed
+      // attempts feed nothing, and retried kernels model the same virtual
+      // duration, so calibration state after a healed fault is identical to
+      // the fault-free run — partition boundaries (and with them results)
+      // do not depend on the fault schedule.
+      for (int i = 0; i < plan.parts(); ++i) {
+        std::size_t rows = observed_rows != nullptr
+                               ? (*observed_rows)[static_cast<std::size_t>(i)]
+                               : plan.slices[static_cast<std::size_t>(i)].size();
+        tracker_.Observe(c, n, plan.devices[static_cast<std::size_t>(i)], rows,
+                         kdeltas[static_cast<std::size_t>(i)]);
+      }
+      return status;
+    }
+    // Anything that is not a device fault is the operator's own error
+    // (shape mismatch, engine bug): surface it immediately, unretried.
+    for (const Status& s : statuses) {
+      if (!s.ok() && !IsDeviceFault(s)) return s;
+    }
+    // Pure device-fault batch: drain + purge + strike every faulted device
+    // (quarantining repeat offenders), then go around again.
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) HandleDeviceFault(plan.devices[i]);
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    last = status;
   }
-  return status;
+  return last;
+}
+
+Status Scheduler::RunWhole(const std::function<Status(int)>& fn) {
+  Status last = Status::DeviceLost("no healthy devices left (all quarantined)");
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    if (HealthyDevices().empty()) return last;
+    // primary_ is re-elected on quarantine, so after a quarantine the next
+    // attempt automatically lands on the best surviving device.
+    int device = primary_;
+    Status status = RunOnDevice(device, [&] { return fn(device); });
+    if (status.ok()) {
+      strikes_[static_cast<std::size_t>(device)] = 0;
+      return status;
+    }
+    if (!IsDeviceFault(status)) return status;
+    HandleDeviceFault(device);
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    last = status;
+  }
+  return last;
+}
+
+void Scheduler::HandleDeviceFault(int device) {
+  // Drain whatever the failed batch left enqueued and clear the queue's
+  // sticky fault so the next attempt starts from a clean slate (the drain's
+  // own status is the fault being handled — nothing new to learn from it).
+  (void)ctx_->at(device)->queue()->Finish();
+  // Cache entries whose producers failed hold garbage bytes; purge them so
+  // a retry re-uploads instead of reading a poisoned buffer.
+  engines_[static_cast<std::size_t>(device)]->memory()->PurgeFailed();
+  int strikes = ++strikes_[static_cast<std::size_t>(device)];
+  if (strikes >= kQuarantineStrikes &&
+      !quarantined_[static_cast<std::size_t>(device)]) {
+    QuarantineDevice(device);
+  }
+}
+
+void Scheduler::QuarantineDevice(int device) {
+  quarantined_[static_cast<std::size_t>(device)] = true;
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+  // Nothing cached on a quarantined device can ever be read back again —
+  // drop its entire cache so host BATs lose their device bindings and later
+  // plans (or a later re-upload in tests) start from nothing.
+  engines_[static_cast<std::size_t>(device)]->memory()->Quarantine();
+  // Re-elect the primary among survivors so whole-device operators (sort,
+  // grouping, degenerate paths) migrate off the corpse.
+  double best_prior = -1.0;
+  for (int i = 0; i < device_count(); ++i) {
+    if (quarantined_[static_cast<std::size_t>(i)]) continue;
+    double prior = ctx_->at(i)->device()->model().partition_weight();
+    if (prior > best_prior) {
+      best_prior = prior;
+      primary_ = i;
+    }
+  }
 }
 
 Status Scheduler::RunOnDevice(int device, const std::function<Status()>& fn) {
@@ -503,16 +666,19 @@ Result<BatPtr> Scheduler::SelectRange(const BatPtr& col, const BatPtr& cand,
     return none;
   }
   std::size_t domain = cand != nullptr ? cand->size() : col->size();
-  PartitionPlan plan = PlanParts(OpClass::kSelect, domain);
-  std::vector<BatPtr> results(plan.slices.size());
-  std::vector<oid_t> bases(plan.slices.size(), 0);
+  std::vector<BatPtr> results;
+  std::vector<oid_t> bases;
   // Calibration weight of each fragment: the column rows the device
   // actually scans (== the slice for plain selects, the covered row range
   // for candidate selects), so both flavors feed comparable rows/ns into
   // the shared select buckets.
-  std::vector<std::size_t> scanned(plan.slices.size(), 0);
-  RETURN_IF_ERROR(RunWeighted(OpClass::kSelect, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<std::size_t> scanned;
+  Status run = RunWeighted(OpClass::kSelect, domain,
+                           [&](const PartitionPlan& plan) {
+    results.assign(plan.slices.size(), nullptr);
+    bases.assign(plan.slices.size(), 0);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     if (s.size() == 0) {
       // Only the degenerate whole-input plan over an empty column lands
       // here (multi-fragment plans never contain empty slices); it
@@ -548,7 +714,12 @@ Result<BatPtr> Scheduler::SelectRange(const BatPtr& col, const BatPtr& cand,
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
   },
-                              &scanned));
+                           &scanned);
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return host_.SelectRange(col, cand, lo, hi);
+  }
 
   BatPtr merged = MergeOidParts(results, bases);
   MarkCandidate(merged);
@@ -585,28 +756,38 @@ Result<BatPtr> Scheduler::Project(const BatPtr& oids, const BatPtr& col) {
   // Partition the oid list (views); the gathered column is replicated (the
   // gather needs random access to all of it).
   std::size_t n = oids->size();
-  PartitionPlan plan = PlanParts(OpClass::kProject, n);
-  std::vector<BatPtr> results(plan.slices.size());
-  RETURN_IF_ERROR(RunWeighted(OpClass::kProject, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<BatPtr> results;
+  Status run = RunWeighted(OpClass::kProject, n,
+                           [&](const PartitionPlan& plan) {
+    results.assign(plan.slices.size(), nullptr);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr r, eng->Project(FragmentOf(oids, s), col));
     RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return host_.Project(oids, col);
+  }
   return MergeValueParts(col->type(), results);
 }
 
 Result<JoinResult> Scheduler::LeftFragmentJoin(
     const BatPtr& left,
-    const std::function<Result<JoinResult>(OcelotEngine*, const BatPtr&)>& op) {
+    const std::function<Result<JoinResult>(cstore::QueryEngine*, const BatPtr&)>& op) {
   std::size_t n = left->size();
-  PartitionPlan plan = PlanParts(OpClass::kJoin, n);
-  std::vector<JoinResult> results(plan.slices.size());
-  std::vector<oid_t> bases(plan.slices.size(), 0);
-  RETURN_IF_ERROR(RunWeighted(OpClass::kJoin, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<JoinResult> results;
+  std::vector<oid_t> bases;
+  Status run = RunWeighted(OpClass::kJoin, n,
+                           [&](const PartitionPlan& plan) {
+    results.assign(plan.slices.size(), JoinResult{});
+    bases.assign(plan.slices.size(), 0);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     bases[static_cast<std::size_t>(i)] = static_cast<oid_t>(s.begin);
     OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(JoinResult r, op(eng, FragmentOf(left, s)));
@@ -614,7 +795,14 @@ Result<JoinResult> Scheduler::LeftFragmentJoin(
     RETURN_IF_ERROR(SyncPart(dev, r.right));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    // Device path lost: run the whole probe on the host engine (the op
+    // callback is engine-agnostic, so the same lambda serves both paths).
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return op(&host_, left);
+  }
 
   // Fragment outputs are in probe (left) order, so concatenation reproduces
   // the single-device pair order exactly; the left oids rebase during the
@@ -640,7 +828,8 @@ Result<JoinResult> Scheduler::HashJoin(const BatPtr& left, const BatPtr& right) 
   RETURN_IF_ERROR(CheckHostResident(right, "join right"));
   // Fragment-and-replicate: the probe side is partitioned, the build side is
   // replicated (every device builds/caches its own hash table of `right`).
-  return LeftFragmentJoin(left, [&right](OcelotEngine* eng, const BatPtr& frag) {
+  return LeftFragmentJoin(left,
+                          [&right](cstore::QueryEngine* eng, const BatPtr& frag) {
     return eng->HashJoin(frag, right);
   });
 }
@@ -652,27 +841,36 @@ Result<JoinResult> Scheduler::ThetaJoin(const BatPtr& left, const BatPtr& right,
   }
   RETURN_IF_ERROR(CheckHostResident(left, "theta join left"));
   RETURN_IF_ERROR(CheckHostResident(right, "theta join right"));
-  return LeftFragmentJoin(left, [&right, op](OcelotEngine* eng, const BatPtr& frag) {
+  return LeftFragmentJoin(left,
+                          [&right, op](cstore::QueryEngine* eng, const BatPtr& frag) {
     return eng->ThetaJoin(frag, right, op);
   });
 }
 
 Result<BatPtr> Scheduler::LeftFragmentFilter(
     const BatPtr& left,
-    const std::function<Result<BatPtr>(OcelotEngine*, const BatPtr&)>& op) {
+    const std::function<Result<BatPtr>(cstore::QueryEngine*, const BatPtr&)>& op) {
   std::size_t n = left->size();
-  PartitionPlan plan = PlanParts(OpClass::kJoin, n);
-  std::vector<BatPtr> results(plan.slices.size());
-  std::vector<oid_t> bases(plan.slices.size(), 0);
-  RETURN_IF_ERROR(RunWeighted(OpClass::kJoin, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<BatPtr> results;
+  std::vector<oid_t> bases;
+  Status run = RunWeighted(OpClass::kJoin, n,
+                           [&](const PartitionPlan& plan) {
+    results.assign(plan.slices.size(), nullptr);
+    bases.assign(plan.slices.size(), 0);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     bases[static_cast<std::size_t>(i)] = static_cast<oid_t>(s.begin);
     OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr r, op(eng, FragmentOf(left, s)));
     RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return op(&host_, left);
+  }
   BatPtr merged = MergeOidParts(results, bases);
   MarkCandidate(merged);
   return merged;
@@ -684,7 +882,8 @@ Result<BatPtr> Scheduler::SemiJoin(const BatPtr& left, const BatPtr& right) {
   }
   RETURN_IF_ERROR(CheckHostResident(left, "semijoin left"));
   RETURN_IF_ERROR(CheckHostResident(right, "semijoin right"));
-  return LeftFragmentFilter(left, [&right](OcelotEngine* eng, const BatPtr& frag) {
+  return LeftFragmentFilter(left,
+                            [&right](cstore::QueryEngine* eng, const BatPtr& frag) {
     return eng->SemiJoin(frag, right);
   });
 }
@@ -695,7 +894,8 @@ Result<BatPtr> Scheduler::AntiJoin(const BatPtr& left, const BatPtr& right) {
   }
   RETURN_IF_ERROR(CheckHostResident(left, "antijoin left"));
   RETURN_IF_ERROR(CheckHostResident(right, "antijoin right"));
-  return LeftFragmentFilter(left, [&right](OcelotEngine* eng, const BatPtr& frag) {
+  return LeftFragmentFilter(left,
+                            [&right](cstore::QueryEngine* eng, const BatPtr& frag) {
     return eng->AntiJoin(frag, right);
   });
 }
@@ -705,12 +905,17 @@ Result<BatPtr> Scheduler::AntiJoin(const BatPtr& left, const BatPtr& right) {
 Result<SortResult> Scheduler::Sort(const BatPtr& col) {
   RETURN_IF_ERROR(CheckHostResident(col, "sort input"));
   SortResult result;
-  RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
-    ASSIGN_OR_RETURN(result, engines_[static_cast<std::size_t>(primary_)]->Sort(col));
-    RETURN_IF_ERROR(SyncPart(primary_, result.values));
-    RETURN_IF_ERROR(SyncPart(primary_, result.order));
+  Status run = RunWhole([&](int dev) -> Status {
+    ASSIGN_OR_RETURN(result, engines_[static_cast<std::size_t>(dev)]->Sort(col));
+    RETURN_IF_ERROR(SyncPart(dev, result.values));
+    RETURN_IF_ERROR(SyncPart(dev, result.order));
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return host_.Sort(col);
+  }
   return result;
 }
 
@@ -720,13 +925,18 @@ Result<GroupResult> Scheduler::GroupBy(const BatPtr& col, const GroupResult* pre
   // would need an id-remap pass, so grouping runs whole — on the fastest
   // device of the set (by model prior), not on whatever slot is first.
   GroupResult result;
-  RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+  Status run = RunWhole([&](int dev) -> Status {
     ASSIGN_OR_RETURN(result,
-                     engines_[static_cast<std::size_t>(primary_)]->GroupBy(col, prev));
-    RETURN_IF_ERROR(SyncPart(primary_, result.groups));
-    RETURN_IF_ERROR(SyncPart(primary_, result.extents));
+                     engines_[static_cast<std::size_t>(dev)]->GroupBy(col, prev));
+    RETURN_IF_ERROR(SyncPart(dev, result.groups));
+    RETURN_IF_ERROR(SyncPart(dev, result.extents));
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return host_.GroupBy(col, prev);
+  }
   return result;
 }
 
@@ -734,7 +944,7 @@ Result<GroupResult> Scheduler::GroupBy(const BatPtr& col, const GroupResult* pre
 
 Result<BatPtr> Scheduler::PartitionedSubAgg(
     const BatPtr& vals, const BatPtr& groups, std::size_t ngroups,
-    const std::function<Result<BatPtr>(OcelotEngine*, const BatPtr&,
+    const std::function<Result<BatPtr>(cstore::QueryEngine*, const BatPtr&,
                                        const BatPtr&)>& op,
     const std::function<void(BatPtr&, const BatPtr&)>& merge) {
   RETURN_IF_ERROR(CheckHostResident(vals, "aggregate input"));
@@ -744,17 +954,24 @@ Result<BatPtr> Scheduler::PartitionedSubAgg(
     return Status::InvalidArgument("aggregate input and group ids differ in size");
   }
   std::size_t n = groups->size();
-  PartitionPlan plan = PlanParts(OpClass::kSubAgg, n);
-  std::vector<BatPtr> partials(plan.slices.size());
-  RETURN_IF_ERROR(RunWeighted(OpClass::kSubAgg, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<BatPtr> partials;
+  Status run = RunWeighted(OpClass::kSubAgg, n,
+                           [&](const PartitionPlan& plan) {
+    partials.assign(plan.slices.size(), nullptr);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     BatPtr vals_frag = vals != nullptr ? FragmentOf(vals, s) : nullptr;
     OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
     ASSIGN_OR_RETURN(BatPtr p, op(eng, vals_frag, FragmentOf(groups, s)));
     RETURN_IF_ERROR(SyncPart(dev, p));
     partials[static_cast<std::size_t>(i)] = std::move(p);
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return op(&host_, vals, groups);
+  }
   (void)ngroups;
   if (partials.size() == 1) return std::move(partials[0]);
   // Fold into a fresh ngroups-sized BAT (≤ output bytes): the partials were
@@ -818,7 +1035,7 @@ Result<BatPtr> Scheduler::SubSum(const BatPtr& vals, const BatPtr& groups,
                                  std::size_t ngroups) {
   return PartitionedSubAgg(
       vals, groups, ngroups,
-      [ngroups](OcelotEngine* eng, const BatPtr& v, const BatPtr& g) {
+      [ngroups](cstore::QueryEngine* eng, const BatPtr& v, const BatPtr& g) {
         return eng->SubSum(v, g, ngroups);
       },
       [](BatPtr& acc, const BatPtr& p) { MergeAdd(acc, p); });
@@ -830,7 +1047,7 @@ Result<BatPtr> Scheduler::SubCount(const BatPtr& groups, std::size_t ngroups) {
   // nil-aware MergeAdd degenerates to plain addition on this path.
   return PartitionedSubAgg(
       nullptr, groups, ngroups,
-      [ngroups](OcelotEngine* eng, const BatPtr&, const BatPtr& g) {
+      [ngroups](cstore::QueryEngine* eng, const BatPtr&, const BatPtr& g) {
         return eng->SubCount(g, ngroups);
       },
       [](BatPtr& acc, const BatPtr& p) { MergeAdd(acc, p); });
@@ -840,7 +1057,7 @@ Result<BatPtr> Scheduler::SubMin(const BatPtr& vals, const BatPtr& groups,
                                  std::size_t ngroups) {
   return PartitionedSubAgg(
       vals, groups, ngroups,
-      [ngroups](OcelotEngine* eng, const BatPtr& v, const BatPtr& g) {
+      [ngroups](cstore::QueryEngine* eng, const BatPtr& v, const BatPtr& g) {
         return eng->SubMin(v, g, ngroups);
       },
       [](BatPtr& acc, const BatPtr& p) { MergeMinMax(acc, p, /*want_min=*/true); });
@@ -850,7 +1067,7 @@ Result<BatPtr> Scheduler::SubMax(const BatPtr& vals, const BatPtr& groups,
                                  std::size_t ngroups) {
   return PartitionedSubAgg(
       vals, groups, ngroups,
-      [ngroups](OcelotEngine* eng, const BatPtr& v, const BatPtr& g) {
+      [ngroups](cstore::QueryEngine* eng, const BatPtr& v, const BatPtr& g) {
         return eng->SubMax(v, g, ngroups);
       },
       [](BatPtr& acc, const BatPtr& p) { MergeMinMax(acc, p, /*want_min=*/false); });
@@ -863,11 +1080,16 @@ Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
   if (vals == nullptr || groups == nullptr || vals->size() != groups->size()) {
     // Let the single-device engine surface its own shape errors.
     BatPtr result;
-    RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
-      ASSIGN_OR_RETURN(result, engines_[static_cast<std::size_t>(primary_)]->SubAvg(
+    Status run = RunWhole([&](int dev) -> Status {
+      ASSIGN_OR_RETURN(result, engines_[static_cast<std::size_t>(dev)]->SubAvg(
                                    vals, groups, ngroups));
-      return SyncPart(primary_, result);
-    }));
+      return SyncPart(dev, result);
+    });
+    if (!run.ok()) {
+      if (!IsDeviceFault(run)) return run;
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return host_.SubAvg(vals, groups, ngroups);
+    }
     return result;
   }
 
@@ -882,18 +1104,21 @@ Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
   // int32 and bit-equal to seq for integer-valued floats — the property
   // the sweep tests pin.
   std::size_t n = groups->size();
-  PartitionPlan plan = PlanParts(OpClass::kSubAgg, n);
-  std::vector<BatPtr> sums(plan.slices.size());
-  std::vector<BatPtr> cnts(plan.slices.size());
+  std::vector<BatPtr> sums;
+  std::vector<BatPtr> cnts;
   // Each fragment runs *two* grouped aggregates (sum + non-nil count), so
   // its measured duration covers twice the row-aggregation work of a plain
   // SubSum fragment. Report 2x rows to the shared kSubAgg calibration
   // bucket — feeding raw rows would halve the apparent throughput and make
   // the EWMA (and with it the cut points, against the hysteresis) oscillate
   // between SubSum and SubAvg calls of the same size.
-  std::vector<std::size_t> observed_rows(plan.slices.size());
-  RETURN_IF_ERROR(RunWeighted(OpClass::kSubAgg, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<std::size_t> observed_rows;
+  Status run = RunWeighted(OpClass::kSubAgg, n,
+                           [&](const PartitionPlan& plan) {
+    sums.assign(plan.slices.size(), nullptr);
+    cnts.assign(plan.slices.size(), nullptr);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     BatPtr vals_frag = FragmentOf(vals, s);
     BatPtr groups_frag = FragmentOf(groups, s);
     OcelotEngine* eng = engines_[static_cast<std::size_t>(dev)].get();
@@ -906,11 +1131,16 @@ Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
     cnts[static_cast<std::size_t>(i)] = std::move(cnt);
     observed_rows[static_cast<std::size_t>(i)] = 2 * s.size();
     return Status::Ok();
-  }, &observed_rows));
+  }, &observed_rows);
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return host_.SubAvg(vals, groups, ngroups);
+  }
 
   BatPtr sum = sums.size() == 1 ? std::move(sums[0]) : CloneBat(sums[0]);
   BatPtr cnt = cnts.size() == 1 ? std::move(cnts[0]) : CloneBat(cnts[0]);
-  for (std::size_t i = 1; i < plan.slices.size(); ++i) {
+  for (std::size_t i = 1; i < sums.size(); ++i) {
     MergeAdd(sum, sums[i]);
     MergeAdd(cnt, cnts[i]);
   }
@@ -936,28 +1166,40 @@ Result<BatPtr> Scheduler::SubAvg(const BatPtr& vals, const BatPtr& groups,
 
 Result<double> Scheduler::PartitionedReduce(
     const BatPtr& col,
-    const std::function<Result<double>(OcelotEngine*, const BatPtr&)>& op,
+    const std::function<Result<double>(cstore::QueryEngine*, const BatPtr&)>& op,
     const std::function<double(double, double)>& merge) {
   RETURN_IF_ERROR(CheckHostResident(col, "reduce input"));
   std::size_t n = col == nullptr ? 0 : col->size();
   if (col == nullptr || n == 0) {
     // Preserve the engine's own null/empty-input semantics.
     double result = 0;
-    RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
-      ASSIGN_OR_RETURN(result, op(engines_[static_cast<std::size_t>(primary_)].get(), col));
+    Status run = RunWhole([&](int dev) -> Status {
+      ASSIGN_OR_RETURN(result, op(engines_[static_cast<std::size_t>(dev)].get(), col));
       return Status::Ok();
-    }));
+    });
+    if (!run.ok()) {
+      if (!IsDeviceFault(run)) return run;
+      fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return op(&host_, col);
+    }
     return result;
   }
-  PartitionPlan plan = PlanParts(OpClass::kReduce, n);
-  std::vector<double> partials(plan.slices.size());
-  RETURN_IF_ERROR(RunWeighted(OpClass::kReduce, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<double> partials;
+  Status run = RunWeighted(OpClass::kReduce, n,
+                           [&](const PartitionPlan& plan) {
+    partials.assign(plan.slices.size(), 0.0);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     ASSIGN_OR_RETURN(partials[static_cast<std::size_t>(i)],
                      op(engines_[static_cast<std::size_t>(dev)].get(),
                         FragmentOf(col, s)));
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return op(&host_, col);
+  }
   double acc = partials[0];
   for (std::size_t i = 1; i < partials.size(); ++i) acc = merge(acc, partials[i]);
   return acc;
@@ -965,19 +1207,19 @@ Result<double> Scheduler::PartitionedReduce(
 
 Result<double> Scheduler::Sum(const BatPtr& col) {
   return PartitionedReduce(
-      col, [](OcelotEngine* eng, const BatPtr& c) { return eng->Sum(c); },
+      col, [](cstore::QueryEngine* eng, const BatPtr& c) { return eng->Sum(c); },
       [](double a, double b) { return a + b; });
 }
 
 Result<double> Scheduler::Min(const BatPtr& col) {
   return PartitionedReduce(
-      col, [](OcelotEngine* eng, const BatPtr& c) { return eng->Min(c); },
+      col, [](cstore::QueryEngine* eng, const BatPtr& c) { return eng->Min(c); },
       [](double a, double b) { return std::min(a, b); });
 }
 
 Result<double> Scheduler::Max(const BatPtr& col) {
   return PartitionedReduce(
-      col, [](OcelotEngine* eng, const BatPtr& c) { return eng->Max(c); },
+      col, [](cstore::QueryEngine* eng, const BatPtr& c) { return eng->Max(c); },
       [](double a, double b) { return std::max(a, b); });
 }
 
@@ -993,8 +1235,8 @@ Result<std::int64_t> Scheduler::Count(const BatPtr& col) {
 
 Result<BatPtr> Scheduler::ElementWise(
     const std::vector<BatPtr>& inputs,
-    const std::function<Result<BatPtr>(OcelotEngine*, const std::vector<BatPtr>&)>&
-        op) {
+    const std::function<Result<BatPtr>(cstore::QueryEngine*,
+                                       const std::vector<BatPtr>&)>& op) {
   for (const BatPtr& in : inputs) {
     if (in == nullptr) return Status::InvalidArgument("batcalc input is null");
     RETURN_IF_ERROR(CheckHostResident(in, "batcalc input"));
@@ -1004,20 +1246,27 @@ Result<BatPtr> Scheduler::ElementWise(
     if (in->size() != n) {
       // Let the single-device engine produce its own size-mismatch error.
       BatPtr result;
-      RETURN_IF_ERROR(RunOnDevice(primary_, [&]() -> Status {
+      Status run = RunWhole([&](int dev) -> Status {
         ASSIGN_OR_RETURN(result,
-                         op(engines_[static_cast<std::size_t>(primary_)].get(), inputs));
-        RETURN_IF_ERROR(SyncPart(primary_, result));
+                         op(engines_[static_cast<std::size_t>(dev)].get(), inputs));
+        RETURN_IF_ERROR(SyncPart(dev, result));
         return Status::Ok();
-      }));
+      });
+      if (!run.ok()) {
+        if (!IsDeviceFault(run)) return run;
+        fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return op(&host_, inputs);
+      }
       return result;
     }
   }
 
-  PartitionPlan plan = PlanParts(OpClass::kElementWise, n);
-  std::vector<BatPtr> results(plan.slices.size());
-  RETURN_IF_ERROR(RunWeighted(OpClass::kElementWise, plan,
-                              [&](int i, int dev, const monet::Slice& s) -> Status {
+  std::vector<BatPtr> results;
+  Status run = RunWeighted(OpClass::kElementWise, n,
+                           [&](const PartitionPlan& plan) {
+    results.assign(plan.slices.size(), nullptr);
+  },
+                           [&](int i, int dev, const monet::Slice& s) -> Status {
     std::vector<BatPtr> frags;
     frags.reserve(inputs.size());
     for (const BatPtr& in : inputs) frags.push_back(FragmentOf(in, s));
@@ -1026,12 +1275,17 @@ Result<BatPtr> Scheduler::ElementWise(
     RETURN_IF_ERROR(SyncPart(dev, r));
     results[static_cast<std::size_t>(i)] = std::move(r);
     return Status::Ok();
-  }));
+  });
+  if (!run.ok()) {
+    if (!IsDeviceFault(run)) return run;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return op(&host_, inputs);
+  }
   return MergeValueParts(results[0]->type(), results);
 }
 
 Result<BatPtr> Scheduler::Calc(cstore::CalcOp op, const BatPtr& a, const BatPtr& b) {
-  return ElementWise({a, b}, [op](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({a, b}, [op](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->Calc(op, f[0], f[1]);
   });
 }
@@ -1039,31 +1293,31 @@ Result<BatPtr> Scheduler::Calc(cstore::CalcOp op, const BatPtr& a, const BatPtr&
 Result<BatPtr> Scheduler::CalcScalar(cstore::CalcOp op, const BatPtr& a, double s,
                                      bool scalar_left) {
   return ElementWise(
-      {a}, [op, s, scalar_left](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+      {a}, [op, s, scalar_left](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
         return eng->CalcScalar(op, f[0], s, scalar_left);
       });
 }
 
 Result<BatPtr> Scheduler::Cmp(cstore::CmpOp op, const BatPtr& a, const BatPtr& b) {
-  return ElementWise({a, b}, [op](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({a, b}, [op](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->Cmp(op, f[0], f[1]);
   });
 }
 
 Result<BatPtr> Scheduler::CmpScalar(cstore::CmpOp op, const BatPtr& a, double s) {
-  return ElementWise({a}, [op, s](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({a}, [op, s](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->CmpScalar(op, f[0], s);
   });
 }
 
 Result<BatPtr> Scheduler::BoolOr(const BatPtr& a, const BatPtr& b) {
-  return ElementWise({a, b}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({a, b}, [](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->BoolOr(f[0], f[1]);
   });
 }
 
 Result<BatPtr> Scheduler::BoolAnd(const BatPtr& a, const BatPtr& b) {
-  return ElementWise({a, b}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({a, b}, [](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->BoolAnd(f[0], f[1]);
   });
 }
@@ -1072,19 +1326,19 @@ Result<BatPtr> Scheduler::IfThenElseConst(const BatPtr& cond, const BatPtr& then
                                           double else_val) {
   return ElementWise(
       {cond, then_vals},
-      [else_val](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+      [else_val](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
         return eng->IfThenElseConst(f[0], f[1], else_val);
       });
 }
 
 Result<BatPtr> Scheduler::Year(const BatPtr& col) {
-  return ElementWise({col}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({col}, [](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->Year(f[0]);
   });
 }
 
 Result<BatPtr> Scheduler::CastToFloat(const BatPtr& col) {
-  return ElementWise({col}, [](OcelotEngine* eng, const std::vector<BatPtr>& f) {
+  return ElementWise({col}, [](cstore::QueryEngine* eng, const std::vector<BatPtr>& f) {
     return eng->CastToFloat(f[0]);
   });
 }

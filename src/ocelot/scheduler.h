@@ -2,6 +2,8 @@
 #define OCELOT_OCELOT_SCHEDULER_H_
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -11,6 +13,7 @@
 #include "common/vclock.h"
 #include "cstore/engine.h"
 #include "monet/mitosis.h"
+#include "monet/seq_engine.h"
 #include "ocelot/engine.h"
 #include "ocelot/slot_arbiter.h"
 #include "ocl/context.h"
@@ -119,6 +122,15 @@ struct PartitionPlan {
   std::vector<monet::Slice> slices;
   std::vector<int> devices;
   int parts() const { return static_cast<int>(slices.size()); }
+};
+
+/// Degradation counters of one scheduler (== one session, so the service
+/// tier reads them as per-query stats): how often the fault-recovery ladder
+/// fired. All zero on a fault-free run.
+struct FaultStats {
+  std::uint64_t retries = 0;      ///< operator batches re-run after a device fault
+  std::uint64_t quarantines = 0;  ///< devices removed from planning permanently
+  std::uint64_t fallbacks = 0;    ///< operators completed on the host seq engine
 };
 
 /// The multi-device execution layer: one hardware-oblivious operator set
@@ -231,6 +243,31 @@ class Scheduler : public cstore::QueryEngine {
   /// delta across a measured section.
   static std::uint64_t bytes_copied();
 
+  /// Snapshot of this scheduler's degradation counters (see FaultStats).
+  /// One scheduler backs one session, so after a query these totals are
+  /// that query's fault-recovery story.
+  FaultStats fault_stats() const {
+    FaultStats s;
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.quarantines = quarantines_.load(std::memory_order_relaxed);
+    s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// True when `device` has been removed from planning after repeated
+  /// faults (kQuarantineStrikes strikes). Quarantine is permanent for the
+  /// scheduler's lifetime — a device that fails deterministically would
+  /// re-earn its strikes on every operator otherwise.
+  bool quarantined(int device) const {
+    return quarantined_[static_cast<std::size_t>(device)];
+  }
+
+  int healthy_device_count() const {
+    int n = 0;
+    for (bool q : quarantined_) n += q ? 0 : 1;
+    return n;
+  }
+
   common::Result<cstore::BatPtr> SelectRange(const cstore::BatPtr& col,
                                              const cstore::BatPtr& cand,
                                              cstore::Bound lo,
@@ -288,10 +325,6 @@ class Scheduler : public cstore::QueryEngine {
   common::Result<cstore::BatPtr> CastToFloat(const cstore::BatPtr& col) override;
 
  private:
-  /// Number of fragments for an `n`-row input: every device gets one while
-  /// there are rows to go around.
-  int PartsFor(std::size_t n) const;
-
   /// Partition plan for an `n`-row input of operator class `c`: contiguous
   /// fragment row-ranges sized by the class's calibrated device throughputs
   /// (equal on cold start or under static partitioning; never empty —
@@ -312,6 +345,10 @@ class Scheduler : public cstore::QueryEngine {
   ///    heap range, so a boundary that wobbles with every EWMA update would
   ///    invalidate the non-unified devices' upload cache on every call and
   ///    pay the transfer the weighting was meant to save.
+  ///
+  /// Plans draw from the *healthy* (non-quarantined) device subset only; a
+  /// plan with an empty device list means every device is quarantined and
+  /// the caller must fail over or error out.
   PartitionPlan PlanParts(OpClass c, std::size_t n);
 
   /// Runs `frag(i)` for fragments 0..devices.size()-1 (fragment i on device
@@ -322,66 +359,107 @@ class Scheduler : public cstore::QueryEngine {
   /// as concurrent on the devices). On error the lowest-index failing
   /// fragment's status is returned. `deltas`, when non-null, receives each
   /// fragment's virtual duration; `kernel_deltas` the kernel-only subset
-  /// (no transfers), the signal the throughput calibration wants.
+  /// (no transfers), the signal the throughput calibration wants;
+  /// `statuses_out` every fragment's individual status — the retry ladder
+  /// needs to know *which* devices faulted, not just the first.
   common::Status RunPartitioned(
       const std::vector<int>& devices,
       const std::function<common::Status(int)>& frag,
       std::vector<common::Nanos>* deltas = nullptr,
-      std::vector<common::Nanos>* kernel_deltas = nullptr);
+      std::vector<common::Nanos>* kernel_deltas = nullptr,
+      std::vector<common::Status>* statuses_out = nullptr);
 
-  /// RunPartitioned over a PlanParts plan, feeding each fragment's
-  /// (rows, kernel-only virtual duration) back into the throughput tracker
-  /// on success. Transfers are excluded from the calibration signal: a
-  /// boundary re-cut pays a one-time upload whose cost would depress the
-  /// device's estimate and re-move the boundary — with near-parity devices
-  /// (e.g. SIMD-accelerated host kernels) that feedback never settles.
-  /// `part` receives (fragment index, device index, row range).
-  /// `observed_rows`, when non-null, overrides the per-fragment row count
-  /// reported to the tracker (filled in by `part`): candidate-list
-  /// selections partition the candidates but each device scans the
-  /// *covered column range*, and calibrating on candidate counts would
-  /// pollute the select buckets plain selections share.
+  /// The partitioned-operator driver: plans (PlanParts), runs the fragment
+  /// set (RunPartitioned) and feeds each fragment's (rows, kernel-only
+  /// virtual duration) back into the throughput tracker on success.
+  /// Transfers are excluded from the calibration signal: a boundary re-cut
+  /// pays a one-time upload whose cost would depress the device's estimate
+  /// and re-move the boundary — with near-parity devices (e.g.
+  /// SIMD-accelerated host kernels) that feedback never settles.
+  ///
+  /// Fault recovery happens *here*, below the operators: a fragment batch
+  /// that fails with a device fault (kDeviceLost / kResourceExhausted) is
+  /// retried with backoff, the faulted devices' queues drained and their
+  /// poisoned cache entries purged; kQuarantineStrikes consecutive strikes
+  /// quarantine a device, and the next attempt re-plans over the surviving
+  /// set. Because `reset` re-sizes the caller's fragment-result state for
+  /// each attempt's plan, a re-plan after quarantine is transparent to the
+  /// operator. Only when every attempt fails (or every device is
+  /// quarantined) does the error surface — the operators then fall back to
+  /// the host engine. Non-device errors surface immediately, unretried.
+  ///
+  /// `reset` is called once per attempt with that attempt's plan (size your
+  /// result vectors here); `part` receives (fragment index, device index,
+  /// row range). `observed_rows`, when non-null, is re-sized per attempt
+  /// and overrides the per-fragment row count reported to the tracker
+  /// (filled in by `part`): candidate-list selections partition the
+  /// candidates but each device scans the *covered column range*, and
+  /// calibrating on candidate counts would pollute the select buckets plain
+  /// selections share.
   common::Status RunWeighted(
-      OpClass c, const PartitionPlan& plan,
+      OpClass c, std::size_t n,
+      const std::function<void(const PartitionPlan&)>& reset,
       const std::function<common::Status(int, int, const monet::Slice&)>& part,
-      const std::vector<std::size_t>* observed_rows = nullptr);
+      std::vector<std::size_t>* observed_rows = nullptr);
 
   /// Runs `fn` whole against device `device` (no partitioning), billing that
   /// device's modeled busy-time delta onto the session clock. The un-split
   /// analogue of RunPartitioned for order-sensitive operators.
   common::Status RunOnDevice(int device, const std::function<common::Status()>& fn);
 
+  /// The retry ladder for whole-device (unpartitioned) operator paths:
+  /// runs `fn(device)` on the primary healthy device, retrying with backoff
+  /// on device faults, striking/quarantining like RunWeighted (quarantine
+  /// re-elects the primary, so a later attempt lands on a survivor).
+  common::Status RunWhole(const std::function<common::Status(int)>& fn);
+
+  /// Post-fault cleanup for one device: drains its queue (clearing the
+  /// sticky fault so the retry starts clean), purges cache entries bound to
+  /// failed work, and adds a strike — kQuarantineStrikes strikes quarantine.
+  void HandleDeviceFault(int device);
+
+  /// Removes `device` from planning permanently: marks it quarantined,
+  /// evicts its *entire* device cache (nothing on it can be trusted or
+  /// reused), and re-elects primary_ among the survivors.
+  void QuarantineDevice(int device);
+
+  /// Device indices not currently quarantined, ascending.
+  std::vector<int> HealthyDevices() const;
+
   /// Element-wise operator skeleton: slices every BAT in `inputs` by rows,
-  /// applies `op` per fragment, concatenates the fragment results.
+  /// applies `op` per fragment, concatenates the fragment results. Falls
+  /// back to running `op` whole on the host engine when the device path is
+  /// lost (as do the other skeletons — their callbacks are typed on
+  /// cstore::QueryEngine so one lambda serves both paths).
   common::Result<cstore::BatPtr> ElementWise(
       const std::vector<cstore::BatPtr>& inputs,
       const std::function<common::Result<cstore::BatPtr>(
-          OcelotEngine*, const std::vector<cstore::BatPtr>&)>& op);
+          cstore::QueryEngine*, const std::vector<cstore::BatPtr>&)>& op);
 
   /// Left-fragment join skeleton shared by HashJoin/ThetaJoin.
   common::Result<cstore::JoinResult> LeftFragmentJoin(
       const cstore::BatPtr& left,
       const std::function<common::Result<cstore::JoinResult>(
-          OcelotEngine*, const cstore::BatPtr&)>& op);
+          cstore::QueryEngine*, const cstore::BatPtr&)>& op);
 
   /// Left-fragment semi/anti join skeleton (oid-list results).
   common::Result<cstore::BatPtr> LeftFragmentFilter(
       const cstore::BatPtr& left,
       const std::function<common::Result<cstore::BatPtr>(
-          OcelotEngine*, const cstore::BatPtr&)>& op);
+          cstore::QueryEngine*, const cstore::BatPtr&)>& op);
 
   /// Grouped-aggregate skeleton: slices (vals, groups) by rows, computes an
   /// `ngroups`-sized partial per device, merges with `merge`.
   common::Result<cstore::BatPtr> PartitionedSubAgg(
       const cstore::BatPtr& vals, const cstore::BatPtr& groups, std::size_t ngroups,
       const std::function<common::Result<cstore::BatPtr>(
-          OcelotEngine*, const cstore::BatPtr&, const cstore::BatPtr&)>& op,
+          cstore::QueryEngine*, const cstore::BatPtr&, const cstore::BatPtr&)>& op,
       const std::function<void(cstore::BatPtr&, const cstore::BatPtr&)>& merge);
 
   /// Scalar-aggregate skeleton (Sum/Min/Max).
   common::Result<double> PartitionedReduce(
       const cstore::BatPtr& col,
-      const std::function<common::Result<double>(OcelotEngine*,
+      const std::function<common::Result<double>(cstore::QueryEngine*,
                                                  const cstore::BatPtr&)>& op,
       const std::function<double(double, double)>& merge);
 
@@ -399,11 +477,31 @@ class Scheduler : public cstore::QueryEngine {
     std::vector<std::size_t> shares;
   };
 
+  /// Strikes before a faulting device is quarantined. Three lets a couple of
+  /// transient faults heal under retry while a permanently broken device
+  /// (every attempt faults) is out after three attempts.
+  static constexpr int kQuarantineStrikes = 3;
+  /// Retry budget per operator batch. Sized so a *permanent* single-device
+  /// fault resolves within it: three strikes trip the quarantine, the next
+  /// attempt re-plans over the survivors, with headroom for a second sick
+  /// device.
+  static constexpr int kMaxAttempts = 6;
+
   ocl::Context* ctx_;
   common::VirtualClock clock_;
   std::vector<std::unique_ptr<OcelotEngine>> engines_;
   ThroughputTracker tracker_;
   SlotArbiter* arbiter_ = nullptr;  ///< not owned; see set_slot_arbiter
+  /// Last-resort host engine: when the retry/quarantine ladder runs out of
+  /// devices (or attempts), operators re-run whole on this — a query only
+  /// fails when the host path fails too. Inputs and outputs of the
+  /// scheduler are host-resident by contract, so the handoff is free.
+  monet::SequentialEngine host_;
+  std::vector<bool> quarantined_;  ///< per-device: excluded from planning
+  std::vector<int> strikes_;       ///< per-device: consecutive-fault count
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> quarantines_{0};
+  std::atomic<std::uint64_t> fallbacks_{0};
   /// plans_[class]: exact input size -> last adopted plan (bounded; cleared
   /// wholesale if a pathological workload produces thousands of distinct
   /// sizes — losing hysteresis there costs re-cuts, not correctness).

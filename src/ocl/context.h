@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "common/vclock.h"
 #include "ocl/device.h"
+#include "ocl/fault.h"
 #include "ocl/queue.h"
 
 namespace ocl {
@@ -18,8 +20,17 @@ namespace ocl {
 /// and never needs to know about its siblings.
 class DeviceContext {
  public:
-  explicit DeviceContext(DeviceModel model)
-      : device_(std::move(model)), queue_(&device_, &clock_) {}
+  /// `slot_index` is this device's position in the owning Context — the
+  /// identity OCELOT_FAULT_SPEC `dev=<index>` rules match on. The fault
+  /// schedule (test override or environment) is captured at construction,
+  /// so one context sees one consistent schedule for its whole lifetime.
+  explicit DeviceContext(DeviceModel model, int slot_index = 0)
+      : injector_(slot_index, model.type, FaultSpec::Active()),
+        device_(std::move(model)),
+        queue_(&device_, &clock_) {
+    queue_.set_fault_injector(&injector_);
+    device_.set_fault_injector(&injector_);
+  }
 
   DeviceContext(const DeviceContext&) = delete;
   DeviceContext& operator=(const DeviceContext&) = delete;
@@ -27,9 +38,11 @@ class DeviceContext {
   Device* device() { return &device_; }
   CommandQueue* queue() { return &queue_; }
   common::VirtualClock* clock() { return &clock_; }
+  FaultInjector* fault_injector() { return &injector_; }
 
  private:
   common::VirtualClock clock_;
+  FaultInjector injector_;
   Device device_;
   CommandQueue queue_;
 };
@@ -69,17 +82,24 @@ class Context {
   common::VirtualClock* clock() { return at(0)->clock(); }
 
   /// Drains every device's queue and advances each slot clock to idle
-  /// (clFinish over the whole context).
-  void FinishAll() {
-    for (auto& slot : slots_) slot->queue()->Finish();
+  /// (clFinish over the whole context). Returns the first slot's fault if
+  /// any queue had failed work pending (and clears all of them).
+  common::Status FinishAll() {
+    common::Status first;
+    for (auto& slot : slots_) {
+      common::Status st = slot->queue()->Finish();
+      if (first.ok() && !st.ok()) first = std::move(st);
+    }
+    return first;
   }
 
  private:
   explicit Context(std::vector<DeviceModel> models) {
     OCELOT_CHECK(!models.empty()) << "context needs at least one device";
     slots_.reserve(models.size());
-    for (DeviceModel& m : models) {
-      slots_.push_back(std::make_unique<DeviceContext>(std::move(m)));
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      slots_.push_back(std::make_unique<DeviceContext>(std::move(models[i]),
+                                                       static_cast<int>(i)));
     }
   }
 

@@ -4,6 +4,7 @@
 
 #include "common/aligned.h"
 #include "ocl/buffer.h"
+#include "ocl/fault.h"
 
 namespace ocl {
 
@@ -65,6 +66,11 @@ Device::Device(DeviceModel model)
       driver_(1) {}
 
 common::Result<BufferPtr> Device::Allocate(std::size_t bytes) {
+  if (injector_ != nullptr) {
+    common::Status injected =
+        injector_->OnOp(FaultOp::kAlloc, std::to_string(bytes) + "B");
+    if (!injected.ok()) return injected;
+  }
   if (capacity_bytes() != 0 && allocated_bytes_ + bytes > capacity_bytes()) {
     return common::Status::ResourceExhausted(
         "device memory: need " + std::to_string(bytes) + "B, " +

@@ -104,6 +104,7 @@ DeviceModel XeonE5620Model();
 DeviceModel Gtx460Model();
 
 class Buffer;
+class FaultInjector;
 
 /// A compute device: owns the virtual compute/transfer timelines and the
 /// device-memory capacity accounting that the Ocelot memory manager relies
@@ -144,11 +145,16 @@ class Device {
   Nanos LocalAtomicPenalty(std::uint64_t atomic_ops,
                            std::uint64_t distinct_addresses) const;
 
+  /// Wires the fault decision point for allocation faults; owned by the
+  /// DeviceContext. May be null (injection disabled).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   friend class Buffer;
   void Release(std::size_t bytes);
 
   DeviceModel model_;
+  FaultInjector* injector_ = nullptr;
   std::size_t allocated_bytes_ = 0;
   common::Timeline compute_;
   common::Timeline transfer_;

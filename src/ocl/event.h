@@ -16,13 +16,19 @@ namespace ocl {
 /// sync point.
 class Event {
  public:
-  enum class State { kQueued, kComplete };
+  enum class State { kQueued, kComplete, kFailed };
 
   explicit Event(std::string label) : label_(std::move(label)) {}
 
   const std::string& label() const { return label_; }
   State state() const { return state_; }
   bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kFailed; }
+  /// Terminal either way — the op will never execute again. Quiescence
+  /// checks use this: a failed producer must not leave its entry "busy"
+  /// forever (the memory manager would then drain queues from foreign
+  /// threads trying to wait it out).
+  bool settled() const { return state_ != State::kQueued; }
 
   /// Virtual-time profiling info, valid once complete (cf. OpenCL's
   /// CL_PROFILING_COMMAND_{QUEUED,START,END}).
@@ -38,6 +44,11 @@ class Event {
     start_ = start;
     end_ = end;
     state_ = State::kComplete;
+  }
+  void MarkFailed() {
+    start_ = queued_;
+    end_ = queued_;
+    state_ = State::kFailed;
   }
 
   std::string label_;

@@ -1,0 +1,245 @@
+#include "ocl/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ocl {
+namespace {
+
+/// Test override: guarded because gtest main threads install it while
+/// engine threads read it. `set` distinguishes "no override" (fall back to
+/// the environment) from "override to empty" (injection off).
+struct SpecOverride {
+  std::mutex mu;
+  bool set = false;
+  std::string spec;
+};
+
+SpecOverride& Override() {
+  static SpecOverride* o = new SpecOverride();
+  return *o;
+}
+
+const char* OpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kKernel:
+      return "kernel";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kAlloc:
+      return "alloc";
+  }
+  return "?";
+}
+
+common::Status ParseError(const std::string& field, const std::string& why) {
+  return common::Status::InvalidArgument("OCELOT_FAULT_SPEC field '" + field +
+                                         "': " + why);
+}
+
+}  // namespace
+
+common::Result<FaultSpec> FaultSpec::Parse(const std::string& text) {
+  FaultSpec spec;
+  std::stringstream rules(text);
+  std::string rule_text;
+  while (std::getline(rules, rule_text, ';')) {
+    if (rule_text.empty()) continue;
+    FaultRule rule;
+    bool any_op = false;
+    bool seed_only = true;
+    std::stringstream fields(rule_text);
+    std::string field;
+    while (std::getline(fields, field, ',')) {
+      if (field.empty()) continue;
+      std::size_t eq = field.find('=');
+      if (eq == std::string::npos) return ParseError(field, "expected key=value");
+      std::string key = field.substr(0, eq);
+      std::string val = field.substr(eq + 1);
+      if (key == "seed") {
+        spec.seed = std::strtoull(val.c_str(), nullptr, 10);
+        continue;
+      }
+      seed_only = false;
+      if (key == "dev") {
+        if (val == "*") {
+          rule.dev_match = FaultRule::DevMatch::kAny;
+        } else if (val == "cpu") {
+          rule.dev_match = FaultRule::DevMatch::kType;
+          rule.dev_type = DeviceType::kCpu;
+        } else if (val == "gpu") {
+          rule.dev_match = FaultRule::DevMatch::kType;
+          rule.dev_type = DeviceType::kGpu;
+        } else {
+          char* end = nullptr;
+          long idx = std::strtol(val.c_str(), &end, 10);
+          if (end == val.c_str() || *end != '\0' || idx < 0) {
+            return ParseError(field, "want index, cpu, gpu or *");
+          }
+          rule.dev_match = FaultRule::DevMatch::kIndex;
+          rule.dev_index = static_cast<int>(idx);
+        }
+      } else if (key == "op") {
+        if (val == "*") {
+          for (bool& b : rule.ops) b = true;
+        } else if (val == "kernel") {
+          rule.ops[static_cast<int>(FaultOp::kKernel)] = true;
+        } else if (val == "write") {
+          rule.ops[static_cast<int>(FaultOp::kWrite)] = true;
+        } else if (val == "read") {
+          rule.ops[static_cast<int>(FaultOp::kRead)] = true;
+        } else if (val == "transfer") {
+          rule.ops[static_cast<int>(FaultOp::kWrite)] = true;
+          rule.ops[static_cast<int>(FaultOp::kRead)] = true;
+        } else if (val == "alloc") {
+          rule.ops[static_cast<int>(FaultOp::kAlloc)] = true;
+        } else {
+          return ParseError(field, "want kernel, write, read, transfer, alloc or *");
+        }
+        any_op = true;
+      } else if (key == "at") {
+        rule.at = std::strtoll(val.c_str(), nullptr, 10);
+        if (rule.at < 1) return ParseError(field, "want a 1-based op ordinal");
+      } else if (key == "p") {
+        rule.probability = std::strtod(val.c_str(), nullptr);
+        if (rule.probability <= 0.0 || rule.probability > 1.0) {
+          return ParseError(field, "want a probability in (0, 1]");
+        }
+      } else if (key == "mode") {
+        if (val == "permanent") {
+          rule.permanent = true;
+        } else if (val == "transient") {
+          rule.permanent = false;
+        } else {
+          return ParseError(field, "want transient or permanent");
+        }
+      } else if (key == "count") {
+        rule.count = std::strtoll(val.c_str(), nullptr, 10);
+        if (rule.count < 1) return ParseError(field, "want a positive cap");
+      } else {
+        return ParseError(field, "unknown key");
+      }
+    }
+    if (seed_only) continue;  // a bare "seed=N" rule configures, not injects
+    if (!any_op) {
+      for (bool& b : rule.ops) b = true;
+    }
+    if (rule.at < 0 && rule.probability <= 0.0) {
+      return ParseError(rule_text, "rule needs at=N or p=prob");
+    }
+    spec.rules.push_back(rule);
+  }
+  return spec;
+}
+
+FaultSpec FaultSpec::Active() {
+  std::string text;
+  {
+    SpecOverride& o = Override();
+    std::lock_guard<std::mutex> lock(o.mu);
+    if (o.set) {
+      text = o.spec;
+    } else if (const char* env = std::getenv("OCELOT_FAULT_SPEC")) {
+      text = env;
+    }
+  }
+  if (text.empty()) return FaultSpec();
+  auto parsed = Parse(text);
+  OCELOT_CHECK(parsed.ok()) << parsed.status().ToString();
+  FaultSpec spec = std::move(*parsed);
+  if (spec.seed == 0) {
+    if (const char* env = std::getenv("OCELOT_FAULT_SEED")) {
+      spec.seed = std::strtoull(env, nullptr, 10);
+    }
+  }
+  return spec;
+}
+
+void SetFaultSpecForTesting(const std::string& spec) {
+  SpecOverride& o = Override();
+  std::lock_guard<std::mutex> lock(o.mu);
+  o.set = true;
+  o.spec = spec;
+}
+
+void ClearFaultSpecForTesting() {
+  SpecOverride& o = Override();
+  std::lock_guard<std::mutex> lock(o.mu);
+  o.set = false;
+  o.spec.clear();
+}
+
+bool FaultInjectionActive() { return !FaultSpec::Active().empty(); }
+
+FaultInjector::FaultInjector(int device_index, DeviceType device_type,
+                             FaultSpec spec)
+    : device_index_(device_index),
+      device_type_(device_type),
+      rng_(common::Mix64(spec.seed + 0x5eedfau) ^
+           common::Mix64(static_cast<std::uint64_t>(device_index) + 1)) {
+  for (const FaultRule& rule : spec.rules) {
+    bool applies = false;
+    switch (rule.dev_match) {
+      case FaultRule::DevMatch::kAny:
+        applies = true;
+        break;
+      case FaultRule::DevMatch::kIndex:
+        applies = rule.dev_index == device_index;
+        break;
+      case FaultRule::DevMatch::kType:
+        applies = rule.dev_type == device_type;
+        break;
+    }
+    if (applies) rules_.push_back(RuleState{rule, 0, 0, false});
+  }
+}
+
+bool FaultInjector::Fire(RuleState* rs) {
+  const FaultRule& r = rs->rule;
+  if (r.permanent && rs->tripped) return true;
+  bool fire = false;
+  if (r.at > 0) {
+    fire = rs->matched == r.at;
+  } else if (r.probability > 0.0) {
+    fire = rng_.NextDouble() < r.probability;
+  }
+  if (!fire) return false;
+  if (!r.permanent && r.count > 0 && rs->injected >= r.count) return false;
+  if (r.permanent) rs->tripped = true;
+  return true;
+}
+
+common::Status FaultInjector::OnOp(FaultOp op, const std::string& label) {
+  if (rules_.empty()) return common::Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RuleState& rs : rules_) {
+    if (!rs.rule.ops[static_cast<int>(op)]) continue;
+    rs.matched += 1;
+    if (!Fire(&rs)) continue;
+    rs.injected += 1;
+    total_injected_ += 1;
+    std::string msg = std::string("injected ") +
+                      (rs.rule.permanent ? "permanent" : "transient") + " " +
+                      OpName(op) + " fault on device " +
+                      std::to_string(device_index_) + " (" +
+                      (device_type_ == DeviceType::kGpu ? "gpu" : "cpu") +
+                      ")" + (label.empty() ? "" : ": " + label);
+    if (op == FaultOp::kAlloc) {
+      return common::Status::ResourceExhausted(std::move(msg));
+    }
+    return common::Status::DeviceLost(std::move(msg));
+  }
+  return common::Status::Ok();
+}
+
+std::int64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+}  // namespace ocl

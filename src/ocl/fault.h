@@ -1,0 +1,121 @@
+#ifndef OCELOT_OCL_FAULT_H_
+#define OCELOT_OCL_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "ocl/device.h"
+
+namespace ocl {
+
+/// The injectable operation kinds, matching the queue's PendingOp kinds plus
+/// device-memory allocation.
+enum class FaultOp { kKernel, kWrite, kRead, kAlloc };
+
+/// One parsed rule of an OCELOT_FAULT_SPEC.
+///
+/// Grammar (rules separated by ';', fields by ','):
+///
+///   dev=<index|cpu|gpu|*>   which device slots the rule applies to
+///   op=<kernel|write|read|transfer|alloc|*>   which operations
+///   at=<N>                  scripted: fire on the Nth matching op (1-based)
+///   p=<prob>                probabilistic: fire with probability per op
+///   mode=<transient|permanent>   permanent rules keep failing once tripped
+///   count=<N>               cap on injections for probabilistic transients
+///   seed=<S>                global RNG seed (spec-wide; last one wins)
+///
+/// Example: "dev=gpu,op=kernel,at=3,mode=permanent" fails the GPU's third
+/// kernel launch and every device op after it — a card falling off the bus.
+struct FaultRule {
+  enum class DevMatch { kAny, kIndex, kType };
+  DevMatch dev_match = DevMatch::kAny;
+  int dev_index = -1;
+  DeviceType dev_type = DeviceType::kCpu;
+
+  bool ops[4] = {false, false, false, false};  // indexed by FaultOp
+
+  std::int64_t at = -1;      ///< fire on the Nth matching op; -1 = unused
+  double probability = 0.0;  ///< fire with this probability; 0 = unused
+  bool permanent = false;
+  std::int64_t count = -1;   ///< max injections for transient rules; -1 = no cap
+};
+
+/// A full fault schedule: the parsed rules plus the global seed.
+struct FaultSpec {
+  std::vector<FaultRule> rules;
+  std::uint64_t seed = 0;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Parses the OCELOT_FAULT_SPEC grammar. Returns InvalidArgument with the
+  /// offending field on malformed input.
+  static common::Result<FaultSpec> Parse(const std::string& text);
+
+  /// The active spec: the programmatic test override if one is installed,
+  /// else OCELOT_FAULT_SPEC/OCELOT_FAULT_SEED from the environment, else an
+  /// empty (injection disabled) spec. Malformed specs abort — a fault
+  /// schedule that silently parses to nothing would turn a fault-matrix CI
+  /// job into a no-op.
+  static FaultSpec Active();
+};
+
+/// Installs a process-global fault spec that takes precedence over the
+/// environment; tests use this instead of setenv (which races with getenv
+/// under TSan). An empty string is itself an override — it suppresses
+/// injection entirely even if OCELOT_FAULT_SPEC is set (fault-free golden
+/// runs under a fault-matrix CI job rely on this). Use
+/// ClearFaultSpecForTesting to fall back to the environment.
+void SetFaultSpecForTesting(const std::string& spec);
+void ClearFaultSpecForTesting();
+
+/// True when any fault schedule is active (test override or environment).
+/// Tests whose assertions assume fault-free execution — structural kernel
+/// counts, copy accounting, calibration expectations, bit-identity across
+/// fault-divergent retry histories — consult this to skip or relax under a
+/// fault-matrix CI run.
+bool FaultInjectionActive();
+
+/// Per-device fault decision point. A DeviceContext owns one injector; the
+/// command queue consults it per executed op and the device consults it per
+/// allocation. Deterministic: the per-device RNG stream is seeded from the
+/// spec seed and the device's slot index, so a (spec, seed) pair reproduces
+/// the exact same fault schedule on every run — faults are part of the
+/// simulation, not noise.
+class FaultInjector {
+ public:
+  FaultInjector(int device_index, DeviceType device_type, FaultSpec spec);
+
+  bool enabled() const { return !rules_.empty(); }
+
+  /// Ok to proceed, or the Status the op must fail with: DeviceLost for
+  /// kernel/transfer faults, ResourceExhausted for allocation faults.
+  common::Status OnOp(FaultOp op, const std::string& label);
+
+  /// Total injections so far (tests / telemetry).
+  std::int64_t injected() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    std::int64_t matched = 0;
+    std::int64_t injected = 0;
+    bool tripped = false;  ///< permanent rule has fired at least once
+  };
+
+  bool Fire(RuleState* rs);
+
+  const int device_index_;
+  const DeviceType device_type_;
+  mutable std::mutex mu_;
+  common::Rng rng_;
+  std::vector<RuleState> rules_;
+  std::int64_t total_injected_ = 0;
+};
+
+}  // namespace ocl
+
+#endif  // OCELOT_OCL_FAULT_H_

@@ -134,12 +134,46 @@ void CommandQueue::ExecuteTransfer(PendingOp* op) {
   modeled_busy_ += iv.end - iv.start;
 }
 
-void CommandQueue::Flush() {
-  if (pending_.empty()) return;
+common::Status CommandQueue::Flush() {
+  if (pending_.empty()) return fault_;
   common::Stopwatch real;
   while (!pending_.empty()) {
     PendingOp op = std::move(pending_.front());
     pending_.pop_front();
+
+    // An op downstream of a failed dependency can never produce its
+    // contracted bytes; fail it too rather than execute against garbage.
+    // Ops with intact wait-lists still run — the fault stays contained to
+    // its dependency cone, exactly like event error propagation in CL.
+    const Event* failed_wait = nullptr;
+    for (const EventPtr& w : op.waits) {
+      if (w->failed()) {
+        failed_wait = w.get();
+        break;
+      }
+    }
+    if (failed_wait != nullptr) {
+      op.event->MarkFailed();
+      if (fault_.ok()) {
+        fault_ = common::Status::DeviceLost(
+            "op '" + op.event->label() + "' depends on failed event '" +
+            failed_wait->label() + "'");
+      }
+      continue;
+    }
+
+    if (injector_ != nullptr) {
+      FaultOp kind = op.kind == PendingOp::Kind::kKernel ? FaultOp::kKernel
+                     : op.kind == PendingOp::Kind::kWrite ? FaultOp::kWrite
+                                                          : FaultOp::kRead;
+      common::Status injected = injector_->OnOp(kind, op.event->label());
+      if (!injected.ok()) {
+        op.event->MarkFailed();
+        if (fault_.ok()) fault_ = std::move(injected);
+        continue;
+      }
+    }
+
     if (op.kind == PendingOp::Kind::kKernel) {
       ExecuteKernel(&op);
     } else {
@@ -149,19 +183,33 @@ void CommandQueue::Flush() {
   // The host only *scheduled* this work; execution time belongs to the
   // simulated device, which has already been billed on its timelines.
   clock_->Deduct(real.ElapsedNanos());
+  return fault_;
 }
 
-void CommandQueue::Wait(const EventPtr& event) {
-  if (!event->complete()) Flush();
+common::Status CommandQueue::Wait(const EventPtr& event) {
+  if (!event->settled()) Flush();
+  if (event->failed()) {
+    return fault_.ok() ? common::Status::DeviceLost("event '" + event->label() +
+                                                    "' failed")
+                       : fault_;
+  }
   OCELOT_CHECK(event->complete());
   clock_->AdvanceTo(event->end_time());
+  return common::Status::Ok();
 }
 
-void CommandQueue::Finish() {
+common::Status CommandQueue::Finish() {
   Flush();
   clock_->AdvanceTo(std::max({device_->compute_timeline().AllIdleTime(),
                               device_->transfer_timeline().AllIdleTime(),
                               device_->driver_timeline().AllIdleTime()}));
+  return TakeFault();
+}
+
+common::Status CommandQueue::TakeFault() {
+  common::Status f = std::move(fault_);
+  fault_ = common::Status::Ok();
+  return f;
 }
 
 }  // namespace ocl

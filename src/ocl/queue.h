@@ -12,6 +12,7 @@
 #include "ocl/buffer.h"
 #include "ocl/device.h"
 #include "ocl/event.h"
+#include "ocl/fault.h"
 #include "ocl/kernel.h"
 
 namespace ocl {
@@ -57,16 +58,32 @@ class CommandQueue {
 
   /// Executes every pending operation (in dependency order; all wait-lists
   /// reference earlier enqueues, as with a single in-order application
-  /// thread feeding an out-of-order device queue).
-  void Flush();
+  /// thread feeding an out-of-order device queue). Ops the fault injector
+  /// fails — and ops downstream of a failed wait event — are marked failed
+  /// and skipped; independent ops still execute. Returns the sticky fault
+  /// status (Ok when everything executed).
+  common::Status Flush();
 
   /// Flush + advance the virtual clock to the event's completion; the
-  /// blocking analogue of clWaitForEvents.
-  void Wait(const EventPtr& event);
+  /// blocking analogue of clWaitForEvents. Returns the queue's fault status
+  /// when the event failed (no clock advance happens in that case).
+  common::Status Wait(const EventPtr& event);
 
   /// Flush + advance the virtual clock until the whole device is idle
-  /// (clFinish).
-  void Finish();
+  /// (clFinish). Returns and *clears* the sticky fault status, so the next
+  /// batch of work starts clean — the retry path drains the queue through
+  /// here before re-attempting.
+  common::Status Finish();
+
+  /// First failure since the last Finish()/TakeFault(), without draining.
+  const common::Status& fault() const { return fault_; }
+
+  /// Consumes the sticky fault status (returns it and resets to Ok).
+  common::Status TakeFault();
+
+  /// Wires the fault decision point; owned by the DeviceContext. May be
+  /// null (injection disabled).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   std::size_t pending() const { return pending_.size(); }
 
@@ -108,6 +125,8 @@ class CommandQueue {
 
   Device* device_;
   common::VirtualClock* clock_;
+  FaultInjector* injector_ = nullptr;
+  common::Status fault_;  ///< first failure since last Finish/TakeFault
   std::deque<PendingOp> pending_;
   LocalArena local_arena_;
   std::map<std::string, KernelProfile> profiles_;

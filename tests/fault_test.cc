@@ -1,0 +1,433 @@
+// Fault-injection and failover tests: the OCELOT_FAULT_SPEC grammar, the
+// injector's per-seed determinism, the scheduler's retry / quarantine /
+// host-fallback ladder under scripted device faults (including the
+// flagship bit-identity-under-quarantine contract on TPC-H), and the
+// serving tier's deadlines, cancellation, error isolation and
+// slot-lease hygiene when queries die mid-flight.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "mal/interp.h"
+#include "mal/rewriter.h"
+#include "mal/service.h"
+#include "ocelot/scheduler.h"
+#include "ocl/device.h"
+#include "ocl/fault.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using common::StatusCode;
+using ocl::FaultOp;
+using ocl::FaultRule;
+using ocl::FaultSpec;
+
+/// Clears the process-global spec override even when an ASSERT bails out of
+/// the test body — a leaked schedule would fault every later test.
+struct SpecGuard {
+  explicit SpecGuard(const std::string& spec) {
+    ocl::SetFaultSpecForTesting(spec);
+  }
+  ~SpecGuard() { ocl::ClearFaultSpecForTesting(); }
+};
+
+const tpch::TpchDb& Db() {
+  static const tpch::TpchDb* db = new tpch::TpchDb(tpch::Generate(0.02));
+  return *db;
+}
+
+// --- OCELOT_FAULT_SPEC grammar -----------------------------------------------
+
+TEST(FaultSpecTest, ParsesFullGrammar) {
+  auto spec = FaultSpec::Parse(
+      "dev=gpu,op=kernel,at=3,mode=permanent;"
+      "dev=*,op=alloc,p=0.5,count=2,mode=transient;"
+      "seed=99");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->rules.size(), 2u);
+  EXPECT_EQ(spec->seed, 99u);
+
+  const FaultRule& gpu = spec->rules[0];
+  EXPECT_EQ(gpu.dev_match, FaultRule::DevMatch::kType);
+  EXPECT_EQ(gpu.dev_type, ocl::DeviceType::kGpu);
+  EXPECT_TRUE(gpu.ops[static_cast<int>(FaultOp::kKernel)]);
+  EXPECT_FALSE(gpu.ops[static_cast<int>(FaultOp::kAlloc)]);
+  EXPECT_EQ(gpu.at, 3);
+  EXPECT_TRUE(gpu.permanent);
+
+  const FaultRule& alloc = spec->rules[1];
+  EXPECT_EQ(alloc.dev_match, FaultRule::DevMatch::kAny);
+  EXPECT_TRUE(alloc.ops[static_cast<int>(FaultOp::kAlloc)]);
+  EXPECT_FALSE(alloc.ops[static_cast<int>(FaultOp::kKernel)]);
+  EXPECT_DOUBLE_EQ(alloc.probability, 0.5);
+  EXPECT_EQ(alloc.count, 2);
+  EXPECT_FALSE(alloc.permanent);
+}
+
+TEST(FaultSpecTest, TransferExpandsToBothDirectionsAndIndexDevicesParse) {
+  auto spec = FaultSpec::Parse("dev=1,op=transfer,p=0.25");
+  ASSERT_TRUE(spec.ok());
+  const FaultRule& r = spec->rules[0];
+  EXPECT_EQ(r.dev_match, FaultRule::DevMatch::kIndex);
+  EXPECT_EQ(r.dev_index, 1);
+  EXPECT_TRUE(r.ops[static_cast<int>(FaultOp::kWrite)]);
+  EXPECT_TRUE(r.ops[static_cast<int>(FaultOp::kRead)]);
+  EXPECT_FALSE(r.ops[static_cast<int>(FaultOp::kKernel)]);
+}
+
+TEST(FaultSpecTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "dev=warp,p=0.5",       // unknown device
+      "op=sing,p=0.5",        // unknown op
+      "dev=gpu,p=0",          // probability outside (0, 1]
+      "dev=gpu,p=1.5",        // probability outside (0, 1]
+      "dev=gpu,at=0",         // ordinals are 1-based
+      "dev=gpu,count=0,p=1",  // cap must be positive
+      "dev=gpu,mode=maybe,p=1",
+      "flux=capacitor",       // unknown key
+      "dev=gpu",              // rule without a trigger
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(FaultSpec::Parse(spec).ok()) << spec;
+  }
+}
+
+// --- FaultInjector determinism -----------------------------------------------
+
+TEST(FaultInjectorTest, ProbabilisticScheduleIsDeterministicPerSeed) {
+  auto fired_with = [](std::uint64_t seed) {
+    FaultSpec spec = *FaultSpec::Parse("dev=*,op=kernel,p=0.3,mode=transient");
+    spec.seed = seed;
+    ocl::FaultInjector inj(/*device_index=*/1, ocl::DeviceType::kGpu, spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 256; ++i) {
+      fired.push_back(!inj.OnOp(FaultOp::kKernel, "k").ok());
+    }
+    return fired;
+  };
+  EXPECT_EQ(fired_with(7), fired_with(7));   // replayable
+  EXPECT_NE(fired_with(7), fired_with(8));   // seed actually matters
+}
+
+TEST(FaultInjectorTest, ScriptedTransientFiresExactlyOnce) {
+  FaultSpec spec = *FaultSpec::Parse("dev=*,op=kernel,at=3,mode=transient");
+  ocl::FaultInjector inj(0, ocl::DeviceType::kCpu, spec);
+  for (int op = 1; op <= 10; ++op) {
+    common::Status s = inj.OnOp(FaultOp::kKernel, "k");
+    if (op == 3) {
+      EXPECT_EQ(s.code(), StatusCode::kDeviceLost) << "op " << op;
+    } else {
+      EXPECT_TRUE(s.ok()) << "op " << op;
+    }
+  }
+  EXPECT_EQ(inj.injected(), 1);
+}
+
+TEST(FaultInjectorTest, PermanentRuleKeepsFailingOnceTripped) {
+  FaultSpec spec = *FaultSpec::Parse("dev=*,op=kernel,at=2,mode=permanent");
+  ocl::FaultInjector inj(0, ocl::DeviceType::kGpu, spec);
+  EXPECT_TRUE(inj.OnOp(FaultOp::kKernel, "k").ok());
+  for (int op = 2; op <= 6; ++op) {
+    EXPECT_EQ(inj.OnOp(FaultOp::kKernel, "k").code(), StatusCode::kDeviceLost);
+  }
+}
+
+TEST(FaultInjectorTest, AllocFaultsAreResourceExhausted) {
+  FaultSpec spec = *FaultSpec::Parse("dev=*,op=alloc,at=1");
+  ocl::FaultInjector inj(0, ocl::DeviceType::kGpu, spec);
+  EXPECT_EQ(inj.OnOp(FaultOp::kAlloc, "buf").code(),
+            StatusCode::kResourceExhausted);
+}
+
+// --- Scheduler failover on TPC-H ---------------------------------------------
+
+using Rows = std::vector<std::vector<double>>;
+
+Rows Canonicalize(const std::vector<mal::Value>& returns) {
+  std::size_t nrows = 0;
+  std::vector<std::vector<double>> columns;
+  for (const mal::Value& v : returns) {
+    if (std::holds_alternative<double>(v)) {
+      columns.push_back({std::get<double>(v)});
+    } else if (std::holds_alternative<std::int64_t>(v)) {
+      columns.push_back({static_cast<double>(std::get<std::int64_t>(v))});
+    } else if (std::holds_alternative<cstore::BatPtr>(v)) {
+      const cstore::BatPtr& b = std::get<cstore::BatPtr>(v);
+      std::vector<double> col;
+      col.reserve(b->size());
+      switch (b->type()) {
+        case cstore::ValType::kInt:
+          for (auto x : b->ints()) col.push_back(x);
+          break;
+        case cstore::ValType::kFloat:
+          for (auto x : b->floats()) col.push_back(x);
+          break;
+        case cstore::ValType::kOid:
+          for (auto x : b->oids()) col.push_back(x);
+          break;
+      }
+      columns.push_back(std::move(col));
+    } else {
+      columns.push_back({});
+    }
+    nrows = std::max(nrows, columns.back().size());
+  }
+  Rows rows(nrows);
+  for (auto& col : columns) {
+    for (std::size_t i = 0; i < nrows; ++i) {
+      double x = i < col.size() ? col[i] : 0;
+      rows[i].push_back(std::isnan(x) ? -1.0e308 : x);
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// One ocelot:multi query under the currently installed fault spec, with
+/// static partitioning pinned (the bit-reproducible mode whose contract the
+/// quarantine path must preserve).
+struct MultiRun {
+  common::Result<mal::ExecResult> res = common::Result<mal::ExecResult>(
+      common::Status::Internal("not run"));
+  ocelot::FaultStats stats;
+  int healthy = 0;
+  int devices = 0;
+};
+
+MultiRun RunMulti(int query) {
+  MultiRun out;
+  auto session = mal::Session::Open("ocelot:multi");
+  OCELOT_CHECK(session.ok()) << session.status().ToString();
+  auto* sched = dynamic_cast<ocelot::Scheduler*>((*session)->engine());
+  OCELOT_CHECK(sched != nullptr);
+  sched->set_static_partition(true);
+  mal::Program prog = mal::RewriteForOcelot(*tpch::BuildQuery(query, Db()));
+  out.res = mal::Run(prog, Db().catalog, session->get());
+  out.stats = sched->fault_stats();
+  out.healthy = sched->healthy_device_count();
+  out.devices = sched->device_count();
+  // Drain deliberately ignoring a drain-time injected fault: results are
+  // already host-synced fragment by fragment.
+  (void)(*session)->FinishDevices();
+  return out;
+}
+
+/// Fault-free baseline run: an empty override suppresses injection even
+/// when the fault-matrix CI job exports an ambient OCELOT_FAULT_SPEC, so
+/// goldens stay goldens.
+MultiRun RunMultiFaultFree(int query) {
+  SpecGuard fault_free("");
+  return RunMulti(query);
+}
+
+TEST(SchedulerFailoverTest, TransientKernelFaultIsRetriedBitIdentically) {
+  MultiRun clean = RunMultiFaultFree(1);
+  ASSERT_TRUE(clean.res.ok()) << clean.res.status().ToString();
+  EXPECT_EQ(clean.stats.retries, 0u);
+
+  SpecGuard guard("dev=gpu,op=kernel,at=2,mode=transient");
+  MultiRun faulted = RunMulti(1);
+  ASSERT_TRUE(faulted.res.ok()) << faulted.res.status().ToString();
+  EXPECT_GE(faulted.stats.retries, 1u);
+  EXPECT_EQ(faulted.stats.quarantines, 0u);  // one blip never quarantines
+  EXPECT_EQ(faulted.healthy, faulted.devices);
+  EXPECT_EQ(Canonicalize(clean.res->returns),
+            Canonicalize(faulted.res->returns));
+}
+
+// The acceptance contract: a scripted *permanent* GPU fault mid-query
+// quarantines the device, re-plans onto the survivors with the fault-free
+// partition shape, and completes Q1/Q3 bit-identical to the fault-free run.
+TEST(SchedulerFailoverTest, PermanentGpuFaultMidQueryIsBitIdentical) {
+  for (int query : {1, 3}) {
+    MultiRun clean = RunMultiFaultFree(query);
+    ASSERT_TRUE(clean.res.ok()) << clean.res.status().ToString();
+
+    // Kernel launch 6 is mid-plan for both queries: earlier operators run
+    // on the full device set, later ones must re-plan around the corpse.
+    SpecGuard guard("dev=gpu,op=kernel,at=6,mode=permanent");
+    MultiRun faulted = RunMulti(query);
+    ASSERT_TRUE(faulted.res.ok())
+        << "Q" << query << ": " << faulted.res.status().ToString();
+    EXPECT_GE(faulted.stats.quarantines, 1u) << "Q" << query;
+    EXPECT_GE(faulted.stats.retries, 1u) << "Q" << query;
+    EXPECT_EQ(faulted.healthy, faulted.devices - 1) << "Q" << query;
+    EXPECT_EQ(Canonicalize(clean.res->returns),
+              Canonicalize(faulted.res->returns))
+        << "Q" << query << " diverged across the quarantine re-plan";
+    ocl::ClearFaultSpecForTesting();
+  }
+}
+
+TEST(SchedulerFailoverTest, TotalDeviceLossFallsBackToHostAndStillAnswers) {
+  MultiRun clean = RunMultiFaultFree(1);
+  ASSERT_TRUE(clean.res.ok());
+  Rows want = Canonicalize(clean.res->returns);
+
+  SpecGuard guard("dev=*,op=kernel,p=1,mode=permanent");
+  MultiRun faulted = RunMulti(1);
+  ASSERT_TRUE(faulted.res.ok()) << faulted.res.status().ToString();
+  EXPECT_EQ(faulted.healthy, 0);
+  EXPECT_EQ(faulted.stats.quarantines,
+            static_cast<std::uint64_t>(faulted.devices));
+  EXPECT_GE(faulted.stats.fallbacks, 1u);
+  // The host engine computes whole columns where the device plan summed
+  // per-fragment partials, so float aggregates may differ in low bits:
+  // same cardinality, tolerance-near values (the repo's cross-engine bar).
+  Rows got = Canonicalize(faulted.res->returns);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t r = 0; r < want.size(); ++r) {
+    ASSERT_EQ(want[r].size(), got[r].size());
+    for (std::size_t c = 0; c < want[r].size(); ++c) {
+      double tol = std::abs(want[r][c]) * 5e-4 + 1e-2;
+      ASSERT_NEAR(want[r][c], got[r][c], tol) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(SchedulerFailoverTest, SingleDeviceEngineSurfacesCleanDeviceLost) {
+  // No redundancy on ocelot:gpu — the clean-error half of the determinism
+  // contract: the query dies with the fault's own code, nothing else.
+  SpecGuard guard("dev=*,op=kernel,at=1,mode=permanent");
+  auto session = mal::Session::Open("ocelot:gpu");
+  ASSERT_TRUE(session.ok());
+  mal::Program prog = mal::RewriteForOcelot(*tpch::BuildQuery(1, Db()));
+  auto res = mal::Run(prog, Db().catalog, session->get());
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDeviceLost)
+      << res.status().ToString();
+}
+
+// --- Serving tier: deadlines, cancellation, isolation, lease hygiene ---------
+
+TEST(ServiceFaultTest, FaultCodesReachSubmitFuturesVerbatim) {
+  SpecGuard guard("dev=*,op=kernel,at=1,mode=permanent");
+  auto service = mal::QueryService::Open("ocelot:gpu", &Db().catalog);
+  ASSERT_TRUE(service.ok());
+  mal::DegradationStats stats;
+  mal::SubmitOptions options;
+  options.stats = &stats;
+  auto fut = (*service)->Submit(*tpch::BuildQuery(1, Db()), options);
+  auto res = fut.get();
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDeviceLost)
+      << res.status().ToString();
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ((*service)->degradation().failures, 1u);
+}
+
+TEST(ServiceFaultTest, DeadlineKillsOnlyTheOverBudgetQuery) {
+  // Deadline isolation is a fault-free property: pin injection off so the
+  // bit-identity goldens hold under the fault-matrix CI's ambient spec.
+  SpecGuard fault_free("");
+  const tpch::TpchDb& db = Db();
+  const std::vector<int> workload = {1, 3, 6, 12, 1, 3, 6};
+
+  // Serial goldens on the same engine configuration (static partitioning is
+  // the service's bit-identity mode).
+  std::vector<Rows> golden;
+  for (int q : workload) {
+    auto session = mal::Session::Open("ocelot:multi");
+    ASSERT_TRUE(session.ok());
+    dynamic_cast<ocelot::Scheduler*>((*session)->engine())
+        ->set_static_partition(true);
+    mal::Program prog = mal::RewriteForOcelot(*tpch::BuildQuery(q, db));
+    auto res = mal::Run(prog, db.catalog, session->get());
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    golden.push_back(Canonicalize(res->returns));
+  }
+
+  mal::ServiceOptions opts;
+  opts.max_sessions = 8;
+  opts.static_partition = true;
+  auto service = mal::QueryService::Open("ocelot:multi", &db.catalog, opts);
+  ASSERT_TRUE(service.ok());
+
+  // One doomed query (a 1 ns budget expires before the first instruction
+  // boundary) races seven healthy ones.
+  mal::DegradationStats doomed_stats;
+  mal::SubmitOptions doomed;
+  doomed.deadline = std::chrono::nanoseconds(1);
+  doomed.stats = &doomed_stats;
+  auto doomed_fut = (*service)->Submit(*tpch::BuildQuery(3, db), doomed);
+
+  std::vector<std::future<common::Result<mal::ExecResult>>> futures;
+  for (int q : workload) {
+    futures.push_back((*service)->Submit(*tpch::BuildQuery(q, db)));
+  }
+
+  auto doomed_res = doomed_fut.get();
+  ASSERT_FALSE(doomed_res.ok());
+  EXPECT_EQ(doomed_res.status().code(), StatusCode::kDeadlineExceeded)
+      << doomed_res.status().ToString();
+  EXPECT_EQ(doomed_stats.deadline_kills, 1u);
+
+  // The kill must not perturb any concurrent query: bit-compare every
+  // healthy result against its serial golden.
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto res = futures[i].get();
+    ASSERT_TRUE(res.ok()) << "Q" << workload[i] << ": "
+                          << res.status().ToString();
+    EXPECT_EQ(golden[i], Canonicalize(res->returns))
+        << "Q" << workload[i] << " perturbed by the concurrent deadline kill";
+  }
+  EXPECT_GE((*service)->degradation().deadline_kills, 1u);
+  EXPECT_EQ((*service)->degradation().failures, 0u);
+}
+
+TEST(ServiceFaultTest, PreCancelledTokenResolvesToCancelled) {
+  auto service = mal::QueryService::Open("ocelot:multi", &Db().catalog);
+  ASSERT_TRUE(service.ok());
+  auto token = std::make_shared<common::CancelToken>();
+  token->Cancel();
+  mal::DegradationStats stats;
+  mal::SubmitOptions options;
+  options.cancel = token;
+  options.stats = &stats;
+  auto res = (*service)->Submit(*tpch::BuildQuery(1, Db()), options).get();
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCancelled)
+      << res.status().ToString();
+  EXPECT_EQ(stats.cancel_kills, 1u);
+}
+
+TEST(ServiceFaultTest, FaultedQueryDoesNotStarveSuccessorsOfSlots) {
+  const tpch::TpchDb& db = Db();
+  // Strictly exclusive device slots: a leaked lease from the dead query
+  // would block every successor forever (the ctest timeout is the failure
+  // detector for that).
+  mal::ServiceOptions opts;
+  opts.max_sessions = 2;
+  opts.leases_per_slot = 1;
+  opts.static_partition = true;
+  auto service = mal::QueryService::Open("ocelot:multi", &db.catalog, opts);
+  ASSERT_TRUE(service.ok());
+
+  mal::SubmitOptions doomed;
+  doomed.deadline = std::chrono::nanoseconds(1);
+  auto dead = (*service)->Submit(*tpch::BuildQuery(1, db), doomed);
+  EXPECT_EQ(dead.get().status().code(), StatusCode::kDeadlineExceeded);
+
+  // Successors keep running through transient device faults too: each retry
+  // re-acquires its leases per attempt, erroring batches included.
+  SpecGuard guard("dev=*,op=kernel,p=0.2,mode=transient,seed=5");
+  for (int i = 0; i < 3; ++i) {
+    auto res = (*service)->Submit(*tpch::BuildQuery(3, db)).get();
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+  }
+  EXPECT_EQ((*service)->completed(), 4u);
+}
+
+}  // namespace

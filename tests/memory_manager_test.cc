@@ -353,6 +353,44 @@ TEST(MemoryManagerTest, ExhaustionWithNothingEvictableFails) {
   EXPECT_EQ(res.status().code(), common::StatusCode::kResourceExhausted);
 }
 
+TEST(MemoryManagerTest, QuarantineDropsEveryEntryAndReleasesDeviceMemory) {
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(100'000, 7);
+  ASSERT_TRUE(engine.Sum(col).ok());
+  ASSERT_GT(engine.memory()->cached_entries(), 0u);
+  ASSERT_GT(engine.memory()->device_bytes(), 0u);
+
+  std::size_t dropped = engine.memory()->Quarantine();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(engine.memory()->cached_entries(), 0u);
+  // Nothing on a quarantined device is reachable again — every buffer must
+  // be released, not leaked in a cache that will never serve a hit.
+  EXPECT_EQ(engine.memory()->device_bytes(), 0u);
+  EXPECT_EQ(engine.memory()->Quarantine(), 0u);  // idempotent on empty
+}
+
+TEST(MemoryManagerTest, PostQuarantineQueryReUploadsWithoutStaleRead) {
+  auto ctx = TinyGpu(64 << 20);
+  OcelotEngine engine(ctx.get());
+  BatPtr col = Column(50'000, 8);
+  auto before = engine.Sum(col);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_GT(engine.memory()->Quarantine(), 0u);
+  // Mutate the host heap after the quarantine dropped the device binding:
+  // a stale device copy would still answer with the old bytes.
+  for (auto& v : col->ints()) v += 1;
+  double expect = 0;
+  for (auto v : col->ints()) expect += v;
+
+  auto after = engine.Sum(col);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, expect);
+  EXPECT_NE(*after, *before);
+  EXPECT_GT(engine.memory()->cached_entries(), 0u);  // fresh re-upload
+}
+
 TEST(MemoryManagerTest, SyncHandsOwnershipBack) {
   auto ctx = TinyGpu(64 << 20);
   OcelotEngine engine(ctx.get());

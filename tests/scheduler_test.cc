@@ -23,6 +23,7 @@
 #include "ocelot/engine.h"
 #include "ocelot/scheduler.h"
 #include "ocl/context.h"
+#include "ocl/fault.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -347,6 +348,8 @@ TEST_F(SchedulerTest, WorkIsSpreadAcrossAllDevices) {
 TEST_F(SchedulerTest, SubAvgRunsPartitionedAcrossDevices) {
   // The single-device fallback is gone: a multi-device avg fragments like
   // every other sub-aggregate (partial sums + non-nil counts per device).
+  if (ocl::FaultInjectionActive())
+    GTEST_SKIP() << "per-device kernel counts assume fault-free execution";
   BatPtr col = RandomInts(20000, 37, 53);
   auto grp = scheduler_.GroupBy(col, nullptr);
   ASSERT_TRUE(grp.ok());
@@ -370,6 +373,8 @@ TEST(SchedulerWeightedPartitionTest, HeterogeneousSetBeatsEqualSplit) {
   // per-row term — the thing weighting can actually shift — dominates, and
   // the selection is low-selectivity so the GPU's result read-back does not
   // drown its compute advantage in PCIe time.
+  if (ocl::FaultInjectionActive())
+    GTEST_SKIP() << "calibration makespans assume fault-free execution";
   std::vector<ocl::DeviceModel> models = TestDevices();
   for (auto& m : models) {
     m.kernel_launch_overhead = 0;
@@ -522,6 +527,9 @@ TEST(SchedulerCopyTest, MergeWritesAreTheOnlyCopies) {
   // input sizes (2 ms dispatch / DMA latency floors) and plans single
   // fragments, whose merges steal instead of copy — this test pins the
   // *multi-fragment* merge-copy contract.
+  if (ocl::FaultInjectionActive())
+    GTEST_SKIP() << "copy accounting assumes fault-free execution (retries "
+                    "re-run merges)";
   std::vector<ocl::DeviceModel> models = {ocl::XeonE5620Model(),
                                           ocl::XeonE5620Model()};
   for (auto& m : models) {
@@ -710,6 +718,14 @@ TEST_P(RegistryQueryTest, ThreeEnginesOneResult) {
     mal::Program prog = *plan;
     if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
     auto res = mal::Run(prog, db->catalog, session->get());
+    if (!res.ok() && ocl::FaultInjectionActive() && engine == "ocelot:cpu" &&
+        (res.status().code() == common::StatusCode::kDeviceLost ||
+         res.status().code() == common::StatusCode::kResourceExhausted)) {
+      // A single-device engine has no failover ladder: under an ambient
+      // fault schedule a clean device error is its contractual outcome
+      // (covered in fault_test); only the multi scheduler must still answer.
+      continue;
+    }
     ASSERT_TRUE(res.ok()) << "Q" << query << " on " << engine << ": "
                           << res.status().ToString();
     Rows rows = Canonicalize(res->returns);

@@ -23,6 +23,7 @@
 #include "mal/service.h"
 #include "ocelot/scheduler.h"
 #include "ocelot/slot_arbiter.h"
+#include "ocl/fault.h"
 #include "tpch/dbgen.h"
 #include "tpch/queries.h"
 
@@ -159,7 +160,28 @@ TEST_P(ServiceWorkloadTest, EightThreadShuffledWorkloadBitIdenticalToSerial) {
     auto res = p.future.get();
     ASSERT_TRUE(res.ok()) << "Q" << workload[p.workload_index] << " on " << engine
                           << ": " << res.status().ToString();
-    EXPECT_EQ(golden[p.workload_index], Canonicalize(res->returns))
+    Rows got = Canonicalize(res->returns);
+    if (ocl::FaultInjectionActive()) {
+      // Under an ambient fault schedule the golden and the service run see
+      // different fault sequences (per-context op counts differ), so their
+      // retry histories diverge — a host fallback re-associates float
+      // partials. Bit-identity is contractual only fault-free or under
+      // shape-stable quarantine; here compare within kernel tolerance.
+      const Rows& ref = golden[p.workload_index];
+      ASSERT_EQ(ref.size(), got.size())
+          << "Q" << workload[p.workload_index] << " on " << engine;
+      for (std::size_t r = 0; r < ref.size(); ++r) {
+        ASSERT_EQ(ref[r].size(), got[r].size());
+        for (std::size_t c = 0; c < ref[r].size(); ++c) {
+          double tol = std::abs(ref[r][c]) * 5e-4 + 1e-2;
+          ASSERT_NEAR(ref[r][c], got[r][c], tol)
+              << "Q" << workload[p.workload_index] << " on " << engine
+              << " row " << r << " col " << c;
+        }
+      }
+      continue;
+    }
+    EXPECT_EQ(golden[p.workload_index], got)
         << "Q" << workload[p.workload_index] << " on " << engine
         << " diverged from its serial golden under 8-way concurrency";
   }
@@ -180,6 +202,12 @@ TEST(ServiceTest, SingleDeviceAndMitosisEnginesServeConcurrently) {
   // workload; the full 8-way sweep above covers seq and the scheduler).
   const tpch::TpchDb& db = SmallDb();
   for (const char* engine : {"par", "ocelot:cpu"}) {
+    if (ocl::FaultInjectionActive() && std::string(engine) == "ocelot:cpu") {
+      // No failover ladder on a single-device engine: under an ambient
+      // fault schedule its queries may (correctly) die with a clean device
+      // error — that contract is pinned in fault_test, not here.
+      continue;
+    }
     Rows g1 = SerialGolden(1, engine);
     Rows g6 = SerialGolden(6, engine);
     mal::ServiceOptions options;
