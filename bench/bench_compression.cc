@@ -1,0 +1,208 @@
+// Column-encoding benchmarks: what the format-tagged heaps buy on the
+// modeled PCIe bus. Not a paper figure — the paper ships plain columns;
+// these quantify the compressed-transfer extension. Written to
+// BENCH_compression.json (CI bench smoke) with three point families:
+//
+//   Compression_CatalogBytes/<policy>    encode cost (manual ms) plus the
+//       database-wide logical vs physical bytes and their ratio.
+//   Compression_Transfer/<column>/<fmt>  one cold upload + Sum of a
+//       representative lineitem column per iteration: modeled transfer
+//       bytes and virtual ms, compressed formats vs the plain baseline.
+//   Compression_TPCH/Q{1,6}/<policy>/<engine>  cold-session Q1/Q6 makespan
+//       under each forced catalog encoding: virtual ms includes the
+//       compressed (or plain) upload, so the transfer saving shows up as a
+//       makespan drop on the discrete device.
+//
+// Every point regenerates its catalog under OCELOT_FORCE_ENCODING so the
+// sweep is insensitive to the environment the runner happens to set.
+
+#include <cstdlib>
+#include <map>
+
+#include "bench/harness.h"
+#include "common/timeline.h"
+#include "cstore/encoding.h"
+#include "ocelot/engine.h"
+
+namespace {
+
+using bench::Label;
+using cstore::BatPtr;
+
+const std::vector<std::string>& Policies() {
+  static const std::vector<std::string>* kAll = new std::vector<std::string>(
+      {"plain", "dict", "rle", "bitpack", "auto"});
+  return *kAll;
+}
+
+/// SF-1 database generated under a forced encoding policy (cached per
+/// policy; the env override is restored afterwards).
+const tpch::TpchDb& DbForPolicy(const std::string& policy) {
+  static std::map<std::string, tpch::TpchDb>* cache =
+      new std::map<std::string, tpch::TpchDb>();
+  auto it = cache->find(policy);
+  if (it == cache->end()) {
+    const char* prev = std::getenv("OCELOT_FORCE_ENCODING");
+    std::string saved = prev == nullptr ? "" : prev;
+    setenv("OCELOT_FORCE_ENCODING", policy.c_str(), 1);
+    it = cache->emplace(policy, tpch::Generate(tpch::ScaleForPaperSf(1.0)))
+             .first;
+    if (prev == nullptr) {
+      unsetenv("OCELOT_FORCE_ENCODING");
+    } else {
+      setenv("OCELOT_FORCE_ENCODING", saved.c_str(), 1);
+    }
+  }
+  return it->second;
+}
+
+/// Modeled bytes that crossed the bus so far, summed over the session's
+/// device slots (0 for host baselines).
+std::uint64_t TransferredBytes(mal::Session* session) {
+  ocl::Context* ctx = session->ocl_context();
+  if (ctx == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (int i = 0; i < ctx->device_count(); ++i) {
+    total += ctx->queue(i)->transferred_bytes();
+  }
+  return total;
+}
+
+// Catalog-wide compression: encode cost and the bytes it saves.
+void RegisterCatalogBytes() {
+  for (const std::string& policy : Policies()) {
+    std::string name = "Compression_CatalogBytes/" + policy;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [policy](benchmark::State& state) {
+          const tpch::TpchDb& plain = DbForPolicy("plain");
+          cstore::EncodingPolicy p = cstore::EncodingPolicy::kAuto;
+          if (policy == "plain") p = cstore::EncodingPolicy::kPlain;
+          if (policy == "dict") p = cstore::EncodingPolicy::kDict;
+          if (policy == "rle") p = cstore::EncodingPolicy::kRle;
+          if (policy == "bitpack") p = cstore::EncodingPolicy::kBitPacked;
+          std::size_t logical = 0, phys = 0;
+          for (auto _ : state) {
+            cstore::Catalog copy = plain.catalog;  // shares the plain heaps
+            common::Stopwatch wall;
+            cstore::ApplyEncodings(&copy, p);
+            state.SetIterationTime(wall.ElapsedMillis() / 1000.0);
+            logical = copy.TotalBytes();
+            phys = copy.TotalPhysicalBytes();
+          }
+          state.counters["logical_bytes"] = static_cast<double>(logical);
+          state.counters["phys_bytes"] = static_cast<double>(phys);
+          state.counters["ratio"] =
+              phys == 0 ? 0.0
+                        : static_cast<double>(logical) / static_cast<double>(phys);
+        })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+}
+
+// Per-column cold upload on the discrete device: the modeled bus crossing
+// is billed at the heap's physical size, so applicable formats cut the
+// transferred bytes (and with them the virtual makespan of the Sum).
+void RegisterTransfer() {
+  const std::vector<std::string> kColumns = {"l_returnflag", "l_shipdate",
+                                             "l_quantity", "l_extendedprice"};
+  const std::vector<std::pair<std::string, cstore::Encoding>> kFormats = {
+      {"plain", cstore::Encoding::kPlain},
+      {"dict", cstore::Encoding::kDict},
+      {"rle", cstore::Encoding::kRle},
+      {"bitpack", cstore::Encoding::kBitPacked}};
+  for (const std::string& column : kColumns) {
+    for (const auto& [fmt_name, fmt] : kFormats) {
+      std::string name = "Compression_Transfer/" + column + "/" + fmt_name;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [column, fmt, fmt_name](benchmark::State& state) {
+            BatPtr plain =
+                *DbForPolicy("plain").catalog.GetColumn("lineitem", column);
+            BatPtr col = plain;
+            if (fmt != cstore::Encoding::kPlain) {
+              col = cstore::EncodeColumn(plain, fmt);
+              if (col.get() == plain.get()) {
+                state.SkipWithError(
+                    (fmt_name + " not applicable to " + column).c_str());
+                return;
+              }
+            }
+            ocl::DeviceModel gpu = bench::TpchGpuModel();
+            ocl::DeviceModel cpu = bench::TpchCpuModel();
+            std::uint64_t bytes = 0;
+            for (auto _ : state) {
+              // Fresh session per iteration: cold device cache, so the
+              // upload (compressed or plain) happens inside the timing.
+              auto session = bench::OpenSession("ocelot:gpu", &gpu, &cpu);
+              std::uint64_t before = TransferredBytes(session.get());
+              double ms = bench::MeasureVirtualMs(session.get(), [&] {
+                auto sum = session->engine()->Sum(col);
+                OCELOT_CHECK(sum.ok()) << sum.status().ToString();
+                benchmark::DoNotOptimize(*sum);
+              });
+              bytes = TransferredBytes(session.get()) - before;
+              state.SetIterationTime(ms / 1000.0);
+            }
+            state.counters["transfer_bytes"] = static_cast<double>(bytes);
+            state.counters["logical_bytes"] =
+                static_cast<double>(col->tail_bytes());
+            state.counters["phys_bytes"] =
+                static_cast<double>(col->physical_tail_bytes());
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+// Cold Q1/Q6 makespan per catalog encoding: the acceptance comparison. The
+// session (and with it the device buffer cache) is recreated every
+// iteration, so each run pays the full catalog upload at the encoding's
+// physical size.
+void RegisterTpchMakespan() {
+  for (int query : {1, 6}) {
+    for (const std::string& policy : Policies()) {
+      for (const std::string& pipeline : {std::string("ocelot:cpu"),
+                                          std::string("ocelot:gpu")}) {
+        std::string name = "Compression_TPCH/Q" + std::to_string(query) + "/" +
+                           policy + "/" + Label(pipeline);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [query, policy, pipeline](benchmark::State& state) {
+              const tpch::TpchDb& db = DbForPolicy(policy);
+              ocl::DeviceModel gpu = bench::TpchGpuModel();
+              ocl::DeviceModel cpu = bench::TpchCpuModel();
+              std::uint64_t bytes = 0;
+              for (auto _ : state) {
+                auto session = bench::OpenSession(pipeline, &gpu, &cpu);
+                std::uint64_t before = TransferredBytes(session.get());
+                double ms = bench::MeasureVirtualMs(session.get(), [&] {
+                  if (!bench::RunQuery(query, db, session.get())) {
+                    state.SkipWithError("exceeds device memory");
+                  }
+                });
+                bytes = TransferredBytes(session.get()) - before;
+                state.SetIterationTime(ms / 1000.0);
+              }
+              state.counters["transfer_bytes"] = static_cast<double>(bytes);
+            })
+            ->UseManualTime()
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(2);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterCatalogBytes();
+  RegisterTransfer();
+  RegisterTpchMakespan();
+  return bench::RunBenchmarks(argc, argv, "BENCH_compression.json");
+}

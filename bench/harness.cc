@@ -258,6 +258,15 @@ void BenchJsonReporter::ReportRuns(const std::vector<Run>& report) {
       rec << ", \"bytes_per_sec\": "
           << CounterOr(run.counters, "bytes_per_sec", 0.0);
     }
+    // Compression points: byte counters and the ratio pass through under
+    // their own names (UserCounters is an ordered map, so the record layout
+    // is deterministic).
+    for (const char* key :
+         {"transfer_bytes", "logical_bytes", "phys_bytes", "ratio"}) {
+      if (run.counters.find(key) != run.counters.end()) {
+        rec << ", \"" << key << "\": " << CounterOr(run.counters, key, 0.0);
+      }
+    }
     rec << "}";
     records_.push_back(rec.str());
   }

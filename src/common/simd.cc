@@ -510,6 +510,89 @@ void HashInt32(const std::int32_t* keys, std::size_t n, std::uint32_t* out) {
   BucketHashInt32(keys, n, 0xffffffffu, out);
 }
 
+// --- Grouped-aggregate folds -------------------------------------------------
+
+namespace {
+
+/// Shared skeleton: per-row `update(i)` in exact row order, with the
+/// accumulator slot of row i+dist prefetched ahead. The nil test lives in
+/// `update`, so the adds (and their order) are identical to the scalar twin.
+template <typename Update>
+void GroupedFoldPrefetch(const std::uint32_t* g, std::size_t n,
+                         const void* acc_base, std::size_t acc_elem,
+                         Update&& update) {
+  const std::size_t dist = PrefetchDistance();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + dist < n) {
+      PrefetchRead(static_cast<const std::byte*>(acc_base) +
+                   static_cast<std::size_t>(g[i + dist]) * acc_elem);
+    }
+    update(i);
+  }
+}
+
+}  // namespace
+
+void GroupedSumInt32(const std::int32_t* v, const std::uint32_t* g,
+                     std::size_t n, std::int64_t* acc, std::int64_t* cnt) {
+  if (Enabled()) {
+    GroupedFoldPrefetch(g, n, acc, sizeof(*acc), [&](std::size_t i) {
+      if (v[i] == kInt32Nil) return;
+      acc[g[i]] += v[i];
+      cnt[g[i]] += 1;
+    });
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] == kInt32Nil) continue;
+    acc[g[i]] += v[i];
+    cnt[g[i]] += 1;
+  }
+}
+
+void GroupedSumFloat(const float* v, const std::uint32_t* g, std::size_t n,
+                     double* acc, std::int64_t* cnt) {
+  if (Enabled()) {
+    GroupedFoldPrefetch(g, n, acc, sizeof(*acc), [&](std::size_t i) {
+      if (std::isnan(v[i])) return;
+      acc[g[i]] += v[i];
+      cnt[g[i]] += 1;
+    });
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(v[i])) continue;
+    acc[g[i]] += v[i];
+    cnt[g[i]] += 1;
+  }
+}
+
+void GroupedSumInt32AsDouble(const std::int32_t* v, const std::uint32_t* g,
+                             std::size_t n, double* acc, std::int64_t* cnt) {
+  if (Enabled()) {
+    GroupedFoldPrefetch(g, n, acc, sizeof(*acc), [&](std::size_t i) {
+      if (v[i] == kInt32Nil) return;
+      acc[g[i]] += static_cast<double>(v[i]);
+      cnt[g[i]] += 1;
+    });
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] == kInt32Nil) continue;
+    acc[g[i]] += static_cast<double>(v[i]);
+    cnt[g[i]] += 1;
+  }
+}
+
+void GroupedCount(const std::uint32_t* g, std::size_t n, std::int32_t* counts) {
+  if (Enabled()) {
+    GroupedFoldPrefetch(g, n, counts, sizeof(*counts),
+                        [&](std::size_t i) { counts[g[i]] += 1; });
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) counts[g[i]] += 1;
+}
+
 // --- Gather ------------------------------------------------------------------
 
 std::uint32_t SumU32(const std::uint32_t* v, std::size_t n) {

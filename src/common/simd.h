@@ -343,6 +343,32 @@ void HashInt32(const std::int32_t* keys, std::size_t n, std::uint32_t* out);
 /// loop — usable even in kernels whose results feed indexing (prefix sums).
 std::uint32_t SumU32(const std::uint32_t* v, std::size_t n);
 
+// --- Grouped-aggregate folds -------------------------------------------------
+
+/// Fold loops of the host engines' grouped aggregates (SubSum / SubCount /
+/// SubAvg). The accumulator updates are data-dependent scatters, so lanes
+/// cannot be combined without reordering the adds; the vector path instead
+/// evaluates the nil masks four rows at a time and prefetches the
+/// accumulator slots distance-ahead, keeping every add in exact row order —
+/// bit-identical to the scalar twins because the adds themselves are
+/// unchanged. `g[i]` must be < the accumulator length for every row.
+
+/// acc[g[i]] += v[i] and cnt[g[i]] += 1 for every non-nil v[i].
+void GroupedSumInt32(const std::int32_t* v, const std::uint32_t* g,
+                     std::size_t n, std::int64_t* acc, std::int64_t* cnt);
+
+/// Same fold with double accumulation of float values (row order preserved;
+/// float addition is not associative, so order is part of the contract).
+void GroupedSumFloat(const float* v, const std::uint32_t* g, std::size_t n,
+                     double* acc, std::int64_t* cnt);
+
+/// Same fold with double accumulation of int values (the SubAvg int path).
+void GroupedSumInt32AsDouble(const std::int32_t* v, const std::uint32_t* g,
+                             std::size_t n, double* acc, std::int64_t* cnt);
+
+/// counts[g[i]] += 1 for every row (SubCount counts nils too).
+void GroupedCount(const std::uint32_t* g, std::size_t n, std::int32_t* counts);
+
 // --- Gather (fetchjoin) ------------------------------------------------------
 
 /// dst[i] = idx[i] == kU32Nil ? nil_bits : src[idx[i]], with distance-ahead

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "cstore/encoding.h"
+
 namespace cstore {
 namespace {
 
@@ -110,6 +112,23 @@ BatPtr Bat::DenseOids(std::size_t n, oid_t base) {
   return b;
 }
 
+BatPtr Bat::MakeEncoded(ValType type, std::size_t rows,
+                        std::size_t physical_bytes,
+                        std::shared_ptr<EncodingInfo> enc, oid_t hseqbase) {
+  OCELOT_CHECK(enc != nullptr && enc->encoding != Encoding::kPlain)
+      << "MakeEncoded requires a non-plain format descriptor";
+  OCELOT_CHECK(enc->plain_rows == rows)
+      << "format descriptor covers " << enc->plain_rows << " rows, BAT has "
+      << rows;
+  // The plain constructor sizes the heap logically; shrink it to the
+  // physical image before anyone sees the descriptor.
+  BatPtr b(new Bat(type, 0, hseqbase));
+  b->heap_->bytes.resize(physical_bytes);
+  b->count_ = rows;
+  b->enc_ = std::move(enc);
+  return b;
+}
+
 Bat::Bat(const Bat& src, std::size_t offset, std::size_t n, ViewTag)
     : id_(g_next_bat_id.fetch_add(1)),
       type_(src.type_),
@@ -118,8 +137,14 @@ Bat::Bat(const Bat& src, std::size_t offset, std::size_t n, ViewTag)
       // Share the parent's storage: the view pins the heap, which dies only
       // when parent and every view are gone.
       heap_(src.heap_),
-      offset_(src.offset_ + offset * ValTypeSize(src.type_)),
-      view_(true) {
+      // Plain views address bytes; encoded views share the whole physical
+      // image and address logical rows through row_offset_.
+      offset_(src.enc_ == nullptr
+                  ? src.offset_ + offset * ValTypeSize(src.type_)
+                  : src.offset_),
+      view_(true),
+      enc_(src.enc_),
+      row_offset_(src.row_offset_ + offset) {
   // A contiguous row sub-range preserves every tail property.
   sorted_ = src.sorted_;
   key_ = src.key_;
@@ -138,9 +163,47 @@ BatPtr Bat::View(const BatPtr& src, std::size_t offset, std::size_t n) {
   return BatPtr(new Bat(*src, offset, n, ViewTag{}));
 }
 
+void* Bat::DecodedData() {
+  OCELOT_CHECK(enc_ != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(enc_->decode_mu);
+    if (enc_->decoded == nullptr) {
+      enc_->decoded = DecodePhysical(type_, heap_->bytes.data(),
+                                     heap_->bytes.size(), *enc_);
+    }
+  }
+  // The twin covers the whole column; this descriptor's rows start at
+  // row_offset_. Twin bytes are stable once built (plain root, never
+  // resized), so the unlocked pointer read is safe.
+  return static_cast<std::byte*>(enc_->decoded->data()) +
+         row_offset_ * ValTypeSize(type_);
+}
+
+BatPtr Bat::DecodedView() const {
+  OCELOT_CHECK(enc_ != nullptr) << "DecodedView of a plain BAT";
+  const_cast<Bat*>(this)->DecodedData();  // ensure the twin exists
+  BatPtr v = Bat::View(enc_->decoded, row_offset_, count_);
+  v->CopyPropertiesFrom(*this);
+  return v;
+}
+
+std::uint64_t Bat::decoded_heap_id() const {
+  OCELOT_CHECK(enc_ != nullptr) << "decoded_heap_id of a plain BAT";
+  const_cast<Bat*>(this)->DecodedData();
+  return enc_->decoded->heap_id();
+}
+
+std::shared_ptr<const void> Bat::decoded_heap_handle() const {
+  OCELOT_CHECK(enc_ != nullptr) << "decoded_heap_handle of a plain BAT";
+  const_cast<Bat*>(this)->DecodedData();
+  return enc_->decoded->heap_handle();
+}
+
 void Bat::ResizeTail(std::size_t n) {
   OCELOT_CHECK(!view_) << "ResizeTail on a BAT view (views alias a fixed "
                           "range of their parent's heap)";
+  OCELOT_CHECK(enc_ == nullptr)
+      << "ResizeTail on an encoded BAT (encoded images are immutable)";
   OCELOT_CHECK(heap_.use_count() == 1)
       << "ResizeTail on a BAT with live views of its heap";
   // Anything keyed on (heap id, offset, length) is stale after the resize:

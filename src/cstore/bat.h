@@ -12,10 +12,42 @@
 #include "common/logging.h"
 #include "cstore/types.h"
 
+#include <mutex>
+
 namespace cstore {
 
 class Bat;
 using BatPtr = std::shared_ptr<Bat>;
+
+/// Format descriptor of an encoded tail heap, shared by the root BAT and
+/// every view of it. The descriptor owns the auxiliary state of the format
+/// (the dictionary BAT for kDict) and the lazily materialized *decoded
+/// twin*: a plain BAT holding the whole column's decoded values. Any code
+/// path that asks an encoded BAT for plain bytes (`data()`, `ints()`, ...)
+/// transparently reads the twin — that is the universal `Decode()` fallback
+/// which keeps every operator without a native compressed path bit-identical
+/// to plain. The twin is built at most once (decode_mu) and shared across
+/// parent and views.
+struct EncodingInfo {
+  Encoding encoding = Encoding::kPlain;
+  std::size_t plain_rows = 0;  ///< logical rows of the whole encoded column
+
+  // kDict: `code_width`-byte codes (1 or 2) indexing `dict` (sorted, unique).
+  BatPtr dict;
+  std::size_t code_width = 0;
+
+  // kRle: physical heap = [u32 value_bits[runs]][u32 starts[runs]];
+  // run i covers rows [starts[i], starts[i+1]) with starts[runs] == rows.
+  std::size_t runs = 0;
+
+  // kBitPacked (kInt, nonil only): row value = base + <bit_width bits at
+  // bit position row*bit_width of the little-endian u32 word stream>.
+  std::uint32_t bit_width = 0;
+  std::int32_t base = 0;
+
+  std::mutex decode_mu;
+  BatPtr decoded;  ///< plain twin of the whole column (lazily built)
+};
 
 /// A Binary Association Table: MonetDB's storage unit (dense oid head +
 /// typed tail heap), the object every operator in this engine consumes and
@@ -59,6 +91,14 @@ class Bat {
   /// the identity candidate list of a table.
   static BatPtr DenseOids(std::size_t n, oid_t base = 0);
 
+  /// Creates a format-tagged BAT: `rows` logical values of `type` stored as
+  /// `physical_bytes` encoded bytes described by `enc` (which must not be
+  /// kPlain). The caller fills the physical heap through physical_data().
+  static BatPtr MakeEncoded(ValType type, std::size_t rows,
+                            std::size_t physical_bytes,
+                            std::shared_ptr<EncodingInfo> enc,
+                            oid_t hseqbase = 0);
+
   /// Creates a zero-copy view of rows [offset, offset+n) of `src`: a new
   /// descriptor aliasing `src`'s heap (shared ownership — the heap lives
   /// until parent *and* every view are gone). Property bits are inherited;
@@ -77,7 +117,63 @@ class Bat {
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
   oid_t hseqbase() const { return hseqbase_; }
+
+  // -- Logical vs physical bytes ---------------------------------------------
+  //
+  // The *logical* size is what operators compute over: count() decoded
+  // 4-byte values. The *physical* size is what the heap actually stores —
+  // equal for plain BATs, smaller for encoded ones. Transfer billing, heap
+  // allocation and device-cache keys for raw encoded bytes use the physical
+  // accessors; everything row-oriented uses the logical ones. The old
+  // scattered `count * ValTypeSize(type)` idiom routes through here.
+
+  /// Logical tail size: count() decoded values of ValTypeSize each.
   std::size_t tail_bytes() const { return count_ * ValTypeSize(type_); }
+  /// Explicitly named alias of tail_bytes() for call sites where the
+  /// logical-vs-physical distinction is the point.
+  std::size_t logical_tail_bytes() const { return tail_bytes(); }
+  /// Bytes the backing heap actually stores for this BAT. Plain: the
+  /// logical size of this descriptor's range. Encoded: the whole encoded
+  /// image (views of an encoded column share the full physical heap and
+  /// carry a row_offset() instead of a byte offset).
+  std::size_t physical_tail_bytes() const {
+    return enc_ == nullptr ? tail_bytes() : heap_->bytes.size();
+  }
+
+  // -- Encoding --------------------------------------------------------------
+
+  /// Storage format of the tail heap (kPlain unless MakeEncoded built it).
+  Encoding encoding() const {
+    return enc_ == nullptr ? Encoding::kPlain : enc_->encoding;
+  }
+  bool encoded() const { return enc_ != nullptr; }
+  /// Format descriptor; null for plain BATs. Shared by parent and views.
+  const std::shared_ptr<EncodingInfo>& encoding_info() const { return enc_; }
+  /// Logical row index of this descriptor's first row inside the encoded
+  /// column (0 for roots; views of encoded BATs address rows, not bytes).
+  std::size_t row_offset() const { return row_offset_; }
+
+  /// The raw encoded bytes (whole column image — apply row_offset()).
+  /// For plain BATs this is just data().
+  const void* physical_data() const {
+    return enc_ == nullptr ? data() : heap_->bytes.data();
+  }
+  void* physical_data() {
+    return enc_ == nullptr ? data() : heap_->bytes.data();
+  }
+
+  /// For encoded BATs: a plain *view* of the decoded twin covering exactly
+  /// this BAT's rows — same values, same properties, backed by the shared
+  /// twin heap (whose heap identity the device cache can key decoded
+  /// buffers on). Fatal on plain BATs.
+  BatPtr DecodedView() const;
+
+  /// Heap identity of the decoded twin (ensuring it exists) without
+  /// constructing a view descriptor. Cache code running under its own lock
+  /// needs these: creating and destroying a temporary BAT there would fire
+  /// the process-wide delete listeners back into that same lock.
+  std::uint64_t decoded_heap_id() const;
+  std::shared_ptr<const void> decoded_heap_handle() const;
 
   /// True for descriptors created by View (non-owning alias of a range).
   bool is_view() const { return view_; }
@@ -85,7 +181,7 @@ class Bat {
   /// all of its views.
   std::uint64_t heap_id() const { return heap_->id; }
   /// Byte offset of this BAT's first tail value inside its heap (0 for
-  /// heap-owning BATs).
+  /// heap-owning BATs and for views of encoded BATs, which use row_offset()).
   std::size_t heap_offset() const { return offset_; }
   /// Type-erased shared handle to the tail heap: alive exactly as long as
   /// any BAT (parent or view) still references it. The memory manager
@@ -94,8 +190,19 @@ class Bat {
     return std::shared_ptr<const void>(heap_, heap_.get());
   }
 
-  void* data() { return heap_->bytes.data() + offset_; }
-  const void* data() const { return heap_->bytes.data() + offset_; }
+  /// Decoded bytes of this BAT's rows. Plain: the heap bytes themselves.
+  /// Encoded: the (lazily materialized, shared) decoded twin's bytes — the
+  /// transparent Decode() fallback. The twin is logically const; the
+  /// non-const overload exists because spans are taken through non-const
+  /// BatPtrs everywhere, not as license to mutate an encoded column.
+  void* data() {
+    if (enc_ == nullptr) return heap_->bytes.data() + offset_;
+    return DecodedData();
+  }
+  const void* data() const {
+    if (enc_ == nullptr) return heap_->bytes.data() + offset_;
+    return const_cast<Bat*>(this)->DecodedData();
+  }
 
   /// Re-sizes the tail heap. Used when a deferred result (e.g. an Ocelot
   /// bitmap-backed candidate list) learns its true cardinality at
@@ -203,13 +310,20 @@ class Bat {
   /// View constructor: aliases `src`'s heap at a row offset.
   Bat(const Bat& src, std::size_t offset, std::size_t n, ViewTag);
 
+  /// Ensures the decoded twin exists and returns the bytes of this BAT's
+  /// rows inside it (enc_ != nullptr only).
+  void* DecodedData();
+
   std::uint64_t id_;
   ValType type_;
   std::size_t count_;
   oid_t hseqbase_;
   std::shared_ptr<Heap> heap_;
-  std::size_t offset_ = 0;  ///< byte offset into heap_ (views only)
+  std::size_t offset_ = 0;  ///< byte offset into heap_ (plain views only)
   bool view_ = false;
+  /// Format descriptor shared by the root and every view; null == plain.
+  std::shared_ptr<EncodingInfo> enc_;
+  std::size_t row_offset_ = 0;  ///< logical first row (encoded views)
 
   bool sorted_ = false;
   bool key_ = false;

@@ -17,6 +17,21 @@ common::Status Table::AddColumn(const std::string& column, BatPtr bat) {
   return common::Status::Ok();
 }
 
+common::Status Table::ReplaceColumn(const std::string& column, BatPtr bat) {
+  for (NamedColumn& c : columns_) {
+    if (c.name != column) continue;
+    if (bat->size() != c.bat->size()) {
+      return common::Status::InvalidArgument(
+          "replacement for " + name_ + "." + column + " has " +
+          std::to_string(bat->size()) + " rows; column has " +
+          std::to_string(c.bat->size()));
+    }
+    c.bat = std::move(bat);
+    return common::Status::Ok();
+  }
+  return common::Status::NotFound(name_ + "." + column);
+}
+
 common::Result<BatPtr> Table::Column(const std::string& column) const {
   for (const NamedColumn& c : columns_) {
     if (c.name == column) return c.bat;
@@ -43,6 +58,11 @@ common::Result<const Table*> Catalog::GetTable(const std::string& name) const {
   return &it->second;
 }
 
+Table* Catalog::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
 common::Result<BatPtr> Catalog::GetColumn(const std::string& table,
                                           const std::string& column) const {
   ASSIGN_OR_RETURN(const Table* t, GetTable(table));
@@ -60,6 +80,21 @@ std::size_t Catalog::TotalBytes() const {
   for (const auto& [_, table] : tables_) {
     for (const std::string& col : table.ColumnNames()) {
       total += (*table.Column(col))->tail_bytes();
+    }
+  }
+  return total;
+}
+
+std::size_t Catalog::TotalPhysicalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, table] : tables_) {
+    for (const std::string& col : table.ColumnNames()) {
+      const BatPtr& b = *table.Column(col);
+      total += b->physical_tail_bytes();
+      // A dictionary is part of the column's storage footprint.
+      if (b->encoding() == Encoding::kDict) {
+        total += b->encoding_info()->dict->tail_bytes();
+      }
     }
   }
   return total;

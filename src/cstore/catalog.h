@@ -23,6 +23,11 @@ class Table {
   /// Adds a column; all columns of a table must have equal cardinality.
   common::Status AddColumn(const std::string& column, BatPtr bat);
 
+  /// Swaps an existing column's BAT for another representation of the same
+  /// rows (the encoding pass re-formats columns in place during the load
+  /// phase). The replacement must keep the table's cardinality.
+  common::Status ReplaceColumn(const std::string& column, BatPtr bat);
+
   /// Looks up a column BAT by name.
   common::Result<BatPtr> Column(const std::string& column) const;
 
@@ -55,13 +60,21 @@ class Catalog {
  public:
   common::Status AddTable(Table table);
   common::Result<const Table*> GetTable(const std::string& name) const;
+  /// Load-phase-only mutable access (the encoding pass); nullptr when the
+  /// table does not exist.
+  Table* MutableTable(const std::string& name);
   common::Result<BatPtr> GetColumn(const std::string& table,
                                    const std::string& column) const;
   std::vector<std::string> TableNames() const;
 
-  /// Total tail bytes across all columns (the "database size" the TPC-H
-  /// scale experiments report).
+  /// Total *logical* tail bytes across all columns (the "database size" the
+  /// TPC-H scale experiments report; unaffected by encoding).
   std::size_t TotalBytes() const;
+
+  /// Total *physical* tail bytes: what the heaps actually store after
+  /// encoding. TotalPhysicalBytes()/TotalBytes() is the database-wide
+  /// compression ratio's inverse.
+  std::size_t TotalPhysicalBytes() const;
 
  private:
   std::map<std::string, Table> tables_;

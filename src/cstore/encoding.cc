@@ -1,0 +1,350 @@
+#include "cstore/encoding.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "cstore/catalog.h"
+
+namespace cstore {
+namespace {
+
+constexpr std::uint32_t kIntNilBits = 0x80000000u;  // bit_cast of kIntNil
+
+bool BitsAreNil(ValType type, std::uint32_t bits) {
+  switch (type) {
+    case ValType::kInt:
+      return bits == kIntNilBits;
+    case ValType::kFloat:
+      return IsFloatNil(std::bit_cast<float>(bits));
+    case ValType::kOid:
+      return bits == kOidNil;
+  }
+  return false;
+}
+
+/// Monotone sort key: ascending key order == ascending value order for the
+/// type (ints numerically, floats in IEEE total order with negatives
+/// reversed; NaN patterns land deterministically at the positive end).
+std::uint32_t SortKey(ValType type, std::uint32_t bits) {
+  if (type == ValType::kInt) return bits ^ 0x80000000u;
+  return (bits & 0x80000000u) != 0 ? ~bits : (bits | 0x80000000u);
+}
+
+std::uint32_t BitWidthFor(std::int64_t range) {
+  std::uint32_t width = 1;
+  while (width < 32 && (std::int64_t{1} << width) <= range) ++width;
+  return width;
+}
+
+BatPtr EncodeDict(const BatPtr& plain) {
+  const std::size_t n = plain->size();
+  const auto* bits = static_cast<const std::uint32_t*>(plain->data());
+  std::unordered_map<std::uint32_t, std::uint32_t> code_of;
+  std::vector<std::uint32_t> uniq;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (code_of.emplace(bits[i], 0).second) {
+      uniq.push_back(bits[i]);
+      if (uniq.size() > ColumnStats::kDistinctCap) return plain;
+    }
+  }
+  const ValType type = plain->type();
+  std::sort(uniq.begin(), uniq.end(),
+            [type](std::uint32_t a, std::uint32_t b) {
+              return SortKey(type, a) < SortKey(type, b);
+            });
+  bool dict_has_nil = false;
+  for (std::size_t c = 0; c < uniq.size(); ++c) {
+    code_of[uniq[c]] = static_cast<std::uint32_t>(c);
+    dict_has_nil = dict_has_nil || BitsAreNil(type, uniq[c]);
+  }
+
+  auto info = std::make_shared<EncodingInfo>();
+  info->encoding = Encoding::kDict;
+  info->plain_rows = n;
+  info->code_width = uniq.size() <= 256 ? 1 : 2;
+  BatPtr dict = Bat::Make(type, uniq.size());
+  std::memcpy(dict->data(), uniq.data(), uniq.size() * sizeof(std::uint32_t));
+  dict->set_key(true);
+  dict->set_nonil(!dict_has_nil);
+  if (type == ValType::kInt && !dict_has_nil) dict->set_sorted(true);
+  info->dict = std::move(dict);
+
+  BatPtr out = Bat::MakeEncoded(type, n, n * info->code_width, info,
+                                plain->hseqbase());
+  if (info->code_width == 1) {
+    auto* codes = static_cast<std::uint8_t*>(out->physical_data());
+    for (std::size_t i = 0; i < n; ++i) {
+      codes[i] = static_cast<std::uint8_t>(code_of[bits[i]]);
+    }
+  } else {
+    auto* codes = static_cast<std::uint16_t*>(out->physical_data());
+    for (std::size_t i = 0; i < n; ++i) {
+      codes[i] = static_cast<std::uint16_t>(code_of[bits[i]]);
+    }
+  }
+  out->CopyPropertiesFrom(*plain);
+  return out;
+}
+
+BatPtr EncodeRle(const BatPtr& plain) {
+  const std::size_t n = plain->size();
+  const auto* bits = static_cast<const std::uint32_t*>(plain->data());
+  std::vector<std::uint32_t> values;
+  std::vector<std::uint32_t> starts;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 || bits[i] != bits[i - 1]) {
+      values.push_back(bits[i]);
+      starts.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  auto info = std::make_shared<EncodingInfo>();
+  info->encoding = Encoding::kRle;
+  info->plain_rows = n;
+  info->runs = values.size();
+  BatPtr out = Bat::MakeEncoded(plain->type(), n, 8 * info->runs, info,
+                                plain->hseqbase());
+  auto* phys = static_cast<std::uint32_t*>(out->physical_data());
+  std::memcpy(phys, values.data(), values.size() * sizeof(std::uint32_t));
+  std::memcpy(phys + info->runs, starts.data(),
+              starts.size() * sizeof(std::uint32_t));
+  out->CopyPropertiesFrom(*plain);
+  return out;
+}
+
+BatPtr EncodeBitPacked(const BatPtr& plain) {
+  if (plain->type() != ValType::kInt) return plain;
+  const std::size_t n = plain->size();
+  const auto vals = std::span<const std::int32_t>(
+      static_cast<const std::int32_t*>(plain->data()), n);
+  std::int32_t min_v = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_v = std::numeric_limits<std::int32_t>::min();
+  for (std::int32_t v : vals) {
+    if (v == kIntNil) return plain;  // no nil slot in the packed domain
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  const std::uint32_t width =
+      BitWidthFor(std::int64_t{max_v} - std::int64_t{min_v});
+
+  auto info = std::make_shared<EncodingInfo>();
+  info->encoding = Encoding::kBitPacked;
+  info->plain_rows = n;
+  info->bit_width = width;
+  info->base = min_v;
+  const std::size_t words = (n * width + 31) / 32;
+  BatPtr out =
+      Bat::MakeEncoded(ValType::kInt, n, words * 4, info, plain->hseqbase());
+  auto* packed = static_cast<std::uint32_t*>(out->physical_data());
+  std::memset(packed, 0, words * 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t code = static_cast<std::uint32_t>(
+        std::int64_t{vals[i]} - std::int64_t{min_v});
+    const std::size_t bit = i * width;
+    const std::size_t word = bit >> 5;
+    const std::uint32_t shift = static_cast<std::uint32_t>(bit & 31);
+    packed[word] |= static_cast<std::uint32_t>(code << shift);
+    if (shift + width > 32) {
+      packed[word + 1] |= static_cast<std::uint32_t>(code >> (32 - shift));
+    }
+  }
+  out->CopyPropertiesFrom(*plain);
+  return out;
+}
+
+}  // namespace
+
+ColumnStats ObserveColumn(const Bat& plain) {
+  OCELOT_CHECK(!plain.encoded()) << "ObserveColumn wants the plain bytes";
+  ColumnStats s;
+  s.rows = plain.size();
+  const auto* bits = static_cast<const std::uint32_t*>(plain.data());
+  std::unordered_set<std::uint32_t> uniq;
+  bool min_max_seeded = false;
+  for (std::size_t i = 0; i < s.rows; ++i) {
+    if (i == 0 || bits[i] != bits[i - 1]) ++s.runs;
+    if (!s.distinct_capped) {
+      uniq.insert(bits[i]);
+      if (uniq.size() > ColumnStats::kDistinctCap) s.distinct_capped = true;
+    }
+    if (BitsAreNil(plain.type(), bits[i])) {
+      s.has_nil = true;
+    } else if (plain.type() == ValType::kInt) {
+      const std::int32_t v = std::bit_cast<std::int32_t>(bits[i]);
+      if (!min_max_seeded) {
+        s.min_int = s.max_int = v;
+        min_max_seeded = true;
+      } else {
+        s.min_int = std::min(s.min_int, v);
+        s.max_int = std::max(s.max_int, v);
+      }
+    }
+  }
+  s.distinct = uniq.size();
+  return s;
+}
+
+std::size_t EncodedPhysicalBytes(const ColumnStats& stats, ValType type,
+                                 Encoding enc) {
+  constexpr std::size_t kInapplicable = std::numeric_limits<std::size_t>::max();
+  switch (enc) {
+    case Encoding::kPlain:
+      return stats.rows * 4;
+    case Encoding::kDict: {
+      if (stats.distinct_capped || stats.distinct == 0) return kInapplicable;
+      const std::size_t cw = stats.distinct <= 256 ? 1 : 2;
+      return stats.rows * cw + stats.distinct * 4;
+    }
+    case Encoding::kRle:
+      return 8 * stats.runs;
+    case Encoding::kBitPacked: {
+      if (type != ValType::kInt || stats.has_nil || stats.rows == 0) {
+        return kInapplicable;
+      }
+      const std::uint32_t width =
+          BitWidthFor(std::int64_t{stats.max_int} - std::int64_t{stats.min_int});
+      return ((stats.rows * width + 31) / 32) * 4;
+    }
+  }
+  return kInapplicable;
+}
+
+Encoding ChooseEncoding(const ColumnStats& stats, ValType type) {
+  constexpr std::size_t kMinRows = 1024;
+  if (stats.rows < kMinRows || type == ValType::kOid) return Encoding::kPlain;
+  const std::size_t logical = stats.rows * 4;
+  Encoding best = Encoding::kPlain;
+  std::size_t best_bytes = logical;
+  for (Encoding enc :
+       {Encoding::kDict, Encoding::kRle, Encoding::kBitPacked}) {
+    const std::size_t bytes = EncodedPhysicalBytes(stats, type, enc);
+    if (bytes < best_bytes) {
+      best = enc;
+      best_bytes = bytes;
+    }
+  }
+  // Only re-format when the win is material: a marginal image buys no
+  // bandwidth but costs every decode-fallback operator a twin build.
+  if (best_bytes * 4 > logical * 3) return Encoding::kPlain;
+  return best;
+}
+
+BatPtr EncodeColumn(const BatPtr& plain, Encoding enc) {
+  OCELOT_CHECK(plain != nullptr);
+  if (enc == Encoding::kPlain || plain->encoded() || plain->empty() ||
+      plain->type() == ValType::kOid) {
+    return plain;
+  }
+  switch (enc) {
+    case Encoding::kDict:
+      return EncodeDict(plain);
+    case Encoding::kRle:
+      return EncodeRle(plain);
+    case Encoding::kBitPacked:
+      return EncodeBitPacked(plain);
+    case Encoding::kPlain:
+      break;
+  }
+  return plain;
+}
+
+EncodingPolicy EncodingPolicyFromEnv() {
+  const char* env = std::getenv("OCELOT_FORCE_ENCODING");
+  if (env == nullptr) return EncodingPolicy::kAuto;
+  const std::string v(env);
+  if (v == "plain") return EncodingPolicy::kPlain;
+  if (v == "dict") return EncodingPolicy::kDict;
+  if (v == "rle") return EncodingPolicy::kRle;
+  if (v == "bitpack") return EncodingPolicy::kBitPacked;
+  return EncodingPolicy::kAuto;
+}
+
+void ApplyEncodings(Catalog* catalog, EncodingPolicy policy) {
+  if (policy == EncodingPolicy::kPlain) return;
+  for (const std::string& name : catalog->TableNames()) {
+    Table* table = catalog->MutableTable(name);
+    for (const std::string& col : table->ColumnNames()) {
+      BatPtr b = *table->Column(col);
+      if (b->encoded() || b->type() == ValType::kOid) continue;
+      Encoding enc = Encoding::kPlain;
+      switch (policy) {
+        case EncodingPolicy::kAuto:
+          enc = ChooseEncoding(ObserveColumn(*b), b->type());
+          break;
+        case EncodingPolicy::kDict:
+          enc = Encoding::kDict;
+          break;
+        case EncodingPolicy::kRle:
+          enc = Encoding::kRle;
+          break;
+        case EncodingPolicy::kBitPacked:
+          enc = Encoding::kBitPacked;
+          break;
+        case EncodingPolicy::kPlain:
+          break;
+      }
+      if (enc == Encoding::kPlain) continue;
+      BatPtr e = EncodeColumn(b, enc);
+      if (e != b) OCELOT_CHECK(table->ReplaceColumn(col, std::move(e)).ok());
+    }
+  }
+}
+
+void ApplyEncodings(Catalog* catalog) {
+  ApplyEncodings(catalog, EncodingPolicyFromEnv());
+}
+
+BatPtr DecodePhysical(ValType type, const void* phys, std::size_t phys_bytes,
+                      const EncodingInfo& info) {
+  (void)phys_bytes;
+  BatPtr out = Bat::Make(type, info.plain_rows);
+  auto* dst = static_cast<std::uint32_t*>(out->data());
+  switch (info.encoding) {
+    case Encoding::kDict: {
+      const auto* dict_bits =
+          static_cast<const std::uint32_t*>(info.dict->data());
+      if (info.code_width == 1) {
+        const auto* codes = static_cast<const std::uint8_t*>(phys);
+        for (std::size_t i = 0; i < info.plain_rows; ++i) {
+          dst[i] = dict_bits[codes[i]];
+        }
+      } else {
+        const auto* codes = static_cast<const std::uint16_t*>(phys);
+        for (std::size_t i = 0; i < info.plain_rows; ++i) {
+          dst[i] = dict_bits[codes[i]];
+        }
+      }
+      break;
+    }
+    case Encoding::kRle: {
+      const std::uint32_t* values = RleValueBits(phys, info);
+      const std::uint32_t* starts = RleStarts(phys, info);
+      for (std::size_t r = 0; r < info.runs; ++r) {
+        const std::size_t end =
+            r + 1 < info.runs ? starts[r + 1] : info.plain_rows;
+        for (std::size_t i = starts[r]; i < end; ++i) dst[i] = values[r];
+      }
+      break;
+    }
+    case Encoding::kBitPacked: {
+      const auto* words = static_cast<const std::uint32_t*>(phys);
+      for (std::size_t i = 0; i < info.plain_rows; ++i) {
+        dst[i] = std::bit_cast<std::uint32_t>(
+            BitPackedAt(words, info.bit_width, info.base, i));
+      }
+      break;
+    }
+    case Encoding::kPlain:
+      OCELOT_CHECK(false) << "DecodePhysical on a plain descriptor";
+  }
+  return out;
+}
+
+}  // namespace cstore

@@ -1,0 +1,112 @@
+#ifndef OCELOT_CSTORE_ENCODING_H_
+#define OCELOT_CSTORE_ENCODING_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cstore/bat.h"
+#include "cstore/types.h"
+
+namespace cstore {
+
+class Catalog;
+
+/// One-pass observations over a plain column, the inputs to the
+/// stats-driven format selection of the catalog load path.
+struct ColumnStats {
+  std::size_t rows = 0;
+  /// Distinct tail bit patterns; counting stops at kDistinctCap + 1 (see
+  /// distinct_capped) so a high-cardinality column costs one hash probe per
+  /// row, not unbounded set growth.
+  std::size_t distinct = 0;
+  bool distinct_capped = false;
+  /// Maximal runs of equal bit patterns (rows > 0 implies runs >= 1).
+  std::size_t runs = 0;
+  /// Min/max over non-nil values (kInt columns only; meaningless otherwise).
+  std::int32_t min_int = 0;
+  std::int32_t max_int = 0;
+  bool has_nil = false;
+
+  static constexpr std::size_t kDistinctCap = 65536;  ///< u16 code space
+};
+
+ColumnStats ObserveColumn(const Bat& plain);
+
+/// The format the stats-driven policy would store this column in: the
+/// applicable format with the smallest physical image, provided the column
+/// is large enough to bother (>= 1024 rows) and the image is at most 0.75x
+/// the plain size; kPlain otherwise.
+Encoding ChooseEncoding(const ColumnStats& stats, ValType type);
+
+/// Physical image size of `stats` under `enc` (SIZE_MAX when the format is
+/// inapplicable — bit-packing a float or nil-bearing column, dictionary
+/// cardinality overflow). Exposed for the compression benchmark.
+std::size_t EncodedPhysicalBytes(const ColumnStats& stats, ValType type,
+                                 Encoding enc);
+
+/// Re-formats `plain` as `enc`. Returns `plain` itself (not a copy) when
+/// enc is kPlain, the column is not a base int/float column, or the format
+/// is inapplicable; callers detect "nothing happened" by pointer equality.
+/// The encoded BAT carries the source's property bits and hseqbase, and its
+/// decoded twin reproduces the source bytes exactly.
+BatPtr EncodeColumn(const BatPtr& plain, Encoding enc);
+
+/// Per-process encoding policy: auto (stats-driven) or one format forced
+/// for every applicable column. Forced modes skip the row-count and
+/// benefit thresholds — they exist for tests and A/B benchmarks, not for
+/// production sizing.
+enum class EncodingPolicy { kAuto, kPlain, kDict, kRle, kBitPacked };
+
+/// Parses OCELOT_FORCE_ENCODING (plain|dict|rle|bitpack|auto; unset or
+/// unrecognized -> auto). The escape hatch the issue requires: CI pins a
+/// leg to one format, and =plain turns the whole feature off.
+EncodingPolicy EncodingPolicyFromEnv();
+
+/// Walks every base column of every table and swaps in the encoded
+/// representation chosen by `policy`. Called at the end of catalog load
+/// (still the single-writer phase).
+void ApplyEncodings(Catalog* catalog, EncodingPolicy policy);
+/// Env-driven overload: ApplyEncodings(catalog, EncodingPolicyFromEnv()).
+void ApplyEncodings(Catalog* catalog);
+
+/// Decodes a whole physical image into a fresh plain root BAT of
+/// info.plain_rows rows — the decoded-twin builder behind Bat::data()'s
+/// transparent fallback, and the host-side reference for the device decode
+/// kernels.
+BatPtr DecodePhysical(ValType type, const void* phys, std::size_t phys_bytes,
+                      const EncodingInfo& info);
+
+// -- Physical-layout accessors for native compressed kernels -----------------
+
+/// kRle: the run value bit patterns (u32[info.runs]).
+inline const std::uint32_t* RleValueBits(const void* phys,
+                                         const EncodingInfo& info) {
+  (void)info;
+  return static_cast<const std::uint32_t*>(phys);
+}
+
+/// kRle: the run start rows (u32[info.runs]); run i covers
+/// [starts[i], i + 1 < runs ? starts[i+1] : plain_rows).
+inline const std::uint32_t* RleStarts(const void* phys,
+                                      const EncodingInfo& info) {
+  return static_cast<const std::uint32_t*>(phys) + info.runs;
+}
+
+/// kBitPacked: decoded value at row r of the word stream.
+inline std::int32_t BitPackedAt(const std::uint32_t* words,
+                                std::uint32_t width, std::int32_t base,
+                                std::size_t r) {
+  const std::size_t bit = r * width;
+  const std::size_t word = bit >> 5;
+  const std::uint32_t shift = static_cast<std::uint32_t>(bit & 31);
+  std::uint64_t window = words[word];
+  if (shift + width > 32) window |= std::uint64_t{words[word + 1]} << 32;
+  const std::uint32_t mask =
+      width >= 32 ? 0xffffffffu : ((1u << width) - 1u);
+  return base + static_cast<std::int32_t>(
+                    static_cast<std::uint32_t>(window >> shift) & mask);
+}
+
+}  // namespace cstore
+
+#endif  // OCELOT_CSTORE_ENCODING_H_

@@ -40,6 +40,32 @@ inline const char* ValTypeName(ValType t) {
 
 inline std::size_t ValTypeSize(ValType) { return 4; }  // everything is 4 bytes
 
+/// Physical storage format of a BAT's tail heap. A plain heap holds one
+/// 4-byte value per row; the other formats hold a compressed image whose
+/// *logical* size (rows * ValTypeSize) differs from its *physical* byte
+/// count. Every size computation must therefore say which of the two it
+/// means — `Bat::tail_bytes()` (logical) vs `Bat::physical_tail_bytes()`.
+enum class Encoding : std::uint8_t {
+  kPlain = 0,      ///< one 4-byte value per row
+  kDict = 1,       ///< u8/u16 codes into a shared sorted dictionary BAT
+  kRle = 2,        ///< run-length: [values[runs]][starts[runs]], u32 each
+  kBitPacked = 3,  ///< frame-of-reference bit-packed ints (nonil only)
+};
+
+inline const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain:
+      return "plain";
+    case Encoding::kDict:
+      return "dict";
+    case Encoding::kRle:
+      return "rle";
+    case Encoding::kBitPacked:
+      return "bitpack";
+  }
+  return "?";
+}
+
 }  // namespace cstore
 
 #endif  // OCELOT_CSTORE_TYPES_H_

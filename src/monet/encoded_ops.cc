@@ -1,0 +1,338 @@
+#include "monet/encoded_ops.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/simd.h"
+
+namespace monet::encoded {
+
+using cstore::Bat;
+using cstore::Encoding;
+using cstore::EncodingInfo;
+using cstore::oid_t;
+using cstore::ValType;
+
+namespace {
+
+/// Per-dictionary-entry evaluation of the engine's own predicate — the
+/// "dictionary-rewritten predicate": one RangePred::Match per distinct
+/// value, then the scan compares codes against this table only.
+std::vector<std::uint8_t> DictMatchTable(const Bat& col,
+                                         const detail::RangePred& pred) {
+  const EncodingInfo& info = *col.encoding_info();
+  const std::size_t d = info.dict->size();
+  std::vector<std::uint8_t> match(d);
+  if (col.type() == ValType::kInt) {
+    auto v = info.dict->ints();
+    for (std::size_t j = 0; j < d; ++j) match[j] = pred.Match(v[j]) ? 1 : 0;
+  } else {
+    auto v = info.dict->floats();
+    for (std::size_t j = 0; j < d; ++j) match[j] = pred.Match(v[j]) ? 1 : 0;
+  }
+  return match;
+}
+
+}  // namespace
+
+ValueCursor::ValueCursor(const Bat& col)
+    : info_(col.encoding_info().get()), ro_(col.row_offset()) {
+  OCELOT_CHECK(info_ != nullptr) << "ValueCursor over a plain BAT";
+  const void* phys = col.physical_data();
+  switch (info_->encoding) {
+    case Encoding::kDict:
+      if (info_->code_width == 1) {
+        c8_ = static_cast<const std::uint8_t*>(phys);
+      } else {
+        c16_ = static_cast<const std::uint16_t*>(phys);
+      }
+      dict_ = static_cast<const std::uint32_t*>(info_->dict->data());
+      break;
+    case Encoding::kRle:
+      rvals_ = cstore::RleValueBits(phys, *info_);
+      rstarts_ = cstore::RleStarts(phys, *info_);
+      break;
+    default:
+      words_ = static_cast<const std::uint32_t*>(phys);
+      break;
+  }
+}
+
+void SelectRange(const Bat& col, const detail::RangePred& pred,
+                 std::size_t begin, std::size_t end,
+                 std::vector<oid_t>* hits) {
+  const EncodingInfo& info = *col.encoding_info();
+  const std::size_t ro = col.row_offset();
+  switch (info.encoding) {
+    case Encoding::kDict: {
+      std::vector<std::uint8_t> match = DictMatchTable(col, pred);
+      const void* phys = col.physical_data();
+      if (info.code_width == 1) {
+        auto codes = static_cast<const std::uint8_t*>(phys);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (match[codes[ro + i]]) hits->push_back(static_cast<oid_t>(i));
+        }
+      } else {
+        auto codes = static_cast<const std::uint16_t*>(phys);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (match[codes[ro + i]]) hits->push_back(static_cast<oid_t>(i));
+        }
+      }
+      return;
+    }
+    case Encoding::kRle: {
+      // Run-granular: one predicate evaluation per run overlapping the
+      // range, then the hit oids are emitted as dense spans — ascending,
+      // exactly the plain scan's output.
+      const void* phys = col.physical_data();
+      const std::uint32_t* vals = cstore::RleValueBits(phys, info);
+      const std::uint32_t* starts = cstore::RleStarts(phys, info);
+      const std::size_t lo_row = ro + begin;
+      const std::size_t hi_row = ro + end;
+      std::size_t run = static_cast<std::size_t>(
+          std::upper_bound(starts, starts + info.runs,
+                           static_cast<std::uint32_t>(lo_row)) -
+          starts);
+      run = run == 0 ? 0 : run - 1;
+      const bool is_int = col.type() == ValType::kInt;
+      for (; run < info.runs && starts[run] < hi_row; ++run) {
+        const std::size_t run_end =
+            run + 1 < info.runs ? starts[run + 1] : info.plain_rows;
+        const std::size_t from = std::max<std::size_t>(starts[run], lo_row);
+        const std::size_t to = std::min(run_end, hi_row);
+        if (from >= to) continue;
+        const bool ok = is_int
+                            ? pred.Match(std::bit_cast<std::int32_t>(vals[run]))
+                            : pred.Match(std::bit_cast<float>(vals[run]));
+        if (!ok) continue;
+        for (std::size_t r = from; r < to; ++r) {
+          hits->push_back(static_cast<oid_t>(r - ro));
+        }
+      }
+      return;
+    }
+    default: {  // kBitPacked — int-only, nil-free by construction
+      // Integer-domain rewrite of the double bounds: for integral v,
+      // (double)v in [lo, hi] <=> v in [ceil(lo), floor(hi)].
+      common::simd::IntRange r = common::simd::ClampRangeToInt32(pred.lo, pred.hi);
+      if (r.empty) return;
+      auto words = static_cast<const std::uint32_t*>(col.physical_data());
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::int32_t v =
+            cstore::BitPackedAt(words, info.bit_width, info.base, ro + i);
+        if (v >= r.lo && v <= r.hi) hits->push_back(static_cast<oid_t>(i));
+      }
+      return;
+    }
+  }
+}
+
+void SelectRangeCand(const Bat& col, const detail::RangePred& pred,
+                     std::span<const oid_t> cands, std::vector<oid_t>* hits) {
+  const EncodingInfo& info = *col.encoding_info();
+  switch (info.encoding) {
+    case Encoding::kDict: {
+      std::vector<std::uint8_t> match = DictMatchTable(col, pred);
+      const void* phys = col.physical_data();
+      const std::size_t ro = col.row_offset();
+      if (info.code_width == 1) {
+        auto codes = static_cast<const std::uint8_t*>(phys);
+        for (oid_t o : cands) {
+          if (match[codes[ro + o]]) hits->push_back(o);
+        }
+      } else {
+        auto codes = static_cast<const std::uint16_t*>(phys);
+        for (oid_t o : cands) {
+          if (match[codes[ro + o]]) hits->push_back(o);
+        }
+      }
+      return;
+    }
+    case Encoding::kRle: {
+      // Candidates are ascending, so a forward run cursor suffices; the
+      // run's predicate verdict is reused until the cursor leaves the run.
+      ValueCursor cur(col);
+      const bool is_int = col.type() == ValType::kInt;
+      std::uint32_t cur_bits = 0;
+      bool cur_ok = false;
+      bool have = false;
+      for (oid_t o : cands) {
+        const std::uint32_t bits = cur.Bits(o);
+        if (!have || bits != cur_bits) {
+          cur_bits = bits;
+          cur_ok = is_int ? pred.Match(std::bit_cast<std::int32_t>(bits))
+                          : pred.Match(std::bit_cast<float>(bits));
+          have = true;
+        }
+        if (cur_ok) hits->push_back(o);
+      }
+      return;
+    }
+    default: {  // kBitPacked
+      common::simd::IntRange r = common::simd::ClampRangeToInt32(pred.lo, pred.hi);
+      if (r.empty) return;
+      const EncodingInfo& bi = info;
+      auto words = static_cast<const std::uint32_t*>(col.physical_data());
+      const std::size_t ro = col.row_offset();
+      for (oid_t o : cands) {
+        const std::int32_t v =
+            cstore::BitPackedAt(words, bi.bit_width, bi.base, ro + o);
+        if (v >= r.lo && v <= r.hi) hits->push_back(o);
+      }
+      return;
+    }
+  }
+}
+
+bool Gather(const Bat& col, const oid_t* idx, std::size_t n,
+            std::uint32_t nil_bits, std::uint32_t* dst) {
+  const EncodingInfo& info = *col.encoding_info();
+  const std::size_t ro = col.row_offset();
+  const void* phys = col.physical_data();
+  switch (info.encoding) {
+    case Encoding::kDict: {
+      auto dict = static_cast<const std::uint32_t*>(info.dict->data());
+      if (info.code_width == 1) {
+        auto codes = static_cast<const std::uint8_t*>(phys);
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[i] = idx[i] == cstore::kOidNil ? nil_bits : dict[codes[ro + idx[i]]];
+        }
+      } else {
+        auto codes = static_cast<const std::uint16_t*>(phys);
+        for (std::size_t i = 0; i < n; ++i) {
+          dst[i] = idx[i] == cstore::kOidNil ? nil_bits : dict[codes[ro + idx[i]]];
+        }
+      }
+      return true;
+    }
+    case Encoding::kBitPacked: {
+      auto words = static_cast<const std::uint32_t*>(phys);
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = idx[i] == cstore::kOidNil
+                     ? nil_bits
+                     : static_cast<std::uint32_t>(cstore::BitPackedAt(
+                           words, info.bit_width, info.base, ro + idx[i]));
+      }
+      return true;
+    }
+    default:
+      return false;  // RLE: no O(1) random access; use the decoded twin
+  }
+}
+
+namespace {
+
+/// Invokes fn(value_bits, count) per maximal run of equal values across rows
+/// [begin, end) of an RLE descriptor, in row order.
+template <typename Fn>
+void ForEachRleRun(const Bat& col, std::size_t begin, std::size_t end, Fn&& fn) {
+  const EncodingInfo& info = *col.encoding_info();
+  const void* phys = col.physical_data();
+  const std::uint32_t* vals = cstore::RleValueBits(phys, info);
+  const std::uint32_t* starts = cstore::RleStarts(phys, info);
+  const std::size_t lo_row = col.row_offset() + begin;
+  const std::size_t hi_row = col.row_offset() + end;
+  std::size_t run = static_cast<std::size_t>(
+      std::upper_bound(starts, starts + info.runs,
+                       static_cast<std::uint32_t>(lo_row)) -
+      starts);
+  run = run == 0 ? 0 : run - 1;
+  for (; run < info.runs && starts[run] < hi_row; ++run) {
+    const std::size_t run_end =
+        run + 1 < info.runs ? starts[run + 1] : info.plain_rows;
+    const std::size_t from = std::max<std::size_t>(starts[run], lo_row);
+    const std::size_t to = std::min(run_end, hi_row);
+    if (from < to) fn(vals[run], to - from);
+  }
+}
+
+bool IsNilBits(ValType type, std::uint32_t bits) {
+  if (type == ValType::kInt) {
+    return std::bit_cast<std::int32_t>(bits) == cstore::kIntNil;
+  }
+  float f = std::bit_cast<float>(bits);
+  return f != f;
+}
+
+double BitsToDouble(ValType type, std::uint32_t bits) {
+  return type == ValType::kInt
+             ? static_cast<double>(std::bit_cast<std::int32_t>(bits))
+             : static_cast<double>(std::bit_cast<float>(bits));
+}
+
+}  // namespace
+
+double SumRows(const Bat& col, std::size_t begin, std::size_t end) {
+  const EncodingInfo& info = *col.encoding_info();
+  if (info.encoding == Encoding::kRle) {
+    if (col.type() == ValType::kInt && end - begin < (std::size_t{1} << 21)) {
+      // Every partial row-order sum is bounded by n * 2^31 < 2^52, so the
+      // plain double accumulation was exact — an exact int64 run-at-a-time
+      // fold lands on the identical value.
+      std::int64_t total = 0;
+      ForEachRleRun(col, begin, end, [&](std::uint32_t bits, std::size_t len) {
+        const std::int32_t v = std::bit_cast<std::int32_t>(bits);
+        if (v != cstore::kIntNil) {
+          total += static_cast<std::int64_t>(v) * static_cast<std::int64_t>(len);
+        }
+      });
+      return static_cast<double>(total);
+    }
+    // Float (or huge) columns: repeat the adds per run — row order and
+    // rounding identical to the plain loop, still no decoded twin.
+    double acc = 0;
+    const ValType type = col.type();
+    ForEachRleRun(col, begin, end, [&](std::uint32_t bits, std::size_t len) {
+      if (IsNilBits(type, bits)) return;
+      const double v = BitsToDouble(type, bits);
+      for (std::size_t i = 0; i < len; ++i) acc += v;
+    });
+    return acc;
+  }
+  ValueCursor cur(col);
+  const ValType type = col.type();
+  double acc = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t bits = cur.Bits(i);
+    if (!IsNilBits(type, bits)) acc += BitsToDouble(type, bits);
+  }
+  return acc;
+}
+
+double MinRows(const Bat& col, std::size_t begin, std::size_t end) {
+  const ValType type = col.type();
+  double best = std::numeric_limits<double>::infinity();
+  if (col.encoding() == Encoding::kRle) {
+    ForEachRleRun(col, begin, end, [&](std::uint32_t bits, std::size_t) {
+      if (!IsNilBits(type, bits)) best = std::min(best, BitsToDouble(type, bits));
+    });
+    return best;
+  }
+  ValueCursor cur(col);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t bits = cur.Bits(i);
+    if (!IsNilBits(type, bits)) best = std::min(best, BitsToDouble(type, bits));
+  }
+  return best;
+}
+
+double MaxRows(const Bat& col, std::size_t begin, std::size_t end) {
+  const ValType type = col.type();
+  double best = -std::numeric_limits<double>::infinity();
+  if (col.encoding() == Encoding::kRle) {
+    ForEachRleRun(col, begin, end, [&](std::uint32_t bits, std::size_t) {
+      if (!IsNilBits(type, bits)) best = std::max(best, BitsToDouble(type, bits));
+    });
+    return best;
+  }
+  ValueCursor cur(col);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t bits = cur.Bits(i);
+    if (!IsNilBits(type, bits)) best = std::max(best, BitsToDouble(type, bits));
+  }
+  return best;
+}
+
+}  // namespace monet::encoded

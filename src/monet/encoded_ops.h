@@ -1,0 +1,107 @@
+#ifndef OCELOT_MONET_ENCODED_OPS_H_
+#define OCELOT_MONET_ENCODED_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cstore/bat.h"
+#include "cstore/encoding.h"
+#include "monet/detail.h"
+
+/// Native compressed paths of the host engines: select, gather, grouping and
+/// aggregation directly over dictionary / RLE / bit-packed images, without
+/// materializing the decoded twin. Internal header, like monet/detail.h.
+///
+/// The determinism contract mirrors the SIMD layer's: every path here must
+/// be bit-identical to the plain loop it replaces. Concretely that means
+///  - predicates are evaluated with the engine's own RangePred (dictionary
+///    entries are tested once each, and code comparison only replaces value
+///    comparison where the mapping is a bijection);
+///  - value folds preserve exact row order (float addition is not
+///    associative); only order-free folds (min/max, int64 sums, counts) may
+///    batch a whole RLE run.
+/// Operators without a native path fall back to Bat::data()'s decoded twin,
+/// which is the same bytes a plain column would have had.
+namespace monet::encoded {
+
+/// Monotone row-order reader of an encoded column's logical values as raw
+/// 4-byte bit patterns. `Bits(row)` takes rows relative to the descriptor
+/// (views included); calls must be non-decreasing for RLE (the run cursor
+/// only walks forward) — dictionary and bit-packed access is random-safe,
+/// reported by random_ok().
+class ValueCursor {
+ public:
+  explicit ValueCursor(const cstore::Bat& col);
+
+  bool random_ok() const { return info_->encoding != cstore::Encoding::kRle; }
+
+  std::uint32_t Bits(std::size_t row) {
+    const std::size_t r = ro_ + row;
+    switch (info_->encoding) {
+      case cstore::Encoding::kDict:
+        return dict_[c8_ != nullptr ? c8_[r] : c16_[r]];
+      case cstore::Encoding::kBitPacked:
+        return static_cast<std::uint32_t>(cstore::BitPackedAt(
+            words_, info_->bit_width, info_->base, r));
+      default: {  // kRle
+        while (run_ + 1 < info_->runs && rstarts_[run_ + 1] <= r) ++run_;
+        return rvals_[run_];
+      }
+    }
+  }
+
+ private:
+  const cstore::EncodingInfo* info_;
+  std::size_t ro_;  ///< descriptor's first logical row in the column image
+  const std::uint8_t* c8_ = nullptr;
+  const std::uint16_t* c16_ = nullptr;
+  const std::uint32_t* dict_ = nullptr;
+  const std::uint32_t* rvals_ = nullptr;
+  const std::uint32_t* rstarts_ = nullptr;
+  std::size_t run_ = 0;
+  const std::uint32_t* words_ = nullptr;
+};
+
+/// Full-scan range select over rows [begin, end) of the descriptor:
+/// appends matching row indices (relative to the descriptor) in ascending
+/// order, exactly like the plain scan. Dictionary entries are tested once
+/// each (the rewritten predicate), RLE is run-granular, bit-packed values
+/// are tested through an integer-domain rewrite of the bounds.
+void SelectRange(const cstore::Bat& col, const detail::RangePred& pred,
+                 std::size_t begin, std::size_t end,
+                 std::vector<cstore::oid_t>* hits);
+
+/// Candidate-list variant: `cands` are ascending row indices relative to the
+/// descriptor (the engines' sorted candidate invariant, which the RLE
+/// forward cursor relies on).
+void SelectRangeCand(const cstore::Bat& col, const detail::RangePred& pred,
+                     std::span<const cstore::oid_t> cands,
+                     std::vector<cstore::oid_t>* hits);
+
+/// Native gather (fetchjoin): dst[i] = idx[i] == kOidNil ? nil_bits :
+/// value bits at row idx[i]. Returns false (dst untouched) when the format
+/// has no random-access path (RLE) — the caller falls back to the twin.
+bool Gather(const cstore::Bat& col, const cstore::oid_t* idx, std::size_t n,
+            std::uint32_t nil_bits, std::uint32_t* dst);
+
+/// True when Gather has a native path for this column (encoded, not RLE).
+inline bool GatherSupported(const cstore::Bat& col) {
+  return col.encoded() && col.encoding() != cstore::Encoding::kRle;
+}
+
+/// Whole-column fold over rows [begin, end) of the descriptor, replicating
+/// the plain engines' loops exactly: double accumulation in row order for
+/// Sum (skipping nils), double min/max over non-nil values (+inf / -inf
+/// when empty). RLE batches where that is provably bit-identical: min/max
+/// are order-free, and int sums fold a run at a time only when the row
+/// count guarantees every partial sum is exact in double (< 2^52), so the
+/// plain row-order accumulation could never have rounded.
+double SumRows(const cstore::Bat& col, std::size_t begin, std::size_t end);
+double MinRows(const cstore::Bat& col, std::size_t begin, std::size_t end);
+double MaxRows(const cstore::Bat& col, std::size_t begin, std::size_t end);
+
+}  // namespace monet::encoded
+
+#endif  // OCELOT_MONET_ENCODED_OPS_H_

@@ -10,6 +10,7 @@
 #include "common/simd.h"
 
 #include "monet/detail.h"
+#include "monet/encoded_ops.h"
 #include "monet/hashmap.h"
 #include "monet/mitosis.h"
 
@@ -74,6 +75,34 @@ double SortKeyAt(const BatPtr& col, std::size_t i) {
   return 0;
 }
 
+/// Invokes fn(row, value-as-double) for every non-nil row in [begin, end).
+/// Encoded columns are read natively (the cursor is per call, so each slice
+/// gets its own forward RLE walk); plain columns go through IsNilAt/ValueAt.
+/// The double conversion is exactly what the plain loops did, so slice
+/// partials stay bit-identical either way.
+template <typename Fn>
+void ForEachNonNil(const BatPtr& col, std::size_t begin, std::size_t end,
+                   Fn&& fn) {
+  if (col->encoded()) {
+    encoded::ValueCursor cur(*col);
+    if (col->type() == ValType::kFloat) {
+      for (std::size_t i = begin; i < end; ++i) {
+        float v = std::bit_cast<float>(cur.Bits(i));
+        if (!std::isnan(v)) fn(i, static_cast<double>(v));
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        auto v = std::bit_cast<std::int32_t>(cur.Bits(i));
+        if (v != kIntNil) fn(i, static_cast<double>(v));
+      }
+    }
+    return;
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!IsNilAt(col, i)) fn(i, ValueAt(col, i));
+  }
+}
+
 }  // namespace
 
 Result<BatPtr> MitosisEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
@@ -87,6 +116,19 @@ Result<BatPtr> MitosisEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(domain, s, slices_);
     auto& hits = parts[static_cast<std::size_t>(s)];
+    if (col->encoded()) {
+      // Native compressed scan per slice; each slice owns its row (or
+      // candidate) subrange, so the pack below still concatenates sorted
+      // ascending oids.
+      if (cand == nullptr) {
+        encoded::SelectRange(*col, pred, sl.begin, sl.end, &hits);
+      } else {
+        encoded::SelectRangeCand(
+            *col, pred, cand->oids().subspan(sl.begin, sl.end - sl.begin),
+            &hits);
+      }
+      return;
+    }
     if (cand == nullptr) {
       // Full-column slice: slices are contiguous, so the SIMD bitmask select
       // runs on the subrange with sl.begin as the position base.
@@ -130,30 +172,35 @@ Result<BatPtr> MitosisEngine::Project(const BatPtr& oids, const BatPtr& col) {
   // Every payload is 4 bytes; one bit-level gather (prefetching the randomly
   // accessed source distance-ahead) covers all three types, per slice.
   std::uint32_t nil_bits;
-  const void* src;
-  void* dst;
   switch (col->type()) {
     case ValType::kInt:
       nil_bits = std::bit_cast<std::uint32_t>(kIntNil);
-      src = col->ints().data();
-      dst = out->ints().data();
       break;
     case ValType::kFloat:
       nil_bits = std::bit_cast<std::uint32_t>(cstore::FloatNil());
-      src = col->floats().data();
-      dst = out->floats().data();
       break;
     default:
       nil_bits = cstore::kOidNil;
-      src = col->oids().data();
-      dst = out->oids().data();
       break;
   }
+  auto dst = static_cast<std::uint32_t*>(out->data());
+  // Dictionary / bit-packed sources gather straight off the codes per slice;
+  // RLE has no random-access path, so it (and plain) reads data(), which for
+  // encoded columns is the decoded twin. Resolve src before the slices fan
+  // out so the twin is built once, not raced over.
+  if (encoded::GatherSupported(*col)) {
+    ParallelFor(clock_, cores_, slices_, [&](int s) {
+      Slice sl = SliceOf(n, s, slices_);
+      encoded::Gather(*col, idx.data() + sl.begin, sl.end - sl.begin, nil_bits,
+                      dst + sl.begin);
+    });
+    return out;
+  }
+  const auto* src = static_cast<const std::uint32_t*>(col->data());
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
-    common::simd::GatherU32(static_cast<const std::uint32_t*>(src), col->size(),
-                            idx.data() + sl.begin, sl.end - sl.begin, nil_bits,
-                            static_cast<std::uint32_t*>(dst) + sl.begin);
+    common::simd::GatherU32(src, col->size(), idx.data() + sl.begin,
+                            sl.end - sl.begin, nil_bits, dst + sl.begin);
   });
   return out;
 }
@@ -345,18 +392,37 @@ Result<GroupResult> MitosisEngine::GroupBy(const BatPtr& col, const GroupResult*
     DenseIdMap map(256);
     std::uint32_t next_id = 0;
     auto& sg = local[static_cast<std::size_t>(s)];
-    const std::size_t dist =
-        common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (dist != 0 && i + dist < sl.end) map.Prefetch(key_at(i + dist));
-      std::uint64_t key = key_at(i);
-      std::uint32_t before = next_id;
-      std::uint32_t lid = map.GetOrAssign(key, &next_id);
-      if (next_id != before) {
-        sg.keys.push_back(key);
-        sg.extents.push_back(static_cast<oid_t>(i));
+    auto run = [&](auto&& key_fn, bool prefetch_ok) {
+      const std::size_t dist = prefetch_ok && common::simd::Enabled()
+                                   ? common::simd::PrefetchDistance()
+                                   : 0;
+      for (std::size_t i = sl.begin; i < sl.end; ++i) {
+        if (dist != 0 && i + dist < sl.end) map.Prefetch(key_fn(i + dist));
+        std::uint64_t key = key_fn(i);
+        std::uint32_t before = next_id;
+        std::uint32_t lid = map.GetOrAssign(key, &next_id);
+        if (next_id != before) {
+          sg.keys.push_back(key);
+          sg.extents.push_back(static_cast<oid_t>(i));
+        }
+        gids[i] = lid;  // temporary local id, translated in phase 3
       }
-      gids[i] = lid;  // temporary local id, translated in phase 3
+    };
+    if (col->encoded()) {
+      // Per-slice cursor reading value bits straight off the format; the
+      // RLE cursor only walks forward, so lookahead prefetch is disabled
+      // there (it would rewind the run position).
+      encoded::ValueCursor cur(*col);
+      run(
+          [&](std::size_t i) -> std::uint64_t {
+            std::uint32_t bits = cur.Bits(i);
+            return prev != nullptr
+                       ? (static_cast<std::uint64_t>(prev_gids[i]) << 32) | bits
+                       : bits;
+          },
+          cur.random_ok());
+    } else {
+      run(key_at, true);
     }
   });
 
@@ -411,11 +477,10 @@ Result<BatPtr> MitosisEngine::SubSum(const BatPtr& vals, const BatPtr& groups,
     Slice sl = SliceOf(n, s, slices_);
     auto& acc = partials[static_cast<std::size_t>(s)];
     auto& cnt = counts[static_cast<std::size_t>(s)];
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (IsNilAt(vals, i)) continue;
-      acc[g[i]] += ValueAt(vals, i);
+    ForEachNonNil(vals, sl.begin, sl.end, [&](std::size_t i, double v) {
+      acc[g[i]] += v;
       cnt[g[i]] += 1;
-    }
+    });
   });
   std::vector<double> total(ngroups, 0.0);
   std::vector<std::int64_t> seen(ngroups, 0);
@@ -476,9 +541,9 @@ Result<BatPtr> MitosisEngine::SubMin(const BatPtr& vals, const BatPtr& groups,
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
     auto& acc = partials[static_cast<std::size_t>(s)];
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (!IsNilAt(vals, i)) acc[g[i]] = std::min(acc[g[i]], ValueAt(vals, i));
-    }
+    ForEachNonNil(vals, sl.begin, sl.end, [&](std::size_t i, double v) {
+      acc[g[i]] = std::min(acc[g[i]], v);
+    });
   });
   std::vector<double> best(ngroups, std::numeric_limits<double>::infinity());
   for (const auto& acc : partials) {
@@ -508,9 +573,9 @@ Result<BatPtr> MitosisEngine::SubMax(const BatPtr& vals, const BatPtr& groups,
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
     auto& acc = partials[static_cast<std::size_t>(s)];
-    for (std::size_t i = sl.begin; i < sl.end; ++i) {
-      if (!IsNilAt(vals, i)) acc[g[i]] = std::max(acc[g[i]], ValueAt(vals, i));
-    }
+    ForEachNonNil(vals, sl.begin, sl.end, [&](std::size_t i, double v) {
+      acc[g[i]] = std::max(acc[g[i]], v);
+    });
   });
   std::vector<double> best(ngroups, -std::numeric_limits<double>::infinity());
   for (const auto& acc : partials) {
@@ -534,6 +599,12 @@ Result<double> MitosisEngine::Sum(const BatPtr& col) {
   std::vector<double> partials(static_cast<std::size_t>(slices_), 0.0);
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
+    if (col->encoded()) {
+      // Run-granular where provably exact; same row-order adds otherwise.
+      partials[static_cast<std::size_t>(s)] =
+          encoded::SumRows(*col, sl.begin, sl.end);
+      return;
+    }
     double acc = 0;
     for (std::size_t i = sl.begin; i < sl.end; ++i) {
       if (!IsNilAt(col, i)) acc += ValueAt(col, i);
@@ -552,6 +623,11 @@ Result<double> MitosisEngine::Min(const BatPtr& col) {
                                std::numeric_limits<double>::infinity());
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
+    if (col->encoded()) {
+      partials[static_cast<std::size_t>(s)] =
+          encoded::MinRows(*col, sl.begin, sl.end);
+      return;
+    }
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t i = sl.begin; i < sl.end; ++i) {
       if (!IsNilAt(col, i)) best = std::min(best, ValueAt(col, i));
@@ -568,6 +644,11 @@ Result<double> MitosisEngine::Max(const BatPtr& col) {
                                -std::numeric_limits<double>::infinity());
   ParallelFor(clock_, cores_, slices_, [&](int s) {
     Slice sl = SliceOf(n, s, slices_);
+    if (col->encoded()) {
+      partials[static_cast<std::size_t>(s)] =
+          encoded::MaxRows(*col, sl.begin, sl.end);
+      return;
+    }
     double best = -std::numeric_limits<double>::infinity();
     for (std::size_t i = sl.begin; i < sl.end; ++i) {
       if (!IsNilAt(col, i)) best = std::max(best, ValueAt(col, i));

@@ -1,6 +1,7 @@
 #include "monet/seq_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -8,6 +9,7 @@
 #include "common/date.h"
 #include "common/simd.h"
 #include "monet/detail.h"
+#include "monet/encoded_ops.h"
 #include "monet/hashmap.h"
 
 namespace monet {
@@ -58,6 +60,16 @@ Result<BatPtr> SequentialEngine::SelectRange(const BatPtr& col, const BatPtr& ca
   if (cand != nullptr) RETURN_IF_ERROR(CheckOids(cand, "candidates"));
   RangePred pred(lo, hi);
   std::vector<oid_t> hits;
+  if (col->encoded()) {
+    // Native compressed scan: dictionary-rewritten predicate, run-granular
+    // RLE, integer-rewritten bit-packed test — never touches the twin.
+    if (cand == nullptr) {
+      encoded::SelectRange(*col, pred, 0, col->size(), &hits);
+    } else {
+      encoded::SelectRangeCand(*col, pred, cand->oids(), &hits);
+    }
+    return OidsFromVector(hits);
+  }
   if (cand == nullptr) {
     // Full-column scan: branchless bitmask + materialization in the SIMD
     // layer (which falls back to this very predicate when forced scalar).
@@ -105,28 +117,26 @@ Result<BatPtr> SequentialEngine::Project(const BatPtr& oids, const BatPtr& col) 
   // Every payload is 4 bytes, so one bit-level gather (with distance-ahead
   // prefetching of the randomly accessed source) covers all three types.
   std::uint32_t nil_bits;
-  const void* src;
-  void* dst;
   switch (col->type()) {
     case ValType::kInt:
       nil_bits = std::bit_cast<std::uint32_t>(kIntNil);
-      src = col->ints().data();
-      dst = out->ints().data();
       break;
     case ValType::kFloat:
       nil_bits = std::bit_cast<std::uint32_t>(cstore::FloatNil());
-      src = col->floats().data();
-      dst = out->floats().data();
       break;
     default:
       nil_bits = kOidNil;
-      src = col->oids().data();
-      dst = out->oids().data();
       break;
   }
-  common::simd::GatherU32(static_cast<const std::uint32_t*>(src), col->size(),
-                          idx.data(), n, nil_bits,
-                          static_cast<std::uint32_t*>(dst));
+  auto dst = static_cast<std::uint32_t*>(out->data());
+  // Dictionary / bit-packed sources gather straight out of the codes; RLE
+  // (and plain) go through data(), which for encoded columns is the twin.
+  if (col->encoded() &&
+      encoded::Gather(*col, idx.data(), n, nil_bits, dst)) {
+    return out;
+  }
+  common::simd::GatherU32(static_cast<const std::uint32_t*>(col->data()),
+                          col->size(), idx.data(), n, nil_bits, dst);
   return out;
 }
 
@@ -268,22 +278,42 @@ Result<GroupResult> SequentialEngine::GroupBy(const BatPtr& col,
   DenseIdMap map(1024);
   std::uint32_t next_id = 0;
   auto prev_gids = prev != nullptr ? prev->groups->oids() : std::span<const oid_t>();
-  auto key_at = [&](std::size_t i) {
-    std::uint32_t bits = col->type() == ValType::kInt
-                             ? static_cast<std::uint32_t>(col->ints()[i])
-                             : std::bit_cast<std::uint32_t>(col->floats()[i]);
+  auto with_prev = [&](std::size_t i, std::uint32_t bits) {
     return prev != nullptr
                ? (static_cast<std::uint64_t>(prev_gids[i]) << 32) | bits
                : std::uint64_t{bits};
   };
-  const std::size_t dist =
-      common::simd::Enabled() ? common::simd::PrefetchDistance() : 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (dist != 0 && i + dist < n) map.Prefetch(key_at(i + dist));
-    std::uint32_t before = next_id;
-    std::uint32_t gid = map.GetOrAssign(key_at(i), &next_id);
-    if (next_id != before) extents.push_back(static_cast<oid_t>(i));
-    gids[i] = gid;
+  // The gid numbering is first-appearance order of the key, so any reader
+  // producing equality-equivalent bits per row yields identical groups.
+  auto run_loop = [&](auto&& key_at, bool prefetch_ok) {
+    const std::size_t dist = prefetch_ok && common::simd::Enabled()
+                                 ? common::simd::PrefetchDistance()
+                                 : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist != 0 && i + dist < n) map.Prefetch(key_at(i + dist));
+      std::uint32_t before = next_id;
+      std::uint32_t gid = map.GetOrAssign(key_at(i), &next_id);
+      if (next_id != before) extents.push_back(static_cast<oid_t>(i));
+      gids[i] = gid;
+    }
+  };
+  if (col->encoded()) {
+    // Native compressed grouping reads value bits straight off the format
+    // (the RLE cursor only walks forward, so prefetch-ahead is disabled
+    // there — lookahead would rewind it).
+    encoded::ValueCursor cur(*col);
+    run_loop([&](std::size_t i) { return with_prev(i, cur.Bits(i)); },
+             cur.random_ok());
+  } else {
+    run_loop(
+        [&](std::size_t i) {
+          std::uint32_t bits =
+              col->type() == ValType::kInt
+                  ? static_cast<std::uint32_t>(col->ints()[i])
+                  : std::bit_cast<std::uint32_t>(col->floats()[i]);
+          return with_prev(i, bits);
+        },
+        true);
   }
 
   res.ngroups = next_id;
@@ -303,13 +333,22 @@ Result<BatPtr> SequentialEngine::SubSum(const BatPtr& vals, const BatPtr& groups
   // received no non-nil value sums to nil — kIntNil / NaN — like min/max,
   // not to 0, which is indistinguishable from a real zero-sum.
   std::vector<std::int64_t> cnt(ngroups, 0);
+  const std::size_t n = vals->size();
   if (vals->type() == ValType::kFloat) {
     std::vector<double> acc(ngroups, 0.0);
-    auto v = vals->floats();
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (std::isnan(v[i])) continue;
-      acc[g[i]] += v[i];
-      cnt[g[i]] += 1;
+    if (vals->encoded()) {
+      // Compressed fold: decode per row off the format, same adds in the
+      // same row order (float addition is order-sensitive).
+      encoded::ValueCursor cur(*vals);
+      for (std::size_t i = 0; i < n; ++i) {
+        float v = std::bit_cast<float>(cur.Bits(i));
+        if (std::isnan(v)) continue;
+        acc[g[i]] += v;
+        cnt[g[i]] += 1;
+      }
+    } else {
+      common::simd::GroupedSumFloat(vals->floats().data(), g.data(), n,
+                                    acc.data(), cnt.data());
     }
     BatPtr out = Bat::MakeFloat(ngroups);
     auto o = out->floats();
@@ -319,11 +358,17 @@ Result<BatPtr> SequentialEngine::SubSum(const BatPtr& vals, const BatPtr& groups
     return out;
   }
   std::vector<std::int64_t> acc(ngroups, 0);
-  auto v = vals->ints();
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (v[i] == kIntNil) continue;
-    acc[g[i]] += v[i];
-    cnt[g[i]] += 1;
+  if (vals->encoded()) {
+    encoded::ValueCursor cur(*vals);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t v = std::bit_cast<std::int32_t>(cur.Bits(i));
+      if (v == kIntNil) continue;
+      acc[g[i]] += v;
+      cnt[g[i]] += 1;
+    }
+  } else {
+    common::simd::GroupedSumInt32(vals->ints().data(), g.data(), n, acc.data(),
+                                  cnt.data());
   }
   BatPtr out = Bat::MakeInt(ngroups);
   auto o = out->ints();
@@ -338,7 +383,7 @@ Result<BatPtr> SequentialEngine::SubCount(const BatPtr& groups, std::size_t ngro
   BatPtr out = Bat::MakeInt(ngroups);
   auto o = out->ints();
   std::fill(o.begin(), o.end(), 0);
-  for (oid_t gid : groups->oids()) o[gid] += 1;
+  common::simd::GroupedCount(groups->oids().data(), groups->size(), o.data());
   return out;
 }
 
@@ -347,22 +392,37 @@ Result<BatPtr> SequentialEngine::SubMin(const BatPtr& vals, const BatPtr& groups
   RETURN_IF_ERROR(CheckNumeric(vals, "submin input"));
   RETURN_IF_ERROR(CheckSameSize(vals, groups));
   auto g = groups->oids();
+  const std::size_t n = vals->size();
   BatPtr out = Bat::Make(vals->type(), ngroups);
   if (vals->type() == ValType::kFloat) {
     auto o = out->floats();
     std::fill(o.begin(), o.end(), cstore::FloatNil());
-    auto v = vals->floats();
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (std::isnan(v[i])) continue;
-      if (std::isnan(o[g[i]]) || v[i] < o[g[i]]) o[g[i]] = v[i];
+    auto fold = [&](std::size_t i, float v) {
+      if (std::isnan(v)) return;
+      if (std::isnan(o[g[i]]) || v < o[g[i]]) o[g[i]] = v;
+    };
+    if (vals->encoded()) {
+      encoded::ValueCursor cur(*vals);
+      for (std::size_t i = 0; i < n; ++i) fold(i, std::bit_cast<float>(cur.Bits(i)));
+    } else {
+      auto v = vals->floats();
+      for (std::size_t i = 0; i < n; ++i) fold(i, v[i]);
     }
   } else {
     auto o = out->ints();
     std::fill(o.begin(), o.end(), kIntNil);
-    auto v = vals->ints();
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (v[i] == kIntNil) continue;
-      if (o[g[i]] == kIntNil || v[i] < o[g[i]]) o[g[i]] = v[i];
+    auto fold = [&](std::size_t i, std::int32_t v) {
+      if (v == kIntNil) return;
+      if (o[g[i]] == kIntNil || v < o[g[i]]) o[g[i]] = v;
+    };
+    if (vals->encoded()) {
+      encoded::ValueCursor cur(*vals);
+      for (std::size_t i = 0; i < n; ++i) {
+        fold(i, std::bit_cast<std::int32_t>(cur.Bits(i)));
+      }
+    } else {
+      auto v = vals->ints();
+      for (std::size_t i = 0; i < n; ++i) fold(i, v[i]);
     }
   }
   return out;
@@ -373,22 +433,37 @@ Result<BatPtr> SequentialEngine::SubMax(const BatPtr& vals, const BatPtr& groups
   RETURN_IF_ERROR(CheckNumeric(vals, "submax input"));
   RETURN_IF_ERROR(CheckSameSize(vals, groups));
   auto g = groups->oids();
+  const std::size_t n = vals->size();
   BatPtr out = Bat::Make(vals->type(), ngroups);
   if (vals->type() == ValType::kFloat) {
     auto o = out->floats();
     std::fill(o.begin(), o.end(), cstore::FloatNil());
-    auto v = vals->floats();
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (std::isnan(v[i])) continue;
-      if (std::isnan(o[g[i]]) || v[i] > o[g[i]]) o[g[i]] = v[i];
+    auto fold = [&](std::size_t i, float v) {
+      if (std::isnan(v)) return;
+      if (std::isnan(o[g[i]]) || v > o[g[i]]) o[g[i]] = v;
+    };
+    if (vals->encoded()) {
+      encoded::ValueCursor cur(*vals);
+      for (std::size_t i = 0; i < n; ++i) fold(i, std::bit_cast<float>(cur.Bits(i)));
+    } else {
+      auto v = vals->floats();
+      for (std::size_t i = 0; i < n; ++i) fold(i, v[i]);
     }
   } else {
     auto o = out->ints();
     std::fill(o.begin(), o.end(), kIntNil);
-    auto v = vals->ints();
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (v[i] == kIntNil) continue;
-      if (o[g[i]] == kIntNil || v[i] > o[g[i]]) o[g[i]] = v[i];
+    auto fold = [&](std::size_t i, std::int32_t v) {
+      if (v == kIntNil) return;
+      if (o[g[i]] == kIntNil || v > o[g[i]]) o[g[i]] = v;
+    };
+    if (vals->encoded()) {
+      encoded::ValueCursor cur(*vals);
+      for (std::size_t i = 0; i < n; ++i) {
+        fold(i, std::bit_cast<std::int32_t>(cur.Bits(i)));
+      }
+    } else {
+      auto v = vals->ints();
+      for (std::size_t i = 0; i < n; ++i) fold(i, v[i]);
     }
   }
   return out;
@@ -401,10 +476,30 @@ Result<BatPtr> SequentialEngine::SubAvg(const BatPtr& vals, const BatPtr& groups
   std::vector<double> sum(ngroups, 0.0);
   std::vector<std::int64_t> cnt(ngroups, 0);
   auto g = groups->oids();
-  for (std::size_t i = 0; i < vals->size(); ++i) {
-    if (IsNilAt(vals, i)) continue;
-    sum[g[i]] += ValueAt(vals, i);
-    cnt[g[i]] += 1;
+  const std::size_t n = vals->size();
+  if (vals->encoded()) {
+    encoded::ValueCursor cur(*vals);
+    if (vals->type() == ValType::kFloat) {
+      for (std::size_t i = 0; i < n; ++i) {
+        float v = std::bit_cast<float>(cur.Bits(i));
+        if (std::isnan(v)) continue;
+        sum[g[i]] += v;
+        cnt[g[i]] += 1;
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::int32_t v = std::bit_cast<std::int32_t>(cur.Bits(i));
+        if (v == kIntNil) continue;
+        sum[g[i]] += v;
+        cnt[g[i]] += 1;
+      }
+    }
+  } else if (vals->type() == ValType::kFloat) {
+    common::simd::GroupedSumFloat(vals->floats().data(), g.data(), n,
+                                  sum.data(), cnt.data());
+  } else {
+    common::simd::GroupedSumInt32AsDouble(vals->ints().data(), g.data(), n,
+                                          sum.data(), cnt.data());
   }
   BatPtr out = Bat::MakeFloat(ngroups);
   auto o = out->floats();
@@ -417,6 +512,7 @@ Result<BatPtr> SequentialEngine::SubAvg(const BatPtr& vals, const BatPtr& groups
 
 Result<double> SequentialEngine::Sum(const BatPtr& col) {
   RETURN_IF_ERROR(CheckNumeric(col, "sum input"));
+  if (col->encoded()) return encoded::SumRows(*col, 0, col->size());
   double acc = 0;
   for (std::size_t i = 0; i < col->size(); ++i) {
     if (!IsNilAt(col, i)) acc += ValueAt(col, i);
@@ -426,6 +522,7 @@ Result<double> SequentialEngine::Sum(const BatPtr& col) {
 
 Result<double> SequentialEngine::Min(const BatPtr& col) {
   RETURN_IF_ERROR(CheckNumeric(col, "min input"));
+  if (col->encoded()) return encoded::MinRows(*col, 0, col->size());
   double best = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < col->size(); ++i) {
     if (!IsNilAt(col, i)) best = std::min(best, ValueAt(col, i));
@@ -435,6 +532,7 @@ Result<double> SequentialEngine::Min(const BatPtr& col) {
 
 Result<double> SequentialEngine::Max(const BatPtr& col) {
   RETURN_IF_ERROR(CheckNumeric(col, "max input"));
+  if (col->encoded()) return encoded::MaxRows(*col, 0, col->size());
   double best = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < col->size(); ++i) {
     if (!IsNilAt(col, i)) best = std::max(best, ValueAt(col, i));

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/simd.h"
+#include "cstore/encoding.h"
 #include "ocelot/internal.h"
 #include "ocelot/scan.h"
 
@@ -48,56 +49,131 @@ Result<BatPtr> OcelotEngine::SelectRange(const BatPtr& col, const BatPtr& cand,
 
   MemoryManager::OpScope scope(&mm_);
   ocl::EventList waits;
-  ASSIGN_OR_RETURN(ocl::BufferPtr col_buf, mm_.AcquireRead(&scope, col, &waits));
   ASSIGN_OR_RETURN(ocl::BufferPtr bits, mm_.AllocScratch(BitmapBytes(domain)));
 
-  // One result byte per work-item step: the predicate is evaluated on eight
-  // four-byte values per unit, the geometry the paper found robust across
-  // architectures.
   CompiledRange pred(lo, hi);
   bool is_int = col->type() == ValType::kInt;
-  ocl::KernelLaunch k;
-  k.name = is_int ? "select_range_int" : "select_range_flt";
-  k.body = [col_buf, bits, pred, domain, nbytes, is_int](ocl::WorkGroup& wg) {
-    auto iv = is_int ? col_buf->Span<const std::int32_t>()
-                     : std::span<const std::int32_t>();
-    auto fv = !is_int ? col_buf->Span<const float>() : std::span<const float>();
-    auto out = bits->Span<std::uint8_t>();
-    for (int item = 0; item < wg.local_size(); ++item) {
-      ocl::UnitRange r = wg.UnitsFor(item, nbytes);
-      if (r.step == 1 && !r.empty()) {
-        // Contiguous byte chunk (CPU-preferred pattern): one SIMD bitmask
-        // call covers the whole chunk, 8 elements per output byte.
-        std::size_t base = static_cast<std::size_t>(r.first) * 8;
-        std::size_t limit = std::min(domain, static_cast<std::size_t>(r.limit) * 8);
-        if (is_int) {
-          common::simd::RangeMaskBytesInt32(iv.data() + base, limit - base,
-                                            pred.lo, pred.hi, out.data() + r.first);
-        } else {
-          common::simd::RangeMaskBytesFloat(fv.data() + base, limit - base,
-                                            pred.lo, pred.hi, out.data() + r.first);
+  ocl::EventPtr ev;
+  if (col->encoded() && col->encoding() != cstore::Encoding::kRle) {
+    // Native compressed select: the kernel reads the raw encoded image
+    // (compressed bytes across the bus, no decode kernel). Dictionary
+    // predicates are rewritten host-side — one Match per dictionary entry,
+    // with the engine's own CompiledRange, so per-row outcomes are
+    // bit-identical to the plain kernel's — leaving a byte-table lookup per
+    // row. Bit-packed values are unpacked inline and tested directly.
+    ASSIGN_OR_RETURN(ocl::BufferPtr phys, mm_.AcquireEncodedRead(&scope, col, &waits));
+    const auto& info = col->encoding_info();
+    const std::size_t row_offset = col->row_offset();
+    ocl::KernelLaunch k;
+    if (info->encoding == cstore::Encoding::kDict) {
+      std::vector<std::uint8_t> match(info->dict->size());
+      if (is_int) {
+        auto dv = info->dict->ints();
+        for (std::size_t c = 0; c < match.size(); ++c) {
+          match[c] = static_cast<std::uint8_t>(pred.Match(dv[c]));
         }
-        continue;
+      } else {
+        auto dv = info->dict->floats();
+        for (std::size_t c = 0; c < match.size(); ++c) {
+          match[c] = static_cast<std::uint8_t>(pred.Match(dv[c]));
+        }
       }
-      for (std::uint64_t u : r) {
-        std::uint8_t byte = 0;
-        std::size_t base = static_cast<std::size_t>(u) * 8;
-        std::size_t limit = std::min(domain, base + 8);
-        if (is_int) {
-          for (std::size_t i = base; i < limit; ++i) {
-            byte |= static_cast<std::uint8_t>(pred.Match(iv[i])) << (i - base);
-          }
-        } else {
-          for (std::size_t i = base; i < limit; ++i) {
-            byte |= static_cast<std::uint8_t>(pred.Match(fv[i])) << (i - base);
+      const std::size_t cw = info->code_width;
+      k.name = "select_range_dict";
+      k.body = [phys, bits, match = std::move(match), cw, domain, nbytes,
+                row_offset](ocl::WorkGroup& wg) {
+        auto c8 = phys->Span<const std::uint8_t>();
+        auto c16 = phys->Span<const std::uint16_t>();
+        auto out = bits->Span<std::uint8_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t u : wg.UnitsFor(item, nbytes)) {
+            std::uint8_t byte = 0;
+            std::size_t base = static_cast<std::size_t>(u) * 8;
+            std::size_t limit = std::min(domain, base + 8);
+            for (std::size_t i = base; i < limit; ++i) {
+              const std::size_t r = row_offset + i;
+              byte |= static_cast<std::uint8_t>(match[cw == 1 ? c8[r] : c16[r]])
+                      << (i - base);
+            }
+            out[u] = byte;
           }
         }
-        out[u] = byte;
-      }
+      };
+    } else {  // kBitPacked: int-only and nil-free by construction
+      const std::uint32_t width = info->bit_width;
+      const std::int32_t vbase = info->base;
+      k.name = "select_range_bitpack";
+      k.body = [phys, bits, pred, width, vbase, domain, nbytes,
+                row_offset](ocl::WorkGroup& wg) {
+        auto words = phys->Span<const std::uint32_t>();
+        auto out = bits->Span<std::uint8_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t u : wg.UnitsFor(item, nbytes)) {
+            std::uint8_t byte = 0;
+            std::size_t base = static_cast<std::size_t>(u) * 8;
+            std::size_t limit = std::min(domain, base + 8);
+            for (std::size_t i = base; i < limit; ++i) {
+              byte |= static_cast<std::uint8_t>(pred.Match(cstore::BitPackedAt(
+                          words.data(), width, vbase, row_offset + i)))
+                      << (i - base);
+            }
+            out[u] = byte;
+          }
+        }
+      };
     }
-  };
-  ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
-  mm_.AddConsumer(col, ev);
+    ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+    mm_.AddEncodedConsumer(col, ev);
+  } else {
+    // Plain (or RLE, which rides the decode-on-device fallback) path.
+    ASSIGN_OR_RETURN(ocl::BufferPtr col_buf, mm_.AcquireRead(&scope, col, &waits));
+
+    // One result byte per work-item step: the predicate is evaluated on eight
+    // four-byte values per unit, the geometry the paper found robust across
+    // architectures.
+    ocl::KernelLaunch k;
+    k.name = is_int ? "select_range_int" : "select_range_flt";
+    k.body = [col_buf, bits, pred, domain, nbytes, is_int](ocl::WorkGroup& wg) {
+      auto iv = is_int ? col_buf->Span<const std::int32_t>()
+                       : std::span<const std::int32_t>();
+      auto fv = !is_int ? col_buf->Span<const float>() : std::span<const float>();
+      auto out = bits->Span<std::uint8_t>();
+      for (int item = 0; item < wg.local_size(); ++item) {
+        ocl::UnitRange r = wg.UnitsFor(item, nbytes);
+        if (r.step == 1 && !r.empty()) {
+          // Contiguous byte chunk (CPU-preferred pattern): one SIMD bitmask
+          // call covers the whole chunk, 8 elements per output byte.
+          std::size_t base = static_cast<std::size_t>(r.first) * 8;
+          std::size_t limit = std::min(domain, static_cast<std::size_t>(r.limit) * 8);
+          if (is_int) {
+            common::simd::RangeMaskBytesInt32(iv.data() + base, limit - base,
+                                              pred.lo, pred.hi, out.data() + r.first);
+          } else {
+            common::simd::RangeMaskBytesFloat(fv.data() + base, limit - base,
+                                              pred.lo, pred.hi, out.data() + r.first);
+          }
+          continue;
+        }
+        for (std::uint64_t u : r) {
+          std::uint8_t byte = 0;
+          std::size_t base = static_cast<std::size_t>(u) * 8;
+          std::size_t limit = std::min(domain, base + 8);
+          if (is_int) {
+            for (std::size_t i = base; i < limit; ++i) {
+              byte |= static_cast<std::uint8_t>(pred.Match(iv[i])) << (i - base);
+            }
+          } else {
+            for (std::size_t i = base; i < limit; ++i) {
+              byte |= static_cast<std::uint8_t>(pred.Match(fv[i])) << (i - base);
+            }
+          }
+          out[u] = byte;
+        }
+      }
+    };
+    ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+    mm_.AddConsumer(col, ev);
+  }
 
   // Conjunction with the incoming candidate list stays in bitmap space —
   // the key advantage over oid materialization (Fig. 5a/5b).
@@ -349,11 +425,77 @@ Result<BatPtr> OcelotEngine::Project(const BatPtr& oids, const BatPtr& col) {
   MemoryManager::OpScope scope(&mm_);
   ocl::EventList waits;
   ASSIGN_OR_RETURN(ocl::BufferPtr idx_buf, mm_.AcquireRead(&scope, oids, &waits));
+  ValType type = col->type();
+
+  if (col->encoded() && col->encoding() != cstore::Encoding::kRle) {
+    // Native compressed gather: the source stays in its encoded image on the
+    // device (compressed transfer, no decode kernel); codes are looked up /
+    // unpacked per fetched row. RLE has no random-access path and takes the
+    // decoded fallback below.
+    ASSIGN_OR_RETURN(ocl::BufferPtr phys, mm_.AcquireEncodedRead(&scope, col, &waits));
+    const auto& info = col->encoding_info();
+    const std::size_t row_offset = col->row_offset();
+    BatPtr out = Bat::Make(type, n);
+    ASSIGN_OR_RETURN(ocl::BufferPtr dst_buf, mm_.AcquireWrite(&scope, out));
+    std::uint32_t nil_bits =
+        type == ValType::kInt ? std::bit_cast<std::uint32_t>(cstore::kIntNil)
+        : type == ValType::kFloat
+            ? std::bit_cast<std::uint32_t>(cstore::FloatNil())
+            : kOidNil;
+    ocl::KernelLaunch k;
+    ocl::BufferPtr dict_buf;
+    if (info->encoding == cstore::Encoding::kDict) {
+      ASSIGN_OR_RETURN(dict_buf, mm_.AcquireRead(&scope, info->dict, &waits));
+      const std::size_t cw = info->code_width;
+      k.name = "gather_dict";
+      k.body = [idx_buf, phys, dict_buf, dst_buf, n, cw, row_offset,
+                nil_bits](ocl::WorkGroup& wg) {
+        auto idx = idx_buf->Span<const oid_t>();
+        auto c8 = phys->Span<const std::uint8_t>();
+        auto c16 = phys->Span<const std::uint16_t>();
+        auto dict = dict_buf->Span<const std::uint32_t>();
+        auto dst = dst_buf->Span<std::uint32_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t i : wg.UnitsFor(item, n)) {
+            if (idx[i] == kOidNil) {
+              dst[i] = nil_bits;
+              continue;
+            }
+            const std::size_t r = row_offset + idx[i];
+            dst[i] = dict[cw == 1 ? c8[r] : c16[r]];
+          }
+        }
+      };
+    } else {  // kBitPacked
+      const std::uint32_t width = info->bit_width;
+      const std::int32_t vbase = info->base;
+      k.name = "gather_bitpack";
+      k.body = [idx_buf, phys, dst_buf, n, width, vbase, row_offset,
+                nil_bits](ocl::WorkGroup& wg) {
+        auto idx = idx_buf->Span<const oid_t>();
+        auto words = phys->Span<const std::uint32_t>();
+        auto dst = dst_buf->Span<std::uint32_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t i : wg.UnitsFor(item, n)) {
+            dst[i] = idx[i] == kOidNil
+                         ? nil_bits
+                         : std::bit_cast<std::uint32_t>(cstore::BitPackedAt(
+                               words.data(), width, vbase, row_offset + idx[i]));
+          }
+        }
+      };
+    }
+    ocl::EventPtr ev = ctx_->queue()->EnqueueKernel(std::move(k), waits);
+    mm_.SetProducer(out, ev);
+    mm_.AddConsumer(oids, ev);
+    mm_.AddEncodedConsumer(col, ev);
+    if (dict_buf != nullptr) mm_.AddConsumer(info->dict, ev);
+    return out;
+  }
+
   ASSIGN_OR_RETURN(ocl::BufferPtr src_buf, mm_.AcquireRead(&scope, col, &waits));
   BatPtr out = Bat::Make(col->type(), n);
   ASSIGN_OR_RETURN(ocl::BufferPtr dst_buf, mm_.AcquireWrite(&scope, out));
-
-  ValType type = col->type();
   ocl::KernelLaunch k;
   k.name = "gather";
   k.body = [idx_buf, src_buf, dst_buf, n, type](ocl::WorkGroup& wg) {

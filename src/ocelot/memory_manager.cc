@@ -1,15 +1,33 @@
 #include "ocelot/memory_manager.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/logging.h"
+#include "cstore/encoding.h"
 
 namespace ocelot {
 
 using common::Result;
 using common::Status;
 using cstore::BatPtr;
+
+namespace {
+
+/// The heap whose lifetime governs a cache entry's bytes: the tail heap for
+/// plain BATs, the decoded twin's heap for encoded ones (the twin lives as
+/// long as the column, and its death is the reaping signal for decoded
+/// cache entries).
+std::shared_ptr<const void> BackingHandle(const BatPtr& bat) {
+  if (!bat->encoded()) return bat->heap_handle();
+  // No DecodedView() here: this runs under the manager's lock, and a
+  // temporary descriptor's destruction would fire the BAT-delete listeners
+  // straight back into that lock.
+  return bat->decoded_heap_handle();
+}
+
+}  // namespace
 
 MemoryManager::MemoryManager(ocl::DeviceContext* ctx) : ctx_(ctx) {
   bat_listener_token_ = cstore::Bat::AddDeleteListener(
@@ -24,7 +42,21 @@ MemoryManager::~MemoryManager() {
 }
 
 MemoryManager::BufferKey MemoryManager::KeyOf(const BatPtr& bat) {
-  return {bat->heap_id(), bat->heap_offset(), bat->tail_bytes()};
+  if (!bat->encoded()) {
+    return {bat->heap_id(), bat->heap_offset(), bat->logical_tail_bytes()};
+  }
+  // Encoded views all report heap_offset() == 0 on the shared physical
+  // image, so keying them there would collide equal-sized fragments of one
+  // column onto a single entry. The *decoded* cache is therefore keyed on
+  // the decoded twin's heap identity, where every view has a distinct byte
+  // range again — exactly the plain-BAT geometry. (The raw image itself is
+  // cached separately under {encoded heap, 0, physical bytes}; see
+  // AcquirePhysicalLocked.) decoded_heap_id() rather than DecodedView():
+  // KeyOf runs under mu_, where a temporary descriptor's death would
+  // re-enter the delete listeners.
+  return {bat->decoded_heap_id(),
+          bat->row_offset() * cstore::ValTypeSize(bat->type()),
+          bat->logical_tail_bytes()};
 }
 
 MemoryManager::OpScope::~OpScope() {
@@ -99,16 +131,22 @@ Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
     entry.stale = false;
   }
   entry.bat = bat;
-  entry.heap = bat->heap_handle();
+  entry.heap = BackingHandle(bat);
   entry.last_use = ++tick_;
   entry.bytes = key.bytes;
 
   if (entry.buffer == nullptr) {
     if (ctx_->device()->model().unified_memory) {
       // Zero-copy: the host heap *is* the device memory, so this is valid
-      // even for device-owned ranges.
+      // even for device-owned ranges. For encoded BATs data() is the
+      // decoded twin — the transparent Decode() fallback.
       ASSIGN_OR_RETURN(entry.buffer,
                        ctx_->device()->WrapHost(bat->data(), bat->tail_bytes()));
+    } else if (bat->encoded()) {
+      // Discrete device: ship the compressed image (billed on physical
+      // bytes) and expand it with a decode kernel on the device.
+      RETURN_IF_ERROR(UploadEncodedLocked(scope, bat, &entry));
+      SubsumeCoveredEntries(key);
     } else {
       if (entry.device_authoritative) {
         // An offloaded result is being pulled back (footnote 4): reload the
@@ -140,6 +178,152 @@ Result<ocl::BufferPtr> MemoryManager::AcquireReadLocked(OpScope* scope,
   }
   Hold(scope, key, &entry);
   return entry.buffer;
+}
+
+Result<ocl::BufferPtr> MemoryManager::AcquirePhysicalLocked(
+    OpScope* scope, const BatPtr& bat, ocl::EventList* waits) {
+  const BufferKey pkey{bat->heap_id(), 0, bat->physical_tail_bytes()};
+  Entry& pent = entries_[pkey];
+  if (pent.producer != nullptr && pent.producer->failed()) {
+    // A failed upload of the compressed image. The host copy is always
+    // authoritative (encoded images are immutable), so drop the garbage
+    // buffer and let the path below re-upload; the retry ladder above
+    // decides how often to try.
+    WaitForQuiescence(&pent);
+    pent.buffer.reset();
+    pent.producer.reset();
+  }
+  pent.bat = bat;
+  pent.heap = bat->heap_handle();  // the *encoded* heap owns these bytes
+  pent.last_use = ++tick_;
+  pent.bytes = pkey.bytes;
+  if (pent.buffer == nullptr) {
+    if (ctx_->device()->model().unified_memory) {
+      ASSIGN_OR_RETURN(pent.buffer, ctx_->device()->WrapHost(
+                                        bat->physical_data(), pkey.bytes));
+    } else {
+      ASSIGN_OR_RETURN(pent.buffer, AllocateWithEviction(pkey.bytes));
+      // The bandwidth win of the whole encoding layer: this is the only
+      // host->device copy of the column, and it is physical_tail_bytes()
+      // long, not logical_tail_bytes().
+      pent.producer = ctx_->queue()->EnqueueWrite(
+          pent.buffer, bat->physical_data(), pkey.bytes);
+    }
+  }
+  if (pent.producer != nullptr && !pent.producer->settled() && waits != nullptr) {
+    waits->push_back(pent.producer);
+  }
+  Hold(scope, pkey, &pent);
+  return pent.buffer;
+}
+
+Result<ocl::BufferPtr> MemoryManager::AcquireEncodedRead(OpScope* scope,
+                                                         const BatPtr& bat,
+                                                         ocl::EventList* waits) {
+  if (bat == nullptr) return Status::InvalidArgument("AcquireEncodedRead: null BAT");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!bat->encoded()) return AcquireReadLocked(scope, bat, waits);
+  return AcquirePhysicalLocked(scope, bat, waits);
+}
+
+Status MemoryManager::UploadEncodedLocked(OpScope* scope, const BatPtr& bat,
+                                          Entry* entry) {
+  const auto& info = bat->encoding_info();
+  // Hold the compressed image while the decode is being scheduled: the
+  // decoded buffer's allocation below may run the eviction ladder, which
+  // must not reap the entry we are about to read from. (The raw-bits
+  // protection for in-flight closures is the BufferPtr captures.)
+  ocl::EventList dwaits;
+  ASSIGN_OR_RETURN(ocl::BufferPtr phys, AcquirePhysicalLocked(scope, bat, &dwaits));
+  const BufferKey pkey{bat->heap_id(), 0, bat->physical_tail_bytes()};
+  entries_[pkey].scope_refs += 1;  // pin across the allocation below
+  ocl::BufferPtr dict_buf;
+  if (info->encoding == cstore::Encoding::kDict) {
+    auto dict = AcquireReadLocked(scope, info->dict, &dwaits);
+    if (!dict.ok()) {
+      entries_[pkey].scope_refs -= 1;
+      return dict.status();
+    }
+    dict_buf = *dict;
+  }
+  auto decoded = AllocateWithEviction(bat->logical_tail_bytes());
+  entries_[pkey].scope_refs -= 1;
+  RETURN_IF_ERROR(decoded.status());
+  entry->buffer = *decoded;
+
+  // Decode-on-device, modeled as a kernel (billed like any other kernel,
+  // so ThroughputTracker calibration and makespan accounting see both the
+  // cheap transfer and the decode cost). Kernels cover this descriptor's
+  // rows [row_offset, row_offset + size) of the shared column image.
+  const std::size_t rows = bat->size();
+  const std::size_t row_offset = bat->row_offset();
+  ocl::BufferPtr out = entry->buffer;
+  ocl::KernelLaunch k;
+  switch (info->encoding) {
+    case cstore::Encoding::kDict: {
+      const std::size_t cw = info->code_width;
+      k.name = "decode_dict";
+      k.body = [phys, dict_buf, out, cw, rows, row_offset](ocl::WorkGroup& wg) {
+        auto dict = dict_buf->Span<const std::uint32_t>();
+        auto dst = out->Span<std::uint32_t>();
+        auto c8 = phys->Span<const std::uint8_t>();
+        auto c16 = phys->Span<const std::uint16_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t u : wg.UnitsFor(item, rows)) {
+            const std::size_t i = row_offset + static_cast<std::size_t>(u);
+            dst[u] = dict[cw == 1 ? c8[i] : c16[i]];
+          }
+        }
+      };
+      break;
+    }
+    case cstore::Encoding::kRle: {
+      const std::size_t runs = info->runs;
+      k.name = "decode_rle";
+      k.body = [phys, out, runs, rows, row_offset](ocl::WorkGroup& wg) {
+        auto words = phys->Span<const std::uint32_t>();
+        const std::uint32_t* values = words.data();
+        const std::uint32_t* starts = words.data() + runs;
+        auto dst = out->Span<std::uint32_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          ocl::UnitRange r = wg.ContiguousUnitsFor(item, rows);
+          if (r.empty()) continue;
+          // Binary-search the first run, then walk run boundaries forward.
+          std::size_t run = static_cast<std::size_t>(
+              std::upper_bound(starts, starts + runs,
+                               static_cast<std::uint32_t>(row_offset + r.first)) -
+              starts - 1);
+          for (std::uint64_t u = r.first; u < r.limit; ++u) {
+            const std::uint32_t row = static_cast<std::uint32_t>(row_offset + u);
+            while (run + 1 < runs && starts[run + 1] <= row) ++run;
+            dst[u] = values[run];
+          }
+        }
+      };
+      break;
+    }
+    case cstore::Encoding::kBitPacked: {
+      const std::uint32_t width = info->bit_width;
+      const std::int32_t base = info->base;
+      k.name = "decode_bitpack";
+      k.body = [phys, out, width, base, rows, row_offset](ocl::WorkGroup& wg) {
+        auto words = phys->Span<const std::uint32_t>();
+        auto dst = out->Span<std::uint32_t>();
+        for (int item = 0; item < wg.local_size(); ++item) {
+          for (std::uint64_t u : wg.UnitsFor(item, rows)) {
+            dst[u] = std::bit_cast<std::uint32_t>(cstore::BitPackedAt(
+                words.data(), width, base, row_offset + static_cast<std::size_t>(u)));
+          }
+        }
+      };
+      break;
+    }
+    case cstore::Encoding::kPlain:
+      return Status::InvalidArgument("UploadEncodedLocked on a plain BAT");
+  }
+  entry->producer = ctx_->queue()->EnqueueKernel(std::move(k), dwaits);
+  entries_[pkey].consumers.push_back(entry->producer);
+  return Status::Ok();
 }
 
 void MemoryManager::SubsumeCoveredEntries(const BufferKey& key) {
@@ -197,6 +381,12 @@ void MemoryManager::InvalidateOverlappingEntries(const BufferKey& key) {
 
 Result<ocl::BufferPtr> MemoryManager::AcquireWrite(OpScope* scope, const BatPtr& bat) {
   if (bat == nullptr) return Status::InvalidArgument("AcquireWrite: null BAT");
+  if (bat->encoded()) {
+    // Encoded images are immutable load-time artifacts; operator results
+    // are always plain. Writing "through" the decoded twin would desync
+    // twin and image silently.
+    return Status::InvalidArgument("AcquireWrite: encoded BATs are read-only");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   BufferKey key = KeyOf(bat);
   if (!ctx_->device()->model().unified_memory) InvalidateOverlappingEntries(key);
@@ -348,7 +538,7 @@ void MemoryManager::SetProducer(const BatPtr& bat, ocl::EventPtr event) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[KeyOf(bat)];
   entry.bat = bat;
-  entry.heap = bat->heap_handle();
+  entry.heap = BackingHandle(bat);
   entry.producer = std::move(event);
   entry.last_use = ++tick_;
 }
@@ -359,6 +549,19 @@ void MemoryManager::AddConsumer(const BatPtr& bat, ocl::EventPtr event) {
   if (it == entries_.end()) return;
   // Consumer events decide when a buffer may be discarded (footnote 5);
   // prune settled ones to bound the list.
+  std::erase_if(it->second.consumers,
+                [](const ocl::EventPtr& e) { return e->settled(); });
+  it->second.consumers.push_back(std::move(event));
+}
+
+void MemoryManager::AddEncodedConsumer(const BatPtr& bat, ocl::EventPtr event) {
+  if (!bat->encoded()) {
+    AddConsumer(bat, std::move(event));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({bat->heap_id(), 0, bat->physical_tail_bytes()});
+  if (it == entries_.end()) return;
   std::erase_if(it->second.consumers,
                 [](const ocl::EventPtr& e) { return e->settled(); });
   it->second.consumers.push_back(std::move(event));

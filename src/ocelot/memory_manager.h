@@ -84,10 +84,28 @@ class MemoryManager {
     std::vector<BufferKey> held_;  ///< cache keys of the held buffers
   };
 
-  /// Device buffer with valid contents of `bat`. Appends the buffer's
-  /// producer event (if pending) to `waits`.
+  /// Device buffer with valid *decoded* contents of `bat`. Appends the
+  /// buffer's producer event (if pending) to `waits`.
+  ///
+  /// Encoded BATs: the cache entry is keyed on the decoded twin's heap
+  /// identity (so equal-sized fragment views of one encoded column can
+  /// never collide, and views share cached decoded ranges exactly like
+  /// plain ones). On discrete devices the *encoded* image is what crosses
+  /// the bus — transfer billing sees the compressed byte count — and a
+  /// decode_{dict,rle,bitpack} kernel expands it on the device, billed as
+  /// kernel time like any other kernel. On unified devices the decoded twin
+  /// is wrapped zero-copy, as plain heaps are.
   common::Result<ocl::BufferPtr> AcquireRead(OpScope* scope, const cstore::BatPtr& bat,
                                              ocl::EventList* waits);
+
+  /// Device buffer holding the raw *encoded* image of `bat` (whole column;
+  /// kernels apply Bat::row_offset()). The native compressed kernels —
+  /// dictionary-rewritten selects, bit-unpacking gathers — read this
+  /// instead of the decoded buffer. Falls back to AcquireRead for plain
+  /// BATs. Upload is billed on the physical (compressed) size.
+  common::Result<ocl::BufferPtr> AcquireEncodedRead(OpScope* scope,
+                                                    const cstore::BatPtr& bat,
+                                                    ocl::EventList* waits);
 
   /// Device buffer backing the (new) result `bat`; contents undefined.
   /// Marks the BAT ocelot-owned. On discrete devices every *other* cached
@@ -103,6 +121,12 @@ class MemoryManager {
 
   void SetProducer(const cstore::BatPtr& bat, ocl::EventPtr event);
   void AddConsumer(const cstore::BatPtr& bat, ocl::EventPtr event);
+  /// Consumer registration for kernels reading the raw encoded image
+  /// (AcquireEncodedRead): keys the *physical* cache entry. AddConsumer
+  /// would key the decoded twin — and building that key materializes the
+  /// twin, defeating the point of the native compressed path. Falls back
+  /// to AddConsumer for plain BATs.
+  void AddEncodedConsumer(const cstore::BatPtr& bat, ocl::EventPtr event);
   ocl::EventPtr Producer(const cstore::BatPtr& bat) const;
 
   // -- Bitmaps ----------------------------------------------------------------
@@ -196,6 +220,15 @@ class MemoryManager {
   common::Result<ocl::BufferPtr> AcquireReadLocked(OpScope* scope,
                                                    const cstore::BatPtr& bat,
                                                    ocl::EventList* waits);
+  /// Caches/uploads the raw encoded image of `bat` under its physical key
+  /// {encoded heap, 0, physical bytes}; appends the upload event to waits.
+  common::Result<ocl::BufferPtr> AcquirePhysicalLocked(OpScope* scope,
+                                                       const cstore::BatPtr& bat,
+                                                       ocl::EventList* waits);
+  /// Discrete-device path for encoded BATs: compressed upload (via
+  /// AcquirePhysicalLocked) + decode kernel into `entry`'s fresh buffer.
+  common::Status UploadEncodedLocked(OpScope* scope, const cstore::BatPtr& bat,
+                                     Entry* entry);
   common::Result<ocl::BufferPtr> AllocateWithEviction(std::size_t bytes);
   /// Frees some device memory; returns false when nothing can be evicted.
   bool EvictOne();

@@ -100,9 +100,9 @@ BatPtr MergeOidParts(std::vector<BatPtr>& parts, const std::vector<oid_t>& bases
   return out;
 }
 
-/// Concatenates value fragment results in fragment order (element size from
-/// ValTypeSize — merges stay correct for any tail width). Single fragments
-/// are stolen without a copy.
+/// Concatenates value fragment results in fragment order (byte counts from
+/// the logical-size accessor, so merges stay correct for any tail width or
+/// encoding). Single fragments are stolen without a copy.
 BatPtr MergeValueParts(ValType type, std::vector<BatPtr>& parts) {
   if (parts.size() == 1) return std::move(parts[0]);
   std::size_t total = 0;
@@ -112,14 +112,16 @@ BatPtr MergeValueParts(ValType type, std::vector<BatPtr>& parts) {
     nonil = nonil && p->nonil();
   }
   BatPtr out = Bat::Make(type, total);
-  const std::size_t elem = ValTypeSize(type);
-  std::size_t at = 0;
+  std::size_t at = 0;  // byte offset into the merged tail
   for (const BatPtr& p : parts) {
-    if (p->size() != 0) {
-      std::memcpy(static_cast<std::byte*>(out->data()) + at * elem, p->data(),
-                  p->size() * elem);
+    // tail_bytes() is the *logical* size: if a fragment result were ever an
+    // encoded view, data() is its decoded twin and the byte count must match
+    // that, not the physical image.
+    if (p->tail_bytes() != 0) {
+      std::memcpy(static_cast<std::byte*>(out->data()) + at, p->data(),
+                  p->tail_bytes());
     }
-    at += p->size();
+    at += p->tail_bytes();
   }
   out->set_nonil(nonil);
   g_bytes_copied.fetch_add(out->tail_bytes(), std::memory_order_relaxed);

@@ -132,6 +132,7 @@ void CommandQueue::ExecuteTransfer(PendingOp* op) {
   common::Interval iv = device_->transfer_timeline().Schedule(ready, duration);
   op->event->MarkComplete(iv.start, iv.end);
   modeled_busy_ += iv.end - iv.start;
+  transferred_bytes_ += op->bytes;
 }
 
 common::Status CommandQueue::Flush() {

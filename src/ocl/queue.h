@@ -99,6 +99,13 @@ class CommandQueue {
   /// these deltas.
   common::Nanos modeled_busy_ns() const { return modeled_busy_; }
 
+  /// Monotone total of bytes moved across this queue's (modeled) bus, in
+  /// either direction. With encoded columns a host->device upload counts
+  /// the *compressed* image size — a delta of this counter across a query
+  /// is exactly what transfer billing charged, which the compression
+  /// benchmark reports as "modeled transfer bytes".
+  std::uint64_t transferred_bytes() const { return transferred_bytes_; }
+
   /// Kernel-only subset of modeled_busy_ns(): excludes transfer durations.
   /// Throughput calibration reads this one — a boundary re-cut pays a
   /// one-time upload that says nothing about the device's steady-state
@@ -133,6 +140,7 @@ class CommandQueue {
   std::map<std::string, bool> compiled_;  // kernel name -> JIT done
   common::Nanos modeled_busy_ = 0;
   common::Nanos modeled_kernel_busy_ = 0;
+  std::uint64_t transferred_bytes_ = 0;
 };
 
 }  // namespace ocl

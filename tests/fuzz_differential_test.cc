@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "cstore/bat.h"
 #include "cstore/catalog.h"
+#include "cstore/encoding.h"
 #include "cstore/types.h"
 #include "mal/engines.h"
 #include "mal/interp.h"
@@ -719,6 +720,125 @@ TEST(DifferentialFuzzTest, ScalarAndSimdKernelsBitIdentical) {
           << program.Explain();
     }
     common::simd::SetForceScalar(was_forced);
+  }
+}
+
+// The encoding axis: the same random programs, golden computed on the
+// plain catalog, then re-executed on every engine against catalogs
+// re-formatted under each forced column encoding (dict / RLE / bit-packed;
+// rebuilt from the same seed so the logical data is identical). Divergence
+// means a compressed-aware kernel or a Decode() fallback broke the
+// transparency contract of cstore/encoding.h. A final leg re-runs the
+// dict-encoded catalog under a seeded fault schedule: encoded uploads and
+// on-device decode kernels must recover (or fail fault-coded) exactly like
+// plain ones.
+TEST(DifferentialFuzzTest, ForcedEncodingsBitIdenticalAcrossEngines) {
+  struct SpecGuard {
+    ~SpecGuard() { ocl::ClearFaultSpecForTesting(); }
+  } guard;
+
+  const std::uint64_t base_seed = FuzzSeed() + 31337;
+  const int iters = std::max(1, FuzzIters() / 10);
+  const std::vector<std::string> engines = mal::OrderedEngineNames();
+  const cstore::EncodingPolicy policies[] = {cstore::EncodingPolicy::kDict,
+                                             cstore::EncodingPolicy::kRle,
+                                             cstore::EncodingPolicy::kBitPacked};
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(iter);
+    common::Rng rng(seed);
+    FuzzDb db = MakeDb(rng);
+    ProgramFuzzer fuzzer(rng, db);
+    mal::Program program = fuzzer.Generate();
+
+    Rows golden;
+    {
+      auto session = mal::Session::Open("seq");
+      ASSERT_TRUE(session.ok()) << session.status().ToString();
+      mal::RunOptions options;
+      options.mode = mal::RunOptions::Mode::kSequential;
+      auto res = mal::Run(program, db.catalog, session->get(), options);
+      ASSERT_TRUE(res.ok()) << "seed " << seed << " iter " << iter
+                            << ": plain golden failed: "
+                            << res.status().ToString() << "\n"
+                            << program.Explain();
+      golden = Canonicalize(res->returns);
+    }
+
+    for (cstore::EncodingPolicy policy : policies) {
+      // Identical logical columns, fresh heaps: replay the db generator
+      // from the seed, then force-encode (MakeDb never encodes itself).
+      common::Rng rng2(seed);
+      FuzzDb encoded_db = MakeDb(rng2);
+      cstore::ApplyEncodings(&encoded_db.catalog, policy);
+      const char* policy_name =
+          policy == cstore::EncodingPolicy::kDict
+              ? "dict"
+              : policy == cstore::EncodingPolicy::kRle ? "rle" : "bitpack";
+
+      for (const std::string& engine : engines) {
+        for (auto mode : {mal::RunOptions::Mode::kSequential,
+                          mal::RunOptions::Mode::kDataflow}) {
+          auto session = mal::Session::Open(engine);
+          ASSERT_TRUE(session.ok()) << session.status().ToString();
+          mal::Program prog = program;
+          if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+          mal::RunOptions options;
+          options.mode = mode;
+          auto res = mal::Run(prog, encoded_db.catalog, session->get(), options);
+          if (!res.ok() && TolerableFault(res.status())) continue;
+          ASSERT_TRUE(res.ok())
+              << "seed " << seed << " iter " << iter << " engine " << engine
+              << " encoding " << policy_name << ": " << res.status().ToString()
+              << "\n"
+              << program.Explain();
+          (*session)->FinishDevices();
+          Rows got = Canonicalize(res->returns);
+          ASSERT_EQ(golden, got)
+              << "ENCODING DIVERGENCE seed " << seed << " iter " << iter
+              << " engine " << engine << " encoding " << policy_name
+              << "\nreplay: OCELOT_FUZZ_SEED=" << (seed - 31337)
+              << " OCELOT_FUZZ_ITERS=1 ./fuzz_differential_test\n"
+              << program.Explain();
+        }
+      }
+    }
+
+    // Fault-schedule leg on the dict-encoded catalog: bit-identical or a
+    // clean fault-coded error, exactly as for plain heaps.
+    {
+      common::Rng rng3(seed);
+      FuzzDb encoded_db = MakeDb(rng3);
+      cstore::ApplyEncodings(&encoded_db.catalog, cstore::EncodingPolicy::kDict);
+      const std::string spec = "dev=*,op=*,p=0.05,mode=transient,seed=13";
+      ocl::SetFaultSpecForTesting(spec);
+      for (const std::string& engine : engines) {
+        auto session = mal::Session::Open(engine);
+        ASSERT_TRUE(session.ok()) << session.status().ToString();
+        mal::Program prog = program;
+        if ((*session)->hardware_oblivious()) prog = mal::RewriteForOcelot(prog);
+        mal::RunOptions options;
+        options.mode = mal::RunOptions::Mode::kDataflow;
+        auto res = mal::Run(prog, encoded_db.catalog, session->get(), options);
+        if (!res.ok()) {
+          common::StatusCode code = res.status().code();
+          ASSERT_TRUE(code == common::StatusCode::kDeviceLost ||
+                      code == common::StatusCode::kResourceExhausted)
+              << "NON-FAULT ERROR seed " << seed << " iter " << iter
+              << " engine " << engine << " (encoded, spec " << spec
+              << "): " << res.status().ToString() << "\n"
+              << program.Explain();
+          continue;
+        }
+        (void)(*session)->FinishDevices();
+        Rows got = Canonicalize(res->returns);
+        ASSERT_EQ(golden, got)
+            << "ENCODED FAULT DIVERGENCE seed " << seed << " iter " << iter
+            << " engine " << engine << " spec " << spec << "\n"
+            << program.Explain();
+      }
+      ocl::ClearFaultSpecForTesting();
+    }
   }
 }
 

@@ -373,6 +373,111 @@ TEST(SimdReduceTest, SumU32MatchesScalarIncludingWraparound) {
   }
 }
 
+// --- Grouped-aggregate folds -------------------------------------------------
+
+/// Random dense gids in [0, ngroups); the folds' only precondition.
+std::vector<std::uint32_t> Gids(std::size_t n, std::size_t ngroups,
+                                std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::uint32_t> g(n);
+  for (auto& x : g) {
+    x = ngroups == 0 ? 0 : static_cast<std::uint32_t>(rng.Uniform(0, ngroups - 1));
+  }
+  return g;
+}
+
+TEST(SimdGroupedFoldTest, GroupedSumInt32MatchesScalarBitExactly) {
+  for (std::size_t n : Lengths()) {
+    const std::size_t ngroups = std::max<std::size_t>(1, n / 7);
+    std::vector<std::int32_t> v = IntColumn(n, 5000 + n);
+    for (std::size_t i = 0; i < n; i += 5) v[i] = simd::kInt32Nil;
+    std::vector<std::uint32_t> g = Gids(n, ngroups, 5100 + n);
+    std::vector<std::int64_t> want_acc(ngroups), got_acc(ngroups);
+    std::vector<std::int64_t> want_cnt(ngroups), got_cnt(ngroups);
+    ScalarThenVector([&](bool scalar) {
+      auto& acc = scalar ? want_acc : got_acc;
+      auto& cnt = scalar ? want_cnt : got_cnt;
+      std::fill(acc.begin(), acc.end(), 0);
+      std::fill(cnt.begin(), cnt.end(), 0);
+      simd::GroupedSumInt32(v.data(), g.data(), n, acc.data(), cnt.data());
+    });
+    ASSERT_EQ(want_acc, got_acc) << "n=" << n;
+    ASSERT_EQ(want_cnt, got_cnt) << "n=" << n;
+    // Independent reference: nil rows contribute to neither sum nor count.
+    std::vector<std::int64_t> ref_acc(ngroups), ref_cnt(ngroups);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] == simd::kInt32Nil) continue;
+      ref_acc[g[i]] += v[i];
+      ref_cnt[g[i]] += 1;
+    }
+    ASSERT_EQ(ref_acc, want_acc) << "n=" << n;
+    ASSERT_EQ(ref_cnt, want_cnt) << "n=" << n;
+  }
+}
+
+TEST(SimdGroupedFoldTest, GroupedSumFloatPreservesRowOrderBitExactly) {
+  for (std::size_t n : Lengths()) {
+    const std::size_t ngroups = std::max<std::size_t>(1, n / 9);
+    std::vector<float> v = FloatColumn(n, 6000 + n);
+    std::vector<std::uint32_t> g = Gids(n, ngroups, 6100 + n);
+    std::vector<double> want_acc(ngroups), got_acc(ngroups);
+    std::vector<std::int64_t> want_cnt(ngroups), got_cnt(ngroups);
+    ScalarThenVector([&](bool scalar) {
+      auto& acc = scalar ? want_acc : got_acc;
+      auto& cnt = scalar ? want_cnt : got_cnt;
+      std::fill(acc.begin(), acc.end(), 0.0);
+      std::fill(cnt.begin(), cnt.end(), 0);
+      simd::GroupedSumFloat(v.data(), g.data(), n, acc.data(), cnt.data());
+    });
+    // Bit equality, not EXPECT_DOUBLE_EQ: the fold must add in exact row
+    // order (the engines' determinism contract), so the doubles match to
+    // the last ulp.
+    ASSERT_EQ(0, std::memcmp(want_acc.data(), got_acc.data(),
+                             ngroups * sizeof(double)))
+        << "n=" << n;
+    ASSERT_EQ(want_cnt, got_cnt) << "n=" << n;
+  }
+}
+
+TEST(SimdGroupedFoldTest, GroupedSumInt32AsDoubleMatchesScalarBitExactly) {
+  for (std::size_t n : Lengths()) {
+    const std::size_t ngroups = std::max<std::size_t>(1, n / 3);
+    std::vector<std::int32_t> v = IntColumn(n, 7000 + n);
+    std::vector<std::uint32_t> g = Gids(n, ngroups, 7100 + n);
+    std::vector<double> want_acc(ngroups), got_acc(ngroups);
+    std::vector<std::int64_t> want_cnt(ngroups), got_cnt(ngroups);
+    ScalarThenVector([&](bool scalar) {
+      auto& acc = scalar ? want_acc : got_acc;
+      auto& cnt = scalar ? want_cnt : got_cnt;
+      std::fill(acc.begin(), acc.end(), 0.0);
+      std::fill(cnt.begin(), cnt.end(), 0);
+      simd::GroupedSumInt32AsDouble(v.data(), g.data(), n, acc.data(),
+                                    cnt.data());
+    });
+    ASSERT_EQ(0, std::memcmp(want_acc.data(), got_acc.data(),
+                             ngroups * sizeof(double)))
+        << "n=" << n;
+    ASSERT_EQ(want_cnt, got_cnt) << "n=" << n;
+  }
+}
+
+TEST(SimdGroupedFoldTest, GroupedCountCountsEveryRowIncludingNils) {
+  for (std::size_t n : Lengths()) {
+    const std::size_t ngroups = std::max<std::size_t>(1, n / 11);
+    std::vector<std::uint32_t> g = Gids(n, ngroups, 8000 + n);
+    std::vector<std::int32_t> want(ngroups), got(ngroups);
+    ScalarThenVector([&](bool scalar) {
+      auto& counts = scalar ? want : got;
+      std::fill(counts.begin(), counts.end(), 0);
+      simd::GroupedCount(g.data(), n, counts.data());
+    });
+    ASSERT_EQ(want, got) << "n=" << n;
+    std::int64_t total = 0;
+    for (std::int32_t c : want) total += c;
+    ASSERT_EQ(total, static_cast<std::int64_t>(n));
+  }
+}
+
 // --- RadixHash vs ChainedHash ------------------------------------------------
 
 TEST(SimdJoinIndexTest, RadixMatchesChainedIncludingDuplicateOrder) {
